@@ -1,0 +1,50 @@
+// Figure 1 — motivation: a single dedicated metadata server does not scale.
+//
+// "Massive file creations are performed while varying the number of clients
+// up to 512. The dotted line indicates the ideal, linearly scalable
+// performance." The paper observes throughput collapsing as the client
+// count grows beyond 4.
+//
+// Runs the DES CephFS model (1 MDS) across client counts and prints raw and
+// ideal-relative throughput.
+#include "bench_util.h"
+#include "common/stats.h"
+#include "des/scalability.h"
+
+using namespace arkfs;
+
+int main() {
+  bench::Header("Figure 1: file-create scalability of a single MDS",
+                "Fig. 1 (motivation, CephFS with 1 MDS, 1..512 clients)");
+  bench::Note("model: DES, MDS dispatch width 1, service 30us + 0.2us/client"
+              " session overhead, RTT 200us");
+  bench::PaperClaim(
+      "throughput is far from linear and collapses beyond ~4 clients");
+
+  des::CephScaleParams params;  // defaults = single MDS
+  double single_client = 0;
+  double peak = 0;
+  int peak_clients = 1;
+  std::printf("\n  %8s %14s %12s %12s\n", "clients", "ops/s", "vs-1client",
+              "vs-ideal");
+  for (int clients : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+    des::ScaleWorkload workload;
+    workload.clients = clients;
+    workload.files_per_client = 2000;
+    const auto result = des::SimulateCephCreates(params, workload);
+    if (clients == 1) single_client = result.ops_per_second;
+    if (result.ops_per_second > peak) {
+      peak = result.ops_per_second;
+      peak_clients = clients;
+    }
+    const double speedup = result.ops_per_second / single_client;
+    const double ideal_frac = speedup / clients;
+    std::printf("  %8d %14.0f %11.2fx %11.1f%%\n", clients,
+                result.ops_per_second, speedup, ideal_frac * 100);
+  }
+  std::printf("\n");
+  bench::Row("peak at", std::to_string(peak_clients) + " clients");
+  bench::Note("shape check: peak within 2..16 clients and throughput at 512 "
+              "clients below the peak reproduces the paper's collapse");
+  return 0;
+}

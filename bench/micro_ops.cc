@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) for the primitives whose costs feed
+// the DES models and the design discussion: codec, CRC, radix tree,
+// metatable operations, journal framing, and the end-to-end local create
+// path of the real client (the "local metadata op" the paper's speedups
+// rest on).
+#include <benchmark/benchmark.h>
+
+#include "cache/radix_tree.h"
+#include "common/codec.h"
+#include "core/cluster.h"
+#include "journal/record.h"
+#include "meta/metatable.h"
+#include "meta/path.h"
+#include "objstore/memory_store.h"
+
+namespace arkfs {
+namespace {
+
+void BM_UuidGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NewUuid());
+  }
+}
+BENCHMARK(BM_UuidGenerate);
+
+void BM_Crc32c(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_InodeEncodeDecode(benchmark::State& state) {
+  Inode inode = MakeInode(NewUuid(), FileType::kRegular, 0644, 1, 1, kRootIno);
+  for (auto _ : state) {
+    Bytes encoded = inode.Encode();
+    auto decoded = Inode::Decode(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_InodeEncodeDecode);
+
+void BM_PathSplit(benchmark::State& state) {
+  const std::string path = "/campaign/project/2026/run-042/checkpoint.tar";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SplitPath(path));
+  }
+}
+BENCHMARK(BM_PathSplit);
+
+void BM_RadixTreeInsertFind(benchmark::State& state) {
+  RadixTree<int> tree;
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    tree.Insert(key % 4096, 1);
+    benchmark::DoNotOptimize(tree.Find((key * 7) % 4096));
+    ++key;
+  }
+}
+BENCHMARK(BM_RadixTreeInsertFind);
+
+void BM_MetatableInsertLookup(benchmark::State& state) {
+  Metatable mt(MakeInode(kRootIno, FileType::kDirectory, 0755, 0, 0, Uuid{}));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string name = "file" + std::to_string(i % 10000);
+    Dentry d{name, DeterministicUuid(1, i), FileType::kRegular};
+    (void)mt.Insert(d, std::nullopt);
+    benchmark::DoNotOptimize(mt.Lookup(name));
+    ++i;
+  }
+}
+BENCHMARK(BM_MetatableInsertLookup);
+
+void BM_JournalTransactionEncode(benchmark::State& state) {
+  journal::Transaction txn;
+  txn.seq = 1;
+  txn.records.push_back(journal::Record::InodeUpsert(
+      MakeInode(NewUuid(), FileType::kRegular, 0644, 1, 1, kRootIno)));
+  txn.records.push_back(journal::Record::DentryAdd(
+      {"some-file.dat", NewUuid(), FileType::kRegular}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(journal::EncodeTransaction(txn));
+  }
+}
+BENCHMARK(BM_JournalTransactionEncode);
+
+// The headline primitive: one local CREATE on the real client (leader of
+// the directory, instant store, no network). This is the cost the DES's
+// `local_op` constant is calibrated against.
+void BM_ArkfsLocalCreate(benchmark::State& state) {
+  auto store = std::make_shared<MemoryObjectStore>();
+  auto cluster =
+      ArkFsCluster::Create(store, ArkFsClusterOptions::ForTests()).value();
+  auto client = cluster->AddClient().value();
+  const UserCred cred = UserCred::Root();
+  (void)client->Mkdir("/bench", 0755, cred);
+  OpenOptions create;
+  create.write = true;
+  create.create = true;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto fd = client->Open("/bench/f" + std::to_string(i++), create, cred);
+    if (fd.ok()) (void)client->Close(*fd);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArkfsLocalCreate)->Unit(benchmark::kMicrosecond);
+
+void BM_ArkfsLocalStat(benchmark::State& state) {
+  auto store = std::make_shared<MemoryObjectStore>();
+  auto cluster =
+      ArkFsCluster::Create(store, ArkFsClusterOptions::ForTests()).value();
+  auto client = cluster->AddClient().value();
+  const UserCred cred = UserCred::Root();
+  (void)client->Mkdir("/bench", 0755, cred);
+  (void)client->WriteFileAt("/bench/target", AsBytes("x"), cred);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client->Stat("/bench/target", cred));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArkfsLocalStat)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace arkfs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Backend tour: the PRT's backend registry (paper §III-F — "ArkFS can
+// support any kind of object storage backend by registering the
+// corresponding REST APIs").
+//
+// Mounts the same file system image on four built-in backends and one
+// custom-registered backend, and shows the capability differences that
+// matter (partial writes vs whole-object PUTs).
+#include <cstdio>
+#include <filesystem>
+
+#include "core/cluster.h"
+#include "objstore/memory_store.h"
+#include "objstore/registry.h"
+#include "objstore/wrappers.h"
+
+using namespace arkfs;
+
+#define CHECK_OK(expr)                                             \
+  do {                                                             \
+    ::arkfs::Status _st = (expr);                                  \
+    if (!_st.ok()) {                                               \
+      std::fprintf(stderr, "FAILED %s: %s\n", #expr,               \
+                   _st.ToString().c_str());                        \
+      return 1;                                                    \
+    }                                                              \
+  } while (0)
+
+namespace {
+
+int ExerciseBackend(const std::string& spec) {
+  auto store_or = BackendRegistry::Instance().Create(spec);
+  if (!store_or.ok()) {
+    std::fprintf(stderr, "cannot create backend %s: %s\n", spec.c_str(),
+                 store_or.status().ToString().c_str());
+    return 1;
+  }
+  ObjectStorePtr store = *store_or;
+  std::printf("--- backend \"%s\" (%s): partial writes %s, max object %llu MB\n",
+              spec.c_str(), store->name().c_str(),
+              store->supports_partial_write() ? "yes" : "no (RMW in the PRT)",
+              static_cast<unsigned long long>(store->max_object_size() >> 20));
+
+  auto counting = std::make_shared<CountingStore>(store);
+  auto cluster = ArkFsCluster::Create(ObjectStorePtr(counting),
+                                      ArkFsClusterOptions::ForTests())
+                     .value();
+  auto fs = cluster->AddClient().value();
+  const UserCred root = UserCred::Root();
+
+  CHECK_OK(fs->MkdirAll("/tour/data", 0755, root));
+  Bytes payload(64 * 1024, 0x42);
+  CHECK_OK(fs->WriteFileAt("/tour/data/blob.bin", payload, root));
+  // A small in-place overwrite: cheap on partial-write stores, a full-chunk
+  // rewrite on whole-object (S3-style) ones.
+  OpenOptions rw;
+  rw.write = true;
+  auto fd = fs->Open("/tour/data/blob.bin", rw, root);
+  CHECK_OK(fd.status());
+  CHECK_OK(fs->Write(*fd, 1000, AsBytes("patched")).status());
+  CHECK_OK(fs->Fsync(*fd));
+  CHECK_OK(fs->Close(*fd));
+
+  auto back = fs->ReadWholeFile("/tour/data/blob.bin", root);
+  CHECK_OK(back.status());
+  if (back->size() != payload.size() || ToString(*back).substr(1000, 7) != "patched") {
+    std::fprintf(stderr, "readback mismatch on %s\n", spec.c_str());
+    return 1;
+  }
+  auto counters = counting->Snapshot();
+  std::printf("    ops: %llu puts / %llu gets, %.1f KB written for the "
+              "7-byte patch\n",
+              static_cast<unsigned long long>(counters.puts),
+              static_cast<unsigned long long>(counters.gets),
+              static_cast<double>(counters.bytes_written) / 1024);
+  CHECK_OK(fs->SyncAll());
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  // A user-registered backend: here simply an in-memory store with small
+  // objects, but the same hook carries a real REST client.
+  BackendRegistry::Instance().Register(
+      "my-object-store", [](const std::string&) -> Result<ObjectStorePtr> {
+        return ObjectStorePtr(
+            std::make_shared<MemoryObjectStore>(1ull << 20));
+      });
+
+  const auto tmp =
+      (std::filesystem::temp_directory_path() / "arkfs_backend_tour").string();
+  std::filesystem::remove_all(tmp);
+
+  for (const std::string& spec :
+       {std::string("memory"), std::string("rados"), std::string("s3"),
+        std::string("disk:") + tmp, std::string("my-object-store")}) {
+    if (int rc = ExerciseBackend(spec); rc != 0) return rc;
+  }
+  std::printf("backend tour OK (registered backends:");
+  for (const auto& name : BackendRegistry::Instance().Names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf(")\n");
+  return 0;
+}

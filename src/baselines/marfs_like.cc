@@ -1,0 +1,117 @@
+#include "baselines/marfs_like.h"
+#include <mutex>
+#include <unordered_map>
+
+namespace arkfs::baselines {
+namespace {
+
+CephLikeConfig ToCephConfig(const MarFsLikeConfig& config) {
+  CephLikeConfig c;
+  c.mds = config.mds;
+  c.cache = config.cache;
+  return c;
+}
+
+}  // namespace
+
+MarFsLikeVfs::MarFsLikeVfs(MdsClusterPtr mds, ObjectStorePtr store,
+                           const MarFsLikeConfig& config)
+    : inner_(std::move(mds), std::move(store), ToCephConfig(config)),
+      read_errors_(config.read_errors) {}
+
+Result<Fd> MarFsLikeVfs::Open(const std::string& path,
+                              const OpenOptions& options,
+                              const UserCred& cred) {
+  return inner_.Open(path, options, cred);
+}
+Status MarFsLikeVfs::Close(Fd fd) { return inner_.Close(fd); }
+
+Result<Bytes> MarFsLikeVfs::Read(Fd fd, std::uint64_t offset,
+                                 std::uint64_t length) {
+  if (read_errors_) {
+    // Reproduces the paper's observation: MarFS's interactive interface
+    // returned errors during the mdtest-hard READ phase in their setup.
+    return ErrStatus(Errc::kIo, "marfs-like: interactive read unsupported");
+  }
+  return inner_.Read(fd, offset, length);
+}
+
+Result<std::uint64_t> MarFsLikeVfs::Write(Fd fd, std::uint64_t offset,
+                                          ByteSpan data) {
+  return inner_.Write(fd, offset, data);
+}
+Status MarFsLikeVfs::Fsync(Fd fd) { return inner_.Fsync(fd); }
+Result<StatResult> MarFsLikeVfs::Stat(const std::string& path,
+                                      const UserCred& cred) {
+  return inner_.Stat(path, cred);
+}
+Status MarFsLikeVfs::Mkdir(const std::string& path, std::uint32_t mode,
+                           const UserCred& cred) {
+  return inner_.Mkdir(path, mode, cred);
+}
+Status MarFsLikeVfs::Rmdir(const std::string& path, const UserCred& cred) {
+  return inner_.Rmdir(path, cred);
+}
+Status MarFsLikeVfs::Unlink(const std::string& path, const UserCred& cred) {
+  return inner_.Unlink(path, cred);
+}
+Status MarFsLikeVfs::Rename(const std::string& from, const std::string& to,
+                            const UserCred& cred) {
+  return inner_.Rename(from, to, cred);
+}
+Result<std::vector<Dentry>> MarFsLikeVfs::ReadDir(const std::string& path,
+                                                  const UserCred& cred) {
+  return inner_.ReadDir(path, cred);
+}
+Status MarFsLikeVfs::SetAttr(const std::string& path,
+                             const SetAttrRequest& req, const UserCred& cred) {
+  return inner_.SetAttr(path, req, cred);
+}
+Status MarFsLikeVfs::Symlink(const std::string& target,
+                             const std::string& path, const UserCred& cred) {
+  return inner_.Symlink(target, path, cred);
+}
+Result<std::string> MarFsLikeVfs::ReadLink(const std::string& path,
+                                           const UserCred& cred) {
+  return inner_.ReadLink(path, cred);
+}
+Status MarFsLikeVfs::SetAcl(const std::string& path, const Acl& acl,
+                            const UserCred& cred) {
+  return inner_.SetAcl(path, acl, cred);
+}
+Result<Acl> MarFsLikeVfs::GetAcl(const std::string& path,
+                                 const UserCred& cred) {
+  return inner_.GetAcl(path, cred);
+}
+Status MarFsLikeVfs::SyncAll() { return inner_.SyncAll(); }
+Status MarFsLikeVfs::DropCaches() { return inner_.DropCaches(); }
+
+VfsPtr MakeMarFsLike(MdsClusterPtr mds, ObjectStorePtr store,
+                     const MarFsLikeConfig& config, FuseSimConfig fuse) {
+  auto inner =
+      std::make_shared<MarFsLikeVfs>(std::move(mds), std::move(store), config);
+  // Same libfuse positive-dentry caching as any FUSE mount (entry_timeout).
+  struct DentryCache {
+    std::mutex mu;
+    std::unordered_map<std::string, TimePoint> dirs;
+  };
+  auto cache = std::make_shared<DentryCache>();
+  auto probe = [inner, cache](const std::string& path,
+                              const UserCred& cred) -> Status {
+    constexpr Nanos kEntryTimeout = Seconds(1);
+    {
+      std::lock_guard lock(cache->mu);
+      auto it = cache->dirs.find(path);
+      if (it != cache->dirs.end() && it->second > Now()) return Status::Ok();
+    }
+    auto st = inner->Stat(path, cred);
+    if (st.ok() && st->type == FileType::kDirectory) {
+      std::lock_guard lock(cache->mu);
+      cache->dirs[path] = Now() + kEntryTimeout;
+    }
+    return st.status();
+  };
+  return std::make_shared<FuseSim>(inner, fuse, probe);
+}
+
+}  // namespace arkfs::baselines

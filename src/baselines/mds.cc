@@ -1,0 +1,305 @@
+#include "baselines/mds.h"
+
+#include <condition_variable>
+
+#include "meta/path.h"
+
+namespace arkfs::baselines {
+
+void MdsCluster::ServiceQueue::Serve() {
+  if (width_ <= 0) {
+    service_.Apply();
+    return;
+  }
+  {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return active_ < width_; });
+    ++active_;
+  }
+  service_.Apply();
+  {
+    std::lock_guard lock(mu_);
+    --active_;
+  }
+  cv_.notify_one();
+}
+
+MdsCluster::MdsCluster(MdsConfig config)
+    : config_(config), rtt_(config.network.rtt) {
+  for (int i = 0; i < config_.num_ranks; ++i) {
+    ranks_.push_back(std::make_unique<ServiceQueue>(
+        config_.service_threads_per_rank, config_.service_time));
+  }
+  if (config_.num_ranks > 1) {
+    coordination_ = std::make_unique<ServiceQueue>(config_.coordination_width,
+                                                   config_.coordination_time);
+  }
+  // Root directory.
+  MdsNode root;
+  root.inode = MakeInode(kRootIno, FileType::kDirectory, 0755, 0, 0, Uuid{});
+  nodes_.emplace(kRootIno, std::move(root));
+}
+
+int MdsCluster::OwnerRank(const std::string& path) const {
+  // Subtree partitioning: the owning rank of an operation is derived from
+  // the parent directory path.
+  auto slash = path.find_last_of('/');
+  const std::string parent = slash == 0 ? "/" : path.substr(0, slash);
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : parent) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return static_cast<int>(h % static_cast<std::uint64_t>(config_.num_ranks));
+}
+
+void MdsCluster::ChargeRequest(const std::string& path) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  rtt_.Apply();
+  int rank = OwnerRank(path);
+  if (config_.num_ranks > 1) {
+    // Deterministic pseudo-random forwarding decision.
+    const std::uint64_t seq = charge_seq_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t h = seq * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 29;
+    const double u = static_cast<double>(h >> 11) / 9007199254740992.0;
+    if (u < config_.forward_probability) {
+      // Landed on the wrong rank: pay its service, then hop to the owner.
+      forwards_.fetch_add(1, std::memory_order_relaxed);
+      ranks_[(rank + 1) % config_.num_ranks]->Serve();
+      rtt_.Apply();
+    }
+  }
+  ranks_[rank]->Serve();
+  if (coordination_) coordination_->Serve();
+}
+
+MdsNode* MdsCluster::FindLocked(const Uuid& ino) {
+  auto it = nodes_.find(ino);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+Result<MdsNode*> MdsCluster::ResolveDirLocked(const std::string& path,
+                                              const UserCred& cred) {
+  ARKFS_ASSIGN_OR_RETURN(auto comps, SplitPath(path));
+  MdsNode* cur = FindLocked(kRootIno);
+  for (const auto& comp : comps) {
+    ARKFS_RETURN_IF_ERROR(CheckAccess(cur->inode, cred, kPermExec));
+    auto it = cur->children.find(comp);
+    if (it == cur->children.end()) return ErrStatus(Errc::kNoEnt, path);
+    MdsNode* next = FindLocked(it->second);
+    if (!next) return ErrStatus(Errc::kNoEnt, path);
+    if (!next->inode.IsDir()) return ErrStatus(Errc::kNotDir, path);
+    cur = next;
+  }
+  return cur;
+}
+
+Result<MdsCluster::ParentRef> MdsCluster::ResolveParentLocked(
+    const std::string& path, const UserCred& cred) {
+  ARKFS_ASSIGN_OR_RETURN(auto split, SplitParentOf(path));
+  ARKFS_ASSIGN_OR_RETURN(MdsNode * dir, ResolveDirLocked(split.parent, cred));
+  ARKFS_RETURN_IF_ERROR(CheckAccess(dir->inode, cred, kPermExec));
+  return ParentRef{dir, std::move(split.name)};
+}
+
+Result<Inode> MdsCluster::Lookup(const std::string& path,
+                                 const UserCred& cred) {
+  std::lock_guard lock(tree_mu_);
+  if (path == "/") return FindLocked(kRootIno)->inode;
+  ARKFS_ASSIGN_OR_RETURN(auto ref, ResolveParentLocked(path, cred));
+  auto it = ref.dir->children.find(ref.name);
+  if (it == ref.dir->children.end()) return ErrStatus(Errc::kNoEnt, path);
+  MdsNode* node = FindLocked(it->second);
+  if (!node) return ErrStatus(Errc::kNoEnt, path);
+  return node->inode;
+}
+
+Result<Inode> MdsCluster::Create(const std::string& path, std::uint32_t mode,
+                                 bool exclusive, FileType type,
+                                 const std::string& symlink_target,
+                                 const UserCred& cred) {
+  std::lock_guard lock(tree_mu_);
+  ARKFS_ASSIGN_OR_RETURN(auto ref, ResolveParentLocked(path, cred));
+  ARKFS_RETURN_IF_ERROR(CheckAccess(ref.dir->inode, cred, kPermWrite));
+  if (auto it = ref.dir->children.find(ref.name); it != ref.dir->children.end()) {
+    if (exclusive) return ErrStatus(Errc::kExist, path);
+    MdsNode* existing = FindLocked(it->second);
+    if (!existing) return ErrStatus(Errc::kNoEnt, path);
+    if (existing->inode.IsDir()) return ErrStatus(Errc::kIsDir, path);
+    return existing->inode;
+  }
+  ARKFS_RETURN_IF_ERROR(ValidateName(ref.name));
+  MdsNode node;
+  node.inode = MakeInode(NewUuid(), type, mode & 07777, cred.uid, cred.gid,
+                         ref.dir->inode.ino);
+  node.inode.symlink_target = symlink_target;
+  if (type == FileType::kSymlink) node.inode.size = symlink_target.size();
+  const Inode result = node.inode;
+  ref.dir->children.emplace(ref.name, node.inode.ino);
+  ref.dir->inode.mtime_sec = WallClockSeconds();
+  nodes_.emplace(result.ino, std::move(node));
+  return result;
+}
+
+Result<Inode> MdsCluster::Mkdir(const std::string& path, std::uint32_t mode,
+                                const UserCred& cred) {
+  std::lock_guard lock(tree_mu_);
+  ARKFS_ASSIGN_OR_RETURN(auto ref, ResolveParentLocked(path, cred));
+  ARKFS_RETURN_IF_ERROR(CheckAccess(ref.dir->inode, cred, kPermWrite));
+  if (ref.dir->children.contains(ref.name)) return ErrStatus(Errc::kExist, path);
+  ARKFS_RETURN_IF_ERROR(ValidateName(ref.name));
+  MdsNode node;
+  node.inode = MakeInode(NewUuid(), FileType::kDirectory, mode & 07777,
+                         cred.uid, cred.gid, ref.dir->inode.ino);
+  const Inode result = node.inode;
+  ref.dir->children.emplace(ref.name, node.inode.ino);
+  ++ref.dir->inode.nlink;
+  nodes_.emplace(result.ino, std::move(node));
+  return result;
+}
+
+Status MdsCluster::Unlink(const std::string& path, const UserCred& cred,
+                          Inode* removed) {
+  std::lock_guard lock(tree_mu_);
+  ARKFS_ASSIGN_OR_RETURN(auto ref, ResolveParentLocked(path, cred));
+  ARKFS_RETURN_IF_ERROR(CheckAccess(ref.dir->inode, cred, kPermWrite));
+  auto it = ref.dir->children.find(ref.name);
+  if (it == ref.dir->children.end()) return ErrStatus(Errc::kNoEnt, path);
+  MdsNode* node = FindLocked(it->second);
+  if (node && node->inode.IsDir()) return ErrStatus(Errc::kIsDir, path);
+  if (removed && node) *removed = node->inode;
+  nodes_.erase(it->second);
+  ref.dir->children.erase(it);
+  ref.dir->inode.mtime_sec = WallClockSeconds();
+  return Status::Ok();
+}
+
+Status MdsCluster::Rmdir(const std::string& path, const UserCred& cred) {
+  std::lock_guard lock(tree_mu_);
+  ARKFS_ASSIGN_OR_RETURN(auto ref, ResolveParentLocked(path, cred));
+  ARKFS_RETURN_IF_ERROR(CheckAccess(ref.dir->inode, cred, kPermWrite));
+  auto it = ref.dir->children.find(ref.name);
+  if (it == ref.dir->children.end()) return ErrStatus(Errc::kNoEnt, path);
+  MdsNode* node = FindLocked(it->second);
+  if (!node || !node->inode.IsDir()) return ErrStatus(Errc::kNotDir, path);
+  if (!node->children.empty()) return ErrStatus(Errc::kNotEmpty, path);
+  nodes_.erase(it->second);
+  ref.dir->children.erase(it);
+  if (ref.dir->inode.nlink > 2) --ref.dir->inode.nlink;
+  return Status::Ok();
+}
+
+Status MdsCluster::Rename(const std::string& from, const std::string& to,
+                          const UserCred& cred, Inode* replaced) {
+  std::lock_guard lock(tree_mu_);
+  ARKFS_ASSIGN_OR_RETURN(auto src, ResolveParentLocked(from, cred));
+  ARKFS_ASSIGN_OR_RETURN(auto dst, ResolveParentLocked(to, cred));
+  ARKFS_RETURN_IF_ERROR(CheckAccess(src.dir->inode, cred, kPermWrite));
+  ARKFS_RETURN_IF_ERROR(CheckAccess(dst.dir->inode, cred, kPermWrite));
+  auto sit = src.dir->children.find(src.name);
+  if (sit == src.dir->children.end()) return ErrStatus(Errc::kNoEnt, from);
+  const Uuid moving = sit->second;
+  if (auto dit = dst.dir->children.find(dst.name);
+      dit != dst.dir->children.end()) {
+    MdsNode* victim = FindLocked(dit->second);
+    if (victim && victim->inode.IsDir()) return ErrStatus(Errc::kIsDir, to);
+    if (replaced && victim) *replaced = victim->inode;
+    nodes_.erase(dit->second);
+    dst.dir->children.erase(dit);
+  }
+  src.dir->children.erase(sit);
+  dst.dir->children.emplace(dst.name, moving);
+  if (MdsNode* node = FindLocked(moving)) {
+    node->inode.parent = dst.dir->inode.ino;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<Dentry>> MdsCluster::ReadDir(const std::string& path,
+                                                const UserCred& cred) {
+  std::lock_guard lock(tree_mu_);
+  ARKFS_ASSIGN_OR_RETURN(MdsNode * dir, ResolveDirLocked(path, cred));
+  ARKFS_RETURN_IF_ERROR(CheckAccess(dir->inode, cred, kPermRead));
+  std::vector<Dentry> out;
+  out.reserve(dir->children.size());
+  for (const auto& [name, ino] : dir->children) {
+    MdsNode* child = FindLocked(ino);
+    out.push_back({name, ino,
+                   child ? child->inode.type : FileType::kRegular});
+  }
+  return out;
+}
+
+Result<Inode> MdsCluster::SetAttr(const std::string& path,
+                                  const SetAttrRequest& req,
+                                  const UserCred& cred) {
+  std::lock_guard lock(tree_mu_);
+  MdsNode* node;
+  if (path == "/") {
+    node = FindLocked(kRootIno);
+  } else {
+    ARKFS_ASSIGN_OR_RETURN(auto ref, ResolveParentLocked(path, cred));
+    auto it = ref.dir->children.find(ref.name);
+    if (it == ref.dir->children.end()) return ErrStatus(Errc::kNoEnt, path);
+    node = FindLocked(it->second);
+    if (!node) return ErrStatus(Errc::kNoEnt, path);
+  }
+  Inode& inode = node->inode;
+  if (req.mask & kSetMode) {
+    if (!IsOwnerOrRoot(inode, cred)) return ErrStatus(Errc::kPerm);
+    inode.mode = req.mode & 07777;
+  }
+  if (req.mask & kSetUid) {
+    if (cred.uid != 0 && req.uid != inode.uid) return ErrStatus(Errc::kPerm);
+    inode.uid = req.uid;
+  }
+  if (req.mask & kSetGid) {
+    if (cred.uid != 0 && !(cred.uid == inode.uid && cred.InGroup(req.gid))) {
+      return ErrStatus(Errc::kPerm);
+    }
+    inode.gid = req.gid;
+  }
+  if (req.mask & kSetSize) {
+    if (inode.IsDir()) return ErrStatus(Errc::kIsDir);
+    ARKFS_RETURN_IF_ERROR(CheckAccess(inode, cred, kPermWrite));
+    inode.size = req.size;
+  }
+  if (req.mask & kSetAtime) inode.atime_sec = req.atime_sec;
+  if (req.mask & kSetMtime) inode.mtime_sec = req.mtime_sec;
+  inode.ctime_sec = WallClockSeconds();
+  return inode;
+}
+
+Status MdsCluster::SetAcl(const std::string& path, const Acl& acl,
+                          const UserCred& cred) {
+  std::lock_guard lock(tree_mu_);
+  MdsNode* node;
+  if (path == "/") {
+    node = FindLocked(kRootIno);
+  } else {
+    ARKFS_ASSIGN_OR_RETURN(auto ref, ResolveParentLocked(path, cred));
+    auto it = ref.dir->children.find(ref.name);
+    if (it == ref.dir->children.end()) return ErrStatus(Errc::kNoEnt, path);
+    node = FindLocked(it->second);
+    if (!node) return ErrStatus(Errc::kNoEnt, path);
+  }
+  if (!IsOwnerOrRoot(node->inode, cred)) return ErrStatus(Errc::kPerm);
+  node->inode.acl = acl;
+  return Status::Ok();
+}
+
+Status MdsCluster::CommitSize(const std::string& path, std::uint64_t size,
+                              std::int64_t mtime, const UserCred& cred) {
+  std::lock_guard lock(tree_mu_);
+  ARKFS_ASSIGN_OR_RETURN(auto ref, ResolveParentLocked(path, cred));
+  auto it = ref.dir->children.find(ref.name);
+  if (it == ref.dir->children.end()) return ErrStatus(Errc::kNoEnt, path);
+  MdsNode* node = FindLocked(it->second);
+  if (!node) return ErrStatus(Errc::kNoEnt, path);
+  node->inode.size = size;
+  node->inode.mtime_sec = mtime;
+  return Status::Ok();
+}
+
+}  // namespace arkfs::baselines

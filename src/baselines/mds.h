@@ -1,0 +1,146 @@
+// A centralized metadata service (MDS), the architecture ArkFS argues
+// against (paper §II). Used by the CephFS-like and MarFS-like baselines.
+//
+// The MDS cluster holds the entire namespace tree in memory behind a
+// queueing model:
+//
+//  * each request pays one network round trip (client <-> MDS);
+//  * each MDS rank serves requests with a bounded number of service
+//    threads (Ceph's MDS dispatches requests largely single-threaded) and
+//    a modeled per-op service time — a saturated rank queues callers;
+//  * with multiple ranks, directories are partitioned across ranks
+//    (subtree partitioning). Requests landing on a non-owning rank are
+//    forwarded (an extra hop), and cross-rank coordination (distributed
+//    locks, journal contention, metadata migration) is a narrow shared
+//    resource — which is why 16 MDSs deliver nowhere near 16x (the paper
+//    measures at most 2.4–3.2x, Figs. 4/7).
+//
+// The namespace itself is a straightforward in-memory tree with POSIX
+// permission checks; data placement is the client's business (CephFS
+// clients talk to OSDs directly).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/vfs.h"
+#include "meta/inode.h"
+#include "rpc/fabric.h"
+#include "sim/models.h"
+
+namespace arkfs::baselines {
+
+struct MdsConfig {
+  int num_ranks = 1;
+  int service_threads_per_rank = 1;    // Ceph MDS: mostly single-threaded
+  Nanos service_time{Micros(30)};      // per metadata op on the rank
+  sim::NetworkProfile network = sim::NetworkProfile::Datacenter10G();
+  // Multi-rank overheads (no effect with 1 rank):
+  double forward_probability = 0.3;    // request lands on the wrong rank
+  int coordination_width = 3;          // shared lock/journal resource
+  Nanos coordination_time{Micros(25)};
+
+  static MdsConfig Ranks(int n) {
+    MdsConfig c;
+    c.num_ranks = n;
+    return c;
+  }
+  static MdsConfig Instant() {
+    MdsConfig c;
+    c.service_time = Nanos(0);
+    c.coordination_time = Nanos(0);
+    c.network = sim::NetworkProfile::Instant();
+    return c;
+  }
+};
+
+// One logical file/directory in the MDS namespace.
+struct MdsNode {
+  Inode inode;
+  std::map<std::string, Uuid> children;  // directories only
+};
+
+class MdsCluster {
+ public:
+  explicit MdsCluster(MdsConfig config);
+
+  const MdsConfig& config() const { return config_; }
+  std::uint64_t ops_served() const { return ops_.load(); }
+  std::uint64_t forwards() const { return forwards_.load(); }
+
+  // Charges the full cost of one metadata request whose target directory is
+  // the parent of `path`: network RTT, rank service time (queued), forward
+  // hops and cross-rank coordination. Called by client stubs before the
+  // namespace operation.
+  void ChargeRequest(const std::string& path);
+
+  // --- namespace operations (pure in-memory state + permission checks) ---
+  Result<Inode> Lookup(const std::string& path, const UserCred& cred);
+  Result<Inode> Create(const std::string& path, std::uint32_t mode,
+                       bool exclusive, FileType type,
+                       const std::string& symlink_target,
+                       const UserCred& cred);
+  Result<Inode> Mkdir(const std::string& path, std::uint32_t mode,
+                      const UserCred& cred);
+  Status Unlink(const std::string& path, const UserCred& cred, Inode* removed);
+  Status Rmdir(const std::string& path, const UserCred& cred);
+  Status Rename(const std::string& from, const std::string& to,
+                const UserCred& cred, Inode* replaced);
+  Result<std::vector<Dentry>> ReadDir(const std::string& path,
+                                      const UserCred& cred);
+  Result<Inode> SetAttr(const std::string& path, const SetAttrRequest& req,
+                        const UserCred& cred);
+  Status SetAcl(const std::string& path, const Acl& acl, const UserCred& cred);
+  Status CommitSize(const std::string& path, std::uint64_t size,
+                    std::int64_t mtime, const UserCred& cred);
+
+ private:
+  // A bounded service resource: `width` concurrent holders, each occupying
+  // a slot for the given duration. Callers beyond the width queue — the
+  // saturation behaviour the motivation experiment (Fig. 1) demonstrates.
+  class ServiceQueue {
+   public:
+    ServiceQueue(int width, Nanos service_time)
+        : width_(width), service_(service_time) {}
+    void Serve();
+
+   private:
+    const int width_;
+    const sim::LatencyModel service_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    int active_ = 0;
+  };
+
+  Result<MdsNode*> ResolveDirLocked(const std::string& path,
+                                    const UserCred& cred);
+  struct ParentRef {
+    MdsNode* dir;
+    std::string name;
+  };
+  Result<ParentRef> ResolveParentLocked(const std::string& path,
+                                        const UserCred& cred);
+  MdsNode* FindLocked(const Uuid& ino);
+  int OwnerRank(const std::string& path) const;
+
+  const MdsConfig config_;
+  sim::LatencyModel rtt_;
+  std::vector<std::unique_ptr<ServiceQueue>> ranks_;
+  std::unique_ptr<ServiceQueue> coordination_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> forwards_{0};
+  std::atomic<std::uint64_t> charge_seq_{0};
+
+  std::mutex tree_mu_;
+  std::unordered_map<Uuid, MdsNode> nodes_;
+};
+
+using MdsClusterPtr = std::shared_ptr<MdsCluster>;
+
+}  // namespace arkfs::baselines

@@ -1,0 +1,493 @@
+#include "baselines/s3fs_like.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/codec.h"
+#include "meta/path.h"
+
+namespace arkfs::baselines {
+namespace {
+// In-memory read buffers are capped; the *time* cost of a bigger window is
+// still charged through the store's latency/bandwidth model, but we do not
+// hold hundreds of MB per stream.
+constexpr std::uint64_t kRaBufferCap = 64ull << 20;
+constexpr int kMaxParallelFetch = 8;
+// Concurrent ranged-GET granularity (goofys splits its giant window into
+// parallel range requests of a few MB each).
+constexpr std::uint64_t kFetchGrain = 4ull << 20;
+}  // namespace
+
+Bytes S3FsLikeVfs::Meta::Encode() const {
+  Encoder enc(64);
+  enc.PutU8(static_cast<std::uint8_t>(type));
+  enc.PutU32(mode);
+  enc.PutU32(uid);
+  enc.PutU32(gid);
+  enc.PutU64(size);
+  enc.PutI64(mtime_sec);
+  enc.PutString(symlink_target);
+  return std::move(enc).Take();
+}
+
+Result<S3FsLikeVfs::Meta> S3FsLikeVfs::Meta::Decode(ByteSpan data) {
+  Decoder dec(data);
+  Meta m;
+  ARKFS_ASSIGN_OR_RETURN(std::uint8_t type, dec.GetU8());
+  if (type > static_cast<std::uint8_t>(FileType::kSymlink)) {
+    return ErrStatus(Errc::kIo, "bad meta type");
+  }
+  m.type = static_cast<FileType>(type);
+  ARKFS_ASSIGN_OR_RETURN(m.mode, dec.GetU32());
+  ARKFS_ASSIGN_OR_RETURN(m.uid, dec.GetU32());
+  ARKFS_ASSIGN_OR_RETURN(m.gid, dec.GetU32());
+  ARKFS_ASSIGN_OR_RETURN(m.size, dec.GetU64());
+  ARKFS_ASSIGN_OR_RETURN(m.mtime_sec, dec.GetI64());
+  ARKFS_ASSIGN_OR_RETURN(m.symlink_target, dec.GetString());
+  return m;
+}
+
+S3FsLikeVfs::S3FsLikeVfs(ObjectStorePtr store, S3FsLikeOptions options)
+    : store_(std::move(store)),
+      options_(options),
+      part_size_(store_->max_object_size()) {
+  if (options_.shared_disk) {
+    disk_ = options_.shared_disk;
+  } else {
+    disk_ = std::make_shared<sim::SharedLink>(
+        options_.disk_cache ? options_.disk_bandwidth_bps : 0);
+  }
+}
+
+std::string S3FsLikeVfs::PartKey(const std::string& path,
+                                 std::uint64_t part) const {
+  char suffix[24];
+  std::snprintf(suffix, sizeof(suffix), ":%012llu",
+                static_cast<unsigned long long>(part));
+  return "f:" + path + suffix;
+}
+
+Result<S3FsLikeVfs::Meta> S3FsLikeVfs::LoadMeta(const std::string& path) {
+  if (path == "/") {
+    Meta root;
+    root.type = FileType::kDirectory;
+    root.mode = 0755;
+    return root;
+  }
+  ARKFS_ASSIGN_OR_RETURN(Bytes raw, store_->Get(MetaKey(path)));
+  return Meta::Decode(raw);
+}
+
+Status S3FsLikeVfs::StoreMeta(const std::string& path, const Meta& meta) {
+  return store_->Put(MetaKey(path), meta.Encode());
+}
+
+Result<Fd> S3FsLikeVfs::Open(const std::string& path,
+                             const OpenOptions& options,
+                             const UserCred& cred) {
+  ARKFS_RETURN_IF_ERROR(SplitPath(path).status());
+  auto meta = LoadMeta(path);
+  if (!meta.ok()) {
+    if (meta.code() != Errc::kNoEnt || !options.create) return meta.status();
+    // Parent must exist as a directory marker.
+    ARKFS_ASSIGN_OR_RETURN(auto split, SplitParentOf(path));
+    ARKFS_ASSIGN_OR_RETURN(Meta parent, LoadMeta(split.parent));
+    if (parent.type != FileType::kDirectory) return ErrStatus(Errc::kNotDir);
+    Meta fresh;
+    fresh.mode = options.mode;
+    fresh.uid = cred.uid;
+    fresh.gid = cred.gid;
+    fresh.mtime_sec = WallClockSeconds();
+    ARKFS_RETURN_IF_ERROR(StoreMeta(path, fresh));
+    meta = fresh;
+  } else if (options.create && options.exclusive) {
+    return ErrStatus(Errc::kExist, path);
+  }
+  if (meta->type == FileType::kDirectory) return ErrStatus(Errc::kIsDir, path);
+  if (meta->type == FileType::kSymlink) {
+    OpenOptions follow = options;
+    follow.create = false;
+    return Open(meta->symlink_target, follow, cred);
+  }
+
+  OpenFile of;
+  of.path = path;
+  of.options = options;
+  of.size = meta->size;
+  if (options.truncate && options.write && meta->size > 0) {
+    ARKFS_RETURN_IF_ERROR(DeleteParts(path, meta->size));
+    meta->size = 0;
+    of.size = 0;
+    ARKFS_RETURN_IF_ERROR(StoreMeta(path, *meta));
+  }
+  if (options.write && of.size > 0) {
+    // Path-as-key stores rewrite whole objects: bring the current content
+    // into the staging area (this is S3FS's read-modify-write behaviour).
+    ARKFS_ASSIGN_OR_RETURN(of.staged, FetchRange(of, 0, of.size));
+  }
+
+  std::lock_guard lock(mu_);
+  const Fd fd = next_fd_++;
+  open_files_.emplace(fd, std::move(of));
+  return fd;
+}
+
+Status S3FsLikeVfs::UploadStaged(OpenFile& of, bool final_flush) {
+  if (options_.disk_cache && of.dirty && final_flush) {
+    // S3FS reads the whole staged file back from the disk cache before
+    // uploading — the expensive second pass.
+    disk_->Transfer(of.staged.size());
+  }
+  const std::uint64_t full_parts = of.staged.size() / part_size_;
+  const std::uint64_t upload_until =
+      final_flush ? (of.staged.size() + part_size_ - 1) / part_size_
+                  : full_parts;
+  for (std::uint64_t part = of.uploaded_parts; part < upload_until; ++part) {
+    const std::uint64_t begin = part * part_size_;
+    const std::uint64_t len =
+        std::min<std::uint64_t>(part_size_, of.staged.size() - begin);
+    ARKFS_RETURN_IF_ERROR(store_->Put(
+        PartKey(of.path, part), ByteSpan(of.staged.data() + begin, len)));
+    if (!final_flush) of.uploaded_parts = part + 1;
+  }
+  if (final_flush && of.dirty) {
+    Meta meta;
+    auto existing = LoadMeta(of.path);
+    if (existing.ok()) meta = *existing;
+    meta.size = std::max<std::uint64_t>(of.size, of.staged.size());
+    meta.mtime_sec = WallClockSeconds();
+    ARKFS_RETURN_IF_ERROR(StoreMeta(of.path, meta));
+    of.size = meta.size;
+    of.dirty = false;
+  }
+  return Status::Ok();
+}
+
+Result<std::uint64_t> S3FsLikeVfs::Write(Fd fd, std::uint64_t offset,
+                                         ByteSpan data) {
+  std::unique_lock lock(mu_);
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return ErrStatus(Errc::kBadF);
+  OpenFile& of = it->second;
+  if (!of.options.write) return ErrStatus(Errc::kBadF);
+  if (of.options.append) offset = std::max<std::uint64_t>(of.size, of.staged.size());
+  if (of.staged.size() < offset + data.size()) {
+    of.staged.resize(offset + data.size(), 0);
+  }
+  std::memcpy(of.staged.data() + offset, data.data(), data.size());
+  of.dirty = true;
+  of.size = std::max<std::uint64_t>(of.size, offset + data.size());
+
+  if (options_.disk_cache) {
+    // Every write passes through the local disk cache first.
+    lock.unlock();
+    disk_->Transfer(data.size());
+    return data.size();
+  }
+  if (options_.stream_parts) {
+    // goofys: ship completed parts immediately.
+    ARKFS_RETURN_IF_ERROR(UploadStaged(of, /*final_flush=*/false));
+  }
+  return data.size();
+}
+
+Result<Bytes> S3FsLikeVfs::FetchRange(OpenFile& of, std::uint64_t offset,
+                                      std::uint64_t length) {
+  if (offset >= of.size) return Bytes{};
+  length = std::min(length, of.size - offset);
+  Bytes out(length, 0);
+
+  // Split the window into ranged sub-fetches (never crossing a part
+  // boundary) and issue them concurrently — goofys fills its giant
+  // read-ahead buffer exactly this way. The store's per-node links still
+  // bound the aggregate bandwidth.
+  struct SubFetch {
+    std::uint64_t begin;  // absolute file offset
+    std::uint64_t len;
+    Result<Bytes> data = Bytes{};
+  };
+  std::vector<SubFetch> fetches;
+  for (std::uint64_t pos = offset; pos < offset + length;) {
+    const std::uint64_t part_end = (pos / part_size_ + 1) * part_size_;
+    const std::uint64_t end =
+        std::min({offset + length, part_end, pos + kFetchGrain});
+    fetches.push_back({pos, end - pos});
+    pos = end;
+  }
+  const int width =
+      std::min<int>(kMaxParallelFetch, static_cast<int>(fetches.size()));
+  std::vector<std::thread> workers;
+  std::atomic<std::size_t> next{0};
+  for (int w = 0; w < width; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= fetches.size()) break;
+        SubFetch& f = fetches[i];
+        f.data = store_->GetRange(PartKey(of.path, f.begin / part_size_),
+                                  f.begin % part_size_, f.len);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  std::uint64_t fetched_bytes = 0;
+  for (auto& f : fetches) {
+    if (!f.data.ok()) {
+      if (f.data.code() == Errc::kNoEnt) continue;  // hole
+      return f.data.status();
+    }
+    std::memcpy(out.data() + (f.begin - offset), f.data->data(),
+                std::min<std::uint64_t>(f.data->size(), f.len));
+    fetched_bytes += f.data->size();
+  }
+  if (options_.disk_cache) {
+    // S3FS bounces everything through the local disk cache: one pass to
+    // land the fetched bytes, one pass to read the requested range back.
+    disk_->Transfer(fetched_bytes);
+    disk_->Transfer(length);
+  }
+  return out;
+}
+
+Result<Bytes> S3FsLikeVfs::Read(Fd fd, std::uint64_t offset,
+                                std::uint64_t length) {
+  std::unique_lock lock(mu_);
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return ErrStatus(Errc::kBadF);
+  OpenFile& of = it->second;
+  if (!of.options.read) return ErrStatus(Errc::kBadF);
+
+  // Serve from staged data when this handle wrote it.
+  if (of.dirty || (!of.staged.empty() && of.options.write)) {
+    if (offset >= of.staged.size()) return Bytes{};
+    const std::uint64_t n =
+        std::min<std::uint64_t>(length, of.staged.size() - offset);
+    return Bytes(of.staged.begin() + offset, of.staged.begin() + offset + n);
+  }
+
+  // Read-ahead buffer hit?
+  if (!of.ra_buffer.empty() && offset >= of.ra_offset &&
+      offset + length <= of.ra_offset + of.ra_buffer.size()) {
+    const std::uint64_t begin = offset - of.ra_offset;
+    return Bytes(of.ra_buffer.begin() + begin,
+                 of.ra_buffer.begin() + begin + std::min<std::uint64_t>(
+                     length, of.ra_buffer.size() - begin));
+  }
+
+  const std::uint64_t window =
+      std::clamp<std::uint64_t>(options_.readahead, length, kRaBufferCap);
+  ARKFS_ASSIGN_OR_RETURN(Bytes fetched, FetchRange(of, offset, window));
+  of.ra_offset = offset;
+  of.ra_buffer = fetched;
+  const std::uint64_t n = std::min<std::uint64_t>(length, fetched.size());
+  return Bytes(fetched.begin(), fetched.begin() + n);
+}
+
+Status S3FsLikeVfs::Fsync(Fd fd) {
+  std::lock_guard lock(mu_);
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return ErrStatus(Errc::kBadF);
+  return UploadStaged(it->second, /*final_flush=*/true);
+}
+
+Status S3FsLikeVfs::Close(Fd fd) {
+  std::lock_guard lock(mu_);
+  auto it = open_files_.find(fd);
+  if (it == open_files_.end()) return ErrStatus(Errc::kBadF);
+  Status st = UploadStaged(it->second, /*final_flush=*/true);
+  open_files_.erase(it);
+  return st;
+}
+
+Result<StatResult> S3FsLikeVfs::Stat(const std::string& path,
+                                     const UserCred&) {
+  ARKFS_ASSIGN_OR_RETURN(Meta meta, LoadMeta(path));
+  StatResult st;
+  st.type = meta.type;
+  st.mode = meta.mode;
+  st.uid = meta.uid;
+  st.gid = meta.gid;
+  st.size = meta.size;
+  st.mtime_sec = meta.mtime_sec;
+  st.nlink = 1;
+  return st;
+}
+
+Status S3FsLikeVfs::Mkdir(const std::string& path, std::uint32_t mode,
+                          const UserCred& cred) {
+  if (LoadMeta(path).ok()) return ErrStatus(Errc::kExist, path);
+  ARKFS_ASSIGN_OR_RETURN(auto split, SplitParentOf(path));
+  ARKFS_ASSIGN_OR_RETURN(Meta parent, LoadMeta(split.parent));
+  if (parent.type != FileType::kDirectory) return ErrStatus(Errc::kNotDir);
+  Meta meta;
+  meta.type = FileType::kDirectory;
+  meta.mode = mode;
+  meta.uid = cred.uid;
+  meta.gid = cred.gid;
+  meta.mtime_sec = WallClockSeconds();
+  return StoreMeta(path, meta);
+}
+
+Result<std::vector<Dentry>> S3FsLikeVfs::ReadDir(const std::string& path,
+                                                 const UserCred&) {
+  ARKFS_ASSIGN_OR_RETURN(Meta meta, LoadMeta(path));
+  if (meta.type != FileType::kDirectory) return ErrStatus(Errc::kNotDir, path);
+  const std::string prefix =
+      path == "/" ? std::string("m:/") : "m:" + path + "/";
+  ARKFS_ASSIGN_OR_RETURN(auto keys, store_->List(prefix));
+  std::vector<Dentry> out;
+  for (const auto& key : keys) {
+    const std::string rest = key.substr(prefix.size());
+    if (rest.empty() || rest.find('/') != std::string::npos) continue;
+    auto child = LoadMeta(key.substr(2));
+    Dentry d;
+    d.name = rest;
+    d.type = child.ok() ? child->type : FileType::kRegular;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+Status S3FsLikeVfs::Rmdir(const std::string& path, const UserCred& cred) {
+  ARKFS_ASSIGN_OR_RETURN(Meta meta, LoadMeta(path));
+  if (meta.type != FileType::kDirectory) return ErrStatus(Errc::kNotDir, path);
+  ARKFS_ASSIGN_OR_RETURN(auto entries, ReadDir(path, cred));
+  if (!entries.empty()) return ErrStatus(Errc::kNotEmpty, path);
+  return store_->Delete(MetaKey(path));
+}
+
+Status S3FsLikeVfs::DeleteParts(const std::string& path, std::uint64_t size) {
+  const std::uint64_t parts =
+      size == 0 ? 0 : (size - 1) / part_size_ + 1;
+  for (std::uint64_t p = 0; p < parts; ++p) {
+    Status st = store_->Delete(PartKey(path, p));
+    if (!st.ok() && st.code() != Errc::kNoEnt) return st;
+  }
+  return Status::Ok();
+}
+
+Status S3FsLikeVfs::Unlink(const std::string& path, const UserCred&) {
+  ARKFS_ASSIGN_OR_RETURN(Meta meta, LoadMeta(path));
+  if (meta.type == FileType::kDirectory) return ErrStatus(Errc::kIsDir, path);
+  ARKFS_RETURN_IF_ERROR(DeleteParts(path, meta.size));
+  return store_->Delete(MetaKey(path));
+}
+
+Status S3FsLikeVfs::Rename(const std::string& from, const std::string& to,
+                           const UserCred& cred) {
+  ARKFS_ASSIGN_OR_RETURN(Meta meta, LoadMeta(from));
+  if (meta.type == FileType::kDirectory) {
+    // The paper's pain point: renaming a directory rewrites every object
+    // under it (the key embeds the path).
+    ARKFS_ASSIGN_OR_RETURN(auto entries, ReadDir(from, cred));
+    ARKFS_RETURN_IF_ERROR(StoreMeta(to, meta));
+    for (const auto& entry : entries) {
+      ARKFS_RETURN_IF_ERROR(
+          Rename(from + "/" + entry.name, to + "/" + entry.name, cred));
+    }
+    return store_->Delete(MetaKey(from));
+  }
+  // Copy every data part (GET + PUT), then the metadata, then delete.
+  const std::uint64_t parts =
+      meta.size == 0 ? 0 : (meta.size - 1) / part_size_ + 1;
+  for (std::uint64_t p = 0; p < parts; ++p) {
+    auto data = store_->Get(PartKey(from, p));
+    if (!data.ok()) {
+      if (data.code() == Errc::kNoEnt) continue;
+      return data.status();
+    }
+    ARKFS_RETURN_IF_ERROR(store_->Put(PartKey(to, p), *data));
+  }
+  ARKFS_RETURN_IF_ERROR(StoreMeta(to, meta));
+  ARKFS_RETURN_IF_ERROR(DeleteParts(from, meta.size));
+  return store_->Delete(MetaKey(from));
+}
+
+Status S3FsLikeVfs::SetAttr(const std::string& path, const SetAttrRequest& req,
+                            const UserCred&) {
+  // "Permission check is not done rigorously" (paper §II-C) — faithfully
+  // lax: attributes are updated without ownership checks.
+  ARKFS_ASSIGN_OR_RETURN(Meta meta, LoadMeta(path));
+  if (req.mask & kSetMode) meta.mode = req.mode & 07777;
+  if (req.mask & kSetUid) meta.uid = req.uid;
+  if (req.mask & kSetGid) meta.gid = req.gid;
+  if (req.mask & kSetSize) {
+    if (meta.type == FileType::kDirectory) return ErrStatus(Errc::kIsDir);
+    if (req.size < meta.size) {
+      // Whole-object semantics: truncation rewrites the boundary part.
+      ARKFS_ASSIGN_OR_RETURN(auto split, SplitParentOf(path));
+      (void)split;
+      const std::uint64_t keep_parts =
+          req.size == 0 ? 0 : (req.size - 1) / part_size_ + 1;
+      const std::uint64_t old_parts =
+          meta.size == 0 ? 0 : (meta.size - 1) / part_size_ + 1;
+      for (std::uint64_t p = keep_parts; p < old_parts; ++p) {
+        Status st = store_->Delete(PartKey(path, p));
+        if (!st.ok() && st.code() != Errc::kNoEnt) return st;
+      }
+      if (keep_parts > 0 && req.size % part_size_ != 0) {
+        auto data = store_->Get(PartKey(path, keep_parts - 1));
+        if (data.ok()) {
+          data->resize(req.size - (keep_parts - 1) * part_size_);
+          ARKFS_RETURN_IF_ERROR(store_->Put(PartKey(path, keep_parts - 1), *data));
+        }
+      }
+    }
+    meta.size = req.size;
+  }
+  if (req.mask & kSetMtime) meta.mtime_sec = req.mtime_sec;
+  return StoreMeta(path, meta);
+}
+
+Status S3FsLikeVfs::Symlink(const std::string& target, const std::string& path,
+                            const UserCred& cred) {
+  if (LoadMeta(path).ok()) return ErrStatus(Errc::kExist, path);
+  Meta meta;
+  meta.type = FileType::kSymlink;
+  meta.mode = 0777;
+  meta.uid = cred.uid;
+  meta.gid = cred.gid;
+  meta.symlink_target = target;
+  meta.size = target.size();
+  return StoreMeta(path, meta);
+}
+
+Result<std::string> S3FsLikeVfs::ReadLink(const std::string& path,
+                                          const UserCred&) {
+  ARKFS_ASSIGN_OR_RETURN(Meta meta, LoadMeta(path));
+  if (meta.type != FileType::kSymlink) return ErrStatus(Errc::kInval, path);
+  return meta.symlink_target;
+}
+
+Status S3FsLikeVfs::SetAcl(const std::string&, const Acl&, const UserCred&) {
+  // Neither S3FS nor goofys supports POSIX ACLs.
+  return ErrStatus(Errc::kNotSup, "s3fs-like: no ACL support");
+}
+
+Result<Acl> S3FsLikeVfs::GetAcl(const std::string&, const UserCred&) {
+  return ErrStatus(Errc::kNotSup, "s3fs-like: no ACL support");
+}
+
+Status S3FsLikeVfs::SyncAll() {
+  std::lock_guard lock(mu_);
+  for (auto& [_, of] : open_files_) {
+    ARKFS_RETURN_IF_ERROR(UploadStaged(of, /*final_flush=*/true));
+  }
+  return Status::Ok();
+}
+
+VfsPtr MakeS3FsLike(ObjectStorePtr store,
+                    std::shared_ptr<sim::SharedLink> shared_disk) {
+  S3FsLikeOptions options = S3FsLikeOptions::S3Fs();
+  options.shared_disk = std::move(shared_disk);
+  return std::make_shared<S3FsLikeVfs>(std::move(store), std::move(options));
+}
+
+VfsPtr MakeGoofysLike(ObjectStorePtr store) {
+  return std::make_shared<S3FsLikeVfs>(std::move(store),
+                                       S3FsLikeOptions::Goofys());
+}
+
+}  // namespace arkfs::baselines

@@ -1,0 +1,385 @@
+#include "cache/object_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace arkfs {
+
+ObjectCache::ObjectCache(std::shared_ptr<Prt> prt, CacheConfig config)
+    : config_(config), prt_(std::move(prt)) {
+  readahead_pool_ = std::make_unique<ThreadPool>(
+      static_cast<std::size_t>(std::max(config_.readahead_threads, 1)));
+}
+
+ObjectCache::~ObjectCache() {
+  readahead_pool_->Shutdown();
+  Status st = FlushAll();
+  if (!st.ok()) {
+    ARKFS_WLOG << "cache destructor flush failed: " << st.ToString();
+  }
+}
+
+ObjectCache::FileState& ObjectCache::FileFor(const Uuid& ino) {
+  return files_[ino];
+}
+
+void ObjectCache::TouchLru(const EntryPtr& entry) {
+  lru_.erase(entry->lru_pos);
+  lru_.emplace_front(entry->ino, entry->index);
+  entry->lru_pos = lru_.begin();
+}
+
+Status ObjectCache::LoadEntry(std::unique_lock<std::mutex>& lock,
+                              const EntryPtr& entry, std::uint64_t file_size) {
+  const std::uint64_t offset = entry->index * config_.entry_size;
+  Bytes data;
+  Status st = Status::Ok();
+  if (offset < file_size) {
+    const std::uint64_t want =
+        std::min<std::uint64_t>(config_.entry_size, file_size - offset);
+    lock.unlock();  // store I/O happens without the cache lock
+    auto loaded = prt_->ReadData(entry->ino, offset, want, file_size);
+    lock.lock();
+    if (loaded.ok()) {
+      data = std::move(*loaded);
+    } else {
+      st = loaded.status();
+    }
+  }
+  if (st.ok() && !entry->dirty) {
+    // A concurrent write may have populated the entry while we were loading;
+    // never clobber dirty bytes with stale store data.
+    entry->data = std::move(data);
+  }
+  if (!st.ok() && !entry->dirty) {
+    // Never leave a zombie empty entry behind: a later read would hit it
+    // and see zeros instead of the store's data. Drop it so the next access
+    // retries the load.
+    auto fit = files_.find(entry->ino);
+    if (fit != files_.end()) {
+      EntryPtr* found = fit->second.entries.Find(entry->index);
+      if (found && *found == entry) {
+        lru_.erase(entry->lru_pos);
+        fit->second.entries.Erase(entry->index);
+      }
+    }
+  }
+  entry->loading = false;
+  load_cv_.notify_all();
+  return st;
+}
+
+Result<ObjectCache::EntryPtr> ObjectCache::GetEntryLocked(
+    std::unique_lock<std::mutex>& lock, const Uuid& ino, std::uint64_t index,
+    std::uint64_t file_size, bool load_if_miss) {
+  while (true) {
+    FileState& fs = FileFor(ino);
+    if (EntryPtr* found = fs.entries.Find(index)) {
+      EntryPtr entry = *found;
+      if (entry->loading) {
+        // Waiting drops the lock; the entry may be evicted (or even
+        // re-created) meanwhile — revalidate from scratch afterwards.
+        load_cv_.wait(lock, [&] { return !entry->loading; });
+        continue;
+      }
+      ++stats_.hits;
+      TouchLru(entry);
+      ++entry->pins;
+      return entry;
+    }
+    ++stats_.misses;
+    auto entry = std::make_shared<Entry>();
+    entry->ino = ino;
+    entry->index = index;
+    entry->loading = load_if_miss;
+    entry->pins = 1;  // caller's pin, held through load + eviction below
+    lru_.emplace_front(ino, index);
+    entry->lru_pos = lru_.begin();
+    fs.entries.Insert(index, entry);
+    if (load_if_miss) {
+      Status st = LoadEntry(lock, entry, file_size);
+      if (!st.ok()) {
+        UnpinLocked(entry);
+        return st;
+      }
+    }
+    Status st = EvictIfNeededLocked(lock);
+    if (!st.ok()) {
+      UnpinLocked(entry);
+      return st;
+    }
+    return entry;
+  }
+}
+
+Status ObjectCache::EvictIfNeededLocked(std::unique_lock<std::mutex>& lock) {
+  // Flushing a dirty victim drops the lock, after which every iterator and
+  // scan position is stale — so each round rescans the LRU from the cold
+  // end. The safety bound keeps a re-dirtying writer from starving us;
+  // capacity is advisory under that kind of pressure.
+  for (int rounds = 0;
+       lru_.size() > config_.max_entries && rounds < 256; ++rounds) {
+    EntryPtr victim;
+    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+      auto [ino, index] = *rit;
+      auto fit = files_.find(ino);
+      if (fit == files_.end()) continue;
+      EntryPtr* found = fit->second.entries.Find(index);
+      if (found && !(*found)->loading && (*found)->pins == 0) {
+        victim = *found;
+        break;
+      }
+    }
+    if (!victim) return Status::Ok();  // everything in flight
+    if (victim->dirty) {
+      ARKFS_RETURN_IF_ERROR(FlushEntryLocked(lock, victim));
+      // Lock was dropped: re-evaluate the world before touching anything.
+      continue;
+    }
+    auto fit = files_.find(victim->ino);
+    if (fit == files_.end()) continue;
+    EntryPtr* found = fit->second.entries.Find(victim->index);
+    if (found && *found == victim && !victim->loading && !victim->dirty &&
+        victim->pins == 0) {
+      lru_.erase(victim->lru_pos);
+      fit->second.entries.Erase(victim->index);
+      ++stats_.evictions;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ObjectCache::FlushEntryLocked(std::unique_lock<std::mutex>& lock,
+                                     const EntryPtr& entry) {
+  if (!entry->dirty) return Status::Ok();
+  const Bytes snapshot = entry->data;  // copy under lock
+  entry->dirty = false;
+  const std::uint64_t offset = entry->index * config_.entry_size;
+  lock.unlock();
+  Status st = prt_->WriteData(entry->ino, offset, snapshot);
+  lock.lock();
+  if (!st.ok()) {
+    entry->dirty = true;  // retry on next flush
+    return st;
+  }
+  ++stats_.writebacks;
+  return Status::Ok();
+}
+
+Result<Bytes> ObjectCache::Read(const Uuid& ino, std::uint64_t file_size,
+                                std::uint64_t offset, std::uint64_t length) {
+  if (offset >= file_size) return Bytes{};
+  length = std::min(length, file_size - offset);
+  Bytes out(length, 0);
+
+  std::unique_lock lock(mu_);
+  MaybeReadAhead(lock, ino, offset, length, file_size);
+  std::uint64_t done = 0;
+  while (done < length) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t index = pos / config_.entry_size;
+    const std::uint64_t in_entry = pos % config_.entry_size;
+    const std::uint64_t n =
+        std::min(length - done, config_.entry_size - in_entry);
+    ARKFS_ASSIGN_OR_RETURN(
+        EntryPtr entry,
+        GetEntryLocked(lock, ino, index, file_size, /*load_if_miss=*/true));
+    if (in_entry < entry->data.size()) {
+      const std::uint64_t avail =
+          std::min<std::uint64_t>(n, entry->data.size() - in_entry);
+      std::memcpy(out.data() + done, entry->data.data() + in_entry, avail);
+    }
+    UnpinLocked(entry);
+    // Bytes past the entry's valid length read as zeros (holes).
+    done += n;
+  }
+  return out;
+}
+
+Status ObjectCache::Write(const Uuid& ino, std::uint64_t file_size,
+                          std::uint64_t offset, ByteSpan data) {
+  std::unique_lock lock(mu_);
+  std::uint64_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t index = pos / config_.entry_size;
+    const std::uint64_t in_entry = pos % config_.entry_size;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(data.size() - done, config_.entry_size - in_entry);
+    // Only pre-load the entry when existing file bytes could be clobbered:
+    // a full-entry overwrite, or a write entirely past EOF, needs no read.
+    const std::uint64_t entry_start = index * config_.entry_size;
+    const bool covers_whole_entry = in_entry == 0 && n == config_.entry_size;
+    const bool beyond_eof = entry_start >= file_size;
+    const bool need_load = !covers_whole_entry && !beyond_eof;
+    ARKFS_ASSIGN_OR_RETURN(
+        EntryPtr entry, GetEntryLocked(lock, ino, index, file_size, need_load));
+    if (entry->data.size() < in_entry + n) entry->data.resize(in_entry + n, 0);
+    std::memcpy(entry->data.data() + in_entry, data.data() + done, n);
+    entry->dirty = true;
+    UnpinLocked(entry);
+    done += n;
+  }
+  return Status::Ok();
+}
+
+Status ObjectCache::FlushFile(const Uuid& ino) {
+  std::unique_lock lock(mu_);
+  auto it = files_.find(ino);
+  if (it == files_.end()) return Status::Ok();
+  // Snapshot the dirty set first: flushing drops the lock, and the radix
+  // tree must not be walked while unlocked.
+  std::vector<EntryPtr> dirty;
+  it->second.entries.ForEach([&](std::uint64_t, EntryPtr& e) {
+    if (e->dirty) dirty.push_back(e);
+  });
+  for (const auto& entry : dirty) {
+    ARKFS_RETURN_IF_ERROR(FlushEntryLocked(lock, entry));
+  }
+  return Status::Ok();
+}
+
+Status ObjectCache::DropFile(const Uuid& ino, bool flush_dirty) {
+  if (flush_dirty) {
+    ARKFS_RETURN_IF_ERROR(FlushFile(ino));
+  }
+  std::unique_lock lock(mu_);
+  auto it = files_.find(ino);
+  if (it == files_.end()) return Status::Ok();
+  // Wait out in-flight loads so read-ahead workers don't resurrect state.
+  bool any_loading = true;
+  while (any_loading) {
+    any_loading = false;
+    it->second.entries.ForEach([&](std::uint64_t, EntryPtr& e) {
+      if (e->loading) any_loading = true;
+    });
+    if (any_loading) load_cv_.wait(lock);
+  }
+  it->second.entries.ForEach(
+      [&](std::uint64_t, EntryPtr& e) { lru_.erase(e->lru_pos); });
+  files_.erase(it);
+  return Status::Ok();
+}
+
+Status ObjectCache::FlushAll() {
+  std::vector<Uuid> inos;
+  {
+    std::lock_guard lock(mu_);
+    inos.reserve(files_.size());
+    for (const auto& [ino, _] : files_) inos.push_back(ino);
+  }
+  for (const auto& ino : inos) {
+    ARKFS_RETURN_IF_ERROR(FlushFile(ino));
+  }
+  return Status::Ok();
+}
+
+Status ObjectCache::DropAll() {
+  std::vector<Uuid> inos;
+  {
+    std::lock_guard lock(mu_);
+    inos.reserve(files_.size());
+    for (const auto& [ino, _] : files_) inos.push_back(ino);
+  }
+  for (const auto& ino : inos) {
+    ARKFS_RETURN_IF_ERROR(DropFile(ino, /*flush_dirty=*/true));
+  }
+  return Status::Ok();
+}
+
+bool ObjectCache::HasDirty(const Uuid& ino) const {
+  std::lock_guard lock(mu_);
+  auto it = files_.find(ino);
+  if (it == files_.end()) return false;
+  bool dirty = false;
+  it->second.entries.ForEach([&](std::uint64_t, EntryPtr& e) {
+    if (e->dirty) dirty = true;
+  });
+  return dirty;
+}
+
+void ObjectCache::TruncateFile(const Uuid& ino, std::uint64_t new_size) {
+  std::unique_lock lock(mu_);
+  auto it = files_.find(ino);
+  if (it == files_.end()) return;
+  const std::uint64_t keep_entries =
+      new_size == 0 ? 0 : (new_size - 1) / config_.entry_size + 1;
+  std::vector<std::uint64_t> to_drop;
+  it->second.entries.ForEach([&](std::uint64_t index, EntryPtr& e) {
+    if (index >= keep_entries) {
+      to_drop.push_back(index);
+    } else if (index == keep_entries - 1 && new_size % config_.entry_size) {
+      const std::uint64_t keep = new_size - index * config_.entry_size;
+      if (e->data.size() > keep) e->data.resize(keep);
+    }
+  });
+  for (std::uint64_t index : to_drop) {
+    if (EntryPtr* e = it->second.entries.Find(index)) {
+      lru_.erase((*e)->lru_pos);
+      it->second.entries.Erase(index);
+    }
+  }
+}
+
+void ObjectCache::MaybeReadAhead(std::unique_lock<std::mutex>&,
+                                 const Uuid& ino, std::uint64_t offset,
+                                 std::uint64_t length,
+                                 std::uint64_t file_size) {
+  FileState& fs = FileFor(ino);
+  if (offset == 0) {
+    // Read from the very beginning: assume a full sequential pass and open
+    // the window to the maximum immediately (paper's optimization).
+    fs.ra_window = config_.max_readahead;
+  } else if (offset == fs.ra_next_offset) {
+    fs.ra_window = fs.ra_window == 0
+                       ? config_.initial_readahead
+                       : std::min<std::uint64_t>(fs.ra_window * 2,
+                                                 config_.max_readahead);
+  } else {
+    fs.ra_window = 0;  // random access: stop prefetching
+  }
+  fs.ra_next_offset = offset + length;
+  if (fs.ra_window == 0) return;
+
+  const std::uint64_t ra_begin =
+      std::max(offset + length, fs.ra_submitted_end);
+  const std::uint64_t ra_end =
+      std::min(offset + length + fs.ra_window, file_size);
+  if (ra_begin >= ra_end) return;
+  fs.ra_submitted_end = ra_end;
+
+  const std::uint64_t first = ra_begin / config_.entry_size;
+  const std::uint64_t last = (ra_end - 1) / config_.entry_size;
+  for (std::uint64_t index = first; index <= last; ++index) {
+    if (fs.entries.Find(index)) continue;
+    auto entry = std::make_shared<Entry>();
+    entry->ino = ino;
+    entry->index = index;
+    entry->loading = true;
+    lru_.emplace_front(ino, index);
+    entry->lru_pos = lru_.begin();
+    fs.entries.Insert(index, entry);
+    ++stats_.readahead_loads;
+    readahead_pool_->Submit([this, entry, file_size] {
+      std::unique_lock pool_lock(mu_);
+      Status st = LoadEntry(pool_lock, entry, file_size);
+      if (!st.ok()) {
+        ARKFS_DLOG << "read-ahead load failed: " << st.ToString();
+      }
+    });
+  }
+}
+
+CacheStats ObjectCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::size_t ObjectCache::entry_count() const {
+  std::lock_guard lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace arkfs

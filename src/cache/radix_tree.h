@@ -1,0 +1,138 @@
+// Radix tree over 64-bit keys (paper §III-D).
+//
+// "Internally, the radix tree is used to index cached data objects. Due to
+// the large cache entry size, it is very likely to have a shallow depth
+// allowing for faster lookups." — with 2 MiB entries, a 1 TiB file spans
+// only 2^19 entries, i.e. slices of just 4 six-bit levels.
+//
+// 64-way nodes, depth grows on demand (like the Linux page-cache radix
+// tree). Not internally synchronized — callers hold the owning cache lock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace arkfs {
+
+template <typename T>
+class RadixTree {
+  static constexpr int kBits = 6;
+  static constexpr std::size_t kFanout = 1u << kBits;
+  static constexpr std::uint64_t kMask = kFanout - 1;
+
+ public:
+  RadixTree() = default;
+
+  // Inserts or replaces. Returns a reference to the stored value.
+  T& Insert(std::uint64_t key, T value) {
+    GrowToFit(key);
+    Node* node = root_.get();
+    for (int level = height_ - 1; level > 0; --level) {
+      auto& child = node->children[SliceAt(key, level)];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    auto& leaf = node->values[key & kMask];
+    if (!leaf) {
+      leaf = std::make_unique<T>(std::move(value));
+      ++size_;
+    } else {
+      *leaf = std::move(value);
+    }
+    return *leaf;
+  }
+
+  T* Find(std::uint64_t key) const {
+    if (!root_ || !FitsHeight(key)) return nullptr;
+    Node* node = root_.get();
+    for (int level = height_ - 1; level > 0; --level) {
+      node = node->children[SliceAt(key, level)].get();
+      if (!node) return nullptr;
+    }
+    return node->values[key & kMask].get();
+  }
+
+  bool Erase(std::uint64_t key) {
+    if (!root_ || !FitsHeight(key)) return false;
+    Node* node = root_.get();
+    for (int level = height_ - 1; level > 0; --level) {
+      node = node->children[SliceAt(key, level)].get();
+      if (!node) return false;
+    }
+    auto& leaf = node->values[key & kMask];
+    if (!leaf) return false;
+    leaf.reset();
+    --size_;
+    return true;
+  }
+
+  // In-order visit of all (key, value) pairs.
+  void ForEach(const std::function<void(std::uint64_t, T&)>& fn) const {
+    if (root_) Visit(root_.get(), height_ - 1, 0, fn);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const { return height_; }
+
+  void Clear() {
+    root_.reset();
+    height_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    // Inner levels use children; the leaf level uses values. Keeping both
+    // arrays in one node type trades a little memory for simpler growth.
+    std::array<std::unique_ptr<Node>, kFanout> children;
+    std::array<std::unique_ptr<T>, kFanout> values;
+  };
+
+  static int SliceAt(std::uint64_t key, int level) {
+    return static_cast<int>((key >> (kBits * level)) & kMask);
+  }
+
+  bool FitsHeight(std::uint64_t key) const {
+    if (height_ >= 11) return true;  // 11 * 6 = 66 bits covers everything
+    return key < (1ull << (kBits * height_));
+  }
+
+  void GrowToFit(std::uint64_t key) {
+    if (!root_) {
+      root_ = std::make_unique<Node>();
+      height_ = 1;
+    }
+    while (!FitsHeight(key)) {
+      // New root; old tree becomes child 0.
+      auto new_root = std::make_unique<Node>();
+      new_root->children[0] = std::move(root_);
+      root_ = std::move(new_root);
+      ++height_;
+    }
+  }
+
+  void Visit(Node* node, int level, std::uint64_t prefix,
+             const std::function<void(std::uint64_t, T&)>& fn) const {
+    if (level == 0) {
+      for (std::size_t i = 0; i < kFanout; ++i) {
+        if (node->values[i]) fn(prefix | i, *node->values[i]);
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < kFanout; ++i) {
+      if (node->children[i]) {
+        Visit(node->children[i].get(), level - 1,
+              prefix | (i << (kBits * level)), fn);
+      }
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  int height_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace arkfs

@@ -1,0 +1,44 @@
+#include "common/clock.h"
+
+#include <ctime>
+#include <thread>
+
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+
+namespace arkfs {
+
+std::int64_t WallClockSeconds() {
+  return static_cast<std::int64_t>(std::time(nullptr));
+}
+
+namespace {
+// Linux pads nanosleep by the timer slack (50 us default), which would
+// inflate every modeled micro-latency ~3x. Tighten it once per thread.
+void TightenTimerSlackOnce() {
+#if defined(__linux__)
+  thread_local const bool done = [] {
+    prctl(PR_SET_TIMERSLACK, 1000);  // 1 us
+    return true;
+  }();
+  (void)done;
+#endif
+}
+}  // namespace
+
+void SleepFor(Nanos d) {
+  if (d <= Nanos::zero()) return;
+  TightenTimerSlackOnce();
+  std::this_thread::sleep_for(d);
+}
+
+void SpinFor(Nanos d) {
+  if (d <= Nanos::zero()) return;
+  const TimePoint deadline = Now() + d;
+  while (Now() < deadline) {
+    // Busy loop: this models genuine CPU consumption.
+  }
+}
+
+}  // namespace arkfs

@@ -1,0 +1,40 @@
+// Time utilities.
+//
+// All simulated costs in the benchmark harness are expressed in nanoseconds
+// and realized either by sleeping (for modeled *latency* — the thread would
+// genuinely be idle, e.g. waiting on a network round trip) or by spinning
+// (for modeled *CPU burn*, e.g. a FUSE user/kernel crossing, which on real
+// hardware consumes the core). On the single-core CI machine this distinction
+// is what keeps throughput shapes honest.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace arkfs {
+
+using Nanos = std::chrono::nanoseconds;
+using SteadyClock = std::chrono::steady_clock;
+using TimePoint = SteadyClock::time_point;
+
+inline TimePoint Now() { return SteadyClock::now(); }
+
+inline std::int64_t NowNanos() {
+  return std::chrono::duration_cast<Nanos>(Now().time_since_epoch()).count();
+}
+
+// Wall-clock seconds since the Unix epoch (inode timestamps).
+std::int64_t WallClockSeconds();
+
+// Sleep that tolerates spurious early wakeups; never spins.
+void SleepFor(Nanos d);
+
+// Burn CPU for approximately `d`. Used for modeled CPU costs.
+void SpinFor(Nanos d);
+
+// Convenience literals-ish helpers.
+constexpr Nanos Micros(std::int64_t n) { return Nanos(n * 1000); }
+constexpr Nanos Millis(std::int64_t n) { return Nanos(n * 1000000); }
+constexpr Nanos Seconds(std::int64_t n) { return Nanos(n * 1000000000); }
+
+}  // namespace arkfs

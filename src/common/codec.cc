@@ -1,0 +1,95 @@
+#include "common/codec.h"
+
+#include <array>
+
+namespace arkfs {
+
+void Encoder::PutVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+Result<std::uint8_t> Decoder::GetU8() {
+  if (remaining() < 1) return ErrStatus(Errc::kIo, "decode: truncated buffer");
+  return data_[pos_++];
+}
+
+Result<std::int64_t> Decoder::GetI64() {
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t raw, GetU64());
+  return static_cast<std::int64_t>(raw);
+}
+
+Result<std::uint64_t> Decoder::GetVarint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (remaining() < 1) return ErrStatus(Errc::kIo, "decode: truncated varint");
+    std::uint8_t b = data_[pos_++];
+    if (shift >= 64) return ErrStatus(Errc::kIo, "decode: varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if (!(b & 0x80)) return v;
+    shift += 7;
+  }
+}
+
+Result<Uuid> Decoder::GetUuid() {
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t hi, GetU64());
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t lo, GetU64());
+  return Uuid{hi, lo};
+}
+
+Result<std::string> Decoder::GetString() {
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t n, GetVarint());
+  if (remaining() < n) return ErrStatus(Errc::kIo, "decode: truncated string");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Result<Bytes> Decoder::GetBytes() {
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t n, GetVarint());
+  if (remaining() < n) return ErrStatus(Errc::kIo, "decode: truncated bytes");
+  Bytes b(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return b;
+}
+
+Status Decoder::GetRaw(MutableByteSpan out) {
+  if (remaining() < out.size()) {
+    return ErrStatus(Errc::kIo, "decode: truncated raw");
+  }
+  std::memcpy(out.data(), data_.data() + pos_, out.size());
+  pos_ += out.size();
+  return Status::Ok();
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrc32cTable() {
+  std::array<std::uint32_t, 256> table{};
+  constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(ByteSpan data, std::uint32_t seed) {
+  static const auto kTable = MakeCrc32cTable();
+  std::uint32_t crc = ~seed;
+  for (std::uint8_t b : data) {
+    crc = kTable[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace arkfs

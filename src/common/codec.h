@@ -1,0 +1,107 @@
+// Binary serialization codec.
+//
+// Inodes, dentry blocks and journal records are stored as objects, so they
+// need a stable wire format. This is a simple little-endian, length-prefixed
+// codec with explicit bounds checking on the decode side (objects can come
+// back corrupted or truncated after a crash — decoding must never walk off
+// the end of the buffer).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/uuid.h"
+
+namespace arkfs {
+
+class Encoder {
+ public:
+  Encoder() = default;
+  explicit Encoder(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void PutU8(std::uint8_t v) { buf_.push_back(v); }
+  void PutU16(std::uint16_t v) { PutLE(v); }
+  void PutU32(std::uint32_t v) { PutLE(v); }
+  void PutU64(std::uint64_t v) { PutLE(v); }
+  void PutI64(std::int64_t v) { PutLE(static_cast<std::uint64_t>(v)); }
+
+  // Unsigned LEB128; compact for the small values that dominate metadata.
+  void PutVarint(std::uint64_t v);
+
+  void PutUuid(const Uuid& u) {
+    PutU64(u.hi);
+    PutU64(u.lo);
+  }
+
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    PutRaw(AsBytes(s));
+  }
+
+  void PutBytes(ByteSpan b) {
+    PutVarint(b.size());
+    PutRaw(b);
+  }
+
+  void PutRaw(ByteSpan b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+  const Bytes& buffer() const { return buf_; }
+  Bytes Take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void PutLE(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  Bytes buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(ByteSpan data) : data_(data) {}
+
+  Result<std::uint8_t> GetU8();
+  Result<std::uint16_t> GetU16() { return GetLE<std::uint16_t>(); }
+  Result<std::uint32_t> GetU32() { return GetLE<std::uint32_t>(); }
+  Result<std::uint64_t> GetU64() { return GetLE<std::uint64_t>(); }
+  Result<std::int64_t> GetI64();
+  Result<std::uint64_t> GetVarint();
+  Result<Uuid> GetUuid();
+  Result<std::string> GetString();
+  Result<Bytes> GetBytes();
+  Status GetRaw(MutableByteSpan out);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  template <typename T>
+  Result<T> GetLE() {
+    if (remaining() < sizeof(T)) {
+      return ErrStatus(Errc::kIo, "decode: truncated buffer");
+    }
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+// CRC32C (Castagnoli, software implementation). Journal records are
+// checksummed so that a torn write at crash time is detected during replay.
+std::uint32_t Crc32c(ByteSpan data, std::uint32_t seed = 0);
+
+}  // namespace arkfs

@@ -1,0 +1,48 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace arkfs {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    default: return "?";
+  }
+}
+
+std::string_view Basename(std::string_view path) {
+  auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+namespace internal {
+
+void EmitLog(LogLevel level, std::string_view file, int line,
+             std::string_view msg) {
+  const auto base = Basename(file);
+  std::lock_guard lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s %9.3f %.*s:%d] %.*s\n", LevelTag(level),
+               static_cast<double>(NowNanos()) * 1e-9,
+               static_cast<int>(base.size()), base.data(), line,
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace internal
+}  // namespace arkfs

@@ -1,0 +1,53 @@
+// Minimal leveled logging.
+//
+// Storage code is quiet by default (kWarn); tests and benchmarks bump the
+// level when debugging. Formatting cost is only paid when the message is
+// actually emitted.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace arkfs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void EmitLog(LogLevel level, std::string_view file, int line,
+             std::string_view msg);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { EmitLog(level_, file_, line_, ss_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream ss_;
+};
+}  // namespace internal
+
+#define ARKFS_LOG(level)                                            \
+  if (static_cast<int>(::arkfs::LogLevel::level) <                  \
+      static_cast<int>(::arkfs::GetLogLevel())) {                   \
+  } else                                                            \
+    ::arkfs::internal::LogLine(::arkfs::LogLevel::level, __FILE__, __LINE__)
+
+#define ARKFS_DLOG ARKFS_LOG(kDebug)
+#define ARKFS_ILOG ARKFS_LOG(kInfo)
+#define ARKFS_WLOG ARKFS_LOG(kWarn)
+#define ARKFS_ELOG ARKFS_LOG(kError)
+
+}  // namespace arkfs

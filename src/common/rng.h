@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation (xoshiro256++).
+//
+// Workload generators and the discrete-event simulator must be reproducible
+// from a seed; std::mt19937_64 would work but xoshiro is faster and the
+// explicit implementation removes any libstdc++-version dependence from
+// recorded results.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace arkfs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free-enough method; bias is
+    // negligible for our bounds (<< 2^48).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform real in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Log-normal positive value with the given median and sigma (base-e).
+  // Used for synthetic file-size distributions.
+  double LogNormal(double median, double sigma) {
+    // Box-Muller transform.
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return median * std::exp(sigma * z);
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace arkfs

@@ -1,0 +1,51 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace arkfs {
+
+std::string_view ErrcName(Errc e) {
+  switch (e) {
+    case Errc::kOk: return "OK";
+    case Errc::kPerm: return "EPERM";
+    case Errc::kNoEnt: return "ENOENT";
+    case Errc::kIo: return "EIO";
+    case Errc::kBadF: return "EBADF";
+    case Errc::kAgain: return "EAGAIN";
+    case Errc::kAccess: return "EACCES";
+    case Errc::kBusy: return "EBUSY";
+    case Errc::kExist: return "EEXIST";
+    case Errc::kXDev: return "EXDEV";
+    case Errc::kNotDir: return "ENOTDIR";
+    case Errc::kIsDir: return "EISDIR";
+    case Errc::kInval: return "EINVAL";
+    case Errc::kFBig: return "EFBIG";
+    case Errc::kNoSpc: return "ENOSPC";
+    case Errc::kNameTooLong: return "ENAMETOOLONG";
+    case Errc::kNotEmpty: return "ENOTEMPTY";
+    case Errc::kLoop: return "ELOOP";
+    case Errc::kStale: return "ESTALE";
+    case Errc::kTimedOut: return "ETIMEDOUT";
+    case Errc::kNotSup: return "EOPNOTSUPP";
+    case Errc::kNoAttr: return "ENODATA";
+  }
+  return "E???";
+}
+
+std::string Status::ToString() const {
+  std::string s(ErrcName(code_));
+  if (!detail_.empty()) {
+    s += ": ";
+    s += detail_;
+  }
+  return s;
+}
+
+void DieOnBadResultAccess(const Status& s) {
+  std::fprintf(stderr, "FATAL: Result::value() on error status %s\n",
+               s.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace arkfs

@@ -1,0 +1,141 @@
+// Error handling for ArkFS.
+//
+// A file system speaks errno: every public operation returns either a value
+// or a POSIX-style error code. `Status` wraps the code (plus an optional
+// human-readable detail) and `Result<T>` is the value-or-Status sum type used
+// throughout the code base.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace arkfs {
+
+// POSIX-flavoured error codes. Values deliberately match errno so a FUSE (or
+// other VFS) binding can return them directly.
+enum class Errc : int {
+  kOk = 0,
+  kPerm = 1,            // EPERM
+  kNoEnt = 2,           // ENOENT
+  kIo = 5,              // EIO
+  kBadF = 9,            // EBADF
+  kAgain = 11,          // EAGAIN
+  kAccess = 13,         // EACCES
+  kBusy = 16,           // EBUSY
+  kExist = 17,          // EEXIST
+  kXDev = 18,           // EXDEV
+  kNotDir = 20,         // ENOTDIR
+  kIsDir = 21,          // EISDIR
+  kInval = 22,          // EINVAL
+  kFBig = 27,           // EFBIG
+  kNoSpc = 28,          // ENOSPC
+  kNameTooLong = 36,    // ENAMETOOLONG
+  kNotEmpty = 39,       // ENOTEMPTY
+  kLoop = 40,           // ELOOP
+  kStale = 116,         // ESTALE
+  kTimedOut = 110,      // ETIMEDOUT
+  kNotSup = 95,         // EOPNOTSUPP
+  kNoAttr = 61,         // ENODATA
+};
+
+std::string_view ErrcName(Errc e);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(Errc::kOk) {}
+  explicit Status(Errc code) : code_(code) {}
+  Status(Errc code, std::string detail)
+      : code_(code), detail_(std::move(detail)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == Errc::kOk; }
+  Errc code() const { return code_; }
+  int errno_value() const { return static_cast<int>(code_); }
+  const std::string& detail() const { return detail_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& o) const { return code_ == o.code_; }
+  bool operator==(Errc e) const { return code_ == e; }
+
+ private:
+  Errc code_;
+  std::string detail_;
+};
+
+inline Status ErrStatus(Errc e) { return Status(e); }
+inline Status ErrStatus(Errc e, std::string detail) {
+  return Status(e, std::move(detail));
+}
+
+// Minimal value-or-error type. We intentionally keep the API small: ok(),
+// status(), value(), operator*, operator->. Accessing value() on an error is
+// a programming bug and aborts (fail-fast — this is storage code).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT
+  Result(Errc code) : rep_(Status(code)) {}           // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+  Errc code() const { return status().code(); }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? std::get<T>(rep_) : fallback; }
+
+ private:
+  void CheckOk() const;
+  std::variant<T, Status> rep_;
+};
+
+[[noreturn]] void DieOnBadResultAccess(const Status& s);
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!ok()) DieOnBadResultAccess(std::get<Status>(rep_));
+}
+
+// Propagate-on-error helpers, used pervasively.
+#define ARKFS_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::arkfs::Status _st = (expr);                     \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+#define ARKFS_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  auto ARKFS_CONCAT_(_res_, __LINE__) = (rexpr);      \
+  if (!ARKFS_CONCAT_(_res_, __LINE__).ok())           \
+    return ARKFS_CONCAT_(_res_, __LINE__).status();   \
+  lhs = std::move(ARKFS_CONCAT_(_res_, __LINE__)).value()
+
+#define ARKFS_CONCAT_INNER_(a, b) a##b
+#define ARKFS_CONCAT_(a, b) ARKFS_CONCAT_INNER_(a, b)
+
+}  // namespace arkfs

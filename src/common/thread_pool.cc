@@ -1,0 +1,48 @@
+#include "common/thread_pool.h"
+
+namespace arkfs {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] {
+      while (auto task = tasks_.Pop()) {
+        (*task)();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return tasks_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  tasks_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void WaitGroup::Add(int n) {
+  std::lock_guard lock(mu_);
+  count_ += n;
+}
+
+void WaitGroup::Done() {
+  {
+    std::lock_guard lock(mu_);
+    --count_;
+  }
+  cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return count_ <= 0; });
+}
+
+}  // namespace arkfs

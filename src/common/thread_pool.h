@@ -1,0 +1,51 @@
+// Fixed-size worker pool.
+//
+// Checkpointing, read-ahead and benchmark fan-out all use this. Tasks are
+// plain std::function thunks; completion is tracked by the caller (futures or
+// explicit latches), keeping the pool itself trivial.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+
+namespace arkfs {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Returns false if the pool is already shut down.
+  bool Submit(std::function<void()> task);
+
+  // Drains queued tasks, then joins workers. Idempotent.
+  void Shutdown();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  MpmcQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+// Simple countdown latch for fan-out/fan-in (std::latch is single-use too but
+// we also want Add for dynamic task counts).
+class WaitGroup {
+ public:
+  void Add(int n = 1);
+  void Done();
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+}  // namespace arkfs

@@ -1,0 +1,73 @@
+#include "common/uuid.h"
+
+#include <atomic>
+#include <random>
+
+namespace arkfs {
+namespace {
+
+constexpr char kHex[] = "0123456789abcdef";
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::uint64_t Mix64(std::uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string Uuid::ToString() const {
+  std::string s(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    std::uint64_t word = i < 8 ? hi : lo;
+    int shift = 56 - 8 * (i % 8);
+    std::uint8_t byte = static_cast<std::uint8_t>(word >> shift);
+    s[2 * i] = kHex[byte >> 4];
+    s[2 * i + 1] = kHex[byte & 0xF];
+  }
+  return s;
+}
+
+Result<Uuid> Uuid::FromString(std::string_view s) {
+  if (s.size() != 32) return ErrStatus(Errc::kInval, "uuid must be 32 hex chars");
+  Uuid u;
+  for (int i = 0; i < 32; ++i) {
+    int v = HexVal(s[i]);
+    if (v < 0) return ErrStatus(Errc::kInval, "bad hex digit in uuid");
+    std::uint64_t& word = i < 16 ? u.hi : u.lo;
+    word = (word << 4) | static_cast<std::uint64_t>(v);
+  }
+  return u;
+}
+
+Uuid NewUuid() {
+  thread_local std::mt19937_64 rng = [] {
+    std::random_device rd;
+    std::seed_seq seq{rd(), rd(), rd(), rd()};
+    return std::mt19937_64(seq);
+  }();
+  Uuid u{rng(), rng()};
+  // Stamp version 4 / variant 1 bits so the UUIDs are well formed.
+  u.hi = (u.hi & ~0xF000ull) | 0x4000ull;
+  u.lo = (u.lo & ~(0x3ull << 62)) | (0x2ull << 62);
+  return u;
+}
+
+Uuid DeterministicUuid(std::uint64_t seed, std::uint64_t counter) {
+  Uuid u{Mix64(seed * 0x100000001B3ull + counter),
+         Mix64(counter * 0xC6A4A7935BD1E995ull + seed + 1)};
+  u.hi = (u.hi & ~0xF000ull) | 0x4000ull;
+  u.lo = (u.lo & ~(0x3ull << 62)) | (0x2ull << 62);
+  return u;
+}
+
+}  // namespace arkfs

@@ -1,0 +1,55 @@
+// 128-bit UUIDs.
+//
+// ArkFS uses a 128-bit UUID as the inode number (paper §III-F) and builds
+// object keys by concatenating a one-letter type prefix with the UUID.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace arkfs {
+
+struct Uuid {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  constexpr Uuid() = default;
+  constexpr Uuid(std::uint64_t h, std::uint64_t l) : hi(h), lo(l) {}
+
+  constexpr bool is_nil() const { return hi == 0 && lo == 0; }
+
+  // 32 lowercase hex digits, no dashes (compact object-key form).
+  std::string ToString() const;
+  static Result<Uuid> FromString(std::string_view s);
+
+  friend constexpr bool operator==(const Uuid&, const Uuid&) = default;
+  friend constexpr auto operator<=>(const Uuid&, const Uuid&) = default;
+};
+
+// Thread-safe random UUID generation (v4-style: fully random except the
+// version/variant bits, so collisions are cryptographically improbable).
+Uuid NewUuid();
+
+// A deterministic UUID derived from a seed + counter; used by tests and the
+// discrete-event simulator so runs are reproducible.
+Uuid DeterministicUuid(std::uint64_t seed, std::uint64_t counter);
+
+struct UuidHash {
+  std::size_t operator()(const Uuid& u) const {
+    // The bits are already uniformly random; fold them.
+    return static_cast<std::size_t>(u.hi ^ (u.lo * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+}  // namespace arkfs
+
+template <>
+struct std::hash<arkfs::Uuid> {
+  std::size_t operator()(const arkfs::Uuid& u) const {
+    return arkfs::UuidHash{}(u);
+  }
+};

@@ -1,0 +1,380 @@
+// Client infrastructure: construction, lease/leadership flows, RPC serving.
+// Operation bodies live in client_ops.cc.
+#include "core/client.h"
+
+#include "common/log.h"
+
+namespace arkfs {
+
+Status Client::Format(const ObjectStorePtr& store, bool force) {
+  Prt prt(store);
+  if (!force) {
+    auto existing = prt.LoadInode(kRootIno);
+    if (existing.ok()) return ErrStatus(Errc::kExist, "file system exists");
+  }
+  Inode root = MakeInode(kRootIno, FileType::kDirectory, 0755, 0, 0, Uuid{});
+  ARKFS_RETURN_IF_ERROR(prt.StoreInode(root));
+  ARKFS_RETURN_IF_ERROR(prt.StoreDentryBlock(kRootIno, {}));
+  return Status::Ok();
+}
+
+Client::Client(ObjectStorePtr store, rpc::FabricPtr fabric,
+               ClientConfig config)
+    : config_(std::move(config)),
+      store_(std::move(store)),
+      fabric_(std::move(fabric)) {
+  prt_ = std::make_shared<Prt>(store_, config_.chunk_size);
+  lease_ = std::make_unique<lease::LeaseClient>(fabric_, config_.address,
+                                                config_.lease_options);
+  journal_ = std::make_shared<journal::JournalManager>(prt_, config_.journal);
+  cache_ = std::make_shared<ObjectCache>(prt_, config_.cache);
+}
+
+Result<std::shared_ptr<Client>> Client::Create(ObjectStorePtr store,
+                                               rpc::FabricPtr fabric,
+                                               ClientConfig config) {
+  if (config.address.empty()) {
+    return ErrStatus(Errc::kInval, "client needs a fabric address");
+  }
+  std::shared_ptr<Client> client(
+      new Client(std::move(store), std::move(fabric), std::move(config)));
+  ARKFS_RETURN_IF_ERROR(client->Start());
+  return client;
+}
+
+Status Client::Start() {
+  endpoint_ = std::make_shared<rpc::Endpoint>();
+  endpoint_->RegisterMethod(
+      wire::kMethodDirOp,
+      [this](ByteSpan payload) { return HandleDirOp(payload); });
+  endpoint_->RegisterMethod(
+      wire::kMethodFlushFile,
+      [this](ByteSpan payload) { return HandleFlushFile(payload); });
+  return fabric_->Bind(config_.address, endpoint_);
+}
+
+Client::~Client() {
+  if (!shut_down_.load()) {
+    Status st = Shutdown();
+    if (!st.ok()) {
+      ARKFS_WLOG << "client shutdown in destructor failed: " << st.ToString();
+    }
+  }
+}
+
+Status Client::Shutdown() {
+  if (shut_down_.exchange(true)) return Status::Ok();
+  Status first_error;
+  // Flush data before metadata so sizes recorded in inodes are backed by
+  // chunks in the store.
+  Status st = cache_->FlushAll();
+  if (!st.ok() && first_error.ok()) first_error = st;
+
+  std::vector<Uuid> held;
+  {
+    std::lock_guard lock(dirs_mu_);
+    for (auto& [ino, handle] : dirs_) {
+      if (handle->leader) held.push_back(ino);
+    }
+  }
+  for (const Uuid& ino : held) {
+    st = RelinquishDir(ino);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  fabric_->Unbind(config_.address);
+  return first_error;
+}
+
+void Client::CrashHard() {
+  // Disappear from the network; keep all in-memory state unflushed. The
+  // journal objects in the store retain exactly what was committed.
+  shut_down_.store(true);
+  fabric_->Unbind(config_.address);
+}
+
+// ---------------------------------------------------------------------------
+// Directory access & leases
+// ---------------------------------------------------------------------------
+
+Client::DirHandlePtr Client::HandleFor(const Uuid& dir_ino) {
+  std::lock_guard lock(dirs_mu_);
+  auto& slot = dirs_[dir_ino];
+  if (!slot) {
+    slot = std::make_shared<DirHandle>();
+    slot->ino = dir_ino;
+  }
+  return slot;
+}
+
+Result<Client::DirRef> Client::EnsureDirAccess(const Uuid& dir_ino) {
+  DirHandlePtr handle = HandleFor(dir_ino);
+  {
+    std::shared_lock lock(handle->mu);
+    // Proactive renewal: re-acquire when less than a quarter of the lease
+    // term remains, so a busy leader never stalls on expiry mid-burst.
+    const TimePoint now = Now();
+    if (handle->leader && now < handle->lease_until &&
+        handle->lease_until - now > handle->lease_duration / 4) {
+      return DirRef{handle, {}};
+    }
+  }
+  // Not (or no longer) leader: try to acquire the lease.
+  auto grant = lease_->Acquire(dir_ino);
+  if (grant.ok()) {
+    BumpStat(&ClientStats::lease_acquires);
+    std::unique_lock lock(handle->mu);
+    // Double-check: a concurrent EnsureDirAccess may have won.
+    if (!handle->leader || Now() >= handle->lease_until) {
+      handle->lease_duration = std::chrono::duration_cast<Nanos>(
+          grant->until - Now());
+      ARKFS_RETURN_IF_ERROR(BecomeLeader(handle, *grant));
+    }
+    return DirRef{handle, {}};
+  }
+  if (lease::IsRedirect(grant.status())) {
+    BumpStat(&ClientStats::lease_redirects);
+    return DirRef{nullptr, grant.status().detail()};
+  }
+  return grant.status();
+}
+
+Status Client::BecomeLeader(const DirHandlePtr& handle,
+                            const lease::LeaseClient::Grant& grant) {
+  // handle->mu held exclusively by the caller.
+  handle->lease_until = grant.until;
+  if (grant.fresh && handle->metatable) {
+    // Re-acquired before anyone else led the directory: the in-memory
+    // metatable is still authoritative (paper's extension optimization).
+    handle->leader = true;
+    return Status::Ok();
+  }
+
+  // Leadership genuinely changes hands. Ask the previous leader to flush
+  // its pending journal state; an unreachable predecessor means a crash.
+  bool predecessor_crashed = false;
+  if (!grant.prev_leader.empty() && grant.prev_leader != config_.address) {
+    wire::DirOpRequest flush_req;
+    flush_req.op = wire::DirOp::kFlushDir;
+    flush_req.dir_ino = handle->ino;
+    flush_req.client = config_.address;
+    auto resp =
+        fabric_->Call(grant.prev_leader, wire::kMethodDirOp, flush_req.Encode());
+    if (!resp.ok()) predecessor_crashed = true;
+  }
+
+  if (journal_->HasSurvivingJournal(handle->ino) || predecessor_crashed) {
+    // Valid transactions remain in the journal: the predecessor crashed
+    // before checkpointing. Recover under the manager's fence.
+    ARKFS_RETURN_IF_ERROR(lease_->BeginRecovery(handle->ino));
+    auto report = journal_->RecoverDir(handle->ino);
+    if (!report.ok()) {
+      (void)lease_->EndRecovery(handle->ino);
+      return report.status();
+    }
+    ARKFS_RETURN_IF_ERROR(lease_->EndRecovery(handle->ino));
+    BumpStat(&ClientStats::recoveries);
+    ARKFS_ILOG << config_.address << " recovered dir "
+               << handle->ino.ToString() << ": "
+               << report->transactions_replayed << " replayed, "
+               << report->transactions_aborted << " aborted";
+  }
+
+  ARKFS_RETURN_IF_ERROR(BuildMetatable(*handle));
+  journal_->RegisterDir(handle->ino);
+  handle->leader = true;
+  handle->file_leases.clear();
+  return Status::Ok();
+}
+
+Status Client::BuildMetatable(DirHandle& handle) {
+  auto dir_inode = prt_->LoadInode(handle.ino);
+  if (!dir_inode.ok()) {
+    if (dir_inode.code() == Errc::kNoEnt) {
+      return ErrStatus(Errc::kNoEnt, "directory inode not found");
+    }
+    return dir_inode.status();
+  }
+  if (!dir_inode->IsDir()) return ErrStatus(Errc::kNotDir);
+  auto metatable = std::make_unique<Metatable>(std::move(*dir_inode));
+  ARKFS_ASSIGN_OR_RETURN(auto dentries, prt_->LoadDentryBlock(handle.ino));
+  for (auto& d : dentries) {
+    // Child-file inodes are pulled lazily on first access.
+    ARKFS_RETURN_IF_ERROR(metatable->Insert(d, std::nullopt));
+  }
+  handle.metatable = std::move(metatable);
+  return Status::Ok();
+}
+
+Status Client::RelinquishDir(const Uuid& dir_ino) {
+  DirHandlePtr handle = HandleFor(dir_ino);
+  std::unique_lock lock(handle->mu);
+  if (!handle->leader) return Status::Ok();
+  ARKFS_RETURN_IF_ERROR(journal_->UnregisterDir(dir_ino));
+  // Persist the latest in-memory inode states that were never journaled
+  // (the journal flush above covers journaled ones; this is belt-and-braces
+  // for the dir inode itself whose version may have advanced in memory).
+  if (handle->metatable) {
+    ARKFS_RETURN_IF_ERROR(prt_->StoreInode(handle->metatable->dir_inode()));
+  }
+  handle->leader = false;
+  handle->metatable.reset();
+  handle->file_leases.clear();
+  lock.unlock();
+  return lease_->Release(dir_ino);
+}
+
+Status Client::ValidateLeaseLocked(DirHandle& handle) {
+  // handle.mu held (exclusive or shared with upgrade responsibility on the
+  // caller — we only mutate lease fields, which shared holders tolerate
+  // because renewal happens under exclusive lock in EnsureDirAccess).
+  if (!handle.leader) return ErrStatus(Errc::kAgain, "not leader");
+  const TimePoint now = Now();
+  if (now >= handle.lease_until) {
+    return ErrStatus(Errc::kAgain, "lease expired");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// RPC server side
+// ---------------------------------------------------------------------------
+
+Result<Bytes> Client::HandleDirOp(ByteSpan payload) {
+  ARKFS_ASSIGN_OR_RETURN(auto req, wire::DirOpRequest::Decode(payload));
+  BumpStat(&ClientStats::served_remote_ops);
+  return ServeDirOp(req).Encode();
+}
+
+Result<Bytes> Client::HandleFlushFile(ByteSpan payload) {
+  ARKFS_ASSIGN_OR_RETURN(auto req, wire::FlushFileRequest::Decode(payload));
+  // Leader revoked our cached copies of this file: write back and drop, and
+  // force all our open handles to direct I/O from now on.
+  ARKFS_RETURN_IF_ERROR(cache_->DropFile(req.ino, /*flush_dirty=*/true));
+  std::lock_guard lock(fd_mu_);
+  for (auto& [_, of] : open_files_) {
+    if (of.ino == req.ino) {
+      of.direct_io = true;
+      of.cache_read = false;
+      of.cache_write = false;
+    }
+  }
+  return Bytes{};
+}
+
+wire::DirOpResponse Client::ServeDirOp(const wire::DirOpRequest& req) {
+  wire::DirOpResponse resp;
+  DirHandlePtr handle = HandleFor(req.dir_ino);
+  const UserCred cred = req.cred.ToCred();
+
+  auto fill_error = [&resp](const Status& st) {
+    resp.code = st.code();
+    resp.detail = st.detail();
+  };
+
+  // kFlushDir is special: it is valid even when we are no longer leader
+  // (that is exactly the handoff situation it exists for).
+  if (req.op == wire::DirOp::kFlushDir) {
+    std::unique_lock lock(handle->mu);
+    Status st = journal_->FlushDir(req.dir_ino);
+    if (st.ok() && handle->metatable) {
+      st = prt_->StoreInode(handle->metatable->dir_inode());
+    }
+    // We are being superseded; drop leadership state.
+    handle->leader = false;
+    handle->metatable.reset();
+    handle->file_leases.clear();
+    fill_error(st);
+    return resp;
+  }
+
+  std::unique_lock lock(handle->mu);
+  if (Status st = ValidateLeaseLocked(*handle); !st.ok()) {
+    fill_error(st);
+    return resp;
+  }
+
+  Status st;
+  switch (req.op) {
+    case wire::DirOp::kLookup:
+      st = LeaderLookup(*handle, req.name, cred, &resp);
+      break;
+    case wire::DirOp::kCreate:
+      st = LeaderCreate(*handle, req.name, req.mode, req.exclusive,
+                        FileType::kRegular, "", cred, &resp);
+      break;
+    case wire::DirOp::kMkdir:
+      st = LeaderMkdir(*handle, req.name, req.mode, cred, &resp);
+      break;
+    case wire::DirOp::kUnlink:
+      st = LeaderUnlink(*handle, req.name, cred, &resp);
+      break;
+    case wire::DirOp::kRmdir:
+      st = LeaderRmdir(*handle, req.name, cred);
+      break;
+    case wire::DirOp::kRenameLocal:
+      st = LeaderRenameLocal(*handle, req.name, req.name2, cred);
+      break;
+    case wire::DirOp::kReadDir:
+      st = LeaderReadDir(*handle, cred, &resp);
+      break;
+    case wire::DirOp::kGetAttrDir: {
+      const Inode& inode = handle->metatable->dir_inode();
+      resp.has_inode = true;
+      resp.inode = inode;
+      resp.dir_meta = {true, inode.mode, inode.uid, inode.gid, inode.acl};
+      break;
+    }
+    case wire::DirOp::kGetAttrChild:
+      st = LeaderGetAttrChild(*handle, req.name, req.child_ino, cred, &resp);
+      break;
+    case wire::DirOp::kSetAttrChild:
+      st = LeaderSetAttrChild(*handle, req.name, req.attr, cred, &resp);
+      break;
+    case wire::DirOp::kSetAttrDir:
+      st = LeaderSetAttrDir(*handle, req.attr, cred, &resp);
+      break;
+    case wire::DirOp::kSymlink:
+      st = LeaderCreate(*handle, req.name, 0777, /*exclusive=*/true,
+                        FileType::kSymlink, req.name2, cred, &resp);
+      break;
+    case wire::DirOp::kSetAclDir:
+      st = LeaderSetAclDir(*handle, req.acl, cred);
+      break;
+    case wire::DirOp::kSetAclChild:
+      st = LeaderSetAclChild(*handle, req.name, req.acl, cred);
+      break;
+    case wire::DirOp::kLeaseOpen:
+      st = LeaderLeaseOpen(*handle, req.child_ino, req.client,
+                           &resp.lease_granted, &resp);
+      break;
+    case wire::DirOp::kLeaseUpgrade:
+      st = LeaderLeaseUpgrade(*handle, req.child_ino, req.client,
+                              &resp.lease_granted);
+      break;
+    case wire::DirOp::kLeaseRelease:
+      st = LeaderLeaseRelease(*handle, req.child_ino, req.client);
+      break;
+    case wire::DirOp::kCommitSize:
+      st = LeaderCommitSize(*handle, req.child_ino, req.size, req.mtime_sec);
+      break;
+    case wire::DirOp::kIsEmptyDir:
+      resp.empty_dir = handle->metatable->empty();
+      break;
+    case wire::DirOp::kFlushDir:
+      break;  // handled above
+  }
+  fill_error(st);
+  return resp;
+}
+
+void Client::BumpStat(std::uint64_t ClientStats::* field) const {
+  std::lock_guard lock(stats_mu_);
+  stats_.*field += 1;
+}
+
+ClientStats Client::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace arkfs

@@ -1,0 +1,314 @@
+// arkfs::Client — the ArkFS file-system client (paper §III).
+//
+// Each client is a full participant in metadata management:
+//
+//  * It acquires per-directory leases from the lease manager and, as
+//    *directory leader*, serves every metadata operation on that directory
+//    from an in-memory metatable — no metadata server exists anywhere.
+//  * Mutations are journaled to the directory's own journal object and
+//    checkpointed back to inode/dentry objects in the background.
+//  * Operations on directories led by other clients are forwarded to those
+//    leaders over RPC (the paper's client-to-client gRPC path).
+//  * File data flows through a write-back object cache with read-ahead,
+//    coordinated across clients by read/write file leases that the
+//    directory leader issues.
+//  * An optional permission cache (pcache mode) lets the client resolve
+//    paths locally, relieving near-root directory leaders (paper §III-C);
+//    it relaxes ACL-change visibility to lease-period granularity.
+//
+// A Client is driven either directly through the Vfs interface (library
+// use) or through FuseSim, which models FUSE's per-component LOOKUP
+// behaviour for the benchmarks.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/object_cache.h"
+#include "core/vfs.h"
+#include "core/wire.h"
+#include "journal/journal.h"
+#include "lease/lease_client.h"
+#include "meta/metatable.h"
+#include "meta/path.h"
+#include "objstore/object_store.h"
+#include "prt/translator.h"
+#include "rpc/fabric.h"
+
+namespace arkfs {
+
+struct ClientConfig {
+  std::string address;             // this client's fabric address
+  bool permission_cache = true;    // pcache mode (paper §III-C)
+  Nanos perm_cache_ttl{Seconds(5)};  // = lease period by default
+  std::uint64_t chunk_size = 0;    // PRT data chunk size (0 = store max)
+  CacheConfig cache;
+  journal::JournalConfig journal;
+  lease::LeaseClient::Options lease_options;
+  // Forwarding retry policy (leader crash / lease churn).
+  int op_retries = 50;
+  Nanos op_retry_backoff{Millis(20)};
+
+  static ClientConfig ForTests(std::string address) {
+    ClientConfig c;
+    c.address = std::move(address);
+    c.cache = CacheConfig::ForTests();
+    c.journal = journal::JournalConfig::ForTests();
+    c.perm_cache_ttl = Millis(200);
+    return c;
+  }
+};
+
+struct ClientStats {
+  std::uint64_t local_meta_ops = 0;     // served from own metatables
+  std::uint64_t forwarded_ops = 0;      // sent to remote leaders
+  std::uint64_t served_remote_ops = 0;  // served on behalf of other clients
+  std::uint64_t lease_acquires = 0;
+  std::uint64_t lease_redirects = 0;
+  std::uint64_t perm_cache_hits = 0;
+  std::uint64_t recoveries = 0;
+};
+
+class Client : public Vfs {
+ public:
+  // Initializes an empty file system on the store: writes the root inode
+  // and dentry block. Idempotent only if `force`.
+  static Status Format(const ObjectStorePtr& store, bool force = false);
+
+  static Result<std::shared_ptr<Client>> Create(ObjectStorePtr store,
+                                                rpc::FabricPtr fabric,
+                                                ClientConfig config);
+  ~Client() override;
+
+  // Flushes all state, releases leases, unbinds from the fabric.
+  Status Shutdown();
+
+  // Simulates a hard crash: the client vanishes from the network without
+  // flushing anything. Journal objects keep whatever was committed; running
+  // transactions and dirty cache entries are lost. For crash tests.
+  void CrashHard();
+
+  // --- Vfs interface ---
+  Result<Fd> Open(const std::string& path, const OpenOptions& options,
+                  const UserCred& cred) override;
+  Status Close(Fd fd) override;
+  Result<Bytes> Read(Fd fd, std::uint64_t offset,
+                     std::uint64_t length) override;
+  Result<std::uint64_t> Write(Fd fd, std::uint64_t offset,
+                              ByteSpan data) override;
+  Status Fsync(Fd fd) override;
+  Result<StatResult> Stat(const std::string& path,
+                          const UserCred& cred) override;
+  Status Mkdir(const std::string& path, std::uint32_t mode,
+               const UserCred& cred) override;
+  Status Rmdir(const std::string& path, const UserCred& cred) override;
+  Status Unlink(const std::string& path, const UserCred& cred) override;
+  Status Rename(const std::string& from, const std::string& to,
+                const UserCred& cred) override;
+  Result<std::vector<Dentry>> ReadDir(const std::string& path,
+                                      const UserCred& cred) override;
+  Status SetAttr(const std::string& path, const SetAttrRequest& req,
+                 const UserCred& cred) override;
+  Status Symlink(const std::string& target, const std::string& path,
+                 const UserCred& cred) override;
+  Result<std::string> ReadLink(const std::string& path,
+                               const UserCred& cred) override;
+  Status SetAcl(const std::string& path, const Acl& acl,
+                const UserCred& cred) override;
+  Result<Acl> GetAcl(const std::string& path, const UserCred& cred) override;
+  Status SyncAll() override;
+  Status DropCaches() override;
+
+  // Lightweight existence/permission probe used by the FUSE model's
+  // per-component LOOKUPs. Served from the permission cache when enabled.
+  Status Probe(const std::string& path, const UserCred& cred);
+
+  ClientStats stats() const;
+  const ClientConfig& config() const { return config_; }
+  const std::string& address() const { return config_.address; }
+  CacheStats cache_stats() const { return cache_->stats(); }
+  journal::JournalStats journal_stats() const { return journal_->stats(); }
+
+ private:
+  friend class ClientOpsTestPeer;
+
+  // --- per-directory leader state ---
+  struct FileLeaseInfo {
+    std::set<std::string> readers;  // client addresses holding read leases
+    std::string writer;             // exclusive write-lease holder
+    bool direct_io = false;         // caching revoked; everyone goes direct
+  };
+
+  struct DirHandle {
+    Uuid ino;
+    std::shared_mutex mu;
+    std::unique_ptr<Metatable> metatable;  // present iff leader
+    bool leader = false;
+    TimePoint lease_until{};
+    Nanos lease_duration{0};
+    std::unordered_map<Uuid, FileLeaseInfo> file_leases;
+  };
+  using DirHandlePtr = std::shared_ptr<DirHandle>;
+
+  // Result of resolving who serves a directory.
+  struct DirRef {
+    DirHandlePtr local;   // set if this client leads the directory
+    std::string remote;   // else: the leader's address
+  };
+
+  // --- permission/dentry cache (pcache mode) ---
+  struct CachedDirMeta {
+    std::uint32_t mode = 0;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    Acl acl;
+    TimePoint expires{};
+  };
+  struct CachedDentry {
+    Dentry dentry;
+    TimePoint expires{};
+  };
+
+  struct OpenFile {
+    Uuid ino;
+    Uuid parent;
+    OpenOptions options;
+    UserCred cred;
+    std::uint64_t size = 0;
+    std::uint64_t chunk_size = 0;
+    bool size_dirty = false;
+    bool direct_io = false;   // write-back caching revoked
+    bool cache_read = false;  // read lease held
+    bool cache_write = false; // write lease held
+  };
+
+  Client(ObjectStorePtr store, rpc::FabricPtr fabric, ClientConfig config);
+  Status Start();
+
+  // --- directory access / lease flows (client.cc) ---
+  Result<DirRef> EnsureDirAccess(const Uuid& dir_ino);
+  Status BecomeLeader(const DirHandlePtr& handle,
+                      const lease::LeaseClient::Grant& grant);
+  Status BuildMetatable(DirHandle& handle);
+  Status RelinquishDir(const Uuid& dir_ino);  // flush + drop leadership
+  // Validates/renews the lease for a local op; kAgain if leadership lost.
+  Status ValidateLeaseLocked(DirHandle& handle);
+  DirHandlePtr HandleFor(const Uuid& dir_ino);
+
+  // --- RPC server side (client.cc) ---
+  Result<Bytes> HandleDirOp(ByteSpan payload);
+  Result<Bytes> HandleFlushFile(ByteSpan payload);
+  wire::DirOpResponse ServeDirOp(const wire::DirOpRequest& req);
+
+  // --- leader-local operation bodies (client_ops.cc); handle.mu held ---
+  Status LeaderLookup(DirHandle& dir, const std::string& name,
+                      const UserCred& cred, wire::DirOpResponse* out);
+  Status LeaderCreate(DirHandle& dir, const std::string& name,
+                      std::uint32_t mode, bool exclusive, FileType type,
+                      const std::string& symlink_target, const UserCred& cred,
+                      wire::DirOpResponse* out);
+  Status LeaderMkdir(DirHandle& dir, const std::string& name,
+                     std::uint32_t mode, const UserCred& cred,
+                     wire::DirOpResponse* out);
+  Status LeaderUnlink(DirHandle& dir, const std::string& name,
+                      const UserCred& cred, wire::DirOpResponse* out);
+  Status LeaderRmdir(DirHandle& dir, const std::string& name,
+                     const UserCred& cred);
+  Status LeaderRenameLocal(DirHandle& dir, const std::string& from,
+                           const std::string& to, const UserCred& cred);
+  Status LeaderReadDir(DirHandle& dir, const UserCred& cred,
+                       wire::DirOpResponse* out);
+  Status LeaderGetAttrChild(DirHandle& dir, const std::string& name,
+                            const Uuid& child_ino, const UserCred& cred,
+                            wire::DirOpResponse* out);
+  Status LeaderSetAttrChild(DirHandle& dir, const std::string& name,
+                            const SetAttrRequest& req, const UserCred& cred,
+                            wire::DirOpResponse* out);
+  Status LeaderSetAttrDir(DirHandle& dir, const SetAttrRequest& req,
+                          const UserCred& cred, wire::DirOpResponse* out);
+  Status LeaderSetAclChild(DirHandle& dir, const std::string& name,
+                           const Acl& acl, const UserCred& cred);
+  Status LeaderSetAclDir(DirHandle& dir, const Acl& acl, const UserCred& cred);
+  Status LeaderLeaseOpen(DirHandle& dir, const Uuid& ino,
+                         const std::string& client, bool* granted,
+                         wire::DirOpResponse* out);
+  Status LeaderLeaseUpgrade(DirHandle& dir, const Uuid& ino,
+                            const std::string& client, bool* granted);
+  Status LeaderLeaseRelease(DirHandle& dir, const Uuid& ino,
+                            const std::string& client);
+  Status LeaderCommitSize(DirHandle& dir, const Uuid& ino, std::uint64_t size,
+                          std::int64_t mtime_sec);
+
+  // Ensures the child-file inode for `ino` is loaded into the metatable
+  // (lazy loading; §III-C "pull the metadata from object storage").
+  Result<Inode*> LoadChildInodeLocked(DirHandle& dir, const Uuid& ino);
+
+  // --- forwarding machinery (client_ops.cc) ---
+  // Runs `op` against dir_ino's leader: locally if this client leads it,
+  // else as a remote DirOpRequest. Retries through lease churn.
+  Result<wire::DirOpResponse> RunDirOp(const Uuid& dir_ino,
+                                       wire::DirOpRequest req);
+
+  // --- path resolution (client_ops.cc) ---
+  // Resolves a directory path to its inode, enforcing exec permission on
+  // every component (and following symlinks).
+  Result<Uuid> ResolveDir(const std::string& path, const UserCred& cred);
+  // Resolves parent of `path` and returns (parent ino, leaf name).
+  struct ResolvedParent {
+    Uuid parent;
+    std::string name;
+  };
+  Result<ResolvedParent> ResolveParent(const std::string& path,
+                                       const UserCred& cred);
+  // One component step: lookup `name` in `dir`, with traversal perm check.
+  Result<Dentry> LookupStep(const Uuid& dir, const std::string& name,
+                            const UserCred& cred);
+
+  void CachePermEntry(const Uuid& dir, const wire::DirMetaOut& meta);
+  void CacheDentryEntry(const Uuid& dir, const Dentry& dentry);
+  bool PcacheLookup(const Uuid& dir, const std::string& name,
+                    const UserCred& cred, Dentry* out, Status* perm);
+  void PcacheInvalidate(const Uuid& dir, const std::string& name);
+
+  // Broadcast "flush your cache for ino" to lease holders. dir.mu held.
+  void BroadcastFlush(DirHandle& dir, const Uuid& ino,
+                      const std::string& except);
+
+  // Fsync body shared by Fsync/Close.
+  Status FlushOpenFile(OpenFile& of);
+
+  void BumpStat(std::uint64_t ClientStats::* field) const;
+
+  const ClientConfig config_;
+  ObjectStorePtr store_;
+  rpc::FabricPtr fabric_;
+  std::shared_ptr<Prt> prt_;
+  std::unique_ptr<lease::LeaseClient> lease_;
+  std::shared_ptr<journal::JournalManager> journal_;
+  std::shared_ptr<ObjectCache> cache_;
+  std::shared_ptr<rpc::Endpoint> endpoint_;
+
+  std::mutex dirs_mu_;
+  std::unordered_map<Uuid, DirHandlePtr> dirs_;
+
+  std::mutex pcache_mu_;
+  std::unordered_map<Uuid, CachedDirMeta> perm_cache_;
+  std::map<std::pair<Uuid, std::string>, CachedDentry> dentry_cache_;
+
+  std::mutex fd_mu_;
+  std::map<Fd, OpenFile> open_files_;
+  Fd next_fd_ = 3;
+
+  std::atomic<bool> shut_down_{false};
+
+  mutable std::mutex stats_mu_;
+  mutable ClientStats stats_;
+};
+
+}  // namespace arkfs

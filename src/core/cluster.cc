@@ -1,0 +1,51 @@
+#include "core/cluster.h"
+
+namespace arkfs {
+
+ArkFsCluster::ArkFsCluster(ObjectStorePtr store, ArkFsClusterOptions options)
+    : options_(std::move(options)), store_(std::move(store)) {
+  fabric_ = std::make_shared<rpc::Fabric>(options_.network);
+  lease_manager_ =
+      std::make_unique<lease::LeaseManager>(fabric_, options_.lease);
+}
+
+Result<std::unique_ptr<ArkFsCluster>> ArkFsCluster::Create(
+    ObjectStorePtr store, ArkFsClusterOptions options) {
+  if (options.format_store) {
+    Status st = Client::Format(store);
+    if (!st.ok() && st.code() != Errc::kExist) return st;
+  }
+  std::unique_ptr<ArkFsCluster> cluster(
+      new ArkFsCluster(std::move(store), std::move(options)));
+  ARKFS_RETURN_IF_ERROR(cluster->lease_manager_->Start());
+  return cluster;
+}
+
+ArkFsCluster::~ArkFsCluster() {
+  // Shut clients down before the lease manager so their releases land.
+  for (auto& client : clients_) {
+    (void)client->Shutdown();
+  }
+  clients_.clear();
+  lease_manager_->Stop();
+}
+
+Result<std::shared_ptr<Client>> ArkFsCluster::AddClient(std::string name) {
+  ClientConfig config = options_.client_template;
+  config.address =
+      name.empty() ? "client-" + std::to_string(next_index_++) : std::move(name);
+  ARKFS_ASSIGN_OR_RETURN(auto client,
+                         Client::Create(store_, fabric_, std::move(config)));
+  clients_.push_back(client);
+  return client;
+}
+
+VfsPtr ArkFsCluster::WithFuse(const std::shared_ptr<Client>& client,
+                              FuseSimConfig config) {
+  auto probe = [client](const std::string& path, const UserCred& cred) {
+    return client->Probe(path, cred);
+  };
+  return std::make_shared<FuseSim>(client, config, probe);
+}
+
+}  // namespace arkfs

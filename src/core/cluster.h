@@ -1,0 +1,69 @@
+// ArkFsCluster — a one-call harness that assembles a complete ArkFS
+// deployment: object store, RPC fabric, lease manager, and N clients.
+// Used by tests, examples and every benchmark.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/fuse_sim.h"
+#include "lease/lease_manager.h"
+#include "objstore/object_store.h"
+#include "rpc/fabric.h"
+#include "sim/models.h"
+
+namespace arkfs {
+
+struct ArkFsClusterOptions {
+  sim::NetworkProfile network = sim::NetworkProfile::Instant();
+  lease::LeaseManagerConfig lease = lease::LeaseManagerConfig::ForTests();
+  ClientConfig client_template = ClientConfig::ForTests("");
+  bool format_store = true;
+
+  static ArkFsClusterOptions ForTests() { return {}; }
+  // Paper-like deployment: datacenter network, 5 s leases.
+  static ArkFsClusterOptions PaperLike() {
+    ArkFsClusterOptions o;
+    o.network = sim::NetworkProfile::Datacenter10G();
+    o.lease = lease::LeaseManagerConfig{};
+    ClientConfig c;
+    c.address = "";
+    o.client_template = c;
+    return o;
+  }
+};
+
+class ArkFsCluster {
+ public:
+  static Result<std::unique_ptr<ArkFsCluster>> Create(
+      ObjectStorePtr store, ArkFsClusterOptions options);
+  ~ArkFsCluster();
+
+  // Adds a client named "client-<index>" (or `name` if given).
+  Result<std::shared_ptr<Client>> AddClient(std::string name = "");
+
+  // Wraps a client in the FUSE behaviour model, answering LOOKUPs from the
+  // client's permission cache.
+  VfsPtr WithFuse(const std::shared_ptr<Client>& client,
+                  FuseSimConfig config = FuseSimConfig{});
+
+  const ObjectStorePtr& store() const { return store_; }
+  const rpc::FabricPtr& fabric() const { return fabric_; }
+  lease::LeaseManager& lease_manager() { return *lease_manager_; }
+  const std::vector<std::shared_ptr<Client>>& clients() const {
+    return clients_;
+  }
+
+ private:
+  ArkFsCluster(ObjectStorePtr store, ArkFsClusterOptions options);
+
+  const ArkFsClusterOptions options_;
+  ObjectStorePtr store_;
+  rpc::FabricPtr fabric_;
+  std::unique_ptr<lease::LeaseManager> lease_manager_;
+  std::vector<std::shared_ptr<Client>> clients_;
+  int next_index_ = 0;
+};
+
+}  // namespace arkfs

@@ -1,0 +1,154 @@
+#include "core/fuse_sim.h"
+
+#include "meta/path.h"
+
+namespace arkfs {
+
+FuseSim::FuseSim(VfsPtr inner, FuseSimConfig config, ProbeFn probe)
+    : inner_(std::move(inner)), config_(config), probe_(std::move(probe)) {
+  if (!probe_) {
+    probe_ = [this](const std::string& p, const UserCred& c) {
+      return inner_->Stat(p, c).status();
+    };
+  }
+}
+
+void FuseSim::Cross() const {
+  // The crossing is CPU work (copies + context switches), so it burns the
+  // core rather than sleeping.
+  SpinFor(config_.crossing_cost);
+}
+
+void FuseSim::LookupAncestors(const std::string& path, const UserCred& cred) {
+  if (!config_.per_component_lookup) return;
+  auto comps = SplitPath(path);
+  if (!comps.ok()) return;
+  // The kernel LOOKUPs every component, including the final one (a CREATE
+  // of /home/foo.txt issues LOOKUPs for home and foo.txt; the last one
+  // simply misses).
+  std::string prefix;
+  for (const auto& comp : *comps) {
+    prefix += '/';
+    prefix += comp;
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.serialize_lookups) {
+      std::lock_guard lock(lookup_lock_);
+      Cross();
+      (void)probe_(prefix, cred);
+    } else {
+      Cross();
+      (void)probe_(prefix, cred);
+    }
+  }
+}
+
+Result<Fd> FuseSim::Open(const std::string& path, const OpenOptions& options,
+                         const UserCred& cred) {
+  LookupAncestors(path, cred);
+  Cross();
+  return inner_->Open(path, options, cred);
+}
+
+Status FuseSim::Close(Fd fd) {
+  Cross();
+  return inner_->Close(fd);
+}
+
+Result<Bytes> FuseSim::Read(Fd fd, std::uint64_t offset,
+                            std::uint64_t length) {
+  Cross();
+  return inner_->Read(fd, offset, length);
+}
+
+Result<std::uint64_t> FuseSim::Write(Fd fd, std::uint64_t offset,
+                                     ByteSpan data) {
+  Cross();
+  return inner_->Write(fd, offset, data);
+}
+
+Status FuseSim::Fsync(Fd fd) {
+  Cross();
+  return inner_->Fsync(fd);
+}
+
+Result<StatResult> FuseSim::Stat(const std::string& path,
+                                 const UserCred& cred) {
+  LookupAncestors(path, cred);
+  Cross();
+  return inner_->Stat(path, cred);
+}
+
+Status FuseSim::Mkdir(const std::string& path, std::uint32_t mode,
+                      const UserCred& cred) {
+  LookupAncestors(path, cred);
+  Cross();
+  return inner_->Mkdir(path, mode, cred);
+}
+
+Status FuseSim::Rmdir(const std::string& path, const UserCred& cred) {
+  LookupAncestors(path, cred);
+  Cross();
+  return inner_->Rmdir(path, cred);
+}
+
+Status FuseSim::Unlink(const std::string& path, const UserCred& cred) {
+  LookupAncestors(path, cred);
+  Cross();
+  return inner_->Unlink(path, cred);
+}
+
+Status FuseSim::Rename(const std::string& from, const std::string& to,
+                       const UserCred& cred) {
+  LookupAncestors(from, cred);
+  LookupAncestors(to, cred);
+  Cross();
+  return inner_->Rename(from, to, cred);
+}
+
+Result<std::vector<Dentry>> FuseSim::ReadDir(const std::string& path,
+                                             const UserCred& cred) {
+  LookupAncestors(path, cred);
+  Cross();
+  return inner_->ReadDir(path, cred);
+}
+
+Status FuseSim::SetAttr(const std::string& path, const SetAttrRequest& req,
+                        const UserCred& cred) {
+  LookupAncestors(path, cred);
+  Cross();
+  return inner_->SetAttr(path, req, cred);
+}
+
+Status FuseSim::Symlink(const std::string& target, const std::string& path,
+                        const UserCred& cred) {
+  LookupAncestors(path, cred);
+  Cross();
+  return inner_->Symlink(target, path, cred);
+}
+
+Result<std::string> FuseSim::ReadLink(const std::string& path,
+                                      const UserCred& cred) {
+  LookupAncestors(path, cred);
+  Cross();
+  return inner_->ReadLink(path, cred);
+}
+
+Status FuseSim::SetAcl(const std::string& path, const Acl& acl,
+                       const UserCred& cred) {
+  LookupAncestors(path, cred);
+  Cross();
+  return inner_->SetAcl(path, acl, cred);
+}
+
+Result<Acl> FuseSim::GetAcl(const std::string& path, const UserCred& cred) {
+  LookupAncestors(path, cred);
+  Cross();
+  return inner_->GetAcl(path, cred);
+}
+
+Status FuseSim::SyncAll() {
+  Cross();
+  return inner_->SyncAll();
+}
+
+}  // namespace arkfs

@@ -1,0 +1,90 @@
+// FuseSim — a behavioural model of the FUSE kernel driver.
+//
+// The paper implements ArkFS on FUSE v3.9 and two of its results hinge on
+// FUSE behaviour rather than on ArkFS itself:
+//
+//  * Every VFS call pays a user/kernel crossing to reach the user-space
+//    daemon (why CephFS-F and MarFS trail CephFS-K in Figs. 4/5).
+//  * Before an operation on /a/b/c the kernel issues a LOOKUP per path
+//    component, and it holds an exclusive lock across each LOOKUP — the
+//    storm of lookups against near-root directory leaders is what collapses
+//    ArkFS-no-pcache in Fig. 7, and the lock is why ArkFS's STAT advantage
+//    narrows in mdtest-hard.
+//
+// FuseSim wraps any Vfs and reproduces exactly those two costs: a modeled
+// CPU burn per crossing, and serialized per-component LOOKUP probes. The
+// probe function lets arkfs::Client answer LOOKUPs from its permission
+// cache (pcache mode); other file systems probe with Stat.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+
+#include "common/clock.h"
+#include "core/vfs.h"
+
+namespace arkfs {
+
+struct FuseSimConfig {
+  // One request's worth of user<->kernel round trip (request + reply copy,
+  // context switches). ~4 us matches published FUSE microbenchmarks.
+  Nanos crossing_cost{Micros(4)};
+  bool per_component_lookup = true;
+  bool serialize_lookups = true;  // the kernel-side exclusive lock
+
+  static FuseSimConfig Off() { return {Nanos(0), false, false}; }
+};
+
+class FuseSim : public Vfs {
+ public:
+  using ProbeFn = std::function<Status(const std::string&, const UserCred&)>;
+
+  // probe may be null: Stat() is used for LOOKUP emulation then.
+  FuseSim(VfsPtr inner, FuseSimConfig config, ProbeFn probe = nullptr);
+
+  Result<Fd> Open(const std::string& path, const OpenOptions& options,
+                  const UserCred& cred) override;
+  Status Close(Fd fd) override;
+  Result<Bytes> Read(Fd fd, std::uint64_t offset,
+                     std::uint64_t length) override;
+  Result<std::uint64_t> Write(Fd fd, std::uint64_t offset,
+                              ByteSpan data) override;
+  Status Fsync(Fd fd) override;
+  Result<StatResult> Stat(const std::string& path,
+                          const UserCred& cred) override;
+  Status Mkdir(const std::string& path, std::uint32_t mode,
+               const UserCred& cred) override;
+  Status Rmdir(const std::string& path, const UserCred& cred) override;
+  Status Unlink(const std::string& path, const UserCred& cred) override;
+  Status Rename(const std::string& from, const std::string& to,
+                const UserCred& cred) override;
+  Result<std::vector<Dentry>> ReadDir(const std::string& path,
+                                      const UserCred& cred) override;
+  Status SetAttr(const std::string& path, const SetAttrRequest& req,
+                 const UserCred& cred) override;
+  Status Symlink(const std::string& target, const std::string& path,
+                 const UserCred& cred) override;
+  Result<std::string> ReadLink(const std::string& path,
+                               const UserCred& cred) override;
+  Status SetAcl(const std::string& path, const Acl& acl,
+                const UserCred& cred) override;
+  Result<Acl> GetAcl(const std::string& path, const UserCred& cred) override;
+  Status SyncAll() override;
+  Status DropCaches() override { return inner_->DropCaches(); }
+
+  std::uint64_t lookups_issued() const { return lookups_.load(); }
+
+ private:
+  void Cross() const;
+  // Issues the kernel's per-component LOOKUPs for the *ancestors* of path.
+  void LookupAncestors(const std::string& path, const UserCred& cred);
+
+  VfsPtr inner_;
+  const FuseSimConfig config_;
+  ProbeFn probe_;
+  std::mutex lookup_lock_;  // FUSE's exclusive kernel lock during LOOKUP
+  std::atomic<std::uint64_t> lookups_{0};
+};
+
+}  // namespace arkfs

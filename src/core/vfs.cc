@@ -1,0 +1,90 @@
+#include "core/vfs.h"
+
+#include "meta/path.h"
+
+namespace arkfs {
+
+StatResult StatResult::FromInode(const Inode& inode) {
+  StatResult st;
+  st.ino = inode.ino;
+  st.type = inode.type;
+  st.mode = inode.mode;
+  st.uid = inode.uid;
+  st.gid = inode.gid;
+  st.nlink = inode.nlink;
+  st.size = inode.size;
+  st.atime_sec = inode.atime_sec;
+  st.mtime_sec = inode.mtime_sec;
+  st.ctime_sec = inode.ctime_sec;
+  return st;
+}
+
+Status Vfs::Chmod(const std::string& path, std::uint32_t mode,
+                  const UserCred& cred) {
+  SetAttrRequest req;
+  req.mask = kSetMode;
+  req.mode = mode;
+  return SetAttr(path, req, cred);
+}
+
+Status Vfs::Chown(const std::string& path, std::uint32_t uid,
+                  std::uint32_t gid, const UserCred& cred) {
+  SetAttrRequest req;
+  req.mask = kSetUid | kSetGid;
+  req.uid = uid;
+  req.gid = gid;
+  return SetAttr(path, req, cred);
+}
+
+Status Vfs::Truncate(const std::string& path, std::uint64_t size,
+                     const UserCred& cred) {
+  SetAttrRequest req;
+  req.mask = kSetSize;
+  req.size = size;
+  return SetAttr(path, req, cred);
+}
+
+Status Vfs::WriteFileAt(const std::string& path, ByteSpan data,
+                        const UserCred& cred) {
+  OpenOptions options;
+  options.write = true;
+  options.create = true;
+  options.truncate = true;
+  ARKFS_ASSIGN_OR_RETURN(Fd fd, Open(path, options, cred));
+  auto written = Write(fd, 0, data);
+  if (!written.ok()) {
+    (void)Close(fd);
+    return written.status();
+  }
+  Status sync = Fsync(fd);
+  Status close = Close(fd);
+  if (!sync.ok()) return sync;
+  return close;
+}
+
+Result<Bytes> Vfs::ReadWholeFile(const std::string& path,
+                                 const UserCred& cred) {
+  ARKFS_ASSIGN_OR_RETURN(StatResult st, Stat(path, cred));
+  OpenOptions options;
+  ARKFS_ASSIGN_OR_RETURN(Fd fd, Open(path, options, cred));
+  auto data = Read(fd, 0, st.size);
+  Status close = Close(fd);
+  if (!data.ok()) return data.status();
+  if (!close.ok()) return close;
+  return data;
+}
+
+Status Vfs::MkdirAll(const std::string& path, std::uint32_t mode,
+                     const UserCred& cred) {
+  ARKFS_ASSIGN_OR_RETURN(auto comps, SplitPath(path));
+  std::string cur;
+  for (const auto& c : comps) {
+    cur += '/';
+    cur += c;
+    Status st = Mkdir(cur, mode, cred);
+    if (!st.ok() && st.code() != Errc::kExist) return st;
+  }
+  return Status::Ok();
+}
+
+}  // namespace arkfs

@@ -1,0 +1,182 @@
+#include "des/scalability.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "des/sim.h"
+
+namespace arkfs::des {
+namespace {
+
+ScaleResult Finish(Simulator& sim, const ScaleWorkload& workload) {
+  const Nanos makespan = sim.Run();
+  ScaleResult result;
+  result.total_ops = static_cast<std::uint64_t>(workload.clients) *
+                     workload.files_per_client;
+  result.seconds = static_cast<double>(makespan.count()) / 1e9;
+  result.ops_per_second =
+      result.seconds > 0 ? static_cast<double>(result.total_ops) / result.seconds
+                         : 0;
+  result.events = sim.events_executed();
+  return result;
+}
+
+// Self-referencing continuation helper.
+using Loop = std::shared_ptr<std::function<void(int)>>;
+Loop MakeLoop() { return std::make_shared<std::function<void(int)>>(); }
+
+}  // namespace
+
+ScaleResult SimulateCephCreates(const CephScaleParams& params,
+                                const ScaleWorkload& workload) {
+  Simulator sim;
+  auto rng = std::make_shared<Rng>(0xCEF5);
+
+  std::vector<std::unique_ptr<Resource>> ranks;
+  for (int r = 0; r < params.mds_ranks; ++r) {
+    ranks.push_back(std::make_unique<Resource>(&sim, params.dispatch_width));
+  }
+  std::unique_ptr<Resource> coordination;
+  if (params.mds_ranks > 1) {
+    coordination = std::make_unique<Resource>(&sim, params.coordination_width);
+  }
+  std::vector<std::unique_ptr<Resource>> daemons;
+  if (params.fuse) {
+    for (int c = 0; c < workload.clients; ++c) {
+      daemons.push_back(
+          std::make_unique<Resource>(&sim, params.fuse_daemon_width));
+    }
+  }
+
+  // Per-session MDS bookkeeping degrades service with client count — the
+  // Fig. 1 collapse beyond ~4 clients. Cross-rank coordination (distributed
+  // locks, capability management) carries the same per-session burden,
+  // which is why adding ranks buys so little (paper: <= 3.24x for 16 MDSs).
+  const Nanos service =
+      params.service + params.session_overhead * workload.clients;
+  const Nanos coordination_service =
+      params.coordination + params.session_overhead * workload.clients;
+
+  auto remaining =
+      std::make_shared<std::vector<int>>(workload.clients,
+                                         workload.files_per_client);
+  Loop next = MakeLoop();
+  *next = [&sim, &params, &ranks, &coordination, &daemons, rng, remaining,
+           service, coordination_service, next](int c) {
+    if ((*remaining)[c]-- <= 0) return;
+    const int rank = c % params.mds_ranks;
+
+    auto after_mds = [&sim, &params, &coordination, coordination_service, next,
+                      c] {
+      auto finish_op = [&sim, &params, next, c] {
+        sim.After(params.rtt / 2, [next, c] { (*next)(c); });
+      };
+      if (coordination) {
+        coordination->Use(coordination_service, finish_op);
+      } else {
+        finish_op();
+      }
+    };
+    auto send_rpc = [&sim, &params, &ranks, rng, service, rank, after_mds] {
+      sim.After(params.rtt / 2, [&sim, &params, &ranks, rng, service, rank,
+                                 after_mds] {
+        if (params.mds_ranks > 1 &&
+            rng->NextDouble() < params.forward_probability) {
+          // Wrong rank first: pay its service, hop, then the owner rank.
+          ranks[(rank + 1) % params.mds_ranks]->Use(
+              service, [&sim, &params, &ranks, service, rank, after_mds] {
+                sim.After(params.rtt, [&ranks, service, rank, after_mds] {
+                  ranks[rank]->Use(service, after_mds);
+                });
+              });
+        } else {
+          ranks[rank]->Use(service, after_mds);
+        }
+      });
+    };
+    if (params.fuse) {
+      // Per-component LOOKUP crossings + the op crossing through the node's
+      // libfuse worker pool.
+      daemons[c]->Use(params.fuse_crossing * 4, send_rpc);
+    } else {
+      send_rpc();
+    }
+  };
+
+  for (int c = 0; c < workload.clients; ++c) {
+    sim.After(Nanos(0), [next, c] { (*next)(c); });
+  }
+  ScaleResult result = Finish(sim, workload);
+  *next = nullptr;  // break the self-reference cycle
+  return result;
+}
+
+ScaleResult SimulateArkfsCreates(const ArkfsScaleParams& params,
+                                 const ScaleWorkload& workload) {
+  Simulator sim;
+
+  // Each client is one node; its CPU is a width-1 resource.
+  std::vector<std::unique_ptr<Resource>> cpus;
+  for (int c = 0; c < workload.clients; ++c) {
+    cpus.push_back(std::make_unique<Resource>(&sim, 1));
+  }
+  // Client 0 leads the near-root directories (first-come-first-served: the
+  // first mdtest process to resolve "/" wins those leases).
+  Resource* near_root_leader = cpus[0].get();
+
+  auto remaining =
+      std::make_shared<std::vector<int>>(workload.clients,
+                                         workload.files_per_client);
+  // Local cost of one create: FUSE crossings for every LOOKUP plus the op,
+  // the metatable update, journal buffering and amortized lease renewal.
+  const Nanos local_cost =
+      params.fuse_crossing * (params.lookups_per_create + 1) +
+      params.local_op + params.lease_renew;
+
+  // Each client has exactly one create in flight, so one counter per client
+  // tracks its remaining serialized LOOKUP RPCs (FUSE issues them one at a
+  // time).
+  auto lookups_left = std::make_shared<std::vector<int>>(workload.clients, 0);
+
+  Loop next = MakeLoop();
+  Loop lookup = MakeLoop();
+
+  *next = [&params, &cpus, remaining, lookups_left, local_cost, next,
+           lookup](int c) {
+    if ((*remaining)[c]-- <= 0) return;
+    if (params.permission_cache || c == 0) {
+      // Lookups resolve locally (pcache), or this client IS the near-root
+      // leader (its lookups are metatable hits).
+      cpus[c]->Use(local_cost, [next, c] { (*next)(c); });
+      return;
+    }
+    // No pcache: the near-root components become RPCs to the leader's CPU.
+    (*lookups_left)[c] = params.near_root_components;
+    (*lookup)(c);
+  };
+
+  *lookup = [&sim, &params, &cpus, near_root_leader, lookups_left, local_cost,
+             next, lookup](int c) {
+    if ((*lookups_left)[c] == 0) {
+      cpus[c]->Use(local_cost, [next, c] { (*next)(c); });
+      return;
+    }
+    --(*lookups_left)[c];
+    sim.After(params.rtt / 2, [&sim, &params, near_root_leader, lookup, c] {
+      near_root_leader->Use(params.remote_serve, [&sim, &params, lookup, c] {
+        sim.After(params.rtt / 2, [lookup, c] { (*lookup)(c); });
+      });
+    });
+  };
+
+  for (int c = 0; c < workload.clients; ++c) {
+    sim.After(Nanos(0), [next, c] { (*next)(c); });
+  }
+  ScaleResult result = Finish(sim, workload);
+  *next = nullptr;  // break the self/mutual reference cycles
+  *lookup = nullptr;
+  return result;
+}
+
+}  // namespace arkfs::des

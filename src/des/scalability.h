@@ -1,0 +1,78 @@
+// Scalability models for the client-count sweeps (Fig. 1 and Fig. 7).
+//
+// Each model runs the mdtest-easy CREATE pattern — every client creates
+// files in its own private directory — against a protocol-level cost model
+// of the file system, in virtual time. Cost constants are documented below;
+// CPU-side numbers are calibrated against the real implementation (see
+// bench/fig7_scalability, which prints the microbenchmark-derived values).
+//
+// CephFS model (Figs. 1 & 7):
+//   create = RTT + MDS-rank service (width = dispatch threads) and, with
+//   multiple ranks, probabilistic forwarding (extra hop + service) and a
+//   narrow shared coordination resource (distributed locks / journal /
+//   migration traffic). MDS service time additionally degrades with client
+//   count (per-session lock & capability bookkeeping) — this is what bends
+//   Fig. 1 downward past ~4 clients rather than plateauing.
+//
+// ArkFS model (Fig. 7):
+//   With the permission cache, a create is pure client-local work: FUSE
+//   crossings for the per-component LOOKUPs + the local metatable update +
+//   journal buffering. No shared resource at all → near-linear.
+//   Without it, the two near-root path components of every create become
+//   RPCs to the near-root directory leaders (a single client's CPU!); the
+//   leaders' serving capacity caps the aggregate, and because serving also
+//   steals the leader's own create cycles, going from 1 to 2 clients already
+//   *drops* aggregate throughput — the paper's "drastic degradation".
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace arkfs::des {
+
+struct ScaleWorkload {
+  int clients = 1;
+  int files_per_client = 1000;
+};
+
+struct CephScaleParams {
+  Nanos rtt{Micros(200)};
+  int mds_ranks = 1;
+  int dispatch_width = 1;            // MDS request dispatch is ~single-threaded
+  Nanos service{Micros(30)};         // per-create service on the rank
+  Nanos session_overhead{Nanos(200)};  // extra service per active client
+  double forward_probability = 0.3;  // multi-rank: wrong-rank first try
+  int coordination_width = 3;        // multi-rank shared locks/journal
+  Nanos coordination{Micros(25)};
+  bool fuse = false;                 // CephFS-F: add FUSE crossing costs
+  Nanos fuse_crossing{Micros(4)};
+  int fuse_daemon_width = 4;         // libfuse worker pool per client node
+};
+
+struct ArkfsScaleParams {
+  Nanos rtt{Micros(200)};
+  bool permission_cache = true;
+  Nanos local_op{Micros(2)};      // metatable update + journal buffering
+  Nanos fuse_crossing{Micros(4)};
+  int lookups_per_create = 3;     // /, /mdtest, leaf (paper's example)
+  int near_root_components = 2;   // lookups that need near-root leaders
+  Nanos remote_serve{Micros(40)}; // leader-side cost to serve a remote lookup
+                                  // (RPC handling + path traversal)
+  Nanos lease_renew{Micros(10)};  // amortized lease traffic (per create)
+};
+
+struct ScaleResult {
+  double ops_per_second = 0;  // aggregate, virtual time
+  double seconds = 0;         // makespan
+  std::uint64_t total_ops = 0;
+  std::uint64_t events = 0;
+};
+
+ScaleResult SimulateCephCreates(const CephScaleParams& params,
+                                const ScaleWorkload& workload);
+
+ScaleResult SimulateArkfsCreates(const ArkfsScaleParams& params,
+                                 const ScaleWorkload& workload);
+
+}  // namespace arkfs::des

@@ -1,0 +1,46 @@
+#include "des/sim.h"
+
+namespace arkfs::des {
+
+void Simulator::At(Nanos when, Event event) {
+  if (when < now_) when = now_;
+  heap_.push(Item{when, seq_++, std::move(event)});
+}
+
+void Simulator::After(Nanos delay, Event event) {
+  At(now_ + delay, std::move(event));
+}
+
+Nanos Simulator::Run() {
+  while (!heap_.empty()) {
+    // priority_queue::top returns const&; move is safe because we pop next.
+    Item item = std::move(const_cast<Item&>(heap_.top()));
+    heap_.pop();
+    now_ = item.when;
+    ++executed_;
+    item.event();
+  }
+  return now_;
+}
+
+void Resource::Use(Nanos service, Event done) {
+  queue_.emplace_back(service, std::move(done));
+  Dispatch();
+}
+
+void Resource::Dispatch() {
+  while (active_ < width_ && !queue_.empty()) {
+    auto [service, done] = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    ++uses_;
+    busy_ += service;
+    sim_->After(service, [this, done = std::move(done)] {
+      --active_;
+      done();
+      Dispatch();
+    });
+  }
+}
+
+}  // namespace arkfs::des

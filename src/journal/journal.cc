@@ -1,0 +1,450 @@
+#include "journal/journal.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.h"
+
+namespace arkfs::journal {
+
+JournalManager::JournalManager(std::shared_ptr<Prt> prt, JournalConfig config)
+    : config_(config), prt_(std::move(prt)) {
+  checkpoint_queues_.reserve(config_.checkpoint_threads);
+  for (int i = 0; i < config_.checkpoint_threads; ++i) {
+    checkpoint_queues_.push_back(std::make_unique<MpmcQueue<Uuid>>());
+  }
+  for (int i = 0; i < config_.checkpoint_threads; ++i) {
+    checkpoint_threads_.emplace_back([this, i] { CheckpointThreadMain(i); });
+  }
+  for (int i = 0; i < config_.commit_threads; ++i) {
+    commit_threads_.emplace_back([this, i] { CommitThreadMain(i); });
+  }
+}
+
+JournalManager::~JournalManager() {
+  stopping_.store(true);
+  for (auto& q : checkpoint_queues_) q->Close();
+  for (auto& t : commit_threads_) {
+    if (t.joinable()) t.join();
+  }
+  for (auto& t : checkpoint_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void JournalManager::RegisterDir(const Uuid& dir_ino) {
+  FindOrCreateDir(dir_ino);
+}
+
+Status JournalManager::UnregisterDir(const Uuid& dir_ino) {
+  DirStatePtr st = FindDir(dir_ino);
+  if (!st) return Status::Ok();
+  ARKFS_RETURN_IF_ERROR(CommitRunning(dir_ino, *st));
+  ARKFS_RETURN_IF_ERROR(Checkpoint(dir_ino, *st));
+  {
+    std::lock_guard append(st->append_mu);
+    ARKFS_RETURN_IF_ERROR(prt_->DeleteJournal(dir_ino));
+    st->journal_bytes = 0;
+  }
+  std::lock_guard lock(registry_mu_);
+  dirs_.erase(dir_ino);
+  return Status::Ok();
+}
+
+void JournalManager::Append(const Uuid& dir_ino, std::vector<Record> records) {
+  DirStatePtr st = FindOrCreateDir(dir_ino);
+  std::lock_guard lock(st->mu);
+  if (st->running.empty()) st->first_op = Now();
+  st->running.insert(st->running.end(),
+                     std::make_move_iterator(records.begin()),
+                     std::make_move_iterator(records.end()));
+}
+
+JournalManager::DirStatePtr JournalManager::FindDir(const Uuid& dir_ino) {
+  std::lock_guard lock(registry_mu_);
+  auto it = dirs_.find(dir_ino);
+  return it == dirs_.end() ? nullptr : it->second;
+}
+
+JournalManager::DirStatePtr JournalManager::FindOrCreateDir(
+    const Uuid& dir_ino) {
+  std::lock_guard lock(registry_mu_);
+  auto& slot = dirs_[dir_ino];
+  if (!slot) slot = std::make_shared<DirState>();
+  return slot;
+}
+
+Status JournalManager::AppendToJournalLocked(const Uuid& dir_ino,
+                                             DirState& st, Transaction txn) {
+  const Bytes framed = EncodeTransaction(txn);
+  if (prt_->store().supports_partial_write()) {
+    ARKFS_RETURN_IF_ERROR(
+        prt_->store().PutRange(JournalKey(dir_ino), st.journal_bytes, framed));
+  } else {
+    // Whole-object backend: read-modify-write append.
+    Bytes full;
+    if (st.journal_bytes > 0) {
+      auto existing = prt_->LoadJournal(dir_ino);
+      if (existing.ok()) full = std::move(*existing);
+    }
+    full.resize(st.journal_bytes);  // drop any stale tail
+    full.insert(full.end(), framed.begin(), framed.end());
+    ARKFS_RETURN_IF_ERROR(prt_->StoreJournal(dir_ino, full));
+  }
+  st.journal_bytes += framed.size();
+  {
+    std::lock_guard stats(stats_mu_);
+    ++stats_.transactions_committed;
+    stats_.records_committed += txn.records.size();
+    stats_.journal_bytes_written += framed.size();
+  }
+  st.committed.emplace_back(std::move(txn), framed.size());
+  return Status::Ok();
+}
+
+Status JournalManager::CommitRunningLocked(const Uuid& dir_ino, DirState& st) {
+  Transaction txn;
+  {
+    std::lock_guard lock(st.mu);
+    if (st.running.empty()) return Status::Ok();
+    txn.records = std::move(st.running);
+    st.running.clear();
+    txn.seq = st.next_seq++;
+  }
+  return AppendToJournalLocked(dir_ino, st, std::move(txn));
+}
+
+Status JournalManager::CommitRunning(const Uuid& dir_ino, DirState& st) {
+  std::lock_guard append(st.append_mu);
+  return CommitRunningLocked(dir_ino, st);
+}
+
+Status JournalManager::Checkpoint(const Uuid& dir_ino, DirState& st) {
+  std::lock_guard cp(st.checkpoint_mu);
+  std::vector<Transaction> batch;
+  std::uint64_t batch_bytes = 0;
+  {
+    std::lock_guard append(st.append_mu);
+    if (st.committed.empty()) return Status::Ok();
+    batch.reserve(st.committed.size());
+    for (auto& [txn, size] : st.committed) {
+      batch.push_back(std::move(txn));
+      batch_bytes += size;
+    }
+    st.committed.clear();
+  }
+
+  // Apply to the authoritative objects WITHOUT blocking appends: anything
+  // committed meanwhile lands after the prefix we are consuming, and a
+  // crash at any point simply replays (idempotently) from the journal.
+  // 2PC prepares are always co-batched with their decisions (CommitCrossDir
+  // appends both phases under append_mu), so no peer consultation is needed.
+  ARKFS_RETURN_IF_ERROR(ApplyTransactions(
+      *prt_, dir_ino, batch,
+      [](const Uuid&, const Uuid&) { return false; }, nullptr));
+
+  // Trim exactly the checkpointed prefix from the journal object.
+  {
+    std::lock_guard append(st.append_mu);
+    Bytes remainder;
+    if (st.journal_bytes > batch_bytes) {
+      auto current = prt_->LoadJournal(dir_ino);
+      if (current.ok() && current->size() >= batch_bytes) {
+        remainder.assign(current->begin() + batch_bytes, current->end());
+      }
+    }
+    ARKFS_RETURN_IF_ERROR(prt_->StoreJournal(dir_ino, remainder));
+    st.journal_bytes = remainder.size();
+  }
+  {
+    std::lock_guard stats(stats_mu_);
+    stats_.transactions_checkpointed += batch.size();
+  }
+  return Status::Ok();
+}
+
+Status JournalManager::CommitDir(const Uuid& dir_ino) {
+  DirStatePtr st = FindDir(dir_ino);
+  if (!st) return Status::Ok();
+  return CommitRunning(dir_ino, *st);
+}
+
+Status JournalManager::FlushDir(const Uuid& dir_ino) {
+  DirStatePtr st = FindDir(dir_ino);
+  if (!st) return Status::Ok();
+  ARKFS_RETURN_IF_ERROR(CommitRunning(dir_ino, *st));
+  return Checkpoint(dir_ino, *st);
+}
+
+Status JournalManager::FlushAll() {
+  std::vector<Uuid> all;
+  {
+    std::lock_guard lock(registry_mu_);
+    all.reserve(dirs_.size());
+    for (const auto& [ino, _] : dirs_) all.push_back(ino);
+  }
+  for (const auto& ino : all) {
+    ARKFS_RETURN_IF_ERROR(FlushDir(ino));
+  }
+  return Status::Ok();
+}
+
+Status JournalManager::CommitAll() {
+  std::vector<Uuid> all;
+  {
+    std::lock_guard lock(registry_mu_);
+    all.reserve(dirs_.size());
+    for (const auto& [ino, _] : dirs_) all.push_back(ino);
+  }
+  for (const auto& ino : all) {
+    ARKFS_RETURN_IF_ERROR(CommitDir(ino));
+  }
+  return Status::Ok();
+}
+
+Status JournalManager::CommitCrossDir(const Uuid& src_dir,
+                                      std::vector<Record> src_records,
+                                      const Uuid& dst_dir,
+                                      std::vector<Record> dst_records) {
+  if (src_dir == dst_dir) {
+    return ErrStatus(Errc::kInval, "cross-dir commit needs two directories");
+  }
+  DirStatePtr src = FindOrCreateDir(src_dir);
+  DirStatePtr dst = FindOrCreateDir(dst_dir);
+  // Canonical lock order by inode id prevents deadlock with a concurrent
+  // rename in the opposite direction. Holding both append locks across both
+  // 2PC phases guarantees a checkpoint never sees an undecided prepare.
+  DirState* first = src.get();
+  DirState* second = dst.get();
+  if (dst_dir < src_dir) std::swap(first, second);
+  std::lock_guard io1(first->append_mu);
+  std::lock_guard io2(second->append_mu);
+
+  // Preserve intra-directory ordering: anything already buffered commits
+  // ahead of the rename.
+  ARKFS_RETURN_IF_ERROR(CommitRunningLocked(src_dir, *src));
+  ARKFS_RETURN_IF_ERROR(CommitRunningLocked(dst_dir, *dst));
+
+  const Uuid txid = NewUuid();
+
+  // Phase 1: durable prepares in both journals.
+  Transaction src_prep;
+  {
+    std::lock_guard lock(src->mu);
+    src_prep.seq = src->next_seq++;
+  }
+  src_prep.records.push_back(Record::Prepare(txid, dst_dir));
+  for (auto& r : src_records) src_prep.records.push_back(std::move(r));
+  ARKFS_RETURN_IF_ERROR(AppendToJournalLocked(src_dir, *src, std::move(src_prep)));
+
+  Transaction dst_prep;
+  {
+    std::lock_guard lock(dst->mu);
+    dst_prep.seq = dst->next_seq++;
+  }
+  dst_prep.records.push_back(Record::Prepare(txid, src_dir));
+  for (auto& r : dst_records) dst_prep.records.push_back(std::move(r));
+  ARKFS_RETURN_IF_ERROR(AppendToJournalLocked(dst_dir, *dst, std::move(dst_prep)));
+
+  // Phase 2: commit decisions.
+  for (DirStatePtr* side : {&src, &dst}) {
+    Transaction decision;
+    {
+      std::lock_guard lock((*side)->mu);
+      decision.seq = (*side)->next_seq++;
+    }
+    decision.records.push_back(Record::Decision(txid, /*commit=*/true));
+    const Uuid& ino = (side == &src) ? src_dir : dst_dir;
+    ARKFS_RETURN_IF_ERROR(AppendToJournalLocked(ino, **side, std::move(decision)));
+  }
+  return Status::Ok();
+}
+
+Result<RecoveryReport> JournalManager::RecoverDir(const Uuid& dir_ino) {
+  RecoveryReport report;
+  auto raw = prt_->LoadJournal(dir_ino);
+  if (!raw.ok()) {
+    if (raw.code() == Errc::kNoEnt) return report;  // nothing to recover
+    return raw.status();
+  }
+  const std::vector<Transaction> txns = ParseJournal(*raw);
+  if (txns.empty()) return report;
+
+  auto peer_decision = [this](const Uuid& txid, const Uuid& peer) -> bool {
+    auto peer_raw = prt_->LoadJournal(peer);
+    if (!peer_raw.ok()) return false;  // presumed abort
+    for (const auto& txn : ParseJournal(*peer_raw)) {
+      for (const auto& rec : txn.records) {
+        if (rec.type == RecordType::kDecision && rec.txid == txid) {
+          return rec.commit;
+        }
+      }
+    }
+    return false;
+  };
+
+  ARKFS_RETURN_IF_ERROR(
+      ApplyTransactions(*prt_, dir_ino, txns, peer_decision, &report));
+  ARKFS_RETURN_IF_ERROR(prt_->StoreJournal(dir_ino, Bytes{}));
+
+  // Reset any stale in-memory bookkeeping for this directory.
+  if (DirStatePtr st = FindDir(dir_ino)) {
+    std::scoped_lock locks(st->checkpoint_mu, st->append_mu, st->mu);
+    st->running.clear();
+    st->committed.clear();
+    st->journal_bytes = 0;
+  }
+  return report;
+}
+
+bool JournalManager::HasSurvivingJournal(const Uuid& dir_ino) {
+  auto raw = prt_->LoadJournal(dir_ino);
+  if (!raw.ok()) return false;
+  return !ParseJournal(*raw).empty();
+}
+
+Status JournalManager::ApplyTransactions(
+    Prt& prt, const Uuid& dir_ino, const std::vector<Transaction>& txns,
+    const std::function<bool(const Uuid& txid, const Uuid& peer)>&
+        peer_decision,
+    RecoveryReport* report) {
+  // Decisions may live in later transactions than their prepares.
+  std::map<Uuid, bool> decisions;
+  for (const auto& txn : txns) {
+    for (const auto& rec : txn.records) {
+      if (rec.type == RecordType::kDecision) decisions[rec.txid] = rec.commit;
+    }
+  }
+
+  // Dentry-block deltas are folded into one read-modify-write.
+  bool dentries_loaded = false;
+  bool dentries_dirty = false;
+  std::map<std::string, Dentry> dentries;
+  auto load_dentries = [&]() -> Status {
+    if (dentries_loaded) return Status::Ok();
+    ARKFS_ASSIGN_OR_RETURN(auto block, prt.LoadDentryBlock(dir_ino));
+    for (auto& d : block) dentries[d.name] = std::move(d);
+    dentries_loaded = true;
+    return Status::Ok();
+  };
+
+  for (const auto& txn : txns) {
+    if (const Record* prep = txn.FindPrepare()) {
+      bool commit = false;
+      auto it = decisions.find(prep->txid);
+      if (it != decisions.end()) {
+        commit = it->second;
+      } else if (peer_decision) {
+        commit = peer_decision(prep->txid, prep->peer_dir);
+      }
+      if (!commit) {
+        if (report) ++report->transactions_aborted;
+        continue;
+      }
+    }
+    if (report) ++report->transactions_replayed;
+
+    for (const auto& rec : txn.records) {
+      switch (rec.type) {
+        case RecordType::kInodeUpsert:
+          ARKFS_RETURN_IF_ERROR(prt.StoreInode(rec.inode));
+          break;
+        case RecordType::kInodeRemove: {
+          Status st = prt.DeleteInode(rec.target_ino);
+          if (!st.ok() && st.code() != Errc::kNoEnt) return st;
+          if (rec.chunk_size > 0 && rec.file_size > 0) {
+            const std::uint64_t chunks =
+                (rec.file_size - 1) / rec.chunk_size + 1;
+            for (std::uint64_t c = 0; c < chunks; ++c) {
+              Status ds = prt.store().Delete(DataKey(rec.target_ino, c));
+              if (!ds.ok() && ds.code() != Errc::kNoEnt) return ds;
+            }
+          }
+          break;
+        }
+        case RecordType::kDentryAdd:
+          ARKFS_RETURN_IF_ERROR(load_dentries());
+          dentries[rec.dentry.name] = rec.dentry;
+          dentries_dirty = true;
+          break;
+        case RecordType::kDentryRemove:
+          ARKFS_RETURN_IF_ERROR(load_dentries());
+          dentries.erase(rec.name);
+          dentries_dirty = true;
+          break;
+        case RecordType::kDirRemove: {
+          Status st = prt.DeleteDentryBlock(rec.target_ino);
+          if (!st.ok() && st.code() != Errc::kNoEnt) return st;
+          st = prt.DeleteJournal(rec.target_ino);
+          if (!st.ok() && st.code() != Errc::kNoEnt) return st;
+          break;
+        }
+        case RecordType::kPrepare:
+        case RecordType::kDecision:
+          break;  // control records
+      }
+      if (report && rec.type != RecordType::kPrepare &&
+          rec.type != RecordType::kDecision) {
+        ++report->records_applied;
+      }
+    }
+  }
+
+  if (dentries_dirty) {
+    std::vector<Dentry> block;
+    block.reserve(dentries.size());
+    for (auto& [_, d] : dentries) block.push_back(std::move(d));
+    ARKFS_RETURN_IF_ERROR(prt.StoreDentryBlock(dir_ino, block));
+  }
+  return Status::Ok();
+}
+
+void JournalManager::CommitThreadMain(int index) {
+  const Nanos poll = std::max<Nanos>(config_.commit_interval / 4, Millis(2));
+  while (!stopping_.load()) {
+    SleepFor(poll);
+    std::vector<std::pair<Uuid, DirStatePtr>> mine;
+    {
+      std::lock_guard lock(registry_mu_);
+      for (const auto& [ino, st] : dirs_) {
+        if (CommitThreadFor(ino) == index) mine.emplace_back(ino, st);
+      }
+    }
+    const TimePoint now = Now();
+    for (auto& [ino, st] : mine) {
+      bool due = false;
+      {
+        std::lock_guard lock(st->mu);
+        due = !st->running.empty() &&
+              now - st->first_op >= config_.commit_interval;
+      }
+      if (!due) continue;
+      Status s = CommitRunning(ino, *st);
+      if (!s.ok()) {
+        ARKFS_WLOG << "background commit failed for " << ino.ToString()
+                   << ": " << s.ToString();
+        continue;
+      }
+      checkpoint_queues_[CheckpointThreadFor(ino)]->Push(ino);
+    }
+  }
+}
+
+void JournalManager::CheckpointThreadMain(int index) {
+  while (auto ino = checkpoint_queues_[index]->Pop()) {
+    DirStatePtr st = FindDir(*ino);
+    if (!st) continue;
+    Status s = Checkpoint(*ino, *st);
+    if (!s.ok()) {
+      ARKFS_WLOG << "checkpoint failed for " << ino->ToString() << ": "
+                 << s.ToString();
+    }
+  }
+}
+
+JournalStats JournalManager::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace arkfs::journal

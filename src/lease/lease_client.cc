@@ -1,0 +1,64 @@
+#include "lease/lease_client.h"
+
+#include <algorithm>
+
+namespace arkfs::lease {
+
+Result<LeaseClient::Grant> LeaseClient::Acquire(const Uuid& dir_ino) {
+  const AcquireRequest req{dir_ino, self_};
+  const Bytes payload = req.Encode();
+  Nanos backoff = options_.initial_backoff;
+  const TimePoint deadline = Now() + options_.wait_budget;
+
+  while (true) {
+    ARKFS_ASSIGN_OR_RETURN(
+        Bytes raw, fabric_->Call(kManagerAddress, kMethodAcquire, payload));
+    ARKFS_ASSIGN_OR_RETURN(auto resp, AcquireResponse::Decode(raw));
+    switch (resp.outcome) {
+      case AcquireOutcome::kGranted: {
+        Grant grant;
+        grant.fresh = resp.fresh;
+        grant.until = TimePoint(Nanos(resp.lease_until_ns));
+        grant.prev_leader = resp.prev_leader;
+        return grant;
+      }
+      case AcquireOutcome::kRedirect:
+        return ErrStatus(Errc::kAgain, resp.leader);
+      case AcquireOutcome::kWait:
+        if (Now() + backoff > deadline) {
+          return ErrStatus(Errc::kBusy, "lease wait budget exhausted");
+        }
+        SleepFor(backoff);
+        backoff = std::min<Nanos>(backoff * 2, Millis(500));
+        break;
+    }
+  }
+}
+
+Status LeaseClient::Release(const Uuid& dir_ino) {
+  const ReleaseRequest req{dir_ino, self_};
+  return fabric_->Call(kManagerAddress, kMethodRelease, req.Encode()).status();
+}
+
+Status LeaseClient::BeginRecovery(const Uuid& dir_ino) {
+  const RecoveryRequest req{dir_ino, self_, RecoveryPhase::kBegin};
+  return fabric_->Call(kManagerAddress, kMethodRecovery, req.Encode()).status();
+}
+
+Status LeaseClient::EndRecovery(const Uuid& dir_ino) {
+  const RecoveryRequest req{dir_ino, self_, RecoveryPhase::kEnd};
+  return fabric_->Call(kManagerAddress, kMethodRecovery, req.Encode()).status();
+}
+
+Result<std::optional<std::string>> LeaseClient::LookupLeader(
+    const Uuid& dir_ino) {
+  const LookupRequest req{dir_ino};
+  ARKFS_ASSIGN_OR_RETURN(Bytes raw,
+                         fabric_->Call(kManagerAddress, kMethodLookup,
+                                       req.Encode()));
+  ARKFS_ASSIGN_OR_RETURN(auto resp, LookupResponse::Decode(raw));
+  if (!resp.has_leader) return std::optional<std::string>{};
+  return std::optional<std::string>{resp.leader};
+}
+
+}  // namespace arkfs::lease

@@ -1,0 +1,67 @@
+// Client-side stub for the lease protocol.
+//
+// Thin typed wrapper over the RPC fabric. Retry policy for kWait (directory
+// recovering / manager quiet period) lives here so every caller behaves the
+// same: bounded exponential-ish backoff, then kAgain to the caller.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "lease/wire.h"
+#include "rpc/fabric.h"
+
+namespace arkfs::lease {
+
+class LeaseClient {
+ public:
+  struct Options {
+    // How long to keep retrying a kWait answer before giving up.
+    Nanos wait_budget{Seconds(30)};
+    Nanos initial_backoff{Millis(10)};
+  };
+
+  LeaseClient(rpc::FabricPtr fabric, std::string self_address,
+              Options options)
+      : fabric_(std::move(fabric)),
+        self_(std::move(self_address)),
+        options_(options) {}
+
+  LeaseClient(rpc::FabricPtr fabric, std::string self_address)
+      : LeaseClient(std::move(fabric), std::move(self_address), Options()) {}
+
+  struct Grant {
+    bool fresh = false;
+    TimePoint until{};
+    std::string prev_leader;  // non-empty: flush handshake target
+  };
+
+  // Acquire (or extend) the lease on dir_ino.
+  //   ok            -> caller is leader; see Grant
+  //   kAgain+detail -> redirect; detail() is the current leader's address
+  //   kTimedOut     -> manager unreachable
+  //   kBusy         -> wait budget exhausted (recovery/quiet period)
+  Result<Grant> Acquire(const Uuid& dir_ino);
+
+  Status Release(const Uuid& dir_ino);
+  Status BeginRecovery(const Uuid& dir_ino);
+  Status EndRecovery(const Uuid& dir_ino);
+
+  // Current leader if any (does not take the lease).
+  Result<std::optional<std::string>> LookupLeader(const Uuid& dir_ino);
+
+  const std::string& self_address() const { return self_; }
+
+ private:
+  rpc::FabricPtr fabric_;
+  std::string self_;
+  Options options_;
+};
+
+// Status detail carries the leader address on redirect.
+inline bool IsRedirect(const Status& st) {
+  return st.code() == Errc::kAgain && !st.detail().empty();
+}
+
+}  // namespace arkfs::lease

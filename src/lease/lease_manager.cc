@@ -1,0 +1,171 @@
+#include "lease/lease_manager.h"
+
+#include "common/log.h"
+
+namespace arkfs::lease {
+
+LeaseManager::LeaseManager(rpc::FabricPtr fabric, LeaseManagerConfig config)
+    : config_(config), fabric_(std::move(fabric)) {}
+
+LeaseManager::~LeaseManager() { Stop(); }
+
+Status LeaseManager::Start() {
+  endpoint_ = std::make_shared<rpc::Endpoint>();
+  endpoint_->RegisterMethod(kMethodAcquire, [this](ByteSpan req) -> Result<Bytes> {
+    ARKFS_ASSIGN_OR_RETURN(auto request, AcquireRequest::Decode(req));
+    return Acquire(request).Encode();
+  });
+  endpoint_->RegisterMethod(kMethodRelease, [this](ByteSpan req) -> Result<Bytes> {
+    ARKFS_ASSIGN_OR_RETURN(auto request, ReleaseRequest::Decode(req));
+    Release(request);
+    return Bytes{};
+  });
+  endpoint_->RegisterMethod(kMethodRecovery, [this](ByteSpan req) -> Result<Bytes> {
+    ARKFS_ASSIGN_OR_RETURN(auto request, RecoveryRequest::Decode(req));
+    ARKFS_RETURN_IF_ERROR(Recovery(request));
+    return Bytes{};
+  });
+  endpoint_->RegisterMethod(kMethodLookup, [this](ByteSpan req) -> Result<Bytes> {
+    ARKFS_ASSIGN_OR_RETURN(auto request, LookupRequest::Decode(req));
+    return Lookup(request).Encode();
+  });
+  ARKFS_RETURN_IF_ERROR(fabric_->Bind(kManagerAddress, endpoint_));
+  {
+    std::lock_guard lock(mu_);
+    started_ = true;
+  }
+  return Status::Ok();
+}
+
+void LeaseManager::Stop() {
+  std::lock_guard lock(mu_);
+  if (started_) {
+    fabric_->Unbind(kManagerAddress);
+    started_ = false;
+  }
+}
+
+void LeaseManager::Restart() {
+  std::lock_guard lock(mu_);
+  leases_.clear();
+  quiet_until_ = Now() + config_.lease_period;
+  ARKFS_ILOG << "lease manager restarted; quiet period "
+             << config_.lease_period.count() / 1e6 << "ms";
+}
+
+AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
+  std::lock_guard lock(mu_);
+  const TimePoint now = Now();
+  AcquireResponse resp;
+
+  if (now < quiet_until_) {
+    resp.outcome = AcquireOutcome::kWait;
+    return resp;
+  }
+
+  DirLease& l = leases_[req.dir_ino];
+  if (l.recovering) {
+    // The recoverer itself renews through Recovery(kEnd), not Acquire.
+    resp.outcome = AcquireOutcome::kWait;
+    return resp;
+  }
+
+  if (!Expired(l, now)) {
+    if (l.leader == req.client) {
+      // Extension by the current leader.
+      l.expires = now + config_.lease_period;
+      resp.outcome = AcquireOutcome::kGranted;
+      resp.fresh = true;
+      resp.lease_until_ns = l.expires.time_since_epoch().count();
+      return resp;
+    }
+    resp.outcome = AcquireOutcome::kRedirect;
+    resp.leader = l.leader;
+    return resp;
+  }
+
+  // Lease is free (never issued, expired, or released).
+  resp.outcome = AcquireOutcome::kGranted;
+  resp.fresh = (l.last_leader == req.client);
+  if (!resp.fresh && !l.last_leader.empty()) {
+    resp.prev_leader = l.last_leader;
+  }
+  l.leader = req.client;
+  l.last_leader = req.client;
+  l.expires = now + config_.lease_period;
+  resp.lease_until_ns = l.expires.time_since_epoch().count();
+  return resp;
+}
+
+void LeaseManager::Release(const ReleaseRequest& req) {
+  std::lock_guard lock(mu_);
+  auto it = leases_.find(req.dir_ino);
+  if (it == leases_.end()) return;
+  if (it->second.leader == req.client) {
+    it->second.leader.clear();
+    it->second.expires = TimePoint{};
+    // last_leader stays: a clean release means the store is fully
+    // synchronized, and if the same client comes back it may reuse its
+    // metatable only if nobody else led meanwhile — which last_leader tracks.
+  }
+}
+
+Status LeaseManager::Recovery(const RecoveryRequest& req) {
+  if (req.phase == RecoveryPhase::kBegin) {
+    {
+      std::lock_guard lock(mu_);
+      DirLease& l = leases_[req.dir_ino];
+      if (l.recovering && l.recoverer != req.client) {
+        return ErrStatus(Errc::kBusy, "recovery already in progress");
+      }
+      if (!Expired(l, Now()) && l.leader != req.client) {
+        return ErrStatus(Errc::kBusy, "directory has a live leader");
+      }
+      l.recovering = true;
+      l.recoverer = req.client;
+      l.leader.clear();
+    }
+    // Wait out any read/write leases the dead leader issued to other
+    // clients (paper: "waits at least the lease period"). Done outside the
+    // lock: unrelated directories keep working during a recovery.
+    SleepFor(config_.recovery_wait);
+    return Status::Ok();
+  }
+
+  // kEnd: recovery finished; renew the lease on the recoverer.
+  std::lock_guard lock(mu_);
+  DirLease& l = leases_[req.dir_ino];
+  if (!l.recovering || l.recoverer != req.client) {
+    return ErrStatus(Errc::kInval, "not the recovering client");
+  }
+  l.recovering = false;
+  l.recoverer.clear();
+  l.leader = req.client;
+  l.last_leader = req.client;
+  l.expires = Now() + config_.lease_period;
+  return Status::Ok();
+}
+
+LookupResponse LeaseManager::Lookup(const LookupRequest& req) {
+  std::lock_guard lock(mu_);
+  LookupResponse resp;
+  auto it = leases_.find(req.dir_ino);
+  if (it != leases_.end() && !Expired(it->second, Now()) &&
+      !it->second.recovering) {
+    resp.has_leader = true;
+    resp.leader = it->second.leader;
+  }
+  return resp;
+}
+
+std::size_t LeaseManager::ActiveLeaseCount() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  const TimePoint now = Now();
+  for (const auto& [_, l] : leases_) {
+    if (!Expired(l, now)) ++n;
+  }
+  return n;
+}
+
+}  // namespace arkfs::lease

@@ -1,0 +1,90 @@
+// The lease manager (paper §III-B, §III-E.2).
+//
+// A single lightweight coordinator that hands out per-directory leases
+// first-come-first-served. It never touches file system metadata itself —
+// it only remembers, per directory inode, who leads it and until when.
+// Acquiring or extending a lease is one small RPC; everything heavy happens
+// at the clients, which is why a single manager suffices (the paper measured
+// no bottleneck; a manager cluster is future work there and here).
+//
+// Fault behaviours implemented:
+//  * leader change with a live predecessor: the grant carries `prev_leader`
+//    so the new leader can request a final flush before loading metadata;
+//  * crashed leader: journal recovery — BeginRecovery fences the directory
+//    (other clients get kWait) and waits out the read/write-lease period;
+//  * manager restart: Restart() clears all state and enters a quiet period
+//    of one lease term during which every Acquire gets kWait, so a
+//    still-live leader's lease cannot be double-granted.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/uuid.h"
+#include "lease/wire.h"
+#include "rpc/fabric.h"
+
+namespace arkfs::lease {
+
+struct LeaseManagerConfig {
+  Nanos lease_period{Seconds(5)};   // paper default: 5 seconds
+  // How long BeginRecovery wait-fences a directory so outstanding
+  // read/write leases issued by the dead leader drain. Defaults to the
+  // lease period (paper: "waits at least the lease period"). Tests shrink it.
+  Nanos recovery_wait{Seconds(5)};
+
+  static LeaseManagerConfig ForTests() {
+    return {Millis(200), Nanos(0)};
+  }
+};
+
+class LeaseManager {
+ public:
+  LeaseManager(rpc::FabricPtr fabric, LeaseManagerConfig config);
+  ~LeaseManager();
+
+  // Binds the manager's endpoint on the fabric at kManagerAddress.
+  Status Start();
+  void Stop();
+
+  // Simulates a crash + restart: all lease state is lost and a quiet period
+  // of one lease term begins (paper §III-E.2).
+  void Restart();
+
+  // --- direct (in-process) API; the RPC handlers call these ---
+  AcquireResponse Acquire(const AcquireRequest& req);
+  void Release(const ReleaseRequest& req);
+  Status Recovery(const RecoveryRequest& req);
+  LookupResponse Lookup(const LookupRequest& req);
+
+  // Introspection for tests.
+  std::size_t ActiveLeaseCount() const;
+  const LeaseManagerConfig& config() const { return config_; }
+
+ private:
+  struct DirLease {
+    std::string leader;
+    TimePoint expires{};
+    std::string last_leader;  // survives expiry; drives the `fresh` hint
+    bool recovering = false;
+    std::string recoverer;
+  };
+
+  bool Expired(const DirLease& l, TimePoint now) const {
+    return l.leader.empty() || l.expires <= now;
+  }
+
+  const LeaseManagerConfig config_;
+  rpc::FabricPtr fabric_;
+  std::shared_ptr<rpc::Endpoint> endpoint_;
+
+  mutable std::mutex mu_;
+  std::map<Uuid, DirLease> leases_;
+  TimePoint quiet_until_{};  // post-restart quiet period
+  bool started_ = false;
+};
+
+}  // namespace arkfs::lease

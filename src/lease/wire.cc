@@ -1,0 +1,111 @@
+#include "lease/wire.h"
+
+namespace arkfs::lease {
+
+Bytes AcquireRequest::Encode() const {
+  Encoder enc(64);
+  enc.PutUuid(dir_ino);
+  enc.PutString(client);
+  return std::move(enc).Take();
+}
+
+Result<AcquireRequest> AcquireRequest::Decode(ByteSpan data) {
+  Decoder dec(data);
+  AcquireRequest req;
+  ARKFS_ASSIGN_OR_RETURN(req.dir_ino, dec.GetUuid());
+  ARKFS_ASSIGN_OR_RETURN(req.client, dec.GetString());
+  return req;
+}
+
+Bytes AcquireResponse::Encode() const {
+  Encoder enc(96);
+  enc.PutU8(static_cast<std::uint8_t>(outcome));
+  enc.PutString(leader);
+  enc.PutI64(lease_until_ns);
+  enc.PutU8(fresh ? 1 : 0);
+  enc.PutString(prev_leader);
+  return std::move(enc).Take();
+}
+
+Result<AcquireResponse> AcquireResponse::Decode(ByteSpan data) {
+  Decoder dec(data);
+  AcquireResponse resp;
+  ARKFS_ASSIGN_OR_RETURN(std::uint8_t outcome, dec.GetU8());
+  if (outcome > static_cast<std::uint8_t>(AcquireOutcome::kWait)) {
+    return ErrStatus(Errc::kIo, "bad acquire outcome");
+  }
+  resp.outcome = static_cast<AcquireOutcome>(outcome);
+  ARKFS_ASSIGN_OR_RETURN(resp.leader, dec.GetString());
+  ARKFS_ASSIGN_OR_RETURN(resp.lease_until_ns, dec.GetI64());
+  ARKFS_ASSIGN_OR_RETURN(std::uint8_t fresh, dec.GetU8());
+  resp.fresh = fresh != 0;
+  ARKFS_ASSIGN_OR_RETURN(resp.prev_leader, dec.GetString());
+  return resp;
+}
+
+Bytes ReleaseRequest::Encode() const {
+  Encoder enc(64);
+  enc.PutUuid(dir_ino);
+  enc.PutString(client);
+  return std::move(enc).Take();
+}
+
+Result<ReleaseRequest> ReleaseRequest::Decode(ByteSpan data) {
+  Decoder dec(data);
+  ReleaseRequest req;
+  ARKFS_ASSIGN_OR_RETURN(req.dir_ino, dec.GetUuid());
+  ARKFS_ASSIGN_OR_RETURN(req.client, dec.GetString());
+  return req;
+}
+
+Bytes RecoveryRequest::Encode() const {
+  Encoder enc(64);
+  enc.PutUuid(dir_ino);
+  enc.PutString(client);
+  enc.PutU8(static_cast<std::uint8_t>(phase));
+  return std::move(enc).Take();
+}
+
+Result<RecoveryRequest> RecoveryRequest::Decode(ByteSpan data) {
+  Decoder dec(data);
+  RecoveryRequest req;
+  ARKFS_ASSIGN_OR_RETURN(req.dir_ino, dec.GetUuid());
+  ARKFS_ASSIGN_OR_RETURN(req.client, dec.GetString());
+  ARKFS_ASSIGN_OR_RETURN(std::uint8_t phase, dec.GetU8());
+  if (phase > static_cast<std::uint8_t>(RecoveryPhase::kEnd)) {
+    return ErrStatus(Errc::kIo, "bad recovery phase");
+  }
+  req.phase = static_cast<RecoveryPhase>(phase);
+  return req;
+}
+
+Bytes LookupRequest::Encode() const {
+  Encoder enc(24);
+  enc.PutUuid(dir_ino);
+  return std::move(enc).Take();
+}
+
+Result<LookupRequest> LookupRequest::Decode(ByteSpan data) {
+  Decoder dec(data);
+  LookupRequest req;
+  ARKFS_ASSIGN_OR_RETURN(req.dir_ino, dec.GetUuid());
+  return req;
+}
+
+Bytes LookupResponse::Encode() const {
+  Encoder enc(48);
+  enc.PutU8(has_leader ? 1 : 0);
+  enc.PutString(leader);
+  return std::move(enc).Take();
+}
+
+Result<LookupResponse> LookupResponse::Decode(ByteSpan data) {
+  Decoder dec(data);
+  LookupResponse resp;
+  ARKFS_ASSIGN_OR_RETURN(std::uint8_t has, dec.GetU8());
+  resp.has_leader = has != 0;
+  ARKFS_ASSIGN_OR_RETURN(resp.leader, dec.GetString());
+  return resp;
+}
+
+}  // namespace arkfs::lease

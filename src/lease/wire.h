@@ -1,0 +1,86 @@
+// Wire format of the lease protocol (client <-> lease manager).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/codec.h"
+#include "common/uuid.h"
+
+namespace arkfs::lease {
+
+// RPC method names served by the lease manager.
+inline constexpr char kMethodAcquire[] = "lease.acquire";
+inline constexpr char kMethodRelease[] = "lease.release";
+inline constexpr char kMethodRecovery[] = "lease.recovery";
+inline constexpr char kMethodLookup[] = "lease.lookup";
+
+// The canonical fabric address of the lease manager.
+inline constexpr char kManagerAddress[] = "lease-manager";
+
+struct AcquireRequest {
+  Uuid dir_ino;
+  std::string client;  // requester's fabric address (the paper's <ip, port>)
+
+  Bytes Encode() const;
+  static Result<AcquireRequest> Decode(ByteSpan data);
+};
+
+enum class AcquireOutcome : std::uint8_t {
+  kGranted = 0,   // caller is now the directory leader
+  kRedirect = 1,  // someone else leads; `leader` has their address
+  kWait = 2,      // directory recovering or manager in post-restart quiet
+                  // period; retry after a backoff
+};
+
+struct AcquireResponse {
+  AcquireOutcome outcome = AcquireOutcome::kWait;
+  std::string leader;            // kRedirect: current leader address
+  std::int64_t lease_until_ns = 0;  // kGranted: steady-clock expiry
+  // kGranted: true when the caller was also the previous leader and nobody
+  // led in between — its in-memory metatable is still authoritative and need
+  // not be reloaded (paper's lease-extension optimization).
+  bool fresh = false;
+  // kGranted: previous (different) leader to ask for a final flush, empty if
+  // none. Unreachable previous leader == crash; run journal recovery.
+  std::string prev_leader;
+
+  Bytes Encode() const;
+  static Result<AcquireResponse> Decode(ByteSpan data);
+};
+
+struct ReleaseRequest {
+  Uuid dir_ino;
+  std::string client;
+
+  Bytes Encode() const;
+  static Result<ReleaseRequest> Decode(ByteSpan data);
+};
+
+enum class RecoveryPhase : std::uint8_t { kBegin = 0, kEnd = 1 };
+
+struct RecoveryRequest {
+  Uuid dir_ino;
+  std::string client;
+  RecoveryPhase phase = RecoveryPhase::kBegin;
+
+  Bytes Encode() const;
+  static Result<RecoveryRequest> Decode(ByteSpan data);
+};
+
+struct LookupRequest {
+  Uuid dir_ino;
+
+  Bytes Encode() const;
+  static Result<LookupRequest> Decode(ByteSpan data);
+};
+
+struct LookupResponse {
+  bool has_leader = false;
+  std::string leader;
+
+  Bytes Encode() const;
+  static Result<LookupResponse> Decode(ByteSpan data);
+};
+
+}  // namespace arkfs::lease

@@ -1,0 +1,88 @@
+#include "meta/acl.h"
+
+#include <algorithm>
+
+namespace arkfs {
+
+void Acl::Set(AclEntry entry) {
+  for (auto& e : entries_) {
+    if (e.tag == entry.tag && e.qualifier == entry.qualifier) {
+      e.perms = entry.perms;
+      return;
+    }
+  }
+  entries_.push_back(entry);
+}
+
+bool Acl::Remove(AclTag tag, std::uint32_t qualifier) {
+  auto it = std::find_if(entries_.begin(), entries_.end(), [&](const AclEntry& e) {
+    return e.tag == tag && e.qualifier == qualifier;
+  });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::optional<AclEntry> Acl::Find(AclTag tag, std::uint32_t qualifier) const {
+  for (const auto& e : entries_) {
+    if (e.tag == tag && e.qualifier == qualifier) return e;
+  }
+  return std::nullopt;
+}
+
+Status Acl::Validate() const {
+  if (entries_.empty()) return Status::Ok();
+  bool has_user_obj = false, has_group_obj = false, has_other = false,
+       has_mask = false, has_named = false;
+  for (const auto& e : entries_) {
+    switch (e.tag) {
+      case AclTag::kUserObj: has_user_obj = true; break;
+      case AclTag::kGroupObj: has_group_obj = true; break;
+      case AclTag::kOther: has_other = true; break;
+      case AclTag::kMask: has_mask = true; break;
+      case AclTag::kUser:
+      case AclTag::kGroup: has_named = true; break;
+    }
+  }
+  if (!has_user_obj || !has_group_obj || !has_other) {
+    return ErrStatus(Errc::kInval, "ACL missing required base entries");
+  }
+  if (has_named && !has_mask) {
+    return ErrStatus(Errc::kInval, "ACL with named entries requires a mask");
+  }
+  return Status::Ok();
+}
+
+void Acl::EncodeTo(Encoder& enc) const {
+  enc.PutVarint(entries_.size());
+  for (const auto& e : entries_) {
+    enc.PutU8(static_cast<std::uint8_t>(e.tag));
+    enc.PutU32(e.qualifier);
+    enc.PutU8(e.perms);
+  }
+}
+
+Result<Acl> Acl::DecodeFrom(Decoder& dec) {
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t n, dec.GetVarint());
+  if (n > 4096) return ErrStatus(Errc::kIo, "implausible ACL entry count");
+  Acl acl;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    AclEntry e;
+    ARKFS_ASSIGN_OR_RETURN(std::uint8_t tag, dec.GetU8());
+    if (tag > static_cast<std::uint8_t>(AclTag::kOther)) {
+      return ErrStatus(Errc::kIo, "bad ACL tag");
+    }
+    e.tag = static_cast<AclTag>(tag);
+    ARKFS_ASSIGN_OR_RETURN(e.qualifier, dec.GetU32());
+    ARKFS_ASSIGN_OR_RETURN(e.perms, dec.GetU8());
+    acl.entries_.push_back(e);
+  }
+  return acl;
+}
+
+bool UserCred::InGroup(std::uint32_t g) const {
+  if (g == gid) return true;
+  return std::find(groups.begin(), groups.end(), g) != groups.end();
+}
+
+}  // namespace arkfs

@@ -1,0 +1,77 @@
+// POSIX access control lists (the POSIX.1e draft model used by Linux).
+//
+// The HPC motivation for ArkFS explicitly includes "control access through
+// access control lists", so ACLs are first-class here: an inode may carry an
+// ACL with named user/group entries and a mask, and permission evaluation
+// follows the POSIX.1e algorithm.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+
+namespace arkfs {
+
+// Permission request/grant bits.
+inline constexpr std::uint8_t kPermExec = 1;
+inline constexpr std::uint8_t kPermWrite = 2;
+inline constexpr std::uint8_t kPermRead = 4;
+
+enum class AclTag : std::uint8_t {
+  kUserObj = 0,   // owner
+  kUser = 1,      // named user (qualifier = uid)
+  kGroupObj = 2,  // owning group
+  kGroup = 3,     // named group (qualifier = gid)
+  kMask = 4,
+  kOther = 5,
+};
+
+struct AclEntry {
+  AclTag tag = AclTag::kOther;
+  std::uint32_t qualifier = 0;  // uid or gid for kUser/kGroup
+  std::uint8_t perms = 0;       // kPermRead|kPermWrite|kPermExec
+
+  friend bool operator==(const AclEntry&, const AclEntry&) = default;
+};
+
+class Acl {
+ public:
+  Acl() = default;
+
+  bool empty() const { return entries_.empty(); }
+  const std::vector<AclEntry>& entries() const { return entries_; }
+
+  // Adds or replaces the entry with the same (tag, qualifier).
+  void Set(AclEntry entry);
+  bool Remove(AclTag tag, std::uint32_t qualifier);
+  void Clear() { entries_.clear(); }
+
+  std::optional<AclEntry> Find(AclTag tag, std::uint32_t qualifier = 0) const;
+
+  // A valid non-empty ACL must contain kUserObj, kGroupObj and kOther
+  // entries, and a kMask if any named entries exist.
+  Status Validate() const;
+
+  void EncodeTo(Encoder& enc) const;
+  static Result<Acl> DecodeFrom(Decoder& dec);
+
+  friend bool operator==(const Acl&, const Acl&) = default;
+
+ private:
+  std::vector<AclEntry> entries_;
+};
+
+// Identity of a caller: uid + primary gid + supplementary groups.
+struct UserCred {
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::vector<std::uint32_t> groups;
+
+  bool InGroup(std::uint32_t g) const;
+  static UserCred Root() { return UserCred{0, 0, {}}; }
+};
+
+}  // namespace arkfs

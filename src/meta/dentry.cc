@@ -1,0 +1,52 @@
+#include "meta/dentry.h"
+
+namespace arkfs {
+
+void Dentry::EncodeTo(Encoder& enc) const {
+  enc.PutString(name);
+  enc.PutUuid(ino);
+  enc.PutU8(static_cast<std::uint8_t>(type));
+}
+
+Result<Dentry> Dentry::DecodeFrom(Decoder& dec) {
+  Dentry d;
+  ARKFS_ASSIGN_OR_RETURN(d.name, dec.GetString());
+  ARKFS_ASSIGN_OR_RETURN(d.ino, dec.GetUuid());
+  ARKFS_ASSIGN_OR_RETURN(std::uint8_t type, dec.GetU8());
+  if (type > static_cast<std::uint8_t>(FileType::kSymlink)) {
+    return ErrStatus(Errc::kIo, "bad dentry type");
+  }
+  d.type = static_cast<FileType>(type);
+  return d;
+}
+
+Bytes EncodeDentryBlock(const std::vector<Dentry>& entries) {
+  Encoder enc(entries.size() * 48 + 16);
+  enc.PutVarint(entries.size());
+  for (const auto& d : entries) d.EncodeTo(enc);
+  return std::move(enc).Take();
+}
+
+Result<std::vector<Dentry>> DecodeDentryBlock(ByteSpan data) {
+  Decoder dec(data);
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t n, dec.GetVarint());
+  std::vector<Dentry> entries;
+  entries.reserve(n < (1u << 20) ? n : 0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ARKFS_ASSIGN_OR_RETURN(Dentry d, Dentry::DecodeFrom(dec));
+    entries.push_back(std::move(d));
+  }
+  return entries;
+}
+
+Status ValidateName(const std::string& name) {
+  if (name.empty()) return ErrStatus(Errc::kInval, "empty name");
+  if (name.size() > kNameMax) return ErrStatus(Errc::kNameTooLong, name);
+  if (name == "." || name == "..") return ErrStatus(Errc::kInval, name);
+  for (char c : name) {
+    if (c == '/' || c == '\0') return ErrStatus(Errc::kInval, "bad char in name");
+  }
+  return Status::Ok();
+}
+
+}  // namespace arkfs

@@ -1,0 +1,39 @@
+// Directory entries.
+//
+// Each directory's entries are serialized together into one "e<uuid>" object
+// (the dentry block). The block is rewritten at checkpoint time; between
+// checkpoints, mutations live in the per-directory journal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "common/uuid.h"
+#include "meta/inode.h"
+
+namespace arkfs {
+
+struct Dentry {
+  std::string name;
+  Uuid ino;
+  FileType type = FileType::kRegular;
+
+  void EncodeTo(Encoder& enc) const;
+  static Result<Dentry> DecodeFrom(Decoder& dec);
+
+  friend bool operator==(const Dentry&, const Dentry&) = default;
+};
+
+// (De)serializes a whole dentry block.
+Bytes EncodeDentryBlock(const std::vector<Dentry>& entries);
+Result<std::vector<Dentry>> DecodeDentryBlock(ByteSpan data);
+
+// POSIX component-name validation: nonempty, no '/', no NUL, not "."/"..",
+// and within NAME_MAX.
+Status ValidateName(const std::string& name);
+
+inline constexpr std::size_t kNameMax = 255;
+
+}  // namespace arkfs

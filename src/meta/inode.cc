@@ -1,0 +1,156 @@
+#include "meta/inode.h"
+
+#include "common/clock.h"
+
+namespace arkfs {
+
+namespace {
+constexpr std::uint8_t kInodeCodecVersion = 1;
+}
+
+void Inode::EncodeTo(Encoder& enc) const {
+  enc.PutU8(kInodeCodecVersion);
+  enc.PutUuid(ino);
+  enc.PutU8(static_cast<std::uint8_t>(type));
+  enc.PutU32(mode);
+  enc.PutU32(uid);
+  enc.PutU32(gid);
+  enc.PutU32(nlink);
+  enc.PutU64(size);
+  enc.PutI64(atime_sec);
+  enc.PutI64(mtime_sec);
+  enc.PutI64(ctime_sec);
+  enc.PutUuid(parent);
+  enc.PutU64(chunk_size);
+  enc.PutString(symlink_target);
+  acl.EncodeTo(enc);
+  enc.PutU64(version);
+}
+
+Result<Inode> Inode::DecodeFrom(Decoder& dec) {
+  ARKFS_ASSIGN_OR_RETURN(std::uint8_t ver, dec.GetU8());
+  if (ver != kInodeCodecVersion) {
+    return ErrStatus(Errc::kIo, "unsupported inode codec version");
+  }
+  Inode ino;
+  ARKFS_ASSIGN_OR_RETURN(ino.ino, dec.GetUuid());
+  ARKFS_ASSIGN_OR_RETURN(std::uint8_t type, dec.GetU8());
+  if (type > static_cast<std::uint8_t>(FileType::kSymlink)) {
+    return ErrStatus(Errc::kIo, "bad file type");
+  }
+  ino.type = static_cast<FileType>(type);
+  ARKFS_ASSIGN_OR_RETURN(ino.mode, dec.GetU32());
+  ARKFS_ASSIGN_OR_RETURN(ino.uid, dec.GetU32());
+  ARKFS_ASSIGN_OR_RETURN(ino.gid, dec.GetU32());
+  ARKFS_ASSIGN_OR_RETURN(ino.nlink, dec.GetU32());
+  ARKFS_ASSIGN_OR_RETURN(ino.size, dec.GetU64());
+  ARKFS_ASSIGN_OR_RETURN(ino.atime_sec, dec.GetI64());
+  ARKFS_ASSIGN_OR_RETURN(ino.mtime_sec, dec.GetI64());
+  ARKFS_ASSIGN_OR_RETURN(ino.ctime_sec, dec.GetI64());
+  ARKFS_ASSIGN_OR_RETURN(ino.parent, dec.GetUuid());
+  ARKFS_ASSIGN_OR_RETURN(ino.chunk_size, dec.GetU64());
+  ARKFS_ASSIGN_OR_RETURN(ino.symlink_target, dec.GetString());
+  ARKFS_ASSIGN_OR_RETURN(ino.acl, Acl::DecodeFrom(dec));
+  ARKFS_ASSIGN_OR_RETURN(ino.version, dec.GetU64());
+  return ino;
+}
+
+Bytes Inode::Encode() const {
+  Encoder enc(128);
+  EncodeTo(enc);
+  return std::move(enc).Take();
+}
+
+Result<Inode> Inode::Decode(ByteSpan data) {
+  Decoder dec(data);
+  return DecodeFrom(dec);
+}
+
+Inode MakeInode(Uuid ino, FileType type, std::uint32_t mode, std::uint32_t uid,
+                std::uint32_t gid, Uuid parent) {
+  Inode node;
+  node.ino = ino;
+  node.type = type;
+  node.mode = mode;
+  node.uid = uid;
+  node.gid = gid;
+  node.parent = parent;
+  node.nlink = type == FileType::kDirectory ? 2 : 1;
+  const std::int64_t now = WallClockSeconds();
+  node.atime_sec = node.mtime_sec = node.ctime_sec = now;
+  return node;
+}
+
+namespace {
+
+// Extracts the rwx triplet for owner/group/other from classic mode bits.
+std::uint8_t ModeBitsFor(std::uint32_t mode, int shift) {
+  return static_cast<std::uint8_t>((mode >> shift) & 7);
+}
+
+Status Grant(std::uint8_t granted, std::uint8_t want) {
+  if ((granted & want) == want) return Status::Ok();
+  return ErrStatus(Errc::kAccess);
+}
+
+}  // namespace
+
+Status CheckAccess(const Inode& inode, const UserCred& cred,
+                   std::uint8_t want) {
+  if (cred.uid == 0) {
+    // Root may read/write anything; exec requires at least one exec bit
+    // (matching the Linux capability behaviour).
+    if (!(want & kPermExec)) return Status::Ok();
+    if (inode.IsDir() || (inode.mode & 0111) != 0) return Status::Ok();
+    return ErrStatus(Errc::kAccess);
+  }
+
+  if (inode.acl.empty()) {
+    std::uint8_t granted;
+    if (cred.uid == inode.uid) {
+      granted = ModeBitsFor(inode.mode, 6);
+    } else if (cred.InGroup(inode.gid)) {
+      granted = ModeBitsFor(inode.mode, 3);
+    } else {
+      granted = ModeBitsFor(inode.mode, 0);
+    }
+    return Grant(granted, want);
+  }
+
+  // POSIX.1e evaluation order.
+  const auto mask = inode.acl.Find(AclTag::kMask);
+  const std::uint8_t mask_perms = mask ? mask->perms : 7;
+
+  if (cred.uid == inode.uid) {
+    const auto e = inode.acl.Find(AclTag::kUserObj);
+    return Grant(e ? e->perms : ModeBitsFor(inode.mode, 6), want);
+  }
+  if (const auto e = inode.acl.Find(AclTag::kUser, cred.uid)) {
+    return Grant(e->perms & mask_perms, want);
+  }
+  // Any matching group entry that grants the permission wins.
+  bool in_some_group = false;
+  if (cred.InGroup(inode.gid)) {
+    in_some_group = true;
+    const auto e = inode.acl.Find(AclTag::kGroupObj);
+    const std::uint8_t perms =
+        (e ? e->perms : ModeBitsFor(inode.mode, 3)) & mask_perms;
+    if ((perms & want) == want) return Status::Ok();
+  }
+  for (const auto& e : inode.acl.entries()) {
+    if (e.tag == AclTag::kGroup && cred.InGroup(e.qualifier)) {
+      in_some_group = true;
+      if (((e.perms & mask_perms) & want) == want) return Status::Ok();
+    }
+  }
+  if (in_some_group) return ErrStatus(Errc::kAccess);
+
+  const auto e = inode.acl.Find(AclTag::kOther);
+  return Grant(e ? e->perms : ModeBitsFor(inode.mode, 0), want);
+}
+
+bool IsOwnerOrRoot(const Inode& inode, const UserCred& cred) {
+  return cred.uid == 0 || cred.uid == inode.uid;
+}
+
+}  // namespace arkfs

@@ -1,0 +1,52 @@
+#include "meta/path.h"
+
+namespace arkfs {
+
+Result<std::vector<std::string>> SplitPath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return ErrStatus(Errc::kInval, "path must be absolute");
+  }
+  if (path.size() > kPathMax) {
+    return ErrStatus(Errc::kNameTooLong, "path too long");
+  }
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    std::size_t start = i;
+    while (i < path.size() && path[i] != '/') ++i;
+    if (i > start) {
+      std::string_view comp = path.substr(start, i - start);
+      if (comp == "." || comp == "..") {
+        return ErrStatus(Errc::kInval, "unnormalized path component");
+      }
+      if (comp.find('\0') != std::string_view::npos) {
+        return ErrStatus(Errc::kInval, "NUL in path");
+      }
+      out.emplace_back(comp);
+    }
+  }
+  return out;
+}
+
+std::string JoinPath(const std::vector<std::string>& components) {
+  if (components.empty()) return "/";
+  std::string out;
+  for (const auto& c : components) {
+    out += '/';
+    out += c;
+  }
+  return out;
+}
+
+Result<SplitParent> SplitParentOf(std::string_view path) {
+  ARKFS_ASSIGN_OR_RETURN(auto comps, SplitPath(path));
+  if (comps.empty()) return ErrStatus(Errc::kInval, "root has no parent");
+  SplitParent sp;
+  sp.name = std::move(comps.back());
+  comps.pop_back();
+  sp.parent = JoinPath(comps);
+  return sp;
+}
+
+}  // namespace arkfs

@@ -1,0 +1,34 @@
+// Path handling: splitting, normalization and traversal helpers.
+//
+// ArkFS paths are absolute ("/a/b/c"). Resolution itself lives in the client
+// (it may require remote lookups); these helpers keep the string handling in
+// one audited place.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace arkfs {
+
+// "/a/b//c/" -> {"a","b","c"}. Rejects relative paths, embedded NULs and
+// "."/".." components (the VFS above is expected to have normalized those,
+// as the kernel does for FUSE file systems).
+Result<std::vector<std::string>> SplitPath(std::string_view path);
+
+// {"a","b"} -> "/a/b"; {} -> "/".
+std::string JoinPath(const std::vector<std::string>& components);
+
+// Splits into (parent path, final component). "/" has no parent; returns
+// kInval for it.
+struct SplitParent {
+  std::string parent;
+  std::string name;
+};
+Result<SplitParent> SplitParentOf(std::string_view path);
+
+inline constexpr std::size_t kPathMax = 4096;
+
+}  // namespace arkfs

@@ -1,0 +1,156 @@
+#include "objstore/cluster_store.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/rng.h"
+
+namespace arkfs {
+namespace {
+
+std::uint64_t HashKey(const std::string& key) {
+  // FNV-1a 64.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ClusterObjectStore::ClusterObjectStore(const ClusterConfig& config)
+    : config_(config),
+      op_latency_(config.profile.op_latency),
+      io_latency_(config.profile.small_io_latency) {
+  nodes_.reserve(config_.num_nodes);
+  Rng rng(config_.seed);
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    Node n;
+    n.store = std::make_unique<MemoryObjectStore>(
+        config_.max_object_size, config_.profile.supports_partial_write);
+    n.link = std::make_unique<sim::SharedLink>(config_.profile.bandwidth_bps);
+    nodes_.push_back(std::move(n));
+    for (int v = 0; v < config_.virtual_nodes; ++v) {
+      ring_.emplace(rng.Next(), i);
+    }
+  }
+}
+
+int ClusterObjectStore::PrimaryNode(const std::string& key) const {
+  auto it = ring_.lower_bound(HashKey(key));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::vector<int> ClusterObjectStore::ReplicaNodes(const std::string& key) const {
+  std::vector<int> out;
+  auto it = ring_.lower_bound(HashKey(key));
+  // Walk the ring collecting distinct nodes, wrapping at the end.
+  for (std::size_t steps = 0; steps < ring_.size() &&
+       out.size() < static_cast<std::size_t>(config_.replication); ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+void ClusterObjectStore::ChargeOp(int node, std::uint64_t payload_bytes,
+                                  bool data_op) {
+  op_latency_.Apply();
+  if (data_op) io_latency_.Apply();
+  if (payload_bytes > 0) nodes_[node].link->Transfer(payload_bytes);
+}
+
+Result<Bytes> ClusterObjectStore::Get(const std::string& key) {
+  const int node = PrimaryNode(key);
+  auto result = nodes_[node].store->Get(key);
+  ChargeOp(node, result.ok() ? result->size() : 0, true);
+  return result;
+}
+
+Result<Bytes> ClusterObjectStore::GetRange(const std::string& key,
+                                           std::uint64_t offset,
+                                           std::uint64_t length) {
+  const int node = PrimaryNode(key);
+  auto result = nodes_[node].store->GetRange(key, offset, length);
+  ChargeOp(node, result.ok() ? result->size() : 0, true);
+  return result;
+}
+
+Status ClusterObjectStore::Put(const std::string& key, ByteSpan data) {
+  const auto replicas = ReplicaNodes(key);
+  // Primary-copy replication: client streams to the primary, which pipelines
+  // to replicas. The client-visible cost is the primary transfer plus one
+  // inter-replica op latency (pipelined, so not multiplied by R).
+  ChargeOp(replicas[0], data.size(), true);
+  if (replicas.size() > 1) op_latency_.Apply();
+  Status st = Status::Ok();
+  for (int node : replicas) {
+    Status s = nodes_[node].store->Put(key, data);
+    if (!s.ok()) st = s;
+  }
+  return st;
+}
+
+Status ClusterObjectStore::PutRange(const std::string& key,
+                                    std::uint64_t offset, ByteSpan data) {
+  if (!supports_partial_write()) {
+    return ErrStatus(Errc::kNotSup, "cluster profile is whole-object only");
+  }
+  const auto replicas = ReplicaNodes(key);
+  ChargeOp(replicas[0], data.size(), true);
+  if (replicas.size() > 1) op_latency_.Apply();
+  Status st = Status::Ok();
+  for (int node : replicas) {
+    Status s = nodes_[node].store->PutRange(key, offset, data);
+    if (!s.ok()) st = s;
+  }
+  return st;
+}
+
+Status ClusterObjectStore::Delete(const std::string& key) {
+  const auto replicas = ReplicaNodes(key);
+  ChargeOp(replicas[0], 0, false);
+  Status st = Status::Ok();
+  for (int node : replicas) {
+    Status s = nodes_[node].store->Delete(key);
+    if (!s.ok()) st = s;
+  }
+  return st;
+}
+
+Result<ObjectMeta> ClusterObjectStore::Head(const std::string& key) {
+  const int node = PrimaryNode(key);
+  ChargeOp(node, 0, false);
+  return nodes_[node].store->Head(key);
+}
+
+Result<std::vector<std::string>> ClusterObjectStore::List(
+    const std::string& prefix) {
+  // Scatter-gather across all nodes; queries run in parallel on a real
+  // cluster, so charge a single op latency.
+  op_latency_.Apply();
+  std::vector<std::string> merged;
+  for (auto& node : nodes_) {
+    auto part = node.store->List(prefix);
+    if (!part.ok()) return part.status();
+    merged.insert(merged.end(), part->begin(), part->end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+std::vector<std::size_t> ClusterObjectStore::PerNodeObjectCounts() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(nodes_.size());
+  for (const auto& node : nodes_) counts.push_back(node.store->ObjectCount());
+  return counts;
+}
+
+}  // namespace arkfs

@@ -1,0 +1,51 @@
+// On-disk object store: one file per object under a root directory.
+//
+// This is the persistence backend — ArkFS file systems survive process
+// restarts when mounted on it, and the crash-consistency tests use it to
+// model durable storage across a simulated client crash. Keys are
+// percent-free hex-encoded into file names so any byte sequence is a valid
+// key.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+
+#include "objstore/object_store.h"
+
+namespace arkfs {
+
+class DiskObjectStore : public ObjectStore {
+ public:
+  // Creates `root` if it does not exist.
+  static Result<std::shared_ptr<DiskObjectStore>> Open(
+      const std::filesystem::path& root,
+      std::uint64_t max_object_size = kDefaultMaxObjectSize);
+
+  Result<Bytes> Get(const std::string& key) override;
+  Result<Bytes> GetRange(const std::string& key, std::uint64_t offset,
+                         std::uint64_t length) override;
+  Status Put(const std::string& key, ByteSpan data) override;
+  Status PutRange(const std::string& key, std::uint64_t offset,
+                  ByteSpan data) override;
+  Status Delete(const std::string& key) override;
+  Result<ObjectMeta> Head(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  bool supports_partial_write() const override { return true; }
+  std::uint64_t max_object_size() const override { return max_object_size_; }
+  std::string name() const override { return "disk"; }
+
+ private:
+  DiskObjectStore(std::filesystem::path root, std::uint64_t max_object_size)
+      : root_(std::move(root)), max_object_size_(max_object_size) {}
+
+  std::filesystem::path PathFor(const std::string& key) const;
+  static std::string EncodeKey(const std::string& key);
+  static Result<std::string> DecodeKey(const std::string& file_name);
+
+  const std::filesystem::path root_;
+  const std::uint64_t max_object_size_;
+  std::mutex mu_;  // serializes multi-step file updates
+};
+
+}  // namespace arkfs

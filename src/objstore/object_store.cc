@@ -1,0 +1,6 @@
+#include "objstore/object_store.h"
+
+// Interface-only translation unit: anchors the vtable/key for ObjectStore so
+// every user does not emit its RTTI.
+
+namespace arkfs {}  // namespace arkfs

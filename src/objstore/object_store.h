@@ -1,0 +1,70 @@
+// ObjectStore: the REST-shaped storage interface ArkFS is built on.
+//
+// The paper's PRT module translates POSIX block I/O into REST object
+// operations (GET / PUT / DELETE / LIST / HEAD) against "any distributed
+// object storage system such as Ceph RADOS or S3" (§III-F). This interface
+// is that contract. Two capability bits matter to the layers above:
+//
+//  * supports_partial_write — RADOS can overwrite a byte range in place;
+//    S3-style stores can only replace whole objects, which forces a
+//    read-modify-write in the translator (the same amplification that makes
+//    S3FS rewrite entire objects on random writes, §II-C).
+//  * max_object_size — files larger than this are chunked into multiple
+//    data objects by the PRT.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace arkfs {
+
+struct ObjectMeta {
+  std::uint64_t size = 0;
+  std::int64_t mtime_sec = 0;
+};
+
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  // Full-object GET.
+  virtual Result<Bytes> Get(const std::string& key) = 0;
+
+  // Ranged GET. offset past EOF yields an empty buffer; a range extending
+  // past EOF is truncated (REST Range semantics).
+  virtual Result<Bytes> GetRange(const std::string& key, std::uint64_t offset,
+                                 std::uint64_t length) = 0;
+
+  // Whole-object PUT (create or replace).
+  virtual Status Put(const std::string& key, ByteSpan data) = 0;
+
+  // In-place ranged write, extending the object if needed. Only stores with
+  // supports_partial_write() implement this; others return kNotSup and the
+  // caller must read-modify-write.
+  virtual Status PutRange(const std::string& key, std::uint64_t offset,
+                          ByteSpan data) = 0;
+
+  virtual Status Delete(const std::string& key) = 0;
+
+  virtual Result<ObjectMeta> Head(const std::string& key) = 0;
+
+  // Keys with the given prefix, sorted ascending.
+  virtual Result<std::vector<std::string>> List(const std::string& prefix) = 0;
+
+  virtual bool supports_partial_write() const = 0;
+  virtual std::uint64_t max_object_size() const = 0;
+  virtual std::string name() const = 0;
+};
+
+using ObjectStorePtr = std::shared_ptr<ObjectStore>;
+
+// Default chunk size for data objects (also the default max object size of
+// the in-process stores). RADOS defaults to 4 MiB objects; we keep that.
+inline constexpr std::uint64_t kDefaultMaxObjectSize = 4ull << 20;
+
+}  // namespace arkfs

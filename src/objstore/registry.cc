@@ -1,0 +1,63 @@
+#include "objstore/registry.h"
+
+#include <algorithm>
+
+#include "objstore/cluster_store.h"
+#include "objstore/disk_store.h"
+#include "objstore/memory_store.h"
+
+namespace arkfs {
+
+BackendRegistry& BackendRegistry::Instance() {
+  static BackendRegistry* instance = new BackendRegistry();
+  return *instance;
+}
+
+BackendRegistry::BackendRegistry() {
+  // Built-in backends.
+  Register("memory", [](const std::string&) -> Result<ObjectStorePtr> {
+    return ObjectStorePtr(std::make_shared<MemoryObjectStore>());
+  });
+  Register("disk", [](const std::string& arg) -> Result<ObjectStorePtr> {
+    if (arg.empty()) return ErrStatus(Errc::kInval, "disk backend needs a path");
+    ARKFS_ASSIGN_OR_RETURN(auto store, DiskObjectStore::Open(arg));
+    return ObjectStorePtr(std::move(store));
+  });
+  Register("rados", [](const std::string&) -> Result<ObjectStorePtr> {
+    return ObjectStorePtr(
+        std::make_shared<ClusterObjectStore>(ClusterConfig::RadosLike()));
+  });
+  Register("s3", [](const std::string&) -> Result<ObjectStorePtr> {
+    return ObjectStorePtr(
+        std::make_shared<ClusterObjectStore>(ClusterConfig::S3Like()));
+  });
+}
+
+bool BackendRegistry::Register(const std::string& name, Factory factory) {
+  for (const auto& [existing, _] : factories_) {
+    if (existing == name) return false;
+  }
+  factories_.emplace_back(name, std::move(factory));
+  return true;
+}
+
+Result<ObjectStorePtr> BackendRegistry::Create(const std::string& spec) const {
+  const auto colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  for (const auto& [n, factory] : factories_) {
+    if (n == name) return factory(arg);
+  }
+  return ErrStatus(Errc::kInval, "unknown backend: " + name);
+}
+
+std::vector<std::string> BackendRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [n, _] : factories_) names.push_back(n);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace arkfs

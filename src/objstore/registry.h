@@ -1,0 +1,38 @@
+// Backend registry.
+//
+// The paper: "ArkFS can support any kind of object storage backend by
+// registering the corresponding REST APIs in the PRT module" (§III-F). This
+// registry is that extension point: backends register a factory under a name
+// ("rados", "s3", "memory", "disk:<path>", ...) and mounts are created from a
+// backend spec string.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "objstore/object_store.h"
+
+namespace arkfs {
+
+class BackendRegistry {
+ public:
+  // Factory receives the part of the spec after "name:" (may be empty).
+  using Factory = std::function<Result<ObjectStorePtr>(const std::string& arg)>;
+
+  static BackendRegistry& Instance();
+
+  // Returns false if a backend with this name is already registered.
+  bool Register(const std::string& name, Factory factory);
+
+  // spec: "<name>" or "<name>:<arg>", e.g. "rados", "s3", "disk:/tmp/objs".
+  Result<ObjectStorePtr> Create(const std::string& spec) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  BackendRegistry();
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+}  // namespace arkfs

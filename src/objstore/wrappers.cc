@@ -1,0 +1,101 @@
+#include "objstore/wrappers.h"
+
+namespace arkfs {
+
+Result<Bytes> CountingStore::Get(const std::string& key) {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  auto r = base_->Get(key);
+  if (r.ok()) bytes_read_.fetch_add(r->size(), std::memory_order_relaxed);
+  return r;
+}
+
+Result<Bytes> CountingStore::GetRange(const std::string& key,
+                                      std::uint64_t offset,
+                                      std::uint64_t length) {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  auto r = base_->GetRange(key, offset, length);
+  if (r.ok()) bytes_read_.fetch_add(r->size(), std::memory_order_relaxed);
+  return r;
+}
+
+Status CountingStore::Put(const std::string& key, ByteSpan data) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
+  return base_->Put(key, data);
+}
+
+Status CountingStore::PutRange(const std::string& key, std::uint64_t offset,
+                               ByteSpan data) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
+  return base_->PutRange(key, offset, data);
+}
+
+Status CountingStore::Delete(const std::string& key) {
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  return base_->Delete(key);
+}
+
+Result<ObjectMeta> CountingStore::Head(const std::string& key) {
+  heads_.fetch_add(1, std::memory_order_relaxed);
+  return base_->Head(key);
+}
+
+Result<std::vector<std::string>> CountingStore::List(
+    const std::string& prefix) {
+  lists_.fetch_add(1, std::memory_order_relaxed);
+  return base_->List(prefix);
+}
+
+CountingStore::Counters CountingStore::Snapshot() const {
+  return Counters{gets_.load(),  puts_.load(),       deletes_.load(),
+                  heads_.load(), lists_.load(),      bytes_read_.load(),
+                  bytes_written_.load()};
+}
+
+void CountingStore::Reset() {
+  gets_ = puts_ = deletes_ = heads_ = lists_ = 0;
+  bytes_read_ = bytes_written_ = 0;
+}
+
+Result<Bytes> FaultInjectionStore::Get(const std::string& key) {
+  if (Errc e = Check("get", key); e != Errc::kOk) return ErrStatus(e, key);
+  return base_->Get(key);
+}
+
+Result<Bytes> FaultInjectionStore::GetRange(const std::string& key,
+                                            std::uint64_t offset,
+                                            std::uint64_t length) {
+  if (Errc e = Check("get", key); e != Errc::kOk) return ErrStatus(e, key);
+  return base_->GetRange(key, offset, length);
+}
+
+Status FaultInjectionStore::Put(const std::string& key, ByteSpan data) {
+  if (Errc e = Check("put", key); e != Errc::kOk) return ErrStatus(e, key);
+  return base_->Put(key, data);
+}
+
+Status FaultInjectionStore::PutRange(const std::string& key,
+                                     std::uint64_t offset, ByteSpan data) {
+  if (Errc e = Check("put", key); e != Errc::kOk) return ErrStatus(e, key);
+  return base_->PutRange(key, offset, data);
+}
+
+Status FaultInjectionStore::Delete(const std::string& key) {
+  if (Errc e = Check("delete", key); e != Errc::kOk) return ErrStatus(e, key);
+  return base_->Delete(key);
+}
+
+Result<ObjectMeta> FaultInjectionStore::Head(const std::string& key) {
+  if (Errc e = Check("head", key); e != Errc::kOk) return ErrStatus(e, key);
+  return base_->Head(key);
+}
+
+Result<std::vector<std::string>> FaultInjectionStore::List(
+    const std::string& prefix) {
+  if (Errc e = Check("list", prefix); e != Errc::kOk)
+    return ErrStatus(e, prefix);
+  return base_->List(prefix);
+}
+
+}  // namespace arkfs

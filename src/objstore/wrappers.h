@@ -1,0 +1,94 @@
+// ObjectStore decorators: operation counting (benchmarks/tests) and failure
+// injection (crash-consistency and error-path tests).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+
+#include "objstore/object_store.h"
+
+namespace arkfs {
+
+// Counts operations and payload bytes flowing through a store. Used by tests
+// to assert I/O amplification properties (e.g. "a 1-byte overwrite on an
+// S3-style store rewrites the whole chunk") and by benches for reporting.
+class CountingStore : public ObjectStore {
+ public:
+  explicit CountingStore(ObjectStorePtr base) : base_(std::move(base)) {}
+
+  struct Counters {
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t deletes = 0;
+    std::uint64_t heads = 0;
+    std::uint64_t lists = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+  };
+
+  Result<Bytes> Get(const std::string& key) override;
+  Result<Bytes> GetRange(const std::string& key, std::uint64_t offset,
+                         std::uint64_t length) override;
+  Status Put(const std::string& key, ByteSpan data) override;
+  Status PutRange(const std::string& key, std::uint64_t offset,
+                  ByteSpan data) override;
+  Status Delete(const std::string& key) override;
+  Result<ObjectMeta> Head(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  bool supports_partial_write() const override {
+    return base_->supports_partial_write();
+  }
+  std::uint64_t max_object_size() const override {
+    return base_->max_object_size();
+  }
+  std::string name() const override { return "counting/" + base_->name(); }
+
+  Counters Snapshot() const;
+  void Reset();
+
+ private:
+  ObjectStorePtr base_;
+  std::atomic<std::uint64_t> gets_{0}, puts_{0}, deletes_{0}, heads_{0},
+      lists_{0}, bytes_read_{0}, bytes_written_{0};
+};
+
+// Fails operations according to a caller-supplied predicate. The predicate
+// sees the operation name ("put", "get", ...) and key, and returns the error
+// to inject (kOk = pass through). Tests use this to kill writes after N ops
+// to simulate a client crash mid-commit.
+class FaultInjectionStore : public ObjectStore {
+ public:
+  using FaultFn = std::function<Errc(std::string_view op, const std::string& key)>;
+
+  FaultInjectionStore(ObjectStorePtr base, FaultFn fn)
+      : base_(std::move(base)), fn_(std::move(fn)) {}
+
+  Result<Bytes> Get(const std::string& key) override;
+  Result<Bytes> GetRange(const std::string& key, std::uint64_t offset,
+                         std::uint64_t length) override;
+  Status Put(const std::string& key, ByteSpan data) override;
+  Status PutRange(const std::string& key, std::uint64_t offset,
+                  ByteSpan data) override;
+  Status Delete(const std::string& key) override;
+  Result<ObjectMeta> Head(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  bool supports_partial_write() const override {
+    return base_->supports_partial_write();
+  }
+  std::uint64_t max_object_size() const override {
+    return base_->max_object_size();
+  }
+  std::string name() const override { return "faulty/" + base_->name(); }
+
+ private:
+  Errc Check(std::string_view op, const std::string& key) {
+    return fn_ ? fn_(op, key) : Errc::kOk;
+  }
+  ObjectStorePtr base_;
+  FaultFn fn_;
+};
+
+}  // namespace arkfs

@@ -1,0 +1,62 @@
+#include "prt/key_schema.h"
+
+#include <cstdio>
+
+namespace arkfs {
+namespace {
+
+std::string MakeKey(char prefix, const Uuid& ino) {
+  std::string key;
+  key.reserve(33);
+  key.push_back(prefix);
+  key += ino.ToString();
+  return key;
+}
+
+}  // namespace
+
+std::string InodeKey(const Uuid& ino) { return MakeKey('i', ino); }
+std::string DentryKey(const Uuid& dir_ino) { return MakeKey('e', dir_ino); }
+std::string JournalKey(const Uuid& dir_ino) { return MakeKey('j', dir_ino); }
+
+std::string DataKey(const Uuid& ino, std::uint64_t chunk_index) {
+  char suffix[20];
+  std::snprintf(suffix, sizeof(suffix), ".%016llx",
+                static_cast<unsigned long long>(chunk_index));
+  return MakeKey('d', ino) + suffix;
+}
+
+std::string DataKeyPrefix(const Uuid& ino) { return MakeKey('d', ino) + "."; }
+
+Result<ParsedKey> ParseKey(const std::string& key) {
+  if (key.size() < 33) return ErrStatus(Errc::kInval, "key too short");
+  ParsedKey parsed;
+  switch (key[0]) {
+    case 'i': parsed.kind = KeyKind::kInode; break;
+    case 'e': parsed.kind = KeyKind::kDentry; break;
+    case 'j': parsed.kind = KeyKind::kJournal; break;
+    case 'd': parsed.kind = KeyKind::kData; break;
+    default: return ErrStatus(Errc::kInval, "unknown key prefix");
+  }
+  ARKFS_ASSIGN_OR_RETURN(parsed.ino, Uuid::FromString(key.substr(1, 32)));
+  if (parsed.kind == KeyKind::kData) {
+    if (key.size() != 33 + 17 || key[33] != '.') {
+      return ErrStatus(Errc::kInval, "malformed data key");
+    }
+    std::uint64_t idx = 0;
+    for (std::size_t i = 34; i < key.size(); ++i) {
+      const char c = key[i];
+      int v;
+      if (c >= '0' && c <= '9') v = c - '0';
+      else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+      else return ErrStatus(Errc::kInval, "bad chunk index");
+      idx = (idx << 4) | static_cast<std::uint64_t>(v);
+    }
+    parsed.chunk_index = idx;
+  } else if (key.size() != 33) {
+    return ErrStatus(Errc::kInval, "trailing bytes in key");
+  }
+  return parsed;
+}
+
+}  // namespace arkfs

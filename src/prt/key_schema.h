@@ -1,0 +1,44 @@
+// Object key schema (paper §III-F).
+//
+// Every file-system artifact is an object whose key is a one-letter type
+// prefix concatenated with the 128-bit inode UUID:
+//
+//   i<uuid>            inode record
+//   e<uuid>            dentry block of directory <uuid>
+//   j<uuid>            per-directory journal of directory <uuid>
+//   d<uuid>.<index>    data chunk <index> of file <uuid> (16 hex digits,
+//                      zero-padded so lexicographic order == numeric order)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/uuid.h"
+
+namespace arkfs {
+
+enum class KeyKind : char {
+  kInode = 'i',
+  kDentry = 'e',
+  kJournal = 'j',
+  kData = 'd',
+};
+
+std::string InodeKey(const Uuid& ino);
+std::string DentryKey(const Uuid& dir_ino);
+std::string JournalKey(const Uuid& dir_ino);
+std::string DataKey(const Uuid& ino, std::uint64_t chunk_index);
+
+// Prefix matching all data chunks of a file (for LIST/delete sweeps).
+std::string DataKeyPrefix(const Uuid& ino);
+
+struct ParsedKey {
+  KeyKind kind;
+  Uuid ino;
+  std::uint64_t chunk_index = 0;  // data keys only
+};
+
+Result<ParsedKey> ParseKey(const std::string& key);
+
+}  // namespace arkfs

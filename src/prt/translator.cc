@@ -1,0 +1,166 @@
+#include "prt/translator.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace arkfs {
+
+Prt::Prt(ObjectStorePtr store, std::uint64_t chunk_size)
+    : store_(std::move(store)),
+      chunk_size_(chunk_size == 0 ? store_->max_object_size() : chunk_size) {}
+
+Result<Inode> Prt::LoadInode(const Uuid& ino) {
+  ARKFS_ASSIGN_OR_RETURN(Bytes raw, store_->Get(InodeKey(ino)));
+  return Inode::Decode(raw);
+}
+
+Status Prt::StoreInode(const Inode& inode) {
+  return store_->Put(InodeKey(inode.ino), inode.Encode());
+}
+
+Status Prt::DeleteInode(const Uuid& ino) {
+  return store_->Delete(InodeKey(ino));
+}
+
+Result<std::vector<Dentry>> Prt::LoadDentryBlock(const Uuid& dir_ino) {
+  auto raw = store_->Get(DentryKey(dir_ino));
+  if (!raw.ok()) {
+    // A directory created but never checkpointed has no dentry block yet;
+    // that is an empty directory, not an error.
+    if (raw.code() == Errc::kNoEnt) return std::vector<Dentry>{};
+    return raw.status();
+  }
+  return DecodeDentryBlock(*raw);
+}
+
+Status Prt::StoreDentryBlock(const Uuid& dir_ino,
+                             const std::vector<Dentry>& entries) {
+  return store_->Put(DentryKey(dir_ino), EncodeDentryBlock(entries));
+}
+
+Status Prt::DeleteDentryBlock(const Uuid& dir_ino) {
+  Status st = store_->Delete(DentryKey(dir_ino));
+  if (st.code() == Errc::kNoEnt) return Status::Ok();  // never checkpointed
+  return st;
+}
+
+Result<Bytes> Prt::LoadJournal(const Uuid& dir_ino) {
+  return store_->Get(JournalKey(dir_ino));
+}
+
+Status Prt::StoreJournal(const Uuid& dir_ino, ByteSpan data) {
+  return store_->Put(JournalKey(dir_ino), data);
+}
+
+Status Prt::DeleteJournal(const Uuid& dir_ino) {
+  Status st = store_->Delete(JournalKey(dir_ino));
+  if (st.code() == Errc::kNoEnt) return Status::Ok();
+  return st;
+}
+
+Result<Bytes> Prt::ReadData(const Uuid& ino, std::uint64_t offset,
+                            std::uint64_t length, std::uint64_t file_size) {
+  if (offset >= file_size) return Bytes{};
+  length = std::min(length, file_size - offset);
+  Bytes out(length, 0);
+  std::uint64_t done = 0;
+  while (done < length) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t chunk = pos / chunk_size_;
+    const std::uint64_t in_chunk = pos % chunk_size_;
+    const std::uint64_t n = std::min(length - done, chunk_size_ - in_chunk);
+    auto part = store_->GetRange(DataKey(ino, chunk), in_chunk, n);
+    if (!part.ok()) {
+      if (part.code() == Errc::kNoEnt) {
+        done += n;  // hole: stays zero
+        continue;
+      }
+      return part.status();
+    }
+    std::memcpy(out.data() + done, part->data(), part->size());
+    // Short chunk (sparse tail within the chunk) also reads as zeros.
+    done += n;
+  }
+  return out;
+}
+
+Status Prt::WriteData(const Uuid& ino, std::uint64_t offset, ByteSpan data) {
+  std::uint64_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t chunk = pos / chunk_size_;
+    const std::uint64_t in_chunk = pos % chunk_size_;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(data.size() - done, chunk_size_ - in_chunk);
+    const std::string key = DataKey(ino, chunk);
+    ByteSpan slice = data.subspan(done, n);
+    if (store_->supports_partial_write()) {
+      ARKFS_RETURN_IF_ERROR(store_->PutRange(key, in_chunk, slice));
+    } else if (in_chunk == 0 && n == chunk_size_) {
+      // Full-chunk replacement needs no read-modify-write even on S3.
+      ARKFS_RETURN_IF_ERROR(store_->Put(key, slice));
+    } else {
+      // Whole-object-only backend: read, patch, rewrite the chunk. This is
+      // the write amplification S3-style stores impose on partial updates.
+      Bytes chunk_data;
+      auto existing = store_->Get(key);
+      if (existing.ok()) {
+        chunk_data = std::move(*existing);
+      } else if (existing.code() != Errc::kNoEnt) {
+        return existing.status();
+      }
+      if (chunk_data.size() < in_chunk + n) chunk_data.resize(in_chunk + n, 0);
+      std::memcpy(chunk_data.data() + in_chunk, slice.data(), n);
+      ARKFS_RETURN_IF_ERROR(store_->Put(key, chunk_data));
+    }
+    done += n;
+  }
+  return Status::Ok();
+}
+
+Status Prt::WriteChunk(const Uuid& ino, std::uint64_t chunk_index,
+                       ByteSpan data) {
+  if (data.size() > chunk_size_) {
+    return ErrStatus(Errc::kInval, "chunk payload exceeds chunk size");
+  }
+  return store_->Put(DataKey(ino, chunk_index), data);
+}
+
+Result<Bytes> Prt::ReadChunk(const Uuid& ino, std::uint64_t chunk_index) {
+  return store_->Get(DataKey(ino, chunk_index));
+}
+
+Status Prt::TruncateData(const Uuid& ino, std::uint64_t old_size,
+                         std::uint64_t new_size) {
+  if (new_size >= old_size) return Status::Ok();  // extension = lazy hole
+  const std::uint64_t old_chunks = NumChunksFor(old_size);
+  const std::uint64_t new_chunks = NumChunksFor(new_size);
+  for (std::uint64_t c = new_chunks; c < old_chunks; ++c) {
+    Status st = store_->Delete(DataKey(ino, c));
+    if (!st.ok() && st.code() != Errc::kNoEnt) return st;
+  }
+  // Trim the boundary chunk if the new size cuts into it.
+  if (new_chunks > 0 && new_size % chunk_size_ != 0) {
+    const std::uint64_t boundary = new_chunks - 1;
+    const std::uint64_t keep = new_size - boundary * chunk_size_;
+    auto chunk = store_->Get(DataKey(ino, boundary));
+    if (chunk.ok() && chunk->size() > keep) {
+      chunk->resize(keep);
+      ARKFS_RETURN_IF_ERROR(store_->Put(DataKey(ino, boundary), *chunk));
+    } else if (!chunk.ok() && chunk.code() != Errc::kNoEnt) {
+      return chunk.status();
+    }
+  }
+  return Status::Ok();
+}
+
+Status Prt::DeleteData(const Uuid& ino, std::uint64_t file_size) {
+  const std::uint64_t chunks = NumChunksFor(file_size);
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    Status st = store_->Delete(DataKey(ino, c));
+    if (!st.ok() && st.code() != Errc::kNoEnt) return st;
+  }
+  return Status::Ok();
+}
+
+}  // namespace arkfs

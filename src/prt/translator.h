@@ -1,0 +1,81 @@
+// PRT — the POSIX-REST Translator (paper §III-F).
+//
+// Everything above this layer thinks in POSIX terms (inodes, dentry blocks,
+// byte-addressed file data); everything below is REST object operations.
+// The translator:
+//
+//  * serializes/deserializes metadata records to their schema keys,
+//  * splits byte-addressed file I/O into fixed-size data chunks
+//    ("The PRT module divides the file data into multiple objects if the
+//    file size exceeds the maximum object size"),
+//  * hides backend capability differences: on a store without partial
+//    writes (S3-style) a sub-chunk write becomes read-modify-write of the
+//    whole chunk — the same amplification S3FS pays for random writes.
+#pragma once
+
+#include <vector>
+
+#include "meta/dentry.h"
+#include "meta/inode.h"
+#include "objstore/object_store.h"
+#include "prt/key_schema.h"
+
+namespace arkfs {
+
+class Prt {
+ public:
+  // chunk_size == 0 selects the store's max object size.
+  explicit Prt(ObjectStorePtr store, std::uint64_t chunk_size = 0);
+
+  // --- Metadata objects ---
+  Result<Inode> LoadInode(const Uuid& ino);
+  Status StoreInode(const Inode& inode);
+  Status DeleteInode(const Uuid& ino);
+
+  Result<std::vector<Dentry>> LoadDentryBlock(const Uuid& dir_ino);
+  Status StoreDentryBlock(const Uuid& dir_ino,
+                          const std::vector<Dentry>& entries);
+  Status DeleteDentryBlock(const Uuid& dir_ino);
+
+  // --- Journal objects (raw; framing is the journal module's business) ---
+  Result<Bytes> LoadJournal(const Uuid& dir_ino);
+  Status StoreJournal(const Uuid& dir_ino, ByteSpan data);
+  Status DeleteJournal(const Uuid& dir_ino);
+
+  // --- File data ---
+  // Reads [offset, offset+length) clamped to file_size. Holes read as zeros.
+  Result<Bytes> ReadData(const Uuid& ino, std::uint64_t offset,
+                         std::uint64_t length, std::uint64_t file_size);
+
+  // Writes data at offset, splitting across chunk objects.
+  Status WriteData(const Uuid& ino, std::uint64_t offset, ByteSpan data);
+
+  // Writes exactly one whole chunk (cache flush fast path; chunk-aligned).
+  Status WriteChunk(const Uuid& ino, std::uint64_t chunk_index, ByteSpan data);
+  Result<Bytes> ReadChunk(const Uuid& ino, std::uint64_t chunk_index);
+
+  // Shrinks/extends file data objects to new_size (drops orphaned chunks and
+  // trims the boundary chunk).
+  Status TruncateData(const Uuid& ino, std::uint64_t old_size,
+                      std::uint64_t new_size);
+
+  // Deletes every data chunk of the file.
+  Status DeleteData(const Uuid& ino, std::uint64_t file_size);
+
+  std::uint64_t chunk_size() const { return chunk_size_; }
+  ObjectStore& store() { return *store_; }
+  const ObjectStorePtr& store_ptr() const { return store_; }
+
+  std::uint64_t ChunkIndexFor(std::uint64_t offset) const {
+    return offset / chunk_size_;
+  }
+  std::uint64_t NumChunksFor(std::uint64_t file_size) const {
+    return file_size == 0 ? 0 : (file_size - 1) / chunk_size_ + 1;
+  }
+
+ private:
+  ObjectStorePtr store_;
+  std::uint64_t chunk_size_;
+};
+
+}  // namespace arkfs

@@ -1,0 +1,87 @@
+#include "rpc/fabric.h"
+
+namespace arkfs::rpc {
+
+void Endpoint::RegisterMethod(const std::string& method, Handler handler) {
+  std::lock_guard lock(mu_);
+  methods_[method] = std::move(handler);
+}
+
+Result<Bytes> Endpoint::Dispatch(const std::string& method, ByteSpan request) {
+  Handler handler;
+  {
+    std::unique_lock lock(mu_);
+    auto it = methods_.find(method);
+    if (it == methods_.end()) {
+      return ErrStatus(Errc::kNotSup, "no such RPC method: " + method);
+    }
+    handler = it->second;
+    if (max_concurrency_ > 0) {
+      cv_.wait(lock, [&] { return active_ < max_concurrency_; });
+      ++active_;
+    }
+  }
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  auto result = handler(request);
+  if (max_concurrency_ > 0) {
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+    }
+    cv_.notify_one();
+  }
+  return result;
+}
+
+Fabric::Fabric(const sim::NetworkProfile& profile)
+    : profile_(profile), rtt_(profile.rtt) {}
+
+Status Fabric::Bind(const std::string& address,
+                    std::shared_ptr<Endpoint> endpoint) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = endpoints_.emplace(address, std::move(endpoint));
+  if (!inserted) return ErrStatus(Errc::kExist, "address in use: " + address);
+  return Status::Ok();
+}
+
+void Fabric::Unbind(const std::string& address) {
+  std::lock_guard lock(mu_);
+  endpoints_.erase(address);
+}
+
+bool Fabric::IsBound(const std::string& address) const {
+  std::lock_guard lock(mu_);
+  return endpoints_.contains(address);
+}
+
+Result<Bytes> Fabric::Call(const std::string& address,
+                           const std::string& method, ByteSpan request) {
+  std::shared_ptr<Endpoint> endpoint;
+  {
+    std::lock_guard lock(mu_);
+    auto it = endpoints_.find(address);
+    if (it != endpoints_.end()) endpoint = it->second;
+  }
+  if (!endpoint) {
+    return ErrStatus(Errc::kTimedOut, "no endpoint at " + address);
+  }
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  // One round trip covers request+response latency; payload bytes ride on
+  // the fabric's bandwidth if a profile sets one.
+  rtt_.Apply();
+  if (profile_.bandwidth_bps > 0) {
+    const std::uint64_t bytes = request.size();
+    if (bytes > 0) {
+      SleepFor(Nanos(static_cast<std::int64_t>(
+          static_cast<double>(bytes) / profile_.bandwidth_bps * 1e9)));
+    }
+  }
+  auto response = endpoint->Dispatch(method, request);
+  if (response.ok() && profile_.bandwidth_bps > 0 && !response->empty()) {
+    SleepFor(Nanos(static_cast<std::int64_t>(
+        static_cast<double>(response->size()) / profile_.bandwidth_bps * 1e9)));
+  }
+  return response;
+}
+
+}  // namespace arkfs::rpc

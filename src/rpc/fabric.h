@@ -1,0 +1,87 @@
+// In-process RPC fabric.
+//
+// Stands in for the paper's gRPC transport between clients and the lease
+// manager, and between clients (non-leaders forward operations to directory
+// leaders over RPC, §III-B). Endpoints bind under a string address (the
+// paper's <ip, port>); calls are synchronous request/response.
+//
+// Cost model per call: one network round trip (NetworkProfile.rtt) plus
+// payload transfer time, plus whatever CPU the handler itself burns. An
+// endpoint may cap concurrent handler executions (service threads) — callers
+// beyond the cap queue, which is how a saturated metadata server or a hot
+// directory leader produces the paper's throughput collapse.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "sim/models.h"
+#include "sim/shared_link.h"
+
+namespace arkfs::rpc {
+
+using Handler = std::function<Result<Bytes>(ByteSpan request)>;
+
+// A bound service: method table + optional concurrency cap.
+class Endpoint {
+ public:
+  // max_concurrency == 0 means unlimited.
+  explicit Endpoint(int max_concurrency = 0)
+      : max_concurrency_(max_concurrency) {}
+
+  void RegisterMethod(const std::string& method, Handler handler);
+
+  // Runs the handler for `method`, honoring the concurrency cap.
+  Result<Bytes> Dispatch(const std::string& method, ByteSpan request);
+
+  std::uint64_t calls_served() const { return calls_.load(); }
+
+ private:
+  class ConcurrencySlot;
+
+  const int max_concurrency_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int active_ = 0;
+  std::map<std::string, Handler> methods_;
+  std::atomic<std::uint64_t> calls_{0};
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const sim::NetworkProfile& profile);
+
+  // Binds an endpoint under `address`. The endpoint must outlive the binding.
+  Status Bind(const std::string& address, std::shared_ptr<Endpoint> endpoint);
+
+  // Removes the binding; subsequent calls fail with kTimedOut (connection
+  // refused / host down — what a crashed client looks like to its peers).
+  void Unbind(const std::string& address);
+
+  bool IsBound(const std::string& address) const;
+
+  // Synchronous call. Charges RTT + payload transfer both ways.
+  Result<Bytes> Call(const std::string& address, const std::string& method,
+                     ByteSpan request);
+
+  std::uint64_t total_calls() const { return calls_.load(); }
+  const sim::NetworkProfile& profile() const { return profile_; }
+
+ private:
+  const sim::NetworkProfile profile_;
+  sim::LatencyModel rtt_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
+  std::atomic<std::uint64_t> calls_{0};
+};
+
+using FabricPtr = std::shared_ptr<Fabric>;
+
+}  // namespace arkfs::rpc

@@ -1,0 +1,261 @@
+#include "rpc/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/codec.h"
+#include "common/log.h"
+
+namespace arkfs::rpc {
+namespace {
+
+constexpr std::uint32_t kMaxFrame = 64u << 20;  // sanity bound
+
+// Full read/write helpers (sockets may deliver short counts).
+bool ReadExactly(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::read(fd, p, n);
+    if (got <= 0) return false;
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool WriteExactly(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t put = ::write(fd, p, n);
+    if (put <= 0) return false;
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+// Reads one [u32 len][body] frame.
+bool ReadFrame(int fd, Bytes* body) {
+  std::uint8_t header[4];
+  if (!ReadExactly(fd, header, 4)) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > kMaxFrame) return false;
+  body->resize(len);
+  return len == 0 || ReadExactly(fd, body->data(), len);
+}
+
+bool WriteFrame(int fd, ByteSpan body) {
+  std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(body.size()),
+      static_cast<std::uint8_t>(body.size() >> 8),
+      static_cast<std::uint8_t>(body.size() >> 16),
+      static_cast<std::uint8_t>(body.size() >> 24),
+  };
+  return WriteExactly(fd, header, 4) &&
+         (body.empty() || WriteExactly(fd, body.data(), body.size()));
+}
+
+}  // namespace
+
+Bytes FrameRequest(const std::string& method, ByteSpan payload) {
+  Encoder enc(method.size() + payload.size() + 8);
+  enc.PutU16(static_cast<std::uint16_t>(method.size()));
+  enc.PutRaw(AsBytes(method));
+  enc.PutRaw(payload);
+  return std::move(enc).Take();
+}
+
+Result<std::pair<std::string, Bytes>> ParseRequestBody(ByteSpan body) {
+  Decoder dec(body);
+  ARKFS_ASSIGN_OR_RETURN(std::uint16_t method_len, dec.GetU16());
+  if (dec.remaining() < method_len) {
+    return ErrStatus(Errc::kIo, "tcp: truncated method");
+  }
+  std::string method(method_len, '\0');
+  ARKFS_RETURN_IF_ERROR(dec.GetRaw(MutableByteSpan(
+      reinterpret_cast<std::uint8_t*>(method.data()), method_len)));
+  Bytes payload(body.begin() + dec.pos(), body.end());
+  return std::pair<std::string, Bytes>(std::move(method), std::move(payload));
+}
+
+Bytes FrameResponse(const Result<Bytes>& result) {
+  Encoder enc(64);
+  if (result.ok()) {
+    enc.PutU8(1);
+    enc.PutRaw(*result);
+  } else {
+    enc.PutU8(0);
+    enc.PutU32(static_cast<std::uint32_t>(result.code()));
+    enc.PutRaw(AsBytes(result.status().detail()));
+  }
+  return std::move(enc).Take();
+}
+
+Result<Bytes> ParseResponseBody(ByteSpan body) {
+  Decoder dec(body);
+  ARKFS_ASSIGN_OR_RETURN(std::uint8_t ok, dec.GetU8());
+  if (ok) {
+    return Bytes(body.begin() + dec.pos(), body.end());
+  }
+  ARKFS_ASSIGN_OR_RETURN(std::uint32_t code, dec.GetU32());
+  std::string detail(body.begin() + dec.pos(), body.end());
+  return ErrStatus(static_cast<Errc>(code), std::move(detail));
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return ErrStatus(Errc::kIo, "socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return ErrStatus(Errc::kIo, "bind() failed");
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return ErrStatus(Errc::kIo, "listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard lock(workers_mu_);
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(workers_mu_);
+    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  Bytes body;
+  while (!stopping_.load() && ReadFrame(fd, &body)) {
+    auto request = ParseRequestBody(body);
+    Result<Bytes> result = Bytes{};
+    if (request.ok()) {
+      result = endpoint_->Dispatch(request->first, request->second);
+    } else {
+      result = request.status();
+    }
+    if (!WriteFrame(fd, FrameResponse(result))) break;
+  }
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+TcpClient::~TcpClient() {
+  std::lock_guard lock(mu_);
+  for (auto& [_, conn] : connections_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+}
+
+Result<std::shared_ptr<TcpClient::Connection>> TcpClient::GetConnection(
+    const std::string& host, std::uint16_t port) {
+  const std::string key = host + ":" + std::to_string(port);
+  {
+    std::lock_guard lock(mu_);
+    auto it = connections_.find(key);
+    if (it != connections_.end()) return it->second;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrStatus(Errc::kIo, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return ErrStatus(Errc::kInval, "bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return ErrStatus(Errc::kTimedOut, "connect() to " + key + " failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = connections_.emplace(key, conn);
+  if (!inserted) {
+    ::close(fd);  // raced with another caller; use theirs
+    return it->second;
+  }
+  return conn;
+}
+
+void TcpClient::DropConnection(const std::string& key) {
+  std::lock_guard lock(mu_);
+  auto it = connections_.find(key);
+  if (it != connections_.end()) {
+    if (it->second->fd >= 0) ::close(it->second->fd);
+    connections_.erase(it);
+  }
+}
+
+Result<Bytes> TcpClient::Call(const std::string& host, std::uint16_t port,
+                              const std::string& method, ByteSpan payload) {
+  ARKFS_ASSIGN_OR_RETURN(auto conn, GetConnection(host, port));
+  Bytes response_body;
+  {
+    std::lock_guard lock(conn->mu);
+    if (!WriteFrame(conn->fd, FrameRequest(method, payload)) ||
+        !ReadFrame(conn->fd, &response_body)) {
+      DropConnection(host + ":" + std::to_string(port));
+      return ErrStatus(Errc::kTimedOut, "tcp call failed");
+    }
+  }
+  return ParseResponseBody(response_body);
+}
+
+}  // namespace arkfs::rpc

@@ -1,0 +1,94 @@
+// TCP transport for RPC endpoints.
+//
+// The benchmark/testing deployments use the in-process Fabric (with modeled
+// latency); this transport serves the SAME rpc::Endpoint objects over real
+// sockets, so a lease manager or a directory leader can live in another
+// process or on another machine. Wire format, both directions:
+//
+//   request:  [u32 total_len][u16 method_len][method bytes][payload bytes]
+//   response: [u32 total_len][u8 ok][payload bytes]         (ok == 1)
+//             [u32 total_len][u8 ok][u32 errc][detail bytes] (ok == 0)
+//
+// All integers little-endian. One in-flight request per connection (the
+// client serializes per connection and pools connections per target), which
+// keeps the protocol trivially correct; the lease/dir-op RPCs are small.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/fabric.h"
+
+namespace arkfs::rpc {
+
+// Serves one Endpoint on 127.0.0.1:<port>. port 0 picks a free port
+// (readable via port() after Start()).
+class TcpServer {
+ public:
+  explicit TcpServer(std::shared_ptr<Endpoint> endpoint)
+      : endpoint_(std::move(endpoint)) {}
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  Status Start(std::uint16_t port = 0);
+  void Stop();
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t connections_accepted() const { return accepted_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::shared_ptr<Endpoint> endpoint_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+};
+
+// Client side: synchronous calls with a small per-target connection pool.
+class TcpClient {
+ public:
+  TcpClient() = default;
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  Result<Bytes> Call(const std::string& host, std::uint16_t port,
+                     const std::string& method, ByteSpan payload);
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex mu;  // one in-flight request per connection
+  };
+
+  Result<std::shared_ptr<Connection>> GetConnection(const std::string& host,
+                                                    std::uint16_t port);
+  void DropConnection(const std::string& key);
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Connection>> connections_;
+};
+
+// --- framing helpers, exposed for tests ---
+Bytes FrameRequest(const std::string& method, ByteSpan payload);
+Bytes FrameResponse(const Result<Bytes>& result);
+Result<std::pair<std::string, Bytes>> ParseRequestBody(ByteSpan body);
+Result<Bytes> ParseResponseBody(ByteSpan body);
+
+}  // namespace arkfs::rpc

@@ -1,0 +1,50 @@
+#include "sim/disk.h"
+
+namespace arkfs::sim {
+
+Status SimDisk::WriteFile(const std::string& name, ByteSpan data) {
+  latency_.Apply();
+  link_.Transfer(data.size());
+  std::lock_guard lock(mu_);
+  files_[name] = Bytes(data.begin(), data.end());
+  return Status::Ok();
+}
+
+Result<Bytes> SimDisk::ReadFile(const std::string& name) {
+  latency_.Apply();
+  Bytes out;
+  {
+    std::lock_guard lock(mu_);
+    auto it = files_.find(name);
+    if (it == files_.end()) return ErrStatus(Errc::kNoEnt, name);
+    out = it->second;
+  }
+  link_.Transfer(out.size());
+  return out;
+}
+
+Status SimDisk::DeleteFile(const std::string& name) {
+  latency_.Apply();
+  std::lock_guard lock(mu_);
+  if (files_.erase(name) == 0) return ErrStatus(Errc::kNoEnt, name);
+  return Status::Ok();
+}
+
+bool SimDisk::Exists(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return files_.contains(name);
+}
+
+std::uint64_t SimDisk::TotalBytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [_, data] : files_) total += data.size();
+  return total;
+}
+
+std::size_t SimDisk::FileCount() const {
+  std::lock_guard lock(mu_);
+  return files_.size();
+}
+
+}  // namespace arkfs::sim

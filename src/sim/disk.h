@@ -1,0 +1,56 @@
+// SimDisk: sequential-bandwidth block device model.
+//
+// Stands in for the AWS EBS volumes of the paper's testbed (Table I /
+// Table II: the archiving source volume sustains ~1 GB/s sequential). Reads
+// and writes move real bytes through an in-memory backing map while charging
+// transfer time against a shared bandwidth link, plus a fixed per-request
+// latency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "sim/models.h"
+#include "sim/shared_link.h"
+
+namespace arkfs::sim {
+
+struct DiskConfig {
+  double bandwidth_bps = 1e9;   // 1 GB/s sequential (paper's EBS volume)
+  Nanos request_latency{Micros(100)};
+
+  static DiskConfig EbsLike() { return DiskConfig{}; }
+  static DiskConfig Instant() { return DiskConfig{0, Nanos(0)}; }
+};
+
+// A named-file flat store with modeled timing; the archiving benches use it
+// as the burst-buffer-side source/target volume.
+class SimDisk {
+ public:
+  explicit SimDisk(const DiskConfig& config)
+      : config_(config),
+        latency_(config.request_latency),
+        link_(config.bandwidth_bps) {}
+
+  Status WriteFile(const std::string& name, ByteSpan data);
+  Result<Bytes> ReadFile(const std::string& name);
+  Status DeleteFile(const std::string& name);
+  bool Exists(const std::string& name) const;
+  std::uint64_t TotalBytes() const;
+  std::size_t FileCount() const;
+
+ private:
+  const DiskConfig config_;
+  LatencyModel latency_;
+  SharedLink link_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Bytes> files_;
+};
+
+}  // namespace arkfs::sim

@@ -1,0 +1,75 @@
+#include "sim/models.h"
+
+namespace arkfs::sim {
+namespace {
+
+std::uint64_t Mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+Nanos LatencyModel::Sample() const {
+  if (zero()) return Nanos(0);
+  if (jitter_frac_ <= 0) return mean_;
+  const std::uint64_t h = Mix(seq_.fetch_add(1, std::memory_order_relaxed));
+  // Uniform in [-jitter, +jitter].
+  const double u = (static_cast<double>(h >> 11) / 9007199254740992.0) * 2 - 1;
+  const double ns = static_cast<double>(mean_.count()) * (1.0 + jitter_frac_ * u);
+  return Nanos(static_cast<std::int64_t>(ns));
+}
+
+void LatencyModel::Apply() const {
+  if (!zero()) SleepFor(Sample());
+}
+
+// Profile constants. Real magnitudes for the network (they match commodity
+// datacenter hardware and need no scaling); S3 latencies are scaled down ~4x
+// from typical public-cloud values so the full fio bench finishes in CI time
+// while keeping the S3:RADOS latency ratio >20x, which is what produces the
+// paper's Figure 6(b) shapes.
+CostProfile CostProfile::RadosLike() {
+  CostProfile p;
+  p.name = "rados-like";
+  p.op_latency = Micros(150);
+  p.small_io_latency = Micros(50);
+  p.bandwidth_bps = 1.25e9;  // 10 Gbit/s per storage node
+  p.supports_partial_write = true;
+  return p;
+}
+
+CostProfile CostProfile::S3Like() {
+  CostProfile p;
+  p.name = "s3-like";
+  p.op_latency = Millis(4);
+  p.small_io_latency = Millis(1);
+  p.bandwidth_bps = 400e6;  // per-connection S3 streaming rate
+  p.supports_partial_write = false;
+  return p;
+}
+
+CostProfile CostProfile::Instant() {
+  CostProfile p;
+  p.name = "instant";
+  p.supports_partial_write = true;
+  return p;
+}
+
+NetworkProfile NetworkProfile::Datacenter10G() {
+  NetworkProfile p;
+  p.name = "datacenter-10g";
+  p.rtt = Micros(200);
+  p.bandwidth_bps = 1.25e9;
+  return p;
+}
+
+NetworkProfile NetworkProfile::Instant() {
+  NetworkProfile p;
+  p.name = "instant";
+  return p;
+}
+
+}  // namespace arkfs::sim

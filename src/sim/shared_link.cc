@@ -1,0 +1,24 @@
+#include "sim/shared_link.h"
+
+#include <algorithm>
+
+namespace arkfs::sim {
+
+Nanos SharedLink::Transfer(std::uint64_t bytes) {
+  if (bps_ <= 0 || bytes == 0) return Nanos(0);
+  const Nanos cost(
+      static_cast<std::int64_t>(static_cast<double>(bytes) / bps_ * 1e9));
+  TimePoint finish;
+  {
+    std::lock_guard lock(mu_);
+    const TimePoint now = Now();
+    const TimePoint start = std::max(now, busy_until_);
+    finish = start + cost;
+    busy_until_ = finish;
+  }
+  const TimePoint now = Now();
+  if (finish > now) SleepFor(std::chrono::duration_cast<Nanos>(finish - now));
+  return cost;
+}
+
+}  // namespace arkfs::sim

@@ -1,0 +1,34 @@
+// SharedLink: a bandwidth-limited shared resource.
+//
+// Models a link (or disk, or storage-node NIC) that serializes transfers at a
+// fixed byte rate. Concurrent callers each reserve a slice of the link's
+// timeline and sleep until their slice completes — so N concurrent streams
+// each see ~rate/N, exactly like a real shared link, without any token
+// accounting thread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace arkfs::sim {
+
+class SharedLink {
+ public:
+  // bytes_per_sec == 0 means infinite bandwidth (no delay).
+  explicit SharedLink(double bytes_per_sec) : bps_(bytes_per_sec) {}
+
+  // Blocks for the time this transfer occupies the link, accounting for
+  // other in-flight transfers. Returns the simulated completion delay.
+  Nanos Transfer(std::uint64_t bytes);
+
+  double bytes_per_sec() const { return bps_; }
+
+ private:
+  const double bps_;
+  std::mutex mu_;
+  TimePoint busy_until_{};
+};
+
+}  // namespace arkfs::sim

@@ -1,0 +1,66 @@
+#include "workloads/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace arkfs::workloads {
+
+std::vector<DatasetFile> GenerateDataset(const DatasetSpec& spec) {
+  std::vector<DatasetFile> files;
+  files.reserve(spec.num_files);
+  Rng rng(spec.seed);
+  for (int i = 0; i < spec.num_files; ++i) {
+    DatasetFile f;
+    char name[32];
+    std::snprintf(name, sizeof(name), "img_%06d.jpg", i);
+    f.name = name;
+    const double size =
+        std::clamp(rng.LogNormal(spec.median_bytes, spec.sigma),
+                   spec.min_bytes, spec.max_bytes);
+    f.size = static_cast<std::uint64_t>(size);
+    f.content_seed = rng.Next();
+    files.push_back(std::move(f));
+  }
+  return files;
+}
+
+Bytes DatasetFileContent(const DatasetFile& file) {
+  Bytes data(file.size);
+  Rng rng(file.content_seed);
+  std::size_t i = 0;
+  // Fill eight bytes at a time.
+  for (; i + 8 <= data.size(); i += 8) {
+    const std::uint64_t v = rng.Next();
+    for (int b = 0; b < 8; ++b) {
+      data[i + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+  for (std::uint64_t v = rng.Next(); i < data.size(); ++i, v >>= 8) {
+    data[i] = static_cast<std::uint8_t>(v);
+  }
+  return data;
+}
+
+bool VerifyDatasetFile(const DatasetFile& file, ByteSpan data) {
+  if (data.size() != file.size) return false;
+  const Bytes expected = DatasetFileContent(file);
+  return std::equal(expected.begin(), expected.end(), data.begin());
+}
+
+Status LoadDatasetToDisk(const std::vector<DatasetFile>& files,
+                         sim::SimDisk& disk) {
+  for (const auto& f : files) {
+    ARKFS_RETURN_IF_ERROR(disk.WriteFile(f.name, DatasetFileContent(f)));
+  }
+  return Status::Ok();
+}
+
+std::uint64_t TotalBytes(const std::vector<DatasetFile>& files) {
+  std::uint64_t total = 0;
+  for (const auto& f : files) total += f.size;
+  return total;
+}
+
+}  // namespace arkfs::workloads

@@ -1,0 +1,58 @@
+// Synthetic MS-COCO-like dataset (paper §IV-D, Table II).
+//
+// The paper archives the MS-COCO image set: 41K images, "sizes ranging from
+// tens to hundreds of KB", ~7 GB total (≈170 KB mean). Image-size
+// distributions are well modeled as log-normal; we generate deterministic
+// synthetic files matching that profile (scaled for CI), with content
+// derived from the file's seed so verification needs no stored copy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "sim/disk.h"
+
+namespace arkfs::workloads {
+
+struct DatasetSpec {
+  int num_files = 41000;            // MS-COCO size
+  double median_bytes = 140e3;      // tens-to-hundreds of KB
+  double sigma = 0.6;
+  double min_bytes = 20e3;
+  double max_bytes = 900e3;
+  std::uint64_t seed = 7;
+
+  // A CI-scale variant preserving the distribution shape.
+  static DatasetSpec Scaled(int num_files, double median_bytes = 12e3) {
+    DatasetSpec s;
+    s.num_files = num_files;
+    s.median_bytes = median_bytes;
+    s.min_bytes = median_bytes / 8;
+    s.max_bytes = median_bytes * 8;
+    return s;
+  }
+};
+
+struct DatasetFile {
+  std::string name;        // e.g. "img_000042.jpg"
+  std::uint64_t size = 0;
+  std::uint64_t content_seed = 0;
+};
+
+// Deterministic list of files for the spec.
+std::vector<DatasetFile> GenerateDataset(const DatasetSpec& spec);
+
+// Deterministic pseudo-random content for a file.
+Bytes DatasetFileContent(const DatasetFile& file);
+
+// Verifies that `data` is exactly the file's generated content.
+bool VerifyDatasetFile(const DatasetFile& file, ByteSpan data);
+
+// Materializes the dataset on a simulated burst-buffer volume.
+Status LoadDatasetToDisk(const std::vector<DatasetFile>& files,
+                         sim::SimDisk& disk);
+
+std::uint64_t TotalBytes(const std::vector<DatasetFile>& files);
+
+}  // namespace arkfs::workloads

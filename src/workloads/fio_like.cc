@@ -1,0 +1,121 @@
+#include "workloads/fio_like.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace arkfs::workloads {
+namespace {
+
+Bytes RequestPayload(std::uint64_t request_size, std::uint64_t seed) {
+  Bytes data(request_size);
+  Rng rng(seed);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.Next());
+  return data;
+}
+
+}  // namespace
+
+Result<FioResult> RunFio(const FioMountFactory& mounts,
+                         const FioConfig& config) {
+  std::vector<VfsPtr> vfs(config.num_jobs);
+  for (int j = 0; j < config.num_jobs; ++j) vfs[j] = mounts(j);
+  ARKFS_RETURN_IF_ERROR(vfs[0]->MkdirAll(config.root, 0777, config.cred));
+
+  FioResult result;
+  result.bytes_per_job = config.file_size;
+  std::atomic<std::uint64_t> errors{0};
+
+  auto file_for = [&](int job) {
+    return config.root + "/job" + std::to_string(job) + ".dat";
+  };
+
+  if (config.warmup) {
+    // Small untimed pass through the full write/flush/read path.
+    FioConfig mini = config;
+    mini.warmup = false;
+    mini.file_size = std::max<std::uint64_t>(config.file_size / 16,
+                                             config.request_size);
+    mini.root = config.root + "/warmup";
+    (void)RunFio(mounts, mini);
+  }
+
+  // --- WRITE phase ---
+  for (int pass = 0; pass < std::max(config.passes, 1); ++pass) {
+    std::vector<std::thread> threads;
+    const TimePoint start = Now();
+    for (int j = 0; j < config.num_jobs; ++j) {
+      threads.emplace_back([&, j] {
+        const Bytes payload = RequestPayload(config.request_size, j + 1);
+        OpenOptions create;
+        create.write = true;
+        create.create = true;
+        create.truncate = true;
+        auto fd = vfs[j]->Open(file_for(j), create, config.cred);
+        if (!fd.ok()) {
+          ++errors;
+          return;
+        }
+        for (std::uint64_t off = 0; off < config.file_size;
+             off += config.request_size) {
+          const std::uint64_t n =
+              std::min<std::uint64_t>(config.request_size,
+                                      config.file_size - off);
+          auto wrote = vfs[j]->Write(*fd, off, ByteSpan(payload.data(), n));
+          if (!wrote.ok() || *wrote != n) {
+            ++errors;
+            break;
+          }
+        }
+        if (!vfs[j]->Fsync(*fd).ok()) ++errors;
+        if (!vfs[j]->Close(*fd).ok()) ++errors;
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double secs = std::chrono::duration<double>(Now() - start).count();
+    result.write_bw_bps = std::max(
+        result.write_bw_bps,
+        static_cast<double>(config.file_size) * config.num_jobs / secs);
+  }
+
+  // --- READ phase ---
+  for (int pass = 0; pass < std::max(config.passes, 1); ++pass) {
+    if (config.drop_caches) config.drop_caches();
+    std::vector<std::thread> threads;
+    const TimePoint start = Now();
+    for (int j = 0; j < config.num_jobs; ++j) {
+      threads.emplace_back([&, j] {
+        OpenOptions read;
+        auto fd = vfs[j]->Open(file_for(j), read, config.cred);
+        if (!fd.ok()) {
+          ++errors;
+          return;
+        }
+        for (std::uint64_t off = 0; off < config.file_size;
+             off += config.request_size) {
+          const std::uint64_t n =
+              std::min<std::uint64_t>(config.request_size,
+                                      config.file_size - off);
+          auto data = vfs[j]->Read(*fd, off, n);
+          if (!data.ok() || data->size() != n) {
+            ++errors;
+            break;
+          }
+        }
+        if (!vfs[j]->Close(*fd).ok()) ++errors;
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double secs = std::chrono::duration<double>(Now() - start).count();
+    result.read_bw_bps = std::max(
+        result.read_bw_bps,
+        static_cast<double>(config.file_size) * config.num_jobs / secs);
+  }
+
+  result.errors = errors.load();
+  return result;
+}
+
+}  // namespace arkfs::workloads

@@ -1,0 +1,44 @@
+// fio-like sequential bandwidth workload (paper §IV-B, Fig. 6).
+//
+// N jobs each write a private file sequentially with fixed-size requests,
+// fsync, drop caches, then read it back sequentially. Reported numbers are
+// the aggregate WRITE and READ bandwidths.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/vfs.h"
+
+namespace arkfs::workloads {
+
+using FioMountFactory = std::function<VfsPtr(int job)>;
+
+struct FioConfig {
+  int num_jobs = 32;                       // paper: 32 processes
+  std::uint64_t file_size = 8ull << 20;    // paper: 32 GiB; scaled for CI
+  std::uint64_t request_size = 128ull << 10;  // paper: 128 KiB
+  std::string root = "/fio";
+  UserCred cred = UserCred::Root();
+  // Invoked between the write and read phases to drop client caches (the
+  // paper drops page/object caches after the write+fsync).
+  std::function<void()> drop_caches;
+  // Untimed warmup pass (fraction of the workload) before measurement, to
+  // absorb cold-start allocation effects on the measuring host.
+  bool warmup = true;
+  // Measured passes per phase; the best bandwidth is reported (standard
+  // practice for wall-clock bandwidth numbers on a shared/noisy host).
+  int passes = 2;
+};
+
+struct FioResult {
+  double write_bw_bps = 0;
+  double read_bw_bps = 0;
+  std::uint64_t bytes_per_job = 0;
+  std::uint64_t errors = 0;
+};
+
+Result<FioResult> RunFio(const FioMountFactory& mounts,
+                         const FioConfig& config);
+
+}  // namespace arkfs::workloads

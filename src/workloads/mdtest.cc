@@ -1,0 +1,258 @@
+#include "workloads/mdtest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace arkfs::workloads {
+namespace {
+
+struct Barrier {
+  explicit Barrier(int n) : remaining(n) {}
+  void Arrive() {
+    std::unique_lock lock(mu);
+    if (--remaining == 0) {
+      cv.notify_all();
+    } else {
+      cv.wait(lock, [&] { return remaining == 0; });
+    }
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining;
+};
+
+// Runs `body(process)` on num_processes threads, with a start barrier, and
+// returns the wall-clock span of the slowest process. `flush` runs inside
+// the timed region after each process finishes its ops (the paper's
+// per-phase fsync).
+double TimedPhase(int num_processes,
+                  const std::function<void(int)>& body,
+                  const std::function<void(int)>& flush) {
+  Barrier barrier(num_processes + 1);
+  std::vector<std::thread> threads;
+  std::atomic<std::int64_t> finish_ns{0};
+  for (int p = 0; p < num_processes; ++p) {
+    threads.emplace_back([&, p] {
+      barrier.Arrive();
+      body(p);
+      if (flush) flush(p);
+      const std::int64_t end = NowNanos();
+      std::int64_t cur = finish_ns.load();
+      while (end > cur && !finish_ns.compare_exchange_weak(cur, end)) {
+      }
+    });
+  }
+  // Stamp the start BEFORE releasing the barrier: on a loaded host the
+  // workers can otherwise complete before this thread gets rescheduled.
+  const std::int64_t start = NowNanos();
+  barrier.Arrive();
+  for (auto& t : threads) t.join();
+  return static_cast<double>(std::max<std::int64_t>(
+             finish_ns.load() - start, 1)) / 1e9;
+}
+
+PhaseResult MakeResult(const std::string& phase, std::uint64_t ops,
+                       std::uint64_t errors, double seconds) {
+  PhaseResult r;
+  r.phase = phase;
+  r.ops = ops;
+  r.errors = errors;
+  r.seconds = seconds;
+  r.ops_per_second = seconds > 0 ? static_cast<double>(ops) / seconds : 0;
+  return r;
+}
+
+std::string EasyDir(const MdtestConfig& config, int process) {
+  return config.root + "/proc" + std::to_string(process);
+}
+
+std::string EasyFile(const MdtestConfig& config, int process, int i) {
+  return EasyDir(config, process) + "/file." + std::to_string(i);
+}
+
+// mdtest-hard: process p's file i lives in a pseudo-randomly chosen shared
+// directory (deterministic, so later phases find their files again).
+std::string HardFile(const MdtestConfig& config, int process, int i) {
+  Rng rng(config.seed ^ (static_cast<std::uint64_t>(process) << 32) ^
+          static_cast<std::uint64_t>(i));
+  const auto dir = rng.Below(static_cast<std::uint64_t>(config.shared_dirs));
+  return config.root + "/shared" + std::to_string(dir) + "/p" +
+         std::to_string(process) + "." + std::to_string(i);
+}
+
+}  // namespace
+
+Result<std::vector<PhaseResult>> RunMdtestEasy(const MountFactory& mounts,
+                                               const MdtestConfig& config) {
+  std::vector<VfsPtr> vfs(config.num_processes);
+  for (int p = 0; p < config.num_processes; ++p) vfs[p] = mounts(p);
+
+  // Setup (untimed, as in mdtest): the directory tree.
+  ARKFS_RETURN_IF_ERROR(vfs[0]->MkdirAll(config.root, 0777, config.cred));
+  for (int p = 0; p < config.num_processes; ++p) {
+    ARKFS_RETURN_IF_ERROR(vfs[p]->Mkdir(EasyDir(config, p), 0777, config.cred));
+  }
+
+  std::vector<PhaseResult> results;
+  std::atomic<std::uint64_t> errors{0};
+  const std::uint64_t total_ops =
+      static_cast<std::uint64_t>(config.num_processes) *
+      config.files_per_process;
+
+  // CREATE: empty files in the private leaf directory.
+  double secs = TimedPhase(
+      config.num_processes,
+      [&](int p) {
+        OpenOptions create;
+        create.write = true;
+        create.create = true;
+        for (int i = 0; i < config.files_per_process; ++i) {
+          auto fd = vfs[p]->Open(EasyFile(config, p, i), create, config.cred);
+          if (!fd.ok() || !vfs[p]->Close(*fd).ok()) ++errors;
+        }
+      },
+      [&](int p) { (void)vfs[p]->SyncAll(); });
+  results.push_back(MakeResult("CREATE", total_ops, errors.exchange(0), secs));
+
+  // STAT.
+  secs = TimedPhase(
+      config.num_processes,
+      [&](int p) {
+        for (int i = 0; i < config.files_per_process; ++i) {
+          if (!vfs[p]->Stat(EasyFile(config, p, i), config.cred).ok()) ++errors;
+        }
+      },
+      nullptr);
+  results.push_back(MakeResult("STAT", total_ops, errors.exchange(0), secs));
+
+  // DELETE.
+  secs = TimedPhase(
+      config.num_processes,
+      [&](int p) {
+        for (int i = 0; i < config.files_per_process; ++i) {
+          if (!vfs[p]->Unlink(EasyFile(config, p, i), config.cred).ok()) ++errors;
+        }
+      },
+      [&](int p) { (void)vfs[p]->SyncAll(); });
+  results.push_back(MakeResult("DELETE", total_ops, errors.exchange(0), secs));
+  return results;
+}
+
+Result<std::vector<PhaseResult>> RunMdtestHard(const MountFactory& mounts,
+                                               const MdtestConfig& config) {
+  std::vector<VfsPtr> vfs(config.num_processes);
+  for (int p = 0; p < config.num_processes; ++p) vfs[p] = mounts(p);
+
+  ARKFS_RETURN_IF_ERROR(vfs[0]->MkdirAll(config.root, 0777, config.cred));
+  for (int d = 0; d < config.shared_dirs; ++d) {
+    ARKFS_RETURN_IF_ERROR(vfs[0]->Mkdir(
+        config.root + "/shared" + std::to_string(d), 0777, config.cred));
+  }
+
+  const Bytes payload(config.file_size, 0x5A);
+  std::vector<PhaseResult> results;
+  std::atomic<std::uint64_t> errors{0};
+  const std::uint64_t total_ops =
+      static_cast<std::uint64_t>(config.num_processes) *
+      config.files_per_process;
+
+  // WRITE: create + write file_size bytes + per-file barrier-free fsync at
+  // phase end.
+  double secs = TimedPhase(
+      config.num_processes,
+      [&](int p) {
+        OpenOptions create;
+        create.write = true;
+        create.create = true;
+        for (int i = 0; i < config.files_per_process; ++i) {
+          auto fd = vfs[p]->Open(HardFile(config, p, i), create, config.cred);
+          if (!fd.ok()) {
+            ++errors;
+            continue;
+          }
+          bool ok = vfs[p]->Write(*fd, 0, payload).ok();
+          ok = vfs[p]->Close(*fd).ok() && ok;
+          if (!ok) ++errors;
+        }
+      },
+      [&](int p) { (void)vfs[p]->SyncAll(); });
+  results.push_back(MakeResult("WRITE", total_ops, errors.exchange(0), secs));
+
+  // STAT.
+  secs = TimedPhase(
+      config.num_processes,
+      [&](int p) {
+        for (int i = 0; i < config.files_per_process; ++i) {
+          if (!vfs[p]->Stat(HardFile(config, p, i), config.cred).ok()) ++errors;
+        }
+      },
+      nullptr);
+  results.push_back(MakeResult("STAT", total_ops, errors.exchange(0), secs));
+
+  // READ: whole-file reads (MarFS-like mounts may error here, exactly as
+  // the paper reports — errors are counted, not fatal).
+  secs = TimedPhase(
+      config.num_processes,
+      [&](int p) {
+        OpenOptions read;
+        for (int i = 0; i < config.files_per_process; ++i) {
+          auto fd = vfs[p]->Open(HardFile(config, p, i), read, config.cred);
+          if (!fd.ok()) {
+            ++errors;
+            continue;
+          }
+          auto data = vfs[p]->Read(*fd, 0, config.file_size);
+          if (!data.ok() || data->size() != config.file_size) ++errors;
+          if (!vfs[p]->Close(*fd).ok()) ++errors;
+        }
+      },
+      nullptr);
+  results.push_back(MakeResult("READ", total_ops, errors.exchange(0), secs));
+
+  // DELETE: removes data too.
+  secs = TimedPhase(
+      config.num_processes,
+      [&](int p) {
+        for (int i = 0; i < config.files_per_process; ++i) {
+          if (!vfs[p]->Unlink(HardFile(config, p, i), config.cred).ok()) ++errors;
+        }
+      },
+      [&](int p) { (void)vfs[p]->SyncAll(); });
+  results.push_back(MakeResult("DELETE", total_ops, errors.exchange(0), secs));
+  return results;
+}
+
+Result<PhaseResult> RunMdtestCreateOnly(const MountFactory& mounts,
+                                        const MdtestConfig& config) {
+  std::vector<VfsPtr> vfs(config.num_processes);
+  for (int p = 0; p < config.num_processes; ++p) vfs[p] = mounts(p);
+  ARKFS_RETURN_IF_ERROR(vfs[0]->MkdirAll(config.root, 0777, config.cred));
+  for (int p = 0; p < config.num_processes; ++p) {
+    ARKFS_RETURN_IF_ERROR(vfs[p]->Mkdir(EasyDir(config, p), 0777, config.cred));
+  }
+  std::atomic<std::uint64_t> errors{0};
+  const double secs = TimedPhase(
+      config.num_processes,
+      [&](int p) {
+        OpenOptions create;
+        create.write = true;
+        create.create = true;
+        for (int i = 0; i < config.files_per_process; ++i) {
+          auto fd = vfs[p]->Open(EasyFile(config, p, i), create, config.cred);
+          if (!fd.ok() || !vfs[p]->Close(*fd).ok()) ++errors;
+        }
+      },
+      [&](int p) { (void)vfs[p]->SyncAll(); });
+  return MakeResult("CREATE",
+                    static_cast<std::uint64_t>(config.num_processes) *
+                        config.files_per_process,
+                    errors.load(), secs);
+}
+
+}  // namespace arkfs::workloads

@@ -1,0 +1,397 @@
+#include "workloads/minitar.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "meta/path.h"
+
+namespace arkfs::workloads {
+namespace {
+
+// USTAR header field layout.
+struct UstarLayout {
+  static constexpr std::size_t kName = 0, kNameLen = 100;
+  static constexpr std::size_t kMode = 100, kModeLen = 8;
+  static constexpr std::size_t kUid = 108, kUidLen = 8;
+  static constexpr std::size_t kGid = 116, kGidLen = 8;
+  static constexpr std::size_t kSize = 124, kSizeLen = 12;
+  static constexpr std::size_t kMtime = 136, kMtimeLen = 12;
+  static constexpr std::size_t kChksum = 148, kChksumLen = 8;
+  static constexpr std::size_t kTypeflag = 156;
+  static constexpr std::size_t kLinkname = 157, kLinknameLen = 100;
+  static constexpr std::size_t kMagic = 257;   // "ustar\0"
+  static constexpr std::size_t kVersion = 263; // "00"
+  static constexpr std::size_t kUname = 265, kUnameLen = 32;
+  static constexpr std::size_t kGname = 297, kGnameLen = 32;
+  static constexpr std::size_t kPrefix = 345, kPrefixLen = 155;
+};
+
+void PutOctal(std::uint8_t* field, std::size_t len, std::uint64_t value) {
+  // Classic format: len-1 octal digits, NUL terminated, zero padded.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%0*llo",
+                static_cast<int>(len - 1),
+                static_cast<unsigned long long>(value));
+  std::memcpy(field, buf, len - 1);
+  field[len - 1] = '\0';
+}
+
+Result<std::uint64_t> GetOctal(const std::uint8_t* field, std::size_t len) {
+  std::uint64_t value = 0;
+  bool seen = false;
+  for (std::size_t i = 0; i < len; ++i) {
+    const char c = static_cast<char>(field[i]);
+    if (c == ' ' && !seen) continue;
+    if (c == '\0' || c == ' ') break;
+    if (c < '0' || c > '7') {
+      return ErrStatus(Errc::kIo, "bad octal digit in tar header");
+    }
+    value = value * 8 + static_cast<std::uint64_t>(c - '0');
+    seen = true;
+  }
+  return value;
+}
+
+std::uint32_t HeaderChecksum(const std::uint8_t* block) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < kTarBlock; ++i) {
+    // The checksum field itself counts as spaces.
+    if (i >= UstarLayout::kChksum &&
+        i < UstarLayout::kChksum + UstarLayout::kChksumLen) {
+      sum += ' ';
+    } else {
+      sum += block[i];
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+Bytes EncodeTarHeader(const TarEntry& entry) {
+  Bytes block(kTarBlock, 0);
+  std::uint8_t* b = block.data();
+
+  std::string name = entry.name;
+  std::string prefix;
+  if (name.size() > UstarLayout::kNameLen) {
+    // Split into prefix/name at a '/' (the USTAR long-name mechanism).
+    const auto cut = name.rfind('/', UstarLayout::kPrefixLen);
+    if (cut != std::string::npos && name.size() - cut - 1 <= UstarLayout::kNameLen) {
+      prefix = name.substr(0, cut);
+      name = name.substr(cut + 1);
+    } else {
+      name.resize(UstarLayout::kNameLen);  // truncate; documented limitation
+    }
+  }
+  std::memcpy(b + UstarLayout::kName, name.data(),
+              std::min(name.size(), UstarLayout::kNameLen));
+  PutOctal(b + UstarLayout::kMode, UstarLayout::kModeLen, entry.mode & 07777);
+  PutOctal(b + UstarLayout::kUid, UstarLayout::kUidLen, entry.uid);
+  PutOctal(b + UstarLayout::kGid, UstarLayout::kGidLen, entry.gid);
+  PutOctal(b + UstarLayout::kSize, UstarLayout::kSizeLen,
+           entry.typeflag == '0' ? entry.size : 0);
+  PutOctal(b + UstarLayout::kMtime, UstarLayout::kMtimeLen,
+           static_cast<std::uint64_t>(std::max<std::int64_t>(entry.mtime, 0)));
+  b[UstarLayout::kTypeflag] = static_cast<std::uint8_t>(entry.typeflag);
+  std::memcpy(b + UstarLayout::kLinkname, entry.linkname.data(),
+              std::min(entry.linkname.size(), UstarLayout::kLinknameLen));
+  std::memcpy(b + UstarLayout::kMagic, "ustar", 6);  // includes NUL
+  std::memcpy(b + UstarLayout::kVersion, "00", 2);
+  std::memcpy(b + UstarLayout::kUname, "arkfs", 5);
+  std::memcpy(b + UstarLayout::kGname, "arkfs", 5);
+  std::memcpy(b + UstarLayout::kPrefix, prefix.data(),
+              std::min(prefix.size(), UstarLayout::kPrefixLen));
+
+  const std::uint32_t checksum = HeaderChecksum(b);
+  // Checksum: 6 octal digits, NUL, space.
+  char chk[8];
+  std::snprintf(chk, sizeof(chk), "%06o", checksum);
+  std::memcpy(b + UstarLayout::kChksum, chk, 6);
+  b[UstarLayout::kChksum + 6] = '\0';
+  b[UstarLayout::kChksum + 7] = ' ';
+  return block;
+}
+
+bool IsZeroBlock(ByteSpan block) {
+  for (auto byte : block) {
+    if (byte != 0) return false;
+  }
+  return true;
+}
+
+Result<TarEntry> DecodeTarHeader(ByteSpan block) {
+  if (block.size() != kTarBlock) return ErrStatus(Errc::kInval, "bad block size");
+  const std::uint8_t* b = block.data();
+  if (std::memcmp(b + UstarLayout::kMagic, "ustar", 5) != 0) {
+    return ErrStatus(Errc::kIo, "not a ustar header");
+  }
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t stored_sum,
+                         GetOctal(b + UstarLayout::kChksum,
+                                  UstarLayout::kChksumLen));
+  if (stored_sum != HeaderChecksum(b)) {
+    return ErrStatus(Errc::kIo, "tar header checksum mismatch");
+  }
+
+  TarEntry entry;
+  const auto name_end =
+      std::find(b + UstarLayout::kName, b + UstarLayout::kName + UstarLayout::kNameLen,
+                std::uint8_t{0});
+  std::string name(reinterpret_cast<const char*>(b + UstarLayout::kName),
+                   static_cast<std::size_t>(name_end - (b + UstarLayout::kName)));
+  const auto prefix_end = std::find(
+      b + UstarLayout::kPrefix,
+      b + UstarLayout::kPrefix + UstarLayout::kPrefixLen, std::uint8_t{0});
+  std::string prefix(reinterpret_cast<const char*>(b + UstarLayout::kPrefix),
+                     static_cast<std::size_t>(prefix_end - (b + UstarLayout::kPrefix)));
+  entry.name = prefix.empty() ? name : prefix + "/" + name;
+
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t mode,
+                         GetOctal(b + UstarLayout::kMode, UstarLayout::kModeLen));
+  entry.mode = static_cast<std::uint32_t>(mode);
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t uid,
+                         GetOctal(b + UstarLayout::kUid, UstarLayout::kUidLen));
+  entry.uid = static_cast<std::uint32_t>(uid);
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t gid,
+                         GetOctal(b + UstarLayout::kGid, UstarLayout::kGidLen));
+  entry.gid = static_cast<std::uint32_t>(gid);
+  ARKFS_ASSIGN_OR_RETURN(entry.size,
+                         GetOctal(b + UstarLayout::kSize, UstarLayout::kSizeLen));
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t mtime,
+                         GetOctal(b + UstarLayout::kMtime, UstarLayout::kMtimeLen));
+  entry.mtime = static_cast<std::int64_t>(mtime);
+  entry.typeflag = static_cast<char>(b[UstarLayout::kTypeflag]);
+  if (entry.typeflag == '\0') entry.typeflag = '0';
+  const auto link_end = std::find(
+      b + UstarLayout::kLinkname,
+      b + UstarLayout::kLinkname + UstarLayout::kLinknameLen, std::uint8_t{0});
+  entry.linkname.assign(
+      reinterpret_cast<const char*>(b + UstarLayout::kLinkname),
+      static_cast<std::size_t>(link_end - (b + UstarLayout::kLinkname)));
+  return entry;
+}
+
+Status TarWriter::Emit(ByteSpan data) {
+  ARKFS_RETURN_IF_ERROR(sink_(data));
+  bytes_ += data.size();
+  return Status::Ok();
+}
+
+Status TarWriter::AddFile(const TarEntry& entry, ByteSpan content) {
+  if (finished_) return ErrStatus(Errc::kInval, "archive already finished");
+  if (content.size() != entry.size) {
+    return ErrStatus(Errc::kInval, "entry size mismatch");
+  }
+  ARKFS_RETURN_IF_ERROR(Emit(EncodeTarHeader(entry)));
+  ARKFS_RETURN_IF_ERROR(Emit(content));
+  const std::size_t pad = (kTarBlock - content.size() % kTarBlock) % kTarBlock;
+  if (pad > 0) {
+    static const Bytes kZeros(kTarBlock, 0);
+    ARKFS_RETURN_IF_ERROR(Emit(ByteSpan(kZeros.data(), pad)));
+  }
+  return Status::Ok();
+}
+
+Status TarWriter::AddDirectory(const std::string& name, std::uint32_t mode) {
+  TarEntry entry;
+  entry.name = name.back() == '/' ? name : name + "/";
+  entry.mode = mode;
+  entry.typeflag = '5';
+  entry.size = 0;
+  return AddFile(entry, {});
+}
+
+Status TarWriter::Finish() {
+  if (finished_) return ErrStatus(Errc::kInval, "archive already finished");
+  finished_ = true;
+  static const Bytes kZeros(2 * kTarBlock, 0);
+  return Emit(kZeros);
+}
+
+Result<TarReader::Next> TarReader::NextEntry() {
+  Next next;
+  while (true) {
+    if (pos_ + kTarBlock > size_) {
+      next.done = true;  // ran off the end without a trailer: treat as EOF
+      return next;
+    }
+    ARKFS_ASSIGN_OR_RETURN(Bytes block, source_(pos_, kTarBlock));
+    if (block.size() != kTarBlock) return ErrStatus(Errc::kIo, "short tar read");
+    if (IsZeroBlock(block)) {
+      next.done = true;
+      return next;
+    }
+    ARKFS_ASSIGN_OR_RETURN(next.entry, DecodeTarHeader(block));
+    next.content_offset = pos_ + kTarBlock;
+    const std::uint64_t content_blocks =
+        (next.entry.size + kTarBlock - 1) / kTarBlock;
+    pos_ = next.content_offset + content_blocks * kTarBlock;
+    return next;
+  }
+}
+
+Result<Bytes> TarReader::ReadContent(const TarEntry& entry,
+                                     std::uint64_t content_offset) {
+  if (entry.size == 0) return Bytes{};
+  ARKFS_ASSIGN_OR_RETURN(Bytes data, source_(content_offset, entry.size));
+  if (data.size() != entry.size) {
+    return ErrStatus(Errc::kIo, "short tar content read");
+  }
+  return data;
+}
+
+// --- high-level helpers ---
+
+namespace {
+
+// Buffers tar output and writes to a Vfs fd in large sequential chunks.
+class VfsSink {
+ public:
+  VfsSink(Vfs& vfs, Fd fd, std::size_t buffer_size = 4 << 20)
+      : vfs_(vfs), fd_(fd), buffer_size_(buffer_size) {}
+
+  Status Write(ByteSpan data) {
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+    if (buffer_.size() >= buffer_size_) return Flush();
+    return Status::Ok();
+  }
+
+  Status Flush() {
+    if (buffer_.empty()) return Status::Ok();
+    ARKFS_ASSIGN_OR_RETURN(std::uint64_t n, vfs_.Write(fd_, offset_, buffer_));
+    if (n != buffer_.size()) return ErrStatus(Errc::kIo, "short tar write");
+    offset_ += n;
+    buffer_.clear();
+    return Status::Ok();
+  }
+
+ private:
+  Vfs& vfs_;
+  Fd fd_;
+  std::size_t buffer_size_;
+  std::uint64_t offset_ = 0;
+  Bytes buffer_;
+};
+
+}  // namespace
+
+Status ArchiveDiskToVfs(sim::SimDisk& disk,
+                        const std::vector<std::string>& files, Vfs& vfs,
+                        const std::string& tar_path, const UserCred& cred) {
+  OpenOptions create;
+  create.write = true;
+  create.create = true;
+  create.truncate = true;
+  ARKFS_ASSIGN_OR_RETURN(Fd fd, vfs.Open(tar_path, create, cred));
+  VfsSink sink(vfs, fd);
+  TarWriter writer([&](ByteSpan block) { return sink.Write(block); });
+  Status st = Status::Ok();
+  for (const auto& name : files) {
+    auto content = disk.ReadFile(name);
+    if (!content.ok()) {
+      st = content.status();
+      break;
+    }
+    TarEntry entry;
+    entry.name = name;
+    entry.size = content->size();
+    entry.mtime = WallClockSeconds();
+    st = writer.AddFile(entry, *content);
+    if (!st.ok()) break;
+  }
+  if (st.ok()) st = writer.Finish();
+  if (st.ok()) st = sink.Flush();
+  if (st.ok()) st = vfs.Fsync(fd);
+  Status close = vfs.Close(fd);
+  return st.ok() ? close : st;
+}
+
+Status ExtractVfsArchive(Vfs& vfs, const std::string& tar_path,
+                         const std::string& dest_dir, const UserCred& cred) {
+  ARKFS_ASSIGN_OR_RETURN(StatResult st, vfs.Stat(tar_path, cred));
+  OpenOptions read;
+  ARKFS_ASSIGN_OR_RETURN(Fd fd, vfs.Open(tar_path, read, cred));
+  TarReader reader(
+      [&](std::uint64_t offset, std::uint64_t length) {
+        return vfs.Read(fd, offset, length);
+      },
+      st.size);
+  Status result = vfs.MkdirAll(dest_dir, 0755, cred);
+  while (result.ok()) {
+    auto next = reader.NextEntry();
+    if (!next.ok()) {
+      result = next.status();
+      break;
+    }
+    if (next->done) break;
+    const TarEntry& entry = next->entry;
+    std::string clean = entry.name;
+    while (!clean.empty() && clean.back() == '/') clean.pop_back();
+    const std::string path = dest_dir + "/" + clean;
+    if (entry.typeflag == '5') {
+      result = vfs.MkdirAll(path, entry.mode, cred);
+    } else if (entry.typeflag == '2') {
+      result = vfs.Symlink(entry.linkname, path, cred);
+    } else {
+      auto content = reader.ReadContent(entry, next->content_offset);
+      if (!content.ok()) {
+        result = content.status();
+        break;
+      }
+      // Archives need not carry explicit directory entries; create missing
+      // parents like tar -x does.
+      if (auto split = SplitParentOf(path); split.ok()) {
+        result = vfs.MkdirAll(split->parent, 0755, cred);
+        if (!result.ok()) break;
+      }
+      // tar -x does not fsync per file; durability comes from the caller's
+      // final sync (write-back caches absorb the small files).
+      OpenOptions create;
+      create.write = true;
+      create.create = true;
+      create.truncate = true;
+      create.mode = entry.mode;
+      auto fd = vfs.Open(path, create, cred);
+      if (!fd.ok()) {
+        result = fd.status();
+        break;
+      }
+      auto wrote = vfs.Write(*fd, 0, *content);
+      if (!wrote.ok() || *wrote != content->size()) {
+        result = wrote.ok() ? ErrStatus(Errc::kIo, "short extract write")
+                            : wrote.status();
+        (void)vfs.Close(*fd);
+        break;
+      }
+      result = vfs.Close(*fd);
+    }
+  }
+  Status close = vfs.Close(fd);
+  return result.ok() ? close : result;
+}
+
+Status ArchiveVfsToDisk(Vfs& vfs, const std::string& src_dir,
+                        sim::SimDisk& disk, const std::string& archive_name,
+                        const UserCred& cred) {
+  ARKFS_ASSIGN_OR_RETURN(auto entries, vfs.ReadDir(src_dir, cred));
+  Bytes archive;
+  TarWriter writer([&](ByteSpan block) {
+    archive.insert(archive.end(), block.begin(), block.end());
+    return Status::Ok();
+  });
+  for (const auto& d : entries) {
+    if (d.type != FileType::kRegular) continue;
+    const std::string path = src_dir + "/" + d.name;
+    ARKFS_ASSIGN_OR_RETURN(Bytes content, vfs.ReadWholeFile(path, cred));
+    TarEntry entry;
+    entry.name = d.name;
+    entry.size = content.size();
+    entry.mtime = WallClockSeconds();
+    ARKFS_RETURN_IF_ERROR(writer.AddFile(entry, content));
+  }
+  ARKFS_RETURN_IF_ERROR(writer.Finish());
+  return disk.WriteFile(archive_name, archive);
+}
+
+}  // namespace arkfs::workloads

@@ -1,0 +1,101 @@
+// minitar: a USTAR (POSIX.1-1988 tar) implementation over the Vfs API.
+//
+// Table II's archiving scenarios drive GNU tar over the mounted file
+// systems; minitar is the equivalent here. It produces and consumes real
+// USTAR archives (512-byte headers with octal fields and checksums, data
+// padded to block size, two zero-block trailer), streaming through any Vfs
+// or a simulated burst-buffer disk.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/vfs.h"
+#include "sim/disk.h"
+
+namespace arkfs::workloads {
+
+inline constexpr std::size_t kTarBlock = 512;
+
+struct TarEntry {
+  std::string name;
+  std::uint32_t mode = 0644;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::uint64_t size = 0;
+  std::int64_t mtime = 0;
+  char typeflag = '0';  // '0' regular, '5' directory, '2' symlink
+  std::string linkname;
+};
+
+// Streaming writer: emits blocks through a sink callback.
+class TarWriter {
+ public:
+  using Sink = std::function<Status(ByteSpan block)>;
+  explicit TarWriter(Sink sink) : sink_(std::move(sink)) {}
+
+  Status AddFile(const TarEntry& entry, ByteSpan content);
+  Status AddDirectory(const std::string& name, std::uint32_t mode = 0755);
+  // Finish with the two-zero-block trailer. Must be called exactly once.
+  Status Finish();
+
+  std::uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  Status Emit(ByteSpan data);
+  Sink sink_;
+  std::uint64_t bytes_ = 0;
+  bool finished_ = false;
+};
+
+// Streaming reader over a random-access source.
+class TarReader {
+ public:
+  using Source = std::function<Result<Bytes>(std::uint64_t offset,
+                                             std::uint64_t length)>;
+  explicit TarReader(Source source, std::uint64_t archive_size)
+      : source_(std::move(source)), size_(archive_size) {}
+
+  // Returns entries until the trailer; nullopt-style: entry.name empty at
+  // end. Content for regular files is fetched through ReadContent.
+  struct Next {
+    bool done = false;
+    TarEntry entry;
+    std::uint64_t content_offset = 0;
+  };
+  Result<Next> NextEntry();
+  Result<Bytes> ReadContent(const TarEntry& entry,
+                            std::uint64_t content_offset);
+
+ private:
+  Source source_;
+  std::uint64_t size_;
+  std::uint64_t pos_ = 0;
+};
+
+// --- header codec, exposed for tests ---
+Bytes EncodeTarHeader(const TarEntry& entry);
+Result<TarEntry> DecodeTarHeader(ByteSpan block);
+bool IsZeroBlock(ByteSpan block);
+
+// --- high-level helpers used by the Table II scenarios ---
+
+// tar-create: pack `files` (content read from `disk`) into an archive
+// written at `tar_path` on the Vfs.
+Status ArchiveDiskToVfs(sim::SimDisk& disk,
+                        const std::vector<std::string>& files, Vfs& vfs,
+                        const std::string& tar_path, const UserCred& cred);
+
+// tar-extract: unpack the archive at `tar_path` into `dest_dir` on the Vfs.
+Status ExtractVfsArchive(Vfs& vfs, const std::string& tar_path,
+                         const std::string& dest_dir, const UserCred& cred);
+
+// tar-create from the Vfs: pack every regular file under `src_dir` (one
+// level) into an archive written to `disk` under `archive_name`.
+Status ArchiveVfsToDisk(Vfs& vfs, const std::string& src_dir,
+                        sim::SimDisk& disk, const std::string& archive_name,
+                        const UserCred& cred);
+
+}  // namespace arkfs::workloads

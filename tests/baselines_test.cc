@@ -1,0 +1,334 @@
+// Tests for the baseline file systems, including a cross-implementation
+// POSIX contract suite that runs the same operation sequences over ArkFS,
+// CephFS-like (both mounts), MarFS-like, S3FS-like and goofys-like.
+#include <gtest/gtest.h>
+
+#include "baselines/cephfs_like.h"
+#include "baselines/marfs_like.h"
+#include "baselines/s3fs_like.h"
+#include "core/cluster.h"
+#include "objstore/memory_store.h"
+
+namespace arkfs {
+namespace {
+
+using baselines::CephLikeConfig;
+using baselines::CephLikeVfs;
+using baselines::MdsCluster;
+using baselines::MdsConfig;
+
+// ---------------------------------------------------------------------------
+// Cross-FS contract suite
+// ---------------------------------------------------------------------------
+
+enum class Fs { kArkFs, kCephKernel, kCephFuse, kMarFs, kS3Fs, kGoofys };
+
+struct Harness {
+  VfsPtr vfs;
+  bool strict_perms = true;  // S3FS/goofys are deliberately lax
+  bool has_acls = true;
+  // Keep-alives.
+  std::unique_ptr<ArkFsCluster> cluster;
+  std::shared_ptr<Client> client;
+  ObjectStorePtr store;
+  baselines::MdsClusterPtr mds;
+};
+
+Harness MakeHarness(Fs which) {
+  Harness h;
+  h.store = std::make_shared<MemoryObjectStore>();
+  switch (which) {
+    case Fs::kArkFs: {
+      h.cluster =
+          ArkFsCluster::Create(h.store, ArkFsClusterOptions::ForTests()).value();
+      h.client = h.cluster->AddClient().value();
+      h.vfs = h.client;
+      break;
+    }
+    case Fs::kCephKernel:
+    case Fs::kCephFuse: {
+      h.mds = std::make_shared<MdsCluster>(MdsConfig::Instant());
+      baselines::CephLikeDeployment d{h.mds, h.store};
+      CephLikeConfig config = CephLikeConfig::ForTests();
+      if (which == Fs::kCephKernel) {
+        h.vfs = std::make_shared<CephLikeVfs>(h.mds, h.store, config);
+      } else {
+        auto inner = std::make_shared<CephLikeVfs>(h.mds, h.store, config);
+        h.vfs = std::make_shared<FuseSim>(inner, FuseSimConfig::Off());
+      }
+      break;
+    }
+    case Fs::kMarFs: {
+      auto config = baselines::MarFsLikeConfig::ForTests();
+      h.mds = std::make_shared<MdsCluster>(config.mds);
+      h.vfs = baselines::MakeMarFsLike(h.mds, h.store, config,
+                                       FuseSimConfig::Off());
+      break;
+    }
+    case Fs::kS3Fs:
+    case Fs::kGoofys: {
+      auto options = which == Fs::kS3Fs
+                         ? baselines::S3FsLikeOptions::S3Fs()
+                         : baselines::S3FsLikeOptions::Goofys();
+      options.disk_bandwidth_bps = 0;  // instant for tests
+      h.vfs = std::make_shared<baselines::S3FsLikeVfs>(h.store, options);
+      h.strict_perms = false;
+      h.has_acls = false;
+      break;
+    }
+  }
+  return h;
+}
+
+class VfsContractTest : public ::testing::TestWithParam<Fs> {
+ protected:
+  void SetUp() override { h_ = MakeHarness(GetParam()); }
+  Harness h_;
+  UserCred root_ = UserCred::Root();
+};
+
+TEST_P(VfsContractTest, CreateWriteReadUnlink) {
+  ASSERT_TRUE(h_.vfs->Mkdir("/d", 0755, root_).ok());
+  Bytes data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  ASSERT_TRUE(h_.vfs->WriteFileAt("/d/f.bin", data, root_).ok());
+  auto st = h_.vfs->Stat("/d/f.bin", root_);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, data.size());
+  auto back = h_.vfs->ReadWholeFile("/d/f.bin", root_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+  ASSERT_TRUE(h_.vfs->Unlink("/d/f.bin", root_).ok());
+  EXPECT_EQ(h_.vfs->Stat("/d/f.bin", root_).code(), Errc::kNoEnt);
+}
+
+TEST_P(VfsContractTest, MkdirSemantics) {
+  ASSERT_TRUE(h_.vfs->Mkdir("/a", 0755, root_).ok());
+  EXPECT_EQ(h_.vfs->Mkdir("/a", 0755, root_).code(), Errc::kExist);
+  EXPECT_EQ(h_.vfs->Mkdir("/nope/sub", 0755, root_).code(), Errc::kNoEnt);
+  ASSERT_TRUE(h_.vfs->Mkdir("/a/b", 0755, root_).ok());
+  EXPECT_EQ(h_.vfs->Rmdir("/a", root_).code(), Errc::kNotEmpty);
+  ASSERT_TRUE(h_.vfs->Rmdir("/a/b", root_).ok());
+  EXPECT_TRUE(h_.vfs->Rmdir("/a", root_).ok());
+}
+
+TEST_P(VfsContractTest, ReadDirListsChildren) {
+  ASSERT_TRUE(h_.vfs->Mkdir("/list", 0755, root_).ok());
+  ASSERT_TRUE(h_.vfs->WriteFileAt("/list/one", AsBytes("1"), root_).ok());
+  ASSERT_TRUE(h_.vfs->WriteFileAt("/list/two", AsBytes("2"), root_).ok());
+  ASSERT_TRUE(h_.vfs->Mkdir("/list/sub", 0755, root_).ok());
+  auto entries = h_.vfs->ReadDir("/list", root_);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 3u);
+}
+
+TEST_P(VfsContractTest, RenameWithinDirectory) {
+  ASSERT_TRUE(h_.vfs->WriteFileAt("/old", AsBytes("payload"), root_).ok());
+  ASSERT_TRUE(h_.vfs->Rename("/old", "/new", root_).ok());
+  EXPECT_EQ(h_.vfs->Stat("/old", root_).code(), Errc::kNoEnt);
+  EXPECT_EQ(ToString(*h_.vfs->ReadWholeFile("/new", root_)), "payload");
+}
+
+TEST_P(VfsContractTest, CrossDirectoryRename) {
+  ASSERT_TRUE(h_.vfs->Mkdir("/src", 0755, root_).ok());
+  ASSERT_TRUE(h_.vfs->Mkdir("/dst", 0755, root_).ok());
+  ASSERT_TRUE(h_.vfs->WriteFileAt("/src/f", AsBytes("move me"), root_).ok());
+  ASSERT_TRUE(h_.vfs->Rename("/src/f", "/dst/g", root_).ok());
+  EXPECT_EQ(ToString(*h_.vfs->ReadWholeFile("/dst/g", root_)), "move me");
+  EXPECT_TRUE(h_.vfs->ReadDir("/src", root_)->empty());
+}
+
+TEST_P(VfsContractTest, SymlinkRoundTrip) {
+  ASSERT_TRUE(h_.vfs->WriteFileAt("/target", AsBytes("T"), root_).ok());
+  ASSERT_TRUE(h_.vfs->Symlink("/target", "/link", root_).ok());
+  auto t = h_.vfs->ReadLink("/link", root_);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, "/target");
+  OpenOptions read;
+  auto fd = h_.vfs->Open("/link", read, root_);
+  ASSERT_TRUE(fd.ok());
+  auto data = h_.vfs->Read(*fd, 0, 10);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(ToString(*data), "T");
+  ASSERT_TRUE(h_.vfs->Close(*fd).ok());
+}
+
+TEST_P(VfsContractTest, TruncateShrinks) {
+  ASSERT_TRUE(h_.vfs->WriteFileAt("/t", Bytes(5000, 9), root_).ok());
+  ASSERT_TRUE(h_.vfs->Truncate("/t", 123, root_).ok());
+  EXPECT_EQ(h_.vfs->Stat("/t", root_)->size, 123u);
+  EXPECT_EQ(h_.vfs->ReadWholeFile("/t", root_)->size(), 123u);
+}
+
+TEST_P(VfsContractTest, PermissionChecksWhereSupported) {
+  UserCred bob{1001, 1001, {}};
+  ASSERT_TRUE(h_.vfs->Mkdir("/locked", 0700, root_).ok());
+  ASSERT_TRUE(h_.vfs->WriteFileAt("/locked/secret", AsBytes("s"), root_).ok());
+  auto st = h_.vfs->Stat("/locked/secret", bob);
+  if (h_.strict_perms) {
+    EXPECT_EQ(st.code(), Errc::kAccess);
+  } else {
+    // S3FS/goofys: "permission check is not done rigorously" (paper §II-C).
+    EXPECT_TRUE(st.ok());
+  }
+}
+
+TEST_P(VfsContractTest, AclsWhereSupported) {
+  ASSERT_TRUE(h_.vfs->WriteFileAt("/f", AsBytes("x"), root_).ok());
+  Acl acl;
+  acl.Set({AclTag::kUserObj, 0, 7});
+  acl.Set({AclTag::kGroupObj, 0, 5});
+  acl.Set({AclTag::kMask, 0, 7});
+  acl.Set({AclTag::kOther, 0, 0});
+  Status st = h_.vfs->SetAcl("/f", acl, root_);
+  if (h_.has_acls) {
+    ASSERT_TRUE(st.ok());
+    auto got = h_.vfs->GetAcl("/f", root_);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, acl);
+  } else {
+    EXPECT_EQ(st.code(), Errc::kNotSup);  // like DAOS in the paper's survey
+  }
+}
+
+TEST_P(VfsContractTest, SyncAllSucceeds) {
+  ASSERT_TRUE(h_.vfs->WriteFileAt("/s", AsBytes("sync me"), root_).ok());
+  EXPECT_TRUE(h_.vfs->SyncAll().ok());
+  EXPECT_TRUE(h_.vfs->DropCaches().ok());
+  EXPECT_EQ(ToString(*h_.vfs->ReadWholeFile("/s", root_)), "sync me");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFileSystems, VfsContractTest,
+                         ::testing::Values(Fs::kArkFs, Fs::kCephKernel,
+                                           Fs::kCephFuse, Fs::kMarFs,
+                                           Fs::kS3Fs, Fs::kGoofys),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Fs::kArkFs: return "ArkFS";
+                             case Fs::kCephKernel: return "CephKernel";
+                             case Fs::kCephFuse: return "CephFuse";
+                             case Fs::kMarFs: return "MarFS";
+                             case Fs::kS3Fs: return "S3FS";
+                             case Fs::kGoofys: return "Goofys";
+                           }
+                           return "Unknown";
+                         });
+
+// ---------------------------------------------------------------------------
+// Baseline-specific behaviours
+// ---------------------------------------------------------------------------
+
+TEST(MdsClusterTest, ChargeAccounting) {
+  MdsConfig config = MdsConfig::Instant();
+  config.num_ranks = 4;
+  config.forward_probability = 1.0;  // every request forwarded
+  MdsCluster mds(config);
+  for (int i = 0; i < 10; ++i) mds.ChargeRequest("/a/b");
+  EXPECT_EQ(mds.ops_served(), 10u);
+  EXPECT_EQ(mds.forwards(), 10u);
+}
+
+TEST(MdsClusterTest, SingleRankNeverForwards) {
+  MdsCluster mds(MdsConfig::Instant());
+  for (int i = 0; i < 10; ++i) mds.ChargeRequest("/x");
+  EXPECT_EQ(mds.forwards(), 0u);
+}
+
+TEST(MarFsTest, ReadErrorsWhenConfigured) {
+  auto store = std::make_shared<MemoryObjectStore>();
+  auto config = baselines::MarFsLikeConfig::ForTests();
+  config.read_errors = true;
+  auto mds = std::make_shared<MdsCluster>(config.mds);
+  auto vfs = baselines::MakeMarFsLike(mds, store, config, FuseSimConfig::Off());
+  const UserCred root = UserCred::Root();
+  ASSERT_TRUE(vfs->WriteFileAt("/f", AsBytes("data"), root).ok());
+  OpenOptions read;
+  auto fd = vfs->Open("/f", read, root);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(vfs->Read(*fd, 0, 4).code(), Errc::kIo);  // the paper's READ ERR
+  ASSERT_TRUE(vfs->Close(*fd).ok());
+}
+
+TEST(S3FsLikeTest, DirectoryRenameCopiesEveryObject) {
+  auto store = std::make_shared<MemoryObjectStore>();
+  baselines::S3FsLikeOptions options = baselines::S3FsLikeOptions::S3Fs();
+  options.disk_bandwidth_bps = 0;
+  auto vfs = std::make_shared<baselines::S3FsLikeVfs>(store, options);
+  const UserCred root = UserCred::Root();
+  ASSERT_TRUE(vfs->Mkdir("/dir", 0755, root).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(vfs->WriteFileAt("/dir/f" + std::to_string(i),
+                                 Bytes(1000, static_cast<std::uint8_t>(i)),
+                                 root)
+                    .ok());
+  }
+  const auto objects_before = store->ObjectCount();
+  ASSERT_TRUE(vfs->Rename("/dir", "/renamed", root).ok());
+  // Path-as-key: same object count, all new keys (full rewrite happened).
+  EXPECT_EQ(store->ObjectCount(), objects_before);
+  EXPECT_EQ(vfs->ReadDir("/renamed", root)->size(), 5u);
+  EXPECT_EQ(vfs->Stat("/dir", root).code(), Errc::kNoEnt);
+  for (int i = 0; i < 5; ++i) {
+    auto data = vfs->ReadWholeFile("/renamed/f" + std::to_string(i), root);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, Bytes(1000, static_cast<std::uint8_t>(i)));
+  }
+}
+
+TEST(S3FsLikeTest, MultiPartFilesSplitAtMaxObjectSize) {
+  auto store = std::make_shared<MemoryObjectStore>(64 * 1024);  // 64 KiB parts
+  baselines::S3FsLikeOptions options = baselines::S3FsLikeOptions::Goofys();
+  auto vfs = std::make_shared<baselines::S3FsLikeVfs>(store, options);
+  const UserCred root = UserCred::Root();
+  Bytes big(200 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i);
+  }
+  ASSERT_TRUE(vfs->WriteFileAt("/big", big, root).ok());
+  // 200 KiB / 64 KiB parts -> 4 data objects + 1 meta object.
+  EXPECT_EQ(store->ObjectCount(), 5u);
+  auto back = vfs->ReadWholeFile("/big", root);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, big);
+}
+
+TEST(S3FsLikeTest, NoCoordinationBetweenMounts) {
+  auto store = std::make_shared<MemoryObjectStore>();
+  baselines::S3FsLikeOptions options = baselines::S3FsLikeOptions::S3Fs();
+  options.disk_bandwidth_bps = 0;
+  auto m1 = std::make_shared<baselines::S3FsLikeVfs>(store, options);
+  auto m2 = std::make_shared<baselines::S3FsLikeVfs>(store, options);
+  const UserCred root = UserCred::Root();
+  ASSERT_TRUE(m1->WriteFileAt("/shared", AsBytes("from-m1"), root).ok());
+  // The second mount sees it only because the store is shared; nothing
+  // coordinates concurrent writers (documented S3FS behaviour).
+  EXPECT_EQ(ToString(*m2->ReadWholeFile("/shared", root)), "from-m1");
+}
+
+TEST(CephLikeTest, UnlinkDropsDataObjects) {
+  auto store = std::make_shared<MemoryObjectStore>();
+  auto mds = std::make_shared<MdsCluster>(MdsConfig::Instant());
+  auto vfs = std::make_shared<CephLikeVfs>(mds, store,
+                                           CephLikeConfig::ForTests());
+  const UserCred root = UserCred::Root();
+  ASSERT_TRUE(vfs->WriteFileAt("/data", Bytes(10000, 1), root).ok());
+  ASSERT_TRUE(vfs->SyncAll().ok());
+  EXPECT_GT(store->ObjectCount(), 0u);
+  ASSERT_TRUE(vfs->Unlink("/data", root).ok());
+  EXPECT_EQ(store->ObjectCount(), 0u);
+}
+
+TEST(CephLikeTest, SharedMdsAcrossMounts) {
+  auto store = std::make_shared<MemoryObjectStore>();
+  auto mds = std::make_shared<MdsCluster>(MdsConfig::Instant());
+  auto m1 = std::make_shared<CephLikeVfs>(mds, store, CephLikeConfig::ForTests());
+  auto m2 = std::make_shared<CephLikeVfs>(mds, store, CephLikeConfig::ForTests());
+  const UserCred root = UserCred::Root();
+  ASSERT_TRUE(m1->Mkdir("/from-m1", 0755, root).ok());
+  EXPECT_TRUE(m2->Stat("/from-m1", root).ok());  // same namespace instantly
+}
+
+}  // namespace
+}  // namespace arkfs

@@ -1,0 +1,195 @@
+// Tests for the discrete-event simulator and the scalability models.
+#include <gtest/gtest.h>
+
+#include "des/scalability.h"
+#include "des/sim.h"
+
+namespace arkfs::des {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(Millis(30), [&] { order.push_back(3); });
+  sim.At(Millis(10), [&] { order.push_back(1); });
+  sim.At(Millis(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), Millis(30));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, SimultaneousEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.At(Millis(1), [&, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  Nanos second_fired{0};
+  sim.After(Millis(5), [&] {
+    sim.After(Millis(7), [&] { second_fired = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(second_fired, Millis(12));
+}
+
+TEST(SimulatorTest, PastEventsClampToNow) {
+  Simulator sim;
+  Nanos fired{-1};
+  sim.After(Millis(10), [&] {
+    sim.At(Millis(1), [&] { fired = sim.now(); });  // in the past
+  });
+  sim.Run();
+  EXPECT_EQ(fired, Millis(10));
+}
+
+TEST(ResourceTest, WidthOneSerializes) {
+  Simulator sim;
+  Resource r(&sim, 1);
+  std::vector<Nanos> completions;
+  for (int i = 0; i < 3; ++i) {
+    r.Use(Millis(10), [&] { completions.push_back(sim.now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], Millis(10));
+  EXPECT_EQ(completions[1], Millis(20));
+  EXPECT_EQ(completions[2], Millis(30));
+  EXPECT_EQ(r.uses(), 3u);
+  EXPECT_EQ(r.busy_time(), Millis(30));
+}
+
+TEST(ResourceTest, WidthTwoOverlaps) {
+  Simulator sim;
+  Resource r(&sim, 2);
+  std::vector<Nanos> completions;
+  for (int i = 0; i < 4; ++i) {
+    r.Use(Millis(10), [&] { completions.push_back(sim.now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_EQ(completions[1], Millis(10));  // two together
+  EXPECT_EQ(completions[3], Millis(20));
+}
+
+TEST(ResourceTest, ThroughputMatchesTheory) {
+  // A width-1 resource with service time s serves exactly 1/s ops/sec.
+  Simulator sim;
+  Resource r(&sim, 1);
+  const int n = 1000;
+  int done = 0;
+  for (int i = 0; i < n; ++i) {
+    r.Use(Micros(30), [&] { ++done; });
+  }
+  const Nanos makespan = sim.Run();
+  EXPECT_EQ(done, n);
+  EXPECT_EQ(makespan, Micros(30) * n);
+}
+
+TEST(ScalabilityModelTest, Deterministic) {
+  CephScaleParams params;
+  ScaleWorkload w;
+  w.clients = 8;
+  w.files_per_client = 200;
+  const auto a = SimulateCephCreates(params, w);
+  const auto b = SimulateCephCreates(params, w);
+  EXPECT_EQ(a.ops_per_second, b.ops_per_second);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(ScalabilityModelTest, SingleMdsSaturatesThenCollapses) {
+  CephScaleParams params;
+  ScaleWorkload w;
+  w.files_per_client = 300;
+  auto at = [&](int clients) {
+    w.clients = clients;
+    return SimulateCephCreates(params, w).ops_per_second;
+  };
+  const double c1 = at(1), c8 = at(8), c512 = at(512);
+  EXPECT_GT(c8, c1 * 4);      // still scaling at 8
+  EXPECT_LT(c512, c8);        // collapsed beyond the peak (Fig. 1)
+}
+
+TEST(ScalabilityModelTest, MultiMdsBuysLittle) {
+  ScaleWorkload w;
+  w.clients = 128;
+  w.files_per_client = 300;
+  CephScaleParams one;
+  CephScaleParams sixteen;
+  sixteen.mds_ranks = 16;
+  const double r1 = SimulateCephCreates(one, w).ops_per_second;
+  const double r16 = SimulateCephCreates(sixteen, w).ops_per_second;
+  EXPECT_GT(r16, r1);             // better...
+  EXPECT_LT(r16, r1 * 4.0);       // ...but nowhere near 16x (paper: <=3.24x)
+}
+
+TEST(ScalabilityModelTest, FuseMountSlowerThanKernel) {
+  ScaleWorkload w;
+  w.clients = 16;
+  w.files_per_client = 200;
+  CephScaleParams kernel;
+  CephScaleParams fuse = kernel;
+  fuse.fuse = true;
+  EXPECT_GT(SimulateCephCreates(kernel, w).ops_per_second,
+            SimulateCephCreates(fuse, w).ops_per_second);
+}
+
+TEST(ScalabilityModelTest, ArkfsPcacheScalesNearLinearly) {
+  ArkfsScaleParams params;
+  ScaleWorkload w;
+  w.files_per_client = 300;
+  w.clients = 1;
+  const double c1 = SimulateArkfsCreates(params, w).ops_per_second;
+  w.clients = 256;
+  const double c256 = SimulateArkfsCreates(params, w).ops_per_second;
+  EXPECT_GT(c256, c1 * 250);  // Fig. 7: near-linear
+}
+
+TEST(ScalabilityModelTest, NoPcacheCollapsesAtTwoClients) {
+  ArkfsScaleParams params;
+  params.permission_cache = false;
+  ScaleWorkload w;
+  w.files_per_client = 300;
+  w.clients = 1;
+  const double c1 = SimulateArkfsCreates(params, w).ops_per_second;
+  w.clients = 2;
+  const double c2 = SimulateArkfsCreates(params, w).ops_per_second;
+  // The paper's "drastic performance degradation when the number of clients
+  // is increased to 2": aggregate drops below the single-client value.
+  EXPECT_LT(c2, c1);
+  // And it stays capped by the near-root leader far from linear.
+  w.clients = 64;
+  const double c64 = SimulateArkfsCreates(params, w).ops_per_second;
+  EXPECT_LT(c64, c1);
+}
+
+TEST(ScalabilityModelTest, PcacheBeatsNoPcacheAtScale) {
+  ScaleWorkload w;
+  w.clients = 32;
+  w.files_per_client = 200;
+  ArkfsScaleParams on;
+  ArkfsScaleParams off;
+  off.permission_cache = false;
+  EXPECT_GT(SimulateArkfsCreates(on, w).ops_per_second,
+            SimulateArkfsCreates(off, w).ops_per_second * 10);
+}
+
+TEST(ScalabilityModelTest, ArkfsBeatsCephEverywhere) {
+  ScaleWorkload w;
+  w.files_per_client = 200;
+  for (int clients : {1, 16, 256}) {
+    w.clients = clients;
+    ArkfsScaleParams ark;
+    CephScaleParams ceph;
+    EXPECT_GT(SimulateArkfsCreates(ark, w).ops_per_second,
+              SimulateCephCreates(ceph, w).ops_per_second)
+        << clients;
+  }
+}
+
+}  // namespace
+}  // namespace arkfs::des

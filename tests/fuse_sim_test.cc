@@ -1,0 +1,87 @@
+// Tests for the FUSE behaviour model.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "objstore/memory_store.h"
+
+namespace arkfs {
+namespace {
+
+class FuseSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_shared<MemoryObjectStore>();
+    cluster_ =
+        ArkFsCluster::Create(store_, ArkFsClusterOptions::ForTests()).value();
+    client_ = cluster_->AddClient().value();
+  }
+
+  ObjectStorePtr store_;
+  std::unique_ptr<ArkFsCluster> cluster_;
+  std::shared_ptr<Client> client_;
+  UserCred root_ = UserCred::Root();
+};
+
+TEST_F(FuseSimTest, OperationsWorkThroughTheWrapper) {
+  FuseSimConfig config;
+  config.crossing_cost = Micros(1);
+  auto fuse = cluster_->WithFuse(client_, config);
+  ASSERT_TRUE(fuse->Mkdir("/d", 0755, root_).ok());
+  ASSERT_TRUE(fuse->WriteFileAt("/d/f", AsBytes("via-fuse"), root_).ok());
+  auto data = fuse->ReadWholeFile("/d/f", root_);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(ToString(*data), "via-fuse");
+  ASSERT_TRUE(fuse->Rename("/d/f", "/d/g", root_).ok());
+  EXPECT_TRUE(fuse->Stat("/d/g", root_).ok());
+  ASSERT_TRUE(fuse->Unlink("/d/g", root_).ok());
+  ASSERT_TRUE(fuse->Rmdir("/d", root_).ok());
+}
+
+TEST_F(FuseSimTest, PerComponentLookupsAreIssued) {
+  FuseSimConfig config;
+  config.crossing_cost = Nanos(0);
+  auto fuse = std::dynamic_pointer_cast<FuseSim>(
+      cluster_->WithFuse(client_, config));
+  ASSERT_NE(fuse, nullptr);
+  ASSERT_TRUE(client_->MkdirAll("/a/b", 0755, root_).ok());
+
+  const auto before = fuse->lookups_issued();
+  // CREATE /a/b/c.txt: the paper says this incurs LOOKUPs for each
+  // component (a, b, c.txt).
+  ASSERT_TRUE(fuse->WriteFileAt("/a/b/c.txt", AsBytes("x"), root_).ok());
+  EXPECT_GE(fuse->lookups_issued() - before, 3u);
+}
+
+TEST_F(FuseSimTest, LookupsCanBeDisabled) {
+  auto fuse = std::dynamic_pointer_cast<FuseSim>(
+      cluster_->WithFuse(client_, FuseSimConfig::Off()));
+  ASSERT_TRUE(client_->MkdirAll("/a/b", 0755, root_).ok());
+  ASSERT_TRUE(fuse->WriteFileAt("/a/b/c.txt", AsBytes("x"), root_).ok());
+  EXPECT_EQ(fuse->lookups_issued(), 0u);
+}
+
+TEST_F(FuseSimTest, CrossingCostSlowsOperations) {
+  FuseSimConfig slow;
+  slow.crossing_cost = Millis(2);
+  slow.per_component_lookup = false;
+  auto fuse = cluster_->WithFuse(client_, slow);
+  const TimePoint start = Now();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fuse->Stat("/", root_).ok());
+  }
+  EXPECT_GE(Now() - start, Millis(9));
+}
+
+TEST_F(FuseSimTest, ProbeUsesPermissionCache) {
+  // With pcache on, repeated probes of the same path resolve locally.
+  ASSERT_TRUE(client_->MkdirAll("/p/q", 0755, root_).ok());
+  ASSERT_TRUE(client_->Probe("/p/q", root_).ok());
+  const auto hits_before = client_->stats().perm_cache_hits;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client_->Probe("/p/q", root_).ok());
+  }
+  EXPECT_GT(client_->stats().perm_cache_hits, hits_before);
+}
+
+}  // namespace
+}  // namespace arkfs

@@ -1,0 +1,342 @@
+// Tests for journal records, framing, the journal manager, 2PC and recovery.
+#include <gtest/gtest.h>
+
+#include "journal/journal.h"
+#include "journal/record.h"
+#include "objstore/memory_store.h"
+
+namespace arkfs::journal {
+namespace {
+
+Inode TestInode(std::uint64_t n, Uuid parent = kRootIno) {
+  Inode i = MakeInode(DeterministicUuid(100, n), FileType::kRegular, 0644, 1,
+                      1, parent);
+  i.size = n * 10;
+  return i;
+}
+
+TEST(RecordTest, AllTypesRoundTrip) {
+  std::vector<Record> records;
+  records.push_back(Record::InodeUpsert(TestInode(1)));
+  records.push_back(Record::InodeRemove(DeterministicUuid(1, 2), 4096, 1024));
+  records.push_back(
+      Record::DentryAdd({"name.txt", DeterministicUuid(1, 3), FileType::kRegular}));
+  records.push_back(Record::DentryRemove("gone.txt"));
+  records.push_back(Record::DirRemove(DeterministicUuid(1, 4)));
+  records.push_back(
+      Record::Prepare(DeterministicUuid(1, 5), DeterministicUuid(1, 6)));
+  records.push_back(Record::Decision(DeterministicUuid(1, 5), true));
+
+  Encoder enc;
+  for (const auto& r : records) r.EncodeTo(enc);
+  Decoder dec(enc.buffer());
+  for (const auto& expected : records) {
+    auto got = Record::DecodeFrom(dec);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->type, expected.type);
+  }
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(RecordTest, TransactionFramingRoundTrip) {
+  Transaction txn;
+  txn.seq = 42;
+  txn.records.push_back(Record::DentryRemove("x"));
+  txn.records.push_back(Record::InodeUpsert(TestInode(7)));
+
+  const Bytes framed = EncodeTransaction(txn);
+  auto parsed = ParseJournal(framed);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].seq, 42u);
+  EXPECT_EQ(parsed[0].records.size(), 2u);
+}
+
+TEST(RecordTest, TornTailIsDiscarded) {
+  Transaction a;
+  a.seq = 1;
+  a.records.push_back(Record::DentryRemove("a"));
+  Transaction b;
+  b.seq = 2;
+  b.records.push_back(Record::DentryRemove("b"));
+
+  Bytes journal = EncodeTransaction(a);
+  Bytes second = EncodeTransaction(b);
+  // Simulate a crash mid-append: only half of txn b made it.
+  journal.insert(journal.end(), second.begin(),
+                 second.begin() + second.size() / 2);
+  auto parsed = ParseJournal(journal);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].seq, 1u);
+}
+
+TEST(RecordTest, CorruptPayloadIsDiscarded) {
+  Transaction a;
+  a.seq = 1;
+  a.records.push_back(Record::DentryRemove("victim"));
+  Bytes journal = EncodeTransaction(a);
+  journal[journal.size() / 2] ^= 0xFF;  // flip a payload bit
+  EXPECT_TRUE(ParseJournal(journal).empty());
+}
+
+TEST(RecordTest, EmptyJournalParsesEmpty) {
+  EXPECT_TRUE(ParseJournal({}).empty());
+  Bytes garbage{1, 2, 3, 4, 5};
+  EXPECT_TRUE(ParseJournal(garbage).empty());
+}
+
+class JournalManagerTest : public ::testing::Test {
+ protected:
+  JournalManagerTest()
+      : store_(std::make_shared<MemoryObjectStore>()),
+        prt_(std::make_shared<Prt>(store_)),
+        manager_(std::make_unique<JournalManager>(prt_,
+                                                  JournalConfig::ForTests())) {
+    dir_ = DeterministicUuid(7, 7);
+    Inode dir_inode =
+        MakeInode(dir_, FileType::kDirectory, 0755, 0, 0, kRootIno);
+    EXPECT_TRUE(prt_->StoreInode(dir_inode).ok());
+    manager_->RegisterDir(dir_);
+  }
+
+  ObjectStorePtr store_;
+  std::shared_ptr<Prt> prt_;
+  std::unique_ptr<JournalManager> manager_;
+  Uuid dir_;
+};
+
+TEST_F(JournalManagerTest, FlushCheckpointsToAuthoritativeObjects) {
+  Inode child = TestInode(1, dir_);
+  manager_->Append(dir_, {Record::InodeUpsert(child),
+                          Record::DentryAdd({"a", child.ino,
+                                             FileType::kRegular})});
+  ASSERT_TRUE(manager_->FlushDir(dir_).ok());
+
+  auto inode = prt_->LoadInode(child.ino);
+  ASSERT_TRUE(inode.ok());
+  EXPECT_EQ(inode->size, child.size);
+  auto block = prt_->LoadDentryBlock(dir_);
+  ASSERT_TRUE(block.ok());
+  ASSERT_EQ(block->size(), 1u);
+  EXPECT_EQ((*block)[0].name, "a");
+  // Checkpoint invalidated the journal.
+  EXPECT_FALSE(manager_->HasSurvivingJournal(dir_));
+  EXPECT_EQ(manager_->stats().transactions_checkpointed, 1u);
+}
+
+TEST_F(JournalManagerTest, BackgroundCommitEventuallyHappens) {
+  manager_->Append(dir_, {Record::DentryAdd(
+                             {"bg", DeterministicUuid(9, 9),
+                              FileType::kRegular})});
+  // Commit interval in ForTests() is 20 ms; wait for the background pass.
+  for (int i = 0; i < 100 && manager_->stats().transactions_committed == 0;
+       ++i) {
+    SleepFor(Millis(10));
+  }
+  EXPECT_GE(manager_->stats().transactions_committed, 1u);
+}
+
+TEST_F(JournalManagerTest, CommitWithoutCheckpointLeavesJournal) {
+  manager_->Append(dir_, {Record::DentryAdd(
+                             {"pending", DeterministicUuid(3, 3),
+                              FileType::kRegular})});
+  ASSERT_TRUE(manager_->CommitDir(dir_).ok());
+  EXPECT_TRUE(manager_->HasSurvivingJournal(dir_));
+}
+
+TEST_F(JournalManagerTest, RecoveryReplaysCommittedTransactions) {
+  Inode child = TestInode(2, dir_);
+  manager_->Append(dir_, {Record::InodeUpsert(child),
+                          Record::DentryAdd({"crashy", child.ino,
+                                             FileType::kRegular})});
+  ASSERT_TRUE(manager_->CommitDir(dir_).ok());
+  // Simulate crash: new manager (new client) over the same store.
+  auto fresh = std::make_unique<JournalManager>(prt_, JournalConfig::ForTests());
+  ASSERT_TRUE(fresh->HasSurvivingJournal(dir_));
+  auto report = fresh->RecoverDir(dir_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->transactions_replayed, 1u);
+  EXPECT_EQ(report->transactions_aborted, 0u);
+
+  auto inode = prt_->LoadInode(child.ino);
+  ASSERT_TRUE(inode.ok());
+  auto block = prt_->LoadDentryBlock(dir_);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ((*block)[0].name, "crashy");
+  EXPECT_FALSE(fresh->HasSurvivingJournal(dir_));
+}
+
+TEST_F(JournalManagerTest, RecoveryOfUnjournaledDirIsNoop) {
+  auto report = manager_->RecoverDir(DeterministicUuid(55, 55));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->transactions_replayed, 0u);
+}
+
+TEST_F(JournalManagerTest, InodeRemoveDropsDataChunks) {
+  Inode child = TestInode(3, dir_);
+  const std::uint64_t chunk = prt_->chunk_size();
+  ASSERT_TRUE(prt_->WriteData(child.ino, 0, Bytes(chunk * 2, 1)).ok());
+  ASSERT_TRUE(prt_->StoreInode(child).ok());
+
+  manager_->Append(dir_, {Record::InodeRemove(child.ino, chunk * 2, chunk)});
+  ASSERT_TRUE(manager_->FlushDir(dir_).ok());
+  EXPECT_EQ(prt_->LoadInode(child.ino).code(), Errc::kNoEnt);
+  EXPECT_EQ(store_->Head(DataKey(child.ino, 0)).code(), Errc::kNoEnt);
+  EXPECT_EQ(store_->Head(DataKey(child.ino, 1)).code(), Errc::kNoEnt);
+}
+
+TEST_F(JournalManagerTest, UnregisterFlushesAndDeletesJournal) {
+  manager_->Append(dir_, {Record::DentryAdd(
+                             {"final", DeterministicUuid(4, 4),
+                              FileType::kRegular})});
+  ASSERT_TRUE(manager_->UnregisterDir(dir_).ok());
+  EXPECT_EQ(store_->Head(JournalKey(dir_)).code(), Errc::kNoEnt);
+  auto block = prt_->LoadDentryBlock(dir_);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->size(), 1u);
+}
+
+// --- two-phase commit across directories ---
+
+class CrossDirTest : public JournalManagerTest {
+ protected:
+  CrossDirTest() {
+    dst_ = DeterministicUuid(8, 8);
+    Inode dst_inode =
+        MakeInode(dst_, FileType::kDirectory, 0755, 0, 0, kRootIno);
+    EXPECT_TRUE(prt_->StoreInode(dst_inode).ok());
+    manager_->RegisterDir(dst_);
+    moved_ = TestInode(10, dir_);
+    EXPECT_TRUE(prt_->StoreInode(moved_).ok());
+    // Source starts with the dentry present.
+    EXPECT_TRUE(prt_->StoreDentryBlock(
+                    dir_, {{"moved", moved_.ino, FileType::kRegular}})
+                    .ok());
+  }
+
+  std::vector<Record> SrcRecords() {
+    return {Record::DentryRemove("moved")};
+  }
+  std::vector<Record> DstRecords() {
+    Inode updated = moved_;
+    updated.parent = dst_;
+    return {Record::DentryAdd({"arrived", moved_.ino, FileType::kRegular}),
+            Record::InodeUpsert(updated)};
+  }
+
+  Uuid dst_;
+  Inode moved_;
+};
+
+TEST_F(CrossDirTest, CommittedRenameApplies) {
+  ASSERT_TRUE(
+      manager_->CommitCrossDir(dir_, SrcRecords(), dst_, DstRecords()).ok());
+  ASSERT_TRUE(manager_->FlushDir(dir_).ok());
+  ASSERT_TRUE(manager_->FlushDir(dst_).ok());
+
+  EXPECT_TRUE(prt_->LoadDentryBlock(dir_)->empty());
+  auto dst_block = prt_->LoadDentryBlock(dst_);
+  ASSERT_EQ(dst_block->size(), 1u);
+  EXPECT_EQ((*dst_block)[0].name, "arrived");
+  EXPECT_EQ(prt_->LoadInode(moved_.ino)->parent, dst_);
+}
+
+TEST_F(CrossDirTest, RecoveryCommitsWhenBothDecisionsPresent) {
+  ASSERT_TRUE(
+      manager_->CommitCrossDir(dir_, SrcRecords(), dst_, DstRecords()).ok());
+  // Crash before any checkpoint: replay both journals with a fresh manager.
+  auto fresh = std::make_unique<JournalManager>(prt_, JournalConfig::ForTests());
+  ASSERT_TRUE(fresh->RecoverDir(dir_).ok());
+  ASSERT_TRUE(fresh->RecoverDir(dst_).ok());
+  EXPECT_TRUE(prt_->LoadDentryBlock(dir_)->empty());
+  EXPECT_EQ(prt_->LoadDentryBlock(dst_)->size(), 1u);
+}
+
+TEST_F(CrossDirTest, DanglingPrepareWithoutAnyDecisionAborts) {
+  // Hand-craft the crash window: prepares are durable in both journals but
+  // no decision was written anywhere (crash between phase 1 and phase 2).
+  const Uuid txid = DeterministicUuid(77, 1);
+  Transaction src_prep;
+  src_prep.seq = 1;
+  src_prep.records.push_back(Record::Prepare(txid, dst_));
+  for (auto& r : SrcRecords()) src_prep.records.push_back(r);
+  Transaction dst_prep;
+  dst_prep.seq = 1;
+  dst_prep.records.push_back(Record::Prepare(txid, dir_));
+  for (auto& r : DstRecords()) dst_prep.records.push_back(r);
+  ASSERT_TRUE(prt_->StoreJournal(dir_, EncodeTransaction(src_prep)).ok());
+  ASSERT_TRUE(prt_->StoreJournal(dst_, EncodeTransaction(dst_prep)).ok());
+
+  auto fresh = std::make_unique<JournalManager>(prt_, JournalConfig::ForTests());
+  auto src_report = fresh->RecoverDir(dir_);
+  ASSERT_TRUE(src_report.ok());
+  EXPECT_EQ(src_report->transactions_aborted, 1u);
+  auto dst_report = fresh->RecoverDir(dst_);
+  ASSERT_TRUE(dst_report.ok());
+  EXPECT_EQ(dst_report->transactions_aborted, 1u);
+
+  // Presumed abort: the file stays in the source directory.
+  EXPECT_EQ(prt_->LoadDentryBlock(dir_)->size(), 1u);
+  EXPECT_TRUE(prt_->LoadDentryBlock(dst_)->empty());
+}
+
+TEST_F(CrossDirTest, PrepareWithPeerDecisionCommits) {
+  // Crash after the decision reached only the destination journal; the
+  // source recovery must consult the peer and commit.
+  const Uuid txid = DeterministicUuid(77, 2);
+  Transaction src_prep;
+  src_prep.seq = 1;
+  src_prep.records.push_back(Record::Prepare(txid, dst_));
+  for (auto& r : SrcRecords()) src_prep.records.push_back(r);
+
+  Transaction dst_prep;
+  dst_prep.seq = 1;
+  dst_prep.records.push_back(Record::Prepare(txid, dir_));
+  for (auto& r : DstRecords()) dst_prep.records.push_back(r);
+  Transaction dst_decision;
+  dst_decision.seq = 2;
+  dst_decision.records.push_back(Record::Decision(txid, true));
+
+  ASSERT_TRUE(prt_->StoreJournal(dir_, EncodeTransaction(src_prep)).ok());
+  Bytes dst_journal = EncodeTransaction(dst_prep);
+  const Bytes decision_frame = EncodeTransaction(dst_decision);
+  dst_journal.insert(dst_journal.end(), decision_frame.begin(),
+                     decision_frame.end());
+  ASSERT_TRUE(prt_->StoreJournal(dst_, dst_journal).ok());
+
+  auto fresh = std::make_unique<JournalManager>(prt_, JournalConfig::ForTests());
+  // Recover the source FIRST (it must look at the peer journal).
+  auto src_report = fresh->RecoverDir(dir_);
+  ASSERT_TRUE(src_report.ok());
+  EXPECT_EQ(src_report->transactions_aborted, 0u);
+  EXPECT_EQ(src_report->transactions_replayed, 1u);
+  ASSERT_TRUE(fresh->RecoverDir(dst_).ok());
+
+  EXPECT_TRUE(prt_->LoadDentryBlock(dir_)->empty());
+  EXPECT_EQ(prt_->LoadDentryBlock(dst_)->size(), 1u);
+}
+
+TEST_F(CrossDirTest, SameDirRejected) {
+  EXPECT_EQ(manager_->CommitCrossDir(dir_, {}, dir_, {}).code(), Errc::kInval);
+}
+
+TEST(JournalS3Test, AppendWorksOnWholeObjectStore) {
+  // Whole-object backends append via read-modify-write.
+  auto store = std::make_shared<MemoryObjectStore>(kDefaultMaxObjectSize,
+                                                   /*partial=*/false);
+  auto prt = std::make_shared<Prt>(store);
+  JournalManager manager(prt, JournalConfig::ForTests());
+  const Uuid dir = DeterministicUuid(91, 1);
+  manager.RegisterDir(dir);
+  manager.Append(dir, {Record::DentryAdd(
+                          {"one", DeterministicUuid(91, 2), FileType::kRegular})});
+  ASSERT_TRUE(manager.CommitDir(dir).ok());
+  manager.Append(dir, {Record::DentryAdd(
+                          {"two", DeterministicUuid(91, 3), FileType::kRegular})});
+  ASSERT_TRUE(manager.CommitDir(dir).ok());
+  auto raw = prt->LoadJournal(dir);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(ParseJournal(*raw).size(), 2u);
+}
+
+}  // namespace
+}  // namespace arkfs::journal

@@ -1,0 +1,178 @@
+// Tests for the lease manager and client-side lease protocol.
+#include <gtest/gtest.h>
+
+#include "lease/lease_client.h"
+#include "lease/lease_manager.h"
+
+namespace arkfs::lease {
+namespace {
+
+class LeaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fabric_ = std::make_shared<rpc::Fabric>(sim::NetworkProfile::Instant());
+    manager_ = std::make_unique<LeaseManager>(fabric_, config_);
+    ASSERT_TRUE(manager_->Start().ok());
+  }
+
+  LeaseClient MakeClient(const std::string& name) {
+    LeaseClient::Options options;
+    options.wait_budget = Millis(500);
+    options.initial_backoff = Millis(1);
+    return LeaseClient(fabric_, name, options);
+  }
+
+  LeaseManagerConfig config_ = LeaseManagerConfig::ForTests();
+  rpc::FabricPtr fabric_;
+  std::unique_ptr<LeaseManager> manager_;
+  Uuid dir_ = DeterministicUuid(1, 1);
+};
+
+TEST_F(LeaseTest, FirstComeFirstServed) {
+  auto c1 = MakeClient("c1");
+  auto c2 = MakeClient("c2");
+  auto grant = c1.Acquire(dir_);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_FALSE(grant->fresh);  // first acquisition ever
+  EXPECT_TRUE(grant->prev_leader.empty());
+
+  auto denied = c2.Acquire(dir_);
+  ASSERT_FALSE(denied.ok());
+  ASSERT_TRUE(IsRedirect(denied.status()));
+  EXPECT_EQ(denied.status().detail(), "c1");
+  EXPECT_EQ(manager_->ActiveLeaseCount(), 1u);
+}
+
+TEST_F(LeaseTest, HolderExtensionIsFresh) {
+  auto c1 = MakeClient("c1");
+  ASSERT_TRUE(c1.Acquire(dir_).ok());
+  auto again = c1.Acquire(dir_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->fresh);
+}
+
+TEST_F(LeaseTest, ReacquireAfterExpiryBySameClientIsFresh) {
+  auto c1 = MakeClient("c1");
+  ASSERT_TRUE(c1.Acquire(dir_).ok());
+  SleepFor(config_.lease_period + Millis(50));
+  auto again = c1.Acquire(dir_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->fresh);  // nobody led in between
+}
+
+TEST_F(LeaseTest, TakeoverAfterExpiryNamesPreviousLeader) {
+  auto c1 = MakeClient("c1");
+  auto c2 = MakeClient("c2");
+  ASSERT_TRUE(c1.Acquire(dir_).ok());
+  SleepFor(config_.lease_period + Millis(50));
+  auto grant = c2.Acquire(dir_);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_FALSE(grant->fresh);
+  EXPECT_EQ(grant->prev_leader, "c1");  // flush-handshake target
+}
+
+TEST_F(LeaseTest, ReleaseFreesTheLease) {
+  auto c1 = MakeClient("c1");
+  auto c2 = MakeClient("c2");
+  ASSERT_TRUE(c1.Acquire(dir_).ok());
+  ASSERT_TRUE(c1.Release(dir_).ok());
+  auto grant = c2.Acquire(dir_);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(grant->prev_leader, "c1");
+}
+
+TEST_F(LeaseTest, ReleaseByNonHolderIgnored) {
+  auto c1 = MakeClient("c1");
+  auto c2 = MakeClient("c2");
+  ASSERT_TRUE(c1.Acquire(dir_).ok());
+  ASSERT_TRUE(c2.Release(dir_).ok());  // not the holder: no effect
+  auto denied = c2.Acquire(dir_);
+  EXPECT_TRUE(IsRedirect(denied.status()));
+}
+
+TEST_F(LeaseTest, IndependentDirectoriesIndependentLeases) {
+  auto c1 = MakeClient("c1");
+  auto c2 = MakeClient("c2");
+  const Uuid other = DeterministicUuid(2, 2);
+  ASSERT_TRUE(c1.Acquire(dir_).ok());
+  ASSERT_TRUE(c2.Acquire(other).ok());
+  EXPECT_EQ(manager_->ActiveLeaseCount(), 2u);
+}
+
+TEST_F(LeaseTest, LookupReportsLeader) {
+  auto c1 = MakeClient("c1");
+  auto before = c1.LookupLeader(dir_);
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before->has_value());
+  ASSERT_TRUE(c1.Acquire(dir_).ok());
+  auto after = c1.LookupLeader(dir_);
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->has_value());
+  EXPECT_EQ(**after, "c1");
+}
+
+TEST_F(LeaseTest, RecoveryFencesAcquisition) {
+  auto c1 = MakeClient("c1");
+  auto c2 = MakeClient("c2");
+  ASSERT_TRUE(c1.Acquire(dir_).ok());
+  SleepFor(config_.lease_period + Millis(50));
+
+  // c2 starts recovery of the crashed dir.
+  ASSERT_TRUE(c2.BeginRecovery(dir_).ok());
+  // c1 cannot sneak back in while recovery is running.
+  LeaseClient::Options tight;
+  tight.wait_budget = Millis(60);
+  tight.initial_backoff = Millis(5);
+  LeaseClient c1_tight(fabric_, "c1", tight);
+  EXPECT_EQ(c1_tight.Acquire(dir_).code(), Errc::kBusy);
+
+  ASSERT_TRUE(c2.EndRecovery(dir_).ok());
+  // Recovery renewed the lease on c2.
+  auto denied = c1.Acquire(dir_);
+  ASSERT_TRUE(IsRedirect(denied.status()));
+  EXPECT_EQ(denied.status().detail(), "c2");
+}
+
+TEST_F(LeaseTest, RecoveryRejectedWhileLeaderAlive) {
+  auto c1 = MakeClient("c1");
+  auto c2 = MakeClient("c2");
+  ASSERT_TRUE(c1.Acquire(dir_).ok());
+  EXPECT_EQ(c2.BeginRecovery(dir_).code(), Errc::kBusy);
+}
+
+TEST_F(LeaseTest, EndRecoveryByWrongClientRejected) {
+  auto c2 = MakeClient("c2");
+  auto c3 = MakeClient("c3");
+  ASSERT_TRUE(c2.BeginRecovery(dir_).ok());
+  EXPECT_EQ(c3.EndRecovery(dir_).code(), Errc::kInval);
+  ASSERT_TRUE(c2.EndRecovery(dir_).ok());
+}
+
+TEST_F(LeaseTest, ManagerRestartImposesQuietPeriod) {
+  auto c1 = MakeClient("c1");
+  ASSERT_TRUE(c1.Acquire(dir_).ok());
+  manager_->Restart();
+  // Within the quiet period every acquire is told to wait.
+  LeaseClient::Options tight;
+  tight.wait_budget = Millis(20);
+  tight.initial_backoff = Millis(5);
+  LeaseClient c2(fabric_, "c2", tight);
+  EXPECT_EQ(c2.Acquire(dir_).code(), Errc::kBusy);
+
+  // After the quiet period (one lease term) acquisition works again — with
+  // a patient client.
+  auto patient = MakeClient("c3");
+  auto grant = patient.Acquire(dir_);
+  ASSERT_TRUE(grant.ok());
+  // State was lost, so no previous leader is known.
+  EXPECT_TRUE(grant->prev_leader.empty());
+}
+
+TEST_F(LeaseTest, ManagerUnreachableSurfacesTimeout) {
+  manager_->Stop();
+  auto c1 = MakeClient("c1");
+  EXPECT_EQ(c1.Acquire(dir_).code(), Errc::kTimedOut);
+}
+
+}  // namespace
+}  // namespace arkfs::lease

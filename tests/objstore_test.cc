@@ -1,0 +1,285 @@
+// Tests for the object-store backends, decorators and the registry.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "objstore/cluster_store.h"
+#include "objstore/disk_store.h"
+#include "objstore/memory_store.h"
+#include "objstore/registry.h"
+#include "objstore/wrappers.h"
+
+namespace arkfs {
+namespace {
+
+// Contract tests run against every backend via a parameterized suite.
+enum class Backend { kMemory, kDisk, kClusterRados, kClusterS3Semantics };
+
+ObjectStorePtr MakeStore(Backend backend, const std::string& tag) {
+  switch (backend) {
+    case Backend::kMemory:
+      return std::make_shared<MemoryObjectStore>();
+    case Backend::kDisk: {
+      auto dir =
+          std::filesystem::temp_directory_path() / ("arkfs_store_" + tag);
+      std::filesystem::remove_all(dir);
+      return DiskObjectStore::Open(dir).value();
+    }
+    case Backend::kClusterRados:
+      return std::make_shared<ClusterObjectStore>(ClusterConfig::Instant(4));
+    case Backend::kClusterS3Semantics: {
+      ClusterConfig c = ClusterConfig::Instant(4);
+      c.profile.supports_partial_write = false;
+      return std::make_shared<ClusterObjectStore>(c);
+    }
+  }
+  return nullptr;
+}
+
+class StoreContractTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    store_ = MakeStore(GetParam(), ::testing::UnitTest::GetInstance()
+                                       ->current_test_info()
+                                       ->name());
+  }
+  ObjectStorePtr store_;
+};
+
+TEST_P(StoreContractTest, PutGetDelete) {
+  EXPECT_TRUE(store_->Put("k1", ToBytes("hello")).ok());
+  auto got = store_->Get("k1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(*got), "hello");
+  EXPECT_TRUE(store_->Delete("k1").ok());
+  EXPECT_EQ(store_->Get("k1").code(), Errc::kNoEnt);
+  EXPECT_EQ(store_->Delete("k1").code(), Errc::kNoEnt);
+}
+
+TEST_P(StoreContractTest, PutReplaces) {
+  ASSERT_TRUE(store_->Put("k", ToBytes("aaaa")).ok());
+  ASSERT_TRUE(store_->Put("k", ToBytes("bb")).ok());
+  EXPECT_EQ(ToString(store_->Get("k").value()), "bb");
+}
+
+TEST_P(StoreContractTest, EmptyObject) {
+  ASSERT_TRUE(store_->Put("empty", {}).ok());
+  auto got = store_->Get("empty");
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+  EXPECT_EQ(store_->Head("empty")->size, 0u);
+}
+
+TEST_P(StoreContractTest, GetRangeSemantics) {
+  ASSERT_TRUE(store_->Put("k", ToBytes("0123456789")).ok());
+  EXPECT_EQ(ToString(store_->GetRange("k", 2, 3).value()), "234");
+  EXPECT_EQ(ToString(store_->GetRange("k", 8, 100).value()), "89");
+  EXPECT_TRUE(store_->GetRange("k", 100, 5)->empty());
+  EXPECT_EQ(store_->GetRange("missing", 0, 1).code(), Errc::kNoEnt);
+}
+
+TEST_P(StoreContractTest, HeadReportsSize) {
+  ASSERT_TRUE(store_->Put("k", ToBytes("12345")).ok());
+  auto meta = store_->Head("k");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->size, 5u);
+  EXPECT_EQ(store_->Head("nope").code(), Errc::kNoEnt);
+}
+
+TEST_P(StoreContractTest, ListByPrefixSorted) {
+  ASSERT_TRUE(store_->Put("a/2", ToBytes("x")).ok());
+  ASSERT_TRUE(store_->Put("a/1", ToBytes("x")).ok());
+  ASSERT_TRUE(store_->Put("b/1", ToBytes("x")).ok());
+  auto keys = store_->List("a/");
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(*keys, (std::vector<std::string>{"a/1", "a/2"}));
+  EXPECT_EQ(store_->List("")->size(), 3u);
+  EXPECT_TRUE(store_->List("zz")->empty());
+}
+
+TEST_P(StoreContractTest, PartialWriteOrNotSup) {
+  ASSERT_TRUE(store_->Put("k", ToBytes("AAAAAAAA")).ok());
+  Status st = store_->PutRange("k", 2, AsBytes("bb"));
+  if (store_->supports_partial_write()) {
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(ToString(store_->Get("k").value()), "AAbbAAAA");
+    // Extension through PutRange.
+    ASSERT_TRUE(store_->PutRange("k", 8, AsBytes("ZZ")).ok());
+    EXPECT_EQ(store_->Head("k")->size, 10u);
+  } else {
+    EXPECT_EQ(st.code(), Errc::kNotSup);
+  }
+}
+
+TEST_P(StoreContractTest, PartialWriteCreatesAndZeroFills) {
+  if (!store_->supports_partial_write()) GTEST_SKIP();
+  ASSERT_TRUE(store_->PutRange("new", 4, AsBytes("xy")).ok());
+  auto got = store_->Get("new");
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 6u);
+  EXPECT_EQ((*got)[0], 0);
+  EXPECT_EQ((*got)[3], 0);
+  EXPECT_EQ((*got)[4], 'x');
+}
+
+TEST_P(StoreContractTest, MaxObjectSizeEnforced) {
+  Bytes big(store_->max_object_size() + 1, 7);
+  EXPECT_EQ(store_->Put("big", big).code(), Errc::kFBig);
+}
+
+TEST_P(StoreContractTest, BinaryKeysAndValues) {
+  std::string key = "bin";
+  key.push_back('\x01');
+  key.push_back('\0');
+  key.push_back('\xff');
+  key += " key";
+  Bytes value{0, 1, 2, 255, 254, 0, 9};
+  ASSERT_TRUE(store_->Put(key, value).ok());
+  EXPECT_EQ(store_->Get(key).value(), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, StoreContractTest,
+                         ::testing::Values(Backend::kMemory, Backend::kDisk,
+                                           Backend::kClusterRados,
+                                           Backend::kClusterS3Semantics),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Backend::kMemory: return "Memory";
+                             case Backend::kDisk: return "Disk";
+                             case Backend::kClusterRados: return "ClusterRados";
+                             case Backend::kClusterS3Semantics:
+                               return "ClusterS3";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(DiskStoreTest, PersistsAcrossReopen) {
+  auto dir = std::filesystem::temp_directory_path() / "arkfs_store_reopen";
+  std::filesystem::remove_all(dir);
+  {
+    auto store = DiskObjectStore::Open(dir).value();
+    ASSERT_TRUE(store->Put("persisted", ToBytes("value")).ok());
+  }
+  auto store = DiskObjectStore::Open(dir).value();
+  EXPECT_EQ(ToString(store->Get("persisted").value()), "value");
+}
+
+TEST(ClusterStoreTest, ReplicationFactorRespected) {
+  ClusterConfig config = ClusterConfig::Instant(8);
+  config.replication = 3;
+  ClusterObjectStore store(config);
+  auto replicas = store.ReplicaNodes("some-key");
+  EXPECT_EQ(replicas.size(), 3u);
+  std::set<int> unique(replicas.begin(), replicas.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(ClusterStoreTest, PlacementIsDeterministic) {
+  ClusterConfig config = ClusterConfig::Instant(8);
+  ClusterObjectStore a(config), b(config);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    EXPECT_EQ(a.ReplicaNodes(key), b.ReplicaNodes(key));
+  }
+}
+
+TEST(ClusterStoreTest, PlacementIsReasonablyBalanced) {
+  ClusterConfig config = ClusterConfig::Instant(8);
+  config.replication = 1;
+  ClusterObjectStore store(config);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(
+        store.Put("obj-" + std::to_string(i), ToBytes("x")).ok());
+  }
+  auto counts = store.PerNodeObjectCounts();
+  ASSERT_EQ(counts.size(), 8u);
+  for (auto c : counts) {
+    // Each of 8 nodes should hold roughly 500; allow generous imbalance.
+    EXPECT_GT(c, 150u);
+    EXPECT_LT(c, 1200u);
+  }
+}
+
+TEST(ClusterStoreTest, DataSurvivesOnReplicas) {
+  ClusterConfig config = ClusterConfig::Instant(6);
+  config.replication = 2;
+  ClusterObjectStore store(config);
+  ASSERT_TRUE(store.Put("k", ToBytes("replicated")).ok());
+  EXPECT_EQ(ToString(store.Get("k").value()), "replicated");
+  auto counts = store.PerNodeObjectCounts();
+  std::size_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(total, 2u);  // primary + 1 replica
+}
+
+TEST(CountingStoreTest, TracksOpsAndBytes) {
+  auto base = std::make_shared<MemoryObjectStore>();
+  CountingStore store(base);
+  ASSERT_TRUE(store.Put("k", ToBytes("12345")).ok());
+  ASSERT_TRUE(store.Get("k").ok());
+  ASSERT_TRUE(store.Head("k").ok());
+  ASSERT_TRUE(store.List("").ok());
+  ASSERT_TRUE(store.Delete("k").ok());
+  auto c = store.Snapshot();
+  EXPECT_EQ(c.puts, 1u);
+  EXPECT_EQ(c.gets, 1u);
+  EXPECT_EQ(c.heads, 1u);
+  EXPECT_EQ(c.lists, 1u);
+  EXPECT_EQ(c.deletes, 1u);
+  EXPECT_EQ(c.bytes_written, 5u);
+  EXPECT_EQ(c.bytes_read, 5u);
+  store.Reset();
+  EXPECT_EQ(store.Snapshot().puts, 0u);
+}
+
+TEST(FaultInjectionTest, InjectsOnMatch) {
+  auto base = std::make_shared<MemoryObjectStore>();
+  int puts_allowed = 2;
+  FaultInjectionStore store(base, [&](std::string_view op, const std::string&) {
+    if (op == "put" && puts_allowed-- <= 0) return Errc::kIo;
+    return Errc::kOk;
+  });
+  EXPECT_TRUE(store.Put("a", ToBytes("1")).ok());
+  EXPECT_TRUE(store.Put("b", ToBytes("2")).ok());
+  EXPECT_EQ(store.Put("c", ToBytes("3")).code(), Errc::kIo);
+  EXPECT_TRUE(store.Get("a").ok());  // reads unaffected
+}
+
+TEST(RegistryTest, BuiltinsPresent) {
+  auto names = BackendRegistry::Instance().Names();
+  for (const char* expected : {"memory", "disk", "rados", "s3"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(RegistryTest, CreatesFromSpec) {
+  auto mem = BackendRegistry::Instance().Create("memory");
+  ASSERT_TRUE(mem.ok());
+  EXPECT_TRUE((*mem)->supports_partial_write());
+
+  auto s3 = BackendRegistry::Instance().Create("s3");
+  ASSERT_TRUE(s3.ok());
+  EXPECT_FALSE((*s3)->supports_partial_write());
+
+  EXPECT_FALSE(BackendRegistry::Instance().Create("nonsense").ok());
+  EXPECT_FALSE(BackendRegistry::Instance().Create("disk").ok());  // needs path
+}
+
+TEST(RegistryTest, CustomBackendRegistration) {
+  auto& reg = BackendRegistry::Instance();
+  const bool first = reg.Register("test-custom", [](const std::string&) {
+    return Result<ObjectStorePtr>(
+        ObjectStorePtr(std::make_shared<MemoryObjectStore>()));
+  });
+  if (first) {
+    // Re-registration under the same name is refused.
+    EXPECT_FALSE(reg.Register("test-custom", [](const std::string&) {
+      return Result<ObjectStorePtr>(ErrStatus(Errc::kInval));
+    }));
+  }
+  EXPECT_TRUE(reg.Create("test-custom").ok());
+}
+
+}  // namespace
+}  // namespace arkfs

@@ -1,0 +1,136 @@
+// Tests for the radix tree indexing cached data objects.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cache/radix_tree.h"
+#include "common/rng.h"
+
+namespace arkfs {
+namespace {
+
+TEST(RadixTreeTest, InsertFindErase) {
+  RadixTree<int> tree;
+  tree.Insert(0, 100);
+  tree.Insert(63, 163);
+  tree.Insert(64, 164);  // forces height growth
+  EXPECT_EQ(tree.size(), 3u);
+  ASSERT_NE(tree.Find(0), nullptr);
+  EXPECT_EQ(*tree.Find(0), 100);
+  EXPECT_EQ(*tree.Find(63), 163);
+  EXPECT_EQ(*tree.Find(64), 164);
+  EXPECT_EQ(tree.Find(65), nullptr);
+  EXPECT_TRUE(tree.Erase(63));
+  EXPECT_FALSE(tree.Erase(63));
+  EXPECT_EQ(tree.Find(63), nullptr);
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(RadixTreeTest, InsertReplaces) {
+  RadixTree<int> tree;
+  tree.Insert(7, 1);
+  tree.Insert(7, 2);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Find(7), 2);
+}
+
+TEST(RadixTreeTest, ShallowForSmallKeys) {
+  // The paper's observation: 2 MiB entries keep the tree shallow. A file
+  // with 4096 entries (8 GiB at 2 MiB) needs only 2 six-bit levels.
+  RadixTree<int> tree;
+  for (std::uint64_t k = 0; k < 4096; ++k) tree.Insert(k, static_cast<int>(k));
+  EXPECT_EQ(tree.height(), 2);
+  RadixTree<int> big;
+  big.Insert(1ull << 40, 1);
+  EXPECT_GE(big.height(), 7);
+}
+
+TEST(RadixTreeTest, SparseHugeKeys) {
+  RadixTree<std::uint64_t> tree;
+  std::vector<std::uint64_t> keys{0,       1,          64,        4095,
+                                  1 << 20, 1ull << 35, UINT64_MAX};
+  for (auto k : keys) tree.Insert(k, k * 2);
+  for (auto k : keys) {
+    ASSERT_NE(tree.Find(k), nullptr) << k;
+    EXPECT_EQ(*tree.Find(k), k * 2);
+  }
+  EXPECT_EQ(tree.size(), keys.size());
+}
+
+TEST(RadixTreeTest, GrowthPreservesExistingEntries) {
+  RadixTree<int> tree;
+  tree.Insert(5, 50);
+  tree.Insert(1ull << 30, 99);  // multiple growth steps
+  EXPECT_EQ(*tree.Find(5), 50);
+  EXPECT_EQ(*tree.Find(1ull << 30), 99);
+}
+
+TEST(RadixTreeTest, ForEachVisitsInKeyOrder) {
+  RadixTree<int> tree;
+  for (std::uint64_t k : {900ull, 3ull, 77ull, 20000ull, 0ull}) {
+    tree.Insert(k, static_cast<int>(k));
+  }
+  std::vector<std::uint64_t> visited;
+  tree.ForEach([&](std::uint64_t k, int& v) {
+    visited.push_back(k);
+    EXPECT_EQ(static_cast<int>(k), v);
+  });
+  EXPECT_EQ(visited, (std::vector<std::uint64_t>{0, 3, 77, 900, 20000}));
+}
+
+TEST(RadixTreeTest, ClearResets) {
+  RadixTree<int> tree;
+  tree.Insert(123, 1);
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Find(123), nullptr);
+  tree.Insert(5, 9);
+  EXPECT_EQ(*tree.Find(5), 9);
+}
+
+// Property test: the radix tree behaves exactly like std::map under a
+// random workload of inserts/erases/lookups.
+class RadixTreePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RadixTreePropertyTest, MatchesReferenceMap) {
+  Rng rng(GetParam());
+  RadixTree<std::uint64_t> tree;
+  std::map<std::uint64_t, std::uint64_t> reference;
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t key = rng.Below(512) * (1 + rng.Below(1 << 20));
+    switch (rng.Below(3)) {
+      case 0: {
+        const std::uint64_t value = rng.Next();
+        tree.Insert(key, value);
+        reference[key] = value;
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(tree.Erase(key), reference.erase(key) > 0);
+        break;
+      }
+      default: {
+        auto it = reference.find(key);
+        auto* found = tree.Find(key);
+        if (it == reference.end()) {
+          EXPECT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  std::vector<std::uint64_t> tree_keys;
+  tree.ForEach([&](std::uint64_t k, std::uint64_t&) { tree_keys.push_back(k); });
+  std::vector<std::uint64_t> map_keys;
+  for (auto& [k, _] : reference) map_keys.push_back(k);
+  EXPECT_EQ(tree_keys, map_keys);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RadixTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace arkfs

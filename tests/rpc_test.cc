@@ -1,0 +1,130 @@
+// Tests for the in-process RPC fabric.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rpc/fabric.h"
+
+namespace arkfs::rpc {
+namespace {
+
+Bytes Payload(const std::string& s) { return arkfs::ToBytes(s); }
+
+TEST(FabricTest, BasicCall) {
+  Fabric fabric(sim::NetworkProfile::Instant());
+  auto endpoint = std::make_shared<Endpoint>();
+  endpoint->RegisterMethod("echo", [](ByteSpan req) -> Result<Bytes> {
+    Bytes out(req.begin(), req.end());
+    out.push_back('!');
+    return out;
+  });
+  ASSERT_TRUE(fabric.Bind("svc", endpoint).ok());
+
+  auto resp = fabric.Call("svc", "echo", Payload("hi"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(ToString(*resp), "hi!");
+  EXPECT_EQ(fabric.total_calls(), 1u);
+  EXPECT_EQ(endpoint->calls_served(), 1u);
+}
+
+TEST(FabricTest, UnknownMethodAndAddress) {
+  Fabric fabric(sim::NetworkProfile::Instant());
+  auto endpoint = std::make_shared<Endpoint>();
+  ASSERT_TRUE(fabric.Bind("svc", endpoint).ok());
+  EXPECT_EQ(fabric.Call("svc", "nope", Payload("x")).code(), Errc::kNotSup);
+  EXPECT_EQ(fabric.Call("ghost", "m", Payload("x")).code(), Errc::kTimedOut);
+}
+
+TEST(FabricTest, DoubleBindRejected) {
+  Fabric fabric(sim::NetworkProfile::Instant());
+  ASSERT_TRUE(fabric.Bind("svc", std::make_shared<Endpoint>()).ok());
+  EXPECT_EQ(fabric.Bind("svc", std::make_shared<Endpoint>()).code(),
+            Errc::kExist);
+}
+
+TEST(FabricTest, UnbindMakesEndpointUnreachable) {
+  Fabric fabric(sim::NetworkProfile::Instant());
+  auto endpoint = std::make_shared<Endpoint>();
+  endpoint->RegisterMethod("m", [](ByteSpan) -> Result<Bytes> { return Bytes{}; });
+  ASSERT_TRUE(fabric.Bind("svc", endpoint).ok());
+  ASSERT_TRUE(fabric.Call("svc", "m", {}).ok());
+  fabric.Unbind("svc");
+  EXPECT_FALSE(fabric.IsBound("svc"));
+  EXPECT_EQ(fabric.Call("svc", "m", {}).code(), Errc::kTimedOut);
+  // Rebinding after unbind works (client restart).
+  EXPECT_TRUE(fabric.Bind("svc", endpoint).ok());
+}
+
+TEST(FabricTest, HandlerErrorsPropagate) {
+  Fabric fabric(sim::NetworkProfile::Instant());
+  auto endpoint = std::make_shared<Endpoint>();
+  endpoint->RegisterMethod("fail", [](ByteSpan) -> Result<Bytes> {
+    return ErrStatus(Errc::kAccess, "denied");
+  });
+  ASSERT_TRUE(fabric.Bind("svc", endpoint).ok());
+  auto resp = fabric.Call("svc", "fail", {});
+  EXPECT_EQ(resp.code(), Errc::kAccess);
+}
+
+TEST(FabricTest, RttIsCharged) {
+  sim::NetworkProfile profile;
+  profile.rtt = Millis(5);
+  Fabric fabric(profile);
+  auto endpoint = std::make_shared<Endpoint>();
+  endpoint->RegisterMethod("m", [](ByteSpan) -> Result<Bytes> { return Bytes{}; });
+  ASSERT_TRUE(fabric.Bind("svc", endpoint).ok());
+  const TimePoint start = Now();
+  ASSERT_TRUE(fabric.Call("svc", "m", {}).ok());
+  EXPECT_GE(Now() - start, Millis(3));
+}
+
+TEST(EndpointTest, ConcurrencyCapSerializes) {
+  // With max_concurrency=1, two overlapping calls must not run together.
+  Fabric fabric(sim::NetworkProfile::Instant());
+  auto endpoint = std::make_shared<Endpoint>(/*max_concurrency=*/1);
+  std::atomic<int> active{0};
+  std::atomic<int> max_active{0};
+  endpoint->RegisterMethod("slow", [&](ByteSpan) -> Result<Bytes> {
+    int now = ++active;
+    int prev = max_active.load();
+    while (now > prev && !max_active.compare_exchange_weak(prev, now)) {
+    }
+    SleepFor(Millis(5));
+    --active;
+    return Bytes{};
+  });
+  ASSERT_TRUE(fabric.Bind("svc", endpoint).ok());
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] { ASSERT_TRUE(fabric.Call("svc", "slow", {}).ok()); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(max_active.load(), 1);
+  EXPECT_EQ(endpoint->calls_served(), 4u);
+}
+
+TEST(EndpointTest, UnlimitedConcurrencyOverlaps) {
+  Fabric fabric(sim::NetworkProfile::Instant());
+  auto endpoint = std::make_shared<Endpoint>(/*max_concurrency=*/0);
+  std::atomic<int> active{0};
+  std::atomic<int> max_active{0};
+  endpoint->RegisterMethod("slow", [&](ByteSpan) -> Result<Bytes> {
+    int now = ++active;
+    int prev = max_active.load();
+    while (now > prev && !max_active.compare_exchange_weak(prev, now)) {
+    }
+    SleepFor(Millis(20));
+    --active;
+    return Bytes{};
+  });
+  ASSERT_TRUE(fabric.Bind("svc", endpoint).ok());
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] { ASSERT_TRUE(fabric.Call("svc", "slow", {}).ok()); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(max_active.load(), 1);
+}
+
+}  // namespace
+}  // namespace arkfs::rpc

@@ -1,0 +1,100 @@
+// Tests for the timing models: latency, shared link, simulated disk.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim/disk.h"
+#include "sim/models.h"
+#include "sim/shared_link.h"
+
+namespace arkfs::sim {
+namespace {
+
+TEST(LatencyModelTest, ZeroModelIsFree) {
+  LatencyModel zero;
+  EXPECT_TRUE(zero.zero());
+  EXPECT_EQ(zero.Sample().count(), 0);
+  const TimePoint start = Now();
+  zero.Apply();
+  EXPECT_LT(Now() - start, Millis(2));
+}
+
+TEST(LatencyModelTest, SamplesWithinJitterBounds) {
+  LatencyModel model(Micros(1000), 0.2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = model.Sample();
+    EXPECT_GE(s.count(), Micros(790).count());
+    EXPECT_LE(s.count(), Micros(1210).count());
+  }
+}
+
+TEST(LatencyModelTest, MeanIsApproximatelyRight) {
+  LatencyModel model(Micros(1000), 0.3);
+  std::int64_t sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += model.Sample().count();
+  const double mean = static_cast<double>(sum) / n;
+  EXPECT_NEAR(mean, 1e6, 3e4);
+}
+
+TEST(SharedLinkTest, InfiniteBandwidthIsFree) {
+  SharedLink link(0);
+  EXPECT_EQ(link.Transfer(1 << 30).count(), 0);
+}
+
+TEST(SharedLinkTest, TransferTimeMatchesRate) {
+  SharedLink link(100e6);  // 100 MB/s
+  const TimePoint start = Now();
+  link.Transfer(1 << 20);  // 1 MiB -> ~10.5 ms
+  const auto elapsed = Now() - start;
+  EXPECT_GE(elapsed, Millis(9));
+  EXPECT_LE(elapsed, Millis(60));
+}
+
+TEST(SharedLinkTest, ConcurrentTransfersShareBandwidth) {
+  SharedLink link(100e6);
+  const TimePoint start = Now();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] { link.Transfer(1 << 20); });
+  }
+  for (auto& t : threads) t.join();
+  // 4 MiB over a shared 100 MB/s link takes ~42 ms regardless of threads.
+  EXPECT_GE(Now() - start, Millis(35));
+}
+
+TEST(SimDiskTest, ReadWriteDelete) {
+  SimDisk disk(DiskConfig::Instant());
+  ASSERT_TRUE(disk.WriteFile("f1", AsBytes("hello")).ok());
+  auto data = disk.ReadFile("f1");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(ToString(*data), "hello");
+  EXPECT_TRUE(disk.Exists("f1"));
+  EXPECT_EQ(disk.FileCount(), 1u);
+  EXPECT_EQ(disk.TotalBytes(), 5u);
+  ASSERT_TRUE(disk.DeleteFile("f1").ok());
+  EXPECT_EQ(disk.ReadFile("f1").code(), Errc::kNoEnt);
+}
+
+TEST(SimDiskTest, BandwidthBoundsThroughput) {
+  DiskConfig config;
+  config.bandwidth_bps = 50e6;  // 50 MB/s
+  config.request_latency = Nanos(0);
+  SimDisk disk(config);
+  Bytes megabyte(1 << 20, 1);
+  const TimePoint start = Now();
+  ASSERT_TRUE(disk.WriteFile("big", megabyte).ok());
+  EXPECT_GE(Now() - start, Millis(18));  // ~21 ms at 50 MB/s
+}
+
+TEST(ProfilesTest, SaneRelativeMagnitudes) {
+  const auto rados = CostProfile::RadosLike();
+  const auto s3 = CostProfile::S3Like();
+  EXPECT_GT(s3.op_latency, rados.op_latency * 10);
+  EXPECT_TRUE(rados.supports_partial_write);
+  EXPECT_FALSE(s3.supports_partial_write);
+  EXPECT_GT(NetworkProfile::Datacenter10G().rtt.count(), 0);
+}
+
+}  // namespace
+}  // namespace arkfs::sim

@@ -1,0 +1,196 @@
+// arkfs_cli — a command-line utility for ArkFS images on a persistent
+// on-disk object store. State survives across invocations, so this behaves
+// like a userspace mount you drive one command at a time:
+//
+//   arkfs_cli <store-dir> format
+//   arkfs_cli <store-dir> mkdir /campaign/2026
+//   arkfs_cli <store-dir> put local.dat /campaign/2026/data.bin
+//   arkfs_cli <store-dir> ls /campaign
+//   arkfs_cli <store-dir> cat /campaign/2026/data.bin
+//   arkfs_cli <store-dir> get /campaign/2026/data.bin restored.dat
+//   arkfs_cli <store-dir> stat /campaign/2026/data.bin
+//   arkfs_cli <store-dir> mv /a /b
+//   arkfs_cli <store-dir> rm /campaign/2026/data.bin
+//   arkfs_cli <store-dir> rmdir /campaign/2026
+//   arkfs_cli <store-dir> chmod 640 /campaign/2026/data.bin
+//   arkfs_cli <store-dir> ln -s /target /link
+//   arkfs_cli <store-dir> objects          # dump the raw object keys
+//
+// Every invocation spins up a single-client deployment (client + lease
+// manager) over the disk store, performs the operation, and shuts down
+// cleanly (flush + lease release) — the "administrator process" usage the
+// paper targets.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <unistd.h>
+
+#include "core/cluster.h"
+#include "objstore/disk_store.h"
+
+using namespace arkfs;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: arkfs_cli <store-dir> <command> [args...]\n"
+               "commands: format | mkdir <p> | ls <p> | put <local> <p> |\n"
+               "          get <p> <local> | cat <p> | rm <p> | rmdir <p> |\n"
+               "          mv <from> <to> | stat <p> | chmod <octal> <p> |\n"
+               "          ln -s <target> <p> | objects\n");
+  return 2;
+}
+
+int Fail(const Status& st, const char* what) {
+  std::fprintf(stderr, "arkfs_cli: %s: %s\n", what, st.ToString().c_str());
+  return 1;
+}
+
+Result<Bytes> ReadLocalFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return ErrStatus(Errc::kNoEnt, path);
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return data;
+}
+
+Status WriteLocalFile(const std::string& path, ByteSpan data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return ErrStatus(Errc::kIo, "cannot open " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out.good() ? Status::Ok() : ErrStatus(Errc::kIo, "short write");
+}
+
+const char* TypeName(FileType t) {
+  switch (t) {
+    case FileType::kDirectory: return "dir";
+    case FileType::kSymlink: return "link";
+    default: return "file";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string store_dir = argv[1];
+  const std::string command = argv[2];
+  const UserCred user{static_cast<std::uint32_t>(getuid()),
+                      static_cast<std::uint32_t>(getgid()),
+                      {}};
+
+  auto store_or = DiskObjectStore::Open(store_dir);
+  if (!store_or.ok()) return Fail(store_or.status(), "open store");
+  ObjectStorePtr store = *store_or;
+
+  if (command == "format") {
+    Status st = Client::Format(store, /*force=*/argc > 3 &&
+                                          std::strcmp(argv[3], "-f") == 0);
+    if (!st.ok()) return Fail(st, "format");
+    std::printf("formatted ArkFS image in %s\n", store_dir.c_str());
+    return 0;
+  }
+  if (command == "objects") {
+    auto keys = store->List("");
+    if (!keys.ok()) return Fail(keys.status(), "list objects");
+    for (const auto& key : *keys) {
+      auto meta = store->Head(key);
+      std::printf("%-40s %10llu bytes\n", key.substr(0, 40).c_str(),
+                  meta.ok() ? static_cast<unsigned long long>(meta->size) : 0);
+    }
+    std::printf("(%zu objects)\n", keys->size());
+    return 0;
+  }
+
+  ArkFsClusterOptions options;  // instant network: this is a local image
+  options.format_store = false;
+  auto cluster_or = ArkFsCluster::Create(store, options);
+  if (!cluster_or.ok()) return Fail(cluster_or.status(), "start");
+  auto& cluster = *cluster_or;
+  auto client_or = cluster->AddClient("arkfs-cli");
+  if (!client_or.ok()) return Fail(client_or.status(), "client");
+  auto fs = *client_or;
+
+  int rc = 0;
+  if (command == "mkdir" && argc == 4) {
+    Status st = fs->MkdirAll(argv[3], 0755, user);
+    if (!st.ok()) rc = Fail(st, "mkdir");
+  } else if (command == "ls" && argc == 4) {
+    auto entries = fs->ReadDir(argv[3], user);
+    if (!entries.ok()) {
+      rc = Fail(entries.status(), "ls");
+    } else {
+      for (const auto& d : *entries) {
+        auto st = fs->Stat(std::string(argv[3]) == "/"
+                               ? "/" + d.name
+                               : std::string(argv[3]) + "/" + d.name,
+                           user);
+        std::printf("%-5s %10llu  %s\n", TypeName(d.type),
+                    st.ok() ? static_cast<unsigned long long>(st->size) : 0,
+                    d.name.c_str());
+      }
+    }
+  } else if (command == "put" && argc == 5) {
+    auto data = ReadLocalFile(argv[3]);
+    if (!data.ok()) {
+      rc = Fail(data.status(), "read local file");
+    } else if (Status st = fs->WriteFileAt(argv[4], *data, user); !st.ok()) {
+      rc = Fail(st, "put");
+    } else {
+      std::printf("wrote %zu bytes to %s\n", data->size(), argv[4]);
+    }
+  } else if (command == "get" && argc == 5) {
+    auto data = fs->ReadWholeFile(argv[3], user);
+    if (!data.ok()) {
+      rc = Fail(data.status(), "get");
+    } else if (Status st = WriteLocalFile(argv[4], *data); !st.ok()) {
+      rc = Fail(st, "write local file");
+    } else {
+      std::printf("restored %zu bytes to %s\n", data->size(), argv[4]);
+    }
+  } else if (command == "cat" && argc == 4) {
+    auto data = fs->ReadWholeFile(argv[3], user);
+    if (!data.ok()) {
+      rc = Fail(data.status(), "cat");
+    } else {
+      std::fwrite(data->data(), 1, data->size(), stdout);
+    }
+  } else if (command == "rm" && argc == 4) {
+    if (Status st = fs->Unlink(argv[3], user); !st.ok()) rc = Fail(st, "rm");
+  } else if (command == "rmdir" && argc == 4) {
+    if (Status st = fs->Rmdir(argv[3], user); !st.ok()) rc = Fail(st, "rmdir");
+  } else if (command == "mv" && argc == 5) {
+    if (Status st = fs->Rename(argv[3], argv[4], user); !st.ok()) {
+      rc = Fail(st, "mv");
+    }
+  } else if (command == "stat" && argc == 4) {
+    auto st = fs->Stat(argv[3], user);
+    if (!st.ok()) {
+      rc = Fail(st.status(), "stat");
+    } else {
+      std::printf("%s: %s mode=%o uid=%u gid=%u size=%llu mtime=%lld ino=%s\n",
+                  argv[3], TypeName(st->type), st->mode, st->uid, st->gid,
+                  static_cast<unsigned long long>(st->size),
+                  static_cast<long long>(st->mtime_sec),
+                  st->ino.ToString().substr(0, 12).c_str());
+    }
+  } else if (command == "chmod" && argc == 5) {
+    const auto mode = static_cast<std::uint32_t>(std::strtoul(argv[3], nullptr, 8));
+    if (Status st = fs->Chmod(argv[4], mode, user); !st.ok()) {
+      rc = Fail(st, "chmod");
+    }
+  } else if (command == "ln" && argc == 6 && std::strcmp(argv[3], "-s") == 0) {
+    if (Status st = fs->Symlink(argv[4], argv[5], user); !st.ok()) {
+      rc = Fail(st, "ln -s");
+    }
+  } else {
+    rc = Usage();
+  }
+
+  Status st = fs->Shutdown();  // flush journals + caches, release leases
+  if (rc == 0 && !st.ok()) rc = Fail(st, "shutdown");
+  return rc;
+}
