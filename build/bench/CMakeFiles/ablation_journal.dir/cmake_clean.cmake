@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_journal.dir/ablation_journal.cc.o"
+  "CMakeFiles/ablation_journal.dir/ablation_journal.cc.o.d"
+  "ablation_journal"
+  "ablation_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pcache.dir/ablation_pcache.cc.o"
+  "CMakeFiles/ablation_pcache.dir/ablation_pcache.cc.o.d"
+  "ablation_pcache"
+  "ablation_pcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

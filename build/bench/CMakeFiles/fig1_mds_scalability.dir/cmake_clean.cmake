@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mds_scalability.dir/fig1_mds_scalability.cc.o"
+  "CMakeFiles/fig1_mds_scalability.dir/fig1_mds_scalability.cc.o.d"
+  "fig1_mds_scalability"
+  "fig1_mds_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mds_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

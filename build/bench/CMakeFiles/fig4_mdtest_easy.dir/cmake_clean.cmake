@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mdtest_easy.dir/fig4_mdtest_easy.cc.o"
+  "CMakeFiles/fig4_mdtest_easy.dir/fig4_mdtest_easy.cc.o.d"
+  "fig4_mdtest_easy"
+  "fig4_mdtest_easy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mdtest_easy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_mdtest_easy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mdtest_hard.dir/fig5_mdtest_hard.cc.o"
+  "CMakeFiles/fig5_mdtest_hard.dir/fig5_mdtest_hard.cc.o.d"
+  "fig5_mdtest_hard"
+  "fig5_mdtest_hard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mdtest_hard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

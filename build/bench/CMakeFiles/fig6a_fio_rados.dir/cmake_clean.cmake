@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_fio_rados.dir/fig6a_fio_rados.cc.o"
+  "CMakeFiles/fig6a_fio_rados.dir/fig6a_fio_rados.cc.o.d"
+  "fig6a_fio_rados"
+  "fig6a_fio_rados.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_fio_rados.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

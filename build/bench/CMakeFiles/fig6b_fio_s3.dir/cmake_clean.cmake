@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_fio_s3.dir/fig6b_fio_s3.cc.o"
+  "CMakeFiles/fig6b_fio_s3.dir/fig6b_fio_s3.cc.o.d"
+  "fig6b_fio_s3"
+  "fig6b_fio_s3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_fio_s3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

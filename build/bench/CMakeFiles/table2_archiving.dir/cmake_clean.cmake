@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_archiving.dir/table2_archiving.cc.o"
+  "CMakeFiles/table2_archiving.dir/table2_archiving.cc.o.d"
+  "table2_archiving"
+  "table2_archiving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_archiving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_pipeline.dir/archive_pipeline.cpp.o"
+  "CMakeFiles/archive_pipeline.dir/archive_pipeline.cpp.o.d"
+  "archive_pipeline"
+  "archive_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_client.dir/multi_client.cpp.o"
+  "CMakeFiles/multi_client.dir/multi_client.cpp.o.d"
+  "multi_client"
+  "multi_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

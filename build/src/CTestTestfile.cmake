@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("objstore")
+subdirs("rpc")
+subdirs("meta")
+subdirs("lease")
+subdirs("prt")
+subdirs("journal")
+subdirs("cache")
+subdirs("core")
+subdirs("baselines")
+subdirs("workloads")
+subdirs("des")

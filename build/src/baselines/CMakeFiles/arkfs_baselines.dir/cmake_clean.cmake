@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_baselines.dir/cephfs_like.cc.o"
+  "CMakeFiles/arkfs_baselines.dir/cephfs_like.cc.o.d"
+  "CMakeFiles/arkfs_baselines.dir/marfs_like.cc.o"
+  "CMakeFiles/arkfs_baselines.dir/marfs_like.cc.o.d"
+  "CMakeFiles/arkfs_baselines.dir/mds.cc.o"
+  "CMakeFiles/arkfs_baselines.dir/mds.cc.o.d"
+  "CMakeFiles/arkfs_baselines.dir/s3fs_like.cc.o"
+  "CMakeFiles/arkfs_baselines.dir/s3fs_like.cc.o.d"
+  "libarkfs_baselines.a"
+  "libarkfs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/object_cache.cc" "src/cache/CMakeFiles/arkfs_cache.dir/object_cache.cc.o" "gcc" "src/cache/CMakeFiles/arkfs_cache.dir/object_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arkfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/prt/CMakeFiles/arkfs_prt.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/arkfs_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/objstore/CMakeFiles/arkfs_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arkfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

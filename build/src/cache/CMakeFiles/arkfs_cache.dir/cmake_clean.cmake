@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_cache.dir/object_cache.cc.o"
+  "CMakeFiles/arkfs_cache.dir/object_cache.cc.o.d"
+  "libarkfs_cache.a"
+  "libarkfs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarkfs_cache.a"
+)

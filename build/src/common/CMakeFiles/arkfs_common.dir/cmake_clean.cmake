@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_common.dir/clock.cc.o"
+  "CMakeFiles/arkfs_common.dir/clock.cc.o.d"
+  "CMakeFiles/arkfs_common.dir/codec.cc.o"
+  "CMakeFiles/arkfs_common.dir/codec.cc.o.d"
+  "CMakeFiles/arkfs_common.dir/log.cc.o"
+  "CMakeFiles/arkfs_common.dir/log.cc.o.d"
+  "CMakeFiles/arkfs_common.dir/stats.cc.o"
+  "CMakeFiles/arkfs_common.dir/stats.cc.o.d"
+  "CMakeFiles/arkfs_common.dir/status.cc.o"
+  "CMakeFiles/arkfs_common.dir/status.cc.o.d"
+  "CMakeFiles/arkfs_common.dir/thread_pool.cc.o"
+  "CMakeFiles/arkfs_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/arkfs_common.dir/uuid.cc.o"
+  "CMakeFiles/arkfs_common.dir/uuid.cc.o.d"
+  "libarkfs_common.a"
+  "libarkfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

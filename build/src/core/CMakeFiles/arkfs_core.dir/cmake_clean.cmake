@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_core.dir/client.cc.o"
+  "CMakeFiles/arkfs_core.dir/client.cc.o.d"
+  "CMakeFiles/arkfs_core.dir/client_ops.cc.o"
+  "CMakeFiles/arkfs_core.dir/client_ops.cc.o.d"
+  "CMakeFiles/arkfs_core.dir/cluster.cc.o"
+  "CMakeFiles/arkfs_core.dir/cluster.cc.o.d"
+  "CMakeFiles/arkfs_core.dir/fuse_sim.cc.o"
+  "CMakeFiles/arkfs_core.dir/fuse_sim.cc.o.d"
+  "CMakeFiles/arkfs_core.dir/vfs.cc.o"
+  "CMakeFiles/arkfs_core.dir/vfs.cc.o.d"
+  "CMakeFiles/arkfs_core.dir/wire.cc.o"
+  "CMakeFiles/arkfs_core.dir/wire.cc.o.d"
+  "libarkfs_core.a"
+  "libarkfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_des.dir/scalability.cc.o"
+  "CMakeFiles/arkfs_des.dir/scalability.cc.o.d"
+  "CMakeFiles/arkfs_des.dir/sim.cc.o"
+  "CMakeFiles/arkfs_des.dir/sim.cc.o.d"
+  "libarkfs_des.a"
+  "libarkfs_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

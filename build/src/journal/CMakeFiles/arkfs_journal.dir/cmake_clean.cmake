@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_journal.dir/journal.cc.o"
+  "CMakeFiles/arkfs_journal.dir/journal.cc.o.d"
+  "CMakeFiles/arkfs_journal.dir/record.cc.o"
+  "CMakeFiles/arkfs_journal.dir/record.cc.o.d"
+  "libarkfs_journal.a"
+  "libarkfs_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lease/lease_client.cc" "src/lease/CMakeFiles/arkfs_lease.dir/lease_client.cc.o" "gcc" "src/lease/CMakeFiles/arkfs_lease.dir/lease_client.cc.o.d"
+  "/root/repo/src/lease/lease_manager.cc" "src/lease/CMakeFiles/arkfs_lease.dir/lease_manager.cc.o" "gcc" "src/lease/CMakeFiles/arkfs_lease.dir/lease_manager.cc.o.d"
+  "/root/repo/src/lease/wire.cc" "src/lease/CMakeFiles/arkfs_lease.dir/wire.cc.o" "gcc" "src/lease/CMakeFiles/arkfs_lease.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arkfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/arkfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/arkfs_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arkfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_lease.dir/lease_client.cc.o"
+  "CMakeFiles/arkfs_lease.dir/lease_client.cc.o.d"
+  "CMakeFiles/arkfs_lease.dir/lease_manager.cc.o"
+  "CMakeFiles/arkfs_lease.dir/lease_manager.cc.o.d"
+  "CMakeFiles/arkfs_lease.dir/wire.cc.o"
+  "CMakeFiles/arkfs_lease.dir/wire.cc.o.d"
+  "libarkfs_lease.a"
+  "libarkfs_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/acl.cc" "src/meta/CMakeFiles/arkfs_meta.dir/acl.cc.o" "gcc" "src/meta/CMakeFiles/arkfs_meta.dir/acl.cc.o.d"
+  "/root/repo/src/meta/dentry.cc" "src/meta/CMakeFiles/arkfs_meta.dir/dentry.cc.o" "gcc" "src/meta/CMakeFiles/arkfs_meta.dir/dentry.cc.o.d"
+  "/root/repo/src/meta/inode.cc" "src/meta/CMakeFiles/arkfs_meta.dir/inode.cc.o" "gcc" "src/meta/CMakeFiles/arkfs_meta.dir/inode.cc.o.d"
+  "/root/repo/src/meta/metatable.cc" "src/meta/CMakeFiles/arkfs_meta.dir/metatable.cc.o" "gcc" "src/meta/CMakeFiles/arkfs_meta.dir/metatable.cc.o.d"
+  "/root/repo/src/meta/path.cc" "src/meta/CMakeFiles/arkfs_meta.dir/path.cc.o" "gcc" "src/meta/CMakeFiles/arkfs_meta.dir/path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arkfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_meta.dir/acl.cc.o"
+  "CMakeFiles/arkfs_meta.dir/acl.cc.o.d"
+  "CMakeFiles/arkfs_meta.dir/dentry.cc.o"
+  "CMakeFiles/arkfs_meta.dir/dentry.cc.o.d"
+  "CMakeFiles/arkfs_meta.dir/inode.cc.o"
+  "CMakeFiles/arkfs_meta.dir/inode.cc.o.d"
+  "CMakeFiles/arkfs_meta.dir/metatable.cc.o"
+  "CMakeFiles/arkfs_meta.dir/metatable.cc.o.d"
+  "CMakeFiles/arkfs_meta.dir/path.cc.o"
+  "CMakeFiles/arkfs_meta.dir/path.cc.o.d"
+  "libarkfs_meta.a"
+  "libarkfs_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objstore/cluster_store.cc" "src/objstore/CMakeFiles/arkfs_objstore.dir/cluster_store.cc.o" "gcc" "src/objstore/CMakeFiles/arkfs_objstore.dir/cluster_store.cc.o.d"
+  "/root/repo/src/objstore/disk_store.cc" "src/objstore/CMakeFiles/arkfs_objstore.dir/disk_store.cc.o" "gcc" "src/objstore/CMakeFiles/arkfs_objstore.dir/disk_store.cc.o.d"
+  "/root/repo/src/objstore/memory_store.cc" "src/objstore/CMakeFiles/arkfs_objstore.dir/memory_store.cc.o" "gcc" "src/objstore/CMakeFiles/arkfs_objstore.dir/memory_store.cc.o.d"
+  "/root/repo/src/objstore/object_store.cc" "src/objstore/CMakeFiles/arkfs_objstore.dir/object_store.cc.o" "gcc" "src/objstore/CMakeFiles/arkfs_objstore.dir/object_store.cc.o.d"
+  "/root/repo/src/objstore/registry.cc" "src/objstore/CMakeFiles/arkfs_objstore.dir/registry.cc.o" "gcc" "src/objstore/CMakeFiles/arkfs_objstore.dir/registry.cc.o.d"
+  "/root/repo/src/objstore/wrappers.cc" "src/objstore/CMakeFiles/arkfs_objstore.dir/wrappers.cc.o" "gcc" "src/objstore/CMakeFiles/arkfs_objstore.dir/wrappers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arkfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arkfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

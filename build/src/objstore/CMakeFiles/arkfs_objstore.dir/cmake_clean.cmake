@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_objstore.dir/cluster_store.cc.o"
+  "CMakeFiles/arkfs_objstore.dir/cluster_store.cc.o.d"
+  "CMakeFiles/arkfs_objstore.dir/disk_store.cc.o"
+  "CMakeFiles/arkfs_objstore.dir/disk_store.cc.o.d"
+  "CMakeFiles/arkfs_objstore.dir/memory_store.cc.o"
+  "CMakeFiles/arkfs_objstore.dir/memory_store.cc.o.d"
+  "CMakeFiles/arkfs_objstore.dir/object_store.cc.o"
+  "CMakeFiles/arkfs_objstore.dir/object_store.cc.o.d"
+  "CMakeFiles/arkfs_objstore.dir/registry.cc.o"
+  "CMakeFiles/arkfs_objstore.dir/registry.cc.o.d"
+  "CMakeFiles/arkfs_objstore.dir/wrappers.cc.o"
+  "CMakeFiles/arkfs_objstore.dir/wrappers.cc.o.d"
+  "libarkfs_objstore.a"
+  "libarkfs_objstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_objstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_prt.dir/key_schema.cc.o"
+  "CMakeFiles/arkfs_prt.dir/key_schema.cc.o.d"
+  "CMakeFiles/arkfs_prt.dir/translator.cc.o"
+  "CMakeFiles/arkfs_prt.dir/translator.cc.o.d"
+  "libarkfs_prt.a"
+  "libarkfs_prt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_prt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

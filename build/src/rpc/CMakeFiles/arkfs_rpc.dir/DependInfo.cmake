@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/fabric.cc" "src/rpc/CMakeFiles/arkfs_rpc.dir/fabric.cc.o" "gcc" "src/rpc/CMakeFiles/arkfs_rpc.dir/fabric.cc.o.d"
+  "/root/repo/src/rpc/tcp.cc" "src/rpc/CMakeFiles/arkfs_rpc.dir/tcp.cc.o" "gcc" "src/rpc/CMakeFiles/arkfs_rpc.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arkfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arkfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_rpc.dir/fabric.cc.o"
+  "CMakeFiles/arkfs_rpc.dir/fabric.cc.o.d"
+  "CMakeFiles/arkfs_rpc.dir/tcp.cc.o"
+  "CMakeFiles/arkfs_rpc.dir/tcp.cc.o.d"
+  "libarkfs_rpc.a"
+  "libarkfs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

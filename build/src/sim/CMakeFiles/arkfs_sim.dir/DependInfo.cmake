@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/disk.cc" "src/sim/CMakeFiles/arkfs_sim.dir/disk.cc.o" "gcc" "src/sim/CMakeFiles/arkfs_sim.dir/disk.cc.o.d"
+  "/root/repo/src/sim/models.cc" "src/sim/CMakeFiles/arkfs_sim.dir/models.cc.o" "gcc" "src/sim/CMakeFiles/arkfs_sim.dir/models.cc.o.d"
+  "/root/repo/src/sim/shared_link.cc" "src/sim/CMakeFiles/arkfs_sim.dir/shared_link.cc.o" "gcc" "src/sim/CMakeFiles/arkfs_sim.dir/shared_link.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arkfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

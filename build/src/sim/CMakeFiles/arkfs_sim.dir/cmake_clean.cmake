@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_sim.dir/disk.cc.o"
+  "CMakeFiles/arkfs_sim.dir/disk.cc.o.d"
+  "CMakeFiles/arkfs_sim.dir/models.cc.o"
+  "CMakeFiles/arkfs_sim.dir/models.cc.o.d"
+  "CMakeFiles/arkfs_sim.dir/shared_link.cc.o"
+  "CMakeFiles/arkfs_sim.dir/shared_link.cc.o.d"
+  "libarkfs_sim.a"
+  "libarkfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_workloads.dir/dataset.cc.o"
+  "CMakeFiles/arkfs_workloads.dir/dataset.cc.o.d"
+  "CMakeFiles/arkfs_workloads.dir/fio_like.cc.o"
+  "CMakeFiles/arkfs_workloads.dir/fio_like.cc.o.d"
+  "CMakeFiles/arkfs_workloads.dir/mdtest.cc.o"
+  "CMakeFiles/arkfs_workloads.dir/mdtest.cc.o.d"
+  "CMakeFiles/arkfs_workloads.dir/minitar.cc.o"
+  "CMakeFiles/arkfs_workloads.dir/minitar.cc.o.d"
+  "libarkfs_workloads.a"
+  "libarkfs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

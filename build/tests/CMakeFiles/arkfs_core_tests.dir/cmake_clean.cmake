@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_core_tests.dir/client_multi_test.cc.o"
+  "CMakeFiles/arkfs_core_tests.dir/client_multi_test.cc.o.d"
+  "CMakeFiles/arkfs_core_tests.dir/client_test.cc.o"
+  "CMakeFiles/arkfs_core_tests.dir/client_test.cc.o.d"
+  "CMakeFiles/arkfs_core_tests.dir/crash_test.cc.o"
+  "CMakeFiles/arkfs_core_tests.dir/crash_test.cc.o.d"
+  "CMakeFiles/arkfs_core_tests.dir/fuse_sim_test.cc.o"
+  "CMakeFiles/arkfs_core_tests.dir/fuse_sim_test.cc.o.d"
+  "CMakeFiles/arkfs_core_tests.dir/robustness_test.cc.o"
+  "CMakeFiles/arkfs_core_tests.dir/robustness_test.cc.o.d"
+  "arkfs_core_tests"
+  "arkfs_core_tests.pdb"
+  "arkfs_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_mid_tests.dir/cache_test.cc.o"
+  "CMakeFiles/arkfs_mid_tests.dir/cache_test.cc.o.d"
+  "CMakeFiles/arkfs_mid_tests.dir/journal_test.cc.o"
+  "CMakeFiles/arkfs_mid_tests.dir/journal_test.cc.o.d"
+  "CMakeFiles/arkfs_mid_tests.dir/lease_test.cc.o"
+  "CMakeFiles/arkfs_mid_tests.dir/lease_test.cc.o.d"
+  "CMakeFiles/arkfs_mid_tests.dir/rpc_test.cc.o"
+  "CMakeFiles/arkfs_mid_tests.dir/rpc_test.cc.o.d"
+  "CMakeFiles/arkfs_mid_tests.dir/sim_test.cc.o"
+  "CMakeFiles/arkfs_mid_tests.dir/sim_test.cc.o.d"
+  "CMakeFiles/arkfs_mid_tests.dir/tcp_test.cc.o"
+  "CMakeFiles/arkfs_mid_tests.dir/tcp_test.cc.o.d"
+  "arkfs_mid_tests"
+  "arkfs_mid_tests.pdb"
+  "arkfs_mid_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_mid_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

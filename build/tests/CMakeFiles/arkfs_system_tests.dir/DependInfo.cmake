@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/arkfs_system_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_system_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/des_test.cc" "tests/CMakeFiles/arkfs_system_tests.dir/des_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_system_tests.dir/des_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/arkfs_system_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_system_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/arkfs_system_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_system_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/arkfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/arkfs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/arkfs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/arkfs_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/lease/CMakeFiles/arkfs_lease.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/arkfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/journal/CMakeFiles/arkfs_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/arkfs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/prt/CMakeFiles/arkfs_prt.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/arkfs_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/objstore/CMakeFiles/arkfs_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arkfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/arkfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

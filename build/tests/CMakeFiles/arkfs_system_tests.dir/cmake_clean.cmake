@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_system_tests.dir/baselines_test.cc.o"
+  "CMakeFiles/arkfs_system_tests.dir/baselines_test.cc.o.d"
+  "CMakeFiles/arkfs_system_tests.dir/des_test.cc.o"
+  "CMakeFiles/arkfs_system_tests.dir/des_test.cc.o.d"
+  "CMakeFiles/arkfs_system_tests.dir/property_test.cc.o"
+  "CMakeFiles/arkfs_system_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/arkfs_system_tests.dir/workloads_test.cc.o"
+  "CMakeFiles/arkfs_system_tests.dir/workloads_test.cc.o.d"
+  "arkfs_system_tests"
+  "arkfs_system_tests.pdb"
+  "arkfs_system_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_system_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

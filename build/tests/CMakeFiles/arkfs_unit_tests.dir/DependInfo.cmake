@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/arkfs_unit_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_unit_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/meta_test.cc" "tests/CMakeFiles/arkfs_unit_tests.dir/meta_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_unit_tests.dir/meta_test.cc.o.d"
+  "/root/repo/tests/objstore_test.cc" "tests/CMakeFiles/arkfs_unit_tests.dir/objstore_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_unit_tests.dir/objstore_test.cc.o.d"
+  "/root/repo/tests/prt_test.cc" "tests/CMakeFiles/arkfs_unit_tests.dir/prt_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_unit_tests.dir/prt_test.cc.o.d"
+  "/root/repo/tests/radix_tree_test.cc" "tests/CMakeFiles/arkfs_unit_tests.dir/radix_tree_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_unit_tests.dir/radix_tree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arkfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/arkfs_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/objstore/CMakeFiles/arkfs_objstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/prt/CMakeFiles/arkfs_prt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/arkfs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arkfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

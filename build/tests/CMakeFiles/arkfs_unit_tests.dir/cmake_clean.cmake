@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_unit_tests.dir/common_test.cc.o"
+  "CMakeFiles/arkfs_unit_tests.dir/common_test.cc.o.d"
+  "CMakeFiles/arkfs_unit_tests.dir/meta_test.cc.o"
+  "CMakeFiles/arkfs_unit_tests.dir/meta_test.cc.o.d"
+  "CMakeFiles/arkfs_unit_tests.dir/objstore_test.cc.o"
+  "CMakeFiles/arkfs_unit_tests.dir/objstore_test.cc.o.d"
+  "CMakeFiles/arkfs_unit_tests.dir/prt_test.cc.o"
+  "CMakeFiles/arkfs_unit_tests.dir/prt_test.cc.o.d"
+  "CMakeFiles/arkfs_unit_tests.dir/radix_tree_test.cc.o"
+  "CMakeFiles/arkfs_unit_tests.dir/radix_tree_test.cc.o.d"
+  "arkfs_unit_tests"
+  "arkfs_unit_tests.pdb"
+  "arkfs_unit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_cli.dir/arkfs_cli.cpp.o"
+  "CMakeFiles/arkfs_cli.dir/arkfs_cli.cpp.o.d"
+  "arkfs_cli"
+  "arkfs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arkfs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
