@@ -183,14 +183,14 @@ bench/CMakeFiles/micro_ops.dir/micro_ops.cc.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/cache/radix_tree.h /usr/include/c++/12/array \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /root/repo/src/cache/object_cache.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/ext/atomicity.h \
@@ -208,28 +208,8 @@ bench/CMakeFiles/micro_ops.dir/micro_ops.cc.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/concurrence.h \
- /usr/include/c++/12/bits/shared_ptr_atomic.h \
- /usr/include/c++/12/backward/auto_ptr.h \
- /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/common/codec.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/common/bytes.h /usr/include/c++/12/span \
- /root/repo/src/common/status.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/uuid.h \
- /root/repo/src/core/cluster.h /root/repo/src/core/client.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/shared_mutex \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/cache/object_cache.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -237,6 +217,20 @@ bench/CMakeFiles/micro_ops.dir/micro_ops.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/cache/radix_tree.h /usr/include/c++/12/array \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/common/bytes.h /usr/include/c++/12/span \
  /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
@@ -244,14 +238,23 @@ bench/CMakeFiles/micro_ops.dir/micro_ops.cc.o: \
  /usr/include/c++/12/thread /root/repo/src/common/mpmc_queue.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
- /root/repo/src/prt/translator.h /root/repo/src/meta/dentry.h \
+ /root/repo/src/common/uuid.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/variant /root/repo/src/prt/translator.h \
+ /root/repo/src/meta/dentry.h /root/repo/src/common/codec.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/meta/inode.h /root/repo/src/meta/acl.h \
+ /root/repo/src/objstore/async_io.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/objstore/object_store.h /root/repo/src/prt/key_schema.h \
- /root/repo/src/core/vfs.h /root/repo/src/core/wire.h \
- /root/repo/src/journal/journal.h /root/repo/src/journal/record.h \
- /root/repo/src/lease/lease_client.h /root/repo/src/lease/wire.h \
- /root/repo/src/rpc/fabric.h /root/repo/src/sim/models.h \
- /root/repo/src/sim/shared_link.h /root/repo/src/meta/metatable.h \
- /root/repo/src/meta/path.h /root/repo/src/core/fuse_sim.h \
- /root/repo/src/lease/lease_manager.h \
- /root/repo/src/objstore/memory_store.h
+ /root/repo/src/core/cluster.h /root/repo/src/core/client.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/vfs.h \
+ /root/repo/src/core/wire.h /root/repo/src/journal/journal.h \
+ /root/repo/src/journal/record.h /root/repo/src/lease/lease_client.h \
+ /root/repo/src/lease/wire.h /root/repo/src/rpc/fabric.h \
+ /root/repo/src/sim/models.h /root/repo/src/sim/shared_link.h \
+ /root/repo/src/meta/metatable.h /root/repo/src/meta/path.h \
+ /root/repo/src/core/fuse_sim.h /root/repo/src/lease/lease_manager.h \
+ /root/repo/src/objstore/cluster_store.h \
+ /root/repo/src/objstore/memory_store.h \
+ /root/repo/src/objstore/wrappers.h /root/repo/src/common/stats.h

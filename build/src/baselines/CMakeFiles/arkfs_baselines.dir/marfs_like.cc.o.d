@@ -243,5 +243,7 @@ src/baselines/CMakeFiles/arkfs_baselines.dir/marfs_like.cc.o: \
  /usr/include/c++/12/thread /root/repo/src/common/mpmc_queue.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/prt/translator.h \
+ /root/repo/src/objstore/async_io.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/objstore/object_store.h /root/repo/src/prt/key_schema.h \
  /root/repo/src/core/fuse_sim.h

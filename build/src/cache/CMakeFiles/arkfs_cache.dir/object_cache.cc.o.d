@@ -234,6 +234,8 @@ src/cache/CMakeFiles/arkfs_cache.dir/object_cache.cc.o: \
  /root/repo/src/meta/dentry.h /root/repo/src/common/codec.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/meta/inode.h /root/repo/src/meta/acl.h \
+ /root/repo/src/objstore/async_io.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/objstore/object_store.h /root/repo/src/prt/key_schema.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -242,6 +242,8 @@ src/core/CMakeFiles/arkfs_core.dir/client.cc.o: \
  /root/repo/src/meta/dentry.h /root/repo/src/common/codec.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/meta/inode.h /root/repo/src/meta/acl.h \
+ /root/repo/src/objstore/async_io.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/objstore/object_store.h /root/repo/src/prt/key_schema.h \
  /root/repo/src/core/vfs.h /root/repo/src/core/wire.h \
  /root/repo/src/journal/journal.h /root/repo/src/journal/record.h \

@@ -234,9 +234,13 @@ src/journal/CMakeFiles/arkfs_journal.dir/journal.cc.o: \
  /usr/include/c++/12/variant /root/repo/src/common/uuid.h \
  /root/repo/src/meta/dentry.h /root/repo/src/meta/inode.h \
  /root/repo/src/meta/acl.h /root/repo/src/prt/translator.h \
+ /root/repo/src/objstore/async_io.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/objstore/object_store.h /root/repo/src/prt/key_schema.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/log.h
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/common/log.h

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objstore/async_io.cc" "src/objstore/CMakeFiles/arkfs_objstore.dir/async_io.cc.o" "gcc" "src/objstore/CMakeFiles/arkfs_objstore.dir/async_io.cc.o.d"
   "/root/repo/src/objstore/cluster_store.cc" "src/objstore/CMakeFiles/arkfs_objstore.dir/cluster_store.cc.o" "gcc" "src/objstore/CMakeFiles/arkfs_objstore.dir/cluster_store.cc.o.d"
   "/root/repo/src/objstore/disk_store.cc" "src/objstore/CMakeFiles/arkfs_objstore.dir/disk_store.cc.o" "gcc" "src/objstore/CMakeFiles/arkfs_objstore.dir/disk_store.cc.o.d"
   "/root/repo/src/objstore/memory_store.cc" "src/objstore/CMakeFiles/arkfs_objstore.dir/memory_store.cc.o" "gcc" "src/objstore/CMakeFiles/arkfs_objstore.dir/memory_store.cc.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_objstore.dir/async_io.cc.o"
+  "CMakeFiles/arkfs_objstore.dir/async_io.cc.o.d"
   "CMakeFiles/arkfs_objstore.dir/cluster_store.cc.o"
   "CMakeFiles/arkfs_objstore.dir/cluster_store.cc.o.d"
   "CMakeFiles/arkfs_objstore.dir/disk_store.cc.o"

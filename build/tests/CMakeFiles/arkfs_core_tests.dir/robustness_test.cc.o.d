@@ -317,6 +317,8 @@ tests/CMakeFiles/arkfs_core_tests.dir/robustness_test.cc.o: \
  /root/repo/src/prt/translator.h /root/repo/src/meta/dentry.h \
  /root/repo/src/common/codec.h /usr/include/c++/12/cstring \
  /root/repo/src/meta/inode.h /root/repo/src/meta/acl.h \
+ /root/repo/src/objstore/async_io.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/objstore/object_store.h /root/repo/src/prt/key_schema.h \
  /root/repo/src/core/vfs.h /root/repo/src/core/wire.h \
  /root/repo/src/journal/journal.h /root/repo/src/journal/record.h \
@@ -326,4 +328,4 @@ tests/CMakeFiles/arkfs_core_tests.dir/robustness_test.cc.o: \
  /root/repo/src/meta/path.h /root/repo/src/core/fuse_sim.h \
  /root/repo/src/lease/lease_manager.h \
  /root/repo/src/objstore/memory_store.h \
- /root/repo/src/objstore/wrappers.h
+ /root/repo/src/objstore/wrappers.h /root/repo/src/common/stats.h

@@ -313,6 +313,8 @@ tests/CMakeFiles/arkfs_mid_tests.dir/cache_test.cc.o: \
  /root/repo/src/prt/translator.h /root/repo/src/meta/dentry.h \
  /root/repo/src/common/codec.h /usr/include/c++/12/cstring \
  /root/repo/src/meta/inode.h /root/repo/src/meta/acl.h \
+ /root/repo/src/objstore/async_io.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/objstore/object_store.h /root/repo/src/prt/key_schema.h \
  /root/repo/src/objstore/memory_store.h \
- /root/repo/src/objstore/wrappers.h
+ /root/repo/src/objstore/wrappers.h /root/repo/src/common/stats.h

@@ -312,5 +312,7 @@ tests/CMakeFiles/arkfs_mid_tests.dir/journal_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/common/uuid.h \
  /root/repo/src/meta/dentry.h /root/repo/src/meta/inode.h \
  /root/repo/src/meta/acl.h /root/repo/src/prt/translator.h \
+ /root/repo/src/objstore/async_io.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/objstore/object_store.h /root/repo/src/prt/key_schema.h \
  /root/repo/src/objstore/memory_store.h

@@ -315,9 +315,10 @@ tests/CMakeFiles/arkfs_system_tests.dir/baselines_test.cc.o: \
  /root/repo/src/common/thread_pool.h /usr/include/c++/12/thread \
  /root/repo/src/common/mpmc_queue.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/prt/translator.h /root/repo/src/objstore/object_store.h \
- /root/repo/src/prt/key_schema.h /root/repo/src/core/fuse_sim.h \
- /root/repo/src/baselines/marfs_like.h \
+ /root/repo/src/prt/translator.h /root/repo/src/objstore/async_io.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /root/repo/src/objstore/object_store.h /root/repo/src/prt/key_schema.h \
+ /root/repo/src/core/fuse_sim.h /root/repo/src/baselines/marfs_like.h \
  /root/repo/src/baselines/s3fs_like.h /root/repo/src/core/cluster.h \
  /root/repo/src/core/client.h /usr/include/c++/12/shared_mutex \
  /usr/include/c++/12/unordered_set \

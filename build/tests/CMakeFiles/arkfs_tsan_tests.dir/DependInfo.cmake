@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/object_cache.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/cache/object_cache.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/cache/object_cache.cc.o.d"
+  "/root/repo/src/common/clock.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/clock.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/clock.cc.o.d"
+  "/root/repo/src/common/codec.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/codec.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/codec.cc.o.d"
+  "/root/repo/src/common/log.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/log.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/stats.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/status.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/thread_pool.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/uuid.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/uuid.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/common/uuid.cc.o.d"
+  "/root/repo/src/journal/journal.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/journal/journal.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/journal/journal.cc.o.d"
+  "/root/repo/src/journal/record.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/journal/record.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/journal/record.cc.o.d"
+  "/root/repo/src/meta/acl.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/meta/acl.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/meta/acl.cc.o.d"
+  "/root/repo/src/meta/dentry.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/meta/dentry.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/meta/dentry.cc.o.d"
+  "/root/repo/src/meta/inode.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/meta/inode.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/meta/inode.cc.o.d"
+  "/root/repo/src/meta/metatable.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/meta/metatable.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/meta/metatable.cc.o.d"
+  "/root/repo/src/meta/path.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/meta/path.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/meta/path.cc.o.d"
+  "/root/repo/src/objstore/async_io.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/async_io.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/async_io.cc.o.d"
+  "/root/repo/src/objstore/cluster_store.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/cluster_store.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/cluster_store.cc.o.d"
+  "/root/repo/src/objstore/disk_store.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/disk_store.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/disk_store.cc.o.d"
+  "/root/repo/src/objstore/memory_store.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/memory_store.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/memory_store.cc.o.d"
+  "/root/repo/src/objstore/object_store.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/object_store.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/object_store.cc.o.d"
+  "/root/repo/src/objstore/registry.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/registry.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/registry.cc.o.d"
+  "/root/repo/src/objstore/wrappers.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/wrappers.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/objstore/wrappers.cc.o.d"
+  "/root/repo/src/prt/key_schema.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/prt/key_schema.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/prt/key_schema.cc.o.d"
+  "/root/repo/src/prt/translator.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/prt/translator.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/prt/translator.cc.o.d"
+  "/root/repo/src/sim/disk.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/sim/disk.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/sim/disk.cc.o.d"
+  "/root/repo/src/sim/models.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/sim/models.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/sim/models.cc.o.d"
+  "/root/repo/src/sim/shared_link.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/sim/shared_link.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/__/src/sim/shared_link.cc.o.d"
+  "/root/repo/tests/async_io_test.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/async_io_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/async_io_test.cc.o.d"
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/journal_test.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/journal_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/journal_test.cc.o.d"
+  "/root/repo/tests/objstore_test.cc" "tests/CMakeFiles/arkfs_tsan_tests.dir/objstore_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_tsan_tests.dir/objstore_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/async_io_test.cc" "tests/CMakeFiles/arkfs_unit_tests.dir/async_io_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_unit_tests.dir/async_io_test.cc.o.d"
   "/root/repo/tests/common_test.cc" "tests/CMakeFiles/arkfs_unit_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_unit_tests.dir/common_test.cc.o.d"
   "/root/repo/tests/meta_test.cc" "tests/CMakeFiles/arkfs_unit_tests.dir/meta_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_unit_tests.dir/meta_test.cc.o.d"
   "/root/repo/tests/objstore_test.cc" "tests/CMakeFiles/arkfs_unit_tests.dir/objstore_test.cc.o" "gcc" "tests/CMakeFiles/arkfs_unit_tests.dir/objstore_test.cc.o.d"

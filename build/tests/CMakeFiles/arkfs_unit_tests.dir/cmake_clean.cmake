@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/arkfs_unit_tests.dir/async_io_test.cc.o"
+  "CMakeFiles/arkfs_unit_tests.dir/async_io_test.cc.o.d"
   "CMakeFiles/arkfs_unit_tests.dir/common_test.cc.o"
   "CMakeFiles/arkfs_unit_tests.dir/common_test.cc.o.d"
   "CMakeFiles/arkfs_unit_tests.dir/meta_test.cc.o"

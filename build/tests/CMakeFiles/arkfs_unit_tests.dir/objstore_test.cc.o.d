@@ -305,4 +305,4 @@ tests/CMakeFiles/arkfs_unit_tests.dir/objstore_test.cc.o: \
  /root/repo/src/sim/models.h /root/repo/src/common/clock.h \
  /usr/include/c++/12/chrono /root/repo/src/sim/shared_link.h \
  /root/repo/src/objstore/disk_store.h /root/repo/src/objstore/registry.h \
- /root/repo/src/objstore/wrappers.h
+ /root/repo/src/objstore/wrappers.h /root/repo/src/common/stats.h

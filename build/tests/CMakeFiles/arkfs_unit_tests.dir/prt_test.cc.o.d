@@ -298,8 +298,21 @@ tests/CMakeFiles/arkfs_unit_tests.dir/prt_test.cc.o: \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/objstore/object_store.h /root/repo/src/common/bytes.h \
  /usr/include/c++/12/span /root/repo/src/common/status.h \
- /root/repo/src/objstore/wrappers.h /root/repo/src/prt/key_schema.h \
- /root/repo/src/common/uuid.h /root/repo/src/prt/translator.h \
- /root/repo/src/meta/dentry.h /root/repo/src/common/codec.h \
- /usr/include/c++/12/cstring /root/repo/src/meta/inode.h \
- /root/repo/src/meta/acl.h
+ /root/repo/src/objstore/wrappers.h /root/repo/src/common/stats.h \
+ /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
+ /root/repo/src/prt/key_schema.h /root/repo/src/common/uuid.h \
+ /root/repo/src/prt/translator.h /root/repo/src/meta/dentry.h \
+ /root/repo/src/common/codec.h /usr/include/c++/12/cstring \
+ /root/repo/src/meta/inode.h /root/repo/src/meta/acl.h \
+ /root/repo/src/objstore/async_io.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/thread /root/repo/src/common/mpmc_queue.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc

@@ -8,3 +8,4 @@ include("/root/repo/build/tests/arkfs_unit_tests[1]_include.cmake")
 include("/root/repo/build/tests/arkfs_mid_tests[1]_include.cmake")
 include("/root/repo/build/tests/arkfs_core_tests[1]_include.cmake")
 include("/root/repo/build/tests/arkfs_system_tests[1]_include.cmake")
+include("/root/repo/build/tests/arkfs_tsan_tests[1]_include.cmake")

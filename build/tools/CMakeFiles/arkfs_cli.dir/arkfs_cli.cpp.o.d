@@ -247,6 +247,8 @@ tools/CMakeFiles/arkfs_cli.dir/arkfs_cli.cpp.o: \
  /usr/include/c++/12/variant /root/repo/src/prt/translator.h \
  /root/repo/src/meta/dentry.h /root/repo/src/common/codec.h \
  /root/repo/src/meta/inode.h /root/repo/src/meta/acl.h \
+ /root/repo/src/objstore/async_io.h /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h \
  /root/repo/src/objstore/object_store.h /root/repo/src/prt/key_schema.h \
  /root/repo/src/core/vfs.h /root/repo/src/core/wire.h \
  /root/repo/src/journal/journal.h /root/repo/src/journal/record.h \

@@ -31,29 +31,14 @@ void ObjectCache::TouchLru(const EntryPtr& entry) {
   entry->lru_pos = lru_.begin();
 }
 
-Status ObjectCache::LoadEntry(std::unique_lock<std::mutex>& lock,
-                              const EntryPtr& entry, std::uint64_t file_size) {
-  const std::uint64_t offset = entry->index * config_.entry_size;
-  Bytes data;
-  Status st = Status::Ok();
-  if (offset < file_size) {
-    const std::uint64_t want =
-        std::min<std::uint64_t>(config_.entry_size, file_size - offset);
-    lock.unlock();  // store I/O happens without the cache lock
-    auto loaded = prt_->ReadData(entry->ino, offset, want, file_size);
-    lock.lock();
-    if (loaded.ok()) {
-      data = std::move(*loaded);
-    } else {
-      st = loaded.status();
-    }
-  }
-  if (st.ok() && !entry->dirty) {
+void ObjectCache::FinishLoadLocked(const EntryPtr& entry,
+                                   Result<Bytes> loaded) {
+  if (loaded.ok() && !entry->dirty) {
     // A concurrent write may have populated the entry while we were loading;
     // never clobber dirty bytes with stale store data.
-    entry->data = std::move(data);
+    entry->data = std::move(*loaded);
   }
-  if (!st.ok() && !entry->dirty) {
+  if (!loaded.ok() && !entry->dirty) {
     // Never leave a zombie empty entry behind: a later read would hit it
     // and see zeros instead of the store's data. Drop it so the next access
     // retries the load.
@@ -67,8 +52,47 @@ Status ObjectCache::LoadEntry(std::unique_lock<std::mutex>& lock,
     }
   }
   entry->loading = false;
+}
+
+Status ObjectCache::LoadEntry(std::unique_lock<std::mutex>& lock,
+                              const EntryPtr& entry, std::uint64_t file_size) {
+  const std::uint64_t offset = entry->index * config_.entry_size;
+  Result<Bytes> loaded{Bytes{}};
+  if (offset < file_size) {
+    const std::uint64_t want =
+        std::min<std::uint64_t>(config_.entry_size, file_size - offset);
+    lock.unlock();  // store I/O happens without the cache lock
+    loaded = prt_->ReadData(entry->ino, offset, want, file_size);
+    lock.lock();
+  }
+  const Status st = loaded.status();
+  FinishLoadLocked(entry, std::move(loaded));
   load_cv_.notify_all();
   return st;
+}
+
+void ObjectCache::LoadEntriesBatch(std::unique_lock<std::mutex>& lock,
+                                   const Uuid& ino,
+                                   std::vector<EntryPtr> entries,
+                                   std::uint64_t file_size) {
+  // One MultiGet for the whole read-ahead window instead of one blocking
+  // load per entry: the chunk GETs behind all entries overlap.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> segments;
+  segments.reserve(entries.size());
+  for (const auto& entry : entries) {
+    const std::uint64_t offset = entry->index * config_.entry_size;
+    segments.emplace_back(offset, config_.entry_size);
+  }
+  lock.unlock();
+  auto loaded = prt_->MultiReadData(ino, segments, file_size);
+  lock.lock();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!loaded[i].ok()) {
+      ARKFS_DLOG << "read-ahead load failed: " << loaded[i].status().ToString();
+    }
+    FinishLoadLocked(entries[i], std::move(loaded[i]));
+  }
+  load_cv_.notify_all();
 }
 
 Result<ObjectCache::EntryPtr> ObjectCache::GetEntryLocked(
@@ -225,6 +249,53 @@ Status ObjectCache::Write(const Uuid& ino, std::uint64_t file_size,
   return Status::Ok();
 }
 
+Status ObjectCache::FlushEntriesLocked(std::unique_lock<std::mutex>& lock,
+                                       const std::vector<EntryPtr>& dirty) {
+  if (dirty.empty()) return Status::Ok();
+  // Snapshot + mark clean under the lock (a writer landing during the
+  // writeback re-dirties and is picked up by the next flush), then write
+  // every entry back concurrently. Entries are pinned so eviction cannot
+  // race the unlocked writebacks.
+  struct Writeback {
+    EntryPtr entry;
+    std::uint64_t offset;
+    Bytes snapshot;
+    Status result;
+  };
+  std::vector<Writeback> work;
+  work.reserve(dirty.size());
+  for (const auto& entry : dirty) {
+    if (!entry->dirty) continue;  // another flusher beat us to it
+    entry->dirty = false;
+    ++entry->pins;
+    work.push_back({entry, entry->index * config_.entry_size, entry->data,
+                    Status::Ok()});
+  }
+  if (work.empty()) return Status::Ok();
+
+  lock.unlock();
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(work.size());
+  for (auto& wb : work) {
+    tasks.push_back([this, &wb] {
+      wb.result = prt_->WriteData(wb.entry->ino, wb.offset, wb.snapshot);
+      return wb.result;
+    });
+  }
+  Status first = prt_->async().RunAll(std::move(tasks));
+  lock.lock();
+
+  for (auto& wb : work) {
+    if (wb.result.ok()) {
+      ++stats_.writebacks;
+    } else {
+      wb.entry->dirty = true;  // retry on next flush
+    }
+    UnpinLocked(wb.entry);
+  }
+  return first;
+}
+
 Status ObjectCache::FlushFile(const Uuid& ino) {
   std::unique_lock lock(mu_);
   auto it = files_.find(ino);
@@ -235,10 +306,7 @@ Status ObjectCache::FlushFile(const Uuid& ino) {
   it->second.entries.ForEach([&](std::uint64_t, EntryPtr& e) {
     if (e->dirty) dirty.push_back(e);
   });
-  for (const auto& entry : dirty) {
-    ARKFS_RETURN_IF_ERROR(FlushEntryLocked(lock, entry));
-  }
-  return Status::Ok();
+  return FlushEntriesLocked(lock, dirty);
 }
 
 Status ObjectCache::DropFile(const Uuid& ino, bool flush_dirty) {
@@ -264,16 +332,17 @@ Status ObjectCache::DropFile(const Uuid& ino, bool flush_dirty) {
 }
 
 Status ObjectCache::FlushAll() {
-  std::vector<Uuid> inos;
-  {
-    std::lock_guard lock(mu_);
-    inos.reserve(files_.size());
-    for (const auto& [ino, _] : files_) inos.push_back(ino);
+  // Every dirty entry of every file flushes in one concurrent batch. A file
+  // whose writeback fails stays dirty but never blocks other files from
+  // flushing; the first error is reported after everything was attempted.
+  std::unique_lock lock(mu_);
+  std::vector<EntryPtr> dirty;
+  for (auto& [ino, fs] : files_) {
+    fs.entries.ForEach([&](std::uint64_t, EntryPtr& e) {
+      if (e->dirty) dirty.push_back(e);
+    });
   }
-  for (const auto& ino : inos) {
-    ARKFS_RETURN_IF_ERROR(FlushFile(ino));
-  }
-  return Status::Ok();
+  return FlushEntriesLocked(lock, dirty);
 }
 
 Status ObjectCache::DropAll() {
@@ -352,6 +421,7 @@ void ObjectCache::MaybeReadAhead(std::unique_lock<std::mutex>&,
 
   const std::uint64_t first = ra_begin / config_.entry_size;
   const std::uint64_t last = (ra_end - 1) / config_.entry_size;
+  std::vector<EntryPtr> window;
   for (std::uint64_t index = first; index <= last; ++index) {
     if (fs.entries.Find(index)) continue;
     auto entry = std::make_shared<Entry>();
@@ -362,14 +432,16 @@ void ObjectCache::MaybeReadAhead(std::unique_lock<std::mutex>&,
     entry->lru_pos = lru_.begin();
     fs.entries.Insert(index, entry);
     ++stats_.readahead_loads;
-    readahead_pool_->Submit([this, entry, file_size] {
-      std::unique_lock pool_lock(mu_);
-      Status st = LoadEntry(pool_lock, entry, file_size);
-      if (!st.ok()) {
-        ARKFS_DLOG << "read-ahead load failed: " << st.ToString();
-      }
-    });
+    window.push_back(std::move(entry));
   }
+  if (window.empty()) return;
+  // The whole window goes out as one batched submission: every chunk GET
+  // behind it overlaps instead of loading entry-by-entry.
+  readahead_pool_->Submit(
+      [this, ino, entries = std::move(window), file_size]() mutable {
+        std::unique_lock pool_lock(mu_);
+        LoadEntriesBatch(pool_lock, ino, std::move(entries), file_size);
+      });
 }
 
 CacheStats ObjectCache::stats() const {

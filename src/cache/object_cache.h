@@ -69,13 +69,17 @@ class ObjectCache {
   Status Write(const Uuid& ino, std::uint64_t file_size, std::uint64_t offset,
                ByteSpan data);
 
-  // Writes all dirty entries of the file to the store (fsync path).
+  // Writes all dirty entries of the file to the store (fsync path). All
+  // entries flush concurrently through the PRT's async I/O layer.
   Status FlushFile(const Uuid& ino);
 
   // Flush + forget all entries of the file (lease loss, cache-flush
   // broadcast from a leader, close with drop).
   Status DropFile(const Uuid& ino, bool flush_dirty);
 
+  // Flushes every dirty entry of every file concurrently. A failed entry
+  // stays dirty but never blocks the rest from flushing; returns the first
+  // error after attempting everything.
   Status FlushAll();
 
   // Flush everything dirty, then forget all entries (drop_caches).
@@ -125,8 +129,19 @@ class ObjectCache {
   static void UnpinLocked(const EntryPtr& entry) { --entry->pins; }
   Status LoadEntry(std::unique_lock<std::mutex>& lock, const EntryPtr& entry,
                    std::uint64_t file_size);
+  // Loads a read-ahead window's entries with one batched store submission.
+  void LoadEntriesBatch(std::unique_lock<std::mutex>& lock, const Uuid& ino,
+                        std::vector<EntryPtr> entries,
+                        std::uint64_t file_size);
+  // Applies a finished load to the entry (never clobbers dirty bytes; drops
+  // zombie entries on failure) and clears the loading flag.
+  void FinishLoadLocked(const EntryPtr& entry, Result<Bytes> loaded);
   Status FlushEntryLocked(std::unique_lock<std::mutex>& lock,
                           const EntryPtr& entry);
+  // Flushes the given dirty entries concurrently; attempts every entry, and
+  // returns the first error. Lock held on entry and exit.
+  Status FlushEntriesLocked(std::unique_lock<std::mutex>& lock,
+                            const std::vector<EntryPtr>& dirty);
   Status EvictIfNeededLocked(std::unique_lock<std::mutex>& lock);
   void TouchLru(const EntryPtr& entry);
   void MaybeReadAhead(std::unique_lock<std::mutex>& lock, const Uuid& ino,

@@ -63,11 +63,57 @@ Nanos LatencyHistogram::Percentile(double p) const {
 std::string LatencyHistogram::Summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "n=%llu mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus",
+                "n=%llu mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus "
+                "max=%.1fus",
                 static_cast<unsigned long long>(count()),
                 mean().count() / 1e3, Percentile(50).count() / 1e3,
-                Percentile(99).count() / 1e3, max().count() / 1e3);
+                Percentile(95).count() / 1e3, Percentile(99).count() / 1e3,
+                max().count() / 1e3);
   return buf;
+}
+
+OpLatencySet::OpLatencySet(std::vector<std::string> op_names)
+    : names_(std::move(op_names)) {
+  names_.emplace_back("other");
+  hists_ = std::vector<LatencyHistogram>(names_.size());
+}
+
+std::size_t OpLatencySet::IndexFor(std::string_view op) const {
+  for (std::size_t i = 0; i + 1 < names_.size(); ++i) {
+    if (names_[i] == op) return i;
+  }
+  return names_.size() - 1;
+}
+
+void OpLatencySet::Record(std::string_view op, Nanos latency) {
+  hists_[IndexFor(op)].Record(latency);
+}
+
+const LatencyHistogram& OpLatencySet::For(std::string_view op) const {
+  return hists_[IndexFor(op)];
+}
+
+std::string OpLatencySet::Table() const {
+  std::string out =
+      "  op              n       mean       p50       p95       p99       "
+      "max\n";
+  char buf[256];
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const LatencyHistogram& h = hists_[i];
+    if (h.count() == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "  %-10s %6llu %7.1fus %7.1fus %7.1fus %7.1fus %7.1fus\n",
+                  names_[i].c_str(), static_cast<unsigned long long>(h.count()),
+                  h.mean().count() / 1e3, h.Percentile(50).count() / 1e3,
+                  h.Percentile(95).count() / 1e3, h.Percentile(99).count() / 1e3,
+                  h.max().count() / 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+void OpLatencySet::Reset() {
+  for (auto& h : hists_) h.Reset();
 }
 
 void LatencyHistogram::Reset() {

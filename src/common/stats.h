@@ -2,8 +2,10 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.h"
@@ -37,6 +39,27 @@ class LatencyHistogram {
   std::atomic<std::int64_t> sum_{0};
   std::atomic<std::int64_t> min_{INT64_MAX};
   std::atomic<std::int64_t> max_{0};
+};
+
+// Named per-operation latency histograms (get/put/delete/...). Register
+// names up front, record from any thread, and render one p50/p95/p99 table.
+class OpLatencySet {
+ public:
+  explicit OpLatencySet(std::vector<std::string> op_names);
+
+  // Unknown names fall into a synthetic "other" histogram.
+  void Record(std::string_view op, Nanos latency);
+  const LatencyHistogram& For(std::string_view op) const;
+
+  // Fixed-width table: one row per op with samples, mean, p50/p95/p99, max.
+  std::string Table() const;
+  void Reset();
+
+ private:
+  std::size_t IndexFor(std::string_view op) const;
+
+  std::vector<std::string> names_;  // last entry is "other"
+  std::vector<LatencyHistogram> hists_;
 };
 
 // Aggregate ops + bytes counter with elapsed-time based rates.

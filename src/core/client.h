@@ -195,7 +195,10 @@ class Client : public Vfs {
   Result<DirRef> EnsureDirAccess(const Uuid& dir_ino);
   Status BecomeLeader(const DirHandlePtr& handle,
                       const lease::LeaseClient::Grant& grant);
-  Status BuildMetatable(DirHandle& handle);
+  // Builds the metatable; with `preloaded` (one LoadDirObjects batch) no
+  // extra store round trips are paid.
+  Status BuildMetatable(DirHandle& handle,
+                        Prt::DirObjects* preloaded = nullptr);
   Status RelinquishDir(const Uuid& dir_ino);  // flush + drop leadership
   // Validates/renews the lease for a local op; kAgain if leadership lost.
   Status ValidateLeaseLocked(DirHandle& handle);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
+#include <set>
 
 #include "common/log.h"
 
@@ -328,6 +330,17 @@ Status JournalManager::ApplyTransactions(
     return Status::Ok();
   };
 
+  // Fold every record in replay order into the FINAL per-key action, then
+  // execute the whole group as one batched put and one batched delete: a
+  // checkpoint of N transactions costs ~one overlapped store round trip
+  // instead of one blocking op per record. Replay is idempotent, so the
+  // all-attempt/first-error batch semantics are safe on partial failure.
+  std::map<Uuid, std::optional<Inode>> inode_ops;  // value = upsert, nullopt = remove
+  // Data chunks of removed files. Kept even if the ino is later re-upserted
+  // (the serial path deleted them at the remove record too).
+  std::map<Uuid, std::pair<std::uint64_t, std::uint64_t>> data_removes;
+  std::set<Uuid> dir_removes;  // dentry block + journal of removed child dirs
+
   for (const auto& txn : txns) {
     if (const Record* prep = txn.FindPrepare()) {
       bool commit = false;
@@ -347,21 +360,14 @@ Status JournalManager::ApplyTransactions(
     for (const auto& rec : txn.records) {
       switch (rec.type) {
         case RecordType::kInodeUpsert:
-          ARKFS_RETURN_IF_ERROR(prt.StoreInode(rec.inode));
+          inode_ops[rec.inode.ino] = rec.inode;
           break;
-        case RecordType::kInodeRemove: {
-          Status st = prt.DeleteInode(rec.target_ino);
-          if (!st.ok() && st.code() != Errc::kNoEnt) return st;
+        case RecordType::kInodeRemove:
+          inode_ops[rec.target_ino] = std::nullopt;
           if (rec.chunk_size > 0 && rec.file_size > 0) {
-            const std::uint64_t chunks =
-                (rec.file_size - 1) / rec.chunk_size + 1;
-            for (std::uint64_t c = 0; c < chunks; ++c) {
-              Status ds = prt.store().Delete(DataKey(rec.target_ino, c));
-              if (!ds.ok() && ds.code() != Errc::kNoEnt) return ds;
-            }
+            data_removes[rec.target_ino] = {rec.chunk_size, rec.file_size};
           }
           break;
-        }
         case RecordType::kDentryAdd:
           ARKFS_RETURN_IF_ERROR(load_dentries());
           dentries[rec.dentry.name] = rec.dentry;
@@ -372,13 +378,9 @@ Status JournalManager::ApplyTransactions(
           dentries.erase(rec.name);
           dentries_dirty = true;
           break;
-        case RecordType::kDirRemove: {
-          Status st = prt.DeleteDentryBlock(rec.target_ino);
-          if (!st.ok() && st.code() != Errc::kNoEnt) return st;
-          st = prt.DeleteJournal(rec.target_ino);
-          if (!st.ok() && st.code() != Errc::kNoEnt) return st;
+        case RecordType::kDirRemove:
+          dir_removes.insert(rec.target_ino);
           break;
-        }
         case RecordType::kPrepare:
         case RecordType::kDecision:
           break;  // control records
@@ -390,13 +392,52 @@ Status JournalManager::ApplyTransactions(
     }
   }
 
+  std::vector<Bytes> put_bufs;  // owns encodings until the MultiPut joins
+  std::vector<BatchPut> puts;
+  std::vector<std::string> deletes;
+  for (const auto& [ino, op] : inode_ops) {
+    if (op) {
+      put_bufs.push_back(op->Encode());
+      BatchPut p;
+      p.key = InodeKey(ino);
+      p.data = put_bufs.back();
+      puts.push_back(std::move(p));
+    } else {
+      deletes.push_back(InodeKey(ino));
+    }
+  }
   if (dentries_dirty) {
     std::vector<Dentry> block;
     block.reserve(dentries.size());
     for (auto& [_, d] : dentries) block.push_back(std::move(d));
-    ARKFS_RETURN_IF_ERROR(prt.StoreDentryBlock(dir_ino, block));
+    put_bufs.push_back(EncodeDentryBlock(block));
+    BatchPut p;
+    p.key = DentryKey(dir_ino);
+    p.data = put_bufs.back();
+    puts.push_back(std::move(p));
   }
-  return Status::Ok();
+  for (const auto& [ino, geom] : data_removes) {
+    const auto [rec_chunk_size, rec_file_size] = geom;
+    const std::uint64_t chunks = (rec_file_size - 1) / rec_chunk_size + 1;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      deletes.push_back(DataKey(ino, c));
+    }
+  }
+  for (const auto& ino : dir_removes) {
+    deletes.push_back(DentryKey(ino));
+    deletes.push_back(JournalKey(ino));
+  }
+
+  Status first = Status::Ok();
+  if (!puts.empty()) {
+    auto pr = prt.async().MultiPut(std::move(puts));
+    if (first.ok()) first = pr.status;
+  }
+  if (!deletes.empty()) {
+    auto dr = prt.async().MultiDelete(std::move(deletes));
+    if (first.ok()) first = dr.FirstErrorIgnoringNoEnt();
+  }
+  return first;
 }
 
 void JournalManager::CommitThreadMain(int index) {

@@ -1,0 +1,279 @@
+#include "objstore/async_io.h"
+
+#include <algorithm>
+
+namespace arkfs {
+
+namespace {
+
+Status FirstError(const std::vector<Status>& results, bool ignore_noent) {
+  for (const auto& st : results) {
+    if (st.ok()) continue;
+    if (ignore_noent && st.code() == Errc::kNoEnt) continue;
+    return st;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status MultiGetResult::FirstErrorIgnoringNoEnt() const {
+  for (const auto& r : results) {
+    if (r.ok() || r.code() == Errc::kNoEnt) continue;
+    return r.status();
+  }
+  return Status::Ok();
+}
+
+Status MultiOpResult::FirstErrorIgnoringNoEnt() const {
+  return FirstError(results, /*ignore_noent=*/true);
+}
+
+AsyncObjectIo::AsyncObjectIo(ObjectStorePtr store, AsyncIoConfig config)
+    : config_([&] {
+        AsyncIoConfig c = config;
+        c.workers = std::max(c.workers, 1);
+        c.max_in_flight = std::max<std::size_t>(c.max_in_flight, 1);
+        return c;
+      }()),
+      store_(std::move(store)) {
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+AsyncObjectIo::~AsyncObjectIo() {
+  queue_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void AsyncObjectIo::WorkerMain() {
+  while (auto op = queue_.Pop()) {
+    if ((*op)->claimed.exchange(true)) continue;  // batch owner got it first
+    Execute(*op);
+  }
+}
+
+void AsyncObjectIo::AcquireSlot() {
+  std::unique_lock lock(slot_mu_);
+  slot_cv_.wait(lock, [&] { return in_flight_ < config_.max_in_flight; });
+  ++in_flight_;
+  std::uint64_t peak = peak_in_flight_.load(std::memory_order_relaxed);
+  while (in_flight_ > peak &&
+         !peak_in_flight_.compare_exchange_weak(peak, in_flight_)) {
+  }
+}
+
+void AsyncObjectIo::ReleaseSlot() {
+  {
+    std::lock_guard lock(slot_mu_);
+    --in_flight_;
+  }
+  slot_cv_.notify_one();
+}
+
+void AsyncObjectIo::Execute(const OpPtr& op) {
+  if (op->gated) AcquireSlot();
+  const TimePoint t0 = Now();
+  op->body();
+  const Nanos busy = Now() - t0;
+  if (op->gated) ReleaseSlot();
+  if (op->batch) {
+    bool last = false;
+    {
+      std::lock_guard lock(op->batch->mu);
+      op->batch->busy += busy;
+      last = --op->batch->remaining == 0;
+    }
+    if (last) op->batch->cv.notify_all();
+  }
+}
+
+void AsyncObjectIo::Enqueue(const OpPtr& op) {
+  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.Push(op)) {
+    // Shutting down: run inline so no submission is ever dropped.
+    if (!op->claimed.exchange(true)) Execute(op);
+  }
+}
+
+void AsyncObjectIo::JoinBatch(const std::shared_ptr<Batch>& batch,
+                              std::vector<OpPtr>& ops, TimePoint start) {
+  // Help with our own unstarted work instead of blocking: this keeps batches
+  // deadlock-free under nesting and pool saturation.
+  for (auto& op : ops) {
+    if (!op->claimed.exchange(true)) {
+      helper_runs_.fetch_add(1, std::memory_order_relaxed);
+      Execute(op);
+    }
+  }
+  std::unique_lock lock(batch->mu);
+  batch->cv.wait(lock, [&] { return batch->remaining == 0; });
+  const Nanos wall = Now() - start;
+  if (batch->busy > wall) {
+    overlap_saved_nanos_.fetch_add(
+        static_cast<std::uint64_t>((batch->busy - wall).count()),
+        std::memory_order_relaxed);
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+template <typename R>
+std::future<R> AsyncObjectIo::SubmitSingle(bool gated, std::function<R()> fn) {
+  auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+  std::future<R> future = task->get_future();
+  auto op = std::make_shared<Op>();
+  op->gated = gated;
+  op->body = [task] { (*task)(); };
+  Enqueue(op);
+  return future;
+}
+
+std::future<Result<Bytes>> AsyncObjectIo::SubmitGet(std::string key) {
+  return SubmitSingle<Result<Bytes>>(
+      true, [this, key = std::move(key)] { return store_->Get(key); });
+}
+
+std::future<Result<Bytes>> AsyncObjectIo::SubmitGetRange(std::string key,
+                                                         std::uint64_t offset,
+                                                         std::uint64_t length) {
+  return SubmitSingle<Result<Bytes>>(
+      true, [this, key = std::move(key), offset, length] {
+        return store_->GetRange(key, offset, length);
+      });
+}
+
+std::future<Status> AsyncObjectIo::SubmitPut(std::string key, Bytes data) {
+  return SubmitSingle<Status>(
+      true, [this, key = std::move(key), data = std::move(data)] {
+        return store_->Put(key, data);
+      });
+}
+
+std::future<Status> AsyncObjectIo::SubmitPutRange(std::string key,
+                                                  std::uint64_t offset,
+                                                  Bytes data) {
+  return SubmitSingle<Status>(
+      true, [this, key = std::move(key), offset, data = std::move(data)] {
+        return store_->PutRange(key, offset, data);
+      });
+}
+
+std::future<Status> AsyncObjectIo::SubmitDelete(std::string key) {
+  return SubmitSingle<Status>(
+      true, [this, key = std::move(key)] { return store_->Delete(key); });
+}
+
+std::future<Status> AsyncObjectIo::SubmitTask(std::function<Status()> fn) {
+  return SubmitSingle<Status>(false, std::move(fn));
+}
+
+MultiGetResult AsyncObjectIo::MultiGet(std::vector<BatchGet> gets) {
+  MultiGetResult out;
+  const std::size_t n = gets.size();
+  out.results.assign(n, Result<Bytes>(ErrStatus(Errc::kIo, "not executed")));
+  if (n == 0) return out;
+  const TimePoint start = Now();
+  auto batch = std::make_shared<Batch>(n);
+  std::vector<OpPtr> ops(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchGet& g = gets[i];
+    Result<Bytes>* slot = &out.results[i];
+    ops[i] = std::make_shared<Op>();
+    ops[i]->batch = batch;
+    ops[i]->body = [this, &g, slot] {
+      *slot = g.ranged ? store_->GetRange(g.key, g.offset, g.length)
+                       : store_->Get(g.key);
+    };
+    Enqueue(ops[i]);
+  }
+  JoinBatch(batch, ops, start);
+  for (const auto& r : out.results) {
+    if (!r.ok()) {
+      out.status = r.status();
+      break;
+    }
+  }
+  return out;
+}
+
+MultiOpResult AsyncObjectIo::MultiPut(std::vector<BatchPut> puts) {
+  MultiOpResult out;
+  const std::size_t n = puts.size();
+  out.results.assign(n, Status::Ok());
+  if (n == 0) return out;
+  const TimePoint start = Now();
+  auto batch = std::make_shared<Batch>(n);
+  std::vector<OpPtr> ops(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchPut& p = puts[i];
+    Status* slot = &out.results[i];
+    ops[i] = std::make_shared<Op>();
+    ops[i]->batch = batch;
+    ops[i]->body = [this, &p, slot] {
+      *slot = p.ranged ? store_->PutRange(p.key, p.offset, p.data)
+                       : store_->Put(p.key, p.data);
+    };
+    Enqueue(ops[i]);
+  }
+  JoinBatch(batch, ops, start);
+  out.status = FirstError(out.results, /*ignore_noent=*/false);
+  return out;
+}
+
+MultiOpResult AsyncObjectIo::MultiDelete(std::vector<std::string> keys) {
+  MultiOpResult out;
+  const std::size_t n = keys.size();
+  out.results.assign(n, Status::Ok());
+  if (n == 0) return out;
+  const TimePoint start = Now();
+  auto batch = std::make_shared<Batch>(n);
+  std::vector<OpPtr> ops(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& key = keys[i];
+    Status* slot = &out.results[i];
+    ops[i] = std::make_shared<Op>();
+    ops[i]->batch = batch;
+    ops[i]->body = [this, &key, slot] { *slot = store_->Delete(key); };
+    Enqueue(ops[i]);
+  }
+  JoinBatch(batch, ops, start);
+  out.status = FirstError(out.results, /*ignore_noent=*/false);
+  return out;
+}
+
+Status AsyncObjectIo::RunAll(std::vector<std::function<Status()>> tasks) {
+  const std::size_t n = tasks.size();
+  if (n == 0) return Status::Ok();
+  std::vector<Status> results(n, Status::Ok());
+  const TimePoint start = Now();
+  auto batch = std::make_shared<Batch>(n);
+  std::vector<OpPtr> ops(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::function<Status()>* fn = &tasks[i];
+    Status* slot = &results[i];
+    ops[i] = std::make_shared<Op>();
+    ops[i]->batch = batch;
+    ops[i]->gated = false;  // compound: its primitives gate themselves
+    ops[i]->body = [fn, slot] { *slot = (*fn)(); };
+    Enqueue(ops[i]);
+  }
+  JoinBatch(batch, ops, start);
+  return FirstError(results, /*ignore_noent=*/false);
+}
+
+AsyncIoStats AsyncObjectIo::stats() const {
+  AsyncIoStats s;
+  s.ops_submitted = ops_submitted_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.helper_runs = helper_runs_.load(std::memory_order_relaxed);
+  s.peak_in_flight = peak_in_flight_.load(std::memory_order_relaxed);
+  s.overlap_saved_nanos =
+      overlap_saved_nanos_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace arkfs

@@ -98,4 +98,49 @@ Result<std::vector<std::string>> FaultInjectionStore::List(
   return base_->List(prefix);
 }
 
+namespace {
+// Times one store call and records it under `op`.
+template <typename Fn>
+auto Timed(OpLatencySet& set, std::string_view op, Fn&& fn) {
+  const TimePoint start = Now();
+  auto r = fn();
+  set.Record(op, std::chrono::duration_cast<Nanos>(Now() - start));
+  return r;
+}
+}  // namespace
+
+Result<Bytes> LatencyTrackingStore::Get(const std::string& key) {
+  return Timed(latencies_, "get", [&] { return base_->Get(key); });
+}
+
+Result<Bytes> LatencyTrackingStore::GetRange(const std::string& key,
+                                             std::uint64_t offset,
+                                             std::uint64_t length) {
+  return Timed(latencies_, "getrange",
+               [&] { return base_->GetRange(key, offset, length); });
+}
+
+Status LatencyTrackingStore::Put(const std::string& key, ByteSpan data) {
+  return Timed(latencies_, "put", [&] { return base_->Put(key, data); });
+}
+
+Status LatencyTrackingStore::PutRange(const std::string& key,
+                                      std::uint64_t offset, ByteSpan data) {
+  return Timed(latencies_, "putrange",
+               [&] { return base_->PutRange(key, offset, data); });
+}
+
+Status LatencyTrackingStore::Delete(const std::string& key) {
+  return Timed(latencies_, "delete", [&] { return base_->Delete(key); });
+}
+
+Result<ObjectMeta> LatencyTrackingStore::Head(const std::string& key) {
+  return Timed(latencies_, "head", [&] { return base_->Head(key); });
+}
+
+Result<std::vector<std::string>> LatencyTrackingStore::List(
+    const std::string& prefix) {
+  return Timed(latencies_, "list", [&] { return base_->List(prefix); });
+}
+
 }  // namespace arkfs

@@ -6,6 +6,7 @@
 #include <functional>
 #include <mutex>
 
+#include "common/stats.h"
 #include "objstore/object_store.h"
 
 namespace arkfs {
@@ -89,6 +90,42 @@ class FaultInjectionStore : public ObjectStore {
   }
   ObjectStorePtr base_;
   FaultFn fn_;
+};
+
+// Records a per-operation latency histogram (get/getrange/put/putrange/
+// delete) for everything flowing through the store. Benches wrap the
+// simulated cluster with this to report p50/p95/p99 per op.
+class LatencyTrackingStore : public ObjectStore {
+ public:
+  explicit LatencyTrackingStore(ObjectStorePtr base)
+      : base_(std::move(base)),
+        latencies_({"get", "getrange", "put", "putrange", "delete", "head",
+                    "list"}) {}
+
+  Result<Bytes> Get(const std::string& key) override;
+  Result<Bytes> GetRange(const std::string& key, std::uint64_t offset,
+                         std::uint64_t length) override;
+  Status Put(const std::string& key, ByteSpan data) override;
+  Status PutRange(const std::string& key, std::uint64_t offset,
+                  ByteSpan data) override;
+  Status Delete(const std::string& key) override;
+  Result<ObjectMeta> Head(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  bool supports_partial_write() const override {
+    return base_->supports_partial_write();
+  }
+  std::uint64_t max_object_size() const override {
+    return base_->max_object_size();
+  }
+  std::string name() const override { return "latency/" + base_->name(); }
+
+  const OpLatencySet& latencies() const { return latencies_; }
+  void Reset() { latencies_.Reset(); }
+
+ private:
+  ObjectStorePtr base_;
+  OpLatencySet latencies_;
 };
 
 }  // namespace arkfs

@@ -5,9 +5,11 @@
 
 namespace arkfs {
 
-Prt::Prt(ObjectStorePtr store, std::uint64_t chunk_size)
+Prt::Prt(ObjectStorePtr store, std::uint64_t chunk_size,
+         AsyncIoConfig async_config)
     : store_(std::move(store)),
-      chunk_size_(chunk_size == 0 ? store_->max_object_size() : chunk_size) {}
+      chunk_size_(chunk_size == 0 ? store_->max_object_size() : chunk_size),
+      async_(std::make_shared<AsyncObjectIo>(store_, async_config)) {}
 
 Result<Inode> Prt::LoadInode(const Uuid& ino) {
   ARKFS_ASSIGN_OR_RETURN(Bytes raw, store_->Get(InodeKey(ino)));
@@ -20,6 +22,31 @@ Status Prt::StoreInode(const Inode& inode) {
 
 Status Prt::DeleteInode(const Uuid& ino) {
   return store_->Delete(InodeKey(ino));
+}
+
+Prt::DirObjects Prt::LoadDirObjects(const Uuid& dir_ino) {
+  std::vector<BatchGet> gets(3);
+  gets[0].key = InodeKey(dir_ino);
+  gets[1].key = DentryKey(dir_ino);
+  gets[2].key = JournalKey(dir_ino);
+  auto mg = async_->MultiGet(std::move(gets));
+
+  DirObjects out;
+  if (mg.results[0].ok()) {
+    out.inode = Inode::Decode(*mg.results[0]);
+  } else {
+    out.inode = mg.results[0].status();
+  }
+  if (mg.results[1].ok()) {
+    out.dentries = DecodeDentryBlock(*mg.results[1]);
+  } else if (mg.results[1].code() == Errc::kNoEnt) {
+    // Never-checkpointed directory: empty, not an error (see LoadDentryBlock).
+    out.dentries = std::vector<Dentry>{};
+  } else {
+    out.dentries = mg.results[1].status();
+  }
+  out.journal = std::move(mg.results[2]);
+  return out;
 }
 
 Result<std::vector<Dentry>> Prt::LoadDentryBlock(const Uuid& dir_ino) {
@@ -63,28 +90,119 @@ Result<Bytes> Prt::ReadData(const Uuid& ino, std::uint64_t offset,
   if (offset >= file_size) return Bytes{};
   length = std::min(length, file_size - offset);
   Bytes out(length, 0);
+
+  // Plan the per-chunk pieces up front; a single-chunk read goes straight to
+  // the store, multi-chunk reads fan out as one batch so independent chunk
+  // GETs overlap their round trips.
+  struct Piece {
+    std::uint64_t done;  // destination offset in `out`
+    std::uint64_t n;
+  };
+  std::vector<Piece> pieces;
+  std::vector<BatchGet> gets;
   std::uint64_t done = 0;
   while (done < length) {
     const std::uint64_t pos = offset + done;
     const std::uint64_t chunk = pos / chunk_size_;
     const std::uint64_t in_chunk = pos % chunk_size_;
     const std::uint64_t n = std::min(length - done, chunk_size_ - in_chunk);
-    auto part = store_->GetRange(DataKey(ino, chunk), in_chunk, n);
+    BatchGet g;
+    g.key = DataKey(ino, chunk);
+    g.ranged = true;
+    g.offset = in_chunk;
+    g.length = n;
+    gets.push_back(std::move(g));
+    pieces.push_back({done, n});
+    done += n;
+  }
+
+  if (gets.size() == 1) {
+    auto part = store_->GetRange(gets[0].key, gets[0].offset, gets[0].length);
     if (!part.ok()) {
-      if (part.code() == Errc::kNoEnt) {
-        done += n;  // hole: stays zero
-        continue;
-      }
+      if (part.code() == Errc::kNoEnt) return out;  // hole: stays zero
       return part.status();
     }
-    std::memcpy(out.data() + done, part->data(), part->size());
+    std::memcpy(out.data() + pieces[0].done, part->data(), part->size());
+    return out;
+  }
+
+  auto mg = async_->MultiGet(std::move(gets));
+  for (std::size_t i = 0; i < mg.results.size(); ++i) {
+    auto& part = mg.results[i];
+    if (!part.ok()) {
+      if (part.code() == Errc::kNoEnt) continue;  // hole: stays zero
+      return part.status();
+    }
     // Short chunk (sparse tail within the chunk) also reads as zeros.
-    done += n;
+    std::memcpy(out.data() + pieces[i].done, part->data(), part->size());
+  }
+  return out;
+}
+
+std::vector<Result<Bytes>> Prt::MultiReadData(
+    const Uuid& ino,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& segments,
+    std::uint64_t file_size) {
+  // Flatten all segments' chunk pieces into one MultiGet, then reassemble.
+  struct Piece {
+    std::size_t segment;
+    std::uint64_t done;  // destination offset within the segment buffer
+  };
+  std::vector<Piece> pieces;
+  std::vector<BatchGet> gets;
+  std::vector<std::uint64_t> lengths(segments.size(), 0);
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const std::uint64_t offset = segments[s].first;
+    if (offset >= file_size) continue;  // empty segment
+    const std::uint64_t length =
+        std::min(segments[s].second, file_size - offset);
+    lengths[s] = length;
+    std::uint64_t done = 0;
+    while (done < length) {
+      const std::uint64_t pos = offset + done;
+      const std::uint64_t chunk = pos / chunk_size_;
+      const std::uint64_t in_chunk = pos % chunk_size_;
+      const std::uint64_t n = std::min(length - done, chunk_size_ - in_chunk);
+      BatchGet g;
+      g.key = DataKey(ino, chunk);
+      g.ranged = true;
+      g.offset = in_chunk;
+      g.length = n;
+      gets.push_back(std::move(g));
+      pieces.push_back({s, done});
+      done += n;
+    }
+  }
+
+  auto mg = async_->MultiGet(std::move(gets));
+
+  std::vector<Result<Bytes>> out(segments.size(), Result<Bytes>(Bytes{}));
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    out[s] = Bytes(lengths[s], 0);
+  }
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    auto& part = mg.results[i];
+    const Piece& piece = pieces[i];
+    if (!out[piece.segment].ok()) continue;  // already failed
+    if (!part.ok()) {
+      if (part.code() == Errc::kNoEnt) continue;  // hole: stays zero
+      out[piece.segment] = part.status();
+      continue;
+    }
+    std::memcpy(out[piece.segment]->data() + piece.done, part->data(),
+                part->size());
   }
   return out;
 }
 
 Status Prt::WriteData(const Uuid& ino, std::uint64_t offset, ByteSpan data) {
+  // Plan per-chunk slices.
+  struct Slice {
+    std::string key;
+    std::uint64_t in_chunk;
+    ByteSpan span;
+  };
+  std::vector<Slice> slices;
   std::uint64_t done = 0;
   while (done < data.size()) {
     const std::uint64_t pos = offset + done;
@@ -92,30 +210,61 @@ Status Prt::WriteData(const Uuid& ino, std::uint64_t offset, ByteSpan data) {
     const std::uint64_t in_chunk = pos % chunk_size_;
     const std::uint64_t n =
         std::min<std::uint64_t>(data.size() - done, chunk_size_ - in_chunk);
-    const std::string key = DataKey(ino, chunk);
-    ByteSpan slice = data.subspan(done, n);
-    if (store_->supports_partial_write()) {
-      ARKFS_RETURN_IF_ERROR(store_->PutRange(key, in_chunk, slice));
-    } else if (in_chunk == 0 && n == chunk_size_) {
-      // Full-chunk replacement needs no read-modify-write even on S3.
-      ARKFS_RETURN_IF_ERROR(store_->Put(key, slice));
-    } else {
-      // Whole-object-only backend: read, patch, rewrite the chunk. This is
-      // the write amplification S3-style stores impose on partial updates.
-      Bytes chunk_data;
-      auto existing = store_->Get(key);
-      if (existing.ok()) {
-        chunk_data = std::move(*existing);
-      } else if (existing.code() != Errc::kNoEnt) {
-        return existing.status();
-      }
-      if (chunk_data.size() < in_chunk + n) chunk_data.resize(in_chunk + n, 0);
-      std::memcpy(chunk_data.data() + in_chunk, slice.data(), n);
-      ARKFS_RETURN_IF_ERROR(store_->Put(key, chunk_data));
-    }
+    slices.push_back({DataKey(ino, chunk), in_chunk, data.subspan(done, n)});
     done += n;
   }
-  return Status::Ok();
+  if (slices.empty()) return Status::Ok();
+
+  // Per-chunk store op, identical semantics for every backend capability.
+  auto write_slice = [this](const Slice& s) -> Status {
+    if (store_->supports_partial_write()) {
+      return store_->PutRange(s.key, s.in_chunk, s.span);
+    }
+    std::lock_guard guard(ChunkWriteLock(s.key));
+    if (s.in_chunk == 0 && s.span.size() == chunk_size_) {
+      // Full-chunk replacement needs no read-modify-write even on S3.
+      return store_->Put(s.key, s.span);
+    }
+    // Whole-object-only backend: read, patch, rewrite the chunk. This is
+    // the write amplification S3-style stores impose on partial updates.
+    Bytes chunk_data;
+    auto existing = store_->Get(s.key);
+    if (existing.ok()) {
+      chunk_data = std::move(*existing);
+    } else if (existing.code() != Errc::kNoEnt) {
+      return existing.status();
+    }
+    const std::uint64_t end = s.in_chunk + s.span.size();
+    if (chunk_data.size() < end) chunk_data.resize(end, 0);
+    std::memcpy(chunk_data.data() + s.in_chunk, s.span.data(), s.span.size());
+    return store_->Put(s.key, chunk_data);
+  };
+
+  if (slices.size() == 1) return write_slice(slices[0]);
+
+  if (store_->supports_partial_write()) {
+    // All slices are single primitive PUT-ranges: one MultiPut batch.
+    std::vector<BatchPut> puts;
+    puts.reserve(slices.size());
+    for (const auto& s : slices) {
+      BatchPut p;
+      p.key = s.key;
+      p.data = s.span;
+      p.ranged = true;
+      p.offset = s.in_chunk;
+      puts.push_back(std::move(p));
+    }
+    return async_->MultiPut(std::move(puts)).status;
+  }
+
+  // Whole-object backend: boundary chunks need read-modify-write, so run the
+  // per-chunk closures concurrently instead (RMW GET+PUT pairs overlap too).
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(slices.size());
+  for (const auto& s : slices) {
+    tasks.push_back([&write_slice, &s] { return write_slice(s); });
+  }
+  return async_->RunAll(std::move(tasks));
 }
 
 Status Prt::WriteChunk(const Uuid& ino, std::uint64_t chunk_index,
@@ -135,14 +284,25 @@ Status Prt::TruncateData(const Uuid& ino, std::uint64_t old_size,
   if (new_size >= old_size) return Status::Ok();  // extension = lazy hole
   const std::uint64_t old_chunks = NumChunksFor(old_size);
   const std::uint64_t new_chunks = NumChunksFor(new_size);
-  for (std::uint64_t c = new_chunks; c < old_chunks; ++c) {
-    Status st = store_->Delete(DataKey(ino, c));
-    if (!st.ok() && st.code() != Errc::kNoEnt) return st;
+  if (old_chunks > new_chunks) {
+    std::vector<std::string> keys;
+    keys.reserve(old_chunks - new_chunks);
+    for (std::uint64_t c = new_chunks; c < old_chunks; ++c) {
+      keys.push_back(DataKey(ino, c));
+    }
+    if (keys.size() == 1) {
+      Status st = store_->Delete(keys[0]);
+      if (!st.ok() && st.code() != Errc::kNoEnt) return st;
+    } else {
+      ARKFS_RETURN_IF_ERROR(
+          async_->MultiDelete(std::move(keys)).FirstErrorIgnoringNoEnt());
+    }
   }
   // Trim the boundary chunk if the new size cuts into it.
   if (new_chunks > 0 && new_size % chunk_size_ != 0) {
     const std::uint64_t boundary = new_chunks - 1;
     const std::uint64_t keep = new_size - boundary * chunk_size_;
+    std::lock_guard guard(ChunkWriteLock(DataKey(ino, boundary)));
     auto chunk = store_->Get(DataKey(ino, boundary));
     if (chunk.ok() && chunk->size() > keep) {
       chunk->resize(keep);
@@ -156,11 +316,16 @@ Status Prt::TruncateData(const Uuid& ino, std::uint64_t old_size,
 
 Status Prt::DeleteData(const Uuid& ino, std::uint64_t file_size) {
   const std::uint64_t chunks = NumChunksFor(file_size);
-  for (std::uint64_t c = 0; c < chunks; ++c) {
-    Status st = store_->Delete(DataKey(ino, c));
+  if (chunks == 0) return Status::Ok();
+  if (chunks == 1) {
+    Status st = store_->Delete(DataKey(ino, 0));
     if (!st.ok() && st.code() != Errc::kNoEnt) return st;
+    return Status::Ok();
   }
-  return Status::Ok();
+  std::vector<std::string> keys;
+  keys.reserve(chunks);
+  for (std::uint64_t c = 0; c < chunks; ++c) keys.push_back(DataKey(ino, c));
+  return async_->MultiDelete(std::move(keys)).FirstErrorIgnoringNoEnt();
 }
 
 }  // namespace arkfs

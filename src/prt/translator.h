@@ -13,10 +13,15 @@
 //    whole chunk — the same amplification S3FS pays for random writes.
 #pragma once
 
+#include <array>
+#include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "meta/dentry.h"
 #include "meta/inode.h"
+#include "objstore/async_io.h"
 #include "objstore/object_store.h"
 #include "prt/key_schema.h"
 
@@ -25,12 +30,23 @@ namespace arkfs {
 class Prt {
  public:
   // chunk_size == 0 selects the store's max object size.
-  explicit Prt(ObjectStorePtr store, std::uint64_t chunk_size = 0);
+  explicit Prt(ObjectStorePtr store, std::uint64_t chunk_size = 0,
+               AsyncIoConfig async_config = {});
 
   // --- Metadata objects ---
   Result<Inode> LoadInode(const Uuid& ino);
   Status StoreInode(const Inode& inode);
   Status DeleteInode(const Uuid& ino);
+
+  // All three per-directory metadata objects fetched with one overlapped
+  // batch (new-leader fast path: dir inode + dentry block + surviving-journal
+  // probe cost one store round trip instead of three).
+  struct DirObjects {
+    Result<Inode> inode{ErrStatus(Errc::kIo, "not loaded")};
+    Result<std::vector<Dentry>> dentries{ErrStatus(Errc::kIo, "not loaded")};
+    Result<Bytes> journal{ErrStatus(Errc::kIo, "not loaded")};  // raw frames
+  };
+  DirObjects LoadDirObjects(const Uuid& dir_ino);
 
   Result<std::vector<Dentry>> LoadDentryBlock(const Uuid& dir_ino);
   Status StoreDentryBlock(const Uuid& dir_ino,
@@ -46,6 +62,14 @@ class Prt {
   // Reads [offset, offset+length) clamped to file_size. Holes read as zeros.
   Result<Bytes> ReadData(const Uuid& ino, std::uint64_t offset,
                          std::uint64_t length, std::uint64_t file_size);
+
+  // Batched multi-segment read of one file: all chunk pieces of all segments
+  // go out as a single MultiGet (read-ahead windows, scatter reads). Each
+  // (offset, length) segment yields one buffer with hole semantics, clamped
+  // to file_size like ReadData.
+  std::vector<Result<Bytes>> MultiReadData(
+      const Uuid& ino, const std::vector<std::pair<std::uint64_t, std::uint64_t>>& segments,
+      std::uint64_t file_size);
 
   // Writes data at offset, splitting across chunk objects.
   Status WriteData(const Uuid& ino, std::uint64_t offset, ByteSpan data);
@@ -65,6 +89,9 @@ class Prt {
   std::uint64_t chunk_size() const { return chunk_size_; }
   ObjectStore& store() { return *store_; }
   const ObjectStorePtr& store_ptr() const { return store_; }
+  // The shared submission layer every hot path above this fans out through.
+  AsyncObjectIo& async() { return *async_; }
+  const AsyncObjectIoPtr& async_ptr() const { return async_; }
 
   std::uint64_t ChunkIndexFor(std::uint64_t offset) const {
     return offset / chunk_size_;
@@ -74,8 +101,19 @@ class Prt {
   }
 
  private:
+  // On whole-object backends a sub-chunk write is read-modify-write of the
+  // chunk. With batched submissions two callers can now RMW the *same*
+  // chunk concurrently (e.g. cache flush of several entries that share one
+  // chunk), which loses updates; writes to one chunk key must serialize.
+  // Striped so unrelated chunks still overlap.
+  std::mutex& ChunkWriteLock(const std::string& key) {
+    return chunk_write_mu_[std::hash<std::string>{}(key) % chunk_write_mu_.size()];
+  }
+
   ObjectStorePtr store_;
   std::uint64_t chunk_size_;
+  AsyncObjectIoPtr async_;
+  std::array<std::mutex, 64> chunk_write_mu_;
 };
 
 }  // namespace arkfs
