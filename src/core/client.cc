@@ -23,7 +23,7 @@ Client::Client(ObjectStorePtr store, rpc::FabricPtr fabric,
     : config_(std::move(config)),
       store_(std::move(store)),
       fabric_(std::move(fabric)) {
-  prt_ = std::make_shared<Prt>(store_, config_.chunk_size);
+  prt_ = std::make_shared<Prt>(store_, config_.chunk_size, config_.async);
   lease_ = std::make_unique<lease::LeaseClient>(fabric_, config_.address,
                                                 config_.lease_options);
   journal_ = std::make_shared<journal::JournalManager>(prt_, config_.journal);
@@ -113,7 +113,7 @@ Result<Client::DirRef> Client::EnsureDirAccess(const Uuid& dir_ino) {
     // Proactive renewal: re-acquire when less than a quarter of the lease
     // term remains, so a busy leader never stalls on expiry mid-burst.
     const TimePoint now = Now();
-    if (handle->leader && now < handle->lease_until &&
+    if (handle->leader && !handle->lame_duck && now < handle->lease_until &&
         handle->lease_until - now > handle->lease_duration / 4) {
       return DirRef{handle, {}};
     }
@@ -129,11 +129,24 @@ Result<Client::DirRef> Client::EnsureDirAccess(const Uuid& dir_ino) {
           grant->until - Now());
       ARKFS_RETURN_IF_ERROR(BecomeLeader(handle, *grant));
     }
+    handle->lame_duck = false;
     return DirRef{handle, {}};
   }
   if (lease::IsRedirect(grant.status())) {
     BumpStat(&ClientStats::lease_redirects);
     return DirRef{nullptr, grant.status().detail()};
+  }
+  if (grant.code() == Errc::kTimedOut || grant.code() == Errc::kBusy) {
+    // Renewal failed outright (manager unreachable/overloaded) but our
+    // current lease has not expired: degrade to lame duck instead of
+    // failing the whole op. Reads stay served from the metatable; ServeDirOp
+    // fences mutations with kStale until renewal succeeds or the lease runs
+    // out.
+    std::unique_lock lock(handle->mu);
+    if (handle->leader && Now() < handle->lease_until) {
+      handle->lame_duck = true;
+      return DirRef{handle, {}};
+    }
   }
   return grant.status();
 }
@@ -296,6 +309,7 @@ wire::DirOpResponse Client::ServeDirOp(const wire::DirOpRequest& req) {
     }
     // We are being superseded; drop leadership state.
     handle->leader = false;
+    handle->lame_duck = false;
     handle->metatable.reset();
     handle->file_leases.clear();
     fill_error(st);
@@ -305,6 +319,13 @@ wire::DirOpResponse Client::ServeDirOp(const wire::DirOpRequest& req) {
   std::unique_lock lock(handle->mu);
   if (Status st = ValidateLeaseLocked(*handle); !st.ok()) {
     fill_error(st);
+    return resp;
+  }
+  if (handle->lame_duck && wire::IsMutation(req.op)) {
+    // Lame duck: lease renewal is failing, so fence every mutation. A
+    // successor may already be taking over; anything we accepted now could
+    // be silently lost from its rebuilt metatable.
+    fill_error(ErrStatus(Errc::kStale, "leader is lame duck (renewal failing)"));
     return resp;
   }
 

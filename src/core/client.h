@@ -48,6 +48,9 @@ struct ClientConfig {
   bool permission_cache = true;    // pcache mode (paper §III-C)
   Nanos perm_cache_ttl{Seconds(5)};  // = lease period by default
   std::uint64_t chunk_size = 0;    // PRT data chunk size (0 = store max)
+  // Async object-I/O layer config (workers, in-flight cap, store retry
+  // policy). Chaos tests enable retries here to ride out transient faults.
+  AsyncIoConfig async;
   CacheConfig cache;
   journal::JournalConfig journal;
   lease::LeaseClient::Options lease_options;
@@ -150,6 +153,12 @@ class Client : public Vfs {
     std::shared_mutex mu;
     std::unique_ptr<Metatable> metatable;  // present iff leader
     bool leader = false;
+    // Lame duck: still leader with an unexpired lease, but renewal is
+    // failing (manager unreachable). Reads keep being served; mutations are
+    // fenced with kStale so nothing new lands that a successor — who may
+    // already be getting elected — could miss. Cleared on successful
+    // renewal, on handoff (kFlushDir), and when the lease finally expires.
+    bool lame_duck = false;
     TimePoint lease_until{};
     Nanos lease_duration{0};
     std::unordered_map<Uuid, FileLeaseInfo> file_leases;

@@ -47,6 +47,29 @@ enum class DirOp : std::uint8_t {
   kIsEmptyDir = 19,   // used by a remote parent running rmdir
 };
 
+// Ops that change directory state (journaled metatable mutations). A
+// lame-duck leader fences exactly these with kStale; reads and file-lease
+// traffic keep flowing. Lease grants stay allowed: they reference existing
+// state only and are rebuilt from scratch by a successor anyway.
+inline bool IsMutation(DirOp op) {
+  switch (op) {
+    case DirOp::kCreate:
+    case DirOp::kMkdir:
+    case DirOp::kUnlink:
+    case DirOp::kRmdir:
+    case DirOp::kRenameLocal:
+    case DirOp::kSetAttrChild:
+    case DirOp::kSetAttrDir:
+    case DirOp::kSymlink:
+    case DirOp::kSetAclDir:
+    case DirOp::kSetAclChild:
+    case DirOp::kCommitSize:
+      return true;
+    default:
+      return false;
+  }
+}
+
 struct WireCred {
   std::uint32_t uid = 0;
   std::uint32_t gid = 0;

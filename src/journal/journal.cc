@@ -77,7 +77,7 @@ JournalManager::DirStatePtr JournalManager::FindOrCreateDir(
 }
 
 Status JournalManager::AppendToJournalLocked(const Uuid& dir_ino,
-                                             DirState& st, Transaction txn) {
+                                             DirState& st, Transaction& txn) {
   const Bytes framed = EncodeTransaction(txn);
   if (prt_->store().supports_partial_write()) {
     ARKFS_RETURN_IF_ERROR(
@@ -113,7 +113,21 @@ Status JournalManager::CommitRunningLocked(const Uuid& dir_ino, DirState& st) {
     st.running.clear();
     txn.seq = st.next_seq++;
   }
-  return AppendToJournalLocked(dir_ino, st, std::move(txn));
+  Status append = AppendToJournalLocked(dir_ino, st, txn);
+  if (!append.ok()) {
+    // Unwind: nothing was made durable, so the records must stay committable
+    // — losing them here would silently drop already-applied metatable
+    // mutations on the floor. Re-prepend them ahead of anything appended
+    // meanwhile and return the seq (safe: seqs are only allocated under
+    // append_mu, which we still hold, so no later seq exists yet).
+    std::lock_guard lock(st.mu);
+    txn.records.insert(txn.records.end(),
+                       std::make_move_iterator(st.running.begin()),
+                       std::make_move_iterator(st.running.end()));
+    st.running = std::move(txn.records);
+    --st.next_seq;
+  }
+  return append;
 }
 
 Status JournalManager::CommitRunning(const Uuid& dir_ino, DirState& st) {
@@ -237,7 +251,7 @@ Status JournalManager::CommitCrossDir(const Uuid& src_dir,
   }
   src_prep.records.push_back(Record::Prepare(txid, dst_dir));
   for (auto& r : src_records) src_prep.records.push_back(std::move(r));
-  ARKFS_RETURN_IF_ERROR(AppendToJournalLocked(src_dir, *src, std::move(src_prep)));
+  ARKFS_RETURN_IF_ERROR(AppendToJournalLocked(src_dir, *src, src_prep));
 
   Transaction dst_prep;
   {
@@ -246,7 +260,7 @@ Status JournalManager::CommitCrossDir(const Uuid& src_dir,
   }
   dst_prep.records.push_back(Record::Prepare(txid, src_dir));
   for (auto& r : dst_records) dst_prep.records.push_back(std::move(r));
-  ARKFS_RETURN_IF_ERROR(AppendToJournalLocked(dst_dir, *dst, std::move(dst_prep)));
+  ARKFS_RETURN_IF_ERROR(AppendToJournalLocked(dst_dir, *dst, dst_prep));
 
   // Phase 2: commit decisions.
   for (DirStatePtr* side : {&src, &dst}) {
@@ -257,7 +271,7 @@ Status JournalManager::CommitCrossDir(const Uuid& src_dir,
     }
     decision.records.push_back(Record::Decision(txid, /*commit=*/true));
     const Uuid& ino = (side == &src) ? src_dir : dst_dir;
-    ARKFS_RETURN_IF_ERROR(AppendToJournalLocked(ino, **side, std::move(decision)));
+    ARKFS_RETURN_IF_ERROR(AppendToJournalLocked(ino, **side, decision));
   }
   return Status::Ok();
 }

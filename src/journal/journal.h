@@ -143,8 +143,10 @@ class JournalManager {
   DirStatePtr FindOrCreateDir(const Uuid& dir_ino);
 
   // Appends one framed transaction to the journal object. append_mu held.
+  // Consumes `txn` only on success; on a store failure `txn` is left intact
+  // so the caller can unwind (nothing was made durable).
   Status AppendToJournalLocked(const Uuid& dir_ino, DirState& st,
-                               Transaction txn);
+                               Transaction& txn);
   // Takes the running txn (if any) and appends it (acquires append_mu, or
   // expects it held for the Locked variant).
   Status CommitRunning(const Uuid& dir_ino, DirState& st);

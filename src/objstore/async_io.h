@@ -42,12 +42,21 @@
 #include "common/mpmc_queue.h"
 #include "common/status.h"
 #include "objstore/object_store.h"
+#include "objstore/retry.h"
 
 namespace arkfs {
 
 struct AsyncIoConfig {
   int workers = 8;                 // worker threads executing submissions
   std::size_t max_in_flight = 64;  // cap on concurrently running primitives
+  // Retry policy for PRIMITIVE submissions (Get/GetRange/Put/PutRange/
+  // Delete — all idempotent, see retry.h). Disabled by default. The
+  // policy's deadline is per BATCH: every op of one MultiGet/MultiPut/
+  // MultiDelete shares the budget computed at submission, so a flaky store
+  // cannot stretch a batch beyond deadline + one op. Compound RunAll/
+  // SubmitTask closures are never retried here — they are not idempotent;
+  // the primitives they issue through this layer are retried individually.
+  RetryPolicy retry;
 
   static AsyncIoConfig ForTests() {
     AsyncIoConfig c;
@@ -65,6 +74,11 @@ struct AsyncIoStats {
   // Sum over batches of (per-op busy time) - (batch wall time): the wall
   // time the serial path would have paid but overlapping hid.
   std::uint64_t overlap_saved_nanos = 0;
+  // Retry engine accounting (all zero unless config.retry is enabled).
+  std::uint64_t retry_attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t retry_giveups = 0;
+  std::uint64_t retry_deadline_hits = 0;
 };
 
 // One element of a MultiGet. `ranged` selects GetRange(offset, length).
@@ -165,8 +179,20 @@ class AsyncObjectIo {
   template <typename R>
   std::future<R> SubmitSingle(bool gated, std::function<R()> fn);
 
+  // Wraps one primitive store call in the configured retry policy.
+  // `deadline` is shared by every op of the submitting batch.
+  template <typename Fn>
+  auto Retried(TimePoint deadline, Fn&& fn) -> decltype(fn()) {
+    const std::uint64_t salt =
+        retry_salt_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return RetryCall(config_.retry, salt, &retry_counters_, deadline,
+                     std::forward<Fn>(fn));
+  }
+
   const AsyncIoConfig config_;
   ObjectStorePtr store_;
+  RetryCounters retry_counters_;
+  std::atomic<std::uint64_t> retry_salt_{0};
 
   MpmcQueue<OpPtr> queue_;
   std::vector<std::thread> workers_;

@@ -1,0 +1,97 @@
+#include "objstore/chaos_store.h"
+
+namespace arkfs {
+
+ChaosStore::ChaosStore(ObjectStorePtr base, ChaosConfig config)
+    : FaultInjectionStore(
+          std::move(base),
+          // The seeded profile is the FaultFn: every inherited operation
+          // funnels through Decide exactly like a scripted fault predicate.
+          // (The lambda is not invoked during construction.)
+          [this](std::string_view op, const std::string& key) {
+            return Decide(op, key);
+          }),
+      config_(std::move(config)),
+      rng_(config_.seed) {}
+
+void ChaosStore::set_fault_hook(FaultFn hook) {
+  std::lock_guard lock(mu_);
+  hook_ = std::move(hook);
+}
+
+void ChaosStore::AddPersistentFault(const std::string& key, Errc e) {
+  std::lock_guard lock(mu_);
+  persistent_[key] = e;
+}
+
+void ChaosStore::ClearPersistentFault(const std::string& key) {
+  std::lock_guard lock(mu_);
+  persistent_.erase(key);
+}
+
+void ChaosStore::ClearPersistentFaults() {
+  std::lock_guard lock(mu_);
+  persistent_.clear();
+}
+
+Errc ChaosStore::Decide(std::string_view op, const std::string& key) {
+  bool spike = false;
+  Errc verdict = Errc::kOk;
+  {
+    std::lock_guard lock(mu_);
+    ++counters_.ops;
+    if (hook_) {
+      if (Errc e = hook_(op, key); e != Errc::kOk) {
+        ++counters_.hook_faults;
+        return e;
+      }
+    }
+    if (auto it = persistent_.find(key); it != persistent_.end()) {
+      ++counters_.persistent_faults;
+      return it->second;
+    }
+    if (config_.latency_spike_rate > 0.0 &&
+        rng_.NextDouble() < config_.latency_spike_rate) {
+      ++counters_.latency_spikes;
+      spike = true;
+    }
+    if (config_.fault_rate > 0.0 && !config_.transient_pool.empty() &&
+        rng_.NextDouble() < config_.fault_rate) {
+      ++counters_.transient_faults;
+      verdict = config_.transient_pool[rng_.Below(config_.transient_pool.size())];
+    }
+  }
+  // Sleep outside the lock so a spiking op does not serialize the store.
+  if (spike) SleepFor(config_.latency_spike);
+  return verdict;
+}
+
+Status ChaosStore::Put(const std::string& key, ByteSpan data) {
+  if (Errc e = Decide("put", key); e != Errc::kOk) return ErrStatus(e, key);
+  bool torn = false;
+  std::uint64_t cut = 0;
+  if (config_.torn_put_rate > 0.0 && !data.empty()) {
+    std::lock_guard lock(mu_);
+    if (rng_.NextDouble() < config_.torn_put_rate) {
+      torn = true;
+      cut = rng_.Below(data.size());  // strict prefix, possibly empty
+      ++counters_.torn_puts;
+    }
+  }
+  if (torn) {
+    // The write "crashed" partway: a prefix of the payload replaced the
+    // object, and the caller sees a transient error. A retry rewrites the
+    // whole object, which is why full-object Put stays idempotent.
+    Bytes prefix(data.begin(), data.begin() + cut);
+    (void)base()->Put(key, prefix);
+    return ErrStatus(Errc::kIo, "torn put: " + key);
+  }
+  return base()->Put(key, data);
+}
+
+ChaosStore::Counters ChaosStore::counters() const {
+  std::lock_guard lock(mu_);
+  return counters_;
+}
+
+}  // namespace arkfs

@@ -1,0 +1,97 @@
+// ChaosStore — seeded fault-injection decorator for chaos testing.
+//
+// FaultInjectionStore answers "what happens when THIS op fails" (the caller
+// scripts every fault); ChaosStore answers "does the stack survive a store
+// that is statistically flaky" — the CFS/λFS-style fault model where any
+// node can time out, drop a request, or tear a write at any moment. The
+// profile is driven by a seeded RNG, so a failing run reproduces exactly
+// from its seed.
+//
+// Faults injected:
+//  * per-op transient errors with probability `fault_rate`, drawn from the
+//    transient pool (kIo / kTimedOut / kAgain) — exactly the codes the
+//    retry stack (retry.h) considers retryable;
+//  * persistent per-key faults (Add/Clear) for dead-object scenarios;
+//  * latency spikes with probability `latency_spike_rate`;
+//  * torn whole-object Puts with probability `torn_put_rate`: a random
+//    prefix of the payload lands in the store and the op reports kIo —
+//    the crash-atomicity hazard a whole-object backend really has. Layers
+//    above must treat the object as garbage until the next full rewrite
+//    (the journal's CRC framing is what detects exactly this).
+//
+// ChaosStore IS a FaultInjectionStore: the whole profile is routed through
+// the same FaultFn hook, and an extra caller-supplied hook can be chained
+// in front of it (consulted first; kOk falls through to the profile).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "objstore/wrappers.h"
+
+namespace arkfs {
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  double fault_rate = 0.0;          // per-op transient error probability
+  double latency_spike_rate = 0.0;  // per-op latency spike probability
+  Nanos latency_spike{Millis(2)};
+  double torn_put_rate = 0.0;       // whole-object Put only
+  std::vector<Errc> transient_pool{Errc::kIo, Errc::kTimedOut, Errc::kAgain};
+
+  // The profile used by the chaos test lanes: `percent`% transient faults.
+  static ChaosConfig Flaky(std::uint64_t seed, double percent) {
+    ChaosConfig c;
+    c.seed = seed;
+    c.fault_rate = percent / 100.0;
+    return c;
+  }
+};
+
+class ChaosStore : public FaultInjectionStore {
+ public:
+  ChaosStore(ObjectStorePtr base, ChaosConfig config);
+
+  // Extra hook consulted before the seeded profile (same contract as
+  // FaultInjectionStore::FaultFn; return kOk to fall through).
+  void set_fault_hook(FaultFn hook);
+
+  // Persistent per-key faults: every op on `key` fails with `e` until
+  // cleared. Models a dead/corrupt object rather than a flaky node.
+  void AddPersistentFault(const std::string& key, Errc e);
+  void ClearPersistentFault(const std::string& key);
+  void ClearPersistentFaults();
+
+  // Whole-object Put gains the torn-write fault; everything else inherits
+  // the FaultFn-routed behaviour from FaultInjectionStore.
+  Status Put(const std::string& key, ByteSpan data) override;
+
+  std::string name() const override { return "chaos/" + base()->name(); }
+
+  struct Counters {
+    std::uint64_t ops = 0;
+    std::uint64_t transient_faults = 0;
+    std::uint64_t persistent_faults = 0;
+    std::uint64_t hook_faults = 0;
+    std::uint64_t latency_spikes = 0;
+    std::uint64_t torn_puts = 0;
+  };
+  Counters counters() const;
+
+  const ChaosConfig& chaos_config() const { return config_; }
+
+ private:
+  // The FaultFn every operation funnels through.
+  Errc Decide(std::string_view op, const std::string& key);
+
+  const ChaosConfig config_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  FaultFn hook_;
+  std::map<std::string, Errc> persistent_;
+  Counters counters_;
+};
+
+}  // namespace arkfs

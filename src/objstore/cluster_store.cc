@@ -25,6 +25,8 @@ ClusterObjectStore::ClusterObjectStore(const ClusterConfig& config)
       op_latency_(config.profile.op_latency),
       io_latency_(config.profile.small_io_latency) {
   nodes_.reserve(config_.num_nodes);
+  down_.assign(config_.num_nodes, false);
+  stale_.resize(config_.num_nodes);
   Rng rng(config_.seed);
   for (int i = 0; i < config_.num_nodes; ++i) {
     Node n;
@@ -66,8 +68,20 @@ void ClusterObjectStore::ChargeOp(int node, std::uint64_t payload_bytes,
   if (payload_bytes > 0) nodes_[node].link->Transfer(payload_bytes);
 }
 
+// Returns the down_error status if `node` is down, bumping rejected_ops.
+#define ARKFS_CLUSTER_REJECT_IF_DOWN(node, key)                        \
+  do {                                                                 \
+    std::lock_guard _lock(chaos_mu_);                                  \
+    if (down_[node]) {                                                 \
+      ++outage_stats_.rejected_ops;                                    \
+      return ErrStatus(config_.down_error,                             \
+                       "node " + std::to_string(node) + " down: " + (key)); \
+    }                                                                  \
+  } while (0)
+
 Result<Bytes> ClusterObjectStore::Get(const std::string& key) {
   const int node = PrimaryNode(key);
+  ARKFS_CLUSTER_REJECT_IF_DOWN(node, key);
   auto result = nodes_[node].store->Get(key);
   ChargeOp(node, result.ok() ? result->size() : 0, true);
   return result;
@@ -77,6 +91,7 @@ Result<Bytes> ClusterObjectStore::GetRange(const std::string& key,
                                            std::uint64_t offset,
                                            std::uint64_t length) {
   const int node = PrimaryNode(key);
+  ARKFS_CLUSTER_REJECT_IF_DOWN(node, key);
   auto result = nodes_[node].store->GetRange(key, offset, length);
   ChargeOp(node, result.ok() ? result->size() : 0, true);
   return result;
@@ -84,6 +99,7 @@ Result<Bytes> ClusterObjectStore::GetRange(const std::string& key,
 
 Status ClusterObjectStore::Put(const std::string& key, ByteSpan data) {
   const auto replicas = ReplicaNodes(key);
+  ARKFS_CLUSTER_REJECT_IF_DOWN(replicas[0], key);
   // Primary-copy replication: client streams to the primary, which pipelines
   // to replicas. The client-visible cost is the primary transfer plus one
   // inter-replica op latency (pipelined, so not multiplied by R).
@@ -91,6 +107,13 @@ Status ClusterObjectStore::Put(const std::string& key, ByteSpan data) {
   if (replicas.size() > 1) op_latency_.Apply();
   Status st = Status::Ok();
   for (int node : replicas) {
+    {
+      std::lock_guard lock(chaos_mu_);
+      if (down_[node]) {
+        MarkStaleLocked(node, key);
+        continue;
+      }
+    }
     Status s = nodes_[node].store->Put(key, data);
     if (!s.ok()) st = s;
   }
@@ -103,10 +126,18 @@ Status ClusterObjectStore::PutRange(const std::string& key,
     return ErrStatus(Errc::kNotSup, "cluster profile is whole-object only");
   }
   const auto replicas = ReplicaNodes(key);
+  ARKFS_CLUSTER_REJECT_IF_DOWN(replicas[0], key);
   ChargeOp(replicas[0], data.size(), true);
   if (replicas.size() > 1) op_latency_.Apply();
   Status st = Status::Ok();
   for (int node : replicas) {
+    {
+      std::lock_guard lock(chaos_mu_);
+      if (down_[node]) {
+        MarkStaleLocked(node, key);
+        continue;
+      }
+    }
     Status s = nodes_[node].store->PutRange(key, offset, data);
     if (!s.ok()) st = s;
   }
@@ -115,9 +146,19 @@ Status ClusterObjectStore::PutRange(const std::string& key,
 
 Status ClusterObjectStore::Delete(const std::string& key) {
   const auto replicas = ReplicaNodes(key);
+  ARKFS_CLUSTER_REJECT_IF_DOWN(replicas[0], key);
   ChargeOp(replicas[0], 0, false);
   Status st = Status::Ok();
   for (int node : replicas) {
+    {
+      std::lock_guard lock(chaos_mu_);
+      if (down_[node]) {
+        // Backfill resolves a missed delete the same way as a missed write:
+        // no live replica holds the object, so the stale copy is dropped.
+        MarkStaleLocked(node, key);
+        continue;
+      }
+    }
     Status s = nodes_[node].store->Delete(key);
     if (!s.ok()) st = s;
   }
@@ -126,24 +167,80 @@ Status ClusterObjectStore::Delete(const std::string& key) {
 
 Result<ObjectMeta> ClusterObjectStore::Head(const std::string& key) {
   const int node = PrimaryNode(key);
+  ARKFS_CLUSTER_REJECT_IF_DOWN(node, key);
   ChargeOp(node, 0, false);
   return nodes_[node].store->Head(key);
 }
 
+#undef ARKFS_CLUSTER_REJECT_IF_DOWN
+
 Result<std::vector<std::string>> ClusterObjectStore::List(
     const std::string& prefix) {
   // Scatter-gather across all nodes; queries run in parallel on a real
-  // cluster, so charge a single op latency.
+  // cluster, so charge a single op latency. Down nodes are skipped — with
+  // R-way replication their keys still appear via live replicas (with R=1
+  // they are invisible until recovery, like a degraded pool).
   op_latency_.Apply();
   std::vector<std::string> merged;
-  for (auto& node : nodes_) {
-    auto part = node.store->List(prefix);
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (NodeDown(static_cast<int>(i))) continue;
+    ++live;
+    auto part = nodes_[i].store->List(prefix);
     if (!part.ok()) return part.status();
     merged.insert(merged.end(), part->begin(), part->end());
   }
+  if (live == 0) return ErrStatus(config_.down_error, "all nodes down");
   std::sort(merged.begin(), merged.end());
   merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
   return merged;
+}
+
+void ClusterObjectStore::SetNodeDown(int node, bool down) {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return;
+  std::lock_guard lock(chaos_mu_);
+  if (down_[static_cast<std::size_t>(node)] == down) return;
+  down_[static_cast<std::size_t>(node)] = down;
+  if (!down) BackfillNodeLocked(node);
+}
+
+bool ClusterObjectStore::NodeDown(int node) const {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) return false;
+  std::lock_guard lock(chaos_mu_);
+  return down_[static_cast<std::size_t>(node)];
+}
+
+void ClusterObjectStore::MarkStaleLocked(int node, const std::string& key) {
+  if (stale_[static_cast<std::size_t>(node)].insert(key).second) {
+    ++outage_stats_.stale_marks;
+  }
+}
+
+void ClusterObjectStore::BackfillNodeLocked(int node) {
+  // Recovery backfill: every write the node missed is resynced from a live
+  // replica; a key no live replica holds any more was deleted meanwhile and
+  // the rejoining node drops its stale copy.
+  auto& stale = stale_[static_cast<std::size_t>(node)];
+  for (const auto& key : stale) {
+    bool restored = false;
+    for (int replica : ReplicaNodes(key)) {
+      if (replica == node || down_[static_cast<std::size_t>(replica)]) continue;
+      auto data = nodes_[replica].store->Get(key);
+      if (data.ok()) {
+        (void)nodes_[node].store->Put(key, *data);
+        restored = true;
+        break;
+      }
+    }
+    if (!restored) (void)nodes_[node].store->Delete(key);
+    ++outage_stats_.keys_backfilled;
+  }
+  stale.clear();
+}
+
+ClusterObjectStore::OutageStats ClusterObjectStore::outage_stats() const {
+  std::lock_guard lock(chaos_mu_);
+  return outage_stats_;
 }
 
 std::vector<std::size_t> ClusterObjectStore::PerNodeObjectCounts() const {

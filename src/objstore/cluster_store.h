@@ -11,6 +11,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <vector>
 
 #include "objstore/memory_store.h"
@@ -27,6 +29,9 @@ struct ClusterConfig {
   std::uint64_t max_object_size = kDefaultMaxObjectSize;
   sim::CostProfile profile = sim::CostProfile::RadosLike();
   std::uint64_t seed = 42;       // ring placement seed
+  // What an op on a key whose primary node is down reports (chaos tests
+  // flip between kTimedOut and kIo; both are transient/retryable).
+  Errc down_error = Errc::kTimedOut;
 
   static ClusterConfig RadosLike() { return ClusterConfig{}; }
   static ClusterConfig S3Like() {
@@ -72,6 +77,23 @@ class ClusterObjectStore : public ObjectStore {
   std::vector<int> ReplicaNodes(const std::string& key) const;
   std::vector<std::size_t> PerNodeObjectCounts() const;
 
+  // --- node outage / recovery (chaos controls) ---
+  // While node i is down, every op whose PRIMARY replica hashes there fails
+  // with config().down_error (no read failover — the paper's Ceph pool
+  // behaves the same while a PG's primary is unreachable). Writes whose
+  // primary is up simply skip a down secondary; the skipped keys are
+  // remembered and backfilled from a live replica when the node rejoins
+  // (RADOS-recovery-lite), so a heal never resurrects stale bytes.
+  void SetNodeDown(int node, bool down);
+  bool NodeDown(int node) const;
+
+  struct OutageStats {
+    std::uint64_t rejected_ops = 0;      // ops failed because primary down
+    std::uint64_t stale_marks = 0;       // writes skipped on a down replica
+    std::uint64_t keys_backfilled = 0;   // resynced at recovery
+  };
+  OutageStats outage_stats() const;
+
  private:
   struct Node {
     std::unique_ptr<MemoryObjectStore> store;
@@ -80,6 +102,9 @@ class ClusterObjectStore : public ObjectStore {
 
   int PrimaryNode(const std::string& key) const;
   void ChargeOp(int node, std::uint64_t payload_bytes, bool data_op);
+  // Records that `node` missed a write for `key` while down. chaos_mu_ held.
+  void MarkStaleLocked(int node, const std::string& key);
+  void BackfillNodeLocked(int node);
 
   const ClusterConfig config_;
   sim::LatencyModel op_latency_;
@@ -87,6 +112,11 @@ class ClusterObjectStore : public ObjectStore {
   std::vector<Node> nodes_;
   // Hash ring: position -> node index.
   std::map<std::uint64_t, int> ring_;
+
+  mutable std::mutex chaos_mu_;
+  std::vector<bool> down_;                      // per-node outage flag
+  std::vector<std::set<std::string>> stale_;    // per-node missed writes
+  OutageStats outage_stats_;
 };
 
 }  // namespace arkfs

@@ -1,0 +1,129 @@
+// Shared retry/backoff engine for object-store operations.
+//
+// One policy type and one call helper, used by RetryingStore (blocking
+// paths) and AsyncObjectIo (batched paths), so "what is retryable and how
+// hard do we try" is defined exactly once:
+//
+//  * Only transient codes are retried: kIo, kTimedOut, kAgain. Everything
+//    else (kNoEnt, kNotSup, kInval, ...) is a semantic answer, not a fault.
+//  * Only idempotent operations may be routed through this helper. Every
+//    ObjectStore primitive qualifies under this repo's REST contract:
+//    Get/GetRange/Head/List are pure reads, Put is a full-object replace,
+//    PutRange writes at an absolute offset, and Delete of a gone key just
+//    reports kNoEnt (which is not retried). Compound read-modify-write
+//    closures are NOT idempotent and must not be retried blindly — the
+//    async layer deliberately leaves RunAll tasks un-retried.
+//  * Backoff is exponential with decorrelated jitter (sleep ~ uniform in
+//    [base, 3*prev], capped) so a fleet of clients hammering a recovering
+//    node spreads out instead of retrying in lockstep.
+//  * A deadline bounds the total time burned on one op (or one batch); an
+//    attempt cap bounds the count. Whichever trips first ends the retries
+//    and the last error surfaces unchanged.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace arkfs {
+
+struct RetryPolicy {
+  // Total tries including the first. 1 disables retries entirely.
+  int max_attempts = 1;
+  Nanos initial_backoff{Millis(2)};
+  Nanos max_backoff{Millis(100)};
+  // Budget for one op (RetryingStore) or one batch (AsyncObjectIo).
+  // 0 = unbounded.
+  Nanos deadline{0};
+  // Seeds the per-call jitter stream; mixed with a per-call salt so
+  // concurrent retriers do not share a backoff sequence.
+  std::uint64_t jitter_seed = 0x5bd1e995u;
+
+  bool enabled() const { return max_attempts > 1; }
+
+  static bool Retryable(Errc e) {
+    return e == Errc::kIo || e == Errc::kTimedOut || e == Errc::kAgain;
+  }
+
+  // Aggressive-but-bounded profile used across the test suites.
+  static RetryPolicy ForTests() {
+    RetryPolicy p;
+    p.max_attempts = 8;
+    p.initial_backoff = Micros(200);
+    p.max_backoff = Millis(20);
+    p.deadline = Seconds(5);
+    return p;
+  }
+};
+
+// Retry accounting shared by every caller of RetryCall on one layer.
+struct RetryCounters {
+  std::atomic<std::uint64_t> attempts{0};       // every execution, incl. first
+  std::atomic<std::uint64_t> retries{0};        // executions beyond the first
+  std::atomic<std::uint64_t> giveups{0};        // attempt cap exhausted
+  std::atomic<std::uint64_t> deadline_hits{0};  // deadline ended the retries
+
+  struct Snapshot {
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t giveups = 0;
+    std::uint64_t deadline_hits = 0;
+  };
+  Snapshot snapshot() const {
+    return {attempts.load(std::memory_order_relaxed),
+            retries.load(std::memory_order_relaxed),
+            giveups.load(std::memory_order_relaxed),
+            deadline_hits.load(std::memory_order_relaxed)};
+  }
+  void Reset() { attempts = retries = giveups = deadline_hits = 0; }
+};
+
+inline TimePoint RetryDeadlineFor(const RetryPolicy& policy) {
+  return policy.deadline.count() > 0 ? Now() + policy.deadline
+                                     : TimePoint::max();
+}
+
+// Runs fn() under the policy. fn must return Status or Result<T>; the final
+// (successful or last-failed) value is returned unchanged. `salt`
+// decorrelates this call's jitter stream from concurrent callers'.
+template <typename Fn>
+auto RetryCall(const RetryPolicy& policy, std::uint64_t salt,
+               RetryCounters* counters, TimePoint deadline, Fn&& fn)
+    -> decltype(fn()) {
+  if (counters) counters->attempts.fetch_add(1, std::memory_order_relaxed);
+  auto result = fn();
+  if (result.ok() || !policy.enabled() ||
+      !RetryPolicy::Retryable(result.code())) {
+    return result;
+  }
+  Rng rng(policy.jitter_seed ^ salt);
+  Nanos prev = policy.initial_backoff;
+  for (int attempt = 2; attempt <= policy.max_attempts; ++attempt) {
+    const std::int64_t lo = policy.initial_backoff.count();
+    const std::int64_t hi = std::max<std::int64_t>(lo + 1, 3 * prev.count());
+    Nanos sleep{rng.Range(lo, hi)};
+    if (sleep > policy.max_backoff) sleep = policy.max_backoff;
+    if (Now() + sleep >= deadline) {
+      if (counters) {
+        counters->deadline_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return result;
+    }
+    SleepFor(sleep);
+    prev = sleep;
+    if (counters) {
+      counters->attempts.fetch_add(1, std::memory_order_relaxed);
+      counters->retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    result = fn();
+    if (result.ok() || !RetryPolicy::Retryable(result.code())) return result;
+  }
+  if (counters) counters->giveups.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace arkfs

@@ -1,0 +1,63 @@
+// RetryingStore — transparent retry/backoff decorator for blocking paths.
+//
+// Wraps any ObjectStore and rides out transient faults (kIo/kTimedOut/
+// kAgain) with the shared retry engine (retry.h): exponential backoff with
+// decorrelated jitter, a per-op attempt cap, and a per-op deadline. Every
+// primitive it retries is idempotent under this repo's REST contract (see
+// retry.h), so a retried op is always safe — including re-driving a torn
+// whole-object Put, which a full rewrite repairs.
+//
+// Composition order matters: RetryingStore(ChaosStore(backend)) gives a
+// flaky backend with a tolerant client; the batched paths get the same
+// behaviour from AsyncIoConfig::retry so both stacks share one policy type
+// and one set of retryable codes.
+#pragma once
+
+#include "objstore/retry.h"
+#include "objstore/object_store.h"
+
+namespace arkfs {
+
+class RetryingStore : public ObjectStore {
+ public:
+  RetryingStore(ObjectStorePtr base, RetryPolicy policy)
+      : base_(std::move(base)), policy_(policy) {}
+
+  Result<Bytes> Get(const std::string& key) override;
+  Result<Bytes> GetRange(const std::string& key, std::uint64_t offset,
+                         std::uint64_t length) override;
+  Status Put(const std::string& key, ByteSpan data) override;
+  Status PutRange(const std::string& key, std::uint64_t offset,
+                  ByteSpan data) override;
+  Status Delete(const std::string& key) override;
+  Result<ObjectMeta> Head(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+
+  bool supports_partial_write() const override {
+    return base_->supports_partial_write();
+  }
+  std::uint64_t max_object_size() const override {
+    return base_->max_object_size();
+  }
+  std::string name() const override { return "retrying/" + base_->name(); }
+
+  const RetryPolicy& policy() const { return policy_; }
+  RetryCounters::Snapshot retry_stats() const { return counters_.snapshot(); }
+  void ResetRetryStats() { counters_.Reset(); }
+
+ private:
+  template <typename Fn>
+  auto Call(Fn&& fn) -> decltype(fn()) {
+    const std::uint64_t salt =
+        salt_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return RetryCall(policy_, salt, &counters_, RetryDeadlineFor(policy_),
+                     std::forward<Fn>(fn));
+  }
+
+  ObjectStorePtr base_;
+  const RetryPolicy policy_;
+  RetryCounters counters_;
+  std::atomic<std::uint64_t> salt_{0};
+};
+
+}  // namespace arkfs

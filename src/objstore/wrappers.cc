@@ -66,7 +66,7 @@ Result<Bytes> FaultInjectionStore::Get(const std::string& key) {
 Result<Bytes> FaultInjectionStore::GetRange(const std::string& key,
                                             std::uint64_t offset,
                                             std::uint64_t length) {
-  if (Errc e = Check("get", key); e != Errc::kOk) return ErrStatus(e, key);
+  if (Errc e = Check("getrange", key); e != Errc::kOk) return ErrStatus(e, key);
   return base_->GetRange(key, offset, length);
 }
 
@@ -77,7 +77,7 @@ Status FaultInjectionStore::Put(const std::string& key, ByteSpan data) {
 
 Status FaultInjectionStore::PutRange(const std::string& key,
                                      std::uint64_t offset, ByteSpan data) {
-  if (Errc e = Check("put", key); e != Errc::kOk) return ErrStatus(e, key);
+  if (Errc e = Check("putrange", key); e != Errc::kOk) return ErrStatus(e, key);
   return base_->PutRange(key, offset, data);
 }
 

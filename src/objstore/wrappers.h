@@ -56,9 +56,12 @@ class CountingStore : public ObjectStore {
 };
 
 // Fails operations according to a caller-supplied predicate. The predicate
-// sees the operation name ("put", "get", ...) and key, and returns the error
-// to inject (kOk = pass through). Tests use this to kill writes after N ops
-// to simulate a client crash mid-commit.
+// sees the operation name ("get", "getrange", "put", "putrange", "delete",
+// "head", "list") and key (the prefix for "list"), and returns the error to
+// inject (kOk = pass through). Tests use this to kill writes after N ops to
+// simulate a client crash mid-commit; predicates matching a whole family
+// should prefix-match (op.starts_with("put")) so ranged variants stay
+// covered.
 class FaultInjectionStore : public ObjectStore {
  public:
   using FaultFn = std::function<Errc(std::string_view op, const std::string& key)>;
@@ -83,6 +86,9 @@ class FaultInjectionStore : public ObjectStore {
     return base_->max_object_size();
   }
   std::string name() const override { return "faulty/" + base_->name(); }
+
+ protected:
+  const ObjectStorePtr& base() const { return base_; }
 
  private:
   Errc Check(std::string_view op, const std::string& key) {

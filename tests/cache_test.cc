@@ -1,6 +1,8 @@
 // Tests for the data object cache: write-back, read-ahead, LRU, truncate.
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "cache/object_cache.h"
 #include "objstore/memory_store.h"
 #include "objstore/wrappers.h"
@@ -175,6 +177,77 @@ TEST_F(CacheTest, WriteBeyondEofDoesNotLoadFromStore) {
   // Entry starts beyond current file size: no read-modify-write needed.
   ASSERT_TRUE(cache_->Write(ino_, 0, 0, Pattern(4096)).ok());
   EXPECT_EQ(counting_->Snapshot().gets, 0u);
+}
+
+// --- writeback retention under store faults ---
+//
+// A failed writeback must surface the error AND keep the entry dirty, so a
+// later flush (fsync retry, eviction, shutdown) still carries the data. Data
+// acked only into the cache may not be silently dropped by a transient store
+// fault.
+
+TEST(CacheWritebackRetryTest, FlushFileRetainsDirtyUntilStoreHeals) {
+  auto base = std::make_shared<MemoryObjectStore>();
+  std::atomic<int> put_failures_left{3};
+  auto faulty = std::make_shared<FaultInjectionStore>(
+      base, [&](std::string_view op, const std::string&) {
+        if (op.starts_with("put") &&
+            put_failures_left.fetch_sub(1, std::memory_order_relaxed) > 0) {
+          return Errc::kIo;
+        }
+        return Errc::kOk;
+      });
+  auto prt = std::make_shared<Prt>(faulty, 4096);
+  ObjectCache cache(prt, CacheConfig::ForTests());
+  const Uuid ino = DeterministicUuid(7, 7);
+
+  Bytes data(100);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  ASSERT_TRUE(cache.Write(ino, 0, 0, data).ok());
+
+  // While the store faults, every flush fails but the entry stays dirty.
+  EXPECT_FALSE(cache.FlushFile(ino).ok());
+  EXPECT_TRUE(cache.HasDirty(ino));
+
+  // The fault clears after three attempts; re-driving the flush must then
+  // write back the retained bytes without the caller re-writing anything.
+  Status st;
+  for (int attempt = 0; attempt < 8 && !(st = cache.FlushFile(ino)).ok();
+       ++attempt) {
+  }
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(cache.HasDirty(ino));
+  auto from_store = prt->ReadData(ino, 0, 100, 100);
+  ASSERT_TRUE(from_store.ok());
+  EXPECT_EQ(*from_store, data);
+}
+
+TEST(CacheWritebackRetryTest, FlushAllRetainsDirtyAcrossFiles) {
+  auto base = std::make_shared<MemoryObjectStore>();
+  std::atomic<bool> fail_puts{true};
+  auto faulty = std::make_shared<FaultInjectionStore>(
+      base, [&](std::string_view op, const std::string&) {
+        return (fail_puts && op.starts_with("put")) ? Errc::kIo : Errc::kOk;
+      });
+  auto prt = std::make_shared<Prt>(faulty, 4096);
+  ObjectCache cache(prt, CacheConfig::ForTests());
+  const Uuid a = DeterministicUuid(8, 8);
+  const Uuid b = DeterministicUuid(9, 9);
+  ASSERT_TRUE(cache.Write(a, 0, 0, Bytes(64, 0xA1)).ok());
+  ASSERT_TRUE(cache.Write(b, 0, 0, Bytes(64, 0xB2)).ok());
+
+  EXPECT_FALSE(cache.FlushAll().ok());
+  EXPECT_TRUE(cache.HasDirty(a));
+  EXPECT_TRUE(cache.HasDirty(b));
+
+  fail_puts = false;
+  ASSERT_TRUE(cache.FlushAll().ok());
+  EXPECT_FALSE(cache.HasDirty(a));
+  EXPECT_FALSE(cache.HasDirty(b));
+  EXPECT_EQ(*prt->ReadData(a, 0, 64, 64), Bytes(64, 0xA1));
+  EXPECT_EQ(*prt->ReadData(b, 0, 64, 64), Bytes(64, 0xB2));
 }
 
 }  // namespace

@@ -1,0 +1,413 @@
+// Chaos suite: end-to-end fault-injection workloads over the retry/backoff
+// store stack (ISSUE: survive flaky and dead storage nodes).
+//
+// Two lanes, both in this binary (ctest label "chaos"):
+//  * deterministic lane — every test below with a hardcoded seed, so a
+//    failure reproduces exactly;
+//  * randomized lane — RandomizedSeedSweep picks a fresh seed per run (or
+//    honours ARKFS_CHAOS_SEED=<n>) and ALWAYS logs it, so any failure can be
+//    replayed with the printed seed.
+//
+// The invariant every workload asserts: zero lost acked ops. An op counts
+// as acked only once fsync (journal commit + data writeback) returned kOk;
+// acked state must survive transient faults, torn writes, and rolling node
+// outages. Un-acked ops may vanish — that is the contract fsync gives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.h"
+#include "journal/record.h"
+#include "objstore/async_io.h"
+#include "objstore/chaos_store.h"
+#include "objstore/cluster_store.h"
+#include "objstore/memory_store.h"
+#include "objstore/retrying_store.h"
+#include "objstore/wrappers.h"
+
+namespace arkfs {
+namespace {
+
+Bytes Payload(int i, std::size_t n = 512) {
+  Bytes b(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    b[j] = static_cast<std::uint8_t>((j * 31 + i * 7) & 0xFF);
+  }
+  return b;
+}
+
+// --- satellite: FaultInjectionStore must intercept every primitive ---
+
+TEST(FaultInjectionCoverage, EveryPrimitiveReachesTheHookWithItsOwnName) {
+  auto base = std::make_shared<MemoryObjectStore>();
+  std::vector<std::string> seen;
+  auto faulty = std::make_shared<FaultInjectionStore>(
+      base, [&](std::string_view op, const std::string&) {
+        seen.emplace_back(op);
+        return Errc::kOk;
+      });
+  ASSERT_TRUE(faulty->Put("k", Bytes(16, 1)).ok());
+  ASSERT_TRUE(faulty->PutRange("k", 4, Bytes(4, 2)).ok());
+  ASSERT_TRUE(faulty->Get("k").ok());
+  ASSERT_TRUE(faulty->GetRange("k", 0, 8).ok());
+  ASSERT_TRUE(faulty->Head("k").ok());
+  ASSERT_TRUE(faulty->List("").ok());
+  ASSERT_TRUE(faulty->Delete("k").ok());
+  EXPECT_EQ(seen, (std::vector<std::string>{"put", "putrange", "get",
+                                            "getrange", "head", "list",
+                                            "delete"}));
+}
+
+// --- retry engine semantics ---
+
+TEST(RetryStoreTest, RidesOutTransientFaults) {
+  auto chaos = std::make_shared<ChaosStore>(
+      std::make_shared<MemoryObjectStore>(), ChaosConfig::Flaky(101, 20.0));
+  RetryingStore store(chaos, RetryPolicy::ForTests());
+
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "o" + std::to_string(i);
+    ASSERT_TRUE(store.Put(key, Payload(i)).ok()) << key;
+  }
+  for (int i = 0; i < 200; ++i) {
+    auto got = store.Get("o" + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, Payload(i));
+  }
+  const auto stats = store.retry_stats();
+  EXPECT_GT(stats.retries, 0u);              // chaos actually hit
+  EXPECT_EQ(stats.giveups, 0u);              // and never exhausted the cap
+  EXPECT_GT(chaos->counters().transient_faults, 0u);
+}
+
+TEST(RetryStoreTest, SemanticErrorsAreNotRetried) {
+  auto chaos = std::make_shared<ChaosStore>(
+      std::make_shared<MemoryObjectStore>(), ChaosConfig{.seed = 5});
+  RetryingStore store(chaos, RetryPolicy::ForTests());
+
+  // kNoEnt is an answer, not a fault: exactly one attempt.
+  EXPECT_EQ(store.Get("missing").code(), Errc::kNoEnt);
+  EXPECT_EQ(store.retry_stats().attempts, 1u);
+  EXPECT_EQ(store.retry_stats().retries, 0u);
+}
+
+TEST(RetryStoreTest, PersistentFaultExhaustsTheAttemptCap) {
+  auto chaos = std::make_shared<ChaosStore>(
+      std::make_shared<MemoryObjectStore>(), ChaosConfig{.seed = 6});
+  chaos->AddPersistentFault("dead", Errc::kIo);
+  RetryPolicy policy = RetryPolicy::ForTests();
+  RetryingStore store(chaos, policy);
+
+  EXPECT_EQ(store.Get("dead").code(), Errc::kIo);
+  const auto stats = store.retry_stats();
+  EXPECT_EQ(stats.attempts, static_cast<std::uint64_t>(policy.max_attempts));
+  EXPECT_EQ(stats.giveups, 1u);
+
+  // A dead object that comes back is served again (with retries intact).
+  chaos->ClearPersistentFault("dead");
+  ASSERT_TRUE(store.Put("dead", Payload(1)).ok());
+  EXPECT_TRUE(store.Get("dead").ok());
+}
+
+TEST(RetryStoreTest, DeadlineCutsRetriesShort) {
+  auto chaos = std::make_shared<ChaosStore>(
+      std::make_shared<MemoryObjectStore>(), ChaosConfig{.seed = 7});
+  chaos->AddPersistentFault("dead", Errc::kTimedOut);
+  RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.initial_backoff = Millis(5);
+  policy.deadline = Millis(20);
+  RetryingStore store(chaos, policy);
+
+  EXPECT_EQ(store.Get("dead").code(), Errc::kTimedOut);
+  const auto stats = store.retry_stats();
+  EXPECT_EQ(stats.deadline_hits, 1u);
+  EXPECT_LT(stats.attempts, 16u);  // nowhere near the attempt cap
+}
+
+TEST(ChaosStoreTest, TornPutLeavesStrictPrefixAndFails) {
+  auto base = std::make_shared<MemoryObjectStore>();
+  ChaosConfig cfg;
+  cfg.seed = 11;
+  cfg.torn_put_rate = 1.0;
+  ChaosStore chaos(base, cfg);
+
+  EXPECT_EQ(chaos.Put("t", Payload(0, 256)).code(), Errc::kIo);
+  EXPECT_GE(chaos.counters().torn_puts, 1u);
+  auto landed = base->Get("t");
+  if (landed.ok()) {
+    EXPECT_LT(landed->size(), 256u);  // strict prefix, never the full object
+  }
+  // Idempotent full rewrite repairs the tear — what RetryingStore relies on.
+  ChaosConfig clean;
+  clean.seed = 11;
+  ChaosStore healed(base, clean);
+  ASSERT_TRUE(healed.Put("t", Payload(0, 256)).ok());
+  EXPECT_EQ(*base->Get("t"), Payload(0, 256));
+}
+
+TEST(ChaosStoreTest, TornJournalTailNeverCommits) {
+  // The journal's CRC framing is the defence against torn appends: a torn
+  // tail parses as "those bytes never committed", earlier txns stay intact.
+  journal::Transaction t1;
+  t1.seq = 1;
+  t1.records.push_back(journal::Record::DirRemove(DeterministicUuid(1, 1)));
+  journal::Transaction t2;
+  t2.seq = 2;
+  t2.records.push_back(journal::Record::DirRemove(DeterministicUuid(2, 2)));
+  Bytes full = journal::EncodeTransaction(t1);
+  const Bytes second = journal::EncodeTransaction(t2);
+  full.insert(full.end(), second.begin(), second.end());
+
+  Bytes torn(full.begin(), full.end() - static_cast<long>(second.size() / 2));
+  const auto parsed = journal::ParseJournal(torn);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].seq, 1u);
+}
+
+// --- async batched path with retries ---
+
+TEST(AsyncIoRetryTest, BatchesRideOutTransientFaults) {
+  auto chaos = std::make_shared<ChaosStore>(
+      std::make_shared<MemoryObjectStore>(), ChaosConfig::Flaky(21, 20.0));
+  AsyncIoConfig cfg = AsyncIoConfig::ForTests();
+  cfg.retry = RetryPolicy::ForTests();
+  AsyncObjectIo io(chaos, cfg);
+
+  std::vector<Bytes> payloads;
+  std::vector<BatchPut> puts;
+  for (int i = 0; i < 64; ++i) {
+    payloads.push_back(Payload(i));
+  }
+  for (int i = 0; i < 64; ++i) {
+    puts.push_back({"b" + std::to_string(i), payloads[i]});
+  }
+  auto put_result = io.MultiPut(std::move(puts));
+  ASSERT_TRUE(put_result.status.ok()) << put_result.status.ToString();
+
+  std::vector<BatchGet> gets;
+  for (int i = 0; i < 64; ++i) {
+    gets.push_back({"b" + std::to_string(i)});
+  }
+  auto get_result = io.MultiGet(std::move(gets));
+  ASSERT_TRUE(get_result.status.ok()) << get_result.status.ToString();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(*get_result.results[i], Payload(i)) << i;
+  }
+
+  const auto stats = io.stats();
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.retry_giveups, 0u);
+  EXPECT_EQ(stats.retry_deadline_hits, 0u);
+}
+
+// --- satellite regression: journal commit failure must not lose records ---
+
+TEST(JournalFaultTest, FailedFsyncCommitIsRedrivenNotLost) {
+  auto base = std::make_shared<MemoryObjectStore>();
+  std::atomic<bool> fail_journal_writes{false};
+  auto faulty = std::make_shared<FaultInjectionStore>(
+      base, [&](std::string_view op, const std::string& key) {
+        return (fail_journal_writes && op.starts_with("put") &&
+                !key.empty() && key[0] == 'j')
+                   ? Errc::kIo
+                   : Errc::kOk;
+      });
+  auto cluster = ArkFsCluster::Create(faulty, ArkFsClusterOptions::ForTests())
+                     .value();
+  const UserCred root = UserCred::Root();
+  auto c1 = cluster->AddClient("writer").value();
+
+  OpenOptions create;
+  create.write = true;
+  create.create = true;
+  auto fd = c1->Open("/precious", create, root);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(c1->Write(*fd, 0, AsBytes("must-survive")).ok());
+
+  // Journal object writes fail: fsync reports the failure and the create/
+  // size records must stay committable, not silently evaporate.
+  fail_journal_writes = true;
+  EXPECT_FALSE(c1->Fsync(*fd).ok());
+
+  // Store heals; the SAME records commit on the next fsync.
+  fail_journal_writes = false;
+  ASSERT_TRUE(c1->Fsync(*fd).ok());
+  ASSERT_TRUE(c1->Close(*fd).ok());
+  c1->CrashHard();
+
+  SleepFor(cluster->lease_manager().config().lease_period + Millis(100));
+  auto c2 = cluster->AddClient("recoverer").value();
+  auto data = c2->ReadWholeFile("/precious", root);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(ToString(*data), "must-survive");
+}
+
+// --- end-to-end chaos workloads ---
+
+// Runs an mdtest-style create/write/fsync workload over a chaotic store at
+// `fault_percent`, returning the paths acked by fsync. Every helper-level
+// assert is on the INVARIANT (acked => verifiable), not on op success: under
+// chaos individual ops may fail, they just must fail honestly.
+std::vector<std::string> RunAckedWorkload(Client& fs, const UserCred& root,
+                                          int dirs, int files_per_dir) {
+  std::vector<std::string> acked;
+  OpenOptions create;
+  create.write = true;
+  create.create = true;
+  for (int d = 0; d < dirs; ++d) {
+    const std::string dir = "/chaos" + std::to_string(d);
+    if (!fs.MkdirAll(dir, 0755, root).ok()) continue;
+    for (int f = 0; f < files_per_dir; ++f) {
+      const std::string path = dir + "/f" + std::to_string(f);
+      auto fd = fs.Open(path, create, root);
+      if (!fd.ok()) continue;
+      const bool wrote = fs.Write(*fd, 0, Payload(d * 1000 + f)).ok();
+      const bool synced = wrote && fs.Fsync(*fd).ok();
+      (void)fs.Close(*fd);
+      if (synced) acked.push_back(path);
+    }
+  }
+  return acked;
+}
+
+void VerifyAcked(Client& fs, const UserCred& root,
+                 const std::vector<std::string>& acked) {
+  for (const auto& path : acked) {
+    const auto slash = path.find('/', 1);
+    const int d = std::stoi(path.substr(6, slash - 6));
+    const int f = std::stoi(path.substr(path.rfind('f') + 1));
+    auto data = fs.ReadWholeFile(path, root);
+    ASSERT_TRUE(data.ok()) << path << ": " << data.status().ToString();
+    EXPECT_EQ(*data, Payload(d * 1000 + f)) << path;
+  }
+}
+
+class ChaosE2eTest : public ::testing::Test {
+ protected:
+  UserCred root_ = UserCred::Root();
+};
+
+TEST_F(ChaosE2eTest, MdtestWorkloadAtFivePercentFaults) {
+  auto chaos = std::make_shared<ChaosStore>(
+      std::make_shared<MemoryObjectStore>(), ChaosConfig::Flaky(42, 5.0));
+  auto retrying =
+      std::make_shared<RetryingStore>(chaos, RetryPolicy::ForTests());
+  auto cluster =
+      ArkFsCluster::Create(retrying, ArkFsClusterOptions::ForTests()).value();
+  auto fs = cluster->AddClient().value();
+
+  const auto acked = RunAckedWorkload(*fs, root_, 4, 25);
+  // At 5% faults behind an 8-attempt retry stack the workload should
+  // complete in full, with real retries absorbed along the way.
+  EXPECT_EQ(acked.size(), 100u);
+  const auto stats = retrying->retry_stats();
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.giveups, 0u);
+  // Retry overhead stays within budget: ~5% of attempts are re-runs; allow
+  // generous slack before calling it runaway.
+  EXPECT_LT(stats.retries, stats.attempts / 4);
+
+  ASSERT_TRUE(fs->DropCaches().ok());
+  VerifyAcked(*fs, root_, acked);
+}
+
+TEST_F(ChaosE2eTest, RollingNodeOutageLosesNoAckedOps) {
+  ClusterConfig cc = ClusterConfig::Instant(4);
+  cc.replication = 3;
+  auto nodes = std::make_shared<ClusterObjectStore>(cc);
+  auto chaos = std::make_shared<ChaosStore>(nodes, ChaosConfig::Flaky(77, 1.0));
+  auto retrying =
+      std::make_shared<RetryingStore>(chaos, RetryPolicy::ForTests());
+  auto cluster =
+      ArkFsCluster::Create(retrying, ArkFsClusterOptions::ForTests()).value();
+  auto fs = cluster->AddClient().value();
+
+  // Rolling outage: each storage node goes down for 15 ms, twice around the
+  // ring, while the workload keeps writing.
+  std::atomic<bool> outage_done{false};
+  std::thread outages([&] {
+    for (int cycle = 0; cycle < 2; ++cycle) {
+      for (int node = 0; node < cc.num_nodes; ++node) {
+        nodes->SetNodeDown(node, true);
+        SleepFor(Millis(15));
+        nodes->SetNodeDown(node, false);
+        SleepFor(Millis(5));
+      }
+    }
+    outage_done = true;
+  });
+
+  std::vector<std::string> acked;
+  OpenOptions create;
+  create.write = true;
+  create.create = true;
+  ASSERT_TRUE(fs->MkdirAll("/chaos0", 0755, root_).ok());
+  for (int i = 0; !outage_done.load() || i < 20; ++i) {
+    const std::string path = "/chaos0/f" + std::to_string(i);
+    auto fd = fs->Open(path, create, root_);
+    if (!fd.ok()) continue;
+    const bool wrote = fs->Write(*fd, 0, Payload(i)).ok();
+    const bool synced = wrote && fs->Fsync(*fd).ok();
+    (void)fs->Close(*fd);
+    if (synced) acked.push_back(path);
+  }
+  outages.join();
+
+  // The outages must actually have been felt.
+  EXPECT_GT(nodes->outage_stats().rejected_ops, 0u);
+  EXPECT_GT(retrying->retry_stats().retries, 0u);
+  ASSERT_FALSE(acked.empty());
+
+  // All nodes healed (missed writes backfilled): every acked file verifies.
+  Status drop;
+  for (int attempt = 0; attempt < 16 && !(drop = fs->DropCaches()).ok();
+       ++attempt) {
+  }
+  ASSERT_TRUE(drop.ok()) << drop.ToString();
+  for (const auto& path : acked) {
+    const int i = std::stoi(path.substr(path.rfind('f') + 1));
+    auto data = fs->ReadWholeFile(path, root_);
+    ASSERT_TRUE(data.ok()) << path << ": " << data.status().ToString();
+    EXPECT_EQ(*data, Payload(i)) << path;
+  }
+}
+
+// --- randomized lane ---
+//
+// Picks (and ALWAYS logs) a fresh seed, or honours ARKFS_CHAOS_SEED for
+// replay: ARKFS_CHAOS_SEED=12345 ctest -L chaos -R RandomizedSeedSweep
+
+TEST_F(ChaosE2eTest, RandomizedSeedSweep) {
+  std::uint64_t seed;
+  if (const char* env = std::getenv("ARKFS_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  } else {
+    seed = std::random_device{}();
+  }
+  std::cerr << "[chaos] ARKFS_CHAOS_SEED=" << seed
+            << " (re-run with this env var to reproduce)\n";
+  RecordProperty("chaos_seed", std::to_string(seed));
+
+  auto chaos = std::make_shared<ChaosStore>(
+      std::make_shared<MemoryObjectStore>(), ChaosConfig::Flaky(seed, 3.0));
+  auto retrying =
+      std::make_shared<RetryingStore>(chaos, RetryPolicy::ForTests());
+  auto cluster =
+      ArkFsCluster::Create(retrying, ArkFsClusterOptions::ForTests()).value();
+  auto fs = cluster->AddClient().value();
+
+  const auto acked = RunAckedWorkload(*fs, root_, 2, 20);
+  ASSERT_FALSE(acked.empty()) << "seed " << seed;
+  ASSERT_TRUE(fs->DropCaches().ok()) << "seed " << seed;
+  VerifyAcked(*fs, root_, acked);
+  EXPECT_EQ(retrying->retry_stats().giveups, 0u) << "seed " << seed;
+}
+
+}  // namespace
+}  // namespace arkfs

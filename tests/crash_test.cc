@@ -135,6 +135,60 @@ TEST_F(CrashTest, RecoveryReplaysRenameTwoPhaseCommit) {
   EXPECT_EQ(ToString(*data), "moving");
 }
 
+TEST_F(CrashTest, LeaderLosesLeaseMidBurst) {
+  auto c1 = cluster_->AddClient("leader").value();
+  ASSERT_TRUE(c1->Mkdir("/burst", 0755, root_).ok());
+  OpenOptions create;
+  create.write = true;
+  create.create = true;
+  constexpr int kAcked = 6;
+  for (int i = 0; i < kAcked; ++i) {
+    auto fd = c1->Open("/burst/f" + std::to_string(i), create, root_);
+    ASSERT_TRUE(fd.ok()) << i;
+    ASSERT_TRUE(c1->Write(*fd, 0, AsBytes("acked-" + std::to_string(i))).ok());
+    ASSERT_TRUE(c1->Fsync(*fd).ok());  // journal-committed: must survive
+    ASSERT_TRUE(c1->Close(*fd).ok());
+  }
+
+  // The lease manager dies mid-burst. The lease itself is still valid, so
+  // the leader keeps running — until proactive renewal starts failing.
+  cluster_->lease_manager().Stop();
+  SleepFor(LeasePeriod() * 4 / 5);  // into the proactive-renewal window
+
+  // Lame duck: renewal fails while the lease is unexpired. New mutations
+  // must be fenced with kStale (a successor could be elected any moment and
+  // would never learn about them)...
+  auto fenced = c1->Open("/burst/rejected", create, root_);
+  ASSERT_FALSE(fenced.ok());
+  EXPECT_EQ(fenced.code(), Errc::kStale);
+  // ...while reads keep being served from the in-memory metatable.
+  auto dir = c1->ReadDir("/burst", root_);
+  ASSERT_TRUE(dir.ok());
+  EXPECT_EQ(dir->size(), static_cast<std::size_t>(kAcked));
+
+  c1->CrashHard();
+
+  // Manager comes back with all lease state lost (crash-restart semantics);
+  // wait out the quiet period plus the dead leader's lease.
+  cluster_->lease_manager().Restart();
+  ASSERT_TRUE(cluster_->lease_manager().Start().ok());
+  SleepFor(LeasePeriod() + Millis(100));
+
+  // The successor finds the journal and replays it: zero acked ops lost,
+  // and the fenced create never happened.
+  auto c2 = cluster_->AddClient("successor").value();
+  auto entries = c2->ReadDir("/burst", root_);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), static_cast<std::size_t>(kAcked));
+  for (int i = 0; i < kAcked; ++i) {
+    auto data = c2->ReadWholeFile("/burst/f" + std::to_string(i), root_);
+    ASSERT_TRUE(data.ok()) << i;
+    EXPECT_EQ(ToString(*data), "acked-" + std::to_string(i));
+  }
+  EXPECT_EQ(c2->Stat("/burst/rejected", root_).code(), Errc::kNoEnt);
+  EXPECT_GT(c2->stats().recoveries, 0u);
+}
+
 TEST_F(CrashTest, RepeatedCrashesConverge) {
   for (int round = 0; round < 3; ++round) {
     auto c = cluster_->AddClient("round-" + std::to_string(round)).value();

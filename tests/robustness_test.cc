@@ -28,7 +28,7 @@ TEST_F(RobustnessTest, StorePutFailuresSurfaceOnFsync) {
   std::atomic<bool> fail_puts{false};
   auto faulty = std::make_shared<FaultInjectionStore>(
       base, [&](std::string_view op, const std::string&) {
-        return (fail_puts && op == "put") ? Errc::kIo : Errc::kOk;
+        return (fail_puts && op.starts_with("put")) ? Errc::kIo : Errc::kOk;
       });
   auto cluster = MakeCluster(faulty);
   auto fs = cluster->AddClient().value();
@@ -55,8 +55,9 @@ TEST_F(RobustnessTest, TransientGetFailuresDoNotCorruptCache) {
   std::atomic<bool> fail_data_reads{false};
   auto faulty = std::make_shared<FaultInjectionStore>(
       base, [&](std::string_view op, const std::string& key) {
-        return (fail_data_reads && op == "get" && key[0] == 'd') ? Errc::kIo
-                                                                 : Errc::kOk;
+        return (fail_data_reads && op.starts_with("get") && key[0] == 'd')
+                   ? Errc::kIo
+                   : Errc::kOk;
       });
   auto cluster = MakeCluster(faulty);
   auto fs = cluster->AddClient().value();
@@ -84,7 +85,7 @@ TEST_F(RobustnessTest, MetatableBuildFailureDoesNotWedgeDirectory) {
   std::atomic<bool> fail_dentry_reads{false};
   auto faulty = std::make_shared<FaultInjectionStore>(
       base, [&](std::string_view op, const std::string& key) {
-        return (fail_dentry_reads && op == "get" && key[0] == 'e')
+        return (fail_dentry_reads && op.starts_with("get") && key[0] == 'e')
                    ? Errc::kIo
                    : Errc::kOk;
       });
