@@ -14,7 +14,9 @@ Status Client::Format(const ObjectStorePtr& store, bool force) {
   }
   Inode root = MakeInode(kRootIno, FileType::kDirectory, 0755, 0, 0, Uuid{});
   ARKFS_RETURN_IF_ERROR(prt.StoreInode(root));
-  ARKFS_RETURN_IF_ERROR(prt.StoreDentryBlock(kRootIno, {}));
+  // Fresh file systems start on the sharded layout (B=1, grown on demand);
+  // only pre-existing images still carry legacy unsharded blocks.
+  ARKFS_RETURN_IF_ERROR(prt.StoreDentryManifest(kRootIno, DentryManifest{}));
   return Status::Ok();
 }
 
@@ -176,9 +178,11 @@ Status Client::BecomeLeader(const DirHandlePtr& handle,
   }
 
   // Everything a new leader needs from the store goes out as one overlapped
-  // batch: the dir inode, the dentry block, and the surviving-journal probe
-  // cost ~one store round trip instead of three sequential ones.
-  Prt::DirObjects dir = prt_->LoadDirObjects(handle->ino);
+  // batch: the dir inode, the dentry shards (seeded by the shard count seen
+  // at the last leadership), and the surviving-journal probe cost ~one store
+  // round trip instead of one per object.
+  Prt::DirObjects dir = prt_->LoadDirObjects(handle->ino, handle->shard_hint);
+  if (dir.shard_count != 0) handle->shard_hint = dir.shard_count;
   const bool surviving_journal =
       dir.journal.ok() && !journal::ParseJournal(*dir.journal).empty();
 
@@ -212,9 +216,10 @@ Status Client::BecomeLeader(const DirHandlePtr& handle,
 Status Client::BuildMetatable(DirHandle& handle, Prt::DirObjects* preloaded) {
   Prt::DirObjects local;
   if (!preloaded) {
-    local = prt_->LoadDirObjects(handle.ino);
+    local = prt_->LoadDirObjects(handle.ino, handle.shard_hint);
     preloaded = &local;
   }
+  if (preloaded->shard_count != 0) handle.shard_hint = preloaded->shard_count;
   auto& dir_inode = preloaded->inode;
   if (!dir_inode.ok()) {
     if (dir_inode.code() == Errc::kNoEnt) {

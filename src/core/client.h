@@ -161,6 +161,10 @@ class Client : public Vfs {
     bool lame_duck = false;
     TimePoint lease_until{};
     Nanos lease_duration{0};
+    // Dentry shard count observed at the last leadership (1 until known).
+    // Seeds the speculative bootstrap batch so re-acquiring the lease loads
+    // inode + shards + journal probe in one store round trip.
+    std::uint32_t shard_hint = 1;
     std::unordered_map<Uuid, FileLeaseInfo> file_leases;
   };
   using DirHandlePtr = std::shared_ptr<DirHandle>;

@@ -962,8 +962,8 @@ Status Client::LeaderRmdir(DirHandle& dir, const std::string& name,
     if (child->leader && child->metatable) {
       empty = child->metatable->empty();
     } else {
-      auto block = prt_->LoadDentryBlock(d.ino);
-      empty = block.ok() && block->empty() &&
+      auto entries = prt_->LoadDentries(d.ino);  // either layout
+      empty = entries.ok() && entries->empty() &&
               !journal_->HasSurvivingJournal(d.ino);
     }
   }

@@ -9,6 +9,28 @@
 
 namespace arkfs::journal {
 
+std::uint32_t ShardCountFor(const DentryShardPolicy& policy,
+                            std::uint64_t entries) {
+  std::uint32_t cap = std::min(policy.max_shards, kMaxDentryShards);
+  if (!IsPow2(cap)) {  // round a non-pow2 cap down
+    std::uint32_t p = 1;
+    while (p * 2 <= cap) p *= 2;
+    cap = p;
+  }
+  if (cap == 0) cap = 1;
+  if (policy.override_count != 0) {
+    std::uint32_t b = 1;  // round the override up to a power of two
+    while (b < policy.override_count && b < kMaxDentryShards) b *= 2;
+    return b;
+  }
+  std::uint32_t b = 1;
+  while (b < cap &&
+         entries > static_cast<std::uint64_t>(policy.target_entries) * b) {
+    b *= 2;
+  }
+  return b;
+}
+
 JournalManager::JournalManager(std::shared_ptr<Prt> prt, JournalConfig config)
     : config_(config), prt_(std::move(prt)) {
   checkpoint_queues_.reserve(config_.checkpoint_threads);
@@ -113,7 +135,11 @@ Status JournalManager::CommitRunningLocked(const Uuid& dir_ino, DirState& st) {
     st.running.clear();
     txn.seq = st.next_seq++;
   }
+  const TimePoint commit_start = Now();
   Status append = AppendToJournalLocked(dir_ino, st, txn);
+  if (append.ok()) {
+    op_latencies_.Record("commit", Now() - commit_start);
+  }
   if (!append.ok()) {
     // Unwind: nothing was made durable, so the records must stay committable
     // — losing them here would silently drop already-applied metatable
@@ -155,9 +181,12 @@ Status JournalManager::Checkpoint(const Uuid& dir_ino, DirState& st) {
   // crash at any point simply replays (idempotently) from the journal.
   // 2PC prepares are always co-batched with their decisions (CommitCrossDir
   // appends both phases under append_mu), so no peer consultation is needed.
+  const TimePoint cp_start = Now();
+  ApplyOutcome outcome;
   ARKFS_RETURN_IF_ERROR(ApplyTransactions(
       *prt_, dir_ino, batch,
-      [](const Uuid&, const Uuid&) { return false; }, nullptr));
+      [](const Uuid&, const Uuid&) { return false; }, nullptr,
+      config_.shard_policy, &outcome));
 
   // Trim exactly the checkpointed prefix from the journal object.
   {
@@ -172,9 +201,15 @@ Status JournalManager::Checkpoint(const Uuid& dir_ino, DirState& st) {
     ARKFS_RETURN_IF_ERROR(prt_->StoreJournal(dir_ino, remainder));
     st.journal_bytes = remainder.size();
   }
+  op_latencies_.Record("checkpoint", Now() - cp_start);
   {
     std::lock_guard stats(stats_mu_);
     stats_.transactions_checkpointed += batch.size();
+    ++stats_.checkpoints;
+    stats_.dentry_shards_loaded += outcome.shards_loaded;
+    stats_.dentry_shards_written += outcome.shards_written;
+    if (outcome.migrated) ++stats_.dentry_migrations;
+    if (outcome.resharded) ++stats_.dentry_reshards;
   }
   return Status::Ok();
 }
@@ -193,29 +228,32 @@ Status JournalManager::FlushDir(const Uuid& dir_ino) {
 }
 
 Status JournalManager::FlushAll() {
-  std::vector<Uuid> all;
-  {
-    std::lock_guard lock(registry_mu_);
-    all.reserve(dirs_.size());
-    for (const auto& [ino, _] : dirs_) all.push_back(ino);
-  }
-  for (const auto& ino : all) {
-    ARKFS_RETURN_IF_ERROR(FlushDir(ino));
-  }
-  return Status::Ok();
+  // Per-directory journals are independent, so sync() fans the flushes out
+  // across directories and overlaps their store round trips. RunAll runs
+  // every task even after a failure (first-error-wins, not abort-on-first):
+  // one bad directory must not leave the rest of the namespace unsynced.
+  return ForEachDir([this](const Uuid& ino) { return FlushDir(ino); });
 }
 
 Status JournalManager::CommitAll() {
+  return ForEachDir([this](const Uuid& ino) { return CommitDir(ino); });
+}
+
+Status JournalManager::ForEachDir(std::function<Status(const Uuid&)> op) {
   std::vector<Uuid> all;
   {
     std::lock_guard lock(registry_mu_);
     all.reserve(dirs_.size());
     for (const auto& [ino, _] : dirs_) all.push_back(ino);
   }
+  if (all.empty()) return Status::Ok();
+  if (all.size() == 1) return op(all[0]);
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(all.size());
   for (const auto& ino : all) {
-    ARKFS_RETURN_IF_ERROR(CommitDir(ino));
+    tasks.push_back([&op, ino] { return op(ino); });
   }
-  return Status::Ok();
+  return prt_->async().RunAll(std::move(tasks));
 }
 
 Status JournalManager::CommitCrossDir(const Uuid& src_dir,
@@ -299,9 +337,18 @@ Result<RecoveryReport> JournalManager::RecoverDir(const Uuid& dir_ino) {
     return false;
   };
 
-  ARKFS_RETURN_IF_ERROR(
-      ApplyTransactions(*prt_, dir_ino, txns, peer_decision, &report));
+  ApplyOutcome outcome;
+  ARKFS_RETURN_IF_ERROR(ApplyTransactions(*prt_, dir_ino, txns, peer_decision,
+                                          &report, config_.shard_policy,
+                                          &outcome));
   ARKFS_RETURN_IF_ERROR(prt_->StoreJournal(dir_ino, Bytes{}));
+  {
+    std::lock_guard stats(stats_mu_);
+    stats_.dentry_shards_loaded += outcome.shards_loaded;
+    stats_.dentry_shards_written += outcome.shards_written;
+    if (outcome.migrated) ++stats_.dentry_migrations;
+    if (outcome.resharded) ++stats_.dentry_reshards;
+  }
 
   // Reset any stale in-memory bookkeeping for this directory.
   if (DirStatePtr st = FindDir(dir_ino)) {
@@ -323,7 +370,8 @@ Status JournalManager::ApplyTransactions(
     Prt& prt, const Uuid& dir_ino, const std::vector<Transaction>& txns,
     const std::function<bool(const Uuid& txid, const Uuid& peer)>&
         peer_decision,
-    RecoveryReport* report) {
+    RecoveryReport* report, const DentryShardPolicy& policy,
+    ApplyOutcome* outcome) {
   // Decisions may live in later transactions than their prepares.
   std::map<Uuid, bool> decisions;
   for (const auto& txn : txns) {
@@ -332,28 +380,19 @@ Status JournalManager::ApplyTransactions(
     }
   }
 
-  // Dentry-block deltas are folded into one read-modify-write.
-  bool dentries_loaded = false;
-  bool dentries_dirty = false;
-  std::map<std::string, Dentry> dentries;
-  auto load_dentries = [&]() -> Status {
-    if (dentries_loaded) return Status::Ok();
-    ARKFS_ASSIGN_OR_RETURN(auto block, prt.LoadDentryBlock(dir_ino));
-    for (auto& d : block) dentries[d.name] = std::move(d);
-    dentries_loaded = true;
-    return Status::Ok();
-  };
-
   // Fold every record in replay order into the FINAL per-key action, then
   // execute the whole group as one batched put and one batched delete: a
   // checkpoint of N transactions costs ~one overlapped store round trip
   // instead of one blocking op per record. Replay is idempotent, so the
   // all-attempt/first-error batch semantics are safe on partial failure.
   std::map<Uuid, std::optional<Inode>> inode_ops;  // value = upsert, nullopt = remove
+  // Final per-name dentry action (value = upsert, nullopt = remove). Folding
+  // to actions first means we never load a shard the batch didn't touch.
+  std::map<std::string, std::optional<Dentry>> dentry_ops;
   // Data chunks of removed files. Kept even if the ino is later re-upserted
   // (the serial path deleted them at the remove record too).
   std::map<Uuid, std::pair<std::uint64_t, std::uint64_t>> data_removes;
-  std::set<Uuid> dir_removes;  // dentry block + journal of removed child dirs
+  std::set<Uuid> dir_removes;  // dentry objects + journal of removed child dirs
 
   for (const auto& txn : txns) {
     if (const Record* prep = txn.FindPrepare()) {
@@ -383,14 +422,10 @@ Status JournalManager::ApplyTransactions(
           }
           break;
         case RecordType::kDentryAdd:
-          ARKFS_RETURN_IF_ERROR(load_dentries());
-          dentries[rec.dentry.name] = rec.dentry;
-          dentries_dirty = true;
+          dentry_ops[rec.dentry.name] = rec.dentry;
           break;
         case RecordType::kDentryRemove:
-          ARKFS_RETURN_IF_ERROR(load_dentries());
-          dentries.erase(rec.name);
-          dentries_dirty = true;
+          dentry_ops[rec.name] = std::nullopt;
           break;
         case RecordType::kDirRemove:
           dir_removes.insert(rec.target_ino);
@@ -406,9 +441,19 @@ Status JournalManager::ApplyTransactions(
     }
   }
 
-  std::vector<Bytes> put_bufs;  // owns encodings until the MultiPut joins
+  ApplyOutcome out;
+  std::vector<Bytes> put_bufs;  // owns encodings until the batches join
   std::vector<BatchPut> puts;
+  // Ordered manifest Put, issued only after the main MultiPut fully lands.
+  // For migration/reshard it is the commit point that atomically switches
+  // readers to the new generation (the old layout is deleted only after);
+  // for steady-state checkpoints it carries the entry-count update. Either
+  // way the manifest object only ever transitions valid -> valid, and a
+  // crash before it leaves the previous layout intact with the journal
+  // unconsumed, so replay converges.
+  std::optional<std::pair<std::string, Bytes>> layout_commit;
   std::vector<std::string> deletes;
+
   for (const auto& [ino, op] : inode_ops) {
     if (op) {
       put_bufs.push_back(op->Encode());
@@ -420,16 +465,177 @@ Status JournalManager::ApplyTransactions(
       deletes.push_back(InodeKey(ino));
     }
   }
-  if (dentries_dirty) {
-    std::vector<Dentry> block;
-    block.reserve(dentries.size());
-    for (auto& [_, d] : dentries) block.push_back(std::move(d));
-    put_bufs.push_back(EncodeDentryBlock(block));
-    BatchPut p;
-    p.key = DentryKey(dir_ino);
-    p.data = put_bufs.back();
-    puts.push_back(std::move(p));
+
+  if (!dentry_ops.empty()) {
+    auto add_shard_put = [&](std::uint32_t shard_count, std::uint32_t shard,
+                             const std::vector<Dentry>& entries) {
+      put_bufs.push_back(EncodeDentryBlock(entries));
+      BatchPut p;
+      p.key = DentryShardKey(dir_ino, shard_count, shard);
+      p.data = put_bufs.back();
+      puts.push_back(std::move(p));
+      ++out.shards_written;
+    };
+    auto apply_ops = [&](std::map<std::string, Dentry>& entries) {
+      for (const auto& [name, op] : dentry_ops) {
+        if (op) {
+          entries[name] = *op;
+        } else {
+          entries.erase(name);
+        }
+      }
+    };
+    auto partition = [&](std::map<std::string, Dentry>& entries,
+                         std::uint32_t shard_count) {
+      std::vector<std::vector<Dentry>> shards(shard_count);
+      for (auto& [name, d] : entries) {
+        shards[DentryShardOf(name, shard_count)].push_back(std::move(d));
+      }
+      return shards;
+    };
+
+    auto manifest = prt.LoadDentryManifest(dir_ino);
+    if (!manifest.ok() && manifest.code() != Errc::kNoEnt) {
+      if (!report) return manifest.status();
+      // Undecodable manifest during recovery: the layout-flip Put tore.
+      // Shard generations are always fully materialized BEFORE the manifest
+      // flips, so the newest generation present holds the complete pre-crash
+      // fold — adopt it (replaying this journal over it is idempotent). No
+      // generation at all means the flip was a legacy migration whose shards
+      // never landed either: fall back to the legacy path.
+      ARKFS_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                             prt.store().List(DentryObjectPrefix(dir_ino)));
+      std::uint32_t newest = 0;
+      for (const auto& k : keys) {
+        auto parsed = ParseKey(k);
+        if (parsed.ok() && parsed->kind == KeyKind::kDentryShard) {
+          newest = std::max(newest, parsed->dentry_shard_count);
+        }
+      }
+      if (newest == 0) {
+        manifest = ErrStatus(Errc::kNoEnt, "torn manifest, no shards");
+      } else {
+        DentryManifest adopted;
+        adopted.shard_count = newest;
+        adopted.entry_count = 0;  // hint; restored by the replay below
+        manifest = adopted;
+      }
+    }
+    if (!manifest.ok()) {
+      // Legacy unsharded block (or never checkpointed): fold the batch in
+      // and migrate to the sharded layout in the same pass.
+      ARKFS_ASSIGN_OR_RETURN(auto block, prt.LoadDentryBlock(dir_ino));
+      std::map<std::string, Dentry> entries;
+      for (auto& d : block) entries[d.name] = std::move(d);
+      apply_ops(entries);
+      const std::uint32_t b = ShardCountFor(policy, entries.size());
+      const std::uint64_t total = entries.size();
+      auto shards = partition(entries, b);
+      for (std::uint32_t s = 0; s < b; ++s) {
+        // Every shard of the new generation is written, empty ones included:
+        // a replayed migration must overwrite any torn artifact a crashed
+        // earlier attempt left at these keys.
+        add_shard_put(b, s, shards[s]);
+      }
+      layout_commit.emplace(DentryManifestKey(dir_ino),
+                            EncodeDentryManifest({b, total}));
+      deletes.push_back(DentryKey(dir_ino));
+      out.migrated = true;
+      out.shard_count = b;
+    } else {
+      const std::uint32_t b = manifest->shard_count;
+      // Grow decision from the size hint plus an upper bound on net adds;
+      // overestimating only grows a touch early, and counts are corrected
+      // whenever all shards are in hand.
+      std::uint64_t adds = 0;
+      for (const auto& [_, op] : dentry_ops) adds += op ? 1 : 0;
+      const std::uint32_t target =
+          ShardCountFor(policy, manifest->entry_count + adds);
+      if (target > b) {
+        // Reshard: rewrite everything under the new generation, flip the
+        // manifest, then drop the old generation's objects.
+        std::vector<std::uint32_t> all_idx(b);
+        for (std::uint32_t s = 0; s < b; ++s) all_idx[s] = s;
+        ARKFS_ASSIGN_OR_RETURN(
+            auto loaded,
+            prt.LoadDentryShards(dir_ino, b, all_idx,
+                                 /*tolerate_garbage=*/report != nullptr));
+        out.shards_loaded += b;
+        std::map<std::string, Dentry> entries;
+        for (auto& part : loaded) {
+          for (auto& d : part) entries[d.name] = std::move(d);
+        }
+        apply_ops(entries);
+        const std::uint64_t total = entries.size();
+        auto shards = partition(entries, target);
+        for (std::uint32_t s = 0; s < target; ++s) {
+          add_shard_put(target, s, shards[s]);  // incl. empty: see migration
+        }
+        layout_commit.emplace(DentryManifestKey(dir_ino),
+                              EncodeDentryManifest({target, total}));
+        for (std::uint32_t s = 0; s < b; ++s) {
+          deletes.push_back(DentryShardKey(dir_ino, b, s));
+        }
+        out.resharded = true;
+        out.shard_count = target;
+      } else {
+        // Steady state: load and rewrite ONLY the shards this batch dirtied.
+        std::set<std::uint32_t> dirty;
+        for (const auto& [name, _] : dentry_ops) {
+          dirty.insert(DentryShardOf(name, b));
+        }
+        const std::vector<std::uint32_t> idx(dirty.begin(), dirty.end());
+        ARKFS_ASSIGN_OR_RETURN(
+            auto loaded, prt.LoadDentryShards(dir_ino, b, idx,
+                                              /*tolerate_garbage=*/report !=
+                                                  nullptr));
+        out.shards_loaded += idx.size();
+        std::int64_t delta = 0;
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+          std::map<std::string, Dentry> entries;
+          for (auto& d : loaded[i]) entries[d.name] = std::move(d);
+          for (const auto& [name, op] : dentry_ops) {
+            if (DentryShardOf(name, b) != idx[i]) continue;
+            const bool existed = entries.count(name) != 0;
+            if (op) {
+              entries[name] = *op;
+              delta += existed ? 0 : 1;
+            } else {
+              entries.erase(name);
+              delta -= existed ? 1 : 0;
+            }
+          }
+          std::vector<Dentry> shard;
+          shard.reserve(entries.size());
+          for (auto& [_, d] : entries) shard.push_back(std::move(d));
+          // A now-empty shard is still written (as an empty block) so a
+          // previously materialized object can't resurrect stale entries.
+          add_shard_put(b, idx[i], shard);
+        }
+        DentryManifest updated = *manifest;
+        updated.entry_count =
+            delta < 0 && updated.entry_count < static_cast<std::uint64_t>(-delta)
+                ? 0
+                : updated.entry_count + delta;
+        // The count update rides the ordered commit-point Put (after the
+        // shard MultiPut), never the MultiPut itself: the manifest object
+        // must only ever transition between valid states, so a torn batch
+        // can't destroy the layout authority. Skipped when nothing changed
+        // (pure overwrites), except in recovery, which must restore a valid
+        // manifest after a torn one was adopted from the newest generation.
+        if (updated.entry_count != manifest->entry_count || report) {
+          layout_commit.emplace(DentryManifestKey(dir_ino),
+                                EncodeDentryManifest(updated));
+        }
+        out.shard_count = b;
+        // Recovery replay may be redoing a crashed migration whose manifest
+        // landed but whose legacy-block delete didn't; re-issue the delete
+        // so the orphan can't linger.
+        if (report) deletes.push_back(DentryKey(dir_ino));
+      }
+    }
   }
+
   for (const auto& [ino, geom] : data_removes) {
     const auto [rec_chunk_size, rec_file_size] = geom;
     const std::uint64_t chunks = (rec_file_size - 1) / rec_chunk_size + 1;
@@ -438,6 +644,11 @@ Status JournalManager::ApplyTransactions(
     }
   }
   for (const auto& ino : dir_removes) {
+    // The removed child may be on either layout: sweep the manifest and all
+    // shard generations by prefix, plus the legacy block and the journal.
+    ARKFS_ASSIGN_OR_RETURN(std::vector<std::string> listed,
+                           prt.store().List(DentryObjectPrefix(ino)));
+    for (auto& k : listed) deletes.push_back(std::move(k));
     deletes.push_back(DentryKey(ino));
     deletes.push_back(JournalKey(ino));
   }
@@ -445,12 +656,18 @@ Status JournalManager::ApplyTransactions(
   Status first = Status::Ok();
   if (!puts.empty()) {
     auto pr = prt.async().MultiPut(std::move(puts));
-    if (first.ok()) first = pr.status;
+    first = pr.status;
   }
-  if (!deletes.empty()) {
-    auto dr = prt.async().MultiDelete(std::move(deletes));
-    if (first.ok()) first = dr.FirstErrorIgnoringNoEnt();
+  if (layout_commit && first.ok()) {
+    first = prt.store().Put(layout_commit->first, layout_commit->second);
   }
+  // Deletes only run after every put landed: on a torn migration/reshard the
+  // old layout MUST survive (the manifest still points at it), and for plain
+  // failures the journal is retained for replay anyway.
+  if (!deletes.empty() && first.ok()) {
+    first = prt.async().MultiDelete(std::move(deletes)).FirstErrorIgnoringNoEnt();
+  }
+  if (outcome) *outcome = out;
   return first;
 }
 

@@ -34,15 +34,31 @@
 
 #include "common/clock.h"
 #include "common/mpmc_queue.h"
+#include "common/stats.h"
 #include "journal/record.h"
 #include "prt/translator.h"
 
 namespace arkfs::journal {
 
+// How many dentry shards a directory gets. Checkpointing picks the smallest
+// power of two B <= max_shards with entries <= target_entries * B, and only
+// ever grows a directory's shard count (shrinking would churn layouts for no
+// read-path win). `override_count` (benches/tests) pins B outright.
+struct DentryShardPolicy {
+  std::uint32_t target_entries = 4096;  // max entries per shard before growing
+  std::uint32_t max_shards = 64;        // policy cap (format cap is 256)
+  std::uint32_t override_count = 0;     // 0 = derive from size
+};
+
+// Smallest power-of-two shard count the policy allows for `entries`.
+std::uint32_t ShardCountFor(const DentryShardPolicy& policy,
+                            std::uint64_t entries);
+
 struct JournalConfig {
   Nanos commit_interval{Seconds(1)};  // paper: 1 s in-memory buffering
   int commit_threads = 2;
   int checkpoint_threads = 2;
+  DentryShardPolicy shard_policy;
 
   static JournalConfig ForTests() {
     JournalConfig c;
@@ -56,6 +72,20 @@ struct JournalStats {
   std::uint64_t records_committed = 0;
   std::uint64_t transactions_checkpointed = 0;
   std::uint64_t journal_bytes_written = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t dentry_shards_loaded = 0;
+  std::uint64_t dentry_shards_written = 0;
+  std::uint64_t dentry_migrations = 0;  // legacy block -> sharded layout
+  std::uint64_t dentry_reshards = 0;    // shard-count growth events
+};
+
+// What one ApplyTransactions call did to the dentry layout (stats/tests).
+struct ApplyOutcome {
+  std::uint32_t shard_count = 0;  // layout after apply (0 = untouched)
+  std::uint64_t shards_loaded = 0;
+  std::uint64_t shards_written = 0;
+  bool migrated = false;
+  bool resharded = false;
 };
 
 struct RecoveryReport {
@@ -112,15 +142,22 @@ class JournalManager {
   JournalStats stats() const;
   const JournalConfig& config() const { return config_; }
 
+  // Wall-clock histograms for "commit" (running txn -> journal object) and
+  // "checkpoint" (journal -> authoritative objects). p50/p95/p99 via Table().
+  const OpLatencySet& latencies() const { return op_latencies_; }
+
   // Applies parsed transactions to the authoritative objects. Exposed for
   // tests. `peer_decision` resolves prepared transactions with no local
   // decision (recovery passes a peer-journal scan; checkpointing never
-  // needs it).
+  // needs it). Dentry deltas touch only the shards the batch dirtied; a
+  // legacy unsharded block is migrated to the sharded layout on the way
+  // through (see DESIGN.md for the crash-ordering protocol).
   static Status ApplyTransactions(
       Prt& prt, const Uuid& dir_ino, const std::vector<Transaction>& txns,
       const std::function<bool(const Uuid& txid, const Uuid& peer)>&
           peer_decision,
-      RecoveryReport* report);
+      RecoveryReport* report, const DentryShardPolicy& policy = {},
+      ApplyOutcome* outcome = nullptr);
 
  private:
   struct DirState {
@@ -156,6 +193,10 @@ class JournalManager {
   // consumed journal prefix is trimmed afterwards.
   Status Checkpoint(const Uuid& dir_ino, DirState& st);
 
+  // Runs `op` against every registered directory, fanned out through the
+  // async layer (first-error-wins; every directory is attempted).
+  Status ForEachDir(std::function<Status(const Uuid&)> op);
+
   void CommitThreadMain(int index);
   void CheckpointThreadMain(int index);
 
@@ -179,6 +220,7 @@ class JournalManager {
 
   mutable std::mutex stats_mu_;
   JournalStats stats_;
+  OpLatencySet op_latencies_{{"commit", "checkpoint"}};
 };
 
 }  // namespace arkfs::journal

@@ -1,5 +1,7 @@
 #include "meta/dentry.h"
 
+#include "prt/key_schema.h"  // kMaxDentryShards (header-only constant)
+
 namespace arkfs {
 
 void Dentry::EncodeTo(Encoder& enc) const {
@@ -37,6 +39,35 @@ Result<std::vector<Dentry>> DecodeDentryBlock(ByteSpan data) {
     entries.push_back(std::move(d));
   }
   return entries;
+}
+
+namespace {
+constexpr std::uint8_t kManifestVersion = 1;
+}  // namespace
+
+Bytes EncodeDentryManifest(const DentryManifest& m) {
+  Encoder enc(16);
+  enc.PutU8(kManifestVersion);
+  enc.PutVarint(m.shard_count);
+  enc.PutVarint(m.entry_count);
+  return std::move(enc).Take();
+}
+
+Result<DentryManifest> DecodeDentryManifest(ByteSpan data) {
+  Decoder dec(data);
+  ARKFS_ASSIGN_OR_RETURN(std::uint8_t version, dec.GetU8());
+  if (version != kManifestVersion) {
+    return ErrStatus(Errc::kIo, "unknown dentry manifest version");
+  }
+  DentryManifest m;
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t count, dec.GetVarint());
+  ARKFS_ASSIGN_OR_RETURN(m.entry_count, dec.GetVarint());
+  m.shard_count = static_cast<std::uint32_t>(count);
+  if (count == 0 || count > kMaxDentryShards ||
+      (m.shard_count & (m.shard_count - 1)) != 0) {
+    return ErrStatus(Errc::kIo, "bad dentry shard count");
+  }
+  return m;
 }
 
 Status ValidateName(const std::string& name) {

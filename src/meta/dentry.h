@@ -1,8 +1,17 @@
 // Directory entries.
 //
-// Each directory's entries are serialized together into one "e<uuid>" object
-// (the dentry block). The block is rewritten at checkpoint time; between
-// checkpoints, mutations live in the per-directory journal.
+// A directory's entries live in the store in one of two layouts:
+//
+//  * legacy: all entries serialized into one "e<uuid>" object (the dentry
+//    block), rewritten wholesale at checkpoint time;
+//  * sharded: entries hash-partitioned across B power-of-two shard objects
+//    ("e<uuid>.<gen>.<shard>"), with a tiny manifest ("e<uuid>.m") naming
+//    the live shard count and an entry-count hint. Checkpoints rewrite only
+//    the shards a transaction batch actually touched.
+//
+// Between checkpoints, mutations live in the per-directory journal either
+// way. The manifest is written only by the directory's own checkpoint path
+// (single writer under the checkpoint lock), so it is the layout authority.
 #pragma once
 
 #include <string>
@@ -26,9 +35,25 @@ struct Dentry {
   friend bool operator==(const Dentry&, const Dentry&) = default;
 };
 
-// (De)serializes a whole dentry block.
+// (De)serializes a whole dentry block (legacy layout) or one shard's
+// entries (sharded layout — the wire format is identical).
 Bytes EncodeDentryBlock(const std::vector<Dentry>& entries);
 Result<std::vector<Dentry>> DecodeDentryBlock(ByteSpan data);
+
+// Manifest of a sharded directory: the live shard count and a persisted
+// entry-count hint used to decide when to grow the shard set. The hint may
+// drift slightly after a torn checkpoint (it is corrected on the next full
+// load); `shard_count` is exact by construction.
+struct DentryManifest {
+  std::uint32_t shard_count = 1;  // power of two
+  std::uint64_t entry_count = 0;  // size hint, not authoritative
+
+  friend bool operator==(const DentryManifest&, const DentryManifest&) =
+      default;
+};
+
+Bytes EncodeDentryManifest(const DentryManifest& m);
+Result<DentryManifest> DecodeDentryManifest(ByteSpan data);
 
 // POSIX component-name validation: nonempty, no '/', no NUL, not "."/"..",
 // and within NAME_MAX.

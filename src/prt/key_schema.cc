@@ -7,10 +7,22 @@ namespace {
 
 std::string MakeKey(char prefix, const Uuid& ino) {
   std::string key;
-  key.reserve(33);
+  key.reserve(41);
   key.push_back(prefix);
   key += ino.ToString();
   return key;
+}
+
+int Log2Pow2(std::uint32_t v) {
+  int g = 0;
+  while ((1u << g) < v) ++g;
+  return g;
+}
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
 }
 
 }  // namespace
@@ -27,6 +39,33 @@ std::string DataKey(const Uuid& ino, std::uint64_t chunk_index) {
 }
 
 std::string DataKeyPrefix(const Uuid& ino) { return MakeKey('d', ino) + "."; }
+
+std::string DentryManifestKey(const Uuid& dir_ino) {
+  return MakeKey('e', dir_ino) + ".m";
+}
+
+std::string DentryShardKey(const Uuid& dir_ino, std::uint32_t shard_count,
+                           std::uint32_t shard) {
+  char suffix[12];
+  std::snprintf(suffix, sizeof(suffix), ".%02x.%04x", Log2Pow2(shard_count),
+                shard);
+  return MakeKey('e', dir_ino) + suffix;
+}
+
+std::string DentryObjectPrefix(const Uuid& dir_ino) {
+  return MakeKey('e', dir_ino) + ".";
+}
+
+std::uint32_t DentryShardOf(std::string_view name, std::uint32_t shard_count) {
+  // FNV-1a 64. Placement is persisted in object keys, so this must never
+  // change (std::hash has no such guarantee).
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::uint32_t>(h & (shard_count - 1));
+}
 
 Result<ParsedKey> ParseKey(const std::string& key) {
   if (key.size() < 33) return ErrStatus(Errc::kInval, "key too short");
@@ -45,15 +84,41 @@ Result<ParsedKey> ParseKey(const std::string& key) {
     }
     std::uint64_t idx = 0;
     for (std::size_t i = 34; i < key.size(); ++i) {
-      const char c = key[i];
-      int v;
-      if (c >= '0' && c <= '9') v = c - '0';
-      else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
-      else return ErrStatus(Errc::kInval, "bad chunk index");
+      const int v = HexVal(key[i]);
+      if (v < 0) return ErrStatus(Errc::kInval, "bad chunk index");
       idx = (idx << 4) | static_cast<std::uint64_t>(v);
     }
     parsed.chunk_index = idx;
-  } else if (key.size() != 33) {
+    return parsed;
+  }
+  if (parsed.kind == KeyKind::kDentry && key.size() == 35 && key[33] == '.' &&
+      key[34] == 'm') {
+    parsed.kind = KeyKind::kDentryManifest;
+    return parsed;
+  }
+  if (parsed.kind == KeyKind::kDentry && key.size() == 41 && key[33] == '.' &&
+      key[36] == '.') {
+    std::uint32_t gen = 0, shard = 0;
+    for (std::size_t i = 34; i < 36; ++i) {
+      const int v = HexVal(key[i]);
+      if (v < 0) return ErrStatus(Errc::kInval, "bad shard generation");
+      gen = (gen << 4) | static_cast<std::uint32_t>(v);
+    }
+    for (std::size_t i = 37; i < 41; ++i) {
+      const int v = HexVal(key[i]);
+      if (v < 0) return ErrStatus(Errc::kInval, "bad shard index");
+      shard = (shard << 4) | static_cast<std::uint32_t>(v);
+    }
+    const std::uint64_t count = 1ull << gen;
+    if (count > kMaxDentryShards || shard >= count) {
+      return ErrStatus(Errc::kInval, "shard out of range");
+    }
+    parsed.kind = KeyKind::kDentryShard;
+    parsed.dentry_shard_count = static_cast<std::uint32_t>(count);
+    parsed.dentry_shard = shard;
+    return parsed;
+  }
+  if (key.size() != 33) {
     return ErrStatus(Errc::kInval, "trailing bytes in key");
   }
   return parsed;

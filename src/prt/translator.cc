@@ -24,11 +24,43 @@ Status Prt::DeleteInode(const Uuid& ino) {
   return store_->Delete(InodeKey(ino));
 }
 
-Prt::DirObjects Prt::LoadDirObjects(const Uuid& dir_ino) {
-  std::vector<BatchGet> gets(3);
+namespace {
+
+// Merges a run of raw shard GET results into one entry list. A kNoEnt shard
+// is an empty shard (written lazily), any other failure fails the merge.
+Result<std::vector<Dentry>> MergeShardResults(std::vector<Result<Bytes>>& raw,
+                                              std::size_t base,
+                                              std::uint32_t count,
+                                              std::uint64_t reserve_hint) {
+  std::vector<Dentry> all;
+  all.reserve(reserve_hint < (1u << 22) ? reserve_hint : 0);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    auto& r = raw[base + s];
+    if (r.code() == Errc::kNoEnt) continue;
+    if (!r.ok()) return r.status();
+    ARKFS_ASSIGN_OR_RETURN(std::vector<Dentry> part, DecodeDentryBlock(*r));
+    all.insert(all.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return all;
+}
+
+}  // namespace
+
+Prt::DirObjects Prt::LoadDirObjects(const Uuid& dir_ino,
+                                    std::uint32_t shard_hint) {
+  if (!IsPow2(shard_hint) || shard_hint > kMaxDentryShards) shard_hint = 1;
+  // Speculative first batch: we don't yet know the layout, so cover every
+  // possibility — the manifest and legacy block are tiny, and the shards of
+  // a correct hint make the whole bootstrap a single round trip.
+  std::vector<BatchGet> gets(4 + shard_hint);
   gets[0].key = InodeKey(dir_ino);
-  gets[1].key = DentryKey(dir_ino);
-  gets[2].key = JournalKey(dir_ino);
+  gets[1].key = JournalKey(dir_ino);
+  gets[2].key = DentryManifestKey(dir_ino);
+  gets[3].key = DentryKey(dir_ino);
+  for (std::uint32_t s = 0; s < shard_hint; ++s) {
+    gets[4 + s].key = DentryShardKey(dir_ino, shard_hint, s);
+  }
   auto mg = async_->MultiGet(std::move(gets));
 
   DirObjects out;
@@ -37,15 +69,45 @@ Prt::DirObjects Prt::LoadDirObjects(const Uuid& dir_ino) {
   } else {
     out.inode = mg.results[0].status();
   }
-  if (mg.results[1].ok()) {
-    out.dentries = DecodeDentryBlock(*mg.results[1]);
-  } else if (mg.results[1].code() == Errc::kNoEnt) {
-    // Never-checkpointed directory: empty, not an error (see LoadDentryBlock).
-    out.dentries = std::vector<Dentry>{};
-  } else {
-    out.dentries = mg.results[1].status();
+  out.journal = std::move(mg.results[1]);
+
+  auto& raw_manifest = mg.results[2];
+  if (raw_manifest.code() == Errc::kNoEnt) {
+    // Legacy layout (or never checkpointed: empty, not an error).
+    if (mg.results[3].ok()) {
+      out.dentries = DecodeDentryBlock(*mg.results[3]);
+    } else if (mg.results[3].code() == Errc::kNoEnt) {
+      out.dentries = std::vector<Dentry>{};
+    } else {
+      out.dentries = mg.results[3].status();
+    }
+    return out;
   }
-  out.journal = std::move(mg.results[2]);
+  if (!raw_manifest.ok()) {
+    out.dentries = raw_manifest.status();
+    return out;
+  }
+  auto manifest = DecodeDentryManifest(*raw_manifest);
+  if (!manifest.ok()) {
+    out.dentries = manifest.status();
+    return out;
+  }
+  out.shard_count = manifest->shard_count;
+  out.entry_count_hint = manifest->entry_count;
+
+  if (manifest->shard_count == shard_hint) {
+    out.dentries = MergeShardResults(mg.results, 4, shard_hint,
+                                     manifest->entry_count);
+    return out;
+  }
+  // Hint missed: one more overlapped batch for the actual shard set.
+  std::vector<BatchGet> shard_gets(manifest->shard_count);
+  for (std::uint32_t s = 0; s < manifest->shard_count; ++s) {
+    shard_gets[s].key = DentryShardKey(dir_ino, manifest->shard_count, s);
+  }
+  auto sg = async_->MultiGet(std::move(shard_gets));
+  out.dentries = MergeShardResults(sg.results, 0, manifest->shard_count,
+                                   manifest->entry_count);
   return out;
 }
 
@@ -69,6 +131,97 @@ Status Prt::DeleteDentryBlock(const Uuid& dir_ino) {
   Status st = store_->Delete(DentryKey(dir_ino));
   if (st.code() == Errc::kNoEnt) return Status::Ok();  // never checkpointed
   return st;
+}
+
+Result<DentryManifest> Prt::LoadDentryManifest(const Uuid& dir_ino) {
+  ARKFS_ASSIGN_OR_RETURN(Bytes raw, store_->Get(DentryManifestKey(dir_ino)));
+  return DecodeDentryManifest(raw);
+}
+
+Status Prt::StoreDentryManifest(const Uuid& dir_ino, const DentryManifest& m) {
+  return store_->Put(DentryManifestKey(dir_ino), EncodeDentryManifest(m));
+}
+
+Result<std::vector<Dentry>> Prt::LoadDentryShard(const Uuid& dir_ino,
+                                                 std::uint32_t shard_count,
+                                                 std::uint32_t shard) {
+  auto raw = store_->Get(DentryShardKey(dir_ino, shard_count, shard));
+  if (!raw.ok()) {
+    if (raw.code() == Errc::kNoEnt) return std::vector<Dentry>{};
+    return raw.status();
+  }
+  return DecodeDentryBlock(*raw);
+}
+
+Status Prt::StoreDentryShard(const Uuid& dir_ino, std::uint32_t shard_count,
+                             std::uint32_t shard,
+                             const std::vector<Dentry>& entries) {
+  return store_->Put(DentryShardKey(dir_ino, shard_count, shard),
+                     EncodeDentryBlock(entries));
+}
+
+Status Prt::DeleteDentryShard(const Uuid& dir_ino, std::uint32_t shard_count,
+                              std::uint32_t shard) {
+  Status st = store_->Delete(DentryShardKey(dir_ino, shard_count, shard));
+  if (st.code() == Errc::kNoEnt) return Status::Ok();  // lazily written
+  return st;
+}
+
+Result<std::vector<std::vector<Dentry>>> Prt::LoadDentryShards(
+    const Uuid& dir_ino, std::uint32_t shard_count,
+    const std::vector<std::uint32_t>& shards, bool tolerate_garbage) {
+  std::vector<BatchGet> gets(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    gets[i].key = DentryShardKey(dir_ino, shard_count, shards[i]);
+  }
+  auto mg = async_->MultiGet(std::move(gets));
+  std::vector<std::vector<Dentry>> out(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    auto& r = mg.results[i];
+    if (r.code() == Errc::kNoEnt) continue;  // never-written shard: empty
+    if (!r.ok()) return r.status();
+    auto decoded = DecodeDentryBlock(*r);
+    if (!decoded.ok()) {
+      if (tolerate_garbage) continue;  // torn put artifact: rebuilt by replay
+      return decoded.status();
+    }
+    out[i] = std::move(*decoded);
+  }
+  return out;
+}
+
+Result<std::vector<Dentry>> Prt::LoadDentries(const Uuid& dir_ino) {
+  auto manifest = LoadDentryManifest(dir_ino);
+  if (!manifest.ok()) {
+    if (manifest.code() == Errc::kNoEnt) return LoadDentryBlock(dir_ino);
+    return manifest.status();
+  }
+  std::vector<std::uint32_t> all(manifest->shard_count);
+  for (std::uint32_t s = 0; s < manifest->shard_count; ++s) all[s] = s;
+  ARKFS_ASSIGN_OR_RETURN(auto shards,
+                         LoadDentryShards(dir_ino, manifest->shard_count, all));
+  std::vector<Dentry> merged;
+  merged.reserve(manifest->entry_count < (1u << 22) ? manifest->entry_count
+                                                    : 0);
+  for (auto& part : shards) {
+    merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  return merged;
+}
+
+Status Prt::DeleteDentryObjects(const Uuid& dir_ino) {
+  // The prefix matches the manifest and every shard generation; the legacy
+  // block ("e<uuid>", no dot) must be named explicitly.
+  ARKFS_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                         store_->List(DentryObjectPrefix(dir_ino)));
+  keys.push_back(DentryKey(dir_ino));
+  if (keys.size() == 1) {
+    Status st = store_->Delete(keys[0]);
+    if (st.code() == Errc::kNoEnt) return Status::Ok();
+    return st;
+  }
+  return async_->MultiDelete(std::move(keys)).FirstErrorIgnoringNoEnt();
 }
 
 Result<Bytes> Prt::LoadJournal(const Uuid& dir_ino) {

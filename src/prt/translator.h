@@ -38,20 +38,62 @@ class Prt {
   Status StoreInode(const Inode& inode);
   Status DeleteInode(const Uuid& ino);
 
-  // All three per-directory metadata objects fetched with one overlapped
-  // batch (new-leader fast path: dir inode + dentry block + surviving-journal
-  // probe cost one store round trip instead of three).
+  // All per-directory metadata objects fetched with overlapped batches
+  // (new-leader fast path). The first MultiGet speculatively covers dir
+  // inode + journal probe + dentry manifest + legacy block + the shards a
+  // `shard_hint`-way layout would have; when the hint matches the manifest
+  // (or the directory is legacy / never sharded) bootstrap costs exactly one
+  // store round trip. A mismatched hint costs one extra overlapped batch for
+  // the actual shard set.
   struct DirObjects {
     Result<Inode> inode{ErrStatus(Errc::kIo, "not loaded")};
     Result<std::vector<Dentry>> dentries{ErrStatus(Errc::kIo, "not loaded")};
     Result<Bytes> journal{ErrStatus(Errc::kIo, "not loaded")};  // raw frames
+    std::uint32_t shard_count = 0;       // 0 = legacy unsharded layout
+    std::uint64_t entry_count_hint = 0;  // manifest hint (sharded only)
   };
-  DirObjects LoadDirObjects(const Uuid& dir_ino);
+  DirObjects LoadDirObjects(const Uuid& dir_ino, std::uint32_t shard_hint = 1);
 
   Result<std::vector<Dentry>> LoadDentryBlock(const Uuid& dir_ino);
   Status StoreDentryBlock(const Uuid& dir_ino,
                           const std::vector<Dentry>& entries);
   Status DeleteDentryBlock(const Uuid& dir_ino);
+
+  // --- Sharded dentry layout ---
+  // The manifest is the layout authority; kNoEnt means the directory is
+  // still on the legacy unsharded layout (or has never been checkpointed).
+  Result<DentryManifest> LoadDentryManifest(const Uuid& dir_ino);
+  Status StoreDentryManifest(const Uuid& dir_ino, const DentryManifest& m);
+
+  // Single-shard ops. A missing shard object reads as empty (shards are
+  // written lazily; an all-entries-removed shard may also be materialized
+  // as an empty object — both decode to no entries).
+  Result<std::vector<Dentry>> LoadDentryShard(const Uuid& dir_ino,
+                                              std::uint32_t shard_count,
+                                              std::uint32_t shard);
+  Status StoreDentryShard(const Uuid& dir_ino, std::uint32_t shard_count,
+                          std::uint32_t shard,
+                          const std::vector<Dentry>& entries);
+  Status DeleteDentryShard(const Uuid& dir_ino, std::uint32_t shard_count,
+                           std::uint32_t shard);
+
+  // Loads the named shards with one MultiGet; result[i] holds the entries of
+  // shards[i] (missing shard objects read as empty). With `tolerate_garbage`
+  // an undecodable shard object also reads as empty instead of failing —
+  // crash recovery uses this to step over a torn shard put and rebuild the
+  // shard from the surviving journal.
+  Result<std::vector<std::vector<Dentry>>> LoadDentryShards(
+      const Uuid& dir_ino, std::uint32_t shard_count,
+      const std::vector<std::uint32_t>& shards, bool tolerate_garbage = false);
+
+  // Layout-aware full read: consults the manifest, then merges all shards
+  // (sharded) or reads the unsharded block (legacy). Missing objects read
+  // as an empty directory.
+  Result<std::vector<Dentry>> LoadDentries(const Uuid& dir_ino);
+
+  // Deletes every dentry object of the directory regardless of layout:
+  // manifest + all shard generations (via a prefix LIST) + the legacy block.
+  Status DeleteDentryObjects(const Uuid& dir_ino);
 
   // --- Journal objects (raw; framing is the journal module's business) ---
   Result<Bytes> LoadJournal(const Uuid& dir_ino);

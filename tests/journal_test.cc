@@ -3,7 +3,9 @@
 
 #include "journal/journal.h"
 #include "journal/record.h"
+#include "objstore/chaos_store.h"
 #include "objstore/memory_store.h"
+#include "objstore/wrappers.h"
 
 namespace arkfs::journal {
 namespace {
@@ -114,7 +116,7 @@ TEST_F(JournalManagerTest, FlushCheckpointsToAuthoritativeObjects) {
   auto inode = prt_->LoadInode(child.ino);
   ASSERT_TRUE(inode.ok());
   EXPECT_EQ(inode->size, child.size);
-  auto block = prt_->LoadDentryBlock(dir_);
+  auto block = prt_->LoadDentries(dir_);
   ASSERT_TRUE(block.ok());
   ASSERT_EQ(block->size(), 1u);
   EXPECT_EQ((*block)[0].name, "a");
@@ -159,7 +161,7 @@ TEST_F(JournalManagerTest, RecoveryReplaysCommittedTransactions) {
 
   auto inode = prt_->LoadInode(child.ino);
   ASSERT_TRUE(inode.ok());
-  auto block = prt_->LoadDentryBlock(dir_);
+  auto block = prt_->LoadDentries(dir_);
   ASSERT_TRUE(block.ok());
   EXPECT_EQ((*block)[0].name, "crashy");
   EXPECT_FALSE(fresh->HasSurvivingJournal(dir_));
@@ -190,7 +192,7 @@ TEST_F(JournalManagerTest, UnregisterFlushesAndDeletesJournal) {
                               FileType::kRegular})});
   ASSERT_TRUE(manager_->UnregisterDir(dir_).ok());
   EXPECT_EQ(store_->Head(JournalKey(dir_)).code(), Errc::kNoEnt);
-  auto block = prt_->LoadDentryBlock(dir_);
+  auto block = prt_->LoadDentries(dir_);
   ASSERT_TRUE(block.ok());
   EXPECT_EQ(block->size(), 1u);
 }
@@ -233,8 +235,8 @@ TEST_F(CrossDirTest, CommittedRenameApplies) {
   ASSERT_TRUE(manager_->FlushDir(dir_).ok());
   ASSERT_TRUE(manager_->FlushDir(dst_).ok());
 
-  EXPECT_TRUE(prt_->LoadDentryBlock(dir_)->empty());
-  auto dst_block = prt_->LoadDentryBlock(dst_);
+  EXPECT_TRUE(prt_->LoadDentries(dir_)->empty());
+  auto dst_block = prt_->LoadDentries(dst_);
   ASSERT_EQ(dst_block->size(), 1u);
   EXPECT_EQ((*dst_block)[0].name, "arrived");
   EXPECT_EQ(prt_->LoadInode(moved_.ino)->parent, dst_);
@@ -247,8 +249,8 @@ TEST_F(CrossDirTest, RecoveryCommitsWhenBothDecisionsPresent) {
   auto fresh = std::make_unique<JournalManager>(prt_, JournalConfig::ForTests());
   ASSERT_TRUE(fresh->RecoverDir(dir_).ok());
   ASSERT_TRUE(fresh->RecoverDir(dst_).ok());
-  EXPECT_TRUE(prt_->LoadDentryBlock(dir_)->empty());
-  EXPECT_EQ(prt_->LoadDentryBlock(dst_)->size(), 1u);
+  EXPECT_TRUE(prt_->LoadDentries(dir_)->empty());
+  EXPECT_EQ(prt_->LoadDentries(dst_)->size(), 1u);
 }
 
 TEST_F(CrossDirTest, DanglingPrepareWithoutAnyDecisionAborts) {
@@ -275,8 +277,8 @@ TEST_F(CrossDirTest, DanglingPrepareWithoutAnyDecisionAborts) {
   EXPECT_EQ(dst_report->transactions_aborted, 1u);
 
   // Presumed abort: the file stays in the source directory.
-  EXPECT_EQ(prt_->LoadDentryBlock(dir_)->size(), 1u);
-  EXPECT_TRUE(prt_->LoadDentryBlock(dst_)->empty());
+  EXPECT_EQ(prt_->LoadDentries(dir_)->size(), 1u);
+  EXPECT_TRUE(prt_->LoadDentries(dst_)->empty());
 }
 
 TEST_F(CrossDirTest, PrepareWithPeerDecisionCommits) {
@@ -311,12 +313,341 @@ TEST_F(CrossDirTest, PrepareWithPeerDecisionCommits) {
   EXPECT_EQ(src_report->transactions_replayed, 1u);
   ASSERT_TRUE(fresh->RecoverDir(dst_).ok());
 
-  EXPECT_TRUE(prt_->LoadDentryBlock(dir_)->empty());
-  EXPECT_EQ(prt_->LoadDentryBlock(dst_)->size(), 1u);
+  EXPECT_TRUE(prt_->LoadDentries(dir_)->empty());
+  EXPECT_EQ(prt_->LoadDentries(dst_)->size(), 1u);
 }
 
 TEST_F(CrossDirTest, SameDirRejected) {
   EXPECT_EQ(manager_->CommitCrossDir(dir_, {}, dir_, {}).code(), Errc::kInval);
+}
+
+// --- sharded dentry layout: policy, migration, dirty-shard checkpointing ---
+
+TEST(ShardPolicyTest, ShardCountForGrowsByPowersOfTwo) {
+  DentryShardPolicy p;  // target 4096 entries/shard, cap 64
+  EXPECT_EQ(ShardCountFor(p, 0), 1u);
+  EXPECT_EQ(ShardCountFor(p, 4096), 1u);
+  EXPECT_EQ(ShardCountFor(p, 4097), 2u);
+  EXPECT_EQ(ShardCountFor(p, 100000), 32u);
+  EXPECT_EQ(ShardCountFor(p, 10000000), 64u);  // policy cap
+
+  DentryShardPolicy odd;
+  odd.max_shards = 48;  // non-pow2 cap rounds down
+  EXPECT_EQ(ShardCountFor(odd, 10000000), 32u);
+
+  DentryShardPolicy pinned;
+  pinned.override_count = 5;  // override rounds up to a power of two
+  EXPECT_EQ(ShardCountFor(pinned, 0), 8u);
+  pinned.override_count = 16;
+  EXPECT_EQ(ShardCountFor(pinned, 1), 16u);
+}
+
+class ShardedDentryTest : public ::testing::Test {
+ protected:
+  ShardedDentryTest()
+      : base_(std::make_shared<MemoryObjectStore>()),
+        counting_(std::make_shared<CountingStore>(base_)),
+        prt_(std::make_shared<Prt>(counting_)) {}
+
+  std::unique_ptr<JournalManager> MakeManager(DentryShardPolicy policy) {
+    JournalConfig cfg = JournalConfig::ForTests();
+    cfg.shard_policy = policy;
+    return std::make_unique<JournalManager>(prt_, cfg);
+  }
+
+  Uuid NewDir(std::uint64_t n) {
+    Uuid dir = DeterministicUuid(70, n);
+    Inode di = MakeInode(dir, FileType::kDirectory, 0755, 0, 0, kRootIno);
+    EXPECT_TRUE(prt_->StoreInode(di).ok());
+    return dir;
+  }
+
+  static Record AddEntry(const std::string& name, std::uint64_t n) {
+    return Record::DentryAdd(
+        {name, DeterministicUuid(71, n), FileType::kRegular});
+  }
+
+  std::shared_ptr<MemoryObjectStore> base_;
+  std::shared_ptr<CountingStore> counting_;
+  std::shared_ptr<Prt> prt_;
+};
+
+TEST_F(ShardedDentryTest, LegacyBlockMigratesOnFirstCheckpoint) {
+  const Uuid dir = NewDir(1);
+  std::vector<Dentry> legacy;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    legacy.push_back({"old" + std::to_string(i), DeterministicUuid(72, i),
+                      FileType::kRegular});
+  }
+  ASSERT_TRUE(prt_->StoreDentryBlock(dir, legacy).ok());
+
+  DentryShardPolicy p;
+  p.override_count = 4;
+  auto mgr = MakeManager(p);
+  mgr->RegisterDir(dir);
+  mgr->Append(dir, {AddEntry("fresh", 1)});
+  ASSERT_TRUE(mgr->FlushDir(dir).ok());
+
+  auto m = prt_->LoadDentryManifest(dir);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->shard_count, 4u);
+  EXPECT_EQ(m->entry_count, 11u);
+  // The legacy block is gone; nothing resurrects it.
+  EXPECT_EQ(prt_->store().Head(DentryKey(dir)).code(), Errc::kNoEnt);
+  auto all = prt_->LoadDentries(dir);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 11u);
+  EXPECT_EQ(mgr->stats().dentry_migrations, 1u);
+  EXPECT_EQ(mgr->stats().dentry_shards_written, 4u);  // all of gen B=4
+}
+
+TEST_F(ShardedDentryTest, CheckpointWritesOnlyDirtyShards) {
+  const Uuid dir = NewDir(2);
+  DentryShardPolicy p;
+  p.override_count = 16;
+  auto mgr = MakeManager(p);
+  mgr->RegisterDir(dir);
+  std::vector<Record> seed;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seed.push_back(AddEntry("f" + std::to_string(i), i));
+  }
+  mgr->Append(dir, std::move(seed));
+  ASSERT_TRUE(mgr->FlushDir(dir).ok());
+
+  const JournalStats before = mgr->stats();
+  counting_->Reset();
+  mgr->Append(dir, {AddEntry("straggler", 5000)});
+  ASSERT_TRUE(mgr->FlushDir(dir).ok());
+  const JournalStats after = mgr->stats();
+
+  // A one-entry burst dirties exactly one of the 16 shards: one shard read,
+  // one shard write — not a 1000-entry block rewrite.
+  EXPECT_EQ(after.dentry_shards_loaded - before.dentry_shards_loaded, 1u);
+  EXPECT_EQ(after.dentry_shards_written - before.dentry_shards_written, 1u);
+  // Store traffic for the whole flush: journal append + one shard put +
+  // manifest count update + journal trim.
+  const auto c = counting_->Snapshot();
+  EXPECT_LE(c.puts, 4u);
+  auto m = prt_->LoadDentryManifest(dir);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->entry_count, 1001u);
+}
+
+TEST_F(ShardedDentryTest, ShardCountGrowsWithDirectory) {
+  const Uuid dir = NewDir(3);
+  DentryShardPolicy p;
+  p.target_entries = 8;
+  p.max_shards = 8;
+  auto mgr = MakeManager(p);
+  mgr->RegisterDir(dir);
+
+  std::vector<Record> first;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    first.push_back(AddEntry("a" + std::to_string(i), i));
+  }
+  mgr->Append(dir, std::move(first));
+  ASSERT_TRUE(mgr->FlushDir(dir).ok());
+  ASSERT_TRUE(prt_->LoadDentryManifest(dir).ok());
+  EXPECT_EQ(prt_->LoadDentryManifest(dir)->shard_count, 1u);
+
+  std::vector<Record> more;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    more.push_back(AddEntry("b" + std::to_string(i), 100 + i));
+  }
+  mgr->Append(dir, std::move(more));
+  ASSERT_TRUE(mgr->FlushDir(dir).ok());
+
+  auto m = prt_->LoadDentryManifest(dir);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->shard_count, 8u);  // 34 entries at 8/shard -> 8-way
+  EXPECT_EQ(m->entry_count, 34u);
+  EXPECT_EQ(mgr->stats().dentry_reshards, 1u);
+  // The old generation's objects were dropped after the manifest flip.
+  EXPECT_EQ(prt_->store().Head(DentryShardKey(dir, 1, 0)).code(), Errc::kNoEnt);
+  auto all = prt_->LoadDentries(dir);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 34u);
+}
+
+TEST_F(ShardedDentryTest, CommitAndCheckpointLatenciesRecorded) {
+  const Uuid dir = NewDir(4);
+  auto mgr = MakeManager({});
+  mgr->RegisterDir(dir);
+  mgr->Append(dir, {AddEntry("timed", 1)});
+  ASSERT_TRUE(mgr->FlushDir(dir).ok());
+  EXPECT_GE(mgr->latencies().For("commit").count(), 1u);
+  EXPECT_GE(mgr->latencies().For("checkpoint").count(), 1u);
+  EXPECT_NE(mgr->latencies().Table().find("checkpoint"), std::string::npos);
+}
+
+TEST_F(ShardedDentryTest, LegacyCrashRecoveryMigrates) {
+  // A predecessor crashed after committing to the journal but before any
+  // checkpoint, with the directory still on the legacy layout. The new
+  // leader must replay from the legacy block AND migrate, losing nothing.
+  const Uuid dir = NewDir(5);
+  ASSERT_TRUE(prt_->StoreDentryBlock(
+                  dir, {{"settled", DeterministicUuid(74, 1),
+                         FileType::kRegular}})
+                  .ok());
+  DentryShardPolicy p;
+  p.override_count = 4;
+  auto crashed = MakeManager(p);
+  crashed->RegisterDir(dir);
+  crashed->Append(dir, {AddEntry("acked", 2)});
+  ASSERT_TRUE(crashed->CommitDir(dir).ok());  // durable, not checkpointed
+
+  auto fresh = MakeManager(p);
+  ASSERT_TRUE(fresh->HasSurvivingJournal(dir));
+  auto report = fresh->RecoverDir(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->transactions_replayed, 1u);
+  EXPECT_EQ(fresh->stats().dentry_migrations, 1u);
+
+  auto m = prt_->LoadDentryManifest(dir);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->shard_count, 4u);
+  auto all = prt_->LoadDentries(dir);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_FALSE(fresh->HasSurvivingJournal(dir));
+}
+
+TEST_F(ShardedDentryTest, TornMigrationRecovers) {
+  // Chaos tears EVERY whole-object put: the migration's shard writes fail
+  // and leave garbage prefixes, but the ordered manifest put never runs, so
+  // the legacy layout stays authoritative and replay converges.
+  const Uuid dir = NewDir(6);
+  std::vector<Dentry> legacy;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    legacy.push_back({"keep" + std::to_string(i), DeterministicUuid(75, i),
+                      FileType::kRegular});
+  }
+  ASSERT_TRUE(prt_->StoreDentryBlock(dir, legacy).ok());
+
+  DentryShardPolicy p;
+  p.override_count = 4;
+  ChaosConfig torn;
+  torn.seed = 42;
+  torn.torn_put_rate = 1.0;
+  auto chaos = std::make_shared<ChaosStore>(base_, torn);
+  {
+    auto chaos_prt = std::make_shared<Prt>(chaos);
+    JournalConfig cfg = JournalConfig::ForTests();
+    cfg.shard_policy = p;
+    JournalManager victim(chaos_prt, cfg);
+    victim.RegisterDir(dir);
+    victim.Append(dir, {AddEntry("acked", 1)});
+    // The journal append goes through PutRange and commits fine...
+    ASSERT_TRUE(victim.CommitDir(dir).ok());
+    // ...but the checkpoint's whole-object shard puts all tear.
+    EXPECT_FALSE(victim.FlushDir(dir).ok());
+    EXPECT_GT(chaos->counters().torn_puts, 0u);
+  }
+  // Crash window: garbage at the new generation's shard keys, no manifest,
+  // legacy block + journal intact.
+  EXPECT_EQ(prt_->LoadDentryManifest(dir).code(), Errc::kNoEnt);
+  ASSERT_TRUE(prt_->store().Head(DentryKey(dir)).ok());
+
+  auto fresh = MakeManager(p);
+  ASSERT_TRUE(fresh->HasSurvivingJournal(dir));
+  ASSERT_TRUE(fresh->RecoverDir(dir).ok());
+  auto all = prt_->LoadDentries(dir);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 9u);  // 8 settled + 1 acked, zero lost
+  EXPECT_EQ(prt_->LoadDentryManifest(dir)->shard_count, 4u);
+}
+
+TEST_F(ShardedDentryTest, TornShardCheckpointRecovers) {
+  // Same fault on an already-sharded directory: a dirty-shard checkpoint
+  // tears mid-MultiPut, leaving undecodable shard objects behind a valid
+  // manifest. Recovery must step over the garbage (the journal still holds
+  // every acked op) and rebuild the shards.
+  const Uuid dir = NewDir(7);
+  ASSERT_TRUE(prt_->StoreDentryManifest(dir, {4, 0}).ok());
+  DentryShardPolicy p;
+  p.override_count = 4;
+  auto chaos = std::make_shared<ChaosStore>(
+      base_, [] {
+        ChaosConfig c;
+        c.seed = 7;
+        c.torn_put_rate = 1.0;
+        return c;
+      }());
+  {
+    auto chaos_prt = std::make_shared<Prt>(chaos);
+    JournalConfig cfg = JournalConfig::ForTests();
+    cfg.shard_policy = p;
+    JournalManager victim(chaos_prt, cfg);
+    victim.RegisterDir(dir);
+    std::vector<Record> recs;
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      recs.push_back(AddEntry("acked" + std::to_string(i), i));
+    }
+    victim.Append(dir, std::move(recs));
+    ASSERT_TRUE(victim.CommitDir(dir).ok());
+    EXPECT_FALSE(victim.FlushDir(dir).ok());
+    EXPECT_GT(chaos->counters().torn_puts, 0u);
+  }
+  // The manifest was untouched (its put is ordered after the shard batch).
+  ASSERT_TRUE(prt_->LoadDentryManifest(dir).ok());
+
+  auto fresh = MakeManager(p);
+  ASSERT_TRUE(fresh->HasSurvivingJournal(dir));
+  auto report = fresh->RecoverDir(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->transactions_replayed, 1u);
+  auto all = prt_->LoadDentries(dir);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 20u);  // every acked op survived the torn writes
+  EXPECT_EQ(prt_->LoadDentryManifest(dir)->entry_count, 20u);
+  EXPECT_FALSE(fresh->HasSurvivingJournal(dir));
+}
+
+TEST_F(ShardedDentryTest, FlushAllIsFirstErrorWinsButAttemptsEveryDir) {
+  // One directory's journal object rejects writes; FlushAll must surface
+  // that error AND still checkpoint every healthy directory.
+  const Uuid bad = NewDir(8);
+  std::vector<Uuid> good;
+  for (std::uint64_t i = 0; i < 3; ++i) good.push_back(NewDir(9 + i));
+
+  const std::string bad_journal = JournalKey(bad);
+  auto faulty = std::make_shared<FaultInjectionStore>(
+      counting_, [bad_journal](std::string_view op, const std::string& key) {
+        return key == bad_journal && op.substr(0, 3) == "put" ? Errc::kIo
+                                                              : Errc::kOk;
+      });
+  auto faulty_prt = std::make_shared<Prt>(faulty);
+  JournalManager mgr(faulty_prt, JournalConfig::ForTests());
+  mgr.RegisterDir(bad);
+  for (const auto& d : good) mgr.RegisterDir(d);
+  mgr.Append(bad, {AddEntry("lost-commit", 1)});
+  for (std::uint64_t i = 0; i < good.size(); ++i) {
+    mgr.Append(good[i], {AddEntry("kept" + std::to_string(i), 10 + i)});
+  }
+
+  EXPECT_FALSE(mgr.FlushAll().ok());
+  for (const auto& d : good) {
+    auto entries = prt_->LoadDentries(d);
+    ASSERT_TRUE(entries.ok());
+    EXPECT_EQ(entries->size(), 1u);  // healthy dirs still checkpointed
+  }
+  // The bad dir's op never became durable, so nothing was applied.
+  EXPECT_TRUE(prt_->LoadDentries(bad)->empty());
+}
+
+TEST_F(ShardedDentryTest, CommitAllCommitsEveryDirectory) {
+  auto mgr = MakeManager({});
+  std::vector<Uuid> dirs;
+  for (std::uint64_t i = 0; i < 4; ++i) dirs.push_back(NewDir(20 + i));
+  for (const auto& d : dirs) {
+    mgr->RegisterDir(d);
+    mgr->Append(d, {AddEntry("pending", 30)});
+  }
+  ASSERT_TRUE(mgr->CommitAll().ok());
+  for (const auto& d : dirs) {
+    EXPECT_TRUE(mgr->HasSurvivingJournal(d));  // durable, not checkpointed
+    EXPECT_TRUE(prt_->LoadDentries(d)->empty());
+  }
 }
 
 TEST(JournalS3Test, AppendWorksOnWholeObjectStore) {

@@ -157,6 +157,246 @@ TEST_F(PrtTest, ChunkMath) {
   EXPECT_EQ(prt_.ChunkIndexFor(1024), 1u);
 }
 
+TEST(KeySchemaTest, ShardedDentryKeysParse) {
+  const Uuid u = DeterministicUuid(4, 4);
+
+  auto manifest = ParseKey(DentryManifestKey(u));
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->kind, KeyKind::kDentryManifest);
+  EXPECT_EQ(manifest->ino, u);
+
+  auto shard = ParseKey(DentryShardKey(u, 16, 5));
+  ASSERT_TRUE(shard.ok());
+  EXPECT_EQ(shard->kind, KeyKind::kDentryShard);
+  EXPECT_EQ(shard->ino, u);
+  EXPECT_EQ(shard->dentry_shard_count, 16u);
+  EXPECT_EQ(shard->dentry_shard, 5u);
+
+  // Max-generation keys round-trip too.
+  auto wide = ParseKey(DentryShardKey(u, kMaxDentryShards, 255));
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->dentry_shard_count, kMaxDentryShards);
+  EXPECT_EQ(wide->dentry_shard, 255u);
+
+  // Legacy block still parses as plain kDentry.
+  auto legacy = ParseKey(DentryKey(u));
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy->kind, KeyKind::kDentry);
+
+  // Malformed variants are rejected.
+  EXPECT_FALSE(ParseKey(DentryManifestKey(u) + "x").ok());
+  EXPECT_FALSE(ParseKey(DentryKey(u) + ".zz.0005").ok());
+  EXPECT_FALSE(ParseKey(DentryKey(u) + ".04.00zz").ok());
+}
+
+TEST(KeySchemaTest, DentryObjectPrefixCoversShardedNotLegacy) {
+  const Uuid u = DeterministicUuid(5, 5);
+  const std::string prefix = DentryObjectPrefix(u);
+  auto starts_with = [&](const std::string& key) {
+    return key.compare(0, prefix.size(), prefix) == 0;
+  };
+  EXPECT_TRUE(starts_with(DentryManifestKey(u)));
+  EXPECT_TRUE(starts_with(DentryShardKey(u, 1, 0)));
+  EXPECT_TRUE(starts_with(DentryShardKey(u, 64, 63)));
+  EXPECT_FALSE(starts_with(DentryKey(u)));  // legacy has no '.'
+}
+
+TEST(KeySchemaTest, DentryShardOfIsStableAndInRange) {
+  // Placement is persisted, so the hash must be deterministic across runs:
+  // pin a few FNV-1a values.
+  EXPECT_EQ(DentryShardOf("a", 1), 0u);
+  const std::uint32_t b16 = DentryShardOf("hello", 16);
+  EXPECT_EQ(DentryShardOf("hello", 16), b16);
+  for (std::uint32_t b : {1u, 2u, 16u, 64u, 256u}) {
+    for (const char* name : {"a", "bb", "file-000123", "x.y.z", ""}) {
+      EXPECT_LT(DentryShardOf(name, b), b);
+    }
+  }
+  // Doubling the shard count only refines placement (mask extension):
+  // shard-at-B equals shard-at-2B modulo B for a power-of-two mask hash.
+  for (const char* name : {"alpha", "beta", "gamma", "delta"}) {
+    EXPECT_EQ(DentryShardOf(name, 8) % 4, DentryShardOf(name, 4));
+  }
+}
+
+TEST(KeySchemaTest, DentryManifestCodecRoundTrip) {
+  DentryManifest m{16, 123456};
+  auto decoded = DecodeDentryManifest(EncodeDentryManifest(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, m);
+
+  // Rejects: non-pow2 count, zero count, count over the format cap,
+  // truncated buffer.
+  EXPECT_FALSE(DecodeDentryManifest(EncodeDentryManifest({3, 0})).ok());
+  EXPECT_FALSE(DecodeDentryManifest(EncodeDentryManifest({0, 0})).ok());
+  EXPECT_FALSE(
+      DecodeDentryManifest(EncodeDentryManifest({kMaxDentryShards * 2, 0}))
+          .ok());
+  Bytes enc = EncodeDentryManifest(m);
+  enc.resize(1);
+  EXPECT_FALSE(DecodeDentryManifest(enc).ok());
+  EXPECT_FALSE(DecodeDentryManifest(Bytes{}).ok());
+}
+
+TEST_F(PrtTest, DentryManifestRoundTrip) {
+  const Uuid dir = NewUuid();
+  EXPECT_EQ(prt_.LoadDentryManifest(dir).code(), Errc::kNoEnt);  // legacy
+  ASSERT_TRUE(prt_.StoreDentryManifest(dir, {4, 10}).ok());
+  auto m = prt_.LoadDentryManifest(dir);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->shard_count, 4u);
+  EXPECT_EQ(m->entry_count, 10u);
+}
+
+TEST_F(PrtTest, DentryShardRoundTrip) {
+  const Uuid dir = NewUuid();
+  std::vector<Dentry> entries{{"p", NewUuid(), FileType::kRegular},
+                              {"q", NewUuid(), FileType::kDirectory}};
+  ASSERT_TRUE(prt_.StoreDentryShard(dir, 4, 2, entries).ok());
+  auto loaded = prt_.LoadDentryShard(dir, 4, 2);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+
+  // Missing shard reads as empty.
+  auto missing = prt_.LoadDentryShard(dir, 4, 3);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->empty());
+
+  ASSERT_TRUE(prt_.DeleteDentryShard(dir, 4, 2).ok());
+  EXPECT_TRUE(prt_.LoadDentryShard(dir, 4, 2)->empty());
+}
+
+TEST_F(PrtTest, LoadDentryShardsToleratesGarbage) {
+  const Uuid dir = NewUuid();
+  ASSERT_TRUE(
+      prt_.StoreDentryShard(dir, 4, 0, {{"a", NewUuid(), FileType::kRegular}})
+          .ok());
+  // Shard 1 holds a torn/garbage object; shard 2 is missing.
+  ASSERT_TRUE(prt_.store().Put(DentryShardKey(dir, 4, 1), Bytes{0xFF, 0xFF}).ok());
+
+  auto strict = prt_.LoadDentryShards(dir, 4, {0, 1, 2});
+  EXPECT_FALSE(strict.ok());
+
+  auto tolerant = prt_.LoadDentryShards(dir, 4, {0, 1, 2}, /*tolerate_garbage=*/true);
+  ASSERT_TRUE(tolerant.ok());
+  ASSERT_EQ(tolerant->size(), 3u);
+  EXPECT_EQ((*tolerant)[0].size(), 1u);   // intact shard
+  EXPECT_TRUE((*tolerant)[1].empty());    // garbage reads as empty
+  EXPECT_TRUE((*tolerant)[2].empty());    // missing reads as empty
+}
+
+TEST_F(PrtTest, LoadDentriesHandlesBothLayouts) {
+  // Legacy layout.
+  const Uuid legacy = NewUuid();
+  ASSERT_TRUE(
+      prt_.StoreDentryBlock(legacy, {{"old", NewUuid(), FileType::kRegular}})
+          .ok());
+  auto from_legacy = prt_.LoadDentries(legacy);
+  ASSERT_TRUE(from_legacy.ok());
+  ASSERT_EQ(from_legacy->size(), 1u);
+  EXPECT_EQ((*from_legacy)[0].name, "old");
+
+  // Sharded layout: entries spread over a 4-way generation.
+  const Uuid sharded = NewUuid();
+  std::vector<Dentry> all;
+  for (int i = 0; i < 20; ++i) {
+    all.push_back({"f" + std::to_string(i), NewUuid(), FileType::kRegular});
+  }
+  std::vector<std::vector<Dentry>> buckets(4);
+  for (const auto& d : all) buckets[DentryShardOf(d.name, 4)].push_back(d);
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(prt_.StoreDentryShard(sharded, 4, s, buckets[s]).ok());
+  }
+  ASSERT_TRUE(
+      prt_.StoreDentryManifest(sharded, {4, all.size()}).ok());
+  auto from_shards = prt_.LoadDentries(sharded);
+  ASSERT_TRUE(from_shards.ok());
+  EXPECT_EQ(from_shards->size(), all.size());
+
+  // Never-checkpointed directory reads as empty.
+  EXPECT_TRUE(prt_.LoadDentries(NewUuid())->empty());
+}
+
+TEST_F(PrtTest, DeleteDentryObjectsSweepsEveryLayout) {
+  const Uuid dir = NewUuid();
+  ASSERT_TRUE(
+      prt_.StoreDentryBlock(dir, {{"l", NewUuid(), FileType::kRegular}}).ok());
+  ASSERT_TRUE(prt_.StoreDentryManifest(dir, {4, 2}).ok());
+  ASSERT_TRUE(
+      prt_.StoreDentryShard(dir, 4, 1, {{"s", NewUuid(), FileType::kRegular}})
+          .ok());
+  // Stale shard from an older 2-way generation left by a crashed reshard.
+  ASSERT_TRUE(
+      prt_.StoreDentryShard(dir, 2, 0, {{"g", NewUuid(), FileType::kRegular}})
+          .ok());
+
+  ASSERT_TRUE(prt_.DeleteDentryObjects(dir).ok());
+  EXPECT_EQ(prt_.store().Head(DentryKey(dir)).code(), Errc::kNoEnt);
+  EXPECT_EQ(prt_.store().Head(DentryManifestKey(dir)).code(), Errc::kNoEnt);
+  EXPECT_EQ(prt_.store().Head(DentryShardKey(dir, 4, 1)).code(), Errc::kNoEnt);
+  EXPECT_EQ(prt_.store().Head(DentryShardKey(dir, 2, 0)).code(), Errc::kNoEnt);
+  // Idempotent on an already-clean directory.
+  EXPECT_TRUE(prt_.DeleteDentryObjects(dir).ok());
+}
+
+TEST_F(PrtTest, BootstrapIsOneBatchWhenHintMatches) {
+  // Acceptance criterion: leader bootstrap of a sharded directory issues one
+  // overlapped batch. With a correct hint the whole load is 4 + B gets
+  // (inode, journal, manifest, legacy probe, B shards) in a single MultiGet.
+  const Uuid dir = NewUuid();
+  const std::uint32_t kShards = 8;
+  Inode di = MakeInode(dir, FileType::kDirectory, 0755, 0, 0, kRootIno);
+  ASSERT_TRUE(prt_.StoreInode(di).ok());
+  std::vector<std::vector<Dentry>> buckets(kShards);
+  for (int i = 0; i < 32; ++i) {
+    Dentry d{"n" + std::to_string(i), NewUuid(), FileType::kRegular};
+    buckets[DentryShardOf(d.name, kShards)].push_back(d);
+  }
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    ASSERT_TRUE(prt_.StoreDentryShard(dir, kShards, s, buckets[s]).ok());
+  }
+  ASSERT_TRUE(prt_.StoreDentryManifest(dir, {kShards, 32}).ok());
+
+  store_->Reset();
+  const auto batches_before = prt_.async().stats().batches;
+  auto objs = prt_.LoadDirObjects(dir, kShards);
+  ASSERT_TRUE(objs.inode.ok());
+  ASSERT_TRUE(objs.dentries.ok());
+  EXPECT_EQ(objs.dentries->size(), 32u);
+  EXPECT_EQ(objs.shard_count, kShards);
+  EXPECT_EQ(store_->Snapshot().gets, 4u + kShards);
+  EXPECT_EQ(prt_.async().stats().batches - batches_before, 1u);
+
+  // A stale hint costs exactly one extra overlapped batch for the real
+  // shard set — never a per-shard serial loop.
+  store_->Reset();
+  const auto batches_mid = prt_.async().stats().batches;
+  auto cold = prt_.LoadDirObjects(dir, /*shard_hint=*/1);
+  ASSERT_TRUE(cold.dentries.ok());
+  EXPECT_EQ(cold.dentries->size(), 32u);
+  EXPECT_EQ(cold.shard_count, kShards);
+  EXPECT_EQ(store_->Snapshot().gets, (4u + 1u) + kShards);
+  EXPECT_EQ(prt_.async().stats().batches - batches_mid, 2u);
+}
+
+TEST_F(PrtTest, BootstrapLegacyDirIsOneBatch) {
+  const Uuid dir = NewUuid();
+  Inode di = MakeInode(dir, FileType::kDirectory, 0755, 0, 0, kRootIno);
+  ASSERT_TRUE(prt_.StoreInode(di).ok());
+  ASSERT_TRUE(
+      prt_.StoreDentryBlock(dir, {{"v", NewUuid(), FileType::kRegular}}).ok());
+
+  store_->Reset();
+  const auto batches_before = prt_.async().stats().batches;
+  auto objs = prt_.LoadDirObjects(dir, /*shard_hint=*/1);
+  ASSERT_TRUE(objs.inode.ok());
+  ASSERT_TRUE(objs.dentries.ok());
+  EXPECT_EQ(objs.dentries->size(), 1u);
+  EXPECT_EQ(objs.shard_count, 0u);  // legacy layout reported to the caller
+  EXPECT_EQ(store_->Snapshot().gets, 5u);
+  EXPECT_EQ(prt_.async().stats().batches - batches_before, 1u);
+}
+
 TEST(PrtS3Test, PartialWriteAmplifiesToWholeChunk) {
   // On a whole-object store, a tiny overwrite must rewrite the full chunk —
   // the S3FS amplification the paper calls out (§II-C).
