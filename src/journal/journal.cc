@@ -164,17 +164,31 @@ Status JournalManager::CommitRunning(const Uuid& dir_ino, DirState& st) {
 Status JournalManager::Checkpoint(const Uuid& dir_ino, DirState& st) {
   std::lock_guard cp(st.checkpoint_mu);
   std::vector<Transaction> batch;
+  std::vector<std::uint64_t> sizes;
   std::uint64_t batch_bytes = 0;
   {
     std::lock_guard append(st.append_mu);
     if (st.committed.empty()) return Status::Ok();
     batch.reserve(st.committed.size());
+    sizes.reserve(st.committed.size());
     for (auto& [txn, size] : st.committed) {
       batch.push_back(std::move(txn));
+      sizes.push_back(size);
       batch_bytes += size;
     }
     st.committed.clear();
   }
+  // On any failure the batch goes back to the FRONT of the queue: its frames
+  // are still at the head of the journal object, so the retry re-applies the
+  // same prefix (idempotently) and the trim stays byte-aligned with memory.
+  // Dropping the batch instead would desynchronize the next trim and orphan
+  // acked transactions until a full recovery.
+  auto restore_batch = [&] {
+    std::lock_guard append(st.append_mu);
+    for (std::size_t i = batch.size(); i-- > 0;) {
+      st.committed.emplace_front(std::move(batch[i]), sizes[i]);
+    }
+  };
 
   // Apply to the authoritative objects WITHOUT blocking appends: anything
   // committed meanwhile lands after the prefix we are consuming, and a
@@ -183,12 +197,20 @@ Status JournalManager::Checkpoint(const Uuid& dir_ino, DirState& st) {
   // appends both phases under append_mu), so no peer consultation is needed.
   const TimePoint cp_start = Now();
   ApplyOutcome outcome;
-  ARKFS_RETURN_IF_ERROR(ApplyTransactions(
-      *prt_, dir_ino, batch,
-      [](const Uuid&, const Uuid&) { return false; }, nullptr,
-      config_.shard_policy, &outcome));
+  Status applied = ApplyTransactions(
+      *prt_, dir_ino, batch, [](const Uuid&, const Uuid&) { return false; },
+      nullptr, config_.shard_policy, &outcome, st.sweep_orphans);
+  if (!applied.ok()) {
+    // The failed apply may have landed some of a new shard generation before
+    // dying; flag the orphan sweep so the retry cleans it up before trimming.
+    st.sweep_orphans = true;
+    restore_batch();
+    return applied;
+  }
+  if (outcome.shard_count > 0) st.sweep_orphans = false;
 
   // Trim exactly the checkpointed prefix from the journal object.
+  Status trim = Status::Ok();
   {
     std::lock_guard append(st.append_mu);
     Bytes remainder;
@@ -196,10 +218,20 @@ Status JournalManager::Checkpoint(const Uuid& dir_ino, DirState& st) {
       auto current = prt_->LoadJournal(dir_ino);
       if (current.ok() && current->size() >= batch_bytes) {
         remainder.assign(current->begin() + batch_bytes, current->end());
+      } else if (!current.ok() && current.code() != Errc::kNoEnt) {
+        // Can't see the suffix appended meanwhile; truncating blind would
+        // drop it. Leave the journal alone and retry the whole batch later.
+        trim = current.status();
       }
     }
-    ARKFS_RETURN_IF_ERROR(prt_->StoreJournal(dir_ino, remainder));
-    st.journal_bytes = remainder.size();
+    if (trim.ok()) {
+      trim = prt_->StoreJournal(dir_ino, remainder);
+      if (trim.ok()) st.journal_bytes = remainder.size();
+    }
+  }
+  if (!trim.ok()) {
+    restore_batch();  // re-apply is idempotent; keeps trim offsets aligned
+    return trim;
   }
   op_latencies_.Record("checkpoint", Now() - cp_start);
   {
@@ -340,7 +372,7 @@ Result<RecoveryReport> JournalManager::RecoverDir(const Uuid& dir_ino) {
   ApplyOutcome outcome;
   ARKFS_RETURN_IF_ERROR(ApplyTransactions(*prt_, dir_ino, txns, peer_decision,
                                           &report, config_.shard_policy,
-                                          &outcome));
+                                          &outcome, /*sweep_orphans=*/true));
   ARKFS_RETURN_IF_ERROR(prt_->StoreJournal(dir_ino, Bytes{}));
   {
     std::lock_guard stats(stats_mu_);
@@ -371,7 +403,7 @@ Status JournalManager::ApplyTransactions(
     const std::function<bool(const Uuid& txid, const Uuid& peer)>&
         peer_decision,
     RecoveryReport* report, const DentryShardPolicy& policy,
-    ApplyOutcome* outcome) {
+    ApplyOutcome* outcome, bool sweep_orphans) {
   // Decisions may live in later transactions than their prepares.
   std::map<Uuid, bool> decisions;
   for (const auto& txn : txns) {
@@ -468,10 +500,11 @@ Status JournalManager::ApplyTransactions(
 
   if (!dentry_ops.empty()) {
     auto add_shard_put = [&](std::uint32_t shard_count, std::uint32_t shard,
+                             std::uint32_t slot, std::uint64_t epoch,
                              const std::vector<Dentry>& entries) {
-      put_bufs.push_back(EncodeDentryBlock(entries));
+      put_bufs.push_back(EncodeDentryShardObject(epoch, entries));
       BatchPut p;
-      p.key = DentryShardKey(dir_ino, shard_count, shard);
+      p.key = DentryShardKey(dir_ino, shard_count, shard, slot);
       p.data = put_bufs.back();
       puts.push_back(std::move(p));
       ++out.shards_written;
@@ -495,30 +528,78 @@ Status JournalManager::ApplyTransactions(
     };
 
     auto manifest = prt.LoadDentryManifest(dir_ino);
+    bool adopted = false;
+    std::uint64_t adopted_epoch_max = 0;
     if (!manifest.ok() && manifest.code() != Errc::kNoEnt) {
       if (!report) return manifest.status();
-      // Undecodable manifest during recovery: the layout-flip Put tore.
-      // Shard generations are always fully materialized BEFORE the manifest
-      // flips, so the newest generation present holds the complete pre-crash
-      // fold — adopt it (replaying this journal over it is idempotent). No
-      // generation at all means the flip was a legacy migration whose shards
-      // never landed either: fall back to the legacy path.
+      // Undecodable manifest during recovery: the layout-flip Put tore. The
+      // journal is only ever trimmed AFTER a successful flip, so this journal
+      // provably covers everything since the last durable layout — all we
+      // need as a base is some fully materialized generation. Candidates are
+      // verified shard-by-shard before adoption (a failed reshard can leave
+      // a partially landed orphan generation, possibly LARGER than the real
+      // one): take the biggest generation where every shard index has at
+      // least one decodable slot object, preferring the highest epoch per
+      // shard. Stale-but-complete orphans cannot occur here — they are swept
+      // by the next successful checkpoint before its journal trim, so any
+      // generation still present is no older than this journal's coverage.
       ARKFS_ASSIGN_OR_RETURN(std::vector<std::string> keys,
                              prt.store().List(DentryObjectPrefix(dir_ino)));
-      std::uint32_t newest = 0;
+      // gen -> per-shard slot presence (2 bits).
+      std::map<std::uint32_t, std::vector<std::uint8_t>> gens;
       for (const auto& k : keys) {
         auto parsed = ParseKey(k);
-        if (parsed.ok() && parsed->kind == KeyKind::kDentryShard) {
-          newest = std::max(newest, parsed->dentry_shard_count);
-        }
+        if (!parsed.ok() || parsed->kind != KeyKind::kDentryShard) continue;
+        auto& present = gens[parsed->dentry_shard_count];
+        present.resize(parsed->dentry_shard_count, 0);
+        present[parsed->dentry_shard] |=
+            static_cast<std::uint8_t>(1u << parsed->dentry_slot);
       }
-      if (newest == 0) {
+      for (auto it = gens.rbegin(); it != gens.rend() && !adopted; ++it) {
+        const std::uint32_t g = it->first;
+        const auto& present = it->second;
+        std::vector<BatchGet> gets;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> which;
+        for (std::uint32_t s = 0; s < g; ++s) {
+          for (std::uint32_t slot = 0; slot < 2; ++slot) {
+            if (present[s] & (1u << slot)) {
+              BatchGet bg;
+              bg.key = DentryShardKey(dir_ino, g, s, slot);
+              gets.push_back(std::move(bg));
+              which.emplace_back(s, slot);
+            }
+          }
+        }
+        auto mg = prt.async().MultiGet(std::move(gets));
+        DentryManifest candidate;
+        candidate.shard_count = g;
+        std::vector<std::uint64_t> best_epoch(g, 0);
+        std::vector<bool> has_slot(g, false);
+        std::uint64_t epoch_max = 0;
+        for (std::size_t i = 0; i < which.size(); ++i) {
+          if (!mg.results[i].ok()) continue;
+          auto decoded = DecodeDentryShardObject(*mg.results[i]);
+          if (!decoded.ok()) continue;  // torn artifact at this slot
+          const auto [s, slot] = which[i];
+          if (!has_slot[s] || decoded->epoch > best_epoch[s]) {
+            has_slot[s] = true;
+            best_epoch[s] = decoded->epoch;
+            candidate.SetSlot(s, static_cast<std::uint8_t>(slot));
+          }
+          epoch_max = std::max(epoch_max, decoded->epoch);
+        }
+        bool complete = true;
+        for (std::uint32_t s = 0; s < g; ++s) complete &= has_slot[s];
+        if (!complete) continue;  // torn orphan generation: skip it
+        manifest = candidate;  // entry_count recomputed by the rewrite below
+        adopted = true;
+        adopted_epoch_max = epoch_max;
+      }
+      if (!adopted) {
+        // No complete generation at all: the tear was a legacy migration
+        // whose shards never fully landed either — fall back to the legacy
+        // path, which rewrites every shard of its generation anyway.
         manifest = ErrStatus(Errc::kNoEnt, "torn manifest, no shards");
-      } else {
-        DentryManifest adopted;
-        adopted.shard_count = newest;
-        adopted.entry_count = 0;  // hint; restored by the replay below
-        manifest = adopted;
       }
     }
     if (!manifest.ok()) {
@@ -535,7 +616,7 @@ Status JournalManager::ApplyTransactions(
         // Every shard of the new generation is written, empty ones included:
         // a replayed migration must overwrite any torn artifact a crashed
         // earlier attempt left at these keys.
-        add_shard_put(b, s, shards[s]);
+        add_shard_put(b, s, /*slot=*/0, /*epoch=*/1, shards[s]);
       }
       layout_commit.emplace(DentryManifestKey(dir_ino),
                             EncodeDentryManifest({b, total}));
@@ -549,51 +630,77 @@ Status JournalManager::ApplyTransactions(
       // whenever all shards are in hand.
       std::uint64_t adds = 0;
       for (const auto& [_, op] : dentry_ops) adds += op ? 1 : 0;
-      const std::uint32_t target =
-          ShardCountFor(policy, manifest->entry_count + adds);
-      if (target > b) {
-        // Reshard: rewrite everything under the new generation, flip the
-        // manifest, then drop the old generation's objects.
+      std::uint32_t target = ShardCountFor(policy, manifest->entry_count + adds);
+      if (target > b || adopted) {
+        // Full rewrite: reshard into a bigger generation, or (after a torn-
+        // manifest adoption) re-materialize the adopted generation with a
+        // freshly recomputed entry count and a valid manifest.
         std::vector<std::uint32_t> all_idx(b);
         for (std::uint32_t s = 0; s < b; ++s) all_idx[s] = s;
-        ARKFS_ASSIGN_OR_RETURN(
-            auto loaded,
-            prt.LoadDentryShards(dir_ino, b, all_idx,
-                                 /*tolerate_garbage=*/report != nullptr));
+        ARKFS_ASSIGN_OR_RETURN(auto loaded,
+                               prt.LoadDentryShards(dir_ino, *manifest, all_idx));
         out.shards_loaded += b;
         std::map<std::string, Dentry> entries;
         for (auto& part : loaded) {
-          for (auto& d : part) entries[d.name] = std::move(d);
+          for (auto& d : part.entries) entries[d.name] = std::move(d);
         }
         apply_ops(entries);
         const std::uint64_t total = entries.size();
-        auto shards = partition(entries, target);
-        for (std::uint32_t s = 0; s < target; ++s) {
-          add_shard_put(target, s, shards[s]);  // incl. empty: see migration
+        // An adopted manifest carries no usable size hint; re-derive the
+        // target from the true count now that everything is in hand.
+        if (adopted) target = std::max(b, ShardCountFor(policy, total));
+        if (target > b) {
+          // New generation at slot 0, epoch 1; the old generation's objects
+          // (both slots) are dropped only after the flip.
+          auto shards = partition(entries, target);
+          for (std::uint32_t s = 0; s < target; ++s) {
+            add_shard_put(target, s, /*slot=*/0, /*epoch=*/1, shards[s]);
+          }
+          layout_commit.emplace(DentryManifestKey(dir_ino),
+                                EncodeDentryManifest({target, total}));
+          for (std::uint32_t s = 0; s < b; ++s) {
+            deletes.push_back(DentryShardKey(dir_ino, b, s, 0));
+            deletes.push_back(DentryShardKey(dir_ino, b, s, 1));
+          }
+          out.resharded = true;
+          out.shard_count = target;
+        } else {
+          // Same generation: write every shard's INACTIVE slot and flip all
+          // the slot bits, exactly like a whole-directory steady-state
+          // checkpoint. Epochs restart above everything the adoption saw so
+          // a future adoption prefers these objects.
+          DentryManifest updated = *manifest;
+          updated.entry_count = total;
+          auto shards = partition(entries, b);
+          for (std::uint32_t s = 0; s < b; ++s) {
+            const std::uint8_t slot = 1 - manifest->SlotOf(s);
+            add_shard_put(b, s, slot, adopted_epoch_max + 1, shards[s]);
+            updated.SetSlot(s, slot);
+          }
+          layout_commit.emplace(DentryManifestKey(dir_ino),
+                                EncodeDentryManifest(updated));
+          out.shard_count = b;
         }
-        layout_commit.emplace(DentryManifestKey(dir_ino),
-                              EncodeDentryManifest({target, total}));
-        for (std::uint32_t s = 0; s < b; ++s) {
-          deletes.push_back(DentryShardKey(dir_ino, b, s));
-        }
-        out.resharded = true;
-        out.shard_count = target;
       } else {
-        // Steady state: load and rewrite ONLY the shards this batch dirtied.
+        // Steady state: load and rewrite ONLY the shards this batch dirtied,
+        // each into its INACTIVE slot (copy-on-write double buffer). The
+        // manifest flip after the MultiPut is the commit point; until it
+        // lands, readers and recovery still see the previous slots, so a
+        // torn shard put can never damage referenced state — which is what
+        // lets every load above decode strictly and fail loudly.
         std::set<std::uint32_t> dirty;
         for (const auto& [name, _] : dentry_ops) {
           dirty.insert(DentryShardOf(name, b));
         }
         const std::vector<std::uint32_t> idx(dirty.begin(), dirty.end());
-        ARKFS_ASSIGN_OR_RETURN(
-            auto loaded, prt.LoadDentryShards(dir_ino, b, idx,
-                                              /*tolerate_garbage=*/report !=
-                                                  nullptr));
+        ARKFS_ASSIGN_OR_RETURN(auto loaded,
+                               prt.LoadDentryShards(dir_ino, *manifest, idx));
         out.shards_loaded += idx.size();
+        DentryManifest updated = *manifest;
         std::int64_t delta = 0;
         for (std::size_t i = 0; i < idx.size(); ++i) {
           std::map<std::string, Dentry> entries;
-          for (auto& d : loaded[i]) entries[d.name] = std::move(d);
+          for (auto& d : loaded[i].entries) entries[d.name] = std::move(d);
           for (const auto& [name, op] : dentry_ops) {
             if (DentryShardOf(name, b) != idx[i]) continue;
             const bool existed = entries.count(name) != 0;
@@ -608,31 +715,48 @@ Status JournalManager::ApplyTransactions(
           std::vector<Dentry> shard;
           shard.reserve(entries.size());
           for (auto& [_, d] : entries) shard.push_back(std::move(d));
-          // A now-empty shard is still written (as an empty block) so a
-          // previously materialized object can't resurrect stale entries.
-          add_shard_put(b, idx[i], shard);
+          // A now-empty shard is still written (as an empty object) so the
+          // superseded slot can't resurrect stale entries after the flip.
+          const std::uint8_t slot = 1 - manifest->SlotOf(idx[i]);
+          add_shard_put(b, idx[i], slot, loaded[i].epoch + 1, shard);
+          updated.SetSlot(idx[i], slot);
         }
-        DentryManifest updated = *manifest;
         updated.entry_count =
             delta < 0 && updated.entry_count < static_cast<std::uint64_t>(-delta)
                 ? 0
                 : updated.entry_count + delta;
-        // The count update rides the ordered commit-point Put (after the
+        // The slot-bit flip rides the ordered commit-point Put (after the
         // shard MultiPut), never the MultiPut itself: the manifest object
-        // must only ever transition between valid states, so a torn batch
-        // can't destroy the layout authority. Skipped when nothing changed
-        // (pure overwrites), except in recovery, which must restore a valid
-        // manifest after a torn one was adopted from the newest generation.
-        if (updated.entry_count != manifest->entry_count || report) {
-          layout_commit.emplace(DentryManifestKey(dir_ino),
-                                EncodeDentryManifest(updated));
-        }
+        // only ever transitions valid -> valid, and nothing references the
+        // freshly written slots until it lands.
+        layout_commit.emplace(DentryManifestKey(dir_ino),
+                              EncodeDentryManifest(updated));
         out.shard_count = b;
         // Recovery replay may be redoing a crashed migration whose manifest
         // landed but whose legacy-block delete didn't; re-issue the delete
         // so the orphan can't linger.
         if (report) deletes.push_back(DentryKey(dir_ino));
       }
+    }
+
+    // Orphan-generation sweep: recovery always sweeps; checkpointing sweeps
+    // after a failed apply (which may have landed part — or, worse, all — of
+    // a generation that never got its manifest flip). A complete-but-stale
+    // orphan is the one artifact torn-manifest adoption cannot tell from the
+    // real layout, so it must never survive past the journal trim that
+    // settles the entries superseding it; the deletes below are ordered
+    // after this apply's own manifest flip and before any trim.
+    if ((sweep_orphans || report) && out.shard_count > 0) {
+      ARKFS_ASSIGN_OR_RETURN(std::vector<std::string> keys,
+                             prt.store().List(DentryObjectPrefix(dir_ino)));
+      for (auto& k : keys) {
+        auto parsed = ParseKey(k);
+        if (parsed.ok() && parsed->kind == KeyKind::kDentryShard &&
+            parsed->dentry_shard_count != out.shard_count) {
+          deletes.push_back(std::move(k));
+        }
+      }
+      out.swept = true;
     }
   }
 

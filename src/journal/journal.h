@@ -86,6 +86,7 @@ struct ApplyOutcome {
   std::uint64_t shards_written = 0;
   bool migrated = false;
   bool resharded = false;
+  bool swept = false;  // orphan-generation sweep ran this apply
 };
 
 struct RecoveryReport {
@@ -149,15 +150,22 @@ class JournalManager {
   // Applies parsed transactions to the authoritative objects. Exposed for
   // tests. `peer_decision` resolves prepared transactions with no local
   // decision (recovery passes a peer-journal scan; checkpointing never
-  // needs it). Dentry deltas touch only the shards the batch dirtied; a
-  // legacy unsharded block is migrated to the sharded layout on the way
-  // through (see DESIGN.md for the crash-ordering protocol).
+  // needs it). Dentry deltas touch only the shards the batch dirtied,
+  // writing each dirty shard's INACTIVE slot and flipping the manifest
+  // afterwards (copy-on-write: a torn put can never damage referenced
+  // state); a legacy unsharded block is migrated to the sharded layout on
+  // the way through (see DESIGN.md for the crash-ordering protocol).
+  // `sweep_orphans` additionally LISTs the directory's dentry prefix and
+  // deletes every shard generation other than the final one — recovery
+  // always sweeps, checkpointing sweeps after a failed apply may have left
+  // orphan generation objects behind (a stale-but-decodable orphan must not
+  // survive to confuse a later torn-manifest adoption).
   static Status ApplyTransactions(
       Prt& prt, const Uuid& dir_ino, const std::vector<Transaction>& txns,
       const std::function<bool(const Uuid& txid, const Uuid& peer)>&
           peer_decision,
       RecoveryReport* report, const DentryShardPolicy& policy = {},
-      ApplyOutcome* outcome = nullptr);
+      ApplyOutcome* outcome = nullptr, bool sweep_orphans = false);
 
  private:
   struct DirState {
@@ -173,6 +181,11 @@ class JournalManager {
     std::deque<std::pair<Transaction, std::uint64_t>> committed;
     std::uint64_t journal_bytes = 0;  // current journal object length
     std::mutex checkpoint_mu;         // one checkpointer per directory
+    // A failed apply may have landed orphan shard-generation objects; the
+    // next successful dentry checkpoint must sweep them (before the journal
+    // is trimmed) so a stale orphan can never outlive the entries that
+    // supersede it. Guarded by checkpoint_mu.
+    bool sweep_orphans = false;
   };
   using DirStatePtr = std::shared_ptr<DirState>;
 

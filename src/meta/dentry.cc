@@ -42,14 +42,59 @@ Result<std::vector<Dentry>> DecodeDentryBlock(ByteSpan data) {
 }
 
 namespace {
-constexpr std::uint8_t kManifestVersion = 1;
+constexpr std::uint8_t kManifestVersion = 2;
+constexpr std::uint8_t kShardObjectVersion = 1;
 }  // namespace
 
+Bytes EncodeDentryShardObject(std::uint64_t epoch,
+                              const std::vector<Dentry>& entries) {
+  Encoder enc(entries.size() * 48 + 32);
+  enc.PutU8(kShardObjectVersion);
+  enc.PutVarint(epoch);
+  enc.PutVarint(entries.size());
+  for (const auto& d : entries) d.EncodeTo(enc);
+  const std::uint32_t crc = Crc32c(enc.buffer());
+  enc.PutU32(crc);
+  return std::move(enc).Take();
+}
+
+Result<DentryShardData> DecodeDentryShardObject(ByteSpan data) {
+  // CRC first: a torn put persists a strict prefix of the payload, which
+  // must read as "undecodable", never as a shorter-but-valid shard.
+  if (data.size() < 5) return ErrStatus(Errc::kIo, "shard object too short");
+  const ByteSpan body = data.subspan(0, data.size() - 4);
+  Decoder crc_dec(data.subspan(data.size() - 4));
+  ARKFS_ASSIGN_OR_RETURN(std::uint32_t stored_crc, crc_dec.GetU32());
+  if (Crc32c(body) != stored_crc) {
+    return ErrStatus(Errc::kIo, "shard object CRC mismatch");
+  }
+  Decoder dec(body);
+  ARKFS_ASSIGN_OR_RETURN(std::uint8_t version, dec.GetU8());
+  if (version != kShardObjectVersion) {
+    return ErrStatus(Errc::kIo, "unknown dentry shard version");
+  }
+  DentryShardData shard;
+  ARKFS_ASSIGN_OR_RETURN(shard.epoch, dec.GetVarint());
+  ARKFS_ASSIGN_OR_RETURN(std::uint64_t n, dec.GetVarint());
+  shard.entries.reserve(n < (1u << 20) ? n : 0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ARKFS_ASSIGN_OR_RETURN(Dentry d, Dentry::DecodeFrom(dec));
+    shard.entries.push_back(std::move(d));
+  }
+  return shard;
+}
+
 Bytes EncodeDentryManifest(const DentryManifest& m) {
-  Encoder enc(16);
+  Encoder enc(16 + m.shard_count / 8);
   enc.PutU8(kManifestVersion);
   enc.PutVarint(m.shard_count);
   enc.PutVarint(m.entry_count);
+  // Slot bitmap, one bit per shard (absent slots encode as slot 0).
+  Bytes bits((m.shard_count + 7) / 8, 0);
+  for (std::uint32_t s = 0; s < m.shard_count && s < m.slots.size(); ++s) {
+    if (m.slots[s] & 1) bits[s / 8] |= static_cast<std::uint8_t>(1u << (s % 8));
+  }
+  enc.PutRaw(bits);
   return std::move(enc).Take();
 }
 
@@ -66,6 +111,20 @@ Result<DentryManifest> DecodeDentryManifest(ByteSpan data) {
   if (count == 0 || count > kMaxDentryShards ||
       (m.shard_count & (m.shard_count - 1)) != 0) {
     return ErrStatus(Errc::kIo, "bad dentry shard count");
+  }
+  Bytes bits((m.shard_count + 7) / 8, 0);
+  ARKFS_RETURN_IF_ERROR(dec.GetRaw(bits));
+  bool any = false;
+  for (std::uint32_t s = 0; s < m.shard_count; ++s) {
+    if (bits[s / 8] & (1u << (s % 8))) any = true;
+  }
+  // Canonical form: all-zero slots decode as the empty vector, so a
+  // round-trip of a freshly migrated manifest compares equal.
+  if (any) {
+    m.slots.resize(m.shard_count, 0);
+    for (std::uint32_t s = 0; s < m.shard_count; ++s) {
+      m.slots[s] = (bits[s / 8] >> (s % 8)) & 1;
+    }
   }
   return m;
 }

@@ -45,10 +45,10 @@ std::string DentryManifestKey(const Uuid& dir_ino) {
 }
 
 std::string DentryShardKey(const Uuid& dir_ino, std::uint32_t shard_count,
-                           std::uint32_t shard) {
-  char suffix[12];
-  std::snprintf(suffix, sizeof(suffix), ".%02x.%04x", Log2Pow2(shard_count),
-                shard);
+                           std::uint32_t shard, std::uint32_t slot) {
+  char suffix[14];
+  std::snprintf(suffix, sizeof(suffix), ".%02x.%04x.%x", Log2Pow2(shard_count),
+                shard, slot & 1);
   return MakeKey('e', dir_ino) + suffix;
 }
 
@@ -96,26 +96,38 @@ Result<ParsedKey> ParseKey(const std::string& key) {
     parsed.kind = KeyKind::kDentryManifest;
     return parsed;
   }
-  if (parsed.kind == KeyKind::kDentry && key.size() == 41 && key[33] == '.' &&
-      key[36] == '.') {
+  if (parsed.kind == KeyKind::kDentry && key.size() == 43 && key[33] == '.' &&
+      key[36] == '.' && key[41] == '.') {
     std::uint32_t gen = 0, shard = 0;
     for (std::size_t i = 34; i < 36; ++i) {
       const int v = HexVal(key[i]);
       if (v < 0) return ErrStatus(Errc::kInval, "bad shard generation");
       gen = (gen << 4) | static_cast<std::uint32_t>(v);
     }
+    // Bound the generation BEFORE shifting: `gen` comes from two arbitrary
+    // hex digits (up to 255) and a shift count >= 32 is undefined behavior.
+    constexpr std::uint32_t kMaxGen = 8;  // log2(kMaxDentryShards)
+    static_assert((1u << kMaxGen) == kMaxDentryShards);
+    if (gen > kMaxGen) {
+      return ErrStatus(Errc::kInval, "shard generation out of range");
+    }
     for (std::size_t i = 37; i < 41; ++i) {
       const int v = HexVal(key[i]);
       if (v < 0) return ErrStatus(Errc::kInval, "bad shard index");
       shard = (shard << 4) | static_cast<std::uint32_t>(v);
     }
-    const std::uint64_t count = 1ull << gen;
-    if (count > kMaxDentryShards || shard >= count) {
+    const int slot = HexVal(key[42]);
+    if (slot != 0 && slot != 1) {
+      return ErrStatus(Errc::kInval, "bad shard slot");
+    }
+    const std::uint32_t count = 1u << gen;
+    if (shard >= count) {
       return ErrStatus(Errc::kInval, "shard out of range");
     }
     parsed.kind = KeyKind::kDentryShard;
-    parsed.dentry_shard_count = static_cast<std::uint32_t>(count);
+    parsed.dentry_shard_count = count;
     parsed.dentry_shard = shard;
+    parsed.dentry_slot = static_cast<std::uint32_t>(slot);
     return parsed;
   }
   if (key.size() != 33) {

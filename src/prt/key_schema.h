@@ -6,13 +6,16 @@
 //   i<uuid>            inode record
 //   e<uuid>            dentry block of directory <uuid> (legacy, unsharded)
 //   e<uuid>.m          dentry manifest of directory <uuid> (sharded layout:
-//                      shard count + entry-count hint)
-//   e<uuid>.<gg>.<ssss> dentry shard <ssss> of a B=2^<gg>-way sharded
-//                      directory (hex, zero-padded). The shard count is part
-//                      of the key ("generation"), so growing a directory
-//                      writes a fresh generation and flips the manifest
-//                      atomically — a torn reshard can never corrupt the
-//                      previous layout.
+//                      shard count + live slot per shard + entry-count hint)
+//   e<uuid>.<gg>.<ssss>.<t>
+//                      slot <t> (0/1) of dentry shard <ssss> of a
+//                      B=2^<gg>-way sharded directory (hex, zero-padded).
+//                      The shard count is part of the key ("generation"), so
+//                      growing a directory writes a fresh generation and
+//                      flips the manifest atomically; the slot double-buffers
+//                      each shard, so a steady-state checkpoint writes the
+//                      INACTIVE slot and flips the manifest — a torn put can
+//                      never corrupt the previous layout or shard contents.
 //   j<uuid>            per-directory journal of directory <uuid>
 //   d<uuid>.<index>    data chunk <index> of file <uuid> (16 hex digits,
 //                      zero-padded so lexicographic order == numeric order)
@@ -42,10 +45,10 @@ std::string JournalKey(const Uuid& dir_ino);
 std::string DataKey(const Uuid& ino, std::uint64_t chunk_index);
 
 // Sharded dentry layout keys. `shard_count` must be a power of two in
-// [1, kMaxDentryShards]; `shard` < `shard_count`.
+// [1, kMaxDentryShards]; `shard` < `shard_count`; `slot` is 0 or 1.
 std::string DentryManifestKey(const Uuid& dir_ino);
 std::string DentryShardKey(const Uuid& dir_ino, std::uint32_t shard_count,
-                           std::uint32_t shard);
+                           std::uint32_t shard, std::uint32_t slot);
 
 // Prefix matching all data chunks of a file (for LIST/delete sweeps).
 std::string DataKeyPrefix(const Uuid& ino);
@@ -71,6 +74,7 @@ struct ParsedKey {
   std::uint64_t chunk_index = 0;          // data keys only
   std::uint32_t dentry_shard_count = 0;   // dentry shard keys only
   std::uint32_t dentry_shard = 0;         // dentry shard keys only
+  std::uint32_t dentry_slot = 0;          // dentry shard keys only
 };
 
 Result<ParsedKey> ParseKey(const std::string& key);

@@ -26,21 +26,24 @@ Status Prt::DeleteInode(const Uuid& ino) {
 
 namespace {
 
-// Merges a run of raw shard GET results into one entry list. A kNoEnt shard
-// is an empty shard (written lazily), any other failure fails the merge.
+// Merges raw live-slot GET results into one entry list; result index i must
+// hold the LIVE slot object of shard i. A kNoEnt object is an empty shard
+// (written lazily); any other failure — including an undecodable payload —
+// fails the merge loudly.
 Result<std::vector<Dentry>> MergeShardResults(std::vector<Result<Bytes>>& raw,
                                               std::size_t base,
+                                              std::size_t stride,
                                               std::uint32_t count,
                                               std::uint64_t reserve_hint) {
   std::vector<Dentry> all;
   all.reserve(reserve_hint < (1u << 22) ? reserve_hint : 0);
   for (std::uint32_t s = 0; s < count; ++s) {
-    auto& r = raw[base + s];
+    auto& r = raw[base + s * stride];
     if (r.code() == Errc::kNoEnt) continue;
     if (!r.ok()) return r.status();
-    ARKFS_ASSIGN_OR_RETURN(std::vector<Dentry> part, DecodeDentryBlock(*r));
-    all.insert(all.end(), std::make_move_iterator(part.begin()),
-               std::make_move_iterator(part.end()));
+    ARKFS_ASSIGN_OR_RETURN(DentryShardData part, DecodeDentryShardObject(*r));
+    all.insert(all.end(), std::make_move_iterator(part.entries.begin()),
+               std::make_move_iterator(part.entries.end()));
   }
   return all;
 }
@@ -51,15 +54,17 @@ Prt::DirObjects Prt::LoadDirObjects(const Uuid& dir_ino,
                                     std::uint32_t shard_hint) {
   if (!IsPow2(shard_hint) || shard_hint > kMaxDentryShards) shard_hint = 1;
   // Speculative first batch: we don't yet know the layout, so cover every
-  // possibility — the manifest and legacy block are tiny, and the shards of
-  // a correct hint make the whole bootstrap a single round trip.
-  std::vector<BatchGet> gets(4 + shard_hint);
+  // possibility — the manifest and legacy block are tiny, and fetching both
+  // slot objects of every hinted shard (the live slot is only known once
+  // the manifest decodes) keeps a correct hint at a single round trip.
+  std::vector<BatchGet> gets(4 + 2 * shard_hint);
   gets[0].key = InodeKey(dir_ino);
   gets[1].key = JournalKey(dir_ino);
   gets[2].key = DentryManifestKey(dir_ino);
   gets[3].key = DentryKey(dir_ino);
   for (std::uint32_t s = 0; s < shard_hint; ++s) {
-    gets[4 + s].key = DentryShardKey(dir_ino, shard_hint, s);
+    gets[4 + 2 * s].key = DentryShardKey(dir_ino, shard_hint, s, 0);
+    gets[4 + 2 * s + 1].key = DentryShardKey(dir_ino, shard_hint, s, 1);
   }
   auto mg = async_->MultiGet(std::move(gets));
 
@@ -96,17 +101,24 @@ Prt::DirObjects Prt::LoadDirObjects(const Uuid& dir_ino,
   out.entry_count_hint = manifest->entry_count;
 
   if (manifest->shard_count == shard_hint) {
-    out.dentries = MergeShardResults(mg.results, 4, shard_hint,
+    // Pick each shard's live slot from the speculative pair.
+    std::vector<Result<Bytes>> live;
+    live.reserve(shard_hint);
+    for (std::uint32_t s = 0; s < shard_hint; ++s) {
+      live.push_back(std::move(mg.results[4 + 2 * s + manifest->SlotOf(s)]));
+    }
+    out.dentries = MergeShardResults(live, 0, 1, shard_hint,
                                      manifest->entry_count);
     return out;
   }
-  // Hint missed: one more overlapped batch for the actual shard set.
+  // Hint missed: one more overlapped batch for the actual live shard set.
   std::vector<BatchGet> shard_gets(manifest->shard_count);
   for (std::uint32_t s = 0; s < manifest->shard_count; ++s) {
-    shard_gets[s].key = DentryShardKey(dir_ino, manifest->shard_count, s);
+    shard_gets[s].key = DentryShardKey(dir_ino, manifest->shard_count, s,
+                                       manifest->SlotOf(s));
   }
   auto sg = async_->MultiGet(std::move(shard_gets));
-  out.dentries = MergeShardResults(sg.results, 0, manifest->shard_count,
+  out.dentries = MergeShardResults(sg.results, 0, 1, manifest->shard_count,
                                    manifest->entry_count);
   return out;
 }
@@ -144,48 +156,49 @@ Status Prt::StoreDentryManifest(const Uuid& dir_ino, const DentryManifest& m) {
 
 Result<std::vector<Dentry>> Prt::LoadDentryShard(const Uuid& dir_ino,
                                                  std::uint32_t shard_count,
-                                                 std::uint32_t shard) {
-  auto raw = store_->Get(DentryShardKey(dir_ino, shard_count, shard));
+                                                 std::uint32_t shard,
+                                                 std::uint32_t slot) {
+  auto raw = store_->Get(DentryShardKey(dir_ino, shard_count, shard, slot));
   if (!raw.ok()) {
     if (raw.code() == Errc::kNoEnt) return std::vector<Dentry>{};
     return raw.status();
   }
-  return DecodeDentryBlock(*raw);
+  ARKFS_ASSIGN_OR_RETURN(DentryShardData data, DecodeDentryShardObject(*raw));
+  return std::move(data.entries);
 }
 
 Status Prt::StoreDentryShard(const Uuid& dir_ino, std::uint32_t shard_count,
                              std::uint32_t shard,
-                             const std::vector<Dentry>& entries) {
-  return store_->Put(DentryShardKey(dir_ino, shard_count, shard),
-                     EncodeDentryBlock(entries));
+                             const std::vector<Dentry>& entries,
+                             std::uint32_t slot, std::uint64_t epoch) {
+  return store_->Put(DentryShardKey(dir_ino, shard_count, shard, slot),
+                     EncodeDentryShardObject(epoch, entries));
 }
 
 Status Prt::DeleteDentryShard(const Uuid& dir_ino, std::uint32_t shard_count,
-                              std::uint32_t shard) {
-  Status st = store_->Delete(DentryShardKey(dir_ino, shard_count, shard));
+                              std::uint32_t shard, std::uint32_t slot) {
+  Status st = store_->Delete(DentryShardKey(dir_ino, shard_count, shard, slot));
   if (st.code() == Errc::kNoEnt) return Status::Ok();  // lazily written
   return st;
 }
 
-Result<std::vector<std::vector<Dentry>>> Prt::LoadDentryShards(
-    const Uuid& dir_ino, std::uint32_t shard_count,
-    const std::vector<std::uint32_t>& shards, bool tolerate_garbage) {
+Result<std::vector<DentryShardData>> Prt::LoadDentryShards(
+    const Uuid& dir_ino, const DentryManifest& manifest,
+    const std::vector<std::uint32_t>& shards) {
   std::vector<BatchGet> gets(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
-    gets[i].key = DentryShardKey(dir_ino, shard_count, shards[i]);
+    gets[i].key = DentryShardKey(dir_ino, manifest.shard_count, shards[i],
+                                 manifest.SlotOf(shards[i]));
   }
   auto mg = async_->MultiGet(std::move(gets));
-  std::vector<std::vector<Dentry>> out(shards.size());
+  std::vector<DentryShardData> out(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
     auto& r = mg.results[i];
     if (r.code() == Errc::kNoEnt) continue;  // never-written shard: empty
     if (!r.ok()) return r.status();
-    auto decoded = DecodeDentryBlock(*r);
-    if (!decoded.ok()) {
-      if (tolerate_garbage) continue;  // torn put artifact: rebuilt by replay
-      return decoded.status();
-    }
-    out[i] = std::move(*decoded);
+    // Strict: the manifest only references fully landed slot objects, so an
+    // undecodable payload is real corruption and must fail loudly.
+    ARKFS_ASSIGN_OR_RETURN(out[i], DecodeDentryShardObject(*r));
   }
   return out;
 }
@@ -198,14 +211,14 @@ Result<std::vector<Dentry>> Prt::LoadDentries(const Uuid& dir_ino) {
   }
   std::vector<std::uint32_t> all(manifest->shard_count);
   for (std::uint32_t s = 0; s < manifest->shard_count; ++s) all[s] = s;
-  ARKFS_ASSIGN_OR_RETURN(auto shards,
-                         LoadDentryShards(dir_ino, manifest->shard_count, all));
+  ARKFS_ASSIGN_OR_RETURN(auto shards, LoadDentryShards(dir_ino, *manifest, all));
   std::vector<Dentry> merged;
   merged.reserve(manifest->entry_count < (1u << 22) ? manifest->entry_count
                                                     : 0);
   for (auto& part : shards) {
-    merged.insert(merged.end(), std::make_move_iterator(part.begin()),
-                  std::make_move_iterator(part.end()));
+    merged.insert(merged.end(),
+                  std::make_move_iterator(part.entries.begin()),
+                  std::make_move_iterator(part.entries.end()));
   }
   return merged;
 }

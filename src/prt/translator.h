@@ -40,11 +40,12 @@ class Prt {
 
   // All per-directory metadata objects fetched with overlapped batches
   // (new-leader fast path). The first MultiGet speculatively covers dir
-  // inode + journal probe + dentry manifest + legacy block + the shards a
-  // `shard_hint`-way layout would have; when the hint matches the manifest
-  // (or the directory is legacy / never sharded) bootstrap costs exactly one
-  // store round trip. A mismatched hint costs one extra overlapped batch for
-  // the actual shard set.
+  // inode + journal probe + dentry manifest + legacy block + BOTH slot
+  // objects of every shard a `shard_hint`-way layout would have (the live
+  // slot isn't known until the manifest decodes); when the hint matches the
+  // manifest (or the directory is legacy / never sharded) bootstrap costs
+  // exactly one store round trip. A mismatched hint costs one extra
+  // overlapped batch for the actual live shard set.
   struct DirObjects {
     Result<Inode> inode{ErrStatus(Errc::kIo, "not loaded")};
     Result<std::vector<Dentry>> dentries{ErrStatus(Errc::kIo, "not loaded")};
@@ -65,26 +66,30 @@ class Prt {
   Result<DentryManifest> LoadDentryManifest(const Uuid& dir_ino);
   Status StoreDentryManifest(const Uuid& dir_ino, const DentryManifest& m);
 
-  // Single-shard ops. A missing shard object reads as empty (shards are
-  // written lazily; an all-entries-removed shard may also be materialized
-  // as an empty object — both decode to no entries).
+  // Single-shard ops against one slot object. A missing slot object reads
+  // as empty (an all-entries-removed shard may also be materialized as an
+  // empty object — both decode to no entries).
   Result<std::vector<Dentry>> LoadDentryShard(const Uuid& dir_ino,
                                               std::uint32_t shard_count,
-                                              std::uint32_t shard);
+                                              std::uint32_t shard,
+                                              std::uint32_t slot = 0);
   Status StoreDentryShard(const Uuid& dir_ino, std::uint32_t shard_count,
                           std::uint32_t shard,
-                          const std::vector<Dentry>& entries);
+                          const std::vector<Dentry>& entries,
+                          std::uint32_t slot = 0, std::uint64_t epoch = 1);
   Status DeleteDentryShard(const Uuid& dir_ino, std::uint32_t shard_count,
-                           std::uint32_t shard);
+                           std::uint32_t shard, std::uint32_t slot);
 
-  // Loads the named shards with one MultiGet; result[i] holds the entries of
-  // shards[i] (missing shard objects read as empty). With `tolerate_garbage`
-  // an undecodable shard object also reads as empty instead of failing —
-  // crash recovery uses this to step over a torn shard put and rebuild the
-  // shard from the surviving journal.
-  Result<std::vector<std::vector<Dentry>>> LoadDentryShards(
-      const Uuid& dir_ino, std::uint32_t shard_count,
-      const std::vector<std::uint32_t>& shards, bool tolerate_garbage = false);
+  // Loads the named shards' LIVE slot objects (per the manifest) with one
+  // MultiGet; result[i] holds shards[i] (missing objects read as empty,
+  // epoch 0). Decoding is strict: an undecodable live-slot object fails the
+  // load loudly. By construction the manifest only ever references fully
+  // landed slot objects (checkpoints write the inactive slot and flip the
+  // manifest afterwards), so garbage here means real store corruption —
+  // silently reading it as empty would drop settled entries.
+  Result<std::vector<DentryShardData>> LoadDentryShards(
+      const Uuid& dir_ino, const DentryManifest& manifest,
+      const std::vector<std::uint32_t>& shards);
 
   // Layout-aware full read: consults the manifest, then merges all shards
   // (sharded) or reads the unsharded block (legacy). Missing objects read

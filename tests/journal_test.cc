@@ -462,8 +462,11 @@ TEST_F(ShardedDentryTest, ShardCountGrowsWithDirectory) {
   EXPECT_EQ(m->shard_count, 8u);  // 34 entries at 8/shard -> 8-way
   EXPECT_EQ(m->entry_count, 34u);
   EXPECT_EQ(mgr->stats().dentry_reshards, 1u);
-  // The old generation's objects were dropped after the manifest flip.
-  EXPECT_EQ(prt_->store().Head(DentryShardKey(dir, 1, 0)).code(), Errc::kNoEnt);
+  // The old generation's objects (both slots) were dropped after the flip.
+  EXPECT_EQ(prt_->store().Head(DentryShardKey(dir, 1, 0, 0)).code(),
+            Errc::kNoEnt);
+  EXPECT_EQ(prt_->store().Head(DentryShardKey(dir, 1, 0, 1)).code(),
+            Errc::kNoEnt);
   auto all = prt_->LoadDentries(dir);
   ASSERT_TRUE(all.ok());
   EXPECT_EQ(all->size(), 34u);
@@ -601,6 +604,159 @@ TEST_F(ShardedDentryTest, TornShardCheckpointRecovers) {
   EXPECT_EQ(all->size(), 20u);  // every acked op survived the torn writes
   EXPECT_EQ(prt_->LoadDentryManifest(dir)->entry_count, 20u);
   EXPECT_FALSE(fresh->HasSurvivingJournal(dir));
+}
+
+TEST_F(ShardedDentryTest, TornCheckpointNeverDamagesSettledEntries) {
+  // The copy-on-write regression: entries settled by an earlier checkpoint
+  // (and therefore TRIMMED from the journal) live only in the shard objects.
+  // A later checkpoint of the same shards must not be able to destroy them —
+  // the torn put lands in the inactive slot, the manifest never flips, and
+  // both the crash window and recovery still read every settled entry.
+  const Uuid dir = NewDir(30);
+  DentryShardPolicy p;
+  p.override_count = 4;
+  {
+    auto mgr = MakeManager(p);
+    mgr->RegisterDir(dir);
+    std::vector<Record> recs;
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      recs.push_back(AddEntry("settled" + std::to_string(i), i));
+    }
+    mgr->Append(dir, std::move(recs));
+    ASSERT_TRUE(mgr->FlushDir(dir).ok());  // settled: journal trimmed empty
+  }
+  ASSERT_FALSE(MakeManager(p)->HasSurvivingJournal(dir));
+
+  ChaosConfig torn;
+  torn.seed = 11;
+  torn.torn_put_rate = 1.0;
+  auto chaos = std::make_shared<ChaosStore>(base_, torn);
+  {
+    auto chaos_prt = std::make_shared<Prt>(chaos);
+    JournalConfig cfg = JournalConfig::ForTests();
+    cfg.shard_policy = p;
+    JournalManager victim(chaos_prt, cfg);
+    victim.RegisterDir(dir);
+    victim.Append(dir, {AddEntry("late", 1000)});
+    ASSERT_TRUE(victim.CommitDir(dir).ok());
+    EXPECT_FALSE(victim.FlushDir(dir).ok());  // shard put tore
+    EXPECT_GT(chaos->counters().torn_puts, 0u);
+  }
+  // Crash window: every settled entry is still readable through the
+  // unflipped manifest (pre-fix, the in-place rewrite left garbage that
+  // recovery silently read as an EMPTY shard — losing settled entries).
+  auto window = prt_->LoadDentries(dir);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window->size(), 20u);
+
+  auto fresh = MakeManager(p);
+  ASSERT_TRUE(fresh->HasSurvivingJournal(dir));
+  ASSERT_TRUE(fresh->RecoverDir(dir).ok());
+  auto all = prt_->LoadDentries(dir);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 21u);  // 20 settled + 1 journaled, zero lost
+  EXPECT_EQ(prt_->LoadDentryManifest(dir)->entry_count, 21u);
+}
+
+TEST_F(ShardedDentryTest, TornManifestAdoptionVerifiesGenerations) {
+  // A torn manifest flip leaves an undecodable layout authority. Recovery
+  // must adopt a FULLY MATERIALIZED generation — not blindly the largest
+  // one present, which can be a torn orphan from a failed reshard — and
+  // must rebuild a valid manifest with a recomputed entry count.
+  const Uuid dir = NewDir(31);
+  DentryShardPolicy p;
+  p.override_count = 4;
+  {
+    auto mgr = MakeManager(p);
+    mgr->RegisterDir(dir);
+    std::vector<Record> recs;
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      recs.push_back(AddEntry("base" + std::to_string(i), i));
+    }
+    mgr->Append(dir, std::move(recs));
+    ASSERT_TRUE(mgr->FlushDir(dir).ok());
+    mgr->Append(dir, {AddEntry("extra", 500)});
+    ASSERT_TRUE(mgr->CommitDir(dir).ok());  // journaled, not checkpointed
+  }
+  // Simulate the torn flip plus a torn ORPHAN generation twice as wide
+  // (every gen-8 shard object present but undecodable).
+  ASSERT_TRUE(prt_->store().Put(DentryManifestKey(dir), Bytes{0xDE, 0xAD}).ok());
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    ASSERT_TRUE(
+        prt_->store().Put(DentryShardKey(dir, 8, s, 0), Bytes{0xBA, 0xD1}).ok());
+  }
+
+  auto fresh = MakeManager(p);
+  auto report = fresh->RecoverDir(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->transactions_replayed, 1u);
+  auto m = prt_->LoadDentryManifest(dir);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->shard_count, 4u);    // adopted the complete generation
+  EXPECT_EQ(m->entry_count, 11u);   // recomputed, not reset to zero
+  auto all = prt_->LoadDentries(dir);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 11u);
+  // The torn orphan generation was swept during recovery.
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(prt_->store().Head(DentryShardKey(dir, 8, s, 0)).code(),
+              Errc::kNoEnt);
+  }
+}
+
+TEST_F(ShardedDentryTest, FailedCheckpointRetriesAndSweepsOrphans) {
+  // A checkpoint whose apply fails must keep its batch: the retry re-applies
+  // the same journal prefix (keeping the trim byte-aligned) and sweeps any
+  // orphan generation objects the failed attempt may have left behind.
+  const Uuid dir = NewDir(32);
+  DentryShardPolicy p;
+  p.override_count = 4;
+
+  auto armed = std::make_shared<std::atomic<bool>>(false);
+  auto faulty = std::make_shared<FaultInjectionStore>(
+      counting_, [armed](std::string_view op, const std::string& key) {
+        // Whole-object puts to dentry shard objects only (43-char 'e' keys).
+        return armed->load() && op == "put" && key.size() == 43 &&
+                       key[0] == 'e'
+                   ? Errc::kIo
+                   : Errc::kOk;
+      });
+  auto faulty_prt = std::make_shared<Prt>(faulty);
+  JournalConfig cfg = JournalConfig::ForTests();
+  cfg.shard_policy = p;
+  JournalManager mgr(faulty_prt, cfg);
+  mgr.RegisterDir(dir);
+  std::vector<Record> recs;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    recs.push_back(AddEntry("kept" + std::to_string(i), i));
+  }
+  mgr.Append(dir, std::move(recs));
+  ASSERT_TRUE(mgr.CommitDir(dir).ok());
+
+  // A stale orphan generation from some earlier failed reshard; decodable
+  // but obsolete — exactly the artifact adoption can't distinguish, so the
+  // retry must delete it before the journal trim settles anything.
+  ASSERT_TRUE(prt_->StoreDentryShard(dir, 2, 0,
+                                     {{"stale", DeterministicUuid(76, 1),
+                                       FileType::kRegular}})
+                  .ok());
+  ASSERT_TRUE(
+      prt_->StoreDentryShard(dir, 2, 1, {}, /*slot=*/0, /*epoch=*/1).ok());
+
+  armed->store(true);
+  EXPECT_FALSE(mgr.FlushDir(dir).ok());
+  armed->store(false);
+  ASSERT_TRUE(mgr.FlushDir(dir).ok());  // retry applies the restored batch
+
+  auto all = prt_->LoadDentries(dir);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 12u);
+  EXPECT_EQ(prt_->LoadDentryManifest(dir)->entry_count, 12u);
+  EXPECT_FALSE(mgr.HasSurvivingJournal(dir));  // trim stayed aligned
+  EXPECT_EQ(prt_->store().Head(DentryShardKey(dir, 2, 0, 0)).code(),
+            Errc::kNoEnt);
+  EXPECT_EQ(prt_->store().Head(DentryShardKey(dir, 2, 1, 0)).code(),
+            Errc::kNoEnt);
 }
 
 TEST_F(ShardedDentryTest, FlushAllIsFirstErrorWinsButAttemptsEveryDir) {

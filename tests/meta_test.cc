@@ -198,6 +198,42 @@ TEST(DentryTest, EmptyBlock) {
   EXPECT_TRUE(decoded->empty());
 }
 
+TEST(DentryTest, ShardObjectRoundTripCarriesEpoch) {
+  std::vector<Dentry> entries;
+  for (int i = 0; i < 50; ++i) {
+    entries.push_back({"e" + std::to_string(i), NewUuid(), FileType::kRegular});
+  }
+  auto decoded = DecodeDentryShardObject(EncodeDentryShardObject(7, entries));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->epoch, 7u);
+  ASSERT_EQ(decoded->entries.size(), entries.size());
+  EXPECT_EQ(decoded->entries[13], entries[13]);
+
+  auto empty = DecodeDentryShardObject(EncodeDentryShardObject(1, {}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->epoch, 1u);
+  EXPECT_TRUE(empty->entries.empty());
+}
+
+TEST(DentryTest, ShardObjectRejectsTornPrefix) {
+  // A torn whole-object put persists a strict prefix of the payload. The
+  // trailing CRC must make EVERY proper prefix undecodable — a prefix that
+  // decoded as a shorter-but-valid shard would silently drop entries.
+  std::vector<Dentry> entries;
+  for (int i = 0; i < 10; ++i) {
+    entries.push_back({"t" + std::to_string(i), NewUuid(), FileType::kRegular});
+  }
+  const Bytes full = EncodeDentryShardObject(3, entries);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes torn(full.begin(), full.begin() + cut);
+    EXPECT_FALSE(DecodeDentryShardObject(torn).ok()) << "cut=" << cut;
+  }
+  // Flipped payload byte fails the CRC too.
+  Bytes corrupt = full;
+  corrupt[6] ^= 0x40;
+  EXPECT_FALSE(DecodeDentryShardObject(corrupt).ok());
+}
+
 TEST(DentryTest, NameValidation) {
   EXPECT_TRUE(ValidateName("ok-name.txt").ok());
   EXPECT_FALSE(ValidateName("").ok());

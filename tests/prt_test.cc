@@ -165,18 +165,20 @@ TEST(KeySchemaTest, ShardedDentryKeysParse) {
   EXPECT_EQ(manifest->kind, KeyKind::kDentryManifest);
   EXPECT_EQ(manifest->ino, u);
 
-  auto shard = ParseKey(DentryShardKey(u, 16, 5));
+  auto shard = ParseKey(DentryShardKey(u, 16, 5, 0));
   ASSERT_TRUE(shard.ok());
   EXPECT_EQ(shard->kind, KeyKind::kDentryShard);
   EXPECT_EQ(shard->ino, u);
   EXPECT_EQ(shard->dentry_shard_count, 16u);
   EXPECT_EQ(shard->dentry_shard, 5u);
+  EXPECT_EQ(shard->dentry_slot, 0u);
 
-  // Max-generation keys round-trip too.
-  auto wide = ParseKey(DentryShardKey(u, kMaxDentryShards, 255));
+  // Max-generation keys and the second slot round-trip too.
+  auto wide = ParseKey(DentryShardKey(u, kMaxDentryShards, 255, 1));
   ASSERT_TRUE(wide.ok());
   EXPECT_EQ(wide->dentry_shard_count, kMaxDentryShards);
   EXPECT_EQ(wide->dentry_shard, 255u);
+  EXPECT_EQ(wide->dentry_slot, 1u);
 
   // Legacy block still parses as plain kDentry.
   auto legacy = ParseKey(DentryKey(u));
@@ -185,8 +187,14 @@ TEST(KeySchemaTest, ShardedDentryKeysParse) {
 
   // Malformed variants are rejected.
   EXPECT_FALSE(ParseKey(DentryManifestKey(u) + "x").ok());
-  EXPECT_FALSE(ParseKey(DentryKey(u) + ".zz.0005").ok());
-  EXPECT_FALSE(ParseKey(DentryKey(u) + ".04.00zz").ok());
+  EXPECT_FALSE(ParseKey(DentryKey(u) + ".zz.0005.0").ok());
+  EXPECT_FALSE(ParseKey(DentryKey(u) + ".04.00zz.0").ok());
+  EXPECT_FALSE(ParseKey(DentryKey(u) + ".04.0005").ok());    // slotless (old)
+  EXPECT_FALSE(ParseKey(DentryKey(u) + ".04.0005.2").ok());  // slot not 0/1
+  // A generation byte beyond log2(kMaxDentryShards) must be rejected, not
+  // shifted (1u << 0xff is undefined behavior).
+  EXPECT_FALSE(ParseKey(DentryKey(u) + ".ff.0000.0").ok());
+  EXPECT_FALSE(ParseKey(DentryKey(u) + ".09.0000.0").ok());
 }
 
 TEST(KeySchemaTest, DentryObjectPrefixCoversShardedNotLegacy) {
@@ -196,8 +204,8 @@ TEST(KeySchemaTest, DentryObjectPrefixCoversShardedNotLegacy) {
     return key.compare(0, prefix.size(), prefix) == 0;
   };
   EXPECT_TRUE(starts_with(DentryManifestKey(u)));
-  EXPECT_TRUE(starts_with(DentryShardKey(u, 1, 0)));
-  EXPECT_TRUE(starts_with(DentryShardKey(u, 64, 63)));
+  EXPECT_TRUE(starts_with(DentryShardKey(u, 1, 0, 0)));
+  EXPECT_TRUE(starts_with(DentryShardKey(u, 64, 63, 1)));
   EXPECT_FALSE(starts_with(DentryKey(u)));  // legacy has no '.'
 }
 
@@ -224,6 +232,28 @@ TEST(KeySchemaTest, DentryManifestCodecRoundTrip) {
   auto decoded = DecodeDentryManifest(EncodeDentryManifest(m));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(*decoded, m);
+
+  // Slot bits survive the round trip (including the high shard of the
+  // bitmap's second byte), and an all-zero bitmap decodes to the canonical
+  // empty form so manifests compare equal either way.
+  DentryManifest slotted{16, 7};
+  slotted.SetSlot(0, 1);
+  slotted.SetSlot(9, 1);
+  slotted.SetSlot(15, 1);
+  auto slots = DecodeDentryManifest(EncodeDentryManifest(slotted));
+  ASSERT_TRUE(slots.ok());
+  EXPECT_EQ(*slots, slotted);
+  EXPECT_EQ(slots->SlotOf(0), 1);
+  EXPECT_EQ(slots->SlotOf(1), 0);
+  EXPECT_EQ(slots->SlotOf(9), 1);
+  EXPECT_EQ(slots->SlotOf(15), 1);
+  DentryManifest zeroed{16, 7};
+  zeroed.SetSlot(3, 1);
+  zeroed.SetSlot(3, 0);
+  auto canon = DecodeDentryManifest(EncodeDentryManifest(zeroed));
+  ASSERT_TRUE(canon.ok());
+  EXPECT_TRUE(canon->slots.empty());
+  EXPECT_EQ(*canon, (DentryManifest{16, 7}));
 
   // Rejects: non-pow2 count, zero count, count over the format cap,
   // truncated buffer.
@@ -257,32 +287,56 @@ TEST_F(PrtTest, DentryShardRoundTrip) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->size(), 2u);
 
+  // The two slots of a shard are independent objects.
+  ASSERT_TRUE(prt_.StoreDentryShard(dir, 4, 2, {entries[0]}, /*slot=*/1,
+                                    /*epoch=*/2)
+                  .ok());
+  EXPECT_EQ(prt_.LoadDentryShard(dir, 4, 2, /*slot=*/1)->size(), 1u);
+  EXPECT_EQ(prt_.LoadDentryShard(dir, 4, 2, /*slot=*/0)->size(), 2u);
+
   // Missing shard reads as empty.
   auto missing = prt_.LoadDentryShard(dir, 4, 3);
   ASSERT_TRUE(missing.ok());
   EXPECT_TRUE(missing->empty());
 
-  ASSERT_TRUE(prt_.DeleteDentryShard(dir, 4, 2).ok());
+  ASSERT_TRUE(prt_.DeleteDentryShard(dir, 4, 2, /*slot=*/0).ok());
   EXPECT_TRUE(prt_.LoadDentryShard(dir, 4, 2)->empty());
+  EXPECT_EQ(prt_.LoadDentryShard(dir, 4, 2, /*slot=*/1)->size(), 1u);
 }
 
-TEST_F(PrtTest, LoadDentryShardsToleratesGarbage) {
+TEST_F(PrtTest, LoadDentryShardsIsStrictAndSlotAware) {
   const Uuid dir = NewUuid();
   ASSERT_TRUE(
       prt_.StoreDentryShard(dir, 4, 0, {{"a", NewUuid(), FileType::kRegular}})
           .ok());
-  // Shard 1 holds a torn/garbage object; shard 2 is missing.
-  ASSERT_TRUE(prt_.store().Put(DentryShardKey(dir, 4, 1), Bytes{0xFF, 0xFF}).ok());
+  DentryManifest manifest{4, 1};
 
-  auto strict = prt_.LoadDentryShards(dir, 4, {0, 1, 2});
+  // Missing live shards read as empty; intact ones decode with their epoch.
+  auto ok_load = prt_.LoadDentryShards(dir, manifest, {0, 2});
+  ASSERT_TRUE(ok_load.ok());
+  ASSERT_EQ(ok_load->size(), 2u);
+  EXPECT_EQ((*ok_load)[0].entries.size(), 1u);
+  EXPECT_TRUE((*ok_load)[1].entries.empty());
+
+  // Garbage at a manifest-referenced live slot is REAL corruption (the
+  // manifest only ever references fully landed objects) and must fail
+  // loudly, never silently read as an empty shard.
+  ASSERT_TRUE(
+      prt_.store().Put(DentryShardKey(dir, 4, 1, 0), Bytes{0xFF, 0xFF}).ok());
+  auto strict = prt_.LoadDentryShards(dir, manifest, {0, 1, 2});
   EXPECT_FALSE(strict.ok());
 
-  auto tolerant = prt_.LoadDentryShards(dir, 4, {0, 1, 2}, /*tolerate_garbage=*/true);
-  ASSERT_TRUE(tolerant.ok());
-  ASSERT_EQ(tolerant->size(), 3u);
-  EXPECT_EQ((*tolerant)[0].size(), 1u);   // intact shard
-  EXPECT_TRUE((*tolerant)[1].empty());    // garbage reads as empty
-  EXPECT_TRUE((*tolerant)[2].empty());    // missing reads as empty
+  // The manifest's slot bits pick which object is live: garbage parked in
+  // the INACTIVE slot (a torn checkpoint artifact) is invisible.
+  ASSERT_TRUE(prt_.StoreDentryShard(dir, 4, 1,
+                                    {{"b", NewUuid(), FileType::kRegular}},
+                                    /*slot=*/1, /*epoch=*/3)
+                  .ok());
+  manifest.SetSlot(1, 1);
+  auto live = prt_.LoadDentryShards(dir, manifest, {0, 1, 2});
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ((*live)[1].entries.size(), 1u);
+  EXPECT_EQ((*live)[1].epoch, 3u);
 }
 
 TEST_F(PrtTest, LoadDentriesHandlesBothLayouts) {
@@ -333,16 +387,19 @@ TEST_F(PrtTest, DeleteDentryObjectsSweepsEveryLayout) {
   ASSERT_TRUE(prt_.DeleteDentryObjects(dir).ok());
   EXPECT_EQ(prt_.store().Head(DentryKey(dir)).code(), Errc::kNoEnt);
   EXPECT_EQ(prt_.store().Head(DentryManifestKey(dir)).code(), Errc::kNoEnt);
-  EXPECT_EQ(prt_.store().Head(DentryShardKey(dir, 4, 1)).code(), Errc::kNoEnt);
-  EXPECT_EQ(prt_.store().Head(DentryShardKey(dir, 2, 0)).code(), Errc::kNoEnt);
+  EXPECT_EQ(prt_.store().Head(DentryShardKey(dir, 4, 1, 0)).code(),
+            Errc::kNoEnt);
+  EXPECT_EQ(prt_.store().Head(DentryShardKey(dir, 2, 0, 0)).code(),
+            Errc::kNoEnt);
   // Idempotent on an already-clean directory.
   EXPECT_TRUE(prt_.DeleteDentryObjects(dir).ok());
 }
 
 TEST_F(PrtTest, BootstrapIsOneBatchWhenHintMatches) {
   // Acceptance criterion: leader bootstrap of a sharded directory issues one
-  // overlapped batch. With a correct hint the whole load is 4 + B gets
-  // (inode, journal, manifest, legacy probe, B shards) in a single MultiGet.
+  // overlapped batch. With a correct hint the whole load is 4 + 2B gets
+  // (inode, journal, manifest, legacy probe, both slots of B shards) in a
+  // single MultiGet.
   const Uuid dir = NewUuid();
   const std::uint32_t kShards = 8;
   Inode di = MakeInode(dir, FileType::kDirectory, 0755, 0, 0, kRootIno);
@@ -364,18 +421,18 @@ TEST_F(PrtTest, BootstrapIsOneBatchWhenHintMatches) {
   ASSERT_TRUE(objs.dentries.ok());
   EXPECT_EQ(objs.dentries->size(), 32u);
   EXPECT_EQ(objs.shard_count, kShards);
-  EXPECT_EQ(store_->Snapshot().gets, 4u + kShards);
+  EXPECT_EQ(store_->Snapshot().gets, 4u + 2u * kShards);
   EXPECT_EQ(prt_.async().stats().batches - batches_before, 1u);
 
   // A stale hint costs exactly one extra overlapped batch for the real
-  // shard set — never a per-shard serial loop.
+  // live shard set — never a per-shard serial loop.
   store_->Reset();
   const auto batches_mid = prt_.async().stats().batches;
   auto cold = prt_.LoadDirObjects(dir, /*shard_hint=*/1);
   ASSERT_TRUE(cold.dentries.ok());
   EXPECT_EQ(cold.dentries->size(), 32u);
   EXPECT_EQ(cold.shard_count, kShards);
-  EXPECT_EQ(store_->Snapshot().gets, (4u + 1u) + kShards);
+  EXPECT_EQ(store_->Snapshot().gets, (4u + 2u) + kShards);
   EXPECT_EQ(prt_.async().stats().batches - batches_mid, 2u);
 }
 
@@ -393,7 +450,7 @@ TEST_F(PrtTest, BootstrapLegacyDirIsOneBatch) {
   ASSERT_TRUE(objs.dentries.ok());
   EXPECT_EQ(objs.dentries->size(), 1u);
   EXPECT_EQ(objs.shard_count, 0u);  // legacy layout reported to the caller
-  EXPECT_EQ(store_->Snapshot().gets, 5u);
+  EXPECT_EQ(store_->Snapshot().gets, 6u);
   EXPECT_EQ(prt_.async().stats().batches - batches_before, 1u);
 }
 
