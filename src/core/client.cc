@@ -160,6 +160,14 @@ Status Client::BecomeLeader(const DirHandlePtr& handle,
   if (grant.fresh && handle->metatable) {
     // Re-acquired before anyone else led the directory: the in-memory
     // metatable is still authoritative (paper's extension optimization).
+    if (grant.token != handle->fence) {
+      // New tenure (manager restarted or the old lease lapsed unobserved):
+      // advance the persisted fence before committing under the new token.
+      // Journal bookkeeping is kept — our durable frames stay ours.
+      ARKFS_RETURN_IF_ERROR(journal_->FenceDir(handle->ino, grant.token));
+      journal_->RegisterDir(handle->ino, grant.token);
+      handle->fence = grant.token;
+    }
     handle->leader = true;
     return Status::Ok();
   }
@@ -176,6 +184,13 @@ Status Client::BecomeLeader(const DirHandlePtr& handle,
         fabric_->Call(grant.prev_leader, wire::kMethodDirOp, flush_req.Encode());
     if (!resp.ok()) predecessor_crashed = true;
   }
+
+  // Advance the persisted fence BEFORE reading the journal: once the fence
+  // holds our token, every commit a deposed predecessor attempts fails its
+  // post-append check and is never acked, so the journal state we load below
+  // is complete w.r.t. acked operations (DESIGN.md §4.4). kStale here means
+  // WE are the deposed one — a newer epoch already fenced this directory.
+  ARKFS_RETURN_IF_ERROR(journal_->FenceDir(handle->ino, grant.token));
 
   // Everything a new leader needs from the store goes out as one overlapped
   // batch: the dir inode, the dentry shards (seeded by the shard count seen
@@ -205,9 +220,14 @@ Status Client::BecomeLeader(const DirHandlePtr& handle,
     // are stale, so rebuild from a fresh batch.
     ARKFS_RETURN_IF_ERROR(BuildMetatable(*handle));
   } else {
+    // Any in-memory journal bookkeeping left from a previous (deposed or
+    // expired) tenure of ours is stale: the durable journal was replayed by
+    // whoever led in between. RecoverDir resets it on the branch above.
+    journal_->ResetDir(handle->ino);
     ARKFS_RETURN_IF_ERROR(BuildMetatable(*handle, &dir));
   }
-  journal_->RegisterDir(handle->ino);
+  journal_->RegisterDir(handle->ino, grant.token);
+  handle->fence = grant.token;
   handle->leader = true;
   handle->file_leases.clear();
   return Status::Ok();
@@ -242,7 +262,25 @@ Status Client::RelinquishDir(const Uuid& dir_ino) {
   DirHandlePtr handle = HandleFor(dir_ino);
   std::unique_lock lock(handle->mu);
   if (!handle->leader) return Status::Ok();
-  ARKFS_RETURN_IF_ERROR(journal_->UnregisterDir(dir_ino));
+  const FenceToken token = handle->fence;
+  Status flush = journal_->UnregisterDir(dir_ino);
+  if (flush.code() == Errc::kStale) {
+    // A successor fenced us while we still thought we led. Nothing we hold
+    // may be written back — the successor owns the journal and will replay
+    // it. Dropping our state IS the clean release.
+    journal_->ResetDir(dir_ino);
+    handle->leader = false;
+    handle->lame_duck = false;
+    handle->metatable.reset();
+    handle->file_leases.clear();
+    handle->fence = FenceToken{};
+    lock.unlock();
+    // Best effort: the manager ignores a release whose token is not the
+    // live lease's (it is the successor's now).
+    (void)lease_->Release(dir_ino, token);
+    return Status::Ok();
+  }
+  ARKFS_RETURN_IF_ERROR(flush);
   // Persist the latest in-memory inode states that were never journaled
   // (the journal flush above covers journaled ones; this is belt-and-braces
   // for the dir inode itself whose version may have advanced in memory).
@@ -252,8 +290,21 @@ Status Client::RelinquishDir(const Uuid& dir_ino) {
   handle->leader = false;
   handle->metatable.reset();
   handle->file_leases.clear();
+  handle->fence = FenceToken{};
   lock.unlock();
-  return lease_->Release(dir_ino);
+  return lease_->Release(dir_ino, token);
+}
+
+void Client::HandleDeposed(const Uuid& dir_ino) {
+  DirHandlePtr handle = HandleFor(dir_ino);
+  std::unique_lock lock(handle->mu);
+  if (!handle->leader) return;
+  handle->leader = false;
+  handle->lame_duck = false;
+  handle->metatable.reset();
+  handle->file_leases.clear();
+  handle->fence = FenceToken{};
+  journal_->ResetDir(dir_ino);
 }
 
 Status Client::ValidateLeaseLocked(DirHandle& handle) {
@@ -309,7 +360,15 @@ wire::DirOpResponse Client::ServeDirOp(const wire::DirOpRequest& req) {
   if (req.op == wire::DirOp::kFlushDir) {
     std::unique_lock lock(handle->mu);
     Status st = journal_->FlushDir(req.dir_ino);
-    if (st.ok() && handle->metatable) {
+    if (st.code() == Errc::kStale) {
+      // Already fenced off by an even newer leader; our unflushed state is
+      // theirs to replay. Handoff still succeeds from the caller's view.
+      st = Status::Ok();
+    }
+    if (st.ok() && handle->metatable && handle->fence == FenceToken{}) {
+      // Only unfenced (legacy) tenures write the inode back directly; a
+      // fenced tenure's state is fully covered by the flushed journal, and
+      // a raw StoreInode here could race the successor's recovery.
       st = prt_->StoreInode(handle->metatable->dir_inode());
     }
     // We are being superseded; drop leadership state.
@@ -317,6 +376,8 @@ wire::DirOpResponse Client::ServeDirOp(const wire::DirOpRequest& req) {
     handle->lame_duck = false;
     handle->metatable.reset();
     handle->file_leases.clear();
+    handle->fence = FenceToken{};
+    journal_->ResetDir(req.dir_ino);
     fill_error(st);
     return resp;
   }

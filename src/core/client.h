@@ -64,6 +64,13 @@ struct ClientConfig {
     c.cache = CacheConfig::ForTests();
     c.journal = journal::JournalConfig::ForTests();
     c.perm_cache_ttl = Millis(200);
+    // Tests run 200 ms lease terms; a renewal stall must resolve (to lame
+    // duck or failover) well inside one term, not ride the 2 s default
+    // manager-retry deadline.
+    c.lease_options.rpc_retry.max_attempts = 4;
+    c.lease_options.rpc_retry.initial_backoff = Millis(1);
+    c.lease_options.rpc_retry.max_backoff = Millis(5);
+    c.lease_options.rpc_retry.deadline = Millis(150);
     return c;
   }
 };
@@ -161,6 +168,11 @@ class Client : public Vfs {
     bool lame_duck = false;
     TimePoint lease_until{};
     Nanos lease_duration{0};
+    // Fencing token of the current leadership tenure (lease-HA). Stamped
+    // into journal commits; a successor advancing the persisted fence makes
+    // our commits fail kStale, which HandleDeposed turns into a clean
+    // leadership drop.
+    FenceToken fence;
     // Dentry shard count observed at the last leadership (1 until known).
     // Seeds the speculative bootstrap batch so re-acquiring the lease loads
     // inode + shards + journal probe in one store round trip.
@@ -213,6 +225,10 @@ class Client : public Vfs {
   Status BuildMetatable(DirHandle& handle,
                         Prt::DirObjects* preloaded = nullptr);
   Status RelinquishDir(const Uuid& dir_ino);  // flush + drop leadership
+  // A journal commit came back kStale: a successor fenced us off. Drop all
+  // leadership state for the directory without writing anything — the
+  // durable journal now belongs to the successor, which replays it.
+  void HandleDeposed(const Uuid& dir_ino);
   // Validates/renews the lease for a local op; kAgain if leadership lost.
   Status ValidateLeaseLocked(DirHandle& handle);
   DirHandlePtr HandleFor(const Uuid& dir_ino);

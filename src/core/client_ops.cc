@@ -58,8 +58,12 @@ Result<wire::DirOpResponse> Client::RunDirOp(const Uuid& dir_ino,
     auto ref = EnsureDirAccess(dir_ino);
     if (!ref.ok()) {
       last = ref.status();
-      if (last.code() == Errc::kBusy || last.code() == Errc::kTimedOut) {
-        continue;  // recovery fence / manager restart; wait it out
+      if (last.code() == Errc::kBusy || last.code() == Errc::kTimedOut ||
+          last.code() == Errc::kStale) {
+        // kBusy/kTimedOut: recovery fence / manager failover; wait it out.
+        // kStale: our grant's epoch was deposed before we could fence the
+        // directory — reacquire under the new epoch.
+        continue;
       }
       return last;
     }
@@ -464,7 +468,14 @@ Status Client::Fsync(Fd fd) {
   // Make the parent directory's journal durable (it already is — journal
   // appends are synchronous — but force the running transaction out so the
   // size/mtime update commits now).
-  return journal_->CommitDir(snapshot.parent);
+  Status st = journal_->CommitDir(snapshot.parent);
+  if (st.code() == Errc::kStale) {
+    // A successor fenced the directory between our append and this commit:
+    // the write was never acked durable, and it is not — drop leadership so
+    // the next op reacquires (and possibly redrives) under the new epoch.
+    HandleDeposed(snapshot.parent);
+  }
+  return st;
 }
 
 Result<StatResult> Client::Stat(const std::string& path,

@@ -5,8 +5,23 @@ namespace arkfs {
 ArkFsCluster::ArkFsCluster(ObjectStorePtr store, ArkFsClusterOptions options)
     : options_(std::move(options)), store_(std::move(store)) {
   fabric_ = std::make_shared<rpc::Fabric>(options_.network);
-  lease_manager_ =
-      std::make_unique<lease::LeaseManager>(fabric_, options_.lease);
+
+  const int replicas = options_.lease_replicas < 1 ? 1 : options_.lease_replicas;
+  if (replicas == 1) {
+    manager_addresses_ = {lease::kManagerAddress};
+  } else {
+    for (int i = 0; i < replicas; ++i) {
+      manager_addresses_.push_back("lease-manager-" + std::to_string(i));
+    }
+  }
+  for (int i = 0; i < replicas; ++i) {
+    lease::LeaseManagerConfig config = options_.lease;
+    config.self_address = manager_addresses_[static_cast<std::size_t>(i)];
+    config.group = manager_addresses_;
+    config.start_active = (i == 0);
+    lease_managers_.push_back(
+        std::make_unique<lease::LeaseManager>(fabric_, store_, config));
+  }
 }
 
 Result<std::unique_ptr<ArkFsCluster>> ArkFsCluster::Create(
@@ -17,23 +32,48 @@ Result<std::unique_ptr<ArkFsCluster>> ArkFsCluster::Create(
   }
   std::unique_ptr<ArkFsCluster> cluster(
       new ArkFsCluster(std::move(store), std::move(options)));
-  ARKFS_RETURN_IF_ERROR(cluster->lease_manager_->Start());
+  for (auto& manager : cluster->lease_managers_) {
+    ARKFS_RETURN_IF_ERROR(manager->Start());
+  }
   return cluster;
 }
 
 ArkFsCluster::~ArkFsCluster() {
-  // Shut clients down before the lease manager so their releases land.
+  // Shut clients down before the lease managers so their releases land.
   for (auto& client : clients_) {
     (void)client->Shutdown();
   }
   clients_.clear();
-  lease_manager_->Stop();
+  for (auto& manager : lease_managers_) manager->Stop();
+}
+
+int ArkFsCluster::ActiveLeaseReplica() {
+  for (std::size_t i = 0; i < lease_managers_.size(); ++i) {
+    if (lease_managers_[i]->is_active()) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status ArkFsCluster::KillLeaseReplica(int replica) {
+  if (replica < 0 || replica >= lease_replica_count()) {
+    return ErrStatus(Errc::kInval, "no such lease replica");
+  }
+  lease_managers_[static_cast<std::size_t>(replica)]->Stop();
+  return Status::Ok();
+}
+
+Status ArkFsCluster::ReviveLeaseReplica(int replica) {
+  if (replica < 0 || replica >= lease_replica_count()) {
+    return ErrStatus(Errc::kInval, "no such lease replica");
+  }
+  return lease_managers_[static_cast<std::size_t>(replica)]->Start();
 }
 
 Result<std::shared_ptr<Client>> ArkFsCluster::AddClient(std::string name) {
   ClientConfig config = options_.client_template;
   config.address =
       name.empty() ? "client-" + std::to_string(next_index_++) : std::move(name);
+  config.lease_options.managers = manager_addresses_;
   ARKFS_ASSIGN_OR_RETURN(auto client,
                          Client::Create(store_, fabric_, std::move(config)));
   clients_.push_back(client);

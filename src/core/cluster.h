@@ -1,9 +1,10 @@
 // ArkFsCluster — a one-call harness that assembles a complete ArkFS
-// deployment: object store, RPC fabric, lease manager, and N clients.
-// Used by tests, examples and every benchmark.
+// deployment: object store, RPC fabric, replicated lease-manager group,
+// and N clients. Used by tests, examples and every benchmark.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/client.h"
@@ -20,13 +21,19 @@ struct ArkFsClusterOptions {
   lease::LeaseManagerConfig lease = lease::LeaseManagerConfig::ForTests();
   ClientConfig client_template = ClientConfig::ForTests("");
   bool format_store = true;
+  // Lease-manager replicas (HA). 1 = single manager at kManagerAddress
+  // (the historical layout); N > 1 = replicas "lease-manager-0..N-1" with
+  // epoch-fenced failover through the store's epoch record. Tests that
+  // exercise failover set 3.
+  int lease_replicas = 1;
 
   static ArkFsClusterOptions ForTests() { return {}; }
-  // Paper-like deployment: datacenter network, 5 s leases.
+  // Paper-like deployment: datacenter network, 5 s leases, HA managers.
   static ArkFsClusterOptions PaperLike() {
     ArkFsClusterOptions o;
     o.network = sim::NetworkProfile::Datacenter10G();
     o.lease = lease::LeaseManagerConfig{};
+    o.lease_replicas = 3;
     ClientConfig c;
     c.address = "";
     o.client_template = c;
@@ -50,7 +57,21 @@ class ArkFsCluster {
 
   const ObjectStorePtr& store() const { return store_; }
   const rpc::FabricPtr& fabric() const { return fabric_; }
-  lease::LeaseManager& lease_manager() { return *lease_manager_; }
+  lease::LeaseManager& lease_manager() { return *lease_managers_.front(); }
+  lease::LeaseManager& lease_manager(int replica) {
+    return *lease_managers_.at(static_cast<std::size_t>(replica));
+  }
+  int lease_replica_count() const {
+    return static_cast<int>(lease_managers_.size());
+  }
+  // Index of the replica currently claiming active, or -1 if none does
+  // (mid-failover, or everything is down).
+  int ActiveLeaseReplica();
+  // Chaos hooks: stop/revive one replica. Stop models a crash/partition of
+  // the manager process — leases it granted stay valid until they expire.
+  Status KillLeaseReplica(int replica);
+  Status ReviveLeaseReplica(int replica);
+
   const std::vector<std::shared_ptr<Client>>& clients() const {
     return clients_;
   }
@@ -61,7 +82,8 @@ class ArkFsCluster {
   const ArkFsClusterOptions options_;
   ObjectStorePtr store_;
   rpc::FabricPtr fabric_;
-  std::unique_ptr<lease::LeaseManager> lease_manager_;
+  std::vector<std::string> manager_addresses_;
+  std::vector<std::unique_ptr<lease::LeaseManager>> lease_managers_;
   std::vector<std::shared_ptr<Client>> clients_;
   int next_index_ = 0;
 };

@@ -60,6 +60,39 @@ void JournalManager::RegisterDir(const Uuid& dir_ino) {
   FindOrCreateDir(dir_ino);
 }
 
+void JournalManager::RegisterDir(const Uuid& dir_ino,
+                                 const FenceToken& token) {
+  DirStatePtr st = FindOrCreateDir(dir_ino);
+  std::lock_guard append(st->append_mu);
+  // Only the token changes: on a fresh re-grant (same client, metatable
+  // still authoritative) durable frames and their bookkeeping stay owned by
+  // this journal — resetting here would orphan acked transactions.
+  st->fence = token;
+}
+
+Status JournalManager::FenceDir(const Uuid& dir_ino, const FenceToken& token) {
+  if (!token.valid()) return Status::Ok();  // unfenced legacy grant
+  ARKFS_ASSIGN_OR_RETURN(const FenceToken stored, prt_->LoadDirFence(dir_ino));
+  if (stored > token) {
+    return ErrStatus(Errc::kStale,
+                     "lease fencing token superseded (stored " +
+                         stored.ToString() + " > granted " + token.ToString() +
+                         ")");
+  }
+  if (stored == token) return Status::Ok();
+  return prt_->StoreDirFence(dir_ino, token);
+}
+
+void JournalManager::ResetDir(const Uuid& dir_ino) {
+  DirStatePtr st = FindDir(dir_ino);
+  if (!st) return;
+  std::scoped_lock locks(st->checkpoint_mu, st->append_mu, st->mu);
+  st->running.clear();
+  st->committed.clear();
+  st->journal_bytes = 0;
+  st->fence = FenceToken{};
+}
+
 Status JournalManager::UnregisterDir(const Uuid& dir_ino) {
   DirStatePtr st = FindDir(dir_ino);
   if (!st) return Status::Ok();
@@ -98,8 +131,41 @@ JournalManager::DirStatePtr JournalManager::FindOrCreateDir(
   return slot;
 }
 
+// Compares the persisted fence object against this tenure's token.
+// kStale: a successor advanced the fence — this leader is deposed. A
+// persisted fence BEHIND the registered token is an invariant violation
+// (grants must FenceDir before registering) and is also rejected.
+Status JournalManager::CheckFenceLocked(const Uuid& dir_ino, DirState& st) {
+  ARKFS_ASSIGN_OR_RETURN(const FenceToken stored, prt_->LoadDirFence(dir_ino));
+  std::lock_guard stats(stats_mu_);
+  ++stats_.fence_checks;
+  if (stored > st.fence) {
+    ++stats_.fence_rejections;
+    return ErrStatus(Errc::kStale,
+                     "journal commit fenced: lease epoch superseded (stored " +
+                         stored.ToString() + " > " + st.fence.ToString() + ")");
+  }
+  if (stored < st.fence) {
+    ++stats_.fence_violations;
+    return ErrStatus(Errc::kStale,
+                     "fence invariant violated: persisted fence " +
+                         stored.ToString() + " behind granted " +
+                         st.fence.ToString());
+  }
+  return Status::Ok();
+}
+
 Status JournalManager::AppendToJournalLocked(const Uuid& dir_ino,
                                              DirState& st, Transaction& txn) {
+  // PRE-append fence check: if a successor already advanced the fence, this
+  // leader's journal-length cursor is stale and a PutRange at that offset
+  // would corrupt the successor's journal. (A successor fences BEFORE it
+  // loads the journal, so a deposed leader is caught here in the common
+  // case; the residual window is closed by the post-append check below.)
+  if (st.fence.valid()) {
+    ARKFS_RETURN_IF_ERROR(CheckFenceLocked(dir_ino, st));
+  }
+  txn.fence = st.fence;
   const Bytes framed = EncodeTransaction(txn);
   if (prt_->store().supports_partial_write()) {
     ARKFS_RETURN_IF_ERROR(
@@ -114,6 +180,15 @@ Status JournalManager::AppendToJournalLocked(const Uuid& dir_ino,
     full.resize(st.journal_bytes);  // drop any stale tail
     full.insert(full.end(), framed.begin(), framed.end());
     ARKFS_RETURN_IF_ERROR(prt_->StoreJournal(dir_ino, full));
+  }
+  // POST-append fence check, BEFORE the transaction is acknowledged (the
+  // caller treats any error as "nothing committed" and unwinds). This is the
+  // split-brain linchpin: an acked commit implies the fence had not moved
+  // AFTER the frame was durable, so any successor's fence advance — which
+  // strictly precedes its journal load — happens after the frame landed and
+  // the successor's recovery replays it. Acked operations survive deposition.
+  if (st.fence.valid()) {
+    ARKFS_RETURN_IF_ERROR(CheckFenceLocked(dir_ino, st));
   }
   st.journal_bytes += framed.size();
   {
@@ -775,6 +850,7 @@ Status JournalManager::ApplyTransactions(
     for (auto& k : listed) deletes.push_back(std::move(k));
     deletes.push_back(DentryKey(ino));
     deletes.push_back(JournalKey(ino));
+    deletes.push_back(FenceKey(ino));  // uuids are never reused; pure cleanup
   }
 
   Status first = Status::Ok();

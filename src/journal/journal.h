@@ -77,6 +77,14 @@ struct JournalStats {
   std::uint64_t dentry_shards_written = 0;
   std::uint64_t dentry_migrations = 0;  // legacy block -> sharded layout
   std::uint64_t dentry_reshards = 0;    // shard-count growth events
+  // Lease-HA fencing (see FenceDir): commit-time fence-object reads, commits
+  // rejected kStale because a successor advanced the fence, and violations —
+  // a persisted fence BEHIND the registered token, which must never happen
+  // (it would mean a grant was used without FenceDir'ing first). Chaos tests
+  // assert fence_violations == 0.
+  std::uint64_t fence_checks = 0;
+  std::uint64_t fence_rejections = 0;
+  std::uint64_t fence_violations = 0;
 };
 
 // What one ApplyTransactions call did to the dentry layout (stats/tests).
@@ -106,7 +114,29 @@ class JournalManager {
   // Directory lifecycle: Register when a lease is acquired, Unregister
   // (flush + drop journal object) when it is cleanly released.
   void RegisterDir(const Uuid& dir_ino);
+  // Registers under a lease fencing token: every commit for this directory
+  // is stamped with `token` and double-checked against the persisted fence
+  // object (before the append, so a deposed leader cannot overwrite the
+  // successor's journal at a stale offset; and after, before the ack, so an
+  // acked commit provably precedes any successor's fence advance — see
+  // DESIGN.md §4.4). Re-registering with a newer token (fresh re-grant)
+  // keeps the journal bookkeeping intact: the durable frames stay owned.
+  void RegisterDir(const Uuid& dir_ino, const FenceToken& token);
   Status UnregisterDir(const Uuid& dir_ino);
+
+  // Advances the persisted per-directory fence object to `token`. kStale if
+  // the store already holds a NEWER token (the caller's grant is from a
+  // deposed epoch). New leaders must call this BEFORE loading/replaying the
+  // directory's journal — that ordering is the split-brain argument.
+  Status FenceDir(const Uuid& dir_ino, const FenceToken& token);
+
+  // Drops all in-memory journal bookkeeping for the directory (running
+  // records, committed-but-uncheckpointed queue, journal-length cursor)
+  // WITHOUT touching the store. Used when leadership is lost (deposed or
+  // relinquished-by-fence): the durable journal now belongs to the
+  // successor, which replays it; replaying our stale in-memory copy on top
+  // would double-apply or clobber.
+  void ResetDir(const Uuid& dir_ino);
 
   // Adds records to the running transaction. Records passed together are
   // committed atomically in one transaction (e.g. CREATE = inode + dentry).
@@ -176,6 +206,10 @@ class JournalManager {
 
     // Lock order: checkpoint_mu -> append_mu -> mu.
     std::mutex append_mu;  // journal-object appends, committed, journal_bytes
+    // Fencing token of the current leadership tenure (zero = unfenced
+    // legacy). Stamped into every committed frame and checked against the
+    // persisted fence object around each append. Guarded by append_mu.
+    FenceToken fence;
     // Committed transactions awaiting checkpoint, with their framed sizes
     // (needed to truncate exactly the checkpointed prefix afterwards).
     std::deque<std::pair<Transaction, std::uint64_t>> committed;
@@ -191,6 +225,9 @@ class JournalManager {
 
   DirStatePtr FindDir(const Uuid& dir_ino);
   DirStatePtr FindOrCreateDir(const Uuid& dir_ino);
+
+  // Reads the persisted fence and compares it to st.fence (append_mu held).
+  Status CheckFenceLocked(const Uuid& dir_ino, DirState& st);
 
   // Appends one framed transaction to the journal object. append_mu held.
   // Consumes `txn` only on success; on a store failure `txn` is left intact

@@ -146,14 +146,18 @@ Bytes EncodeTransaction(const Transaction& txn) {
   payload.PutVarint(txn.records.size());
   for (const auto& r : txn.records) r.EncodeTo(payload);
 
-  Encoder framed(payload.size() + 24);
+  Encoder framed(payload.size() + 40);
   framed.PutU32(kTxnMagic);
   framed.PutU64(txn.seq);
+  framed.PutU64(txn.fence.epoch);
+  framed.PutU64(txn.fence.seq);
   framed.PutU32(static_cast<std::uint32_t>(payload.size()));
   framed.PutRaw(payload.buffer());
-  // CRC covers seq + len + payload.
-  Encoder crc_input(payload.size() + 16);
+  // CRC covers seq + fence + len + payload.
+  Encoder crc_input(payload.size() + 32);
   crc_input.PutU64(txn.seq);
+  crc_input.PutU64(txn.fence.epoch);
+  crc_input.PutU64(txn.fence.seq);
   crc_input.PutU32(static_cast<std::uint32_t>(payload.size()));
   crc_input.PutRaw(payload.buffer());
   framed.PutU32(Crc32c(crc_input.buffer()));
@@ -163,26 +167,36 @@ Bytes EncodeTransaction(const Transaction& txn) {
 std::vector<Transaction> ParseJournal(ByteSpan data) {
   std::vector<Transaction> txns;
   Decoder dec(data);
-  while (dec.remaining() >= 20) {
+  // Minimum complete frame: magic(4) + seq(8) + epoch(8) + fseq(8) + len(4)
+  // + crc(4).
+  while (dec.remaining() >= 36) {
     auto magic = dec.GetU32();
     if (!magic.ok() || *magic != kTxnMagic) break;
     auto seq = dec.GetU64();
+    auto epoch = dec.GetU64();
+    auto fseq = dec.GetU64();
     auto len = dec.GetU32();
-    if (!seq.ok() || !len.ok() || dec.remaining() < *len + 4u) break;
+    if (!seq.ok() || !epoch.ok() || !fseq.ok() || !len.ok() ||
+        dec.remaining() < *len + 4u) {
+      break;
+    }
 
     Bytes payload(*len);
     if (!dec.GetRaw(payload).ok()) break;
     auto stored_crc = dec.GetU32();
     if (!stored_crc.ok()) break;
 
-    Encoder crc_input(payload.size() + 16);
+    Encoder crc_input(payload.size() + 32);
     crc_input.PutU64(*seq);
+    crc_input.PutU64(*epoch);
+    crc_input.PutU64(*fseq);
     crc_input.PutU32(*len);
     crc_input.PutRaw(payload);
     if (Crc32c(crc_input.buffer()) != *stored_crc) break;  // torn/corrupt
 
     Transaction txn;
     txn.seq = *seq;
+    txn.fence = FenceToken{*epoch, *fseq};
     Decoder body(payload);
     auto count = body.GetVarint();
     if (!count.ok()) break;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/codec.h"
+#include "common/fence.h"
 #include "meta/dentry.h"
 #include "meta/inode.h"
 
@@ -70,13 +71,17 @@ struct Record {
 // A committed transaction as it appears in the journal object.
 struct Transaction {
   std::uint64_t seq = 0;
+  // Fencing token of the leader that committed this transaction (lease-HA
+  // split-brain guard; zero for legacy/unfenced commits). Part of the frame
+  // so a successor can audit which epoch wrote what.
+  FenceToken fence;
   std::vector<Record> records;
 
   bool IsPrepared() const;   // contains a kPrepare record
   const Record* FindPrepare() const;
 };
 
-// Serializes one framed transaction (magic/seq/len/payload/crc).
+// Serializes one framed transaction (magic/seq/epoch/fseq/len/payload/crc).
 Bytes EncodeTransaction(const Transaction& txn);
 
 // Parses all complete, CRC-valid transactions from a journal object. A torn

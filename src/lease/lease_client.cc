@@ -1,8 +1,76 @@
 #include "lease/lease_client.h"
 
 #include <algorithm>
+#include <functional>
 
 namespace arkfs::lease {
+
+// One pass over the replica list, starting at the last replica that
+// answered. A standby answers with kAgain + the active replica's address;
+// the sweep follows that hint immediately (one extra hop) before moving on.
+// Returns the last transport error if nobody answers, or kAgain if only
+// standbys answered (no active replica right now — retryable, a takeover is
+// likely in flight).
+Result<Bytes> LeaseClient::SweepManagers(const std::string& method,
+                                         const Bytes& payload) {
+  const auto& addrs = options_.managers;
+  const std::size_t n = addrs.size();
+  const std::size_t start = preferred_.load(std::memory_order_relaxed) % n;
+  Result<Bytes> last = ErrStatus(Errc::kTimedOut, "no lease manager reachable");
+
+  auto try_one = [&](const std::string& target) -> Result<Bytes> {
+    return fabric_->CallFrom(self_, target, method, payload);
+  };
+  auto remember = [&](const std::string& target) {
+    const auto it = std::find(addrs.begin(), addrs.end(), target);
+    if (it != addrs.end()) {
+      preferred_.store(static_cast<std::size_t>(it - addrs.begin()),
+                       std::memory_order_relaxed);
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& target = addrs[(start + i) % n];
+    Result<Bytes> r = try_one(target);
+    if (r.ok()) {
+      remember(target);
+      return r;
+    }
+    if (r.status().code() == Errc::kAgain) {
+      // Standby redirect. Follow the hint once; a stale or empty hint just
+      // continues the sweep.
+      const std::string hint = r.status().detail();
+      if (!hint.empty() && hint != target) {
+        Result<Bytes> hop = try_one(hint);
+        if (hop.ok()) {
+          remember(hint);
+          return hop;
+        }
+      }
+      last = ErrStatus(Errc::kAgain, "no active lease manager");
+      continue;
+    }
+    last = std::move(r);
+  }
+  return last;
+}
+
+Result<Bytes> LeaseClient::CallManager(const std::string& method,
+                                       const Bytes& payload) {
+  const std::uint64_t salt =
+      std::hash<std::string>{}(self_) ^
+      call_salt_.fetch_add(1, std::memory_order_relaxed);
+  Result<Bytes> r = RetryCall(
+      options_.rpc_retry, salt, nullptr, RetryDeadlineFor(options_.rpc_retry),
+      [&] { return SweepManagers(method, payload); });
+  if (!r.ok() && r.status().code() == Errc::kAgain) {
+    // Never leak a manager-side kAgain to callers: Acquire's kAgain+detail
+    // contract means "redirect to this directory LEADER", and a stale
+    // manager hint must not be mistaken for one.
+    return ErrStatus(Errc::kTimedOut, "no active lease manager");
+  }
+  return r;
+}
 
 Result<LeaseClient::Grant> LeaseClient::Acquire(const Uuid& dir_ino) {
   const AcquireRequest req{dir_ino, self_};
@@ -11,8 +79,7 @@ Result<LeaseClient::Grant> LeaseClient::Acquire(const Uuid& dir_ino) {
   const TimePoint deadline = Now() + options_.wait_budget;
 
   while (true) {
-    ARKFS_ASSIGN_OR_RETURN(
-        Bytes raw, fabric_->Call(kManagerAddress, kMethodAcquire, payload));
+    ARKFS_ASSIGN_OR_RETURN(Bytes raw, CallManager(kMethodAcquire, payload));
     ARKFS_ASSIGN_OR_RETURN(auto resp, AcquireResponse::Decode(raw));
     switch (resp.outcome) {
       case AcquireOutcome::kGranted: {
@@ -20,10 +87,17 @@ Result<LeaseClient::Grant> LeaseClient::Acquire(const Uuid& dir_ino) {
         grant.fresh = resp.fresh;
         grant.until = TimePoint(Nanos(resp.lease_until_ns));
         grant.prev_leader = resp.prev_leader;
+        grant.token = resp.token;
         return grant;
       }
       case AcquireOutcome::kRedirect:
         return ErrStatus(Errc::kAgain, resp.leader);
+      case AcquireOutcome::kNotActive:
+        // In-process standby answer (the RPC path converts this to a
+        // status-level redirect inside CallManager). Treat like kWait: the
+        // group is mid-failover; a new active will emerge within a probe
+        // cycle or two.
+        [[fallthrough]];
       case AcquireOutcome::kWait:
         if (Now() + backoff > deadline) {
           return ErrStatus(Errc::kBusy, "lease wait budget exhausted");
@@ -35,27 +109,25 @@ Result<LeaseClient::Grant> LeaseClient::Acquire(const Uuid& dir_ino) {
   }
 }
 
-Status LeaseClient::Release(const Uuid& dir_ino) {
-  const ReleaseRequest req{dir_ino, self_};
-  return fabric_->Call(kManagerAddress, kMethodRelease, req.Encode()).status();
+Status LeaseClient::Release(const Uuid& dir_ino, const FenceToken& token) {
+  const ReleaseRequest req{dir_ino, self_, token};
+  return CallManager(kMethodRelease, req.Encode()).status();
 }
 
 Status LeaseClient::BeginRecovery(const Uuid& dir_ino) {
   const RecoveryRequest req{dir_ino, self_, RecoveryPhase::kBegin};
-  return fabric_->Call(kManagerAddress, kMethodRecovery, req.Encode()).status();
+  return CallManager(kMethodRecovery, req.Encode()).status();
 }
 
 Status LeaseClient::EndRecovery(const Uuid& dir_ino) {
   const RecoveryRequest req{dir_ino, self_, RecoveryPhase::kEnd};
-  return fabric_->Call(kManagerAddress, kMethodRecovery, req.Encode()).status();
+  return CallManager(kMethodRecovery, req.Encode()).status();
 }
 
 Result<std::optional<std::string>> LeaseClient::LookupLeader(
     const Uuid& dir_ino) {
   const LookupRequest req{dir_ino};
-  ARKFS_ASSIGN_OR_RETURN(Bytes raw,
-                         fabric_->Call(kManagerAddress, kMethodLookup,
-                                       req.Encode()));
+  ARKFS_ASSIGN_OR_RETURN(Bytes raw, CallManager(kMethodLookup, req.Encode()));
   ARKFS_ASSIGN_OR_RETURN(auto resp, LookupResponse::Decode(raw));
   if (!resp.has_leader) return std::optional<std::string>{};
   return std::optional<std::string>{resp.leader};

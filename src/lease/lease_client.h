@@ -1,15 +1,27 @@
 // Client-side stub for the lease protocol.
 //
-// Thin typed wrapper over the RPC fabric. Retry policy for kWait (directory
-// recovering / manager quiet period) lives here so every caller behaves the
-// same: bounded exponential-ish backoff, then kAgain to the caller.
+// Thin typed wrapper over the RPC fabric. Retry policy lives here so every
+// caller behaves the same:
+//  * kWait answers (directory recovering / manager quiet period) get a
+//    bounded exponential-ish backoff up to `wait_budget`, then kBusy.
+//  * Transport failures (manager crashed, partitioned, dropped packet) and
+//    standby redirects are handled inside CallManager: one sweep over the
+//    configured manager-address list following redirect hints, wrapped in
+//    the shared RetryPolicy engine (decorrelated jitter, attempt cap,
+//    deadline) — one dropped packet no longer fails a mount, and failover
+//    to a standby replica is transparent.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
+#include "common/fence.h"
 #include "lease/wire.h"
+#include "objstore/retry.h"
 #include "rpc/fabric.h"
 
 namespace arkfs::lease {
@@ -20,13 +32,31 @@ class LeaseClient {
     // How long to keep retrying a kWait answer before giving up.
     Nanos wait_budget{Seconds(30)};
     Nanos initial_backoff{Millis(10)};
+    // Every lease-manager replica address. Empty = the canonical single
+    // manager at kManagerAddress.
+    std::vector<std::string> managers;
+    // Transport-level retry for manager RPCs (per logical call, spanning
+    // address sweeps). The deadline bounds how long a manager outage can
+    // stall one lease operation.
+    RetryPolicy rpc_retry = DefaultRpcRetry();
+
+    static RetryPolicy DefaultRpcRetry() {
+      RetryPolicy p;
+      p.max_attempts = 6;
+      p.initial_backoff = Millis(2);
+      p.max_backoff = Millis(100);
+      p.deadline = Seconds(2);
+      return p;
+    }
   };
 
   LeaseClient(rpc::FabricPtr fabric, std::string self_address,
               Options options)
       : fabric_(std::move(fabric)),
         self_(std::move(self_address)),
-        options_(options) {}
+        options_(std::move(options)) {
+    if (options_.managers.empty()) options_.managers = {kManagerAddress};
+  }
 
   LeaseClient(rpc::FabricPtr fabric, std::string self_address)
       : LeaseClient(std::move(fabric), std::move(self_address), Options()) {}
@@ -35,16 +65,20 @@ class LeaseClient {
     bool fresh = false;
     TimePoint until{};
     std::string prev_leader;  // non-empty: flush handshake target
+    FenceToken token;         // fencing token for journal commits
   };
 
   // Acquire (or extend) the lease on dir_ino.
   //   ok            -> caller is leader; see Grant
   //   kAgain+detail -> redirect; detail() is the current leader's address
-  //   kTimedOut     -> manager unreachable
+  //   kTimedOut     -> no manager reachable within the rpc_retry budget
   //   kBusy         -> wait budget exhausted (recovery/quiet period)
   Result<Grant> Acquire(const Uuid& dir_ino);
 
-  Status Release(const Uuid& dir_ino);
+  // `token` should be the grant's fencing token; the manager ignores a
+  // release whose token no longer matches the live lease (late release from
+  // a deposed leader). A zero token falls back to the name match.
+  Status Release(const Uuid& dir_ino, const FenceToken& token = {});
   Status BeginRecovery(const Uuid& dir_ino);
   Status EndRecovery(const Uuid& dir_ino);
 
@@ -54,9 +88,19 @@ class LeaseClient {
   const std::string& self_address() const { return self_; }
 
  private:
+  // One logical manager RPC: sweeps the address list starting at the last
+  // known-good replica, follows standby redirect hints, and retries the
+  // whole sweep under options_.rpc_retry.
+  Result<Bytes> CallManager(const std::string& method, const Bytes& payload);
+  Result<Bytes> SweepManagers(const std::string& method, const Bytes& payload);
+
   rpc::FabricPtr fabric_;
   std::string self_;
   Options options_;
+  // Index into options_.managers of the replica that last answered; sweeps
+  // start there so steady state costs one RPC.
+  std::atomic<std::size_t> preferred_{0};
+  std::atomic<std::uint64_t> call_salt_{0};
 };
 
 // Status detail carries the leader address on redirect.

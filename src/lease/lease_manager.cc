@@ -1,22 +1,104 @@
 #include "lease/lease_manager.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace arkfs::lease {
 
 LeaseManager::LeaseManager(rpc::FabricPtr fabric, LeaseManagerConfig config)
-    : config_(config), fabric_(std::move(fabric)) {}
+    : LeaseManager(std::move(fabric), nullptr, std::move(config)) {}
+
+LeaseManager::LeaseManager(rpc::FabricPtr fabric, ObjectStorePtr store,
+                           LeaseManagerConfig config)
+    : config_(std::move(config)),
+      fabric_(std::move(fabric)),
+      store_(std::move(store)) {}
 
 LeaseManager::~LeaseManager() { Stop(); }
 
+Status LeaseManager::RedirectIfStandby() const {
+  std::lock_guard lock(mu_);
+  if (active_) return Status::Ok();
+  return ErrStatus(Errc::kAgain, active_hint_);
+}
+
+int LeaseManager::Rank() const {
+  const auto it = std::find(config_.group.begin(), config_.group.end(),
+                            config_.self_address);
+  if (it == config_.group.end()) return 0;
+  return static_cast<int>(it - config_.group.begin());
+}
+
+// mu_ held.
+void LeaseManager::ResolveRoleLocked() {
+  if (!store_) {
+    // Unreplicated legacy mode: always active, epoch static until Restart().
+    active_ = true;
+    active_hint_ = config_.self_address;
+    return;
+  }
+  Result<Bytes> raw = store_->Get(kEpochRecordKey);
+  if (raw.ok()) {
+    Result<EpochRecord> rec = EpochRecord::Decode(*raw);
+    if (!rec.ok()) {
+      // A torn/corrupt epoch record must not let two replicas both decide
+      // they are active. Come up as a standby; takeover rewrites the record.
+      ARKFS_WLOG << "lease replica " << config_.self_address
+                 << ": undecodable epoch record (" << rec.status().detail()
+                 << "); starting as standby";
+      active_ = false;
+      active_hint_.clear();
+      return;
+    }
+    if (rec->epoch > epoch_ || (active_ && rec->active != config_.self_address)) {
+      // The group moved on while this replica was down (or never ran).
+      epoch_ = std::max(epoch_, rec->epoch);
+      fence_seq_ = 0;
+    }
+    active_ = (rec->active == config_.self_address);
+    active_hint_ = rec->active;
+    if (rec->epoch > epoch_) epoch_ = rec->epoch;
+    return;
+  }
+  if (raw.status().code() != Errc::kNoEnt) {
+    ARKFS_WLOG << "lease replica " << config_.self_address
+               << ": epoch record unreadable (" << raw.status().detail()
+               << "); starting as standby";
+    active_ = false;
+    active_hint_.clear();
+    return;
+  }
+  // No record yet: the designated bootstrap replica writes {1, self}.
+  if (config_.start_active) {
+    const EpochRecord rec{epoch_, config_.self_address};
+    if (Status st = store_->Put(kEpochRecordKey, rec.Encode()); !st.ok()) {
+      ARKFS_WLOG << "lease replica " << config_.self_address
+                 << ": cannot persist bootstrap epoch record: " << st.detail();
+    }
+    active_ = true;
+    active_hint_ = config_.self_address;
+  } else {
+    active_ = false;
+    // Until the bootstrap replica writes the record, rank 0 is the best
+    // guess for redirects.
+    active_hint_ = config_.group.empty() ? "" : config_.group.front();
+  }
+}
+
 Status LeaseManager::Start() {
   endpoint_ = std::make_shared<rpc::Endpoint>();
+  // Standby replicas answer every client-facing method with a status-level
+  // kAgain whose detail hints the active replica's address; LeaseClient's
+  // manager sweep consumes those hints and they never reach callers.
   endpoint_->RegisterMethod(kMethodAcquire, [this](ByteSpan req) -> Result<Bytes> {
     ARKFS_ASSIGN_OR_RETURN(auto request, AcquireRequest::Decode(req));
+    ARKFS_RETURN_IF_ERROR(RedirectIfStandby());
     return Acquire(request).Encode();
   });
   endpoint_->RegisterMethod(kMethodRelease, [this](ByteSpan req) -> Result<Bytes> {
     ARKFS_ASSIGN_OR_RETURN(auto request, ReleaseRequest::Decode(req));
+    ARKFS_RETURN_IF_ERROR(RedirectIfStandby());
     Release(request);
     return Bytes{};
   });
@@ -27,36 +109,238 @@ Status LeaseManager::Start() {
   });
   endpoint_->RegisterMethod(kMethodLookup, [this](ByteSpan req) -> Result<Bytes> {
     ARKFS_ASSIGN_OR_RETURN(auto request, LookupRequest::Decode(req));
+    ARKFS_RETURN_IF_ERROR(RedirectIfStandby());
     return Lookup(request).Encode();
   });
-  ARKFS_RETURN_IF_ERROR(fabric_->Bind(kManagerAddress, endpoint_));
+  endpoint_->RegisterMethod(kMethodPing, [this](ByteSpan req) -> Result<Bytes> {
+    ARKFS_ASSIGN_OR_RETURN(auto request, PingRequest::Decode(req));
+    return Ping(request).Encode();
+  });
+  ARKFS_RETURN_IF_ERROR(fabric_->Bind(config_.self_address, endpoint_));
   {
     std::lock_guard lock(mu_);
     started_ = true;
+    ResolveRoleLocked();
+    heartbeat_stop_ = false;
+  }
+  if (store_ && config_.group.size() > 1) {
+    heartbeat_thread_ = std::thread([this] { HeartbeatMain(); });
   }
   return Status::Ok();
 }
 
 void LeaseManager::Stop() {
-  std::lock_guard lock(mu_);
-  if (started_) {
-    fabric_->Unbind(kManagerAddress);
+  {
+    std::lock_guard lock(mu_);
+    if (!started_) return;
+    fabric_->Unbind(config_.self_address);
     started_ = false;
+    heartbeat_stop_ = true;
   }
+  heartbeat_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
 }
 
 void LeaseManager::Restart() {
   std::lock_guard lock(mu_);
   leases_.clear();
+  ++epoch_;
+  fence_seq_ = 0;
   quiet_until_ = Now() + config_.lease_period;
-  ARKFS_ILOG << "lease manager restarted; quiet period "
+  if (store_ && active_) {
+    const EpochRecord rec{epoch_, config_.self_address};
+    if (Status st = store_->Put(kEpochRecordKey, rec.Encode()); !st.ok()) {
+      ARKFS_WLOG << "lease manager restart: cannot persist epoch " << epoch_
+                 << ": " << st.detail();
+    }
+  }
+  ARKFS_ILOG << "lease manager restarted; epoch " << epoch_ << ", quiet period "
              << config_.lease_period.count() / 1e6 << "ms";
+}
+
+void LeaseManager::HeartbeatMain() {
+  int misses = 0;
+  const int rank = Rank();
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      heartbeat_cv_.wait_for(lock, config_.heartbeat_interval,
+                             [this] { return heartbeat_stop_; });
+      if (heartbeat_stop_) return;
+      if (active_) {
+        misses = 0;
+        lock.unlock();
+        // Audit the epoch record: a partitioned active never receives the
+        // successor's announce ping, so it must notice its own deposition
+        // from the record (the store is the one channel failover is
+        // guaranteed to share).
+        AuditEpochRecord();
+        continue;
+      }
+    }
+    // Standby: probe whoever we believe is active.
+    std::string target;
+    std::uint64_t epoch;
+    {
+      std::lock_guard lock(mu_);
+      target = active_hint_;
+      epoch = epoch_;
+    }
+    bool probed_ok = false;
+    if (!target.empty() && target != config_.self_address) {
+      const PingRequest ping{epoch, config_.self_address};
+      Result<Bytes> raw = fabric_->CallFrom(config_.self_address, target,
+                                            kMethodPing, ping.Encode());
+      if (raw.ok()) {
+        if (Result<PingResponse> resp = PingResponse::Decode(*raw); resp.ok()) {
+          probed_ok = resp->active;
+          std::lock_guard lock(mu_);
+          if (resp->epoch > epoch_) {
+            epoch_ = resp->epoch;
+            fence_seq_ = 0;
+          }
+          if (!resp->active && !resp->active_hint.empty() &&
+              resp->active_hint != target) {
+            active_hint_ = resp->active_hint;  // follow the hint chain
+          }
+        }
+      }
+    }
+    if (probed_ok) {
+      misses = 0;
+      continue;
+    }
+    // Stagger takeover by rank so standbys don't race each other to the
+    // epoch record: rank r waits r extra missed probes.
+    if (++misses >= config_.failover_probes + rank) {
+      misses = 0;
+      TryTakeover();
+    }
+  }
+}
+
+void LeaseManager::AuditEpochRecord() {
+  if (!store_) return;
+  Result<Bytes> raw = store_->Get(kEpochRecordKey);
+  if (!raw.ok()) return;
+  Result<EpochRecord> rec = EpochRecord::Decode(*raw);
+  if (!rec.ok()) return;
+  std::lock_guard lock(mu_);
+  if (!active_ || rec->epoch <= epoch_) return;
+  ARKFS_ILOG << "lease replica " << config_.self_address
+             << " observed epoch " << rec->epoch << " in the record (was "
+             << epoch_ << "); abdicating to " << rec->active;
+  leases_.clear();
+  active_ = false;
+  epoch_ = rec->epoch;
+  fence_seq_ = 0;
+  active_hint_ = rec->active;
+}
+
+void LeaseManager::TryTakeover() {
+  if (!store_) return;
+  std::uint64_t current_epoch;
+  {
+    std::lock_guard lock(mu_);
+    if (active_ || !started_) return;
+    current_epoch = epoch_;
+  }
+  // Serialize through the epoch record: re-read, and only take over if the
+  // group has not already moved past our view (another standby won).
+  Result<Bytes> raw = store_->Get(kEpochRecordKey);
+  if (raw.ok()) {
+    if (Result<EpochRecord> rec = EpochRecord::Decode(*raw); rec.ok()) {
+      if (rec->epoch > current_epoch) {
+        std::lock_guard lock(mu_);
+        epoch_ = rec->epoch;
+        fence_seq_ = 0;
+        active_hint_ = rec->active;
+        return;  // someone else already took over; follow them
+      }
+      current_epoch = std::max(current_epoch, rec->epoch);
+    }
+  } else if (raw.status().code() != Errc::kNoEnt) {
+    return;  // store unreachable; retry on the next probe cycle
+  }
+  const std::uint64_t new_epoch = current_epoch + 1;
+  const EpochRecord claim{new_epoch, config_.self_address};
+  if (!store_->Put(kEpochRecordKey, claim.Encode()).ok()) return;
+  // Confirm the write won (two standbys may race the Put; last writer wins
+  // and the loser must observe that).
+  Result<Bytes> confirm = store_->Get(kEpochRecordKey);
+  if (!confirm.ok()) return;
+  Result<EpochRecord> rec = EpochRecord::Decode(*confirm);
+  if (!rec.ok()) return;
+  if (rec->active != config_.self_address || rec->epoch != new_epoch) {
+    std::lock_guard lock(mu_);
+    if (rec->epoch > epoch_) {
+      epoch_ = rec->epoch;
+      fence_seq_ = 0;
+    }
+    active_hint_ = rec->active;
+    return;  // lost the race
+  }
+  {
+    std::lock_guard lock(mu_);
+    leases_.clear();
+    epoch_ = new_epoch;
+    fence_seq_ = 0;
+    active_ = true;
+    active_hint_ = config_.self_address;
+    // One full lease term of quiet: any lease the dead active granted may
+    // still be live, and this replica has no record of it.
+    quiet_until_ = Now() + config_.lease_period;
+  }
+  ARKFS_ILOG << "lease replica " << config_.self_address
+             << " took over as active; epoch " << new_epoch;
+  AnnounceEpoch(new_epoch);
+}
+
+void LeaseManager::AnnounceEpoch(std::uint64_t epoch) {
+  const PingRequest ping{epoch, config_.self_address};
+  const Bytes payload = ping.Encode();
+  for (const std::string& peer : config_.group) {
+    if (peer == config_.self_address) continue;
+    // Best effort: a dead or partitioned peer learns the epoch when it
+    // rejoins (epoch record) or from a later ping.
+    (void)fabric_->CallFrom(config_.self_address, peer, kMethodPing, payload);
+  }
+}
+
+PingResponse LeaseManager::Ping(const PingRequest& req) {
+  std::lock_guard lock(mu_);
+  if (req.epoch > epoch_) {
+    // A higher epoch exists: if this replica believed it was active it has
+    // been deposed — abdicate immediately rather than waiting to observe the
+    // epoch record. Its outstanding grants are fenced at the journal layer.
+    if (active_) {
+      ARKFS_ILOG << "lease replica " << config_.self_address
+                 << " deposed by epoch " << req.epoch << " (was " << epoch_
+                 << ")";
+      leases_.clear();
+    }
+    active_ = false;
+    epoch_ = req.epoch;
+    fence_seq_ = 0;
+    active_hint_ = req.from;
+  }
+  PingResponse resp;
+  resp.epoch = epoch_;
+  resp.active = active_;
+  resp.active_hint = active_ ? config_.self_address : active_hint_;
+  return resp;
 }
 
 AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
   std::lock_guard lock(mu_);
   const TimePoint now = Now();
   AcquireResponse resp;
+
+  if (!active_) {
+    resp.outcome = AcquireOutcome::kNotActive;
+    resp.leader = active_hint_;
+    return resp;
+  }
 
   if (now < quiet_until_) {
     resp.outcome = AcquireOutcome::kWait;
@@ -72,11 +356,12 @@ AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
 
   if (!Expired(l, now)) {
     if (l.leader == req.client) {
-      // Extension by the current leader.
+      // Extension by the current leader: same tenure, same fencing token.
       l.expires = now + config_.lease_period;
       resp.outcome = AcquireOutcome::kGranted;
       resp.fresh = true;
       resp.lease_until_ns = l.expires.time_since_epoch().count();
+      resp.token = l.token;
       return resp;
     }
     resp.outcome = AcquireOutcome::kRedirect;
@@ -84,7 +369,9 @@ AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
     return resp;
   }
 
-  // Lease is free (never issued, expired, or released).
+  // Lease is free (never issued, expired, or released). Every new tenure —
+  // even a fresh re-grant to the same client — gets a new fencing token, so
+  // anything still running under the old grant is deniable at the store.
   resp.outcome = AcquireOutcome::kGranted;
   resp.fresh = (l.last_leader == req.client);
   if (!resp.fresh && !l.last_leader.empty()) {
@@ -93,17 +380,25 @@ AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
   l.leader = req.client;
   l.last_leader = req.client;
   l.expires = now + config_.lease_period;
+  l.token = FenceToken{epoch_, ++fence_seq_};
   resp.lease_until_ns = l.expires.time_since_epoch().count();
+  resp.token = l.token;
   return resp;
 }
 
 void LeaseManager::Release(const ReleaseRequest& req) {
   std::lock_guard lock(mu_);
+  if (!active_) return;
   auto it = leases_.find(req.dir_ino);
   if (it == leases_.end()) return;
-  if (it->second.leader == req.client) {
-    it->second.leader.clear();
-    it->second.expires = TimePoint{};
+  DirLease& l = it->second;
+  // A late Release from a deposed leader must not evict the successor: when
+  // the request carries a token it must match the live grant exactly.
+  // Token-less requests (legacy) fall back to the name match.
+  if (req.token.valid() && req.token != l.token) return;
+  if (l.leader == req.client) {
+    l.leader.clear();
+    l.expires = TimePoint{};
     // last_leader stays: a clean release means the store is fully
     // synchronized, and if the same client comes back it may reuse its
     // metatable only if nobody else led meanwhile — which last_leader tracks.
@@ -114,6 +409,9 @@ Status LeaseManager::Recovery(const RecoveryRequest& req) {
   if (req.phase == RecoveryPhase::kBegin) {
     {
       std::lock_guard lock(mu_);
+      if (!active_) {
+        return ErrStatus(Errc::kAgain, active_hint_);
+      }
       DirLease& l = leases_[req.dir_ino];
       if (l.recovering && l.recoverer != req.client) {
         return ErrStatus(Errc::kBusy, "recovery already in progress");
@@ -134,6 +432,9 @@ Status LeaseManager::Recovery(const RecoveryRequest& req) {
 
   // kEnd: recovery finished; renew the lease on the recoverer.
   std::lock_guard lock(mu_);
+  if (!active_) {
+    return ErrStatus(Errc::kAgain, active_hint_);
+  }
   DirLease& l = leases_[req.dir_ino];
   if (!l.recovering || l.recoverer != req.client) {
     return ErrStatus(Errc::kInval, "not the recovering client");
@@ -143,12 +444,14 @@ Status LeaseManager::Recovery(const RecoveryRequest& req) {
   l.leader = req.client;
   l.last_leader = req.client;
   l.expires = Now() + config_.lease_period;
+  // The recovery ran under the token granted at Acquire time; keep it.
   return Status::Ok();
 }
 
 LookupResponse LeaseManager::Lookup(const LookupRequest& req) {
   std::lock_guard lock(mu_);
   LookupResponse resp;
+  if (!active_) return resp;
   auto it = leases_.find(req.dir_ino);
   if (it != leases_.end() && !Expired(it->second, Now()) &&
       !it->second.recovering) {
@@ -166,6 +469,16 @@ std::size_t LeaseManager::ActiveLeaseCount() const {
     if (!Expired(l, now)) ++n;
   }
   return n;
+}
+
+std::uint64_t LeaseManager::epoch() const {
+  std::lock_guard lock(mu_);
+  return epoch_;
+}
+
+bool LeaseManager::is_active() const {
+  std::lock_guard lock(mu_);
+  return started_ && active_;
 }
 
 }  // namespace arkfs::lease

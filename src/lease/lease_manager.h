@@ -1,30 +1,51 @@
-// The lease manager (paper §III-B, §III-E.2).
+// The lease manager (paper §III-B, §III-E.2), replicated for HA.
 //
-// A single lightweight coordinator that hands out per-directory leases
+// A lightweight coordinator that hands out per-directory leases
 // first-come-first-served. It never touches file system metadata itself —
 // it only remembers, per directory inode, who leads it and until when.
 // Acquiring or extending a lease is one small RPC; everything heavy happens
-// at the clients, which is why a single manager suffices (the paper measured
-// no bottleneck; a manager cluster is future work there and here).
+// at the clients. The paper ran a single manager and deferred a manager
+// cluster to future work; here the manager runs as a replica group:
+//
+//  * Replication model: N replicas on distinct fabric addresses; exactly one
+//    is ACTIVE per fencing epoch, the rest are standbys that answer every
+//    request with a redirect-to-active hint. There is no consensus protocol —
+//    the group serializes failover through a small persisted epoch record in
+//    the object store (kEpochRecordKey), and split brain is made harmless by
+//    fencing at the journal layer (every grant carries a FenceToken; commits
+//    from a deposed epoch are rejected kStale at the store).
+//  * Failover: standbys heartbeat the active replica; after `failover_probes`
+//    consecutive misses (staggered by replica rank so standbys don't race) a
+//    standby takes over by re-reading the epoch record, writing
+//    {epoch + 1, self}, and confirming its write won. The winner clears all
+//    lease state and serves a quiet period of one lease term — a still-live
+//    leader's lease can therefore never be double-granted — then announces
+//    the new epoch to its peers so a deposed active abdicates immediately.
 //
 // Fault behaviours implemented:
 //  * leader change with a live predecessor: the grant carries `prev_leader`
 //    so the new leader can request a final flush before loading metadata;
 //  * crashed leader: journal recovery — BeginRecovery fences the directory
 //    (other clients get kWait) and waits out the read/write-lease period;
-//  * manager restart: Restart() clears all state and enters a quiet period
-//    of one lease term during which every Acquire gets kWait, so a
-//    still-live leader's lease cannot be double-granted.
+//  * manager restart: Restart() clears all state, bumps the fencing epoch
+//    and enters a quiet period of one lease term during which every Acquire
+//    gets kWait, so a still-live leader's lease cannot be double-granted;
+//  * manager crash with standbys: epoch-fenced takeover as above.
 #pragma once
 
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/clock.h"
+#include "common/fence.h"
 #include "common/uuid.h"
 #include "lease/wire.h"
+#include "objstore/object_store.h"
 #include "rpc/fabric.h"
 
 namespace arkfs::lease {
@@ -36,22 +57,51 @@ struct LeaseManagerConfig {
   // lease period (paper: "waits at least the lease period"). Tests shrink it.
   Nanos recovery_wait{Seconds(5)};
 
+  // --- HA group ---
+  // This replica's fabric address. Single-replica deployments keep the
+  // canonical kManagerAddress.
+  std::string self_address{kManagerAddress};
+  // Every replica's address (including self), same order on all replicas;
+  // the index of self_address is the replica's rank (failover stagger).
+  // Empty or size 1 == unreplicated.
+  std::vector<std::string> group;
+  // Bootstrap hint: when no epoch record exists yet, may this replica write
+  // {1, self} and become active? (Cluster sets it on replica 0 only.)
+  bool start_active = true;
+  Nanos heartbeat_interval{Millis(500)};
+  int failover_probes = 3;  // missed heartbeats before a takeover attempt
+
   static LeaseManagerConfig ForTests() {
-    return {Millis(200), Nanos(0)};
+    LeaseManagerConfig c;
+    c.lease_period = Millis(200);
+    c.recovery_wait = Nanos(0);
+    c.heartbeat_interval = Millis(10);
+    return c;
   }
 };
 
 class LeaseManager {
  public:
+  // Unreplicated manager (no persisted epoch record): epoch stays at 1 and
+  // only bumps on Restart(). Kept for tests and minimal deployments.
   LeaseManager(rpc::FabricPtr fabric, LeaseManagerConfig config);
+  // Replica-group manager: role and epoch come from the epoch record in
+  // `store`; standbys heartbeat and take over per the config.
+  LeaseManager(rpc::FabricPtr fabric, ObjectStorePtr store,
+               LeaseManagerConfig config);
   ~LeaseManager();
 
-  // Binds the manager's endpoint on the fabric at kManagerAddress.
+  // Binds the manager's endpoint at config.self_address, resolves this
+  // replica's role from the epoch record, and (in a group) starts the
+  // heartbeat thread. Start after Stop rejoins the group: if the epoch moved
+  // on while this replica was down it comes back as a standby.
   Status Start();
   void Stop();
 
-  // Simulates a crash + restart: all lease state is lost and a quiet period
-  // of one lease term begins (paper §III-E.2).
+  // Simulates a crash + restart of the active replica in place: all lease
+  // state is lost, the fencing epoch is bumped (persisted when this replica
+  // is store-backed) and a quiet period of one lease term begins
+  // (paper §III-E.2).
   void Restart();
 
   // --- direct (in-process) API; the RPC handlers call these ---
@@ -59,9 +109,13 @@ class LeaseManager {
   void Release(const ReleaseRequest& req);
   Status Recovery(const RecoveryRequest& req);
   LookupResponse Lookup(const LookupRequest& req);
+  PingResponse Ping(const PingRequest& req);
 
   // Introspection for tests.
   std::size_t ActiveLeaseCount() const;
+  std::uint64_t epoch() const;
+  bool is_active() const;
+  const std::string& self_address() const { return config_.self_address; }
   const LeaseManagerConfig& config() const { return config_; }
 
  private:
@@ -69,6 +123,7 @@ class LeaseManager {
     std::string leader;
     TimePoint expires{};
     std::string last_leader;  // survives expiry; drives the `fresh` hint
+    FenceToken token;         // fencing token of the live grant
     bool recovering = false;
     std::string recoverer;
   };
@@ -77,14 +132,41 @@ class LeaseManager {
     return l.leader.empty() || l.expires <= now;
   }
 
+  // kAgain + active-address hint when this replica is a standby (the RPC
+  // handlers' answer; LeaseClient's sweep consumes it).
+  Status RedirectIfStandby() const;
+  // Role/epoch bootstrap from the epoch record (store-backed replicas).
+  // mu_ held.
+  void ResolveRoleLocked();
+  // Standby heartbeat loop; promotes via TryTakeover on missed probes.
+  void HeartbeatMain();
+  // Active-side deposition check: re-reads the epoch record and abdicates if
+  // the group moved past this replica's epoch (covers the partitioned-active
+  // case where the successor's announce ping never arrives).
+  void AuditEpochRecord();
+  void TryTakeover();
+  // Announce the (new) epoch to every peer so a deposed active abdicates.
+  void AnnounceEpoch(std::uint64_t epoch);
+  int Rank() const;  // index of self in group (0 if absent/unreplicated)
+
   const LeaseManagerConfig config_;
   rpc::FabricPtr fabric_;
+  ObjectStorePtr store_;  // null = unreplicated (no epoch record)
   std::shared_ptr<rpc::Endpoint> endpoint_;
 
   mutable std::mutex mu_;
   std::map<Uuid, DirLease> leases_;
-  TimePoint quiet_until_{};  // post-restart quiet period
+  TimePoint quiet_until_{};  // post-restart / post-takeover quiet period
   bool started_ = false;
+  bool active_ = true;
+  std::uint64_t epoch_ = 1;
+  std::uint64_t fence_seq_ = 0;  // per-epoch grant sequence
+  std::string active_hint_;      // standby's best guess at the active address
+
+  // Heartbeat thread (group deployments only).
+  std::thread heartbeat_thread_;
+  std::condition_variable heartbeat_cv_;
+  bool heartbeat_stop_ = false;
 };
 
 }  // namespace arkfs::lease

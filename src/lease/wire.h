@@ -1,10 +1,17 @@
-// Wire format of the lease protocol (client <-> lease manager).
+// Wire format of the lease protocol (client <-> lease manager, and
+// manager <-> manager heartbeats for the replicated HA group).
+//
+// Decoding is strict end to end: every message rejects truncated input,
+// out-of-range enum values, and trailing garbage. Lease grants are the root
+// of all fencing decisions, so a mangled message must fail loudly rather
+// than decode to something plausible.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "common/codec.h"
+#include "common/fence.h"
 #include "common/uuid.h"
 
 namespace arkfs::lease {
@@ -14,9 +21,16 @@ inline constexpr char kMethodAcquire[] = "lease.acquire";
 inline constexpr char kMethodRelease[] = "lease.release";
 inline constexpr char kMethodRecovery[] = "lease.recovery";
 inline constexpr char kMethodLookup[] = "lease.lookup";
+inline constexpr char kMethodPing[] = "lease.ping";  // replica heartbeat
 
-// The canonical fabric address of the lease manager.
+// The canonical fabric address of a single-replica lease manager; replicated
+// groups bind "lease-manager-<i>" per replica (see ArkFsCluster).
 inline constexpr char kManagerAddress[] = "lease-manager";
+
+// Object-store key of the persisted fencing-epoch record that serializes
+// manager failover (the "small persisted-epoch record" the group agrees
+// through; there is no manager-to-manager consensus protocol).
+inline constexpr char kEpochRecordKey[] = "sys.lease-epoch";
 
 struct AcquireRequest {
   Uuid dir_ino;
@@ -27,15 +41,18 @@ struct AcquireRequest {
 };
 
 enum class AcquireOutcome : std::uint8_t {
-  kGranted = 0,   // caller is now the directory leader
-  kRedirect = 1,  // someone else leads; `leader` has their address
-  kWait = 2,      // directory recovering or manager in post-restart quiet
-                  // period; retry after a backoff
+  kGranted = 0,    // caller is now the directory leader
+  kRedirect = 1,   // someone else leads; `leader` has their address
+  kWait = 2,       // directory recovering or manager in post-takeover quiet
+                   // period; retry after a backoff
+  kNotActive = 3,  // this replica is a standby; `leader` hints the active
+                   // manager's fabric address (may be stale or empty)
 };
 
 struct AcquireResponse {
   AcquireOutcome outcome = AcquireOutcome::kWait;
-  std::string leader;            // kRedirect: current leader address
+  std::string leader;            // kRedirect: current leader address;
+                                 // kNotActive: active-manager hint
   std::int64_t lease_until_ns = 0;  // kGranted: steady-clock expiry
   // kGranted: true when the caller was also the previous leader and nobody
   // led in between — its in-memory metatable is still authoritative and need
@@ -44,6 +61,10 @@ struct AcquireResponse {
   // kGranted: previous (different) leader to ask for a final flush, empty if
   // none. Unreachable previous leader == crash; run journal recovery.
   std::string prev_leader;
+  // kGranted: the fencing token (manager epoch, per-epoch grant sequence)
+  // the journal layer stamps into commit records. A grant from a deposed
+  // epoch is rejected at the store (kStale) — split-brain-proof commits.
+  FenceToken token;
 
   Bytes Encode() const;
   static Result<AcquireResponse> Decode(ByteSpan data);
@@ -52,6 +73,10 @@ struct AcquireResponse {
 struct ReleaseRequest {
   Uuid dir_ino;
   std::string client;
+  // Token of the grant being released. A release whose token does not match
+  // the live lease is ignored (late release from a deposed leader must not
+  // evict the successor). Zero token = legacy name-only match.
+  FenceToken token;
 
   Bytes Encode() const;
   static Result<ReleaseRequest> Decode(ByteSpan data);
@@ -81,6 +106,38 @@ struct LookupResponse {
 
   Bytes Encode() const;
   static Result<LookupResponse> Decode(ByteSpan data);
+};
+
+// Replica heartbeat / epoch announcement. Standbys ping the active replica;
+// a newly promoted active pings its peers so a deposed active abdicates
+// immediately instead of waiting to observe the bumped epoch record.
+struct PingRequest {
+  std::uint64_t epoch = 0;  // sender's view of the current fencing epoch
+  std::string from;         // sender's fabric address
+
+  Bytes Encode() const;
+  static Result<PingRequest> Decode(ByteSpan data);
+};
+
+struct PingResponse {
+  std::uint64_t epoch = 0;  // responder's view of the current fencing epoch
+  bool active = false;      // responder believes it is the active replica
+  std::string active_hint;  // responder's best guess at the active address
+
+  Bytes Encode() const;
+  static Result<PingResponse> Decode(ByteSpan data);
+};
+
+// The persisted fencing-epoch record at kEpochRecordKey. Takeover = read
+// record, write {epoch + 1, self}, re-read to confirm the write won; every
+// replica adopts whatever the record says on Start(). Strict magic + CRC so
+// a torn record write fails loudly.
+struct EpochRecord {
+  std::uint64_t epoch = 0;
+  std::string active;  // fabric address of the active replica
+
+  Bytes Encode() const;
+  static Result<EpochRecord> Decode(ByteSpan data);
 };
 
 }  // namespace arkfs::lease

@@ -30,6 +30,7 @@ int HexVal(char c) {
 std::string InodeKey(const Uuid& ino) { return MakeKey('i', ino); }
 std::string DentryKey(const Uuid& dir_ino) { return MakeKey('e', dir_ino); }
 std::string JournalKey(const Uuid& dir_ino) { return MakeKey('j', dir_ino); }
+std::string FenceKey(const Uuid& dir_ino) { return MakeKey('f', dir_ino); }
 
 std::string DataKey(const Uuid& ino, std::uint64_t chunk_index) {
   char suffix[20];
@@ -74,6 +75,7 @@ Result<ParsedKey> ParseKey(const std::string& key) {
     case 'i': parsed.kind = KeyKind::kInode; break;
     case 'e': parsed.kind = KeyKind::kDentry; break;
     case 'j': parsed.kind = KeyKind::kJournal; break;
+    case 'f': parsed.kind = KeyKind::kFence; break;
     case 'd': parsed.kind = KeyKind::kData; break;
     default: return ErrStatus(Errc::kInval, "unknown key prefix");
   }

@@ -17,6 +17,9 @@
 //                      INACTIVE slot and flips the manifest — a torn put can
 //                      never corrupt the previous layout or shard contents.
 //   j<uuid>            per-directory journal of directory <uuid>
+//   f<uuid>            fence record of directory <uuid>: highest lease
+//                      fencing token (epoch, seq) accepted at this directory
+//                      (split-brain rejection happens at the store, §4.4)
 //   d<uuid>.<index>    data chunk <index> of file <uuid> (16 hex digits,
 //                      zero-padded so lexicographic order == numeric order)
 #pragma once
@@ -36,12 +39,14 @@ enum class KeyKind : char {
   kDentryManifest = 'm',
   kDentryShard = 's',
   kJournal = 'j',
+  kFence = 'f',
   kData = 'd',
 };
 
 std::string InodeKey(const Uuid& ino);
 std::string DentryKey(const Uuid& dir_ino);
 std::string JournalKey(const Uuid& dir_ino);
+std::string FenceKey(const Uuid& dir_ino);
 std::string DataKey(const Uuid& ino, std::uint64_t chunk_index);
 
 // Sharded dentry layout keys. `shard_count` must be a power of two in

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fence.h"
 #include "meta/dentry.h"
 #include "meta/inode.h"
 #include "objstore/async_io.h"
@@ -104,6 +105,14 @@ class Prt {
   Result<Bytes> LoadJournal(const Uuid& dir_ino);
   Status StoreJournal(const Uuid& dir_ino, ByteSpan data);
   Status DeleteJournal(const Uuid& dir_ino);
+
+  // --- Per-directory fence record ("f<uuid>", lease-HA split-brain guard) ---
+  // A missing fence object reads as the zero token (legacy directory, never
+  // fenced); a torn/corrupt one fails loudly — silently reading it as zero
+  // would let a deposed leader past the fence.
+  Result<FenceToken> LoadDirFence(const Uuid& dir_ino);
+  Status StoreDirFence(const Uuid& dir_ino, const FenceToken& token);
+  Status DeleteDirFence(const Uuid& dir_ino);
 
   // --- File data ---
   // Reads [offset, offset+length) clamped to file_size. Holes read as zeros.

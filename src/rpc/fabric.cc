@@ -54,11 +54,58 @@ bool Fabric::IsBound(const std::string& address) const {
   return endpoints_.contains(address);
 }
 
+void Fabric::SetUnreachable(const std::string& address, bool unreachable) {
+  std::lock_guard lock(mu_);
+  if (unreachable) {
+    unreachable_.insert(address);
+  } else {
+    unreachable_.erase(address);
+  }
+}
+
+void Fabric::BlockPair(const std::string& a, const std::string& b,
+                       bool blocked) {
+  std::lock_guard lock(mu_);
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (blocked) {
+    blocked_.insert(key);
+  } else {
+    blocked_.erase(key);
+  }
+}
+
+void Fabric::HealPartitions() {
+  std::lock_guard lock(mu_);
+  unreachable_.clear();
+  blocked_.clear();
+}
+
+// mu_ held.
+bool Fabric::LinkCut(const std::string& from, const std::string& address) const {
+  if (unreachable_.contains(address)) return true;
+  if (!from.empty()) {
+    if (unreachable_.contains(from)) return true;
+    const auto key = from < address ? std::make_pair(from, address)
+                                    : std::make_pair(address, from);
+    if (blocked_.contains(key)) return true;
+  }
+  return false;
+}
+
 Result<Bytes> Fabric::Call(const std::string& address,
                            const std::string& method, ByteSpan request) {
+  return CallFrom("", address, method, request);
+}
+
+Result<Bytes> Fabric::CallFrom(const std::string& from,
+                               const std::string& address,
+                               const std::string& method, ByteSpan request) {
   std::shared_ptr<Endpoint> endpoint;
   {
     std::lock_guard lock(mu_);
+    if (LinkCut(from, address)) {
+      return ErrStatus(Errc::kTimedOut, "partitioned from " + address);
+    }
     auto it = endpoints_.find(address);
     if (it != endpoints_.end()) endpoint = it->second;
   }

@@ -18,7 +18,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -71,14 +73,34 @@ class Fabric {
   Result<Bytes> Call(const std::string& address, const std::string& method,
                      ByteSpan request);
 
+  // Like Call, but names the caller so partitions can cut specific links.
+  // Calls from or to an unreachable node, or across a blocked pair, fail
+  // with kTimedOut exactly like an unbound address (a partitioned peer is
+  // indistinguishable from a crashed one — that is the failure model).
+  Result<Bytes> CallFrom(const std::string& from, const std::string& address,
+                         const std::string& method, ByteSpan request);
+
+  // --- Fault hooks (chaos/crash tests) ---
+  // Marks a node unreachable: every call to it, and every CallFrom naming it
+  // as the caller, times out. The binding itself is untouched.
+  void SetUnreachable(const std::string& address, bool unreachable = true);
+  // Cuts (or restores) the bidirectional link between two nodes.
+  void BlockPair(const std::string& a, const std::string& b, bool blocked = true);
+  // Clears all unreachable marks and blocked pairs.
+  void HealPartitions();
+
   std::uint64_t total_calls() const { return calls_.load(); }
   const sim::NetworkProfile& profile() const { return profile_; }
 
  private:
+  bool LinkCut(const std::string& from, const std::string& address) const;
+
   const sim::NetworkProfile profile_;
   sim::LatencyModel rtt_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
+  std::set<std::string> unreachable_;
+  std::set<std::pair<std::string, std::string>> blocked_;  // ordered pairs
   std::atomic<std::uint64_t> calls_{0};
 };
 

@@ -254,6 +254,100 @@ TEST_F(CrashTest, LegacyLayoutDirSurvivesCrashAndMigrates) {
   EXPECT_EQ(prt.store().Head(DentryKey(old_ino)).code(), Errc::kNoEnt);
 }
 
+TEST_F(CrashTest, DeposedEpochGrantFencedAtJournalCommit) {
+  // Split brain at the journal layer: two JournalManagers over one store
+  // model a deposed leader (grant from epoch 1) and its successor (epoch 2).
+  // The epoch-1 commit that races the takeover must be rejected kStale and
+  // never acked; everything acked BEFORE the fence advanced must be replayed
+  // by the successor.
+  auto prt = std::make_shared<Prt>(store_);
+  const Uuid dir = DeterministicUuid(3, 3);
+  ASSERT_TRUE(
+      prt->StoreInode(MakeInode(dir, FileType::kDirectory, 0755, 0, 0, kRootIno))
+          .ok());
+  ASSERT_TRUE(prt->StoreDentryManifest(dir, DentryManifest{}).ok());
+
+  journal::JournalManager deposed(prt, journal::JournalConfig::ForTests());
+  journal::JournalManager successor(prt, journal::JournalConfig::ForTests());
+  const FenceToken old_token{1, 1};
+  const FenceToken new_token{2, 1};
+
+  // Old leader fences the directory and commits one acked transaction.
+  ASSERT_TRUE(deposed.FenceDir(dir, old_token).ok());
+  deposed.RegisterDir(dir, old_token);
+  deposed.Append(dir, {journal::Record::DentryAdd(
+                     Dentry{"acked", DeterministicUuid(3, 4)})});
+  ASSERT_TRUE(deposed.CommitDir(dir).ok());
+
+  // Failover: the successor advances the fence BEFORE touching the journal
+  // (the BecomeLeader ordering). From here on the old grant is dead.
+  ASSERT_TRUE(successor.FenceDir(dir, new_token).ok());
+
+  // The deposed leader's in-flight commit is refused at the store and never
+  // acked.
+  deposed.Append(dir, {journal::Record::DentryAdd(
+                     Dentry{"lost", DeterministicUuid(3, 5)})});
+  EXPECT_EQ(deposed.CommitDir(dir).code(), Errc::kStale);
+  EXPECT_GE(deposed.stats().fence_rejections, 1u);
+  EXPECT_EQ(deposed.stats().fence_violations, 0u);
+  // Re-fencing with the stale token is just as dead.
+  EXPECT_EQ(deposed.FenceDir(dir, old_token).code(), Errc::kStale);
+
+  // The successor replays exactly the acked transaction.
+  successor.RegisterDir(dir, new_token);
+  auto report = successor.RecoverDir(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->transactions_replayed, 1u);
+  auto entries = prt->LoadDentries(dir);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "acked");
+}
+
+TEST_F(CrashTest, FencedWritesRedrivenUnderSuccessorEpoch) {
+  // Full stack: the active lease-manager replica dies mid-burst; the client
+  // rides the failover, reacquires under the bumped epoch, and every acked
+  // write survives into the new epoch with zero fence violations.
+  auto store = std::make_shared<MemoryObjectStore>();
+  auto options = ArkFsClusterOptions::ForTests();
+  options.lease_replicas = 3;
+  auto cluster = ArkFsCluster::Create(store, options).value();
+  const Nanos lease = cluster->lease_manager().config().lease_period;
+
+  auto c1 = cluster->AddClient("writer").value();
+  ASSERT_TRUE(c1->Mkdir("/ha", 0755, root_).ok());
+  ASSERT_TRUE(c1->WriteFileAt("/ha/acked0", AsBytes("pre"), root_).ok());
+  ASSERT_TRUE(c1->SyncAll().ok());
+
+  const int active = cluster->ActiveLeaseReplica();
+  ASSERT_GE(active, 0);
+  ASSERT_TRUE(cluster->KillLeaseReplica(active).ok());
+
+  // Wait for a standby to take over under a bumped epoch.
+  const TimePoint deadline = Now() + Seconds(3);
+  while (cluster->ActiveLeaseReplica() < 0 && Now() < deadline) {
+    SleepFor(Millis(5));
+  }
+  const int successor = cluster->ActiveLeaseReplica();
+  ASSERT_GE(successor, 0);
+  ASSERT_NE(successor, active);
+  EXPECT_GE(cluster->lease_manager(successor).epoch(), 2u);
+
+  // Ride out the quiet period + the old lease, then write through the new
+  // epoch. RunDirOp absorbs the kStale/kBusy churn of the reacquisition.
+  SleepFor(lease + Millis(50));
+  ASSERT_TRUE(c1->WriteFileAt("/ha/acked1", AsBytes("post"), root_).ok());
+  ASSERT_TRUE(c1->SyncAll().ok());
+
+  // A fresh client sees both writes; nobody ever observed a fence violation.
+  auto c2 = cluster->AddClient("reader").value();
+  EXPECT_EQ(ToString(*c2->ReadWholeFile("/ha/acked0", root_)), "pre");
+  EXPECT_EQ(ToString(*c2->ReadWholeFile("/ha/acked1", root_)), "post");
+  for (const auto& client : cluster->clients()) {
+    EXPECT_EQ(client->journal_stats().fence_violations, 0u);
+  }
+}
+
 TEST_F(CrashTest, RepeatedCrashesConverge) {
   for (int round = 0; round < 3; ++round) {
     auto c = cluster_->AddClient("round-" + std::to_string(round)).value();

@@ -1,0 +1,306 @@
+// Tests for the replicated lease-manager group: epoch-fenced failover,
+// standby redirects, quiet periods, and the late/stale-lease races the
+// fencing tokens exist to win.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lease/lease_client.h"
+#include "lease/lease_manager.h"
+#include "objstore/memory_store.h"
+
+namespace arkfs::lease {
+namespace {
+
+class LeaseHaTest : public ::testing::Test {
+ protected:
+  static constexpr int kReplicas = 3;
+
+  void SetUp() override {
+    fabric_ = std::make_shared<rpc::Fabric>(sim::NetworkProfile::Instant());
+    store_ = std::make_shared<MemoryObjectStore>();
+    for (int i = 0; i < kReplicas; ++i) {
+      addresses_.push_back("lease-manager-" + std::to_string(i));
+    }
+    for (int i = 0; i < kReplicas; ++i) {
+      LeaseManagerConfig config = LeaseManagerConfig::ForTests();
+      config.self_address = addresses_[static_cast<std::size_t>(i)];
+      config.group = addresses_;
+      config.start_active = (i == 0);
+      managers_.push_back(
+          std::make_unique<LeaseManager>(fabric_, store_, config));
+    }
+    for (auto& m : managers_) ASSERT_TRUE(m->Start().ok());
+  }
+
+  void TearDown() override {
+    for (auto& m : managers_) m->Stop();
+  }
+
+  LeaseClient MakeClient(const std::string& name) {
+    LeaseClient::Options options;
+    options.wait_budget = Seconds(2);
+    options.initial_backoff = Millis(2);
+    options.managers = addresses_;
+    options.rpc_retry.max_attempts = 4;
+    options.rpc_retry.initial_backoff = Millis(1);
+    options.rpc_retry.max_backoff = Millis(5);
+    options.rpc_retry.deadline = Millis(250);
+    return LeaseClient(fabric_, name, options);
+  }
+
+  int ActiveReplica() const {
+    for (int i = 0; i < kReplicas; ++i) {
+      if (managers_[static_cast<std::size_t>(i)]->is_active()) return i;
+    }
+    return -1;
+  }
+
+  int ClaimingActiveCount() const {
+    int n = 0;
+    for (const auto& m : managers_) {
+      if (m->is_active()) ++n;
+    }
+    return n;
+  }
+
+  bool WaitFor(const std::function<bool()>& pred,
+               Nanos timeout = Seconds(3)) const {
+    const TimePoint deadline = Now() + timeout;
+    while (Now() < deadline) {
+      if (pred()) return true;
+      SleepFor(Millis(5));
+    }
+    return pred();
+  }
+
+  LeaseManagerConfig config_ = LeaseManagerConfig::ForTests();
+  rpc::FabricPtr fabric_;
+  ObjectStorePtr store_;
+  std::vector<std::string> addresses_;
+  std::vector<std::unique_ptr<LeaseManager>> managers_;
+  Uuid dir_ = DeterministicUuid(1, 1);
+};
+
+TEST_F(LeaseHaTest, BootstrapElectsDesignatedReplica) {
+  EXPECT_EQ(ActiveReplica(), 0);
+  EXPECT_EQ(ClaimingActiveCount(), 1);
+  EXPECT_EQ(managers_[0]->epoch(), 1u);
+
+  auto raw = store_->Get(kEpochRecordKey);
+  ASSERT_TRUE(raw.ok());
+  auto rec = EpochRecord::Decode(*raw);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->epoch, 1u);
+  EXPECT_EQ(rec->active, addresses_[0]);
+}
+
+TEST_F(LeaseHaTest, StandbyAnswersWithRedirectHint) {
+  // In-process API: kNotActive with the active replica's address as hint.
+  AcquireRequest req{dir_, "c1"};
+  AcquireResponse resp = managers_[1]->Acquire(req);
+  EXPECT_EQ(resp.outcome, AcquireOutcome::kNotActive);
+  EXPECT_EQ(resp.leader, addresses_[0]);
+
+  // RPC path: a status-level kAgain + hint that the client sweep consumes.
+  auto raw = fabric_->Call(addresses_[2], kMethodAcquire, req.Encode());
+  ASSERT_FALSE(raw.ok());
+  EXPECT_EQ(raw.status().code(), Errc::kAgain);
+  EXPECT_EQ(raw.status().detail(), addresses_[0]);
+}
+
+TEST_F(LeaseHaTest, ClientFollowsStandbyHintTransparently) {
+  // Point the client's list at a standby first: the sweep must follow the
+  // hint to the active replica without surfacing anything to the caller.
+  LeaseClient::Options options;
+  options.wait_budget = Seconds(2);
+  options.initial_backoff = Millis(2);
+  options.managers = {addresses_[1], addresses_[2], addresses_[0]};
+  LeaseClient c1(fabric_, "c1", options);
+  auto grant = c1.Acquire(dir_);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(grant->token.epoch, 1u);
+  ASSERT_TRUE(grant->token.valid());
+}
+
+TEST_F(LeaseHaTest, FailoverElectsStandbyAndBumpsEpoch) {
+  auto c1 = MakeClient("c1");
+  auto before = c1.Acquire(dir_);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->token.epoch, 1u);
+
+  managers_[0]->Stop();
+  ASSERT_TRUE(WaitFor([&] { return ActiveReplica() > 0; }));
+  const int active = ActiveReplica();
+  EXPECT_EQ(managers_[static_cast<std::size_t>(active)]->epoch(), 2u);
+
+  // The persisted record names the winner.
+  auto rec = EpochRecord::Decode(*store_->Get(kEpochRecordKey));
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->epoch, 2u);
+  EXPECT_EQ(rec->active, addresses_[static_cast<std::size_t>(active)]);
+
+  // Acquisition works again once the quiet period drains (the client's wait
+  // budget rides it out), and the new grant is strictly fence-ordered after
+  // every old-epoch grant.
+  auto after = c1.Acquire(dir_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->token.epoch, 2u);
+  EXPECT_TRUE(before->token < after->token);
+  // The successor lost all lease state, so no previous leader is known.
+  EXPECT_TRUE(after->prev_leader.empty());
+}
+
+TEST_F(LeaseHaTest, TakeoverServesQuietPeriodFirst) {
+  auto c1 = MakeClient("c1");
+  ASSERT_TRUE(c1.Acquire(dir_).ok());
+  managers_[0]->Stop();
+  ASSERT_TRUE(WaitFor([&] { return ActiveReplica() > 0; }));
+
+  // Within the quiet period (one lease term) every acquire is told to wait:
+  // the dead active's grants may still be live and the successor has no
+  // record of them.
+  LeaseClient::Options tight;
+  tight.wait_budget = Millis(20);
+  tight.initial_backoff = Millis(5);
+  tight.managers = addresses_;
+  LeaseClient c2(fabric_, "c2", tight);
+  EXPECT_EQ(c2.Acquire(dir_).code(), Errc::kBusy);
+}
+
+TEST_F(LeaseHaTest, PartitionedActiveAbdicatesViaEpochRecord) {
+  // Cut the active replica off from both standbys. The standbys elect a new
+  // active through the store; the old active — which never receives the
+  // announce ping — must notice its deposition from the epoch record audit.
+  fabric_->BlockPair(addresses_[0], addresses_[1]);
+  fabric_->BlockPair(addresses_[0], addresses_[2]);
+
+  ASSERT_TRUE(WaitFor([&] { return ActiveReplica() > 0; }));
+  ASSERT_TRUE(WaitFor([&] { return !managers_[0]->is_active(); }));
+  EXPECT_EQ(ClaimingActiveCount(), 1);
+
+  fabric_->HealPartitions();
+  // Healing must not resurrect the deposed replica.
+  SleepFor(Millis(50));
+  EXPECT_FALSE(managers_[0]->is_active());
+  EXPECT_EQ(ClaimingActiveCount(), 1);
+  EXPECT_GE(managers_[0]->epoch(), 2u);
+}
+
+TEST_F(LeaseHaTest, ReleaseFromDeposedLeaderIgnored) {
+  auto c1 = MakeClient("c1");
+  auto c2 = MakeClient("c2");
+  auto old_grant = c1.Acquire(dir_);
+  ASSERT_TRUE(old_grant.ok());
+
+  managers_[0]->Stop();
+  ASSERT_TRUE(WaitFor([&] { return ActiveReplica() > 0; }));
+
+  // Successor takes the directory under the new epoch.
+  auto new_grant = c2.Acquire(dir_);
+  ASSERT_TRUE(new_grant.ok());
+  EXPECT_EQ(new_grant->token.epoch, 2u);
+
+  // The deposed leader's release arrives late. Its token no longer matches
+  // the live lease, so it must not evict the successor.
+  ASSERT_TRUE(c1.Release(dir_, old_grant->token).ok());
+  auto leader = c2.LookupLeader(dir_);
+  ASSERT_TRUE(leader.ok());
+  ASSERT_TRUE(leader->has_value());
+  EXPECT_EQ(**leader, "c2");
+}
+
+TEST_F(LeaseHaTest, LateReleaseAfterReacquireBySameClientIgnored) {
+  auto c1 = MakeClient("c1");
+  auto first = c1.Acquire(dir_);
+  ASSERT_TRUE(first.ok());
+  SleepFor(config_.lease_period + Millis(50));
+
+  // Same client, new tenure: a fresh fencing token.
+  auto second = c1.Acquire(dir_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(first->token < second->token);
+
+  // A delayed release from the first tenure must not kill the second.
+  ASSERT_TRUE(c1.Release(dir_, first->token).ok());
+  auto leader = c1.LookupLeader(dir_);
+  ASSERT_TRUE(leader.ok());
+  ASSERT_TRUE(leader->has_value());
+  EXPECT_EQ(**leader, "c1");
+
+  // The live token does release it.
+  ASSERT_TRUE(c1.Release(dir_, second->token).ok());
+  leader = c1.LookupLeader(dir_);
+  ASSERT_TRUE(leader.ok());
+  EXPECT_FALSE(leader->has_value());
+}
+
+TEST_F(LeaseHaTest, DoubleAcquireAcrossExpiryLeavesOneLiveLease) {
+  auto c1 = MakeClient("c1");
+  auto c2 = MakeClient("c2");
+  auto g1 = c1.Acquire(dir_);
+  ASSERT_TRUE(g1.ok());
+  SleepFor(config_.lease_period + Millis(50));
+
+  auto g2 = c2.Acquire(dir_);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_TRUE(g1->token < g2->token);
+
+  // The original holder's extension attempt is a redirect, not a grant:
+  // exactly one live lease exists.
+  auto denied = c1.Acquire(dir_);
+  ASSERT_FALSE(denied.ok());
+  ASSERT_TRUE(IsRedirect(denied.status()));
+  EXPECT_EQ(denied.status().detail(), "c2");
+  EXPECT_EQ(managers_[0]->ActiveLeaseCount(), 1u);
+}
+
+TEST_F(LeaseHaTest, RevivedReplicaRejoinsAsStandby) {
+  managers_[0]->Stop();
+  ASSERT_TRUE(WaitFor([&] { return ActiveReplica() > 0; }));
+  const int active = ActiveReplica();
+
+  ASSERT_TRUE(managers_[0]->Start().ok());
+  // The epoch moved on while replica 0 was down: it must come back standby.
+  EXPECT_FALSE(managers_[0]->is_active());
+  EXPECT_GE(managers_[0]->epoch(), 2u);
+  EXPECT_EQ(ActiveReplica(), active);
+  EXPECT_EQ(ClaimingActiveCount(), 1);
+}
+
+// Satellite regression: a transient manager blip (dropped packets, brief
+// partition) must be absorbed by the transport retry policy instead of
+// surfacing kTimedOut from one flaky RPC. Uses an unreplicated manager so no
+// failover machinery can mask the retry path under test.
+TEST(LeaseFlakyFabricTest, AcquireRidesOutManagerBlip) {
+  auto fabric = std::make_shared<rpc::Fabric>(sim::NetworkProfile::Instant());
+  LeaseManager manager(fabric, LeaseManagerConfig::ForTests());
+  ASSERT_TRUE(manager.Start().ok());
+
+  LeaseClient::Options options;
+  options.wait_budget = Millis(500);
+  options.initial_backoff = Millis(1);
+  options.rpc_retry.max_attempts = 30;
+  options.rpc_retry.initial_backoff = Millis(1);
+  options.rpc_retry.max_backoff = Millis(5);
+  options.rpc_retry.deadline = Millis(500);
+  LeaseClient c1(fabric, "c1", options);
+
+  fabric->SetUnreachable(kManagerAddress, true);
+  std::thread healer([&] {
+    SleepFor(Millis(25));
+    fabric->SetUnreachable(kManagerAddress, false);
+  });
+  auto grant = c1.Acquire(DeterministicUuid(5, 5));
+  healer.join();
+  ASSERT_TRUE(grant.ok()) << grant.status().ToString();
+  EXPECT_TRUE(grant->token.valid());
+  manager.Stop();
+}
+
+}  // namespace
+}  // namespace arkfs::lease

@@ -19,6 +19,12 @@ class LeaseTest : public ::testing::Test {
     LeaseClient::Options options;
     options.wait_budget = Millis(500);
     options.initial_backoff = Millis(1);
+    // Keep transport retries short so unreachable-manager tests don't ride
+    // the 2 s production deadline.
+    options.rpc_retry.max_attempts = 3;
+    options.rpc_retry.initial_backoff = Millis(1);
+    options.rpc_retry.max_backoff = Millis(5);
+    options.rpc_retry.deadline = Millis(100);
     return LeaseClient(fabric_, name, options);
   }
 
@@ -172,6 +178,185 @@ TEST_F(LeaseTest, ManagerUnreachableSurfacesTimeout) {
   manager_->Stop();
   auto c1 = MakeClient("c1");
   EXPECT_EQ(c1.Acquire(dir_).code(), Errc::kTimedOut);
+}
+
+TEST_F(LeaseTest, GrantCarriesFencingToken) {
+  auto c1 = MakeClient("c1");
+  auto grant = c1.Acquire(dir_);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_TRUE(grant->token.valid());
+  EXPECT_EQ(grant->token.epoch, manager_->epoch());
+
+  // Extension keeps the token; a new tenure after expiry gets a fresh one.
+  auto extended = c1.Acquire(dir_);
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(extended->token, grant->token);
+
+  SleepFor(config_.lease_period + Millis(50));
+  auto fresh = c1.Acquire(dir_);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(grant->token < fresh->token);
+}
+
+// --- wire-codec hardening -------------------------------------------------
+//
+// Lease grants are the root of all fencing decisions, so every message must
+// reject truncated input, trailing garbage, and out-of-range enums instead
+// of decoding to something plausible.
+
+template <typename Message>
+void ExpectStrictCodec(const Message& message) {
+  const Bytes encoded = message.Encode();
+  // Round trip succeeds on the exact bytes.
+  ASSERT_TRUE(Message::Decode(encoded).ok());
+  // Every strict prefix is rejected (truncation sweep).
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    Bytes truncated(encoded.begin(), encoded.begin() + len);
+    EXPECT_FALSE(Message::Decode(truncated).ok())
+        << "decoded a " << len << "-byte prefix of a " << encoded.size()
+        << "-byte message";
+  }
+  // Trailing garbage is rejected.
+  Bytes padded = encoded;
+  padded.push_back(0x5a);
+  EXPECT_FALSE(Message::Decode(padded).ok());
+}
+
+TEST(LeaseWireTest, AcquireRequestCodec) {
+  AcquireRequest req;
+  req.dir_ino = DeterministicUuid(7, 7);
+  req.client = "client-3";
+  ExpectStrictCodec(req);
+  auto copy = AcquireRequest::Decode(req.Encode());
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->dir_ino, req.dir_ino);
+  EXPECT_EQ(copy->client, req.client);
+}
+
+TEST(LeaseWireTest, AcquireResponseCodec) {
+  AcquireResponse resp;
+  resp.outcome = AcquireOutcome::kGranted;
+  resp.leader = "c1";
+  resp.lease_until_ns = 123456789;
+  resp.fresh = true;
+  resp.prev_leader = "c0";
+  resp.token = FenceToken{4, 17};
+  ExpectStrictCodec(resp);
+  auto copy = AcquireResponse::Decode(resp.Encode());
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->outcome, resp.outcome);
+  EXPECT_EQ(copy->leader, resp.leader);
+  EXPECT_EQ(copy->lease_until_ns, resp.lease_until_ns);
+  EXPECT_EQ(copy->fresh, resp.fresh);
+  EXPECT_EQ(copy->prev_leader, resp.prev_leader);
+  EXPECT_EQ(copy->token, resp.token);
+}
+
+TEST(LeaseWireTest, AcquireResponseRejectsUnknownOutcome) {
+  AcquireResponse resp;
+  resp.outcome = AcquireOutcome::kNotActive;
+  Bytes encoded = resp.Encode();
+  encoded[0] = 0x7f;  // outcome is the first byte
+  EXPECT_FALSE(AcquireResponse::Decode(encoded).ok());
+}
+
+TEST(LeaseWireTest, ReleaseRequestCodec) {
+  ReleaseRequest req;
+  req.dir_ino = DeterministicUuid(9, 1);
+  req.client = "client-1";
+  req.token = FenceToken{2, 5};
+  ExpectStrictCodec(req);
+  auto copy = ReleaseRequest::Decode(req.Encode());
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->token, req.token);
+}
+
+TEST(LeaseWireTest, RecoveryRequestCodec) {
+  RecoveryRequest req;
+  req.dir_ino = DeterministicUuid(9, 2);
+  req.client = "client-2";
+  req.phase = RecoveryPhase::kEnd;
+  ExpectStrictCodec(req);
+}
+
+TEST(LeaseWireTest, LookupCodecs) {
+  LookupRequest req;
+  req.dir_ino = DeterministicUuid(9, 3);
+  ExpectStrictCodec(req);
+  LookupResponse resp;
+  resp.has_leader = true;
+  resp.leader = "c9";
+  ExpectStrictCodec(resp);
+}
+
+TEST(LeaseWireTest, PingCodecs) {
+  PingRequest req;
+  req.epoch = 12;
+  req.from = "lease-manager-2";
+  ExpectStrictCodec(req);
+  PingResponse resp;
+  resp.epoch = 12;
+  resp.active = true;
+  resp.active_hint = "lease-manager-0";
+  ExpectStrictCodec(resp);
+  auto copy = PingResponse::Decode(resp.Encode());
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->epoch, 12u);
+  EXPECT_TRUE(copy->active);
+  EXPECT_EQ(copy->active_hint, "lease-manager-0");
+}
+
+TEST(LeaseWireTest, EpochRecordCodec) {
+  EpochRecord rec;
+  rec.epoch = 42;
+  rec.active = "lease-manager-1";
+  ExpectStrictCodec(rec);
+  auto copy = EpochRecord::Decode(rec.Encode());
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->epoch, 42u);
+  EXPECT_EQ(copy->active, "lease-manager-1");
+}
+
+TEST(LeaseWireTest, EpochRecordRejectsCorruption) {
+  EpochRecord rec;
+  rec.epoch = 7;
+  rec.active = "lease-manager-0";
+  const Bytes good = rec.Encode();
+
+  Bytes bad_magic = good;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(EpochRecord::Decode(bad_magic).ok());
+
+  // A flipped bit anywhere in the body trips the CRC.
+  for (std::size_t i = 4; i < good.size(); ++i) {
+    Bytes flipped = good;
+    flipped[i] ^= 0x01;
+    EXPECT_FALSE(EpochRecord::Decode(flipped).ok()) << "byte " << i;
+  }
+
+  EXPECT_FALSE(EpochRecord::Decode(Bytes{}).ok());
+  EXPECT_FALSE(EpochRecord::Decode(Bytes{0xde, 0xad, 0xbe, 0xef}).ok());
+}
+
+TEST(LeaseWireTest, FenceObjectCodec) {
+  const FenceToken token{3, 9};
+  const Bytes encoded = EncodeFenceObject(token);
+  auto decoded = DecodeFenceObject(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, token);
+
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    Bytes truncated(encoded.begin(), encoded.begin() + len);
+    EXPECT_FALSE(DecodeFenceObject(truncated).ok()) << "prefix " << len;
+  }
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    Bytes flipped = encoded;
+    flipped[i] ^= 0x01;
+    EXPECT_FALSE(DecodeFenceObject(flipped).ok()) << "byte " << i;
+  }
+  Bytes padded = encoded;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeFenceObject(padded).ok());
 }
 
 }  // namespace
