@@ -66,7 +66,15 @@ Status ArkFsCluster::ReviveLeaseReplica(int replica) {
   if (replica < 0 || replica >= lease_replica_count()) {
     return ErrStatus(Errc::kInval, "no such lease replica");
   }
-  return lease_managers_[static_cast<std::size_t>(replica)]->Start();
+  auto& slot = lease_managers_[static_cast<std::size_t>(replica)];
+  // True crash-restart semantics: the revived process has no memory of its
+  // previous life. Reconstruct the manager so leases_, epoch and fence state
+  // are re-derived from the shared store's epoch record — reviving the old
+  // object would only model a pause/partition, never an amnesiac restart.
+  lease::LeaseManagerConfig config = slot->config();
+  slot->Stop();
+  slot = std::make_unique<lease::LeaseManager>(fabric_, store_, config);
+  return slot->Start();
 }
 
 Result<std::shared_ptr<Client>> ArkFsCluster::AddClient(std::string name) {

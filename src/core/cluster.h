@@ -67,8 +67,12 @@ class ArkFsCluster {
   // Index of the replica currently claiming active, or -1 if none does
   // (mid-failover, or everything is down).
   int ActiveLeaseReplica();
-  // Chaos hooks: stop/revive one replica. Stop models a crash/partition of
-  // the manager process — leases it granted stay valid until they expire.
+  // Chaos hooks: stop/revive one replica. Kill models a crash of the manager
+  // process — leases it granted stay valid until they expire. Revive is an
+  // amnesiac restart: a FRESH LeaseManager over the shared store (all
+  // in-memory lease/epoch/fence state lost, role re-resolved from the epoch
+  // record), so references obtained via lease_manager(replica) before the
+  // revive are invalidated.
   Status KillLeaseReplica(int replica);
   Status ReviveLeaseReplica(int replica);
 

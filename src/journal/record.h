@@ -82,12 +82,21 @@ struct Transaction {
 };
 
 // Serializes one framed transaction (magic/seq/epoch/fseq/len/payload/crc).
+// Always writes the current (v2) frame format.
 Bytes EncodeTransaction(const Transaction& txn);
 
 // Parses all complete, CRC-valid transactions from a journal object. A torn
 // or corrupt tail terminates the scan cleanly (those bytes never committed).
+// Accepts both frame formats: v2 frames carry the committing leader's fence
+// token; v1 frames (written before lease-HA fencing existed) decode with a
+// zero token — epoch 0 is the legacy/unfenced marker, so pre-upgrade
+// journals replay losslessly instead of being dropped as torn tails.
 std::vector<Transaction> ParseJournal(ByteSpan data);
 
-inline constexpr std::uint32_t kTxnMagic = 0x414B4A54;  // "AKJT"
+// Frame magics double as format versions: the fence token grew the v2
+// header by 16 bytes, so v2 frames carry a new magic rather than silently
+// changing the layout under "AKJT".
+inline constexpr std::uint32_t kTxnMagic = 0x414B4A32;    // "AKJ2" (v2, fenced)
+inline constexpr std::uint32_t kTxnMagicV1 = 0x414B4A54;  // "AKJT" (v1, legacy)
 
 }  // namespace arkfs::journal

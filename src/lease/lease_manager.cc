@@ -30,6 +30,10 @@ int LeaseManager::Rank() const {
   return static_cast<int>(it - config_.group.begin());
 }
 
+std::uint64_t LeaseManager::BaseFenceSeq() const {
+  return static_cast<std::uint64_t>(Rank()) << 48;
+}
+
 // mu_ held.
 void LeaseManager::ResolveRoleLocked() {
   if (!store_) {
@@ -51,14 +55,45 @@ void LeaseManager::ResolveRoleLocked() {
       active_hint_.clear();
       return;
     }
-    if (rec->epoch > epoch_ || (active_ && rec->active != config_.self_address)) {
-      // The group moved on while this replica was down (or never ran).
-      epoch_ = std::max(epoch_, rec->epoch);
-      fence_seq_ = 0;
+    if (rec->active == config_.self_address) {
+      // The record still names this replica, but this is a fresh process (or
+      // a Stop/Start rejoin) with no memory of the grants its previous life
+      // issued: resuming at the recorded epoch with a reset grant counter
+      // would re-mint those very tokens and double-grant a still-live lease.
+      // Treat it exactly like Restart(): resume only under a NEW persisted
+      // epoch and serve a quiet period of one lease term first.
+      const std::uint64_t new_epoch = std::max(epoch_, rec->epoch) + 1;
+      const EpochRecord bumped{new_epoch, config_.self_address};
+      if (Status st = store_->Put(kEpochRecordKey, bumped.Encode()); !st.ok()) {
+        // Cannot fence the previous life's grants; claiming activeness
+        // anyway would be exactly the double-grant hazard. Stay standby and
+        // let the takeover path (or a retry of Start) sort it out.
+        ARKFS_WLOG << "lease replica " << config_.self_address
+                   << ": named active after restart but cannot persist epoch "
+                   << new_epoch << " (" << st.detail()
+                   << "); starting as standby";
+        active_ = false;
+        active_hint_.clear();
+        return;
+      }
+      leases_.clear();
+      epoch_ = new_epoch;
+      fence_seq_ = BaseFenceSeq();
+      active_ = true;
+      active_hint_ = config_.self_address;
+      quiet_until_ = Now() + config_.lease_period;
+      ARKFS_ILOG << "lease replica " << config_.self_address
+                 << " resumed active after restart; epoch " << new_epoch
+                 << ", quiet period "
+                 << config_.lease_period.count() / 1e6 << "ms";
+      return;
     }
-    active_ = (rec->active == config_.self_address);
+    // Another replica is (or was last) active: join as a standby at the
+    // record's epoch.
+    epoch_ = std::max(epoch_, rec->epoch);
+    fence_seq_ = BaseFenceSeq();
+    active_ = false;
     active_hint_ = rec->active;
-    if (rec->epoch > epoch_) epoch_ = rec->epoch;
     return;
   }
   if (raw.status().code() != Errc::kNoEnt) {
@@ -77,6 +112,7 @@ void LeaseManager::ResolveRoleLocked() {
                  << ": cannot persist bootstrap epoch record: " << st.detail();
     }
     active_ = true;
+    fence_seq_ = BaseFenceSeq();
     active_hint_ = config_.self_address;
   } else {
     active_ = false;
@@ -144,8 +180,29 @@ void LeaseManager::Stop() {
 void LeaseManager::Restart() {
   std::lock_guard lock(mu_);
   leases_.clear();
+  if (store_ && active_) {
+    // Re-read the record before persisting the bump: a deposed-but-unaware
+    // replica (partitioned through the successor's takeover) must not
+    // clobber the successor's claim and seize activeness outside the
+    // takeover protocol. Only a record that still names this replica may be
+    // advanced here; an unreadable record falls through and bumps anyway, so
+    // a store blip cannot strand a single-replica group with no active.
+    if (Result<Bytes> raw = store_->Get(kEpochRecordKey); raw.ok()) {
+      if (Result<EpochRecord> rec = EpochRecord::Decode(*raw);
+          rec.ok() && rec->active != config_.self_address) {
+        active_ = false;
+        epoch_ = std::max(epoch_, rec->epoch);
+        fence_seq_ = BaseFenceSeq();
+        active_hint_ = rec->active;
+        ARKFS_ILOG << "lease manager restart: already deposed by "
+                   << rec->active << " (epoch " << rec->epoch
+                   << "); rejoining as standby";
+        return;
+      }
+    }
+  }
   ++epoch_;
-  fence_seq_ = 0;
+  fence_seq_ = BaseFenceSeq();
   quiet_until_ = Now() + config_.lease_period;
   if (store_ && active_) {
     const EpochRecord rec{epoch_, config_.self_address};
@@ -197,7 +254,7 @@ void LeaseManager::HeartbeatMain() {
           std::lock_guard lock(mu_);
           if (resp->epoch > epoch_) {
             epoch_ = resp->epoch;
-            fence_seq_ = 0;
+            fence_seq_ = BaseFenceSeq();
           }
           if (!resp->active && !resp->active_hint.empty() &&
               resp->active_hint != target) {
@@ -226,14 +283,23 @@ void LeaseManager::AuditEpochRecord() {
   Result<EpochRecord> rec = EpochRecord::Decode(*raw);
   if (!rec.ok()) return;
   std::lock_guard lock(mu_);
-  if (!active_ || rec->epoch <= epoch_) return;
+  if (!active_) return;
+  if (rec->active == config_.self_address) {
+    if (rec->epoch > epoch_) epoch_ = rec->epoch;
+    return;
+  }
+  // The record names another replica — abdicate at ANY epoch, not just a
+  // higher one. Epoch equality is not proof of ownership: two standbys
+  // racing the non-atomic Get/Put/Get takeover can both confirm the same
+  // new epoch (the loser's Put lands after the winner's confirm read), and
+  // the only durable tiebreak is whose name the record carries now.
   ARKFS_ILOG << "lease replica " << config_.self_address
-             << " observed epoch " << rec->epoch << " in the record (was "
-             << epoch_ << "); abdicating to " << rec->active;
+             << " observed the record naming " << rec->active << " at epoch "
+             << rec->epoch << " (own epoch " << epoch_ << "); abdicating";
   leases_.clear();
   active_ = false;
-  epoch_ = rec->epoch;
-  fence_seq_ = 0;
+  epoch_ = std::max(epoch_, rec->epoch);
+  fence_seq_ = BaseFenceSeq();
   active_hint_ = rec->active;
 }
 
@@ -253,7 +319,7 @@ void LeaseManager::TryTakeover() {
       if (rec->epoch > current_epoch) {
         std::lock_guard lock(mu_);
         epoch_ = rec->epoch;
-        fence_seq_ = 0;
+        fence_seq_ = BaseFenceSeq();
         active_hint_ = rec->active;
         return;  // someone else already took over; follow them
       }
@@ -275,7 +341,7 @@ void LeaseManager::TryTakeover() {
     std::lock_guard lock(mu_);
     if (rec->epoch > epoch_) {
       epoch_ = rec->epoch;
-      fence_seq_ = 0;
+      fence_seq_ = BaseFenceSeq();
     }
     active_hint_ = rec->active;
     return;  // lost the race
@@ -284,7 +350,7 @@ void LeaseManager::TryTakeover() {
     std::lock_guard lock(mu_);
     leases_.clear();
     epoch_ = new_epoch;
-    fence_seq_ = 0;
+    fence_seq_ = BaseFenceSeq();
     active_ = true;
     active_hint_ = config_.self_address;
     // One full lease term of quiet: any lease the dead active granted may
@@ -321,7 +387,7 @@ PingResponse LeaseManager::Ping(const PingRequest& req) {
     }
     active_ = false;
     epoch_ = req.epoch;
-    fence_seq_ = 0;
+    fence_seq_ = BaseFenceSeq();
     active_hint_ = req.from;
   }
   PingResponse resp;

@@ -94,7 +94,11 @@ class LeaseManager {
   // Binds the manager's endpoint at config.self_address, resolves this
   // replica's role from the epoch record, and (in a group) starts the
   // heartbeat thread. Start after Stop rejoins the group: if the epoch moved
-  // on while this replica was down it comes back as a standby.
+  // on while this replica was down it comes back as a standby. If the record
+  // still names this replica it resumes active, but only under a freshly
+  // persisted epoch and a quiet period (Restart() semantics): the process
+  // has no memory of its previous life's grants, so resuming at the old
+  // epoch with a reset grant counter would re-mint still-live tokens.
   Status Start();
   void Stop();
 
@@ -140,14 +144,23 @@ class LeaseManager {
   void ResolveRoleLocked();
   // Standby heartbeat loop; promotes via TryTakeover on missed probes.
   void HeartbeatMain();
-  // Active-side deposition check: re-reads the epoch record and abdicates if
-  // the group moved past this replica's epoch (covers the partitioned-active
-  // case where the successor's announce ping never arrives).
+  // Active-side deposition check: re-reads the epoch record and abdicates
+  // the moment it stops naming this replica — even at an equal epoch, since
+  // two standbys racing the non-atomic Get/Put/Get takeover can briefly both
+  // confirm the same epoch and the record's named active is the tiebreak.
+  // (Also covers the partitioned-active case where the successor's announce
+  // ping never arrives.)
   void AuditEpochRecord();
   void TryTakeover();
   // Announce the (new) epoch to every peer so a deposed active abdicates.
   void AnnounceEpoch(std::uint64_t epoch);
   int Rank() const;  // index of self in group (0 if absent/unreplicated)
+  // Starting value of the per-epoch grant sequence: rank << 48, so two
+  // replicas transiently claiming the same epoch (same-epoch split brain is
+  // resolvable but not instantaneously preventable without a conditional
+  // store write) still mint disjoint, totally ordered FenceTokens and the
+  // journal fence check can always tell their grants apart.
+  std::uint64_t BaseFenceSeq() const;
 
   const LeaseManagerConfig config_;
   rpc::FabricPtr fabric_;

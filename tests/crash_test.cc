@@ -348,6 +348,36 @@ TEST_F(CrashTest, FencedWritesRedrivenUnderSuccessorEpoch) {
   }
 }
 
+TEST_F(CrashTest, RevivedLeaseReplicaIsAmnesiac) {
+  // Revive must model a crash-restart, not a pause: the revived replica is a
+  // fresh process over the shared store. Even if it wins its role back
+  // before any standby notices the outage, it may only resume under a
+  // bumped, persisted epoch — resuming at the old epoch with a reset grant
+  // counter would re-mint the tokens its previous life handed out.
+  auto store = std::make_shared<MemoryObjectStore>();
+  auto options = ArkFsClusterOptions::ForTests();
+  options.lease_replicas = 3;
+  auto cluster = ArkFsCluster::Create(store, options).value();
+
+  const int active = cluster->ActiveLeaseReplica();
+  ASSERT_GE(active, 0);
+  const std::uint64_t before = cluster->lease_manager(active).epoch();
+
+  ASSERT_TRUE(cluster->KillLeaseReplica(active).ok());
+  ASSERT_TRUE(cluster->ReviveLeaseReplica(active).ok());
+
+  const TimePoint deadline = Now() + Seconds(3);
+  int now_active = cluster->ActiveLeaseReplica();
+  while (now_active < 0 && Now() < deadline) {
+    SleepFor(Millis(5));
+    now_active = cluster->ActiveLeaseReplica();
+  }
+  ASSERT_GE(now_active, 0);
+  // Whoever serves now — the revived replica or a standby that took over —
+  // does so under a strictly newer epoch than the pre-crash tenure.
+  EXPECT_GE(cluster->lease_manager(now_active).epoch(), before + 1);
+}
+
 TEST_F(CrashTest, RepeatedCrashesConverge) {
   for (int round = 0; round < 3; ++round) {
     auto c = cluster_->AddClient("round-" + std::to_string(round)).value();

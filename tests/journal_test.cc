@@ -86,6 +86,81 @@ TEST(RecordTest, EmptyJournalParsesEmpty) {
   EXPECT_TRUE(ParseJournal(garbage).empty());
 }
 
+// A v1 frame exactly as the pre-fencing encoder wrote it: "AKJT" magic,
+// seq + len + payload, CRC over seq/len/payload — no fence token fields.
+Bytes EncodeLegacyV1Transaction(const Transaction& txn) {
+  Encoder payload(256);
+  payload.PutVarint(txn.records.size());
+  for (const auto& r : txn.records) r.EncodeTo(payload);
+
+  Encoder framed(payload.size() + 24);
+  framed.PutU32(kTxnMagicV1);
+  framed.PutU64(txn.seq);
+  framed.PutU32(static_cast<std::uint32_t>(payload.size()));
+  framed.PutRaw(payload.buffer());
+  Encoder crc_input(payload.size() + 16);
+  crc_input.PutU64(txn.seq);
+  crc_input.PutU32(static_cast<std::uint32_t>(payload.size()));
+  crc_input.PutRaw(payload.buffer());
+  framed.PutU32(Crc32c(crc_input.buffer()));
+  return std::move(framed).Take();
+}
+
+TEST(RecordTest, LegacyV1FramesParseAsUnfenced) {
+  // A journal written before the fence token grew the frame header must
+  // replay losslessly — acked pre-upgrade transactions are not torn tails.
+  Transaction txn;
+  txn.seq = 7;
+  txn.records.push_back(Record::DentryRemove("pre-upgrade"));
+  txn.records.push_back(Record::InodeUpsert(TestInode(3)));
+
+  auto parsed = ParseJournal(EncodeLegacyV1Transaction(txn));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].seq, 7u);
+  EXPECT_EQ(parsed[0].records.size(), 2u);
+  // Epoch 0 = legacy/unfenced, same convention as missing fence objects.
+  EXPECT_FALSE(parsed[0].fence.valid());
+}
+
+TEST(RecordTest, MixedV1ThenV2JournalParses) {
+  // An upgraded node appends fenced v2 frames after the legacy tail.
+  Transaction old_txn;
+  old_txn.seq = 1;
+  old_txn.records.push_back(Record::DentryRemove("old"));
+  Transaction new_txn;
+  new_txn.seq = 2;
+  new_txn.fence = FenceToken{3, 9};
+  new_txn.records.push_back(Record::DentryRemove("new"));
+
+  Bytes journal = EncodeLegacyV1Transaction(old_txn);
+  const Bytes fenced = EncodeTransaction(new_txn);
+  journal.insert(journal.end(), fenced.begin(), fenced.end());
+
+  auto parsed = ParseJournal(journal);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].seq, 1u);
+  EXPECT_FALSE(parsed[0].fence.valid());
+  EXPECT_EQ(parsed[1].seq, 2u);
+  EXPECT_EQ(parsed[1].fence, (FenceToken{3, 9}));
+}
+
+TEST(RecordTest, TornLegacyV1TailIsDiscarded) {
+  Transaction a;
+  a.seq = 1;
+  a.records.push_back(Record::DentryRemove("kept"));
+  Transaction b;
+  b.seq = 2;
+  b.records.push_back(Record::DentryRemove("torn"));
+
+  Bytes journal = EncodeLegacyV1Transaction(a);
+  const Bytes second = EncodeLegacyV1Transaction(b);
+  journal.insert(journal.end(), second.begin(),
+                 second.begin() + second.size() / 2);
+  auto parsed = ParseJournal(journal);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].seq, 1u);
+}
+
 class JournalManagerTest : public ::testing::Test {
  protected:
   JournalManagerTest()

@@ -191,6 +191,109 @@ TEST_F(LeaseHaTest, PartitionedActiveAbdicatesViaEpochRecord) {
   EXPECT_GE(managers_[0]->epoch(), 2u);
 }
 
+TEST_F(LeaseHaTest, SameEpochRecordNamingPeerForcesAbdication) {
+  // Two standbys racing the non-atomic Get/Put/Get takeover can both confirm
+  // the same new epoch (the loser's Put lands after the winner's confirm
+  // read). Ownership is decided by the record's named active, not by epoch
+  // comparison — simulate the losing side by rewriting the record to name a
+  // peer at replica 0's OWN epoch.
+  ASSERT_TRUE(managers_[0]->is_active());
+  const EpochRecord rival{managers_[0]->epoch(), addresses_[1]};
+  ASSERT_TRUE(store_->Put(kEpochRecordKey, rival.Encode()).ok());
+
+  // The active audits the record every heartbeat tick and must abdicate on
+  // the name mismatch even though the epoch never moved.
+  ASSERT_TRUE(WaitFor([&] { return !managers_[0]->is_active(); }));
+}
+
+TEST(LeaseAmnesiacRestartTest, CrashRestartedActiveResumesUnderNewEpoch) {
+  // A crashed active comes back as a FRESH process over the same store while
+  // the epoch record still names it. It must not resume at the recorded
+  // epoch with a reset grant counter — that would re-mint the tokens its
+  // previous life granted — but bump the epoch and serve a quiet period,
+  // exactly like an in-place Restart(). Single-replica group: no heartbeat
+  // thread, so the test is deterministic.
+  auto fabric = std::make_shared<rpc::Fabric>(sim::NetworkProfile::Instant());
+  auto store = std::make_shared<MemoryObjectStore>();
+  LeaseManagerConfig config = LeaseManagerConfig::ForTests();
+  config.self_address = "lease-manager-0";
+  config.group = {"lease-manager-0"};
+
+  auto manager = std::make_unique<LeaseManager>(fabric, store, config);
+  ASSERT_TRUE(manager->Start().ok());
+  ASSERT_TRUE(manager->is_active());
+  EXPECT_EQ(manager->epoch(), 1u);
+
+  LeaseClient::Options options;
+  options.wait_budget = Seconds(2);
+  options.initial_backoff = Millis(2);
+  options.managers = {config.self_address};
+  LeaseClient c1(fabric, "c1", options);
+  const Uuid dir = DeterministicUuid(2, 2);
+  auto old_grant = c1.Acquire(dir);
+  ASSERT_TRUE(old_grant.ok());
+  EXPECT_EQ(old_grant->token.epoch, 1u);
+
+  // Hard crash: destroy the process's state, start a fresh manager.
+  manager->Stop();
+  manager = std::make_unique<LeaseManager>(fabric, store, config);
+  ASSERT_TRUE(manager->Start().ok());
+  EXPECT_TRUE(manager->is_active());
+  EXPECT_EQ(manager->epoch(), 2u);
+
+  // The bumped epoch is persisted, fencing the previous life durably.
+  auto rec = EpochRecord::Decode(*store->Get(kEpochRecordKey));
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->epoch, 2u);
+
+  // Quiet period first: c1's pre-crash lease may still be live.
+  LeaseClient::Options tight;
+  tight.wait_budget = Millis(20);
+  tight.initial_backoff = Millis(5);
+  tight.managers = {config.self_address};
+  LeaseClient c2(fabric, "c2", tight);
+  EXPECT_EQ(c2.Acquire(dir).code(), Errc::kBusy);
+
+  // Once the quiet period drains, the new tenure's grants strictly dominate
+  // every pre-crash token — never equal one.
+  auto new_grant = c1.Acquire(dir);
+  ASSERT_TRUE(new_grant.ok());
+  EXPECT_EQ(new_grant->token.epoch, 2u);
+  EXPECT_TRUE(old_grant->token < new_grant->token);
+  manager->Stop();
+}
+
+TEST(LeaseDeposedRestartTest, RestartWhileDeposedDoesNotClobberSuccessor) {
+  // A deposed-but-unaware active calling Restart() must notice the successor
+  // in the epoch record and rejoin as a standby instead of clobbering the
+  // record and seizing activeness outside the takeover protocol.
+  // Single-replica group: no heartbeat/audit thread, so the manager still
+  // believes it is active when Restart() runs.
+  auto fabric = std::make_shared<rpc::Fabric>(sim::NetworkProfile::Instant());
+  auto store = std::make_shared<MemoryObjectStore>();
+  LeaseManagerConfig config = LeaseManagerConfig::ForTests();
+  config.self_address = "lease-manager-0";
+  config.group = {"lease-manager-0"};
+
+  LeaseManager manager(fabric, store, config);
+  ASSERT_TRUE(manager.Start().ok());
+  ASSERT_TRUE(manager.is_active());
+
+  // Behind its back, a successor moved the record on.
+  const EpochRecord successor{5, "lease-manager-1"};
+  ASSERT_TRUE(store->Put(kEpochRecordKey, successor.Encode()).ok());
+
+  manager.Restart();
+  EXPECT_FALSE(manager.is_active());
+  EXPECT_EQ(manager.epoch(), 5u);
+
+  auto rec = EpochRecord::Decode(*store->Get(kEpochRecordKey));
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->epoch, 5u);
+  EXPECT_EQ(rec->active, "lease-manager-1");
+  manager.Stop();
+}
+
 TEST_F(LeaseHaTest, ReleaseFromDeposedLeaderIgnored) {
   auto c1 = MakeClient("c1");
   auto c2 = MakeClient("c2");
