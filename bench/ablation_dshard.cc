@@ -75,15 +75,15 @@ SweepPoint RunSweep(std::uint32_t shard_count) {
   // Small mutation bursts into the now-large directory: what the paper's
   // steady archiving state looks like between big ingests.
   counting->Reset();
-  const std::uint64_t shard_puts_before = mgr.stats().dentry_shards_written;
+  const std::uint64_t shard_puts_before = mgr.metrics().dentry_shards_written.value();
   mgr.Append(dir, {AddEntry(kDirEntries + 1, "late")});
   if (!mgr.FlushDir(dir).ok()) return point;
   point.burst1_bytes = counting->Snapshot().bytes_written;
   point.burst1_shard_puts =
-      mgr.stats().dentry_shards_written - shard_puts_before;
+      mgr.metrics().dentry_shards_written.value() - shard_puts_before;
 
   counting->Reset();
-  const std::uint64_t puts5_before = mgr.stats().dentry_shards_written;
+  const std::uint64_t puts5_before = mgr.metrics().dentry_shards_written.value();
   std::vector<Record> burst;
   for (std::uint64_t i = 0; i < 5; ++i) {
     burst.push_back(AddEntry(kDirEntries + 10 + i, "late"));
@@ -91,7 +91,7 @@ SweepPoint RunSweep(std::uint32_t shard_count) {
   mgr.Append(dir, std::move(burst));
   if (!mgr.FlushDir(dir).ok()) return point;
   point.burst5_bytes = counting->Snapshot().bytes_written;
-  point.burst5_shard_puts = mgr.stats().dentry_shards_written - puts5_before;
+  point.burst5_shard_puts = mgr.metrics().dentry_shards_written.value() - puts5_before;
   return point;
 }
 

@@ -9,6 +9,11 @@ namespace arkfs {
 
 ObjectCache::ObjectCache(std::shared_ptr<Prt> prt, CacheConfig config)
     : config_(config), prt_(std::move(prt)) {
+  hits_.Attach(config_.metrics, "cache.hits");
+  misses_.Attach(config_.metrics, "cache.misses");
+  readahead_loads_.Attach(config_.metrics, "cache.readahead_loads");
+  writebacks_.Attach(config_.metrics, "cache.writebacks");
+  evictions_.Attach(config_.metrics, "cache.evictions");
   readahead_pool_ = std::make_unique<ThreadPool>(
       static_cast<std::size_t>(std::max(config_.readahead_threads, 1)));
 }
@@ -108,12 +113,12 @@ Result<ObjectCache::EntryPtr> ObjectCache::GetEntryLocked(
         load_cv_.wait(lock, [&] { return !entry->loading; });
         continue;
       }
-      ++stats_.hits;
+      hits_.Add();
       TouchLru(entry);
       ++entry->pins;
       return entry;
     }
-    ++stats_.misses;
+    misses_.Add();
     auto entry = std::make_shared<Entry>();
     entry->ino = ino;
     entry->index = index;
@@ -169,7 +174,7 @@ Status ObjectCache::EvictIfNeededLocked(std::unique_lock<std::mutex>& lock) {
         victim->pins == 0) {
       lru_.erase(victim->lru_pos);
       fit->second.entries.Erase(victim->index);
-      ++stats_.evictions;
+      evictions_.Add();
     }
   }
   return Status::Ok();
@@ -188,7 +193,7 @@ Status ObjectCache::FlushEntryLocked(std::unique_lock<std::mutex>& lock,
     entry->dirty = true;  // retry on next flush
     return st;
   }
-  ++stats_.writebacks;
+  writebacks_.Add();
   return Status::Ok();
 }
 
@@ -287,7 +292,7 @@ Status ObjectCache::FlushEntriesLocked(std::unique_lock<std::mutex>& lock,
 
   for (auto& wb : work) {
     if (wb.result.ok()) {
-      ++stats_.writebacks;
+      writebacks_.Add();
     } else {
       wb.entry->dirty = true;  // retry on next flush
     }
@@ -431,7 +436,7 @@ void ObjectCache::MaybeReadAhead(std::unique_lock<std::mutex>&,
     lru_.emplace_front(ino, index);
     entry->lru_pos = lru_.begin();
     fs.entries.Insert(index, entry);
-    ++stats_.readahead_loads;
+    readahead_loads_.Add();
     window.push_back(std::move(entry));
   }
   if (window.empty()) return;
@@ -445,8 +450,13 @@ void ObjectCache::MaybeReadAhead(std::unique_lock<std::mutex>&,
 }
 
 CacheStats ObjectCache::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  CacheStats s;
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.readahead_loads = readahead_loads_.value();
+  s.writebacks = writebacks_.value();
+  s.evictions = evictions_.value();
+  return s;
 }
 
 std::size_t ObjectCache::entry_count() const {

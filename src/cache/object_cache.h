@@ -21,6 +21,7 @@
 #include "common/clock.h"
 #include "common/thread_pool.h"
 #include "common/uuid.h"
+#include "obs/metrics.h"
 #include "prt/translator.h"
 
 namespace arkfs {
@@ -31,6 +32,9 @@ struct CacheConfig {
   std::uint64_t max_readahead = 8ull << 20;  // paper default: 8 MiB
   std::uint64_t initial_readahead = 2ull << 20;
   int readahead_threads = 2;
+  // Where this cache's "cache.*" metric cells attach; null = process
+  // default registry.
+  obs::MetricsRegistry* metrics = nullptr;
 
   static CacheConfig ForTests() {
     CacheConfig c;
@@ -43,6 +47,8 @@ struct CacheConfig {
   }
 };
 
+// Point-in-time copy of one cache's "cache.*" metric cells (the cells
+// themselves also report into the MetricsRegistry under those names).
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -155,7 +161,13 @@ class ObjectCache {
   std::condition_variable load_cv_;
   std::unordered_map<Uuid, FileState> files_;
   std::list<std::pair<Uuid, std::uint64_t>> lru_;  // front = most recent
-  CacheStats stats_;
+
+  // "cache.*" metric cells (attached to config_.metrics in the ctor).
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter readahead_loads_;
+  obs::Counter writebacks_;
+  obs::Counter evictions_;
 
   std::unique_ptr<ThreadPool> readahead_pool_;
 };

@@ -55,6 +55,9 @@ class OpLatencySet {
   std::string Table() const;
   void Reset();
 
+  // All op names, including the trailing synthetic "other" bucket.
+  const std::vector<std::string>& op_names() const { return names_; }
+
  private:
   std::size_t IndexFor(std::string_view op) const;
 

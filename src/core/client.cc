@@ -3,6 +3,7 @@
 #include "core/client.h"
 
 #include "common/log.h"
+#include "objstore/tracing_store.h"
 
 namespace arkfs {
 
@@ -22,9 +23,27 @@ Status Client::Format(const ObjectStorePtr& store, bool force) {
 
 Client::Client(ObjectStorePtr store, rpc::FabricPtr fabric,
                ClientConfig config)
-    : config_(std::move(config)),
-      store_(std::move(store)),
-      fabric_(std::move(fabric)) {
+    : config_([&] {
+        ClientConfig c = std::move(config);
+        // One registry per client: sub-layer configs that left their
+        // registry unset inherit the client's.
+        if (!c.journal.metrics) c.journal.metrics = c.metrics;
+        if (!c.async.metrics) c.async.metrics = c.metrics;
+        return c;
+      }()),
+      // Every store op this client issues (PRT, journal, cache, async I/O)
+      // goes through the tracing decorator, so an active request trace picks
+      // up its "objstore.*" spans.
+      store_(std::make_shared<TracingStore>(std::move(store))),
+      fabric_(std::move(fabric)),
+      tracer_(config_.trace_capacity) {
+  local_meta_ops_.Attach(config_.metrics, "client.local_meta_ops");
+  forwarded_ops_.Attach(config_.metrics, "client.forwarded_ops");
+  served_remote_ops_.Attach(config_.metrics, "client.served_remote_ops");
+  lease_acquires_.Attach(config_.metrics, "client.lease_acquires");
+  lease_redirects_.Attach(config_.metrics, "client.lease_redirects");
+  perm_cache_hits_.Attach(config_.metrics, "client.perm_cache_hits");
+  recoveries_.Attach(config_.metrics, "client.recoveries");
   prt_ = std::make_shared<Prt>(store_, config_.chunk_size, config_.async);
   lease_ = std::make_unique<lease::LeaseClient>(fabric_, config_.address,
                                                 config_.lease_options);
@@ -123,7 +142,7 @@ Result<Client::DirRef> Client::EnsureDirAccess(const Uuid& dir_ino) {
   // Not (or no longer) leader: try to acquire the lease.
   auto grant = lease_->Acquire(dir_ino);
   if (grant.ok()) {
-    BumpStat(&ClientStats::lease_acquires);
+    lease_acquires_.Add();
     std::unique_lock lock(handle->mu);
     // Double-check: a concurrent EnsureDirAccess may have won.
     if (!handle->leader || Now() >= handle->lease_until) {
@@ -135,7 +154,7 @@ Result<Client::DirRef> Client::EnsureDirAccess(const Uuid& dir_ino) {
     return DirRef{handle, {}};
   }
   if (lease::IsRedirect(grant.status())) {
-    BumpStat(&ClientStats::lease_redirects);
+    lease_redirects_.Add();
     return DirRef{nullptr, grant.status().detail()};
   }
   if (grant.code() == Errc::kTimedOut || grant.code() == Errc::kBusy) {
@@ -211,7 +230,7 @@ Status Client::BecomeLeader(const DirHandlePtr& handle,
       return report.status();
     }
     ARKFS_RETURN_IF_ERROR(lease_->EndRecovery(handle->ino));
-    BumpStat(&ClientStats::recoveries);
+    recoveries_.Add();
     ARKFS_ILOG << config_.address << " recovered dir "
                << handle->ino.ToString() << ": "
                << report->transactions_replayed << " replayed, "
@@ -325,7 +344,7 @@ Status Client::ValidateLeaseLocked(DirHandle& handle) {
 
 Result<Bytes> Client::HandleDirOp(ByteSpan payload) {
   ARKFS_ASSIGN_OR_RETURN(auto req, wire::DirOpRequest::Decode(payload));
-  BumpStat(&ClientStats::served_remote_ops);
+  served_remote_ops_.Add();
   return ServeDirOp(req).Encode();
 }
 
@@ -346,6 +365,15 @@ Result<Bytes> Client::HandleFlushFile(ByteSpan payload) {
 }
 
 wire::DirOpResponse Client::ServeDirOp(const wire::DirOpRequest& req) {
+  // Serve under the requester's trace context (carried in the wire frame):
+  // the leader-side span and every journal/store span the op triggers land
+  // in THIS client's ring, all under the requester's trace id. The local
+  // fast path stamps its own ambient context, so re-rooting is a no-op
+  // there; an untraced request (trace_id 0) installs an inactive scope and
+  // all spans below no-op.
+  obs::TraceScope traced(&tracer_,
+                         obs::TraceContext{req.trace_id, req.parent_span});
+  obs::Span span("client.serve_dir_op");
   wire::DirOpResponse resp;
   DirHandlePtr handle = HandleFor(req.dir_ino);
   const UserCred cred = req.cred.ToCred();
@@ -469,14 +497,25 @@ wire::DirOpResponse Client::ServeDirOp(const wire::DirOpRequest& req) {
   return resp;
 }
 
-void Client::BumpStat(std::uint64_t ClientStats::* field) const {
-  std::lock_guard lock(stats_mu_);
-  stats_.*field += 1;
+ClientStats Client::stats() const {
+  ClientStats s;
+  s.local_meta_ops = local_meta_ops_.value();
+  s.forwarded_ops = forwarded_ops_.value();
+  s.served_remote_ops = served_remote_ops_.value();
+  s.lease_acquires = lease_acquires_.value();
+  s.lease_redirects = lease_redirects_.value();
+  s.perm_cache_hits = perm_cache_hits_.value();
+  s.recoveries = recoveries_.value();
+  return s;
 }
 
-ClientStats Client::stats() const {
-  std::lock_guard lock(stats_mu_);
-  return stats_;
+Vfs::IntrospectReport Client::Introspect() {
+  IntrospectReport report;
+  obs::MetricsRegistry& registry =
+      config_.metrics ? *config_.metrics : obs::MetricsRegistry::Default();
+  report.metrics_text = registry.DumpText();
+  report.spans = tracer_.Spans();
+  return report;
 }
 
 }  // namespace arkfs

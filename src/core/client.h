@@ -37,6 +37,8 @@
 #include "lease/lease_client.h"
 #include "meta/metatable.h"
 #include "meta/path.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "objstore/object_store.h"
 #include "prt/translator.h"
 #include "rpc/fabric.h"
@@ -58,6 +60,14 @@ struct ClientConfig {
   int op_retries = 50;
   Nanos op_retry_backoff{Millis(20)};
 
+  // Where this client's metric cells attach (propagated into the journal
+  // and async-I/O configs when those leave theirs null); null = process
+  // default registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  // Capacity of the per-client span ring buffer (Vfs::Introspect /
+  // tools/arktrace read it back).
+  std::size_t trace_capacity = obs::Tracer::kDefaultCapacity;
+
   static ClientConfig ForTests(std::string address) {
     ClientConfig c;
     c.address = std::move(address);
@@ -75,6 +85,8 @@ struct ClientConfig {
   }
 };
 
+// Point-in-time copy of one client's "client.*" metric cells (the cells
+// themselves also report into the MetricsRegistry under these names).
 struct ClientStats {
   std::uint64_t local_meta_ops = 0;     // served from own metatables
   std::uint64_t forwarded_ops = 0;      // sent to remote leaders
@@ -143,7 +155,15 @@ class Client : public Vfs {
   const ClientConfig& config() const { return config_; }
   const std::string& address() const { return config_.address; }
   CacheStats cache_stats() const { return cache_->stats(); }
-  journal::JournalStats journal_stats() const { return journal_->stats(); }
+  // This client's journal metric cells (crash tests distinguish a deposed
+  // leader's fence rejections from its successor's).
+  const journal::JournalMetrics& journal_metrics() const {
+    return journal_->metrics();
+  }
+  // The per-client span ring (also surfaced through Vfs::Introspect).
+  obs::Tracer& tracer() { return tracer_; }
+
+  IntrospectReport Introspect() override;
 
  private:
   friend class ClientOpsTestPeer;
@@ -315,8 +335,6 @@ class Client : public Vfs {
   // Fsync body shared by Fsync/Close.
   Status FlushOpenFile(OpenFile& of);
 
-  void BumpStat(std::uint64_t ClientStats::* field) const;
-
   const ClientConfig config_;
   ObjectStorePtr store_;
   rpc::FabricPtr fabric_;
@@ -339,8 +357,19 @@ class Client : public Vfs {
 
   std::atomic<bool> shut_down_{false};
 
-  mutable std::mutex stats_mu_;
-  mutable ClientStats stats_;
+  // "client.*" metric cells (attached to config_.metrics in the ctor).
+  obs::Counter local_meta_ops_;
+  obs::Counter forwarded_ops_;
+  obs::Counter served_remote_ops_;
+  obs::Counter lease_acquires_;
+  obs::Counter lease_redirects_;
+  obs::Counter perm_cache_hits_;
+  obs::Counter recoveries_;
+
+  // Span ring: every Vfs entry point roots a trace here; spans recorded by
+  // deeper layers (lease RPCs, journal commits, object-store ops) land in
+  // the rooting client's ring via the thread-local active trace.
+  obs::Tracer tracer_;
 };
 
 }  // namespace arkfs

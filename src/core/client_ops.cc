@@ -49,9 +49,15 @@ constexpr int kMaxSymlinkDepth = 40;
 
 Result<wire::DirOpResponse> Client::RunDirOp(const Uuid& dir_ino,
                                              wire::DirOpRequest req) {
+  obs::Span span("client.run_dir_op");
   req.dir_ino = dir_ino;
   req.cred.groups.shrink_to_fit();
   req.client = config_.address;
+  // Carry the active trace to the serving leader (ourselves or a remote
+  // client) so the whole op stays one trace across the forward hop.
+  const obs::TraceContext ctx = obs::CurrentContext();
+  req.trace_id = ctx.trace_id;
+  req.parent_span = ctx.parent_span;
   Status last = ErrStatus(Errc::kAgain, "no attempts made");
   for (int attempt = 0; attempt < config_.op_retries; ++attempt) {
     if (attempt > 0) SleepFor(config_.op_retry_backoff);
@@ -68,7 +74,7 @@ Result<wire::DirOpResponse> Client::RunDirOp(const Uuid& dir_ino,
       return last;
     }
     if (ref->local) {
-      BumpStat(&ClientStats::local_meta_ops);
+      local_meta_ops_.Add();
       wire::DirOpResponse resp = ServeDirOp(req);
       if (resp.code == Errc::kAgain) {
         last = resp.ToStatus();
@@ -76,7 +82,7 @@ Result<wire::DirOpResponse> Client::RunDirOp(const Uuid& dir_ino,
       }
       return resp;
     }
-    BumpStat(&ClientStats::forwarded_ops);
+    forwarded_ops_.Add();
     auto raw = fabric_->Call(ref->remote, wire::kMethodDirOp, req.Encode());
     if (!raw.ok()) {
       // Leader unreachable (crash): wait for its lease to expire, then the
@@ -148,7 +154,7 @@ Result<Dentry> Client::LookupStep(const Uuid& dir, const std::string& name,
   Dentry cached;
   Status perm;
   if (PcacheLookup(dir, name, cred, &cached, &perm)) {
-    BumpStat(&ClientStats::perm_cache_hits);
+    perm_cache_hits_.Add();
     ARKFS_RETURN_IF_ERROR(perm);
     return cached;
   }
@@ -212,6 +218,7 @@ Result<Client::ResolvedParent> Client::ResolveParent(const std::string& path,
 }
 
 Status Client::Probe(const std::string& path, const UserCred& cred) {
+  obs::RootSpan root(&tracer_, "vfs.probe");
   if (path == "/") return Status::Ok();
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
   return LookupStep(rp.parent, rp.name, cred).status();
@@ -223,6 +230,7 @@ Status Client::Probe(const std::string& path, const UserCred& cred) {
 
 Result<Fd> Client::Open(const std::string& path, const OpenOptions& options,
                         const UserCred& cred) {
+  obs::RootSpan root(&tracer_, "vfs.open");
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
 
   Inode inode;
@@ -319,6 +327,7 @@ Result<Fd> Client::Open(const std::string& path, const OpenOptions& options,
 }
 
 Status Client::Close(Fd fd) {
+  obs::RootSpan root(&tracer_, "vfs.close");
   OpenFile of;
   {
     std::lock_guard lock(fd_mu_);
@@ -355,6 +364,7 @@ Status Client::Close(Fd fd) {
 }
 
 Result<Bytes> Client::Read(Fd fd, std::uint64_t offset, std::uint64_t length) {
+  obs::RootSpan root(&tracer_, "vfs.read");
   OpenFile of;
   {
     std::lock_guard lock(fd_mu_);
@@ -371,6 +381,7 @@ Result<Bytes> Client::Read(Fd fd, std::uint64_t offset, std::uint64_t length) {
 
 Result<std::uint64_t> Client::Write(Fd fd, std::uint64_t offset,
                                     ByteSpan data) {
+  obs::RootSpan root(&tracer_, "vfs.write");
   Uuid ino, parent;
   std::uint64_t size;
   bool direct, cache_write;
@@ -452,6 +463,7 @@ Status Client::FlushOpenFile(OpenFile& of) {
 }
 
 Status Client::Fsync(Fd fd) {
+  obs::RootSpan root(&tracer_, "vfs.fsync");
   OpenFile snapshot;
   {
     std::lock_guard lock(fd_mu_);
@@ -480,6 +492,7 @@ Status Client::Fsync(Fd fd) {
 
 Result<StatResult> Client::Stat(const std::string& path,
                                 const UserCred& cred) {
+  obs::RootSpan root(&tracer_, "vfs.stat");
   if (path == "/") {
     wire::DirOpRequest req;
     req.op = wire::DirOp::kGetAttrDir;
@@ -511,6 +524,7 @@ Result<StatResult> Client::Stat(const std::string& path,
 
 Status Client::Mkdir(const std::string& path, std::uint32_t mode,
                      const UserCred& cred) {
+  obs::RootSpan root(&tracer_, "vfs.mkdir");
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
   wire::DirOpRequest req;
   req.op = wire::DirOp::kMkdir;
@@ -522,6 +536,7 @@ Status Client::Mkdir(const std::string& path, std::uint32_t mode,
 }
 
 Status Client::Rmdir(const std::string& path, const UserCred& cred) {
+  obs::RootSpan root(&tracer_, "vfs.rmdir");
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
   PcacheInvalidate(rp.parent, rp.name);
   wire::DirOpRequest req;
@@ -533,6 +548,7 @@ Status Client::Rmdir(const std::string& path, const UserCred& cred) {
 }
 
 Status Client::Unlink(const std::string& path, const UserCred& cred) {
+  obs::RootSpan root(&tracer_, "vfs.unlink");
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
   PcacheInvalidate(rp.parent, rp.name);
   wire::DirOpRequest req;
@@ -550,6 +566,7 @@ Status Client::Unlink(const std::string& path, const UserCred& cred) {
 
 Status Client::Rename(const std::string& from, const std::string& to,
                       const UserCred& cred) {
+  obs::RootSpan root(&tracer_, "vfs.rename");
   ARKFS_ASSIGN_OR_RETURN(auto src, ResolveParent(from, cred));
   ARKFS_ASSIGN_OR_RETURN(auto dst, ResolveParent(to, cred));
   PcacheInvalidate(src.parent, src.name);
@@ -663,6 +680,7 @@ Status Client::Rename(const std::string& from, const std::string& to,
 
 Result<std::vector<Dentry>> Client::ReadDir(const std::string& path,
                                             const UserCred& cred) {
+  obs::RootSpan root(&tracer_, "vfs.readdir");
   ARKFS_ASSIGN_OR_RETURN(Uuid dir, ResolveDir(path, cred));
   wire::DirOpRequest req;
   req.op = wire::DirOp::kReadDir;
@@ -674,6 +692,7 @@ Result<std::vector<Dentry>> Client::ReadDir(const std::string& path,
 
 Status Client::SetAttr(const std::string& path, const SetAttrRequest& attr,
                        const UserCred& cred) {
+  obs::RootSpan root(&tracer_, "vfs.setattr");
   if (path == "/") {
     wire::DirOpRequest req;
     req.op = wire::DirOp::kSetAttrDir;
@@ -712,6 +731,7 @@ Status Client::SetAttr(const std::string& path, const SetAttrRequest& attr,
 
 Status Client::Symlink(const std::string& target, const std::string& path,
                        const UserCred& cred) {
+  obs::RootSpan root(&tracer_, "vfs.symlink");
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
   wire::DirOpRequest req;
   req.op = wire::DirOp::kSymlink;
@@ -724,6 +744,7 @@ Status Client::Symlink(const std::string& target, const std::string& path,
 
 Result<std::string> Client::ReadLink(const std::string& path,
                                      const UserCred& cred) {
+  obs::RootSpan root(&tracer_, "vfs.readlink");
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
   wire::DirOpRequest req;
   req.op = wire::DirOp::kGetAttrChild;
@@ -737,6 +758,7 @@ Result<std::string> Client::ReadLink(const std::string& path,
 
 Status Client::SetAcl(const std::string& path, const Acl& acl,
                       const UserCred& cred) {
+  obs::RootSpan root(&tracer_, "vfs.setacl");
   ARKFS_RETURN_IF_ERROR(acl.Validate());
   if (path == "/") {
     wire::DirOpRequest req;
@@ -763,6 +785,7 @@ Status Client::SetAcl(const std::string& path, const Acl& acl,
 }
 
 Result<Acl> Client::GetAcl(const std::string& path, const UserCred& cred) {
+  obs::RootSpan root(&tracer_, "vfs.getacl");
   if (path == "/") {
     wire::DirOpRequest req;
     req.op = wire::DirOp::kGetAttrDir;
@@ -789,6 +812,7 @@ Result<Acl> Client::GetAcl(const std::string& path, const UserCred& cred) {
 }
 
 Status Client::SyncAll() {
+  obs::RootSpan root(&tracer_, "vfs.syncall");
   ARKFS_RETURN_IF_ERROR(cache_->FlushAll());
   // Commit size updates of every dirty open file.
   std::vector<OpenFile> dirty;
@@ -810,6 +834,7 @@ Status Client::SyncAll() {
 }
 
 Status Client::DropCaches() {
+  obs::RootSpan root(&tracer_, "vfs.drop_caches");
   ARKFS_RETURN_IF_ERROR(SyncAll());
   return cache_->DropAll();
 }

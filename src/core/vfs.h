@@ -20,6 +20,7 @@
 #include "meta/acl.h"
 #include "meta/dentry.h"
 #include "meta/inode.h"
+#include "obs/trace.h"
 
 namespace arkfs {
 
@@ -116,6 +117,16 @@ class Vfs {
   // equivalent of `echo 3 > /proc/sys/vm/drop_caches`). Default: no-op for
   // implementations without caches.
   virtual Status DropCaches() { return Status::Ok(); }
+
+  // One-stop observability hook: the metric registry this implementation
+  // reports into, rendered as text, plus its recent trace spans (oldest
+  // first). Baselines without a tracer return an empty report.
+  // tools/arktrace pretty-prints the binary span form (Tracer::DumpBinary).
+  struct IntrospectReport {
+    std::string metrics_text;
+    std::vector<obs::SpanRecord> spans;
+  };
+  virtual IntrospectReport Introspect() { return {}; }
 
   // --- convenience wrappers used by workloads/examples ---
   Status Chmod(const std::string& path, std::uint32_t mode,

@@ -63,6 +63,8 @@ Bytes DirOpRequest::Encode() const {
   acl.EncodeTo(enc);
   EncodeCred(enc, cred);
   enc.PutString(client);
+  enc.PutU64(trace_id);
+  enc.PutU64(parent_span);
   return std::move(enc).Take();
 }
 
@@ -87,6 +89,8 @@ Result<DirOpRequest> DirOpRequest::Decode(ByteSpan data) {
   ARKFS_ASSIGN_OR_RETURN(req.acl, Acl::DecodeFrom(dec));
   ARKFS_ASSIGN_OR_RETURN(req.cred, DecodeCred(dec));
   ARKFS_ASSIGN_OR_RETURN(req.client, dec.GetString());
+  ARKFS_ASSIGN_OR_RETURN(req.trace_id, dec.GetU64());
+  ARKFS_ASSIGN_OR_RETURN(req.parent_span, dec.GetU64());
   return req;
 }
 

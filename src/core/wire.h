@@ -93,6 +93,11 @@ struct DirOpRequest {
   Acl acl;
   WireCred cred;
   std::string client;    // requester's fabric address (lease bookkeeping)
+  // Requester's trace context (obs::TraceContext, 0 = untraced); the serving
+  // leader re-roots its handler span under it so one create/stat shows up as
+  // one trace across hosts.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 
   Bytes Encode() const;
   static Result<DirOpRequest> Decode(ByteSpan data);

@@ -31,8 +31,29 @@ std::uint32_t ShardCountFor(const DentryShardPolicy& policy,
   return b;
 }
 
+void JournalMetrics::Attach(obs::MetricsRegistry* registry) {
+  transactions_committed.Attach(registry, "journal.transactions_committed");
+  records_committed.Attach(registry, "journal.records_committed");
+  transactions_checkpointed.Attach(registry,
+                                   "journal.transactions_checkpointed");
+  journal_bytes_written.Attach(registry, "journal.bytes_written");
+  checkpoints.Attach(registry, "journal.checkpoints");
+  dentry_shards_loaded.Attach(registry, "journal.dentry.shards_loaded");
+  dentry_shards_written.Attach(registry, "journal.dentry.shards_written");
+  dentry_migrations.Attach(registry, "journal.dentry.migrations");
+  dentry_reshards.Attach(registry, "journal.dentry.reshards");
+  fence_checks.Attach(registry, "journal.commit.fence_checks");
+  fence_rejections.Attach(registry, "journal.commit.fence_rejections");
+  fence_violations.Attach(registry, "journal.commit.fence_violations");
+}
+
 JournalManager::JournalManager(std::shared_ptr<Prt> prt, JournalConfig config)
     : config_(config), prt_(std::move(prt)) {
+  metrics_.Attach(config_.metrics);
+  obs::MetricsRegistry& reg = config_.metrics != nullptr
+                                  ? *config_.metrics
+                                  : obs::MetricsRegistry::Default();
+  reg.RegisterHistograms("journal", &op_latencies_);
   checkpoint_queues_.reserve(config_.checkpoint_threads);
   for (int i = 0; i < config_.checkpoint_threads; ++i) {
     checkpoint_queues_.push_back(std::make_unique<MpmcQueue<Uuid>>());
@@ -54,6 +75,10 @@ JournalManager::~JournalManager() {
   for (auto& t : checkpoint_threads_) {
     if (t.joinable()) t.join();
   }
+  obs::MetricsRegistry& reg = config_.metrics != nullptr
+                                  ? *config_.metrics
+                                  : obs::MetricsRegistry::Default();
+  reg.UnregisterHistograms(&op_latencies_);
 }
 
 void JournalManager::RegisterDir(const Uuid& dir_ino) {
@@ -72,6 +97,7 @@ void JournalManager::RegisterDir(const Uuid& dir_ino,
 
 Status JournalManager::FenceDir(const Uuid& dir_ino, const FenceToken& token) {
   if (!token.valid()) return Status::Ok();  // unfenced legacy grant
+  obs::Span span("journal.fence");
   ARKFS_ASSIGN_OR_RETURN(const FenceToken stored, prt_->LoadDirFence(dir_ino));
   if (stored > token) {
     return ErrStatus(Errc::kStale,
@@ -109,9 +135,15 @@ Status JournalManager::UnregisterDir(const Uuid& dir_ino) {
 }
 
 void JournalManager::Append(const Uuid& dir_ino, std::vector<Record> records) {
+  obs::Span span("journal.append");
   DirStatePtr st = FindOrCreateDir(dir_ino);
   std::lock_guard lock(st->mu);
-  if (st->running.empty()) st->first_op = Now();
+  if (st->running.empty()) {
+    st->first_op = Now();
+    // The transaction's trace is the trace of its first op; a deferred
+    // background commit replays it (later appends piggyback).
+    st->trace = obs::CaptureTrace();
+  }
   st->running.insert(st->running.end(),
                      std::make_move_iterator(records.begin()),
                      std::make_move_iterator(records.end()));
@@ -137,16 +169,15 @@ JournalManager::DirStatePtr JournalManager::FindOrCreateDir(
 // (grants must FenceDir before registering) and is also rejected.
 Status JournalManager::CheckFenceLocked(const Uuid& dir_ino, DirState& st) {
   ARKFS_ASSIGN_OR_RETURN(const FenceToken stored, prt_->LoadDirFence(dir_ino));
-  std::lock_guard stats(stats_mu_);
-  ++stats_.fence_checks;
+  metrics_.fence_checks.Add();
   if (stored > st.fence) {
-    ++stats_.fence_rejections;
+    metrics_.fence_rejections.Add();
     return ErrStatus(Errc::kStale,
                      "journal commit fenced: lease epoch superseded (stored " +
                          stored.ToString() + " > " + st.fence.ToString() + ")");
   }
   if (stored < st.fence) {
-    ++stats_.fence_violations;
+    metrics_.fence_violations.Add();
     return ErrStatus(Errc::kStale,
                      "fence invariant violated: persisted fence " +
                          stored.ToString() + " behind granted " +
@@ -191,25 +222,29 @@ Status JournalManager::AppendToJournalLocked(const Uuid& dir_ino,
     ARKFS_RETURN_IF_ERROR(CheckFenceLocked(dir_ino, st));
   }
   st.journal_bytes += framed.size();
-  {
-    std::lock_guard stats(stats_mu_);
-    ++stats_.transactions_committed;
-    stats_.records_committed += txn.records.size();
-    stats_.journal_bytes_written += framed.size();
-  }
+  metrics_.transactions_committed.Add();
+  metrics_.records_committed.Add(txn.records.size());
+  metrics_.journal_bytes_written.Add(framed.size());
   st.committed.emplace_back(std::move(txn), framed.size());
   return Status::Ok();
 }
 
 Status JournalManager::CommitRunningLocked(const Uuid& dir_ino, DirState& st) {
   Transaction txn;
+  obs::ActiveTrace trace;
   {
     std::lock_guard lock(st.mu);
     if (st.running.empty()) return Status::Ok();
     txn.records = std::move(st.running);
     st.running.clear();
     txn.seq = st.next_seq++;
+    trace = st.trace;
+    st.trace = obs::ActiveTrace{};
   }
+  // Commit under the trace of the op that opened the transaction, whether
+  // we run on the caller's thread (fsync) or a background commit thread.
+  obs::TraceScope scope(trace.tracer, trace.ctx);
+  obs::Span span("journal.commit");
   const TimePoint commit_start = Now();
   Status append = AppendToJournalLocked(dir_ino, st, txn);
   if (append.ok()) {
@@ -237,6 +272,7 @@ Status JournalManager::CommitRunning(const Uuid& dir_ino, DirState& st) {
 }
 
 Status JournalManager::Checkpoint(const Uuid& dir_ino, DirState& st) {
+  obs::Span span("journal.checkpoint");
   std::lock_guard cp(st.checkpoint_mu);
   std::vector<Transaction> batch;
   std::vector<std::uint64_t> sizes;
@@ -309,15 +345,12 @@ Status JournalManager::Checkpoint(const Uuid& dir_ino, DirState& st) {
     return trim;
   }
   op_latencies_.Record("checkpoint", Now() - cp_start);
-  {
-    std::lock_guard stats(stats_mu_);
-    stats_.transactions_checkpointed += batch.size();
-    ++stats_.checkpoints;
-    stats_.dentry_shards_loaded += outcome.shards_loaded;
-    stats_.dentry_shards_written += outcome.shards_written;
-    if (outcome.migrated) ++stats_.dentry_migrations;
-    if (outcome.resharded) ++stats_.dentry_reshards;
-  }
+  metrics_.transactions_checkpointed.Add(batch.size());
+  metrics_.checkpoints.Add();
+  metrics_.dentry_shards_loaded.Add(outcome.shards_loaded);
+  metrics_.dentry_shards_written.Add(outcome.shards_written);
+  if (outcome.migrated) metrics_.dentry_migrations.Add();
+  if (outcome.resharded) metrics_.dentry_reshards.Add();
   return Status::Ok();
 }
 
@@ -422,6 +455,7 @@ Status JournalManager::CommitCrossDir(const Uuid& src_dir,
 }
 
 Result<RecoveryReport> JournalManager::RecoverDir(const Uuid& dir_ino) {
+  obs::Span span("journal.recover");
   RecoveryReport report;
   auto raw = prt_->LoadJournal(dir_ino);
   if (!raw.ok()) {
@@ -449,13 +483,10 @@ Result<RecoveryReport> JournalManager::RecoverDir(const Uuid& dir_ino) {
                                           &report, config_.shard_policy,
                                           &outcome, /*sweep_orphans=*/true));
   ARKFS_RETURN_IF_ERROR(prt_->StoreJournal(dir_ino, Bytes{}));
-  {
-    std::lock_guard stats(stats_mu_);
-    stats_.dentry_shards_loaded += outcome.shards_loaded;
-    stats_.dentry_shards_written += outcome.shards_written;
-    if (outcome.migrated) ++stats_.dentry_migrations;
-    if (outcome.resharded) ++stats_.dentry_reshards;
-  }
+  metrics_.dentry_shards_loaded.Add(outcome.shards_loaded);
+  metrics_.dentry_shards_written.Add(outcome.shards_written);
+  if (outcome.migrated) metrics_.dentry_migrations.Add();
+  if (outcome.resharded) metrics_.dentry_reshards.Add();
 
   // Reset any stale in-memory bookkeeping for this directory.
   if (DirStatePtr st = FindDir(dir_ino)) {
@@ -912,11 +943,6 @@ void JournalManager::CheckpointThreadMain(int index) {
                  << s.ToString();
     }
   }
-}
-
-JournalStats JournalManager::stats() const {
-  std::lock_guard lock(stats_mu_);
-  return stats_;
 }
 
 }  // namespace arkfs::journal

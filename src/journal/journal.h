@@ -36,6 +36,8 @@
 #include "common/mpmc_queue.h"
 #include "common/stats.h"
 #include "journal/record.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "prt/translator.h"
 
 namespace arkfs::journal {
@@ -59,6 +61,8 @@ struct JournalConfig {
   int commit_threads = 2;
   int checkpoint_threads = 2;
   DentryShardPolicy shard_policy;
+  // Where the "journal.*" metric cells attach; null = process default.
+  obs::MetricsRegistry* metrics = nullptr;
 
   static JournalConfig ForTests() {
     JournalConfig c;
@@ -67,24 +71,28 @@ struct JournalConfig {
   }
 };
 
-struct JournalStats {
-  std::uint64_t transactions_committed = 0;
-  std::uint64_t records_committed = 0;
-  std::uint64_t transactions_checkpointed = 0;
-  std::uint64_t journal_bytes_written = 0;
-  std::uint64_t checkpoints = 0;
-  std::uint64_t dentry_shards_loaded = 0;
-  std::uint64_t dentry_shards_written = 0;
-  std::uint64_t dentry_migrations = 0;  // legacy block -> sharded layout
-  std::uint64_t dentry_reshards = 0;    // shard-count growth events
+// Registry-backed journal metric cells (one bundle per JournalManager).
+// Exported as "journal.*"; tests read a specific manager's cells directly.
+struct JournalMetrics {
+  obs::Counter transactions_committed;
+  obs::Counter records_committed;
+  obs::Counter transactions_checkpointed;
+  obs::Counter journal_bytes_written;
+  obs::Counter checkpoints;
+  obs::Counter dentry_shards_loaded;
+  obs::Counter dentry_shards_written;
+  obs::Counter dentry_migrations;  // legacy block -> sharded layout
+  obs::Counter dentry_reshards;    // shard-count growth events
   // Lease-HA fencing (see FenceDir): commit-time fence-object reads, commits
   // rejected kStale because a successor advanced the fence, and violations —
   // a persisted fence BEHIND the registered token, which must never happen
   // (it would mean a grant was used without FenceDir'ing first). Chaos tests
   // assert fence_violations == 0.
-  std::uint64_t fence_checks = 0;
-  std::uint64_t fence_rejections = 0;
-  std::uint64_t fence_violations = 0;
+  obs::Counter fence_checks;
+  obs::Counter fence_rejections;
+  obs::Counter fence_violations;
+
+  void Attach(obs::MetricsRegistry* registry);
 };
 
 // What one ApplyTransactions call did to the dentry layout (stats/tests).
@@ -170,7 +178,7 @@ class JournalManager {
   // "valid transactions remain" predecessor-crash test a new leader runs).
   bool HasSurvivingJournal(const Uuid& dir_ino);
 
-  JournalStats stats() const;
+  const JournalMetrics& metrics() const { return metrics_; }
   const JournalConfig& config() const { return config_; }
 
   // Wall-clock histograms for "commit" (running txn -> journal object) and
@@ -199,10 +207,14 @@ class JournalManager {
 
  private:
   struct DirState {
-    std::mutex mu;  // guards running/first_op/next_seq
+    std::mutex mu;  // guards running/first_op/next_seq/trace
     std::vector<Record> running;
     TimePoint first_op{};
     std::uint64_t next_seq = 1;
+    // Trace of the op that opened the running transaction; re-installed
+    // around the (possibly deferred, background-thread) commit so the
+    // journal append lands in the originating request's trace.
+    obs::ActiveTrace trace;
 
     // Lock order: checkpoint_mu -> append_mu -> mu.
     std::mutex append_mu;  // journal-object appends, committed, journal_bytes
@@ -268,8 +280,7 @@ class JournalManager {
   std::vector<std::unique_ptr<MpmcQueue<Uuid>>> checkpoint_queues_;
   std::atomic<bool> stopping_{false};
 
-  mutable std::mutex stats_mu_;
-  JournalStats stats_;
+  JournalMetrics metrics_;
   OpLatencySet op_latencies_{{"commit", "checkpoint"}};
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/trace.h"
+
 namespace arkfs::lease {
 
 // One pass over the replica list, starting at the last replica that
@@ -73,7 +75,11 @@ Result<Bytes> LeaseClient::CallManager(const std::string& method,
 }
 
 Result<LeaseClient::Grant> LeaseClient::Acquire(const Uuid& dir_ino) {
-  const AcquireRequest req{dir_ino, self_};
+  obs::Span span("lease.acquire");
+  AcquireRequest req{dir_ino, self_};
+  const obs::TraceContext ctx = obs::CurrentContext();
+  req.trace_id = ctx.trace_id;
+  req.parent_span = ctx.parent_span;
   const Bytes payload = req.Encode();
   Nanos backoff = options_.initial_backoff;
   const TimePoint deadline = Now() + options_.wait_budget;
@@ -110,17 +116,29 @@ Result<LeaseClient::Grant> LeaseClient::Acquire(const Uuid& dir_ino) {
 }
 
 Status LeaseClient::Release(const Uuid& dir_ino, const FenceToken& token) {
-  const ReleaseRequest req{dir_ino, self_, token};
+  obs::Span span("lease.release");
+  ReleaseRequest req{dir_ino, self_, token};
+  const obs::TraceContext ctx = obs::CurrentContext();
+  req.trace_id = ctx.trace_id;
+  req.parent_span = ctx.parent_span;
   return CallManager(kMethodRelease, req.Encode()).status();
 }
 
 Status LeaseClient::BeginRecovery(const Uuid& dir_ino) {
-  const RecoveryRequest req{dir_ino, self_, RecoveryPhase::kBegin};
+  obs::Span span("lease.recovery.begin");
+  RecoveryRequest req{dir_ino, self_, RecoveryPhase::kBegin};
+  const obs::TraceContext ctx = obs::CurrentContext();
+  req.trace_id = ctx.trace_id;
+  req.parent_span = ctx.parent_span;
   return CallManager(kMethodRecovery, req.Encode()).status();
 }
 
 Status LeaseClient::EndRecovery(const Uuid& dir_ino) {
-  const RecoveryRequest req{dir_ino, self_, RecoveryPhase::kEnd};
+  obs::Span span("lease.recovery.end");
+  RecoveryRequest req{dir_ino, self_, RecoveryPhase::kEnd};
+  const obs::TraceContext ctx = obs::CurrentContext();
+  req.trace_id = ctx.trace_id;
+  req.parent_span = ctx.parent_span;
   return CallManager(kMethodRecovery, req.Encode()).status();
 }
 

@@ -1,6 +1,7 @@
 #include "lease/lease_manager.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/log.h"
 
@@ -13,7 +14,17 @@ LeaseManager::LeaseManager(rpc::FabricPtr fabric, ObjectStorePtr store,
                            LeaseManagerConfig config)
     : config_(std::move(config)),
       fabric_(std::move(fabric)),
-      store_(std::move(store)) {}
+      store_(std::move(store)) {
+  grants_.Attach(config_.metrics, "lease.grants");
+  extensions_.Attach(config_.metrics, "lease.extensions");
+  redirects_.Attach(config_.metrics, "lease.redirects");
+  waits_.Attach(config_.metrics, "lease.waits");
+  releases_.Attach(config_.metrics, "lease.releases");
+  recoveries_.Attach(config_.metrics, "lease.recoveries");
+  takeovers_.Attach(config_.metrics, "lease.failover.takeovers");
+  depositions_.Attach(config_.metrics, "lease.failover.depositions");
+  quiet_ms_.Attach(config_.metrics, "lease.failover.quiet_ms");
+}
 
 LeaseManager::~LeaseManager() { Stop(); }
 
@@ -82,6 +93,8 @@ void LeaseManager::ResolveRoleLocked() {
       active_ = true;
       active_hint_ = config_.self_address;
       quiet_until_ = Now() + config_.lease_period;
+      quiet_ms_.Set(static_cast<std::uint64_t>(config_.lease_period.count() /
+                                               1'000'000));
       ARKFS_ILOG << "lease replica " << config_.self_address
                  << " resumed active after restart; epoch " << new_epoch
                  << ", quiet period "
@@ -204,6 +217,8 @@ void LeaseManager::Restart() {
   ++epoch_;
   fence_seq_ = BaseFenceSeq();
   quiet_until_ = Now() + config_.lease_period;
+  quiet_ms_.Set(
+      static_cast<std::uint64_t>(config_.lease_period.count() / 1'000'000));
   if (store_ && active_) {
     const EpochRecord rec{epoch_, config_.self_address};
     if (Status st = store_->Put(kEpochRecordKey, rec.Encode()); !st.ok()) {
@@ -296,6 +311,7 @@ void LeaseManager::AuditEpochRecord() {
   ARKFS_ILOG << "lease replica " << config_.self_address
              << " observed the record naming " << rec->active << " at epoch "
              << rec->epoch << " (own epoch " << epoch_ << "); abdicating";
+  depositions_.Add();
   leases_.clear();
   active_ = false;
   epoch_ = std::max(epoch_, rec->epoch);
@@ -356,7 +372,10 @@ void LeaseManager::TryTakeover() {
     // One full lease term of quiet: any lease the dead active granted may
     // still be live, and this replica has no record of it.
     quiet_until_ = Now() + config_.lease_period;
+    quiet_ms_.Set(static_cast<std::uint64_t>(config_.lease_period.count() /
+                                             1'000'000));
   }
+  takeovers_.Add();
   ARKFS_ILOG << "lease replica " << config_.self_address
              << " took over as active; epoch " << new_epoch;
   AnnounceEpoch(new_epoch);
@@ -383,6 +402,7 @@ PingResponse LeaseManager::Ping(const PingRequest& req) {
       ARKFS_ILOG << "lease replica " << config_.self_address
                  << " deposed by epoch " << req.epoch << " (was " << epoch_
                  << ")";
+      depositions_.Add();
       leases_.clear();
     }
     active_ = false;
@@ -398,6 +418,16 @@ PingResponse LeaseManager::Ping(const PingRequest& req) {
 }
 
 AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
+  // Wire-configured deployments re-root the handler span under the trace
+  // context carried in the frame; in-process callers keep their ambient
+  // thread-local trace (the fabric dispatches on the caller's thread).
+  std::optional<obs::TraceScope> traced;
+  if (config_.tracer) {
+    traced.emplace(config_.tracer,
+                   obs::TraceContext{req.trace_id, req.parent_span});
+  }
+  obs::Span span("lease.manager.acquire");
+
   std::lock_guard lock(mu_);
   const TimePoint now = Now();
   AcquireResponse resp;
@@ -409,6 +439,7 @@ AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
   }
 
   if (now < quiet_until_) {
+    waits_.Add();
     resp.outcome = AcquireOutcome::kWait;
     return resp;
   }
@@ -416,6 +447,7 @@ AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
   DirLease& l = leases_[req.dir_ino];
   if (l.recovering) {
     // The recoverer itself renews through Recovery(kEnd), not Acquire.
+    waits_.Add();
     resp.outcome = AcquireOutcome::kWait;
     return resp;
   }
@@ -423,6 +455,7 @@ AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
   if (!Expired(l, now)) {
     if (l.leader == req.client) {
       // Extension by the current leader: same tenure, same fencing token.
+      extensions_.Add();
       l.expires = now + config_.lease_period;
       resp.outcome = AcquireOutcome::kGranted;
       resp.fresh = true;
@@ -430,6 +463,7 @@ AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
       resp.token = l.token;
       return resp;
     }
+    redirects_.Add();
     resp.outcome = AcquireOutcome::kRedirect;
     resp.leader = l.leader;
     return resp;
@@ -438,6 +472,7 @@ AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
   // Lease is free (never issued, expired, or released). Every new tenure —
   // even a fresh re-grant to the same client — gets a new fencing token, so
   // anything still running under the old grant is deniable at the store.
+  grants_.Add();
   resp.outcome = AcquireOutcome::kGranted;
   resp.fresh = (l.last_leader == req.client);
   if (!resp.fresh && !l.last_leader.empty()) {
@@ -453,6 +488,13 @@ AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
 }
 
 void LeaseManager::Release(const ReleaseRequest& req) {
+  std::optional<obs::TraceScope> traced;
+  if (config_.tracer) {
+    traced.emplace(config_.tracer,
+                   obs::TraceContext{req.trace_id, req.parent_span});
+  }
+  obs::Span span("lease.manager.release");
+
   std::lock_guard lock(mu_);
   if (!active_) return;
   auto it = leases_.find(req.dir_ino);
@@ -463,6 +505,7 @@ void LeaseManager::Release(const ReleaseRequest& req) {
   // Token-less requests (legacy) fall back to the name match.
   if (req.token.valid() && req.token != l.token) return;
   if (l.leader == req.client) {
+    releases_.Add();
     l.leader.clear();
     l.expires = TimePoint{};
     // last_leader stays: a clean release means the store is fully
@@ -472,6 +515,13 @@ void LeaseManager::Release(const ReleaseRequest& req) {
 }
 
 Status LeaseManager::Recovery(const RecoveryRequest& req) {
+  std::optional<obs::TraceScope> traced;
+  if (config_.tracer) {
+    traced.emplace(config_.tracer,
+                   obs::TraceContext{req.trace_id, req.parent_span});
+  }
+  obs::Span span("lease.manager.recovery");
+
   if (req.phase == RecoveryPhase::kBegin) {
     {
       std::lock_guard lock(mu_);
@@ -485,6 +535,7 @@ Status LeaseManager::Recovery(const RecoveryRequest& req) {
       if (!Expired(l, Now()) && l.leader != req.client) {
         return ErrStatus(Errc::kBusy, "directory has a live leader");
       }
+      recoveries_.Add();
       l.recovering = true;
       l.recoverer = req.client;
       l.leader.clear();

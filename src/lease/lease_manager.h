@@ -45,6 +45,8 @@
 #include "common/fence.h"
 #include "common/uuid.h"
 #include "lease/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "objstore/object_store.h"
 #include "rpc/fabric.h"
 
@@ -70,6 +72,16 @@ struct LeaseManagerConfig {
   bool start_active = true;
   Nanos heartbeat_interval{Millis(500)};
   int failover_probes = 3;  // missed heartbeats before a takeover attempt
+
+  // Where this manager's "lease.*" metric cells attach; null = process
+  // default registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  // Optional span sink. When set, request handlers record manager-side spans
+  // under the trace context CARRIED IN THE WIRE FRAMES (trace_id/parent_span
+  // next to the fence token) — the cross-host propagation path. When null,
+  // handlers piggyback the caller's ambient thread-local trace, which the
+  // in-process fabric preserves.
+  obs::Tracer* tracer = nullptr;
 
   static LeaseManagerConfig ForTests() {
     LeaseManagerConfig c;
@@ -180,6 +192,18 @@ class LeaseManager {
   std::thread heartbeat_thread_;
   std::condition_variable heartbeat_cv_;
   bool heartbeat_stop_ = false;
+
+  // "lease.*" metric cells (attached to config_.metrics in the ctor).
+  obs::Counter grants_;       // new tenures (fresh fencing token minted)
+  obs::Counter extensions_;   // same-tenure renewals by the current leader
+  obs::Counter redirects_;    // Acquire answered kRedirect (live other leader)
+  obs::Counter waits_;        // Acquire answered kWait (recovery/quiet period)
+  obs::Counter releases_;     // releases that actually cleared a live grant
+  obs::Counter recoveries_;   // BeginRecovery fences accepted
+  obs::Counter takeovers_;    // standby->active promotions won
+  obs::Counter depositions_;  // active->standby abdications (ping or record)
+  obs::Gauge quiet_ms_;       // width of the most recent post-failover quiet
+                              // period, milliseconds
 };
 
 }  // namespace arkfs::lease

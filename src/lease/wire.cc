@@ -18,6 +18,8 @@ Bytes AcquireRequest::Encode() const {
   Encoder enc(64);
   enc.PutUuid(dir_ino);
   enc.PutString(client);
+  enc.PutU64(trace_id);
+  enc.PutU64(parent_span);
   return std::move(enc).Take();
 }
 
@@ -26,6 +28,8 @@ Result<AcquireRequest> AcquireRequest::Decode(ByteSpan data) {
   AcquireRequest req;
   ARKFS_ASSIGN_OR_RETURN(req.dir_ino, dec.GetUuid());
   ARKFS_ASSIGN_OR_RETURN(req.client, dec.GetString());
+  ARKFS_ASSIGN_OR_RETURN(req.trace_id, dec.GetU64());
+  ARKFS_ASSIGN_OR_RETURN(req.parent_span, dec.GetU64());
   ARKFS_RETURN_IF_ERROR(RequireDone(dec, "acquire request"));
   return req;
 }
@@ -67,6 +71,8 @@ Bytes ReleaseRequest::Encode() const {
   enc.PutString(client);
   enc.PutU64(token.epoch);
   enc.PutU64(token.seq);
+  enc.PutU64(trace_id);
+  enc.PutU64(parent_span);
   return std::move(enc).Take();
 }
 
@@ -77,6 +83,8 @@ Result<ReleaseRequest> ReleaseRequest::Decode(ByteSpan data) {
   ARKFS_ASSIGN_OR_RETURN(req.client, dec.GetString());
   ARKFS_ASSIGN_OR_RETURN(req.token.epoch, dec.GetU64());
   ARKFS_ASSIGN_OR_RETURN(req.token.seq, dec.GetU64());
+  ARKFS_ASSIGN_OR_RETURN(req.trace_id, dec.GetU64());
+  ARKFS_ASSIGN_OR_RETURN(req.parent_span, dec.GetU64());
   ARKFS_RETURN_IF_ERROR(RequireDone(dec, "release request"));
   return req;
 }
@@ -86,6 +94,8 @@ Bytes RecoveryRequest::Encode() const {
   enc.PutUuid(dir_ino);
   enc.PutString(client);
   enc.PutU8(static_cast<std::uint8_t>(phase));
+  enc.PutU64(trace_id);
+  enc.PutU64(parent_span);
   return std::move(enc).Take();
 }
 
@@ -99,6 +109,8 @@ Result<RecoveryRequest> RecoveryRequest::Decode(ByteSpan data) {
     return ErrStatus(Errc::kIo, "bad recovery phase");
   }
   req.phase = static_cast<RecoveryPhase>(phase);
+  ARKFS_ASSIGN_OR_RETURN(req.trace_id, dec.GetU64());
+  ARKFS_ASSIGN_OR_RETURN(req.parent_span, dec.GetU64());
   ARKFS_RETURN_IF_ERROR(RequireDone(dec, "recovery request"));
   return req;
 }

@@ -37,6 +37,12 @@ AsyncObjectIo::AsyncObjectIo(ObjectStorePtr store, AsyncIoConfig config)
         return c;
       }()),
       store_(std::move(store)) {
+  retry_counters_.Attach(config_.metrics, "asyncio.retry");
+  ops_submitted_.Attach(config_.metrics, "asyncio.ops_submitted");
+  batches_.Attach(config_.metrics, "asyncio.batches");
+  helper_runs_.Attach(config_.metrics, "asyncio.helper_runs");
+  peak_in_flight_.Attach(config_.metrics, "asyncio.peak_in_flight");
+  overlap_saved_nanos_.Attach(config_.metrics, "asyncio.overlap_saved_ns");
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { WorkerMain(); });
@@ -61,10 +67,7 @@ void AsyncObjectIo::AcquireSlot() {
   std::unique_lock lock(slot_mu_);
   slot_cv_.wait(lock, [&] { return in_flight_ < config_.max_in_flight; });
   ++in_flight_;
-  std::uint64_t peak = peak_in_flight_.load(std::memory_order_relaxed);
-  while (in_flight_ > peak &&
-         !peak_in_flight_.compare_exchange_weak(peak, in_flight_)) {
-  }
+  peak_in_flight_.UpdateMax(in_flight_);
 }
 
 void AsyncObjectIo::ReleaseSlot() {
@@ -78,7 +81,10 @@ void AsyncObjectIo::ReleaseSlot() {
 void AsyncObjectIo::Execute(const OpPtr& op) {
   if (op->gated) AcquireSlot();
   const TimePoint t0 = Now();
-  op->body();
+  {
+    obs::TraceScope scope(op->trace.tracer, op->trace.ctx);
+    op->body();
+  }
   const Nanos busy = Now() - t0;
   if (op->gated) ReleaseSlot();
   if (op->batch) {
@@ -93,7 +99,8 @@ void AsyncObjectIo::Execute(const OpPtr& op) {
 }
 
 void AsyncObjectIo::Enqueue(const OpPtr& op) {
-  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
+  op->trace = obs::CaptureTrace();
+  ops_submitted_.Add();
   if (!queue_.Push(op)) {
     // Shutting down: run inline so no submission is ever dropped.
     if (!op->claimed.exchange(true)) Execute(op);
@@ -106,7 +113,7 @@ void AsyncObjectIo::JoinBatch(const std::shared_ptr<Batch>& batch,
   // deadlock-free under nesting and pool saturation.
   for (auto& op : ops) {
     if (!op->claimed.exchange(true)) {
-      helper_runs_.fetch_add(1, std::memory_order_relaxed);
+      helper_runs_.Add();
       Execute(op);
     }
   }
@@ -114,11 +121,10 @@ void AsyncObjectIo::JoinBatch(const std::shared_ptr<Batch>& batch,
   batch->cv.wait(lock, [&] { return batch->remaining == 0; });
   const Nanos wall = Now() - start;
   if (batch->busy > wall) {
-    overlap_saved_nanos_.fetch_add(
-        static_cast<std::uint64_t>((batch->busy - wall).count()),
-        std::memory_order_relaxed);
+    overlap_saved_nanos_.Add(
+        static_cast<std::uint64_t>((batch->busy - wall).count()));
   }
-  batches_.fetch_add(1, std::memory_order_relaxed);
+  batches_.Add();
 }
 
 template <typename R>
@@ -286,22 +292,6 @@ Status AsyncObjectIo::RunAll(std::vector<std::function<Status()>> tasks) {
   }
   JoinBatch(batch, ops, start);
   return FirstError(results, /*ignore_noent=*/false);
-}
-
-AsyncIoStats AsyncObjectIo::stats() const {
-  AsyncIoStats s;
-  s.ops_submitted = ops_submitted_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.helper_runs = helper_runs_.load(std::memory_order_relaxed);
-  s.peak_in_flight = peak_in_flight_.load(std::memory_order_relaxed);
-  s.overlap_saved_nanos =
-      overlap_saved_nanos_.load(std::memory_order_relaxed);
-  const RetryCounters::Snapshot r = retry_counters_.snapshot();
-  s.retry_attempts = r.attempts;
-  s.retries = r.retries;
-  s.retry_giveups = r.giveups;
-  s.retry_deadline_hits = r.deadline_hits;
-  return s;
 }
 
 }  // namespace arkfs

@@ -41,6 +41,7 @@
 #include "common/clock.h"
 #include "common/mpmc_queue.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "objstore/object_store.h"
 #include "objstore/retry.h"
 
@@ -57,6 +58,9 @@ struct AsyncIoConfig {
   // SubmitTask closures are never retried here — they are not idempotent;
   // the primitives they issue through this layer are retried individually.
   RetryPolicy retry;
+  // Where this layer's "asyncio.*" metric cells attach; null = process
+  // default registry.
+  obs::MetricsRegistry* metrics = nullptr;
 
   static AsyncIoConfig ForTests() {
     AsyncIoConfig c;
@@ -64,21 +68,6 @@ struct AsyncIoConfig {
     c.max_in_flight = 8;
     return c;
   }
-};
-
-struct AsyncIoStats {
-  std::uint64_t ops_submitted = 0;   // primitive + compound ops entered
-  std::uint64_t batches = 0;         // MultiGet/MultiPut/MultiDelete/RunAll
-  std::uint64_t helper_runs = 0;     // ops executed by the submitting thread
-  std::uint64_t peak_in_flight = 0;  // max concurrent gated primitives seen
-  // Sum over batches of (per-op busy time) - (batch wall time): the wall
-  // time the serial path would have paid but overlapping hid.
-  std::uint64_t overlap_saved_nanos = 0;
-  // Retry engine accounting (all zero unless config.retry is enabled).
-  std::uint64_t retry_attempts = 0;
-  std::uint64_t retries = 0;
-  std::uint64_t retry_giveups = 0;
-  std::uint64_t retry_deadline_hits = 0;
 };
 
 // One element of a MultiGet. `ranged` selects GetRange(offset, length).
@@ -143,7 +132,6 @@ class AsyncObjectIo {
   // Runs compound closures concurrently; returns the first error.
   Status RunAll(std::vector<std::function<Status()>> tasks);
 
-  AsyncIoStats stats() const;
   const AsyncIoConfig& config() const { return config_; }
   ObjectStore& store() { return *store_; }
   const ObjectStorePtr& store_ptr() const { return store_; }
@@ -163,6 +151,9 @@ class AsyncObjectIo {
     std::shared_ptr<Batch> batch;  // null for single-future submissions
     std::atomic<bool> claimed{false};
     bool gated = true;  // primitive store op: counts against max_in_flight
+    // Submitter's trace, re-installed around body() so ops executed by pool
+    // workers still land in the originating request's trace.
+    obs::ActiveTrace trace;
   };
   using OpPtr = std::shared_ptr<Op>;
 
@@ -201,11 +192,14 @@ class AsyncObjectIo {
   std::condition_variable slot_cv_;
   std::size_t in_flight_ = 0;
 
-  std::atomic<std::uint64_t> ops_submitted_{0};
-  std::atomic<std::uint64_t> batches_{0};
-  std::atomic<std::uint64_t> helper_runs_{0};
-  std::atomic<std::uint64_t> peak_in_flight_{0};
-  std::atomic<std::uint64_t> overlap_saved_nanos_{0};
+  // "asyncio.*" metric cells: ops entered, batches joined, ops the
+  // submitting thread helped execute, high-water concurrent gated
+  // primitives, and the wall time batching hid vs. the serial path.
+  obs::Counter ops_submitted_;
+  obs::Counter batches_;
+  obs::Counter helper_runs_;
+  obs::Gauge peak_in_flight_;
+  obs::Counter overlap_saved_nanos_;
 };
 
 using AsyncObjectIoPtr = std::shared_ptr<AsyncObjectIo>;

@@ -2,7 +2,8 @@
 
 namespace arkfs {
 
-ChaosStore::ChaosStore(ObjectStorePtr base, ChaosConfig config)
+ChaosStore::ChaosStore(ObjectStorePtr base, ChaosConfig config,
+                       obs::MetricsRegistry* registry)
     : FaultInjectionStore(
           std::move(base),
           // The seeded profile is the FaultFn: every inherited operation
@@ -12,7 +13,14 @@ ChaosStore::ChaosStore(ObjectStorePtr base, ChaosConfig config)
             return Decide(op, key);
           }),
       config_(std::move(config)),
-      rng_(config_.seed) {}
+      rng_(config_.seed) {
+  ops_.Attach(registry, "chaos.ops");
+  transient_faults_.Attach(registry, "chaos.transient_faults");
+  persistent_faults_.Attach(registry, "chaos.persistent_faults");
+  hook_faults_.Attach(registry, "chaos.hook_faults");
+  latency_spikes_.Attach(registry, "chaos.latency_spikes");
+  torn_puts_.Attach(registry, "chaos.torn_puts");
+}
 
 void ChaosStore::set_fault_hook(FaultFn hook) {
   std::lock_guard lock(mu_);
@@ -39,25 +47,25 @@ Errc ChaosStore::Decide(std::string_view op, const std::string& key) {
   Errc verdict = Errc::kOk;
   {
     std::lock_guard lock(mu_);
-    ++counters_.ops;
+    ops_.Add();
     if (hook_) {
       if (Errc e = hook_(op, key); e != Errc::kOk) {
-        ++counters_.hook_faults;
+        hook_faults_.Add();
         return e;
       }
     }
     if (auto it = persistent_.find(key); it != persistent_.end()) {
-      ++counters_.persistent_faults;
+      persistent_faults_.Add();
       return it->second;
     }
     if (config_.latency_spike_rate > 0.0 &&
         rng_.NextDouble() < config_.latency_spike_rate) {
-      ++counters_.latency_spikes;
+      latency_spikes_.Add();
       spike = true;
     }
     if (config_.fault_rate > 0.0 && !config_.transient_pool.empty() &&
         rng_.NextDouble() < config_.fault_rate) {
-      ++counters_.transient_faults;
+      transient_faults_.Add();
       verdict = config_.transient_pool[rng_.Below(config_.transient_pool.size())];
     }
   }
@@ -75,7 +83,7 @@ Status ChaosStore::Put(const std::string& key, ByteSpan data) {
     if (rng_.NextDouble() < config_.torn_put_rate) {
       torn = true;
       cut = rng_.Below(data.size());  // strict prefix, possibly empty
-      ++counters_.torn_puts;
+      torn_puts_.Add();
     }
   }
   if (torn) {
@@ -90,8 +98,9 @@ Status ChaosStore::Put(const std::string& key, ByteSpan data) {
 }
 
 ChaosStore::Counters ChaosStore::counters() const {
-  std::lock_guard lock(mu_);
-  return counters_;
+  return Counters{ops_.value(),           transient_faults_.value(),
+                  persistent_faults_.value(), hook_faults_.value(),
+                  latency_spikes_.value(),    torn_puts_.value()};
 }
 
 }  // namespace arkfs

@@ -52,7 +52,8 @@ struct ChaosConfig {
 
 class ChaosStore : public FaultInjectionStore {
  public:
-  ChaosStore(ObjectStorePtr base, ChaosConfig config);
+  ChaosStore(ObjectStorePtr base, ChaosConfig config,
+             obs::MetricsRegistry* registry = nullptr);
 
   // Extra hook consulted before the seeded profile (same contract as
   // FaultInjectionStore::FaultFn; return kOk to fall through).
@@ -91,7 +92,9 @@ class ChaosStore : public FaultInjectionStore {
   Rng rng_;
   FaultFn hook_;
   std::map<std::string, Errc> persistent_;
-  Counters counters_;
+  // Metric cells ("chaos.*"); counters() snapshots them per instance.
+  obs::Counter ops_, transient_faults_, persistent_faults_, hook_faults_,
+      latency_spikes_, torn_puts_;
 };
 
 }  // namespace arkfs

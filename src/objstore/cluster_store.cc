@@ -24,6 +24,9 @@ ClusterObjectStore::ClusterObjectStore(const ClusterConfig& config)
     : config_(config),
       op_latency_(config.profile.op_latency),
       io_latency_(config.profile.small_io_latency) {
+  rejected_ops_.Attach(config_.metrics, "cluster.outage.rejected_ops");
+  stale_marks_.Attach(config_.metrics, "cluster.outage.stale_marks");
+  keys_backfilled_.Attach(config_.metrics, "cluster.outage.keys_backfilled");
   nodes_.reserve(config_.num_nodes);
   down_.assign(config_.num_nodes, false);
   stale_.resize(config_.num_nodes);
@@ -73,7 +76,7 @@ void ClusterObjectStore::ChargeOp(int node, std::uint64_t payload_bytes,
   do {                                                                 \
     std::lock_guard _lock(chaos_mu_);                                  \
     if (down_[node]) {                                                 \
-      ++outage_stats_.rejected_ops;                                    \
+      rejected_ops_.Add();                                             \
       return ErrStatus(config_.down_error,                             \
                        "node " + std::to_string(node) + " down: " + (key)); \
     }                                                                  \
@@ -212,7 +215,7 @@ bool ClusterObjectStore::NodeDown(int node) const {
 
 void ClusterObjectStore::MarkStaleLocked(int node, const std::string& key) {
   if (stale_[static_cast<std::size_t>(node)].insert(key).second) {
-    ++outage_stats_.stale_marks;
+    stale_marks_.Add();
   }
 }
 
@@ -233,14 +236,9 @@ void ClusterObjectStore::BackfillNodeLocked(int node) {
       }
     }
     if (!restored) (void)nodes_[node].store->Delete(key);
-    ++outage_stats_.keys_backfilled;
+    keys_backfilled_.Add();
   }
   stale.clear();
-}
-
-ClusterObjectStore::OutageStats ClusterObjectStore::outage_stats() const {
-  std::lock_guard lock(chaos_mu_);
-  return outage_stats_;
 }
 
 std::vector<std::size_t> ClusterObjectStore::PerNodeObjectCounts() const {

@@ -15,6 +15,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "objstore/memory_store.h"
 #include "objstore/object_store.h"
 #include "sim/models.h"
@@ -32,6 +33,8 @@ struct ClusterConfig {
   // What an op on a key whose primary node is down reports (chaos tests
   // flip between kTimedOut and kIo; both are transient/retryable).
   Errc down_error = Errc::kTimedOut;
+  // Where the "cluster.outage.*" counters attach; null = process default.
+  obs::MetricsRegistry* metrics = nullptr;
 
   static ClusterConfig RadosLike() { return ClusterConfig{}; }
   static ClusterConfig S3Like() {
@@ -87,13 +90,6 @@ class ClusterObjectStore : public ObjectStore {
   void SetNodeDown(int node, bool down);
   bool NodeDown(int node) const;
 
-  struct OutageStats {
-    std::uint64_t rejected_ops = 0;      // ops failed because primary down
-    std::uint64_t stale_marks = 0;       // writes skipped on a down replica
-    std::uint64_t keys_backfilled = 0;   // resynced at recovery
-  };
-  OutageStats outage_stats() const;
-
  private:
   struct Node {
     std::unique_ptr<MemoryObjectStore> store;
@@ -116,7 +112,9 @@ class ClusterObjectStore : public ObjectStore {
   mutable std::mutex chaos_mu_;
   std::vector<bool> down_;                      // per-node outage flag
   std::vector<std::set<std::string>> stale_;    // per-node missed writes
-  OutageStats outage_stats_;
+  // Outage accounting ("cluster.outage.*"): ops failed because the primary
+  // was down, writes skipped on a down replica, keys resynced at recovery.
+  obs::Counter rejected_ops_, stale_marks_, keys_backfilled_;
 };
 
 }  // namespace arkfs

@@ -22,12 +22,13 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cstdint>
+#include <string>
 
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace arkfs {
 
@@ -60,26 +61,27 @@ struct RetryPolicy {
   }
 };
 
-// Retry accounting shared by every caller of RetryCall on one layer.
+// Retry accounting shared by every caller of RetryCall on one layer: four
+// metric cells a layer attaches under its own registry prefix
+// ("objstore.retry", "asyncio.retry", ...).
 struct RetryCounters {
-  std::atomic<std::uint64_t> attempts{0};       // every execution, incl. first
-  std::atomic<std::uint64_t> retries{0};        // executions beyond the first
-  std::atomic<std::uint64_t> giveups{0};        // attempt cap exhausted
-  std::atomic<std::uint64_t> deadline_hits{0};  // deadline ended the retries
+  obs::Counter attempts;       // every execution, incl. first
+  obs::Counter retries;        // executions beyond the first
+  obs::Counter giveups;        // attempt cap exhausted
+  obs::Counter deadline_hits;  // deadline ended the retries
 
-  struct Snapshot {
-    std::uint64_t attempts = 0;
-    std::uint64_t retries = 0;
-    std::uint64_t giveups = 0;
-    std::uint64_t deadline_hits = 0;
-  };
-  Snapshot snapshot() const {
-    return {attempts.load(std::memory_order_relaxed),
-            retries.load(std::memory_order_relaxed),
-            giveups.load(std::memory_order_relaxed),
-            deadline_hits.load(std::memory_order_relaxed)};
+  void Attach(obs::MetricsRegistry* registry, const std::string& prefix) {
+    attempts.Attach(registry, prefix + ".attempts");
+    retries.Attach(registry, prefix + ".retries");
+    giveups.Attach(registry, prefix + ".giveups");
+    deadline_hits.Attach(registry, prefix + ".deadline_hits");
   }
-  void Reset() { attempts = retries = giveups = deadline_hits = 0; }
+  void Reset() {
+    attempts.Reset();
+    retries.Reset();
+    giveups.Reset();
+    deadline_hits.Reset();
+  }
 };
 
 inline TimePoint RetryDeadlineFor(const RetryPolicy& policy) {
@@ -94,7 +96,7 @@ template <typename Fn>
 auto RetryCall(const RetryPolicy& policy, std::uint64_t salt,
                RetryCounters* counters, TimePoint deadline, Fn&& fn)
     -> decltype(fn()) {
-  if (counters) counters->attempts.fetch_add(1, std::memory_order_relaxed);
+  if (counters) counters->attempts.Add();
   auto result = fn();
   if (result.ok() || !policy.enabled() ||
       !RetryPolicy::Retryable(result.code())) {
@@ -108,21 +110,19 @@ auto RetryCall(const RetryPolicy& policy, std::uint64_t salt,
     Nanos sleep{rng.Range(lo, hi)};
     if (sleep > policy.max_backoff) sleep = policy.max_backoff;
     if (Now() + sleep >= deadline) {
-      if (counters) {
-        counters->deadline_hits.fetch_add(1, std::memory_order_relaxed);
-      }
+      if (counters) counters->deadline_hits.Add();
       return result;
     }
     SleepFor(sleep);
     prev = sleep;
     if (counters) {
-      counters->attempts.fetch_add(1, std::memory_order_relaxed);
-      counters->retries.fetch_add(1, std::memory_order_relaxed);
+      counters->attempts.Add();
+      counters->retries.Add();
     }
     result = fn();
     if (result.ok() || !RetryPolicy::Retryable(result.code())) return result;
   }
-  if (counters) counters->giveups.fetch_add(1, std::memory_order_relaxed);
+  if (counters) counters->giveups.Add();
   return result;
 }
 

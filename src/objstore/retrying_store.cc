@@ -3,35 +3,35 @@
 namespace arkfs {
 
 Result<Bytes> RetryingStore::Get(const std::string& key) {
-  return Call([&] { return base_->Get(key); });
+  return Call([&] { return base()->Get(key); });
 }
 
 Result<Bytes> RetryingStore::GetRange(const std::string& key,
                                       std::uint64_t offset,
                                       std::uint64_t length) {
-  return Call([&] { return base_->GetRange(key, offset, length); });
+  return Call([&] { return base()->GetRange(key, offset, length); });
 }
 
 Status RetryingStore::Put(const std::string& key, ByteSpan data) {
-  return Call([&] { return base_->Put(key, data); });
+  return Call([&] { return base()->Put(key, data); });
 }
 
 Status RetryingStore::PutRange(const std::string& key, std::uint64_t offset,
                                ByteSpan data) {
-  return Call([&] { return base_->PutRange(key, offset, data); });
+  return Call([&] { return base()->PutRange(key, offset, data); });
 }
 
 Status RetryingStore::Delete(const std::string& key) {
-  return Call([&] { return base_->Delete(key); });
+  return Call([&] { return base()->Delete(key); });
 }
 
 Result<ObjectMeta> RetryingStore::Head(const std::string& key) {
-  return Call([&] { return base_->Head(key); });
+  return Call([&] { return base()->Head(key); });
 }
 
 Result<std::vector<std::string>> RetryingStore::List(
     const std::string& prefix) {
-  return Call([&] { return base_->List(prefix); });
+  return Call([&] { return base()->List(prefix); });
 }
 
 }  // namespace arkfs

@@ -13,15 +13,20 @@
 // and one set of retryable codes.
 #pragma once
 
+#include <atomic>
+
 #include "objstore/retry.h"
-#include "objstore/object_store.h"
+#include "objstore/store_decorator.h"
 
 namespace arkfs {
 
-class RetryingStore : public ObjectStore {
+class RetryingStore : public StoreDecorator {
  public:
-  RetryingStore(ObjectStorePtr base, RetryPolicy policy)
-      : base_(std::move(base)), policy_(policy) {}
+  RetryingStore(ObjectStorePtr base, RetryPolicy policy,
+                obs::MetricsRegistry* registry = nullptr)
+      : StoreDecorator(std::move(base)), policy_(policy) {
+    counters_.Attach(registry, "objstore.retry");
+  }
 
   Result<Bytes> Get(const std::string& key) override;
   Result<Bytes> GetRange(const std::string& key, std::uint64_t offset,
@@ -33,17 +38,9 @@ class RetryingStore : public ObjectStore {
   Result<ObjectMeta> Head(const std::string& key) override;
   Result<std::vector<std::string>> List(const std::string& prefix) override;
 
-  bool supports_partial_write() const override {
-    return base_->supports_partial_write();
-  }
-  std::uint64_t max_object_size() const override {
-    return base_->max_object_size();
-  }
-  std::string name() const override { return "retrying/" + base_->name(); }
+  std::string name() const override { return "retrying/" + base()->name(); }
 
   const RetryPolicy& policy() const { return policy_; }
-  RetryCounters::Snapshot retry_stats() const { return counters_.snapshot(); }
-  void ResetRetryStats() { counters_.Reset(); }
 
  private:
   template <typename Fn>
@@ -54,7 +51,6 @@ class RetryingStore : public ObjectStore {
                      std::forward<Fn>(fn));
   }
 
-  ObjectStorePtr base_;
   const RetryPolicy policy_;
   RetryCounters counters_;
   std::atomic<std::uint64_t> salt_{0};

@@ -1,0 +1,55 @@
+// TracingStore — span-emitting ObjectStore decorator.
+//
+// Wraps every store operation in an obs::Span named "objstore.<op>", so a
+// request traced from the Vfs entry point shows its object-store round
+// trips (the fence PUT of a leader takeover, journal segment PUTs, chunk
+// GETs) as children of whatever layer issued them. When no trace is active
+// on the calling thread the spans are no-ops, so wrapping a store in this
+// decorator unconditionally is safe on hot paths.
+#pragma once
+
+#include "obs/trace.h"
+#include "objstore/store_decorator.h"
+
+namespace arkfs {
+
+class TracingStore : public StoreDecorator {
+ public:
+  explicit TracingStore(ObjectStorePtr base)
+      : StoreDecorator(std::move(base)) {}
+
+  Result<Bytes> Get(const std::string& key) override {
+    obs::Span span("objstore.get");
+    return base()->Get(key);
+  }
+  Result<Bytes> GetRange(const std::string& key, std::uint64_t offset,
+                         std::uint64_t length) override {
+    obs::Span span("objstore.getrange");
+    return base()->GetRange(key, offset, length);
+  }
+  Status Put(const std::string& key, ByteSpan data) override {
+    obs::Span span("objstore.put");
+    return base()->Put(key, data);
+  }
+  Status PutRange(const std::string& key, std::uint64_t offset,
+                  ByteSpan data) override {
+    obs::Span span("objstore.putrange");
+    return base()->PutRange(key, offset, data);
+  }
+  Status Delete(const std::string& key) override {
+    obs::Span span("objstore.delete");
+    return base()->Delete(key);
+  }
+  Result<ObjectMeta> Head(const std::string& key) override {
+    obs::Span span("objstore.head");
+    return base()->Head(key);
+  }
+  Result<std::vector<std::string>> List(const std::string& prefix) override {
+    obs::Span span("objstore.list");
+    return base()->List(prefix);
+  }
+
+  std::string name() const override { return "tracing/" + base()->name(); }
+};
+
+}  // namespace arkfs

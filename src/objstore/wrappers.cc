@@ -2,100 +2,131 @@
 
 namespace arkfs {
 
+CountingStore::CountingStore(ObjectStorePtr base,
+                             obs::MetricsRegistry* registry)
+    : StoreDecorator(std::move(base)) {
+  gets_.Attach(registry, "objstore.counting.gets");
+  puts_.Attach(registry, "objstore.counting.puts");
+  deletes_.Attach(registry, "objstore.counting.deletes");
+  heads_.Attach(registry, "objstore.counting.heads");
+  lists_.Attach(registry, "objstore.counting.lists");
+  bytes_read_.Attach(registry, "objstore.counting.bytes_read");
+  bytes_written_.Attach(registry, "objstore.counting.bytes_written");
+}
+
 Result<Bytes> CountingStore::Get(const std::string& key) {
-  gets_.fetch_add(1, std::memory_order_relaxed);
-  auto r = base_->Get(key);
-  if (r.ok()) bytes_read_.fetch_add(r->size(), std::memory_order_relaxed);
+  gets_.Add();
+  auto r = base()->Get(key);
+  if (r.ok()) bytes_read_.Add(r->size());
   return r;
 }
 
 Result<Bytes> CountingStore::GetRange(const std::string& key,
                                       std::uint64_t offset,
                                       std::uint64_t length) {
-  gets_.fetch_add(1, std::memory_order_relaxed);
-  auto r = base_->GetRange(key, offset, length);
-  if (r.ok()) bytes_read_.fetch_add(r->size(), std::memory_order_relaxed);
+  gets_.Add();
+  auto r = base()->GetRange(key, offset, length);
+  if (r.ok()) bytes_read_.Add(r->size());
   return r;
 }
 
 Status CountingStore::Put(const std::string& key, ByteSpan data) {
-  puts_.fetch_add(1, std::memory_order_relaxed);
-  bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
-  return base_->Put(key, data);
+  puts_.Add();
+  bytes_written_.Add(data.size());
+  return base()->Put(key, data);
 }
 
 Status CountingStore::PutRange(const std::string& key, std::uint64_t offset,
                                ByteSpan data) {
-  puts_.fetch_add(1, std::memory_order_relaxed);
-  bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
-  return base_->PutRange(key, offset, data);
+  puts_.Add();
+  bytes_written_.Add(data.size());
+  return base()->PutRange(key, offset, data);
 }
 
 Status CountingStore::Delete(const std::string& key) {
-  deletes_.fetch_add(1, std::memory_order_relaxed);
-  return base_->Delete(key);
+  deletes_.Add();
+  return base()->Delete(key);
 }
 
 Result<ObjectMeta> CountingStore::Head(const std::string& key) {
-  heads_.fetch_add(1, std::memory_order_relaxed);
-  return base_->Head(key);
+  heads_.Add();
+  return base()->Head(key);
 }
 
 Result<std::vector<std::string>> CountingStore::List(
     const std::string& prefix) {
-  lists_.fetch_add(1, std::memory_order_relaxed);
-  return base_->List(prefix);
+  lists_.Add();
+  return base()->List(prefix);
 }
 
 CountingStore::Counters CountingStore::Snapshot() const {
-  return Counters{gets_.load(),  puts_.load(),       deletes_.load(),
-                  heads_.load(), lists_.load(),      bytes_read_.load(),
-                  bytes_written_.load()};
+  return Counters{gets_.value(),  puts_.value(),       deletes_.value(),
+                  heads_.value(), lists_.value(),      bytes_read_.value(),
+                  bytes_written_.value()};
 }
 
 void CountingStore::Reset() {
-  gets_ = puts_ = deletes_ = heads_ = lists_ = 0;
-  bytes_read_ = bytes_written_ = 0;
+  gets_.Reset();
+  puts_.Reset();
+  deletes_.Reset();
+  heads_.Reset();
+  lists_.Reset();
+  bytes_read_.Reset();
+  bytes_written_.Reset();
 }
 
 Result<Bytes> FaultInjectionStore::Get(const std::string& key) {
   if (Errc e = Check("get", key); e != Errc::kOk) return ErrStatus(e, key);
-  return base_->Get(key);
+  return base()->Get(key);
 }
 
 Result<Bytes> FaultInjectionStore::GetRange(const std::string& key,
                                             std::uint64_t offset,
                                             std::uint64_t length) {
   if (Errc e = Check("getrange", key); e != Errc::kOk) return ErrStatus(e, key);
-  return base_->GetRange(key, offset, length);
+  return base()->GetRange(key, offset, length);
 }
 
 Status FaultInjectionStore::Put(const std::string& key, ByteSpan data) {
   if (Errc e = Check("put", key); e != Errc::kOk) return ErrStatus(e, key);
-  return base_->Put(key, data);
+  return base()->Put(key, data);
 }
 
 Status FaultInjectionStore::PutRange(const std::string& key,
                                      std::uint64_t offset, ByteSpan data) {
   if (Errc e = Check("putrange", key); e != Errc::kOk) return ErrStatus(e, key);
-  return base_->PutRange(key, offset, data);
+  return base()->PutRange(key, offset, data);
 }
 
 Status FaultInjectionStore::Delete(const std::string& key) {
   if (Errc e = Check("delete", key); e != Errc::kOk) return ErrStatus(e, key);
-  return base_->Delete(key);
+  return base()->Delete(key);
 }
 
 Result<ObjectMeta> FaultInjectionStore::Head(const std::string& key) {
   if (Errc e = Check("head", key); e != Errc::kOk) return ErrStatus(e, key);
-  return base_->Head(key);
+  return base()->Head(key);
 }
 
 Result<std::vector<std::string>> FaultInjectionStore::List(
     const std::string& prefix) {
   if (Errc e = Check("list", prefix); e != Errc::kOk)
     return ErrStatus(e, prefix);
-  return base_->List(prefix);
+  return base()->List(prefix);
+}
+
+LatencyTrackingStore::LatencyTrackingStore(ObjectStorePtr base,
+                                           obs::MetricsRegistry* registry)
+    : StoreDecorator(std::move(base)),
+      latencies_({"get", "getrange", "put", "putrange", "delete", "head",
+                  "list"}),
+      registry_(registry != nullptr ? registry
+                                    : &obs::MetricsRegistry::Default()) {
+  registry_->RegisterHistograms("objstore", &latencies_);
+}
+
+LatencyTrackingStore::~LatencyTrackingStore() {
+  registry_->UnregisterHistograms(&latencies_);
 }
 
 namespace {
@@ -110,37 +141,37 @@ auto Timed(OpLatencySet& set, std::string_view op, Fn&& fn) {
 }  // namespace
 
 Result<Bytes> LatencyTrackingStore::Get(const std::string& key) {
-  return Timed(latencies_, "get", [&] { return base_->Get(key); });
+  return Timed(latencies_, "get", [&] { return base()->Get(key); });
 }
 
 Result<Bytes> LatencyTrackingStore::GetRange(const std::string& key,
                                              std::uint64_t offset,
                                              std::uint64_t length) {
   return Timed(latencies_, "getrange",
-               [&] { return base_->GetRange(key, offset, length); });
+               [&] { return base()->GetRange(key, offset, length); });
 }
 
 Status LatencyTrackingStore::Put(const std::string& key, ByteSpan data) {
-  return Timed(latencies_, "put", [&] { return base_->Put(key, data); });
+  return Timed(latencies_, "put", [&] { return base()->Put(key, data); });
 }
 
 Status LatencyTrackingStore::PutRange(const std::string& key,
                                       std::uint64_t offset, ByteSpan data) {
   return Timed(latencies_, "putrange",
-               [&] { return base_->PutRange(key, offset, data); });
+               [&] { return base()->PutRange(key, offset, data); });
 }
 
 Status LatencyTrackingStore::Delete(const std::string& key) {
-  return Timed(latencies_, "delete", [&] { return base_->Delete(key); });
+  return Timed(latencies_, "delete", [&] { return base()->Delete(key); });
 }
 
 Result<ObjectMeta> LatencyTrackingStore::Head(const std::string& key) {
-  return Timed(latencies_, "head", [&] { return base_->Head(key); });
+  return Timed(latencies_, "head", [&] { return base()->Head(key); });
 }
 
 Result<std::vector<std::string>> LatencyTrackingStore::List(
     const std::string& prefix) {
-  return Timed(latencies_, "list", [&] { return base_->List(prefix); });
+  return Timed(latencies_, "list", [&] { return base()->List(prefix); });
 }
 
 }  // namespace arkfs

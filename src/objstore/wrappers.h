@@ -1,22 +1,25 @@
-// ObjectStore decorators: operation counting (benchmarks/tests) and failure
-// injection (crash-consistency and error-path tests).
+// ObjectStore decorators: operation counting (benchmarks/tests), failure
+// injection (crash-consistency and error-path tests) and per-op latency
+// histograms. All derive from StoreDecorator and publish their numbers
+// through the obs::MetricsRegistry ("objstore.counting.*", "objstore.<op>"
+// histograms); per-instance snapshot accessors read the same cells.
 #pragma once
 
-#include <atomic>
 #include <functional>
-#include <mutex>
 
 #include "common/stats.h"
-#include "objstore/object_store.h"
+#include "obs/metrics.h"
+#include "objstore/store_decorator.h"
 
 namespace arkfs {
 
 // Counts operations and payload bytes flowing through a store. Used by tests
 // to assert I/O amplification properties (e.g. "a 1-byte overwrite on an
 // S3-style store rewrites the whole chunk") and by benches for reporting.
-class CountingStore : public ObjectStore {
+class CountingStore : public StoreDecorator {
  public:
-  explicit CountingStore(ObjectStorePtr base) : base_(std::move(base)) {}
+  explicit CountingStore(ObjectStorePtr base,
+                         obs::MetricsRegistry* registry = nullptr);
 
   struct Counters {
     std::uint64_t gets = 0;
@@ -38,21 +41,14 @@ class CountingStore : public ObjectStore {
   Result<ObjectMeta> Head(const std::string& key) override;
   Result<std::vector<std::string>> List(const std::string& prefix) override;
 
-  bool supports_partial_write() const override {
-    return base_->supports_partial_write();
-  }
-  std::uint64_t max_object_size() const override {
-    return base_->max_object_size();
-  }
-  std::string name() const override { return "counting/" + base_->name(); }
+  std::string name() const override { return "counting/" + base()->name(); }
 
   Counters Snapshot() const;
   void Reset();
 
  private:
-  ObjectStorePtr base_;
-  std::atomic<std::uint64_t> gets_{0}, puts_{0}, deletes_{0}, heads_{0},
-      lists_{0}, bytes_read_{0}, bytes_written_{0};
+  obs::Counter gets_, puts_, deletes_, heads_, lists_, bytes_read_,
+      bytes_written_;
 };
 
 // Fails operations according to a caller-supplied predicate. The predicate
@@ -62,12 +58,12 @@ class CountingStore : public ObjectStore {
 // simulate a client crash mid-commit; predicates matching a whole family
 // should prefix-match (op.starts_with("put")) so ranged variants stay
 // covered.
-class FaultInjectionStore : public ObjectStore {
+class FaultInjectionStore : public StoreDecorator {
  public:
   using FaultFn = std::function<Errc(std::string_view op, const std::string& key)>;
 
   FaultInjectionStore(ObjectStorePtr base, FaultFn fn)
-      : base_(std::move(base)), fn_(std::move(fn)) {}
+      : StoreDecorator(std::move(base)), fn_(std::move(fn)) {}
 
   Result<Bytes> Get(const std::string& key) override;
   Result<Bytes> GetRange(const std::string& key, std::uint64_t offset,
@@ -79,34 +75,24 @@ class FaultInjectionStore : public ObjectStore {
   Result<ObjectMeta> Head(const std::string& key) override;
   Result<std::vector<std::string>> List(const std::string& prefix) override;
 
-  bool supports_partial_write() const override {
-    return base_->supports_partial_write();
-  }
-  std::uint64_t max_object_size() const override {
-    return base_->max_object_size();
-  }
-  std::string name() const override { return "faulty/" + base_->name(); }
-
- protected:
-  const ObjectStorePtr& base() const { return base_; }
+  std::string name() const override { return "faulty/" + base()->name(); }
 
  private:
   Errc Check(std::string_view op, const std::string& key) {
     return fn_ ? fn_(op, key) : Errc::kOk;
   }
-  ObjectStorePtr base_;
   FaultFn fn_;
 };
 
 // Records a per-operation latency histogram (get/getrange/put/putrange/
 // delete) for everything flowing through the store. Benches wrap the
-// simulated cluster with this to report p50/p95/p99 per op.
-class LatencyTrackingStore : public ObjectStore {
+// simulated cluster with this to report p50/p95/p99 per op; the histograms
+// export through the registry as "objstore.<op>" (objstore.get.p99, ...).
+class LatencyTrackingStore : public StoreDecorator {
  public:
-  explicit LatencyTrackingStore(ObjectStorePtr base)
-      : base_(std::move(base)),
-        latencies_({"get", "getrange", "put", "putrange", "delete", "head",
-                    "list"}) {}
+  explicit LatencyTrackingStore(ObjectStorePtr base,
+                                obs::MetricsRegistry* registry = nullptr);
+  ~LatencyTrackingStore() override;
 
   Result<Bytes> Get(const std::string& key) override;
   Result<Bytes> GetRange(const std::string& key, std::uint64_t offset,
@@ -118,20 +104,14 @@ class LatencyTrackingStore : public ObjectStore {
   Result<ObjectMeta> Head(const std::string& key) override;
   Result<std::vector<std::string>> List(const std::string& prefix) override;
 
-  bool supports_partial_write() const override {
-    return base_->supports_partial_write();
-  }
-  std::uint64_t max_object_size() const override {
-    return base_->max_object_size();
-  }
-  std::string name() const override { return "latency/" + base_->name(); }
+  std::string name() const override { return "latency/" + base()->name(); }
 
   const OpLatencySet& latencies() const { return latencies_; }
   void Reset() { latencies_.Reset(); }
 
  private:
-  ObjectStorePtr base_;
   OpLatencySet latencies_;
+  obs::MetricsRegistry* registry_;
 };
 
 }  // namespace arkfs

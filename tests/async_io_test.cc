@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 #include "objstore/async_io.h"
 #include "objstore/cluster_store.h"
 #include "objstore/memory_store.h"
@@ -209,9 +210,11 @@ TEST(AsyncObjectIoTest, InFlightCapIsEnforced) {
   auto base = std::make_shared<MemoryObjectStore>();
   // Dwell inside each op long enough that violations would be observable.
   auto probe = std::make_shared<ConcurrencyProbeStore>(base, Micros(200));
+  obs::MetricsRegistry registry;
   AsyncIoConfig cfg;
   cfg.workers = 8;
   cfg.max_in_flight = 3;
+  cfg.metrics = &registry;
   AsyncObjectIo io(probe, cfg);
 
   std::vector<Bytes> bufs;
@@ -230,7 +233,9 @@ TEST(AsyncObjectIoTest, InFlightCapIsEnforced) {
   EXPECT_TRUE(io.MultiGet(std::move(gets)).status.ok());
 
   EXPECT_LE(probe->peak(), 3u);
-  EXPECT_GE(io.stats().peak_in_flight, 2u);  // overlap actually happened
+  // Overlap actually happened: the registry's high-water gauge saw >= 2
+  // concurrently running primitives.
+  EXPECT_GE(registry.Snapshot().gauge("asyncio.peak_in_flight"), 2u);
 }
 
 TEST(AsyncObjectIoTest, NestedBatchesDoNotDeadlock) {
@@ -268,9 +273,11 @@ TEST(AsyncObjectIoTest, NestedBatchesDoNotDeadlock) {
 
 TEST(AsyncObjectIoTest, ConcurrentSubmittersStress) {
   auto store = std::make_shared<MemoryObjectStore>();
+  obs::MetricsRegistry registry;
   AsyncIoConfig cfg;
   cfg.workers = 4;
   cfg.max_in_flight = 8;
+  cfg.metrics = &registry;
   AsyncObjectIo io(store, cfg);
 
   constexpr int kThreads = 8;
@@ -308,9 +315,10 @@ TEST(AsyncObjectIoTest, ConcurrentSubmittersStress) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
 
-  const AsyncIoStats stats = io.stats();
-  EXPECT_GE(stats.batches, static_cast<std::uint64_t>(kThreads * kRounds * 2));
-  EXPECT_GE(stats.ops_submitted,
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_GE(snap.counter("asyncio.batches"),
+            static_cast<std::uint64_t>(kThreads * kRounds * 2));
+  EXPECT_GE(snap.counter("asyncio.ops_submitted"),
             static_cast<std::uint64_t>(kThreads * kRounds * 8));
 }
 
@@ -320,9 +328,11 @@ TEST(AsyncObjectIoTest, OverlapSavingsOnLatencyBoundStore) {
   ClusterConfig cc = ClusterConfig::RadosLike();
   cc.num_nodes = 4;
   auto store = std::make_shared<ClusterObjectStore>(cc);
+  obs::MetricsRegistry registry;
   AsyncIoConfig cfg;
   cfg.workers = 8;
   cfg.max_in_flight = 16;
+  cfg.metrics = &registry;
   AsyncObjectIo io(store, cfg);
 
   constexpr int kOps = 16;
@@ -359,7 +369,7 @@ TEST(AsyncObjectIoTest, OverlapSavingsOnLatencyBoundStore) {
   }
 
   EXPECT_LT(batched.count(), serial.count() / 2);  // >=2x speedup
-  EXPECT_GT(io.stats().overlap_saved_nanos, 0u);
+  EXPECT_GT(registry.Snapshot().counter("asyncio.overlap_saved_ns"), 0u);
 }
 
 TEST(AsyncObjectIoTest, RunAllAggregatesFirstError) {

@@ -23,6 +23,7 @@
 
 #include "core/cluster.h"
 #include "journal/record.h"
+#include "obs/metrics.h"
 #include "objstore/async_io.h"
 #include "objstore/chaos_store.h"
 #include "objstore/cluster_store.h"
@@ -68,7 +69,8 @@ TEST(FaultInjectionCoverage, EveryPrimitiveReachesTheHookWithItsOwnName) {
 TEST(RetryStoreTest, RidesOutTransientFaults) {
   auto chaos = std::make_shared<ChaosStore>(
       std::make_shared<MemoryObjectStore>(), ChaosConfig::Flaky(101, 20.0));
-  RetryingStore store(chaos, RetryPolicy::ForTests());
+  obs::MetricsRegistry registry;
+  RetryingStore store(chaos, RetryPolicy::ForTests(), &registry);
 
   for (int i = 0; i < 200; ++i) {
     const std::string key = "o" + std::to_string(i);
@@ -79,21 +81,22 @@ TEST(RetryStoreTest, RidesOutTransientFaults) {
     ASSERT_TRUE(got.ok()) << i;
     EXPECT_EQ(*got, Payload(i));
   }
-  const auto stats = store.retry_stats();
-  EXPECT_GT(stats.retries, 0u);              // chaos actually hit
-  EXPECT_EQ(stats.giveups, 0u);              // and never exhausted the cap
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_GT(snap.counter("objstore.retry.retries"), 0u);  // chaos actually hit
+  EXPECT_EQ(snap.counter("objstore.retry.giveups"), 0u);  // cap never hit
   EXPECT_GT(chaos->counters().transient_faults, 0u);
 }
 
 TEST(RetryStoreTest, SemanticErrorsAreNotRetried) {
   auto chaos = std::make_shared<ChaosStore>(
       std::make_shared<MemoryObjectStore>(), ChaosConfig{.seed = 5});
-  RetryingStore store(chaos, RetryPolicy::ForTests());
+  obs::MetricsRegistry registry;
+  RetryingStore store(chaos, RetryPolicy::ForTests(), &registry);
 
   // kNoEnt is an answer, not a fault: exactly one attempt.
   EXPECT_EQ(store.Get("missing").code(), Errc::kNoEnt);
-  EXPECT_EQ(store.retry_stats().attempts, 1u);
-  EXPECT_EQ(store.retry_stats().retries, 0u);
+  EXPECT_EQ(registry.Snapshot().counter("objstore.retry.attempts"), 1u);
+  EXPECT_EQ(registry.Snapshot().counter("objstore.retry.retries"), 0u);
 }
 
 TEST(RetryStoreTest, PersistentFaultExhaustsTheAttemptCap) {
@@ -101,12 +104,14 @@ TEST(RetryStoreTest, PersistentFaultExhaustsTheAttemptCap) {
       std::make_shared<MemoryObjectStore>(), ChaosConfig{.seed = 6});
   chaos->AddPersistentFault("dead", Errc::kIo);
   RetryPolicy policy = RetryPolicy::ForTests();
-  RetryingStore store(chaos, policy);
+  obs::MetricsRegistry registry;
+  RetryingStore store(chaos, policy, &registry);
 
   EXPECT_EQ(store.Get("dead").code(), Errc::kIo);
-  const auto stats = store.retry_stats();
-  EXPECT_EQ(stats.attempts, static_cast<std::uint64_t>(policy.max_attempts));
-  EXPECT_EQ(stats.giveups, 1u);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("objstore.retry.attempts"),
+            static_cast<std::uint64_t>(policy.max_attempts));
+  EXPECT_EQ(snap.counter("objstore.retry.giveups"), 1u);
 
   // A dead object that comes back is served again (with retries intact).
   chaos->ClearPersistentFault("dead");
@@ -122,12 +127,14 @@ TEST(RetryStoreTest, DeadlineCutsRetriesShort) {
   policy.max_attempts = 1000;
   policy.initial_backoff = Millis(5);
   policy.deadline = Millis(20);
-  RetryingStore store(chaos, policy);
+  obs::MetricsRegistry registry;
+  RetryingStore store(chaos, policy, &registry);
 
   EXPECT_EQ(store.Get("dead").code(), Errc::kTimedOut);
-  const auto stats = store.retry_stats();
-  EXPECT_EQ(stats.deadline_hits, 1u);
-  EXPECT_LT(stats.attempts, 16u);  // nowhere near the attempt cap
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("objstore.retry.deadline_hits"), 1u);
+  // Nowhere near the attempt cap.
+  EXPECT_LT(snap.counter("objstore.retry.attempts"), 16u);
 }
 
 TEST(ChaosStoreTest, TornPutLeavesStrictPrefixAndFails) {
@@ -175,8 +182,10 @@ TEST(ChaosStoreTest, TornJournalTailNeverCommits) {
 TEST(AsyncIoRetryTest, BatchesRideOutTransientFaults) {
   auto chaos = std::make_shared<ChaosStore>(
       std::make_shared<MemoryObjectStore>(), ChaosConfig::Flaky(21, 20.0));
+  obs::MetricsRegistry registry;
   AsyncIoConfig cfg = AsyncIoConfig::ForTests();
   cfg.retry = RetryPolicy::ForTests();
+  cfg.metrics = &registry;
   AsyncObjectIo io(chaos, cfg);
 
   std::vector<Bytes> payloads;
@@ -200,10 +209,10 @@ TEST(AsyncIoRetryTest, BatchesRideOutTransientFaults) {
     EXPECT_EQ(*get_result.results[i], Payload(i)) << i;
   }
 
-  const auto stats = io.stats();
-  EXPECT_GT(stats.retries, 0u);
-  EXPECT_EQ(stats.retry_giveups, 0u);
-  EXPECT_EQ(stats.retry_deadline_hits, 0u);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_GT(snap.counter("asyncio.retry.retries"), 0u);
+  EXPECT_EQ(snap.counter("asyncio.retry.giveups"), 0u);
+  EXPECT_EQ(snap.counter("asyncio.retry.deadline_hits"), 0u);
 }
 
 // --- satellite regression: journal commit failure must not lose records ---
@@ -296,8 +305,9 @@ class ChaosE2eTest : public ::testing::Test {
 TEST_F(ChaosE2eTest, MdtestWorkloadAtFivePercentFaults) {
   auto chaos = std::make_shared<ChaosStore>(
       std::make_shared<MemoryObjectStore>(), ChaosConfig::Flaky(42, 5.0));
-  auto retrying =
-      std::make_shared<RetryingStore>(chaos, RetryPolicy::ForTests());
+  obs::MetricsRegistry registry;
+  auto retrying = std::make_shared<RetryingStore>(
+      chaos, RetryPolicy::ForTests(), &registry);
   auto cluster =
       ArkFsCluster::Create(retrying, ArkFsClusterOptions::ForTests()).value();
   auto fs = cluster->AddClient().value();
@@ -306,24 +316,27 @@ TEST_F(ChaosE2eTest, MdtestWorkloadAtFivePercentFaults) {
   // At 5% faults behind an 8-attempt retry stack the workload should
   // complete in full, with real retries absorbed along the way.
   EXPECT_EQ(acked.size(), 100u);
-  const auto stats = retrying->retry_stats();
-  EXPECT_GT(stats.retries, 0u);
-  EXPECT_EQ(stats.giveups, 0u);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_GT(snap.counter("objstore.retry.retries"), 0u);
+  EXPECT_EQ(snap.counter("objstore.retry.giveups"), 0u);
   // Retry overhead stays within budget: ~5% of attempts are re-runs; allow
   // generous slack before calling it runaway.
-  EXPECT_LT(stats.retries, stats.attempts / 4);
+  EXPECT_LT(snap.counter("objstore.retry.retries"),
+            snap.counter("objstore.retry.attempts") / 4);
 
   ASSERT_TRUE(fs->DropCaches().ok());
   VerifyAcked(*fs, root_, acked);
 }
 
 TEST_F(ChaosE2eTest, RollingNodeOutageLosesNoAckedOps) {
+  obs::MetricsRegistry registry;
   ClusterConfig cc = ClusterConfig::Instant(4);
   cc.replication = 3;
+  cc.metrics = &registry;
   auto nodes = std::make_shared<ClusterObjectStore>(cc);
   auto chaos = std::make_shared<ChaosStore>(nodes, ChaosConfig::Flaky(77, 1.0));
-  auto retrying =
-      std::make_shared<RetryingStore>(chaos, RetryPolicy::ForTests());
+  auto retrying = std::make_shared<RetryingStore>(
+      chaos, RetryPolicy::ForTests(), &registry);
   auto cluster =
       ArkFsCluster::Create(retrying, ArkFsClusterOptions::ForTests()).value();
   auto fs = cluster->AddClient().value();
@@ -360,8 +373,8 @@ TEST_F(ChaosE2eTest, RollingNodeOutageLosesNoAckedOps) {
   outages.join();
 
   // The outages must actually have been felt.
-  EXPECT_GT(nodes->outage_stats().rejected_ops, 0u);
-  EXPECT_GT(retrying->retry_stats().retries, 0u);
+  EXPECT_GT(registry.Snapshot().counter("cluster.outage.rejected_ops"), 0u);
+  EXPECT_GT(registry.Snapshot().counter("objstore.retry.retries"), 0u);
   ASSERT_FALSE(acked.empty());
 
   // All nodes healed (missed writes backfilled): every acked file verifies.
@@ -477,7 +490,7 @@ TEST_F(ChaosE2eTest, ManagerFailoverRollingKillsLoseNoAckedOps) {
     EXPECT_EQ(*data, Payload(i)) << path << "; seed " << seed;
   }
   for (const auto& client : cluster->clients()) {
-    EXPECT_EQ(client->journal_stats().fence_violations, 0u)
+    EXPECT_EQ(client->journal_metrics().fence_violations.value(), 0u)
         << "deposed-epoch commit reached the store; seed " << seed;
   }
 }
@@ -500,8 +513,9 @@ TEST_F(ChaosE2eTest, RandomizedSeedSweep) {
 
   auto chaos = std::make_shared<ChaosStore>(
       std::make_shared<MemoryObjectStore>(), ChaosConfig::Flaky(seed, 3.0));
-  auto retrying =
-      std::make_shared<RetryingStore>(chaos, RetryPolicy::ForTests());
+  obs::MetricsRegistry registry;
+  auto retrying = std::make_shared<RetryingStore>(
+      chaos, RetryPolicy::ForTests(), &registry);
   auto cluster =
       ArkFsCluster::Create(retrying, ArkFsClusterOptions::ForTests()).value();
   auto fs = cluster->AddClient().value();
@@ -510,7 +524,8 @@ TEST_F(ChaosE2eTest, RandomizedSeedSweep) {
   ASSERT_FALSE(acked.empty()) << "seed " << seed;
   ASSERT_TRUE(fs->DropCaches().ok()) << "seed " << seed;
   VerifyAcked(*fs, root_, acked);
-  EXPECT_EQ(retrying->retry_stats().giveups, 0u) << "seed " << seed;
+  EXPECT_EQ(registry.Snapshot().counter("objstore.retry.giveups"), 0u)
+      << "seed " << seed;
 }
 
 }  // namespace

@@ -288,8 +288,8 @@ TEST_F(CrashTest, DeposedEpochGrantFencedAtJournalCommit) {
   deposed.Append(dir, {journal::Record::DentryAdd(
                      Dentry{"lost", DeterministicUuid(3, 5)})});
   EXPECT_EQ(deposed.CommitDir(dir).code(), Errc::kStale);
-  EXPECT_GE(deposed.stats().fence_rejections, 1u);
-  EXPECT_EQ(deposed.stats().fence_violations, 0u);
+  EXPECT_GE(deposed.metrics().fence_rejections.value(), 1u);
+  EXPECT_EQ(deposed.metrics().fence_violations.value(), 0u);
   // Re-fencing with the stale token is just as dead.
   EXPECT_EQ(deposed.FenceDir(dir, old_token).code(), Errc::kStale);
 
@@ -344,7 +344,7 @@ TEST_F(CrashTest, FencedWritesRedrivenUnderSuccessorEpoch) {
   EXPECT_EQ(ToString(*c2->ReadWholeFile("/ha/acked0", root_)), "pre");
   EXPECT_EQ(ToString(*c2->ReadWholeFile("/ha/acked1", root_)), "post");
   for (const auto& client : cluster->clients()) {
-    EXPECT_EQ(client->journal_stats().fence_violations, 0u);
+    EXPECT_EQ(client->journal_metrics().fence_violations.value(), 0u);
   }
 }
 

@@ -197,7 +197,7 @@ TEST_F(JournalManagerTest, FlushCheckpointsToAuthoritativeObjects) {
   EXPECT_EQ((*block)[0].name, "a");
   // Checkpoint invalidated the journal.
   EXPECT_FALSE(manager_->HasSurvivingJournal(dir_));
-  EXPECT_EQ(manager_->stats().transactions_checkpointed, 1u);
+  EXPECT_EQ(manager_->metrics().transactions_checkpointed.value(), 1u);
 }
 
 TEST_F(JournalManagerTest, BackgroundCommitEventuallyHappens) {
@@ -205,11 +205,11 @@ TEST_F(JournalManagerTest, BackgroundCommitEventuallyHappens) {
                              {"bg", DeterministicUuid(9, 9),
                               FileType::kRegular})});
   // Commit interval in ForTests() is 20 ms; wait for the background pass.
-  for (int i = 0; i < 100 && manager_->stats().transactions_committed == 0;
+  for (int i = 0; i < 100 && manager_->metrics().transactions_committed.value() == 0;
        ++i) {
     SleepFor(Millis(10));
   }
-  EXPECT_GE(manager_->stats().transactions_committed, 1u);
+  EXPECT_GE(manager_->metrics().transactions_committed.value(), 1u);
 }
 
 TEST_F(JournalManagerTest, CommitWithoutCheckpointLeavesJournal) {
@@ -472,8 +472,8 @@ TEST_F(ShardedDentryTest, LegacyBlockMigratesOnFirstCheckpoint) {
   auto all = prt_->LoadDentries(dir);
   ASSERT_TRUE(all.ok());
   EXPECT_EQ(all->size(), 11u);
-  EXPECT_EQ(mgr->stats().dentry_migrations, 1u);
-  EXPECT_EQ(mgr->stats().dentry_shards_written, 4u);  // all of gen B=4
+  EXPECT_EQ(mgr->metrics().dentry_migrations.value(), 1u);
+  EXPECT_EQ(mgr->metrics().dentry_shards_written.value(), 4u);  // all of gen B=4
 }
 
 TEST_F(ShardedDentryTest, CheckpointWritesOnlyDirtyShards) {
@@ -489,16 +489,17 @@ TEST_F(ShardedDentryTest, CheckpointWritesOnlyDirtyShards) {
   mgr->Append(dir, std::move(seed));
   ASSERT_TRUE(mgr->FlushDir(dir).ok());
 
-  const JournalStats before = mgr->stats();
+  const std::uint64_t loaded_before = mgr->metrics().dentry_shards_loaded.value();
+  const std::uint64_t written_before =
+      mgr->metrics().dentry_shards_written.value();
   counting_->Reset();
   mgr->Append(dir, {AddEntry("straggler", 5000)});
   ASSERT_TRUE(mgr->FlushDir(dir).ok());
-  const JournalStats after = mgr->stats();
 
   // A one-entry burst dirties exactly one of the 16 shards: one shard read,
   // one shard write — not a 1000-entry block rewrite.
-  EXPECT_EQ(after.dentry_shards_loaded - before.dentry_shards_loaded, 1u);
-  EXPECT_EQ(after.dentry_shards_written - before.dentry_shards_written, 1u);
+  EXPECT_EQ(mgr->metrics().dentry_shards_loaded.value() - loaded_before, 1u);
+  EXPECT_EQ(mgr->metrics().dentry_shards_written.value() - written_before, 1u);
   // Store traffic for the whole flush: journal append + one shard put +
   // manifest count update + journal trim.
   const auto c = counting_->Snapshot();
@@ -536,7 +537,7 @@ TEST_F(ShardedDentryTest, ShardCountGrowsWithDirectory) {
   ASSERT_TRUE(m.ok());
   EXPECT_EQ(m->shard_count, 8u);  // 34 entries at 8/shard -> 8-way
   EXPECT_EQ(m->entry_count, 34u);
-  EXPECT_EQ(mgr->stats().dentry_reshards, 1u);
+  EXPECT_EQ(mgr->metrics().dentry_reshards.value(), 1u);
   // The old generation's objects (both slots) were dropped after the flip.
   EXPECT_EQ(prt_->store().Head(DentryShardKey(dir, 1, 0, 0)).code(),
             Errc::kNoEnt);
@@ -579,7 +580,7 @@ TEST_F(ShardedDentryTest, LegacyCrashRecoveryMigrates) {
   auto report = fresh->RecoverDir(dir);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->transactions_replayed, 1u);
-  EXPECT_EQ(fresh->stats().dentry_migrations, 1u);
+  EXPECT_EQ(fresh->metrics().dentry_migrations.value(), 1u);
 
   auto m = prt_->LoadDentryManifest(dir);
   ASSERT_TRUE(m.ok());

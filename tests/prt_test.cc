@@ -1,6 +1,7 @@
 // Tests for the PRT: key schema and POSIX<->REST data translation.
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "objstore/memory_store.h"
 #include "objstore/wrappers.h"
 #include "prt/key_schema.h"
@@ -47,7 +48,15 @@ class PrtTest : public ::testing::Test {
   PrtTest()
       : store_(std::make_shared<CountingStore>(
             std::make_shared<MemoryObjectStore>(1024))),
-        prt_(store_, 1024) {}
+        prt_(store_, 1024, [this] {
+          AsyncIoConfig cfg;
+          cfg.metrics = &registry_;
+          return cfg;
+        }()) {}
+
+  std::uint64_t AsyncBatches() {
+    return registry_.Snapshot().counter("asyncio.batches");
+  }
 
   Bytes Pattern(std::size_t n, int seed = 0) {
     Bytes b(n);
@@ -58,6 +67,7 @@ class PrtTest : public ::testing::Test {
   }
 
   std::shared_ptr<CountingStore> store_;
+  obs::MetricsRegistry registry_;
   Prt prt_;
 };
 
@@ -415,25 +425,25 @@ TEST_F(PrtTest, BootstrapIsOneBatchWhenHintMatches) {
   ASSERT_TRUE(prt_.StoreDentryManifest(dir, {kShards, 32}).ok());
 
   store_->Reset();
-  const auto batches_before = prt_.async().stats().batches;
+  const auto batches_before = AsyncBatches();
   auto objs = prt_.LoadDirObjects(dir, kShards);
   ASSERT_TRUE(objs.inode.ok());
   ASSERT_TRUE(objs.dentries.ok());
   EXPECT_EQ(objs.dentries->size(), 32u);
   EXPECT_EQ(objs.shard_count, kShards);
   EXPECT_EQ(store_->Snapshot().gets, 4u + 2u * kShards);
-  EXPECT_EQ(prt_.async().stats().batches - batches_before, 1u);
+  EXPECT_EQ(AsyncBatches() - batches_before, 1u);
 
   // A stale hint costs exactly one extra overlapped batch for the real
   // live shard set — never a per-shard serial loop.
   store_->Reset();
-  const auto batches_mid = prt_.async().stats().batches;
+  const auto batches_mid = AsyncBatches();
   auto cold = prt_.LoadDirObjects(dir, /*shard_hint=*/1);
   ASSERT_TRUE(cold.dentries.ok());
   EXPECT_EQ(cold.dentries->size(), 32u);
   EXPECT_EQ(cold.shard_count, kShards);
   EXPECT_EQ(store_->Snapshot().gets, (4u + 2u) + kShards);
-  EXPECT_EQ(prt_.async().stats().batches - batches_mid, 2u);
+  EXPECT_EQ(AsyncBatches() - batches_mid, 2u);
 }
 
 TEST_F(PrtTest, BootstrapLegacyDirIsOneBatch) {
@@ -444,14 +454,14 @@ TEST_F(PrtTest, BootstrapLegacyDirIsOneBatch) {
       prt_.StoreDentryBlock(dir, {{"v", NewUuid(), FileType::kRegular}}).ok());
 
   store_->Reset();
-  const auto batches_before = prt_.async().stats().batches;
+  const auto batches_before = AsyncBatches();
   auto objs = prt_.LoadDirObjects(dir, /*shard_hint=*/1);
   ASSERT_TRUE(objs.inode.ok());
   ASSERT_TRUE(objs.dentries.ok());
   EXPECT_EQ(objs.dentries->size(), 1u);
   EXPECT_EQ(objs.shard_count, 0u);  // legacy layout reported to the caller
   EXPECT_EQ(store_->Snapshot().gets, 6u);
-  EXPECT_EQ(prt_.async().stats().batches - batches_before, 1u);
+  EXPECT_EQ(AsyncBatches() - batches_before, 1u);
 }
 
 TEST(PrtS3Test, PartialWriteAmplifiesToWholeChunk) {

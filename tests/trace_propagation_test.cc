@@ -1,0 +1,140 @@
+// End-to-end trace propagation: one Vfs request carries ONE trace id from
+// the entry-point root span through the lease RPC, the journal append /
+// fence, and down to the object-store PUT — the acceptance path of the
+// unified observability plane.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "obs/metrics.h"
+#include "objstore/memory_store.h"
+
+namespace arkfs {
+namespace {
+
+class TracePropagationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_shared<MemoryObjectStore>();
+    ArkFsClusterOptions opts = ArkFsClusterOptions::ForTests();
+    opts.client_template.metrics = &registry_;
+    opts.lease.metrics = &registry_;
+    cluster_ = ArkFsCluster::Create(store_, opts).value();
+    client_ = cluster_->AddClient("tracer").value();
+  }
+
+  // All span names recorded under `trace_id`, in completion order.
+  std::vector<std::string> NamesIn(const std::vector<obs::SpanRecord>& spans,
+                                   std::uint64_t trace_id) {
+    std::vector<std::string> names;
+    for (const auto& s : spans) {
+      if (s.trace_id == trace_id) names.push_back(s.name);
+    }
+    return names;
+  }
+
+  obs::MetricsRegistry registry_;
+  ObjectStorePtr store_;
+  std::unique_ptr<ArkFsCluster> cluster_;
+  std::shared_ptr<Client> client_;
+  UserCred root_ = UserCred::Root();
+};
+
+TEST_F(TracePropagationTest, OneCreateIsOneTraceAcrossAllLayers) {
+  OpenOptions create;
+  create.write = true;
+  create.create = true;
+  auto fd = client_->Open("/traced.txt", create, root_);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(client_->Close(*fd).ok());
+
+  const auto report = client_->Introspect();
+  ASSERT_FALSE(report.spans.empty());
+
+  // The create's root span: the first "vfs.open" recorded.
+  auto root_it = std::find_if(
+      report.spans.begin(), report.spans.end(),
+      [](const obs::SpanRecord& s) { return s.name == "vfs.open"; });
+  ASSERT_NE(root_it, report.spans.end());
+  const std::uint64_t trace_id = root_it->trace_id;
+  ASSERT_NE(trace_id, 0u);
+
+  const auto names = NamesIn(report.spans, trace_id);
+  // Every layer the first create in a fresh directory must cross, all
+  // under the SAME trace id: client dispatch, the lease-acquire RPC (both
+  // the client stub and the manager handler — the in-process fabric runs
+  // it on the caller thread), the journal fence of the new leadership, the
+  // dentry-add journal append, and the fence's object-store PUT.
+  for (const char* required :
+       {"client.run_dir_op", "lease.acquire", "lease.manager.acquire",
+        "journal.fence", "journal.append", "objstore.put"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << "missing span \"" << required << "\" in trace; got "
+        << ::testing::PrintToString(names);
+  }
+
+  // The root span is the trace's only parentless span.
+  int roots = 0;
+  for (const auto& s : report.spans) {
+    if (s.trace_id == trace_id && s.parent_span == 0) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST_F(TracePropagationTest, SeparateRequestsGetSeparateTraceIds) {
+  ASSERT_TRUE(client_->Mkdir("/a", 0755, root_).ok());
+  ASSERT_TRUE(client_->Mkdir("/b", 0755, root_).ok());
+  const auto spans = client_->Introspect().spans;
+  std::set<std::uint64_t> mkdir_traces;
+  for (const auto& s : spans) {
+    if (s.name == "vfs.mkdir") mkdir_traces.insert(s.trace_id);
+  }
+  EXPECT_EQ(mkdir_traces.size(), 2u);
+}
+
+TEST_F(TracePropagationTest, ForwardedOpKeepsTheRequesterTraceId) {
+  // Client A becomes leader of a directory; client B's create in it is
+  // forwarded over the dir-op RPC. The wire frame carries B's trace
+  // context, so A's serving spans land under B's trace id (in A's ring).
+  ASSERT_TRUE(client_->Mkdir("/shared", 0755, root_).ok());
+  ASSERT_TRUE(
+      client_->WriteFileAt("/shared/warm", AsBytes("x"), root_).ok());
+
+  auto peer = cluster_->AddClient("peer").value();
+  ASSERT_TRUE(peer->WriteFileAt("/shared/from_peer", AsBytes("y"), root_).ok());
+
+  // Find the peer's trace that carried the forwarded create.
+  std::uint64_t forwarded_trace = 0;
+  for (const auto& s : peer->tracer().Spans()) {
+    if (s.name == "client.run_dir_op") forwarded_trace = s.trace_id;
+  }
+  ASSERT_NE(forwarded_trace, 0u);
+
+  // The serving leader recorded its handler span under that same id.
+  bool served_under_same_trace = false;
+  for (const auto& s : client_->tracer().Spans()) {
+    if (s.name == "client.serve_dir_op" && s.trace_id == forwarded_trace) {
+      served_under_same_trace = true;
+    }
+  }
+  EXPECT_TRUE(served_under_same_trace);
+  EXPECT_GT(client_->stats().served_remote_ops, 0u);
+}
+
+TEST_F(TracePropagationTest, IntrospectExportsTheMetricsPlane) {
+  ASSERT_TRUE(client_->Mkdir("/m", 0755, root_).ok());
+  const auto report = client_->Introspect();
+  EXPECT_NE(report.metrics_text.find("client.lease_acquires"),
+            std::string::npos);
+  EXPECT_NE(report.metrics_text.find("journal.transactions_committed"),
+            std::string::npos);
+  EXPECT_NE(report.metrics_text.find("lease.grants"), std::string::npos);
+  EXPECT_GT(registry_.Snapshot().counter("client.lease_acquires"), 0u);
+}
+
+}  // namespace
+}  // namespace arkfs

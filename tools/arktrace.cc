@@ -1,0 +1,85 @@
+// arktrace — pretty-printer for ArkFS span dumps.
+//
+// A client's Tracer ring exports its spans in a small binary form
+// (Tracer::DumpBinary, magic "AKTR"); Vfs::Introspect() surfaces the same
+// records in memory. This tool decodes a dump file (or stdin) and prints
+// one line per span, grouped by trace and indented by depth — the offline
+// half of the observability plane.
+//
+// Usage:
+//   arktrace <dump-file>     decode a binary span dump
+//   arktrace -               decode a dump from stdin
+//   arktrace --demo          generate a representative trace and print it
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace arkfs {
+namespace {
+
+int PrintDump(const Bytes& blob) {
+  auto spans = obs::Tracer::ParseBinary(blob);
+  if (!spans.ok()) {
+    std::fprintf(stderr, "arktrace: not a span dump: %s\n",
+                 spans.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(obs::Tracer::FormatText(*spans).c_str(), stdout);
+  std::printf("%zu span(s)\n", spans->size());
+  return 0;
+}
+
+// A canned create-request trace: what Introspect() shows after the first
+// create in a fresh directory. Exercises the full encode -> decode ->
+// format path, so it doubles as the ctest smoke for this binary.
+int RunDemo() {
+  obs::Tracer tracer(64);
+  {
+    obs::RootSpan root(&tracer, "vfs.open");
+    obs::Span dispatch("client.run_dir_op");
+    {
+      obs::Span acquire("lease.acquire");
+      obs::Span manager("lease.manager.acquire");
+    }
+    {
+      obs::Span fence("journal.fence");
+      obs::Span put("objstore.put");
+    }
+    obs::Span append("journal.append");
+  }
+  const Bytes blob = tracer.DumpBinary();
+  std::printf("demo trace (%zu bytes encoded):\n",
+              static_cast<std::size_t>(blob.size()));
+  return PrintDump(blob);
+}
+
+}  // namespace
+}  // namespace arkfs
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: arktrace <dump-file>|-|--demo\n");
+    return 2;
+  }
+  if (std::strcmp(argv[1], "--demo") == 0) return arkfs::RunDemo();
+
+  arkfs::Bytes blob;
+  if (std::strcmp(argv[1], "-") == 0) {
+    std::string data(std::istreambuf_iterator<char>(std::cin), {});
+    blob.assign(data.begin(), data.end());
+  } else {
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "arktrace: cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::string data(std::istreambuf_iterator<char>(in), {});
+    blob.assign(data.begin(), data.end());
+  }
+  return arkfs::PrintDump(blob);
+}
