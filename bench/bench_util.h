@@ -52,7 +52,8 @@ struct ArkBenchEnv {
   static ArkBenchEnv Create(ClusterConfig store_config,
                             bool permission_cache = true,
                             CacheConfig cache = CacheConfig{},
-                            std::uint64_t chunk_size = 0) {
+                            std::uint64_t chunk_size = 0,
+                            bool read_delegations = true) {
     ArkBenchEnv env;
     env.store = std::make_shared<ClusterObjectStore>(store_config);
     ArkFsClusterOptions options;
@@ -60,6 +61,7 @@ struct ArkBenchEnv {
     options.lease = lease::LeaseManagerConfig{Seconds(5), Millis(100)};
     ClientConfig client;
     client.permission_cache = permission_cache;
+    client.read_delegations = read_delegations;
     client.perm_cache_ttl = Seconds(5);
     client.cache = cache;
     client.chunk_size = chunk_size;

@@ -66,6 +66,45 @@ int main() {
         {"ArkFS",
          workloads::RunMdtestHard([&](int) { return mount; }, config).value()});
   }
+  // Multi-node ArkFS on the same shared-directory pool: 4 client nodes, the
+  // 16 mdtest procs round-robin across them, so ~3/4 of all ops land in
+  // directories led by another node. With read delegations the STAT phase
+  // serves from locally cached metatable slices instead of forwarding every
+  // stat to the leader; WRITE/DELETE still forward (mutations).
+  auto run_multi = [&](bool delegations, ClientStats* stats_out) {
+    auto env = bench::ArkBenchEnv::Create(ClusterConfig::RadosLike(),
+                                          /*permission_cache=*/true,
+                                          CacheConfig{}, /*chunk_size=*/0,
+                                          delegations);
+    constexpr int kNodes = 4;
+    std::vector<VfsPtr> mounts;
+    std::vector<std::shared_ptr<Client>> clients;
+    for (int n = 0; n < kNodes; ++n) {
+      auto client = env.cluster->AddClient().value();
+      clients.push_back(client);
+      mounts.push_back(env.cluster->WithFuse(client, bench::ScaledFuse(4)));
+    }
+    auto phases = workloads::RunMdtestHard(
+                      [&](int p) { return mounts[p % kNodes]; }, config)
+                      .value();
+    if (stats_out != nullptr) {
+      *stats_out = ClientStats{};
+      for (const auto& client : clients) {
+        const ClientStats s = client->stats();
+        stats_out->stat_local += s.stat_local;
+        stats_out->stat_forwarded += s.stat_forwarded;
+        stats_out->stat_delegated += s.stat_delegated;
+        stats_out->deleg_hits += s.deleg_hits;
+        stats_out->deleg_misses += s.deleg_misses;
+        stats_out->deleg_refetches += s.deleg_refetches;
+        stats_out->deleg_invalidations += s.deleg_invalidations;
+      }
+    }
+    return phases;
+  };
+  ClientStats deleg_stats, fwd_stats;
+  runs.push_back({"ArkFS 4-node +deleg", run_multi(true, &deleg_stats)});
+  runs.push_back({"ArkFS 4-node -deleg", run_multi(false, &fwd_stats)});
   {
     auto d = bench::MakeCephDeployment(ClusterConfig::RadosLike(),
                                        MdsConfig::Ranks(1));
@@ -109,11 +148,41 @@ int main() {
   PrintTable(runs);
 
   std::printf("\n");
+  const SystemRun& ceph1 = runs[3];
   for (std::size_t p = 0; p < runs[0].phases.size(); ++p) {
     const double ark = runs[0].phases[p].ops_per_second;
-    const double k1 = runs[1].phases[p].ops_per_second;
+    const double k1 = ceph1.phases[p].ops_per_second;
     bench::Row(runs[0].phases[p].phase + " ArkFS/CephFS-K(1)",
                bench::Fmt("%.2fx", k1 > 0 ? ark / k1 : 0));
   }
+
+  // Read-delegation effect on the shared-dir pool (4-node rows). STAT is
+  // the delegable phase; WRITE must not regress (mutations forward either
+  // way — the delegation machinery only adds a cache probe).
+  std::printf("\n");
+  const SystemRun& with_deleg = runs[1];
+  const SystemRun& no_deleg = runs[2];
+  for (std::size_t p = 0; p < with_deleg.phases.size(); ++p) {
+    const double on = with_deleg.phases[p].ops_per_second;
+    const double off = no_deleg.phases[p].ops_per_second;
+    bench::Row(with_deleg.phases[p].phase + " 4-node deleg on/off",
+               bench::Fmt("%.2fx", off > 0 ? on / off : 0));
+  }
+  std::printf("  client.stat split (+deleg run): local=%llu forwarded=%llu "
+              "delegated=%llu\n",
+              (unsigned long long)deleg_stats.stat_local,
+              (unsigned long long)deleg_stats.stat_forwarded,
+              (unsigned long long)deleg_stats.stat_delegated);
+  std::printf("  delegation cache (+deleg run): hits=%llu misses=%llu "
+              "refetches=%llu invalidations=%llu\n",
+              (unsigned long long)deleg_stats.deleg_hits,
+              (unsigned long long)deleg_stats.deleg_misses,
+              (unsigned long long)deleg_stats.deleg_refetches,
+              (unsigned long long)deleg_stats.deleg_invalidations);
+  std::printf("  client.stat split (-deleg run): local=%llu forwarded=%llu "
+              "delegated=%llu\n",
+              (unsigned long long)fwd_stats.stat_local,
+              (unsigned long long)fwd_stats.stat_forwarded,
+              (unsigned long long)fwd_stats.stat_delegated);
   return 0;
 }

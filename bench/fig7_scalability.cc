@@ -1,4 +1,6 @@
-// Figure 7 — metadata scalability, 1..512 clients (normalized, log scale).
+// Figure 7 — metadata scalability, 1..512 clients (normalized, log scale),
+// plus the hot-directory stat extension: 1..4096 clients reading ONE shared
+// directory, delegated vs forwarding-only.
 //
 // Paper observations reproduced here:
 //   * ArkFS-pcache scales near-linearly to 512 clients;
@@ -7,16 +9,86 @@
 //     directory leaders, and serving those lookups consumes the leaders;
 //   * CephFS-K with 16 MDSs improves on 1 MDS by at most ~3.24x (forwarding
 //     + migration + coordination overheads).
+//   * Hot-directory stats: forwarding-only throughput is capped by the one
+//     leader CPU; lease-issued read delegations serve stats from a locally
+//     cached versioned slice, so aggregate throughput keeps growing to
+//     4096 clients — the leader pays one slice fetch per delegate per
+//     watermark period instead of one RPC per stat.
 //
 // Client counts beyond a handful cannot be measured honestly in real time
 // on one core, so this bench runs the DES models (virtual time); the cost
 // constants are printed alongside.
+//
+// `--deleg-smoke`: CI gate mode. Runs only the hot-directory stat sweep at
+// a reduced client count and exits 1 unless delegated throughput beats
+// forwarding-only by >= 3x at the top point.
+#include <cstring>
+
 #include "bench_util.h"
 #include "des/scalability.h"
 
 using namespace arkfs;
 
-int main() {
+namespace {
+
+// Runs the shared-hot-directory stat sweep; returns the delegated-vs-
+// forwarding throughput ratio at the top client count.
+double RunSharedStatSweep(const std::vector<int>& counts, int files) {
+  std::vector<double> deleg_ops, fwd_ops;
+  for (int clients : counts) {
+    des::ScaleWorkload workload;
+    workload.clients = clients;
+    workload.files_per_client = files;
+    des::ArkfsStatScaleParams p;
+    p.delegations = true;
+    deleg_ops.push_back(
+        des::SimulateArkfsSharedStat(p, workload).ops_per_second);
+    p.delegations = false;
+    fwd_ops.push_back(
+        des::SimulateArkfsSharedStat(p, workload).ops_per_second);
+  }
+
+  std::printf("\n  hot-directory stats, one shared dir (aggregate ops/s):\n");
+  std::printf("  %8s %18s %18s %10s\n", "clients", "ArkFS-delegated",
+              "ArkFS-forwarding", "ratio");
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    std::printf("  %8d %18.0f %18.0f %9.1fx\n", counts[i], deleg_ops[i],
+                fwd_ops[i], deleg_ops[i] / fwd_ops[i]);
+  }
+  const std::size_t last = counts.size() - 1;
+  // Forwarding is pinned at the leader's serve rate (it DROPS below the
+  // 1-client number: remote stats cost more than local ones). Delegated
+  // throughput keeps growing with client count; in this short run it is
+  // bounded by the one-time slice-fetch ramp through the width-1 leader,
+  // which amortizes away as the read phase lengthens.
+  bench::Row("delegated scale-up @top",
+             bench::Fmt("%.0fx its 1-client throughput",
+                        deleg_ops[last] / deleg_ops[0]));
+  bench::Row("forwarding scale-up @top",
+             bench::Fmt("%.2fx its 1-client throughput (leader-bound)",
+                        fwd_ops[last] / fwd_ops[0]));
+  bench::Row("delegated vs forwarding @top",
+             bench::Fmt("%.1fx", deleg_ops[last] / fwd_ops[last]));
+  return deleg_ops[last] / fwd_ops[last];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--deleg-smoke") == 0) {
+    bench::Header("delegation scaling smoke (CI gate)",
+                  "hot-directory stat DES at reduced client count");
+    const double ratio = RunSharedStatSweep({1, 16, 64, 256}, 200);
+    constexpr double kMinRatio = 3.0;
+    if (ratio < kMinRatio) {
+      std::printf("FAIL: delegated/forwarding %.1fx < %.1fx at top count\n",
+                  ratio, kMinRatio);
+      return 1;
+    }
+    std::printf("PASS: delegated/forwarding %.1fx >= %.1fx\n", ratio,
+                kMinRatio);
+    return 0;
+  }
   bench::Header("Figure 7: create-throughput scalability (1..512 clients)",
                 "Fig. 7 — ArkFS {pcache, no-pcache}, CephFS-K {1, 16 MDS}");
   bench::PaperClaim("ArkFS-pcache near-linear; no-pcache collapses at >=2 "
@@ -92,5 +164,10 @@ int main() {
   }
   bench::Row("16 MDS vs 1 MDS (max)",
              bench::Fmt("%.2fx (paper: <= 3.24x)", best_ratio));
+
+  // Hot-directory read scale-out: every client stats into ONE shared
+  // directory. Forwarding funnels all of it through the leader's CPU;
+  // delegated reads serve from a locally cached versioned slice.
+  RunSharedStatSweep({1, 4, 16, 64, 256, 1024, 4096}, 300);
   return 0;
 }

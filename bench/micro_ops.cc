@@ -315,7 +315,12 @@ int RunMetricsOverheadSmoke() {
   std::printf("  stat:   %5.1f bumps/op, %8.1f ns/op -> %.3f%% overhead\n",
               stat_bumps_per_op, stat_op_ns, stat_pct);
 
-  constexpr double kBudgetPct = 2.0;
+  // The stat hot path pays 4 bumps/op since the client.stat.{local,
+  // forwarded,delegated} split landed (two pcache hits — one per path
+  // component — plus local-meta op plus stat.local); at ~7.5 ns/bump over
+  // a ~1.7 us pcache-hit stat that is ~2.2% with slack. 2.5% admits the
+  // split while still tripping on a fifth bump (~2.7%).
+  constexpr double kBudgetPct = 2.5;
   if (create_pct > kBudgetPct || stat_pct > kBudgetPct) {
     std::printf("FAIL: metrics overhead exceeds %.1f%% budget\n", kBudgetPct);
     return 1;
@@ -543,6 +548,74 @@ void RunLeaseFailoverSection() {
                                   : 0));
 }
 
+// Delegated vs forwarded stats on a hot directory led by ANOTHER client:
+// two identical clusters, one with read delegations enabled and one without.
+// Reports per-op latency and the client.stat.{local,forwarded,delegated}
+// serving-path split each run produced.
+void RunDelegationSection() {
+  constexpr int kFiles = 128;
+  constexpr int kStats = 4000;
+  const UserCred cred = UserCred::Root();
+
+  auto run_reader = [&](bool delegations, ClientStats* out) {
+    ArkFsClusterOptions opts = ArkFsClusterOptions::ForTests();
+    opts.client_template.read_delegations = delegations;
+    auto cluster =
+        ArkFsCluster::Create(std::make_shared<MemoryObjectStore>(), opts)
+            .value();
+    auto leader = cluster->AddClient("leader").value();
+    auto reader = cluster->AddClient("reader").value();
+    (void)leader->Mkdir("/hot", 0755, cred);
+    for (int i = 0; i < kFiles; ++i) {
+      (void)leader->WriteFileAt("/hot/f" + std::to_string(i), AsBytes("x"),
+                                cred);
+    }
+    // Warm pass: adopts the delegation and pulls the slice (or, without
+    // delegations, just warms the pcache) so the timed loop is steady state.
+    for (int i = 0; i < kFiles; ++i) {
+      (void)reader->Stat("/hot/f" + std::to_string(i), cred);
+    }
+    std::vector<Nanos> lat;
+    lat.reserve(kStats);
+    for (int i = 0; i < kStats; ++i) {
+      const TimePoint t0 = Now();
+      auto st = reader->Stat("/hot/f" + std::to_string(i % kFiles), cred);
+      benchmark::DoNotOptimize(st);
+      lat.push_back(Now() - t0);
+    }
+    *out = reader->stats();
+    std::sort(lat.begin(), lat.end());
+    return lat[lat.size() / 2];
+  };
+
+  ClientStats deleg_stats, fwd_stats;
+  const Nanos deleg_p50 = run_reader(true, &deleg_stats);
+  const Nanos fwd_p50 = run_reader(false, &fwd_stats);
+
+  std::printf("\n--- Read delegations: hot-dir stat from a non-leader "
+              "(%d files, %d stats) ---\n",
+              kFiles, kStats);
+  std::printf("  %-34s %8.2f us\n", "stat p50, delegations on:",
+              static_cast<double>(deleg_p50.count()) / 1e3);
+  std::printf("  %-34s %8.2f us  (%.2fx)\n", "stat p50, delegations off:",
+              static_cast<double>(fwd_p50.count()) / 1e3,
+              static_cast<double>(fwd_p50.count()) /
+                  static_cast<double>(std::max<std::int64_t>(
+                      deleg_p50.count(), 1)));
+  auto split = [](const char* label, const ClientStats& s) {
+    std::printf("  %s stat split: local=%llu forwarded=%llu delegated=%llu "
+                "(deleg hits=%llu misses=%llu refetches=%llu)\n",
+                label, static_cast<unsigned long long>(s.stat_local),
+                static_cast<unsigned long long>(s.stat_forwarded),
+                static_cast<unsigned long long>(s.stat_delegated),
+                static_cast<unsigned long long>(s.deleg_hits),
+                static_cast<unsigned long long>(s.deleg_misses),
+                static_cast<unsigned long long>(s.deleg_refetches));
+  };
+  split("deleg-on ", deleg_stats);
+  split("deleg-off", fwd_stats);
+}
+
 }  // namespace
 }  // namespace arkfs
 
@@ -559,5 +632,6 @@ int main(int argc, char** argv) {
   arkfs::RunAsyncIoSection();
   arkfs::RunJournalLatencySection();
   arkfs::RunLeaseFailoverSection();
+  arkfs::RunDelegationSection();
   return 0;
 }

@@ -44,6 +44,13 @@ Client::Client(ObjectStorePtr store, rpc::FabricPtr fabric,
   lease_redirects_.Attach(config_.metrics, "client.lease_redirects");
   perm_cache_hits_.Attach(config_.metrics, "client.perm_cache_hits");
   recoveries_.Attach(config_.metrics, "client.recoveries");
+  stat_local_.Attach(config_.metrics, "client.stat.local");
+  stat_forwarded_.Attach(config_.metrics, "client.stat.forwarded");
+  stat_delegated_.Attach(config_.metrics, "client.stat.delegated");
+  deleg_hits_.Attach(config_.metrics, "client.deleg.hits");
+  deleg_misses_.Attach(config_.metrics, "client.deleg.misses");
+  deleg_refetches_.Attach(config_.metrics, "client.deleg.refetches");
+  deleg_invalidations_.Attach(config_.metrics, "client.deleg.invalidations");
   prt_ = std::make_shared<Prt>(store_, config_.chunk_size, config_.async);
   lease_ = std::make_unique<lease::LeaseClient>(fabric_, config_.address,
                                                 config_.lease_options);
@@ -139,8 +146,15 @@ Result<Client::DirRef> Client::EnsureDirAccess(const Uuid& dir_ino) {
       return DirRef{handle, {}};
     }
   }
-  // Not (or no longer) leader: try to acquire the lease.
-  auto grant = lease_->Acquire(dir_ino);
+  // Not (or no longer) leader: try to acquire the lease. A leader renewal
+  // reports the directory's journal watermark (zero when we never led this
+  // tenure) so the manager can stamp delegations; a non-leader asks for a
+  // read delegation to ride along with the redirect.
+  lease::LeaseClient::AcquireOptions opts;
+  opts.want_delegation = config_.read_delegations;
+  opts.watermark = journal_->Watermark(dir_ino);
+  lease::LeaseClient::Delegation deleg;
+  auto grant = lease_->Acquire(dir_ino, opts, &deleg);
   if (grant.ok()) {
     lease_acquires_.Add();
     std::unique_lock lock(handle->mu);
@@ -155,6 +169,9 @@ Result<Client::DirRef> Client::EnsureDirAccess(const Uuid& dir_ino) {
   }
   if (lease::IsRedirect(grant.status())) {
     lease_redirects_.Add();
+    if (deleg.granted) {
+      DelegAdopt(dir_ino, grant.status().detail(), deleg);
+    }
     return DirRef{nullptr, grant.status().detail()};
   }
   if (grant.code() == Errc::kTimedOut || grant.code() == Errc::kBusy) {
@@ -490,10 +507,24 @@ wire::DirOpResponse Client::ServeDirOp(const wire::DirOpRequest& req) {
     case wire::DirOp::kIsEmptyDir:
       resp.empty_dir = handle->metatable->empty();
       break;
+    case wire::DirOp::kDelegateFetch:
+      st = LeaderDelegateFetch(*handle, &resp);
+      break;
     case wire::DirOp::kFlushDir:
       break;  // handled above
   }
   fill_error(st);
+  // Stamp replies to REMOTE requesters with the tenure + current journal
+  // watermark. Delegates compare the stamp against their cached slice: the
+  // watermark moves BEFORE a mutation is acked (journal Append), so a
+  // delegate that observes any reply sent after a mutation can never keep
+  // serving a slice that misses it. The local fast path skips the stamp —
+  // a leader never delegates to itself, and the journal map lookup is pure
+  // overhead there.
+  if (req.client != config_.address) {
+    resp.fence = handle->fence;
+    resp.watermark = journal_->Watermark(req.dir_ino);
+  }
   return resp;
 }
 
@@ -506,6 +537,13 @@ ClientStats Client::stats() const {
   s.lease_redirects = lease_redirects_.value();
   s.perm_cache_hits = perm_cache_hits_.value();
   s.recoveries = recoveries_.value();
+  s.stat_local = stat_local_.value();
+  s.stat_forwarded = stat_forwarded_.value();
+  s.stat_delegated = stat_delegated_.value();
+  s.deleg_hits = deleg_hits_.value();
+  s.deleg_misses = deleg_misses_.value();
+  s.deleg_refetches = deleg_refetches_.value();
+  s.deleg_invalidations = deleg_invalidations_.value();
   return s;
 }
 
@@ -515,6 +553,7 @@ Vfs::IntrospectReport Client::Introspect() {
       config_.metrics ? *config_.metrics : obs::MetricsRegistry::Default();
   report.metrics_text = registry.DumpText();
   report.spans = tracer_.Spans();
+  report.delegations_text = DelegDumpText();
   return report;
 }
 

@@ -49,6 +49,27 @@ struct ClientConfig {
   std::string address;             // this client's fabric address
   bool permission_cache = true;    // pcache mode (paper §III-C)
   Nanos perm_cache_ttl{Seconds(5)};  // = lease period by default
+  // Read delegations: when a directory is led by someone else, ask the lease
+  // manager for a delegation alongside the redirect, pull a versioned
+  // metatable slice from the leader once, and serve stat/lookup/readdir
+  // locally until the leader's journal watermark moves past the slice (or
+  // the tenure's fence token changes, or one lease term elapses). Staleness
+  // is bounded by one lease term — the same window the lease protocol
+  // already tolerates for a crashed leader's last acked ops.
+  bool read_delegations = true;
+  // Refetch pacing. Each slice fetch holds the leader's dir lock and copies
+  // the whole slice, so refetching against an actively mutating directory
+  // would slow the very writes invalidating the slices. A stale slice is
+  // refetched no sooner than this after the previous fetch; the window
+  // doubles (up to 16x) every time a fetch surfaces mutations the delegate
+  // had not yet observed, and resets once a fetch confirms the directory
+  // went quiet.
+  Nanos deleg_refetch_backoff{Millis(25)};
+  // Quiet override: a stale slice may be refetched immediately — ignoring
+  // the backoff — once the watermark reported by forwarded replies has held
+  // still this long. This is what makes a read burst right after a write
+  // burst recover in milliseconds instead of a full backoff window.
+  Nanos deleg_quiet_before_refetch{Millis(5)};
   std::uint64_t chunk_size = 0;    // PRT data chunk size (0 = store max)
   // Async object-I/O layer config (workers, in-flight cap, store retry
   // policy). Chaos tests enable retries here to ride out transient faults.
@@ -95,6 +116,15 @@ struct ClientStats {
   std::uint64_t lease_redirects = 0;
   std::uint64_t perm_cache_hits = 0;
   std::uint64_t recoveries = 0;
+  // Stat-family ops (lookup / getattr) split by serving path.
+  std::uint64_t stat_local = 0;      // this client led the directory
+  std::uint64_t stat_forwarded = 0;  // sent to the remote leader
+  std::uint64_t stat_delegated = 0;  // served from a delegated slice
+  // Read-delegation cache traffic.
+  std::uint64_t deleg_hits = 0;           // ops served from a cached slice
+  std::uint64_t deleg_misses = 0;         // delegable ops that fell through
+  std::uint64_t deleg_refetches = 0;      // slice pulls from the leader
+  std::uint64_t deleg_invalidations = 0;  // slices dropped (watermark/token)
 };
 
 class Client : public Vfs {
@@ -207,6 +237,69 @@ class Client : public Vfs {
     std::string remote;   // else: the leader's address
   };
 
+  // --- read delegations (client_deleg.cc) ---
+  // Immutable point-in-time copy of a remote leader's metatable, stamped
+  // with the tenure + watermark it was read under. Shared by reference so
+  // concurrent delegated ops serve from it without holding deleg_mu_.
+  struct DelegSlice {
+    Inode dir_inode;
+    std::vector<Dentry> entries;  // sorted (Metatable::ListEntries order)
+    std::unordered_map<Uuid, Inode> child_inodes;
+    FenceToken fence;          // leader tenure the slice was read under
+    std::uint64_t watermark = 0;  // leader's journal watermark at read time
+  };
+  using DelegSlicePtr = std::shared_ptr<const DelegSlice>;
+
+  // Per-directory delegation state. `token`/`watermark`/`until` come from
+  // the lease manager's grant (refreshed on every redirect); the slice is
+  // pulled lazily from the leader and dropped the moment its watermark falls
+  // behind or the tenure changes.
+  struct DirDelegation {
+    FenceToken token;             // live lease's fencing token at grant time
+    std::uint64_t watermark = 0;  // newest leader watermark observed
+    TimePoint until{};            // hard expiry: one lease term past the
+                                  // watermark report the grant rests on
+    std::string leader;
+    TimePoint last_fetch{};           // refetch-pacing clock
+    // Quiet detector: the dir counts as quiet only when two forwarded
+    // replies at least deleg_quiet_before_refetch apart reported the SAME
+    // watermark — a single stale reading is not evidence the churn ended.
+    std::uint64_t last_seen_wm = 0;   // watermark on the last forwarded reply
+    TimePoint first_seen_at{};        // first observation of that watermark
+    TimePoint last_obs_at{};          // latest observation of that watermark
+    Nanos backoff{};                  // adaptive refetch window (0 = base)
+    DelegSlicePtr slice;
+  };
+
+  // Ops a delegate may serve from a cached slice (read-only, no directory
+  // mutation, answerable from dentries + inodes alone).
+  static bool IsDelegable(wire::DirOp op);
+  // Stat-family ops (the fig5 STAT phase): path-component lookups and
+  // getattrs. Drives the client.stat.{local,forwarded,delegated} split.
+  static bool IsStatFamily(wire::DirOp op);
+
+  // Serves `req` from the delegation cache; pulls a fresh slice from
+  // `leader` when the cached one is missing or behind. Returns false when
+  // the op must be forwarded instead (no/expired delegation, name not in the
+  // slice, fetch failed).
+  bool DelegatedServe(const Uuid& dir_ino, const std::string& leader,
+                      const wire::DirOpRequest& req, wire::DirOpResponse* out);
+  // Records a delegation granted alongside a lease redirect.
+  void DelegAdopt(const Uuid& dir_ino, const std::string& leader,
+                  const lease::LeaseClient::Delegation& deleg);
+  // Folds the {fence, watermark} stamp piggybacked on a leader-served reply
+  // into the delegation cache: a moved watermark strands the slice (next
+  // delegated op refetches), a changed token voids the delegation. This is
+  // what makes a delegate that just forwarded a mutation read its own write.
+  void DelegObserve(const Uuid& dir_ino, const FenceToken& fence,
+                    std::uint64_t watermark);
+  // Pulls a slice from the leader and installs it if the delegation is still
+  // the same tenure. Returns the slice to serve from, or null.
+  DelegSlicePtr DelegFetchSlice(const Uuid& dir_ino,
+                                const std::string& leader);
+  void DelegDropAll();
+  std::string DelegDumpText();  // Introspect / arkfs_cli introspect
+
   // --- permission/dentry cache (pcache mode) ---
   struct CachedDirMeta {
     std::uint32_t mode = 0;
@@ -276,6 +369,11 @@ class Client : public Vfs {
                            const std::string& to, const UserCred& cred);
   Status LeaderReadDir(DirHandle& dir, const UserCred& cred,
                        wire::DirOpResponse* out);
+  // Snapshot the metatable for a read delegate (client_deleg.cc). No cred
+  // check: like kIsEmptyDir this is client-infrastructure traffic; the
+  // delegate enforces per-user permission checks against the slice's dir
+  // inode on every op it serves, exactly as the leader would have.
+  Status LeaderDelegateFetch(DirHandle& dir, wire::DirOpResponse* out);
   Status LeaderGetAttrChild(DirHandle& dir, const std::string& name,
                             const Uuid& child_ino, const UserCred& cred,
                             wire::DirOpResponse* out);
@@ -351,6 +449,9 @@ class Client : public Vfs {
   std::unordered_map<Uuid, CachedDirMeta> perm_cache_;
   std::map<std::pair<Uuid, std::string>, CachedDentry> dentry_cache_;
 
+  std::mutex deleg_mu_;
+  std::unordered_map<Uuid, DirDelegation> delegations_;
+
   std::mutex fd_mu_;
   std::map<Fd, OpenFile> open_files_;
   Fd next_fd_ = 3;
@@ -365,6 +466,13 @@ class Client : public Vfs {
   obs::Counter lease_redirects_;
   obs::Counter perm_cache_hits_;
   obs::Counter recoveries_;
+  obs::Counter stat_local_;
+  obs::Counter stat_forwarded_;
+  obs::Counter stat_delegated_;
+  obs::Counter deleg_hits_;
+  obs::Counter deleg_misses_;
+  obs::Counter deleg_refetches_;
+  obs::Counter deleg_invalidations_;
 
   // Span ring: every Vfs entry point roots a trace here; spans recorded by
   // deeper layers (lease RPCs, journal commits, object-store ops) land in

@@ -75,6 +75,7 @@ Result<wire::DirOpResponse> Client::RunDirOp(const Uuid& dir_ino,
     }
     if (ref->local) {
       local_meta_ops_.Add();
+      if (IsStatFamily(req.op)) stat_local_.Add();
       wire::DirOpResponse resp = ServeDirOp(req);
       if (resp.code == Errc::kAgain) {
         last = resp.ToStatus();
@@ -82,7 +83,19 @@ Result<wire::DirOpResponse> Client::RunDirOp(const Uuid& dir_ino,
       }
       return resp;
     }
+    // Someone else leads. Delegable reads first try the delegation cache —
+    // a hit is zero fabric round trips (the slice was paid for once and is
+    // invalidated by watermark/tenure, so this never serves metadata older
+    // than one lease term).
+    if (config_.read_delegations && IsDelegable(req.op)) {
+      wire::DirOpResponse dresp;
+      if (DelegatedServe(dir_ino, ref->remote, req, &dresp)) {
+        if (IsStatFamily(req.op)) stat_delegated_.Add();
+        return dresp;
+      }
+    }
     forwarded_ops_.Add();
+    if (IsStatFamily(req.op)) stat_forwarded_.Add();
     auto raw = fabric_->Call(ref->remote, wire::kMethodDirOp, req.Encode());
     if (!raw.ok()) {
       // Leader unreachable (crash): wait for its lease to expire, then the
@@ -92,6 +105,9 @@ Result<wire::DirOpResponse> Client::RunDirOp(const Uuid& dir_ino,
     }
     auto resp = wire::DirOpResponse::Decode(*raw);
     if (!resp.ok()) return resp.status();
+    // Fold the reply's {fence, watermark} stamp into the delegation cache
+    // so a delegate that just forwarded a mutation reads its own write.
+    DelegObserve(dir_ino, resp->fence, resp->watermark);
     if (resp->code == Errc::kAgain) {
       last = resp->ToStatus();
       continue;  // leader's lease lapsed mid-flight
@@ -836,6 +852,7 @@ Status Client::SyncAll() {
 Status Client::DropCaches() {
   obs::RootSpan root(&tracer_, "vfs.drop_caches");
   ARKFS_RETURN_IF_ERROR(SyncAll());
+  DelegDropAll();
   return cache_->DropAll();
 }
 

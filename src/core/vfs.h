@@ -125,6 +125,10 @@ class Vfs {
   struct IntrospectReport {
     std::string metrics_text;
     std::vector<obs::SpanRecord> spans;
+    // Read-delegation cache state (per-directory cached slice seq vs the
+    // leader watermark, hit rates); empty for implementations without
+    // delegations.
+    std::string delegations_text;
   };
   virtual IntrospectReport Introspect() { return {}; }
 

@@ -72,7 +72,7 @@ Result<DirOpRequest> DirOpRequest::Decode(ByteSpan data) {
   Decoder dec(data);
   DirOpRequest req;
   ARKFS_ASSIGN_OR_RETURN(std::uint8_t op, dec.GetU8());
-  if (op > static_cast<std::uint8_t>(DirOp::kIsEmptyDir)) {
+  if (op > static_cast<std::uint8_t>(DirOp::kDelegateFetch)) {
     return ErrStatus(Errc::kIo, "bad dir op");
   }
   req.op = static_cast<DirOp>(op);
@@ -113,6 +113,14 @@ Bytes DirOpResponse::Encode() const {
   for (const auto& d : entries) d.EncodeTo(enc);
   enc.PutU8(lease_granted ? 1 : 0);
   enc.PutU8(empty_dir ? 1 : 0);
+  // v2 trailing extension (read delegations). This decoder has always
+  // ignored trailing bytes, so pre-bump decoders skip the block and v2
+  // decoders accept pre-bump frames that stop at the v1 boundary above.
+  enc.PutU64(fence.epoch);
+  enc.PutU64(fence.seq);
+  enc.PutU64(watermark);
+  enc.PutVarint(child_inodes.size());
+  for (const auto& ino : child_inodes) ino.EncodeTo(enc);
   return std::move(enc).Take();
 }
 
@@ -151,6 +159,18 @@ Result<DirOpResponse> DirOpResponse::Decode(ByteSpan data) {
   resp.lease_granted = granted != 0;
   ARKFS_ASSIGN_OR_RETURN(std::uint8_t empty, dec.GetU8());
   resp.empty_dir = empty != 0;
+  if (!dec.done()) {  // v2 extension present
+    ARKFS_ASSIGN_OR_RETURN(resp.fence.epoch, dec.GetU64());
+    ARKFS_ASSIGN_OR_RETURN(resp.fence.seq, dec.GetU64());
+    ARKFS_ASSIGN_OR_RETURN(resp.watermark, dec.GetU64());
+    ARKFS_ASSIGN_OR_RETURN(std::uint64_t m, dec.GetVarint());
+    if (m > (1u << 24)) return ErrStatus(Errc::kIo, "implausible inode count");
+    resp.child_inodes.reserve(m);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      ARKFS_ASSIGN_OR_RETURN(Inode ino, Inode::DecodeFrom(dec));
+      resp.child_inodes.push_back(std::move(ino));
+    }
+  }
   return resp;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/codec.h"
+#include "common/fence.h"
 #include "core/vfs.h"
 #include "meta/dentry.h"
 #include "meta/inode.h"
@@ -45,6 +46,7 @@ enum class DirOp : std::uint8_t {
   kCommitSize = 17,   // writer pushes new size/mtime for child file `ino`
   kFlushDir = 18,     // lease-handoff flush request from the next leader
   kIsEmptyDir = 19,   // used by a remote parent running rmdir
+  kDelegateFetch = 20,  // read delegate pulling a versioned metatable slice
 };
 
 // Ops that change directory state (journaled metatable mutations). A
@@ -126,6 +128,17 @@ struct DirOpResponse {
   std::vector<Dentry> entries;  // kReadDir
   bool lease_granted = false;   // kLeaseOpen / kLeaseUpgrade
   bool empty_dir = false;       // kIsEmptyDir
+
+  // --- v2 trailing extension (read delegations) ---
+  // On kDelegateFetch: the slice's version stamp (the leader's fencing token
+  // and journal watermark at read time; `entries` carries the dentries,
+  // `child_inodes` the file inodes, has_inode+dir_meta the directory itself).
+  // On every other leader-served reply: the same stamp, piggybacked so a
+  // delegate that forwarded an op learns immediately whether its slice is
+  // behind. fence == {0,0} means "no stamp" (old encoder or non-leader path).
+  FenceToken fence;
+  std::uint64_t watermark = 0;
+  std::vector<Inode> child_inodes;  // kDelegateFetch only
 
   Status ToStatus() const {
     return code == Errc::kOk ? Status::Ok() : Status(code, detail);

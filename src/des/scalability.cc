@@ -179,4 +179,76 @@ ScaleResult SimulateArkfsCreates(const ArkfsScaleParams& params,
   return result;
 }
 
+ScaleResult SimulateArkfsSharedStat(const ArkfsStatScaleParams& params,
+                                    const ScaleWorkload& workload) {
+  Simulator sim;
+
+  std::vector<std::unique_ptr<Resource>> cpus;
+  for (int c = 0; c < workload.clients; ++c) {
+    cpus.push_back(std::make_unique<Resource>(&sim, 1));
+  }
+  // Client 0 leads the one hot directory everyone stats into.
+  Resource* leader = cpus[0].get();
+
+  auto remaining =
+      std::make_shared<std::vector<int>>(workload.clients,
+                                         workload.files_per_client);
+  // Stats served since the last slice refetch; seeded at the period so the
+  // first delegated stat pays the initial slice fetch.
+  auto since_refetch =
+      std::make_shared<std::vector<int>>(workload.clients,
+                                         params.refetch_period);
+
+  // Leader stat: FUSE crossing + metatable hit. Delegated stat additionally
+  // carries the amortized lease-renewal traffic that keeps the grant alive.
+  const Nanos leader_stat = params.fuse_crossing + params.local_op;
+  const Nanos deleg_stat =
+      params.fuse_crossing + params.local_op + params.lease_renew;
+
+  Loop next = MakeLoop();
+  *next = [&sim, &params, &cpus, leader, remaining, since_refetch, leader_stat,
+           deleg_stat, next](int c) {
+    if ((*remaining)[c]-- <= 0) return;
+    if (c == 0) {
+      // The leader's own stats are metatable hits regardless of mode.
+      cpus[0]->Use(leader_stat, [next, c] { (*next)(c); });
+      return;
+    }
+    if (!params.delegations) {
+      // Forwarding-only: every stat funnels through the leader's CPU.
+      cpus[c]->Use(params.fuse_crossing, [&sim, &params, leader, next, c] {
+        sim.After(params.rtt / 2, [&sim, &params, leader, next, c] {
+          leader->Use(params.remote_serve, [&sim, &params, next, c] {
+            sim.After(params.rtt / 2, [next, c] { (*next)(c); });
+          });
+        });
+      });
+      return;
+    }
+    if (++(*since_refetch)[c] > params.refetch_period) {
+      // The leader's watermark moved past our slice (or we have none yet):
+      // one round trip to pull a fresh versioned slice, then serve locally.
+      (*since_refetch)[c] = 0;
+      sim.After(params.rtt / 2,
+                [&sim, &params, &cpus, leader, deleg_stat, next, c] {
+        leader->Use(params.refetch_serve,
+                    [&sim, &params, &cpus, deleg_stat, next, c] {
+          sim.After(params.rtt / 2, [&cpus, deleg_stat, next, c] {
+            cpus[c]->Use(deleg_stat, [next, c] { (*next)(c); });
+          });
+        });
+      });
+      return;
+    }
+    cpus[c]->Use(deleg_stat, [next, c] { (*next)(c); });
+  };
+
+  for (int c = 0; c < workload.clients; ++c) {
+    sim.After(Nanos(0), [next, c] { (*next)(c); });
+  }
+  ScaleResult result = Finish(sim, workload);
+  *next = nullptr;  // break the self-reference cycle
+  return result;
+}
+
 }  // namespace arkfs::des

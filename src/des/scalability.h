@@ -75,4 +75,27 @@ ScaleResult SimulateCephCreates(const CephScaleParams& params,
 ScaleResult SimulateArkfsCreates(const ArkfsScaleParams& params,
                                  const ScaleWorkload& workload);
 
+// Hot-directory STAT model (Fig. 7 extension, read delegations):
+//   Every client stats files in ONE shared directory whose leader is
+//   client 0. Without delegations every non-leader stat is an RPC funneled
+//   through the leader's CPU — aggregate throughput is capped at
+//   1/remote_serve no matter how many clients arrive. With delegations a
+//   client pulls one versioned metatable slice (a leader round trip paid
+//   every refetch_period stats, when the watermark moves past the slice)
+//   and serves stats from it locally → near-linear, leader load grows only
+//   with clients/refetch_period.
+struct ArkfsStatScaleParams {
+  Nanos rtt{Micros(200)};
+  bool delegations = true;
+  Nanos local_op{Micros(2)};       // slice/metatable lookup on the client CPU
+  Nanos fuse_crossing{Micros(4)};
+  Nanos remote_serve{Micros(40)};  // leader-side cost per forwarded stat
+  Nanos lease_renew{Micros(10)};   // amortized lease/renewal traffic per stat
+  int refetch_period = 1024;       // delegated stats between slice refetches
+  Nanos refetch_serve{Micros(80)}; // leader-side cost to build one slice
+};
+
+ScaleResult SimulateArkfsSharedStat(const ArkfsStatScaleParams& params,
+                                    const ScaleWorkload& workload);
+
 }  // namespace arkfs::des

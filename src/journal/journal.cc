@@ -117,6 +117,7 @@ void JournalManager::ResetDir(const Uuid& dir_ino) {
   st->committed.clear();
   st->journal_bytes = 0;
   st->fence = FenceToken{};
+  st->watermark.store(0, std::memory_order_relaxed);
 }
 
 Status JournalManager::UnregisterDir(const Uuid& dir_ino) {
@@ -147,6 +148,15 @@ void JournalManager::Append(const Uuid& dir_ino, std::vector<Record> records) {
   st->running.insert(st->running.end(),
                      std::make_move_iterator(records.begin()),
                      std::make_move_iterator(records.end()));
+  // Delegation watermark: every accepted mutation advances it, BEFORE the
+  // op is acked, so a delegate that observes the piggybacked watermark on
+  // any later reply can never miss the mutation it races with.
+  st->watermark.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t JournalManager::Watermark(const Uuid& dir_ino) {
+  DirStatePtr st = FindDir(dir_ino);
+  return st ? st->watermark.load(std::memory_order_relaxed) : 0;
 }
 
 JournalManager::DirStatePtr JournalManager::FindDir(const Uuid& dir_ino) {
@@ -451,6 +461,10 @@ Status JournalManager::CommitCrossDir(const Uuid& src_dir,
     const Uuid& ino = (side == &src) ? src_dir : dst_dir;
     ARKFS_RETURN_IF_ERROR(AppendToJournalLocked(ino, **side, decision));
   }
+  // Cross-dir renames mutate both directories without passing through
+  // Append(): advance both watermarks before the ack.
+  src->watermark.fetch_add(1, std::memory_order_relaxed);
+  dst->watermark.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -494,6 +508,7 @@ Result<RecoveryReport> JournalManager::RecoverDir(const Uuid& dir_ino) {
     st->running.clear();
     st->committed.clear();
     st->journal_bytes = 0;
+    st->watermark.store(0, std::memory_order_relaxed);
   }
   return report;
 }

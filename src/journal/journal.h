@@ -178,6 +178,15 @@ class JournalManager {
   // "valid transactions remain" predecessor-crash test a new leader runs).
   bool HasSurvivingJournal(const Uuid& dir_ino);
 
+  // Monotonic mutation watermark of the directory within the CURRENT
+  // leadership tenure: bumped on every Append (and on both sides of a
+  // cross-directory commit), reset to zero whenever the tenure's journal
+  // bookkeeping is dropped (ResetDir, RecoverDir). Read delegations compare
+  // watermarks only under an unchanged fence token, so the reset-on-tenure-
+  // change is exactly what makes the comparison sound. 0 = no mutations
+  // this tenure (or directory unknown).
+  std::uint64_t Watermark(const Uuid& dir_ino);
+
   const JournalMetrics& metrics() const { return metrics_; }
   const JournalConfig& config() const { return config_; }
 
@@ -226,6 +235,10 @@ class JournalManager {
     // (needed to truncate exactly the checkpointed prefix afterwards).
     std::deque<std::pair<Transaction, std::uint64_t>> committed;
     std::uint64_t journal_bytes = 0;  // current journal object length
+    // Mutation watermark of the current tenure (see Watermark()). Atomic so
+    // the read-delegation path can sample it without taking either journal
+    // lock; bumps happen under st.mu (Append) or append_mu (cross-dir).
+    std::atomic<std::uint64_t> watermark{0};
     std::mutex checkpoint_mu;         // one checkpointer per directory
     // A failed apply may have landed orphan shard-generation objects; the
     // next successful dentry checkpoint must sweep them (before the journal

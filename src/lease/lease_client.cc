@@ -74,12 +74,16 @@ Result<Bytes> LeaseClient::CallManager(const std::string& method,
   return r;
 }
 
-Result<LeaseClient::Grant> LeaseClient::Acquire(const Uuid& dir_ino) {
+Result<LeaseClient::Grant> LeaseClient::Acquire(const Uuid& dir_ino,
+                                                const AcquireOptions& opts,
+                                                Delegation* deleg) {
   obs::Span span("lease.acquire");
   AcquireRequest req{dir_ino, self_};
   const obs::TraceContext ctx = obs::CurrentContext();
   req.trace_id = ctx.trace_id;
   req.parent_span = ctx.parent_span;
+  req.want_delegation = opts.want_delegation;
+  req.watermark = opts.watermark;
   const Bytes payload = req.Encode();
   Nanos backoff = options_.initial_backoff;
   const TimePoint deadline = Now() + options_.wait_budget;
@@ -94,9 +98,16 @@ Result<LeaseClient::Grant> LeaseClient::Acquire(const Uuid& dir_ino) {
         grant.until = TimePoint(Nanos(resp.lease_until_ns));
         grant.prev_leader = resp.prev_leader;
         grant.token = resp.token;
+        grant.watermark = resp.watermark;
         return grant;
       }
       case AcquireOutcome::kRedirect:
+        if (deleg != nullptr && resp.deleg) {
+          deleg->granted = true;
+          deleg->token = resp.token;
+          deleg->watermark = resp.watermark;
+          deleg->until = TimePoint(Nanos(resp.deleg_until_ns));
+        }
         return ErrStatus(Errc::kAgain, resp.leader);
       case AcquireOutcome::kNotActive:
         // In-process standby answer (the RPC path converts this to a

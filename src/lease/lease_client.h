@@ -66,14 +66,43 @@ class LeaseClient {
     TimePoint until{};
     std::string prev_leader;  // non-empty: flush handshake target
     FenceToken token;         // fencing token for journal commits
+    // Manager's view of the directory's journal watermark (what delegates
+    // are being told). Leaders renew with their current watermark, so on a
+    // renewal this echoes the reported value back.
+    std::uint64_t watermark = 0;
+  };
+
+  // Per-call extras carried in the v2 AcquireRequest extension.
+  struct AcquireOptions {
+    // Non-leader asking for a read delegation alongside the redirect.
+    bool want_delegation = false;
+    // Leader renewals: the directory's current journal watermark, so the
+    // manager can stamp it into delegations it hands out.
+    std::uint64_t watermark = 0;
+  };
+
+  // A read delegation granted alongside a redirect: permission to serve
+  // stat/lookup/readdir from a cached metatable slice no older than
+  // `watermark`, valid only while the leader's tenure keeps `token` and only
+  // until `until` (one lease term past the watermark report it rests on).
+  struct Delegation {
+    bool granted = false;
+    FenceToken token;  // the LIVE lease's fencing token (tenure identity)
+    std::uint64_t watermark = 0;
+    TimePoint until{};
   };
 
   // Acquire (or extend) the lease on dir_ino.
   //   ok            -> caller is leader; see Grant
   //   kAgain+detail -> redirect; detail() is the current leader's address
+  //                    (when deleg != null, *deleg may carry a delegation)
   //   kTimedOut     -> no manager reachable within the rpc_retry budget
   //   kBusy         -> wait budget exhausted (recovery/quiet period)
-  Result<Grant> Acquire(const Uuid& dir_ino);
+  Result<Grant> Acquire(const Uuid& dir_ino) {
+    return Acquire(dir_ino, AcquireOptions{}, nullptr);
+  }
+  Result<Grant> Acquire(const Uuid& dir_ino, const AcquireOptions& opts,
+                        Delegation* deleg);
 
   // `token` should be the grant's fencing token; the manager ignores a
   // release whose token no longer matches the live lease (late release from

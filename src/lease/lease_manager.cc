@@ -23,6 +23,7 @@ LeaseManager::LeaseManager(rpc::FabricPtr fabric, ObjectStorePtr store,
   recoveries_.Attach(config_.metrics, "lease.recoveries");
   takeovers_.Attach(config_.metrics, "lease.failover.takeovers");
   depositions_.Attach(config_.metrics, "lease.failover.depositions");
+  delegations_.Attach(config_.metrics, "lease.delegations");
   quiet_ms_.Attach(config_.metrics, "lease.failover.quiet_ms");
 }
 
@@ -457,15 +458,38 @@ AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
       // Extension by the current leader: same tenure, same fencing token.
       extensions_.Add();
       l.expires = now + config_.lease_period;
+      // Renewals carry the leader's current journal watermark; remember it
+      // (with its report time) so delegations hand out a bound no staler
+      // than one lease term.
+      if (req.watermark >= l.watermark) {
+        l.watermark = req.watermark;
+        l.watermark_at = now;
+      }
       resp.outcome = AcquireOutcome::kGranted;
       resp.fresh = true;
       resp.lease_until_ns = l.expires.time_since_epoch().count();
       resp.token = l.token;
+      resp.watermark = l.watermark;
       return resp;
     }
     redirects_.Add();
     resp.outcome = AcquireOutcome::kRedirect;
     resp.leader = l.leader;
+    resp.watermark = l.watermark;
+    if (req.want_delegation && l.token.valid()) {
+      // Read delegation against the live lease: the delegate may serve
+      // reads from a slice fetched under this token until the watermark
+      // report it is based on turns one lease term old. The token pins the
+      // tenure — leases_ is cleared on every epoch change, so a failover
+      // invalidates every outstanding delegation by construction.
+      delegations_.Add();
+      resp.deleg = true;
+      resp.token = l.token;
+      const TimePoint based_on =
+          l.watermark_at == TimePoint{} ? now : l.watermark_at;
+      resp.deleg_until_ns =
+          (based_on + config_.lease_period).time_since_epoch().count();
+    }
     return resp;
   }
 
@@ -482,8 +506,14 @@ AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
   l.last_leader = req.client;
   l.expires = now + config_.lease_period;
   l.token = FenceToken{epoch_, ++fence_seq_};
+  // New tenure, new watermark history: the journal layer resets its per-dir
+  // watermark whenever tenure bookkeeping is dropped, so a stale count from
+  // the previous tenure must not leak into this one's delegations.
+  l.watermark = req.watermark;
+  l.watermark_at = now;
   resp.lease_until_ns = l.expires.time_since_epoch().count();
   resp.token = l.token;
+  resp.watermark = l.watermark;
   return resp;
 }
 

@@ -142,6 +142,12 @@ class LeaseManager {
     FenceToken token;         // fencing token of the live grant
     bool recovering = false;
     std::string recoverer;
+    // Journal watermark the leader reported on its most recent renewal, and
+    // when it reported it. Piggybacked on every read delegation; a delegate
+    // whose cached slice seq falls behind refetches. Dies with leases_ on
+    // every epoch change, so delegations never outlive the tenure.
+    std::uint64_t watermark = 0;
+    TimePoint watermark_at{};
   };
 
   bool Expired(const DirLease& l, TimePoint now) const {
@@ -202,6 +208,7 @@ class LeaseManager {
   obs::Counter recoveries_;   // BeginRecovery fences accepted
   obs::Counter takeovers_;    // standby->active promotions won
   obs::Counter depositions_;  // active->standby abdications (ping or record)
+  obs::Counter delegations_;  // read delegations granted alongside redirects
   obs::Gauge quiet_ms_;       // width of the most recent post-failover quiet
                               // period, milliseconds
 };

@@ -5,6 +5,15 @@
 // out-of-range enum values, and trailing garbage. Lease grants are the root
 // of all fencing decisions, so a mangled message must fail loudly rather
 // than decode to something plausible.
+//
+// Version tolerance (same discipline as the AKJT→AKJ2 journal frames): the
+// v2 delegation fields on AcquireRequest/AcquireResponse are a TRAILING
+// extension block. A v2 decoder accepts a v1 frame that ends exactly at the
+// v1 boundary (extension fields default to zero/false) and still rejects
+// every other truncation and any trailing garbage after the v2 block. The
+// rollout order this buys is decoders-first: a fleet whose decoders are v2
+// keeps interoperating while encoders upgrade, and pre-bump frames already
+// in flight (or replayed from captures) parse losslessly.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +49,15 @@ struct AcquireRequest {
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span = 0;
 
+  // --- v2 trailing extension (read delegations) ---
+  // Non-leader asking to serve reads from a cached metatable slice: a live
+  // lease answers kRedirect + a delegation stamped with the leader's token
+  // and last-reported watermark.
+  bool want_delegation = false;
+  // Leader renewals report the directory's current journal watermark here;
+  // the manager piggybacks it on every delegation it hands out.
+  std::uint64_t watermark = 0;
+
   Bytes Encode() const;
   static Result<AcquireRequest> Decode(ByteSpan data);
 };
@@ -68,7 +86,21 @@ struct AcquireResponse {
   // kGranted: the fencing token (manager epoch, per-epoch grant sequence)
   // the journal layer stamps into commit records. A grant from a deposed
   // epoch is rejected at the store (kStale) — split-brain-proof commits.
+  // kRedirect with deleg=true: the LIVE lease's token, identifying the
+  // tenure the delegation is valid under.
   FenceToken token;
+
+  // --- v2 trailing extension (read delegations) ---
+  // The leader's journal watermark as last reported on a renewal (0 until
+  // the first report of the tenure).
+  std::uint64_t watermark = 0;
+  // kRedirect only: true when the manager grants a read delegation against
+  // the live lease (want_delegation was set and the lease is unexpired, not
+  // recovering, and this replica is active past its quiet period).
+  bool deleg = false;
+  // kRedirect+deleg: steady-clock expiry of the delegation — the moment the
+  // watermark report it is based on turns one lease term old.
+  std::int64_t deleg_until_ns = 0;
 
   Bytes Encode() const;
   static Result<AcquireResponse> Decode(ByteSpan data);

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <random>
 #include <string>
 #include <thread>
@@ -489,6 +490,145 @@ TEST_F(ChaosE2eTest, ManagerFailoverRollingKillsLoseNoAckedOps) {
         << path << ": " << data.status().ToString() << "; seed " << seed;
     EXPECT_EQ(*data, Payload(i)) << path << "; seed " << seed;
   }
+  for (const auto& client : cluster->clients()) {
+    EXPECT_EQ(client->journal_metrics().fence_violations.value(), 0u)
+        << "deposed-epoch commit reached the store; seed " << seed;
+  }
+}
+
+// --- lease-manager HA under read delegations ---
+//
+// A writer streams creates into one hot directory while a reader serves
+// stat/readdir from a delegated metatable slice and a seeded killer rolls
+// the active lease-manager replica. Invariants (DESIGN.md §4.5):
+//  * staleness bound — no read ever reflects state older than one lease
+//    term behind what had been acked at read time, across every failover;
+//  * monotonicity — a delegate never travels back in time: once it has
+//    observed N entries, no later read returns fewer (watermarks only
+//    advance, and a slice behind the observed watermark refetches);
+//  * fencing — zero deposed-epoch commits, exactly as without delegations.
+TEST_F(ChaosE2eTest, DelegatedReadsStayInWatermarkBoundAcrossFailover) {
+  std::uint64_t seed;
+  if (const char* env = std::getenv("ARKFS_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  } else {
+    seed = std::random_device{}();
+  }
+  std::cerr << "[chaos] ARKFS_CHAOS_SEED=" << seed
+            << " (re-run with this env var to reproduce)\n";
+  RecordProperty("chaos_seed", std::to_string(seed));
+
+  ArkFsClusterOptions opts = ArkFsClusterOptions::ForTests();
+  opts.lease_replicas = 3;
+  auto cluster =
+      ArkFsCluster::Create(std::make_shared<MemoryObjectStore>(), opts)
+          .value();
+  auto writer = cluster->AddClient("writer").value();
+  auto reader = cluster->AddClient("reader").value();
+  const Nanos lease = cluster->lease_manager().config().lease_period;
+
+  // Warm phase: the writer owns /hotd, the reader's stats land in the
+  // delegated slice before any chaos starts.
+  ASSERT_TRUE(writer->MkdirAll("/hotd", 0755, root_).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer
+                    ->WriteFileAt("/hotd/f" + std::to_string(i), Payload(i),
+                                  root_)
+                    .ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(reader->Stat("/hotd/f" + std::to_string(i), root_).ok());
+  }
+  EXPECT_GT(reader->stats().stat_delegated, 0u) << "seed " << seed;
+
+  // Acked-visibility log: (time the create was acked, entries visible from
+  // then on). The reader checks every readdir against it.
+  std::mutex log_mu;
+  std::vector<std::pair<TimePoint, int>> acked_log;
+  acked_log.emplace_back(Now(), 10);
+
+  std::atomic<bool> chaos_done{false};
+  std::atomic<int> kills{0};
+  std::thread killer([&] {
+    std::mt19937_64 rng(seed);
+    for (int round = 0; round < 3; ++round) {
+      SleepFor(Millis(20 + static_cast<int>(rng() % 80)));
+      const int active = cluster->ActiveLeaseReplica();
+      if (active < 0) continue;
+      (void)cluster->KillLeaseReplica(active);
+      ++kills;
+      const TimePoint deadline = Now() + Seconds(3);
+      while (cluster->ActiveLeaseReplica() < 0 && Now() < deadline) {
+        SleepFor(Millis(5));
+      }
+      SleepFor(lease + Millis(50));
+      (void)cluster->ReviveLeaseReplica(active);
+    }
+    chaos_done = true;
+  });
+
+  std::atomic<int> monotonic_violations{0};
+  std::atomic<int> bound_violations{0};
+  std::atomic<int> reads_done{0};
+  std::thread read_loop([&] {
+    // Slack on top of the one-lease-term bound for scheduling jitter
+    // between "mutation acked" and "read issued".
+    const Nanos slack = Millis(150);
+    int watermark_floor = 0;  // most entries this reader has ever observed
+    while (!chaos_done.load()) {
+      const TimePoint t0 = Now();
+      auto entries = reader->ReadDir("/hotd", root_);
+      if (entries.ok()) {
+        const int n = static_cast<int>(entries->size());
+        int floor_at_t0 = 0;
+        {
+          std::lock_guard lock(log_mu);
+          for (auto it = acked_log.rbegin(); it != acked_log.rend(); ++it) {
+            if (it->first + lease + slack <= t0) {
+              floor_at_t0 = it->second;
+              break;
+            }
+          }
+        }
+        if (n < watermark_floor) ++monotonic_violations;
+        if (n < floor_at_t0) ++bound_violations;
+        watermark_floor = std::max(watermark_floor, n);
+        ++reads_done;
+      }
+      for (int k = 0; k < 3; ++k) {
+        (void)reader->Stat("/hotd/f" + std::to_string(k), root_);
+      }
+      SleepFor(Millis(1));
+    }
+  });
+
+  int created = 10;
+  OpenOptions create;
+  create.write = true;
+  create.create = true;
+  for (int i = 10; !chaos_done.load() || i < 40; ++i) {
+    const std::string path = "/hotd/f" + std::to_string(i);
+    auto fd = writer->Open(path, create, root_);
+    if (!fd.ok()) continue;
+    // Visible to every other client from this ack on (the leader serves
+    // creates from its metatable before any checkpoint).
+    {
+      std::lock_guard lock(log_mu);
+      acked_log.emplace_back(Now(), ++created);
+    }
+    (void)writer->Write(*fd, 0, Payload(i));
+    (void)writer->Fsync(*fd);
+    (void)writer->Close(*fd);
+  }
+  killer.join();
+  read_loop.join();
+
+  EXPECT_GE(kills.load(), 1) << "seed " << seed;
+  EXPECT_GT(reads_done.load(), 0) << "seed " << seed;
+  EXPECT_EQ(monotonic_violations.load(), 0)
+      << "a delegated read travelled back in time; seed " << seed;
+  EXPECT_EQ(bound_violations.load(), 0)
+      << "read older than one lease term behind acked state; seed " << seed;
   for (const auto& client : cluster->clients()) {
     EXPECT_EQ(client->journal_metrics().fence_violations.value(), 0u)
         << "deposed-epoch commit reached the store; seed " << seed;

@@ -198,6 +198,40 @@ TEST_F(LeaseTest, GrantCarriesFencingToken) {
   EXPECT_TRUE(grant->token < fresh->token);
 }
 
+TEST_F(LeaseTest, RedirectGrantsDelegationWithLeaderWatermark) {
+  auto c1 = MakeClient("c1");
+  auto c2 = MakeClient("c2");
+  LeaseClient::AcquireOptions leader_opts;
+  leader_opts.watermark = 5;  // leader-side journal watermark report
+  auto grant = c1.Acquire(dir_, leader_opts, nullptr);
+  ASSERT_TRUE(grant.ok());
+
+  LeaseClient::AcquireOptions want;
+  want.want_delegation = true;
+  LeaseClient::Delegation deleg;
+  auto redirected = c2.Acquire(dir_, want, &deleg);
+  ASSERT_FALSE(redirected.ok());
+  ASSERT_TRUE(IsRedirect(redirected.status()));
+  EXPECT_TRUE(deleg.granted);
+  EXPECT_EQ(deleg.token, grant->token);
+  EXPECT_EQ(deleg.watermark, 5u);
+  EXPECT_GT(deleg.until, Now());
+
+  // The leader's renewal refreshes the stored watermark; the next redirect
+  // hands the newer value out.
+  leader_opts.watermark = 9;
+  ASSERT_TRUE(c1.Acquire(dir_, leader_opts, nullptr).ok());
+  LeaseClient::Delegation refreshed;
+  ASSERT_FALSE(c2.Acquire(dir_, want, &refreshed).ok());
+  EXPECT_TRUE(refreshed.granted);
+  EXPECT_EQ(refreshed.watermark, 9u);
+
+  // No delegation unless asked for.
+  LeaseClient::Delegation unasked;
+  ASSERT_FALSE(c2.Acquire(dir_, LeaseClient::AcquireOptions{}, &unasked).ok());
+  EXPECT_FALSE(unasked.granted);
+}
+
 // --- wire-codec hardening -------------------------------------------------
 //
 // Lease grants are the root of all fencing decisions, so every message must
@@ -222,15 +256,67 @@ void ExpectStrictCodec(const Message& message) {
   EXPECT_FALSE(Message::Decode(padded).ok());
 }
 
+// Version-tolerant messages: the delegation fields ride in a trailing
+// extension, so a frame that stops exactly at the v1 boundary must still
+// decode (with the extension defaulted — pre-extension peers keep working),
+// while every OTHER truncation and any trailing garbage is still rejected.
+template <typename Message>
+void ExpectVersionTolerantCodec(const Message& message,
+                                std::size_t extension_size) {
+  const Bytes encoded = message.Encode();
+  ASSERT_TRUE(Message::Decode(encoded).ok());
+  ASSERT_LT(extension_size, encoded.size());
+  const std::size_t v1_boundary = encoded.size() - extension_size;
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    Bytes truncated(encoded.begin(), encoded.begin() + len);
+    if (len == v1_boundary) {
+      EXPECT_TRUE(Message::Decode(truncated).ok())
+          << "a pre-extension (v1) frame must still parse";
+    } else {
+      EXPECT_FALSE(Message::Decode(truncated).ok())
+          << "decoded a " << len << "-byte prefix of a " << encoded.size()
+          << "-byte message";
+    }
+  }
+  Bytes padded = encoded;
+  padded.push_back(0x5a);
+  EXPECT_FALSE(Message::Decode(padded).ok());
+}
+
+constexpr std::size_t kAcquireRequestExt = 1 + 8;       // flag + watermark
+constexpr std::size_t kAcquireResponseExt = 8 + 1 + 8;  // wm + flag + until
+
 TEST(LeaseWireTest, AcquireRequestCodec) {
   AcquireRequest req;
   req.dir_ino = DeterministicUuid(7, 7);
   req.client = "client-3";
-  ExpectStrictCodec(req);
+  req.want_delegation = true;
+  req.watermark = 99;
+  ExpectVersionTolerantCodec(req, kAcquireRequestExt);
   auto copy = AcquireRequest::Decode(req.Encode());
   ASSERT_TRUE(copy.ok());
   EXPECT_EQ(copy->dir_ino, req.dir_ino);
   EXPECT_EQ(copy->client, req.client);
+  EXPECT_TRUE(copy->want_delegation);
+  EXPECT_EQ(copy->watermark, 99u);
+}
+
+TEST(LeaseWireTest, AcquireRequestLegacyFrameParses) {
+  // A frame from a pre-delegation sender stops at the v1 boundary; the
+  // extension fields must come back defaulted, everything else intact.
+  AcquireRequest req;
+  req.dir_ino = DeterministicUuid(7, 8);
+  req.client = "client-old";
+  req.want_delegation = true;  // must NOT survive the truncation
+  req.watermark = 1234;
+  Bytes encoded = req.Encode();
+  encoded.resize(encoded.size() - kAcquireRequestExt);
+  auto legacy = AcquireRequest::Decode(encoded);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy->dir_ino, req.dir_ino);
+  EXPECT_EQ(legacy->client, req.client);
+  EXPECT_FALSE(legacy->want_delegation);
+  EXPECT_EQ(legacy->watermark, 0u);
 }
 
 TEST(LeaseWireTest, AcquireResponseCodec) {
@@ -241,7 +327,10 @@ TEST(LeaseWireTest, AcquireResponseCodec) {
   resp.fresh = true;
   resp.prev_leader = "c0";
   resp.token = FenceToken{4, 17};
-  ExpectStrictCodec(resp);
+  resp.watermark = 41;
+  resp.deleg = true;
+  resp.deleg_until_ns = 987654321;
+  ExpectVersionTolerantCodec(resp, kAcquireResponseExt);
   auto copy = AcquireResponse::Decode(resp.Encode());
   ASSERT_TRUE(copy.ok());
   EXPECT_EQ(copy->outcome, resp.outcome);
@@ -250,6 +339,30 @@ TEST(LeaseWireTest, AcquireResponseCodec) {
   EXPECT_EQ(copy->fresh, resp.fresh);
   EXPECT_EQ(copy->prev_leader, resp.prev_leader);
   EXPECT_EQ(copy->token, resp.token);
+  EXPECT_EQ(copy->watermark, 41u);
+  EXPECT_TRUE(copy->deleg);
+  EXPECT_EQ(copy->deleg_until_ns, 987654321);
+}
+
+TEST(LeaseWireTest, AcquireResponseLegacyFrameParses) {
+  AcquireResponse resp;
+  resp.outcome = AcquireOutcome::kRedirect;
+  resp.leader = "c9";
+  resp.lease_until_ns = 42;
+  resp.token = FenceToken{2, 3};
+  resp.watermark = 77;
+  resp.deleg = true;
+  resp.deleg_until_ns = 777;
+  Bytes encoded = resp.Encode();
+  encoded.resize(encoded.size() - kAcquireResponseExt);
+  auto legacy = AcquireResponse::Decode(encoded);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy->outcome, resp.outcome);
+  EXPECT_EQ(legacy->leader, resp.leader);
+  EXPECT_EQ(legacy->token, resp.token);
+  EXPECT_EQ(legacy->watermark, 0u);   // defaulted
+  EXPECT_FALSE(legacy->deleg);        // defaulted: no phantom delegation
+  EXPECT_EQ(legacy->deleg_until_ns, 0);
 }
 
 TEST(LeaseWireTest, AcquireResponseRejectsUnknownOutcome) {

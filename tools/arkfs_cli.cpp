@@ -15,6 +15,7 @@
 //   arkfs_cli <store-dir> chmod 640 /campaign/2026/data.bin
 //   arkfs_cli <store-dir> ln -s /target /link
 //   arkfs_cli <store-dir> objects          # dump the raw object keys
+//   arkfs_cli <store-dir> introspect [p]   # delegation cache + metrics plane
 //
 // Every invocation spins up a single-client deployment (client + lease
 // manager) over the disk store, performs the operation, and shuts down
@@ -39,7 +40,7 @@ int Usage() {
                "commands: format | mkdir <p> | ls <p> | put <local> <p> |\n"
                "          get <p> <local> | cat <p> | rm <p> | rmdir <p> |\n"
                "          mv <from> <to> | stat <p> | chmod <octal> <p> |\n"
-               "          ln -s <target> <p> | objects\n");
+               "          ln -s <target> <p> | objects | introspect [p]\n");
   return 2;
 }
 
@@ -186,6 +187,13 @@ int main(int argc, char** argv) {
     if (Status st = fs->Symlink(argv[4], argv[5], user); !st.ok()) {
       rc = Fail(st, "ln -s");
     }
+  } else if (command == "introspect" && (argc == 3 || argc == 4)) {
+    // With a path, touch it first so the lease / delegation plane reflects
+    // at least that directory (a fresh CLI process starts cold).
+    if (argc == 4) (void)fs->Stat(argv[3], user);
+    const auto report = fs->Introspect();
+    std::printf("--- delegation cache ---\n%s", report.delegations_text.c_str());
+    std::printf("--- metrics ---\n%s", report.metrics_text.c_str());
   } else {
     rc = Usage();
   }
