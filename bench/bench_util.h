@@ -53,7 +53,8 @@ struct ArkBenchEnv {
                             bool permission_cache = true,
                             CacheConfig cache = CacheConfig{},
                             std::uint64_t chunk_size = 0,
-                            bool read_delegations = true) {
+                            bool read_delegations = true,
+                            DataPlacement placement = DataPlacement::kReplica) {
     ArkBenchEnv env;
     env.store = std::make_shared<ClusterObjectStore>(store_config);
     ArkFsClusterOptions options;
@@ -67,6 +68,7 @@ struct ArkBenchEnv {
     client.chunk_size = chunk_size;
     client.journal.commit_interval = Millis(200);
     options.client_template = client;
+    options.placement = placement;
     env.cluster = ArkFsCluster::Create(env.store, options).value();
     return env;
   }

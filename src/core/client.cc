@@ -554,6 +554,7 @@ Vfs::IntrospectReport Client::Introspect() {
   report.metrics_text = registry.DumpText();
   report.spans = tracer_.Spans();
   report.delegations_text = DelegDumpText();
+  if (scrub_reporter_) report.scrub_text = scrub_reporter_();
   return report;
 }
 

@@ -193,6 +193,12 @@ class Client : public Vfs {
   // The per-client span ring (also surfaced through Vfs::Introspect).
   obs::Tracer& tracer() { return tracer_; }
 
+  // Supplies IntrospectReport.scrub_text (set by the cluster when an EC
+  // scrubber exists; a plain client reports an empty section).
+  void SetScrubReporter(std::function<std::string()> reporter) {
+    scrub_reporter_ = std::move(reporter);
+  }
+
   IntrospectReport Introspect() override;
 
  private:
@@ -478,6 +484,7 @@ class Client : public Vfs {
   // deeper layers (lease RPCs, journal commits, object-store ops) land in
   // the rooting client's ring via the thread-local active trace.
   obs::Tracer tracer_;
+  std::function<std::string()> scrub_reporter_;
 };
 
 }  // namespace arkfs

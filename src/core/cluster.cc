@@ -4,6 +4,24 @@ namespace arkfs {
 
 ArkFsCluster::ArkFsCluster(ObjectStorePtr store, ArkFsClusterOptions options)
     : options_(std::move(options)), store_(std::move(store)) {
+  if (options_.placement == DataPlacement::kEc) {
+    EcStoreOptions ec;
+    ec.k = options_.ec_data_shards;
+    ec.m = options_.ec_parity_shards;
+    // EC-place exactly the PRT data chunks ('d'-prefixed keys, key_schema.h);
+    // metadata keeps the journaled replica path.
+    ec.should_encode = [](const std::string& key) {
+      return !key.empty() && key.front() == 'd';
+    };
+    ec.placement = ClusterPrimaryPlacement(store_);
+    ec.metrics = options_.client_template.metrics;
+    ec_store_ = std::make_shared<EcStore>(store_, std::move(ec));
+    store_ = ec_store_;  // clients AND lease managers share the wrap
+    ScrubberOptions scrub = options_.scrub;
+    if (!scrub.metrics) scrub.metrics = options_.client_template.metrics;
+    scrubber_ = std::make_shared<Scrubber>(ec_store_, scrub);
+    if (options_.scrub_background) scrubber_->Start();
+  }
   fabric_ = std::make_shared<rpc::Fabric>(options_.network);
 
   const int replicas = options_.lease_replicas < 1 ? 1 : options_.lease_replicas;
@@ -39,6 +57,7 @@ Result<std::unique_ptr<ArkFsCluster>> ArkFsCluster::Create(
 }
 
 ArkFsCluster::~ArkFsCluster() {
+  if (scrubber_) scrubber_->Stop();
   // Shut clients down before the lease managers so their releases land.
   for (auto& client : clients_) {
     (void)client->Shutdown();
@@ -84,6 +103,10 @@ Result<std::shared_ptr<Client>> ArkFsCluster::AddClient(std::string name) {
   config.lease_options.managers = manager_addresses_;
   ARKFS_ASSIGN_OR_RETURN(auto client,
                          Client::Create(store_, fabric_, std::move(config)));
+  if (scrubber_) {
+    client->SetScrubReporter(
+        [scrubber = scrubber_] { return scrubber->ReportText(); });
+  }
   clients_.push_back(client);
   return client;
 }

@@ -10,11 +10,22 @@
 #include "core/client.h"
 #include "core/fuse_sim.h"
 #include "lease/lease_manager.h"
+#include "objstore/ec_store.h"
 #include "objstore/object_store.h"
+#include "objstore/scrubber.h"
 #include "rpc/fabric.h"
 #include "sim/models.h"
 
 namespace arkfs {
+
+// How PRT data chunks are made durable. Metadata (inodes, dentries,
+// journals, fence records) always takes the replica path — its safety comes
+// from journaling + CoW flips, and the lease/journal codecs fail hard on
+// damage by design.
+enum class DataPlacement {
+  kReplica,  // whole objects, store-level replication (the historic layout)
+  kEc,       // k+m Reed–Solomon stripes with reconstruct-on-read (ec_store.h)
+};
 
 struct ArkFsClusterOptions {
   sim::NetworkProfile network = sim::NetworkProfile::Instant();
@@ -26,6 +37,17 @@ struct ArkFsClusterOptions {
   // epoch-fenced failover through the store's epoch record. Tests that
   // exercise failover set 3.
   int lease_replicas = 1;
+  // Data-chunk durability. kEc wraps the store in an EcStore (data keys
+  // only) whose shards spread across ClusterObjectStore nodes when the
+  // stack bottoms out in one, plus a Scrubber the deployment owns.
+  DataPlacement placement = DataPlacement::kReplica;
+  int ec_data_shards = 4;    // k
+  int ec_parity_shards = 2;  // m
+  ScrubberOptions scrub = ScrubberOptions::ForTests();
+  // Start the background scrub loop at cluster creation. Off by default:
+  // tests and the CLI drive explicit RunOnce passes; long-lived deployments
+  // opt in.
+  bool scrub_background = false;
 
   static ArkFsClusterOptions ForTests() { return {}; }
   // Paper-like deployment: datacenter network, 5 s leases, HA managers.
@@ -56,6 +78,9 @@ class ArkFsCluster {
                   FuseSimConfig config = FuseSimConfig{});
 
   const ObjectStorePtr& store() const { return store_; }
+  // Null unless options.placement == kEc.
+  const EcStorePtr& ec_store() const { return ec_store_; }
+  const ScrubberPtr& scrubber() const { return scrubber_; }
   const rpc::FabricPtr& fabric() const { return fabric_; }
   lease::LeaseManager& lease_manager() { return *lease_managers_.front(); }
   lease::LeaseManager& lease_manager(int replica) {
@@ -85,6 +110,8 @@ class ArkFsCluster {
 
   const ArkFsClusterOptions options_;
   ObjectStorePtr store_;
+  EcStorePtr ec_store_;    // set when placement == kEc (aliases store_)
+  ScrubberPtr scrubber_;   // ditto
   rpc::FabricPtr fabric_;
   std::vector<std::string> manager_addresses_;
   std::vector<std::unique_ptr<lease::LeaseManager>> lease_managers_;

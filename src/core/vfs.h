@@ -129,6 +129,9 @@ class Vfs {
     // leader watermark, hit rates); empty for implementations without
     // delegations.
     std::string delegations_text;
+    // EC scrub-and-repair state (cumulative counters + last pass); empty
+    // when the deployment has no erasure-coded tier.
+    std::string scrub_text;
   };
   virtual IntrospectReport Introspect() { return {}; }
 

@@ -20,6 +20,7 @@ ChaosStore::ChaosStore(ObjectStorePtr base, ChaosConfig config,
   hook_faults_.Attach(registry, "chaos.hook_faults");
   latency_spikes_.Attach(registry, "chaos.latency_spikes");
   torn_puts_.Attach(registry, "chaos.torn_puts");
+  bit_flips_.Attach(registry, "chaos.bit_flips");
 }
 
 void ChaosStore::set_fault_hook(FaultFn hook) {
@@ -97,10 +98,40 @@ Status ChaosStore::Put(const std::string& key, ByteSpan data) {
   return base()->Put(key, data);
 }
 
+void ChaosStore::MaybeFlipBit(const std::string& key, Bytes* data) {
+  if (config_.bit_flip_rate <= 0.0 || data->empty()) return;
+  if (config_.bit_flip_filter && !config_.bit_flip_filter(key)) return;
+  std::size_t byte = 0;
+  int bit = 0;
+  {
+    std::lock_guard lock(mu_);
+    if (rng_.NextDouble() >= config_.bit_flip_rate) return;
+    byte = rng_.Below(data->size());
+    bit = static_cast<int>(rng_.Below(8));
+    bit_flips_.Add();
+  }
+  (*data)[byte] ^= static_cast<std::uint8_t>(1u << bit);
+}
+
+Result<Bytes> ChaosStore::Get(const std::string& key) {
+  auto result = FaultInjectionStore::Get(key);
+  if (result.ok()) MaybeFlipBit(key, &*result);
+  return result;
+}
+
+Result<Bytes> ChaosStore::GetRange(const std::string& key,
+                                   std::uint64_t offset,
+                                   std::uint64_t length) {
+  auto result = FaultInjectionStore::GetRange(key, offset, length);
+  if (result.ok()) MaybeFlipBit(key, &*result);
+  return result;
+}
+
 ChaosStore::Counters ChaosStore::counters() const {
   return Counters{ops_.value(),           transient_faults_.value(),
                   persistent_faults_.value(), hook_faults_.value(),
-                  latency_spikes_.value(),    torn_puts_.value()};
+                  latency_spikes_.value(),    torn_puts_.value(),
+                  bit_flips_.value()};
 }
 
 }  // namespace arkfs

@@ -24,6 +24,7 @@
 // in front of it (consulted first; kOk falls through to the profile).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -39,6 +40,15 @@ struct ChaosConfig {
   double latency_spike_rate = 0.0;  // per-op latency spike probability
   Nanos latency_spike{Millis(2)};
   double torn_put_rate = 0.0;       // whole-object Put only
+  // Read-path bit flips with probability `bit_flip_rate` per Get/GetRange:
+  // one random bit of the returned payload is inverted (the op still
+  // reports success — silent media corruption, the fault CRC layers must
+  // catch). `bit_flip_filter` scopes the damage to matching keys (e.g. EC
+  // shard objects) so a chaos run can rot the data plane without also
+  // feeding garbage to layers that are DESIGNED to fail hard on it (journal
+  // replay). Null = every key is fair game.
+  double bit_flip_rate = 0.0;
+  std::function<bool(const std::string&)> bit_flip_filter = nullptr;
   std::vector<Errc> transient_pool{Errc::kIo, Errc::kTimedOut, Errc::kAgain};
 
   // The profile used by the chaos test lanes: `percent`% transient faults.
@@ -65,9 +75,13 @@ class ChaosStore : public FaultInjectionStore {
   void ClearPersistentFault(const std::string& key);
   void ClearPersistentFaults();
 
-  // Whole-object Put gains the torn-write fault; everything else inherits
-  // the FaultFn-routed behaviour from FaultInjectionStore.
+  // Whole-object Put gains the torn-write fault; reads gain the bit-flip
+  // fault; everything else inherits the FaultFn-routed behaviour from
+  // FaultInjectionStore.
   Status Put(const std::string& key, ByteSpan data) override;
+  Result<Bytes> Get(const std::string& key) override;
+  Result<Bytes> GetRange(const std::string& key, std::uint64_t offset,
+                         std::uint64_t length) override;
 
   std::string name() const override { return "chaos/" + base()->name(); }
 
@@ -78,6 +92,7 @@ class ChaosStore : public FaultInjectionStore {
     std::uint64_t hook_faults = 0;
     std::uint64_t latency_spikes = 0;
     std::uint64_t torn_puts = 0;
+    std::uint64_t bit_flips = 0;
   };
   Counters counters() const;
 
@@ -86,6 +101,8 @@ class ChaosStore : public FaultInjectionStore {
  private:
   // The FaultFn every operation funnels through.
   Errc Decide(std::string_view op, const std::string& key);
+  // Flips one random bit of `data` when the profile + filter say so.
+  void MaybeFlipBit(const std::string& key, Bytes* data);
 
   const ChaosConfig config_;
   mutable std::mutex mu_;
@@ -94,7 +111,7 @@ class ChaosStore : public FaultInjectionStore {
   std::map<std::string, Errc> persistent_;
   // Metric cells ("chaos.*"); counters() snapshots them per instance.
   obs::Counter ops_, transient_faults_, persistent_faults_, hook_faults_,
-      latency_spikes_, torn_puts_;
+      latency_spikes_, torn_puts_, bit_flips_;
 };
 
 }  // namespace arkfs

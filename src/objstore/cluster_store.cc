@@ -15,6 +15,16 @@ std::uint64_t HashKey(const std::string& key) {
     h ^= c;
     h *= 0x100000001B3ull;
   }
+  // Avalanche finalizer (splitmix64). Raw FNV-1a barely moves the high bits
+  // when only trailing bytes differ, and ring lookup is ordered by the high
+  // bits — without this, keys that differ in a short suffix (e.g. the EC
+  // placement salts) collapse onto one node and salt probing can never
+  // escape it.
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
   return h;
 }
 

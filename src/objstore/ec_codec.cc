@@ -1,0 +1,213 @@
+#include "objstore/ec_codec.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace arkfs::ec {
+namespace {
+
+// log/exp tables for GF(2^8) mod 0x11D, generator 2. exp_ is doubled so
+// GfMul avoids the % 255 on the exponent sum.
+struct GfTables {
+  std::uint8_t log[256];
+  std::uint8_t exp[512];
+
+  GfTables() {
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      exp[i + 255] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11D;
+    }
+    log[0] = 0;  // never read: GfMul/GfInv special-case zero
+    exp[510] = exp[0];
+    exp[511] = exp[1];
+  }
+};
+
+const GfTables& Tables() {
+  static const GfTables tables;
+  return tables;
+}
+
+// dst[i] ^= c * src[i] — the inner loop of both encode and decode.
+void MulAcc(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+            std::uint8_t c) {
+  if (c == 0) return;
+  const GfTables& t = Tables();
+  const std::uint8_t lc = t.log[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (src[i] != 0) dst[i] ^= t.exp[lc + t.log[src[i]]];
+  }
+}
+
+// Inverts a k x k matrix over GF(2^8) in place via Gauss-Jordan. Returns
+// false if singular (cannot happen for submatrices of the RS generator, but
+// the caller still checks).
+bool InvertMatrix(std::vector<std::uint8_t>& a, int k) {
+  std::vector<std::uint8_t> inv(static_cast<std::size_t>(k) * k, 0);
+  for (int i = 0; i < k; ++i) inv[i * k + i] = 1;
+  for (int col = 0; col < k; ++col) {
+    int pivot = -1;
+    for (int row = col; row < k; ++row) {
+      if (a[row * k + col] != 0) {
+        pivot = row;
+        break;
+      }
+    }
+    if (pivot < 0) return false;
+    if (pivot != col) {
+      for (int j = 0; j < k; ++j) {
+        std::swap(a[pivot * k + j], a[col * k + j]);
+        std::swap(inv[pivot * k + j], inv[col * k + j]);
+      }
+    }
+    const std::uint8_t scale = GfInv(a[col * k + col]);
+    for (int j = 0; j < k; ++j) {
+      a[col * k + j] = GfMul(a[col * k + j], scale);
+      inv[col * k + j] = GfMul(inv[col * k + j], scale);
+    }
+    for (int row = 0; row < k; ++row) {
+      if (row == col) continue;
+      const std::uint8_t c = a[row * k + col];
+      if (c == 0) continue;
+      for (int j = 0; j < k; ++j) {
+        a[row * k + j] ^= GfMul(c, a[col * k + j]);
+        inv[row * k + j] ^= GfMul(c, inv[col * k + j]);
+      }
+    }
+  }
+  a = std::move(inv);
+  return true;
+}
+
+}  // namespace
+
+std::uint8_t GfMul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const GfTables& t = Tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t GfInv(std::uint8_t a) {
+  assert(a != 0);
+  const GfTables& t = Tables();
+  return t.exp[255 - t.log[a]];
+}
+
+RsCodec::RsCodec(int k, int m) : k_(k), m_(m) {
+  assert(k >= 1 && m >= 0 && k + m <= 256);
+  const int n = k + m;
+  // Vandermonde rows: V[r][c] = r^c (0^0 = 1).
+  std::vector<std::uint8_t> v(static_cast<std::size_t>(n) * k, 0);
+  for (int r = 0; r < n; ++r) {
+    std::uint8_t x = 1;
+    for (int c = 0; c < k; ++c) {
+      v[r * k + c] = x;
+      x = GfMul(x, static_cast<std::uint8_t>(r));
+    }
+  }
+  // Right-multiply by inv(top k rows) so the code becomes systematic. Any k
+  // rows of V are invertible (square Vandermonde, distinct points), and
+  // right-multiplication by an invertible matrix preserves that.
+  std::vector<std::uint8_t> top(v.begin(), v.begin() + k * k);
+  const bool ok = InvertMatrix(top, k);
+  assert(ok);
+  (void)ok;
+  matrix_.assign(static_cast<std::size_t>(n) * k, 0);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < k; ++c) {
+      std::uint8_t acc = 0;
+      for (int i = 0; i < k; ++i) {
+        acc ^= GfMul(v[r * k + i], top[i * k + c]);
+      }
+      matrix_[r * k + c] = acc;
+    }
+  }
+}
+
+void RsCodec::EncodeParity(const std::vector<ByteSpan>& data,
+                           std::vector<Bytes>* parity) const {
+  assert(static_cast<int>(data.size()) == k_);
+  const std::size_t n = data.empty() ? 0 : data[0].size();
+  parity->assign(static_cast<std::size_t>(m_), Bytes(n, 0));
+  for (int j = 0; j < m_; ++j) {
+    const std::uint8_t* row = Row(k_ + j);
+    std::uint8_t* out = (*parity)[j].data();
+    for (int i = 0; i < k_; ++i) {
+      assert(data[i].size() == n);
+      MulAcc(out, data[i].data(), n, row[i]);
+    }
+  }
+}
+
+Status RsCodec::RecoverData(const std::vector<int>& present,
+                            const std::vector<ByteSpan>& shards,
+                            std::vector<Bytes>* data) const {
+  if (present.size() != shards.size()) {
+    return ErrStatus(Errc::kInval, "rs: present/shards size mismatch");
+  }
+  if (static_cast<int>(present.size()) < k_) {
+    return ErrStatus(Errc::kIo, "rs: fewer than k surviving shards");
+  }
+  const std::size_t n = shards.empty() ? 0 : shards[0].size();
+  std::vector<bool> seen(static_cast<std::size_t>(k_ + m_), false);
+  // Decode matrix: rows of the generator for the first k survivors.
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(k_) * k_, 0);
+  for (int i = 0; i < k_; ++i) {
+    const int idx = present[static_cast<std::size_t>(i)];
+    if (idx < 0 || idx >= k_ + m_ || seen[static_cast<std::size_t>(idx)]) {
+      return ErrStatus(Errc::kInval, "rs: bad survivor index");
+    }
+    seen[static_cast<std::size_t>(idx)] = true;
+    if (shards[static_cast<std::size_t>(i)].size() != n) {
+      return ErrStatus(Errc::kInval, "rs: shard length mismatch");
+    }
+    std::memcpy(&a[static_cast<std::size_t>(i) * k_], Row(idx),
+                static_cast<std::size_t>(k_));
+  }
+  if (!InvertMatrix(a, k_)) {
+    return ErrStatus(Errc::kIo, "rs: singular decode matrix");
+  }
+  data->assign(static_cast<std::size_t>(k_), Bytes(n, 0));
+  for (int i = 0; i < k_; ++i) {
+    std::uint8_t* out = (*data)[static_cast<std::size_t>(i)].data();
+    for (int j = 0; j < k_; ++j) {
+      MulAcc(out, shards[static_cast<std::size_t>(j)].data(), n,
+             a[static_cast<std::size_t>(i) * k_ + j]);
+    }
+  }
+  return Status::Ok();
+}
+
+Status RsCodec::ReconstructShard(const std::vector<int>& present,
+                                 const std::vector<ByteSpan>& shards,
+                                 int target, Bytes* out) const {
+  if (target < 0 || target >= k_ + m_) {
+    return ErrStatus(Errc::kInval, "rs: bad target shard index");
+  }
+  // A surviving copy of the target needs no math.
+  for (std::size_t i = 0; i < present.size() && i < shards.size(); ++i) {
+    if (present[i] == target) {
+      out->assign(shards[i].begin(), shards[i].end());
+      return Status::Ok();
+    }
+  }
+  std::vector<Bytes> data;
+  ARKFS_RETURN_IF_ERROR(RecoverData(present, shards, &data));
+  if (target < k_) {
+    *out = std::move(data[static_cast<std::size_t>(target)]);
+    return Status::Ok();
+  }
+  const std::size_t n = data.empty() ? 0 : data[0].size();
+  out->assign(n, 0);
+  const std::uint8_t* row = Row(target);
+  for (int i = 0; i < k_; ++i) {
+    MulAcc(out->data(), data[static_cast<std::size_t>(i)].data(), n, row[i]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace arkfs::ec

@@ -1,0 +1,74 @@
+// Systematic Reed–Solomon erasure coding over GF(2^8).
+//
+// The EC archive tier stripes every object into k data shards plus m parity
+// shards; any k of the k+m shards reconstruct the object, so the stripe
+// survives any m simultaneous shard losses (node outages, corrupt objects)
+// at a storage overhead of (k+m)/k — 1.5x at the k=4/m=2 default versus 3x
+// for triple replication.
+//
+// Construction: a (k+m) x k Vandermonde matrix over GF(2^8) (evaluation
+// points 0..k+m-1, so k+m <= 256) is column-reduced so its top k rows are
+// the identity — the code is *systematic*: data shards are plain slices of
+// the object, and healthy reads never touch the field arithmetic. Because
+// column operations preserve the Vandermonde property that ANY k rows form
+// an invertible matrix, decoding picks the rows of any k surviving shards,
+// inverts that k x k matrix and multiplies — textbook RS erasure decoding
+// (the jerasure/ISA-L construction, reimplemented here because the
+// container bakes in no EC library).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace arkfs::ec {
+
+// GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11D, the
+// classic RS field). Exposed for tests; everything else goes through
+// RsCodec.
+std::uint8_t GfMul(std::uint8_t a, std::uint8_t b);
+std::uint8_t GfInv(std::uint8_t a);  // a != 0
+
+class RsCodec {
+ public:
+  // Requires 1 <= k, 0 <= m, k + m <= 256. m == 0 degenerates to plain
+  // striping (no parity, no fault tolerance) — allowed for completeness.
+  RsCodec(int k, int m);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+
+  // Computes the m parity shards for k equal-length data shards.
+  // `data[i].size()` must be identical for all i; parity is resized to
+  // match. Parity row j is sum_i C[k+j][i] * data[i] (byte-wise GF math).
+  void EncodeParity(const std::vector<ByteSpan>& data,
+                    std::vector<Bytes>* parity) const;
+
+  // Recovers all k data shards from any k surviving shards.
+  // `present[i]` is the shard index (0..k+m-1) of payload `shards[i]`; all
+  // payloads must share one length. Exactly k entries are consumed (extra
+  // survivors beyond the first k are ignored). Fails kInval on duplicate or
+  // out-of-range indices or fewer than k survivors.
+  Status RecoverData(const std::vector<int>& present,
+                     const std::vector<ByteSpan>& shards,
+                     std::vector<Bytes>* data) const;
+
+  // Rebuilds one shard (data or parity, index `target`) from any k
+  // survivors. Used by the scrubber to re-encode-and-write a single lost
+  // shard without materializing the whole object.
+  Status ReconstructShard(const std::vector<int>& present,
+                          const std::vector<ByteSpan>& shards, int target,
+                          Bytes* out) const;
+
+ private:
+  // Row `r` of the (k+m) x k generator; rows 0..k-1 are the identity.
+  const std::uint8_t* Row(int r) const { return &matrix_[r * k_]; }
+
+  int k_;
+  int m_;
+  std::vector<std::uint8_t> matrix_;  // (k+m) x k, row-major
+};
+
+}  // namespace arkfs::ec

@@ -1,0 +1,117 @@
+// Scrubber — background scrub-and-repair for the EC archive tier.
+//
+// Archived data is written once and read rarely, so latent shard damage
+// (bit rot, a torn write that slipped past its own generation fencing, an
+// operator deleting the wrong object) would otherwise be discovered only by
+// the unlucky read that needs the damaged shard *while* a node is also down
+// — exactly when redundancy is already spent. The scrubber closes that
+// window: it walks every stripe manifest, re-verifies each shard's CRC
+// against the manifest, and rebuilds corrupt or missing shards from the
+// surviving k, restoring full k+m redundancy long before it is needed.
+//
+// Repair follows the store's ordering rule (ec_store.h): rebuilt shards are
+// PUT before any manifest copy is touched, and manifest copies are only
+// ever rewritten with byte-identical content — a scrubber crash at any
+// point leaves the stripe no less redundant than it found it. Shards that
+// are unreachable (node down) are NOT "repaired": the bytes are intact and
+// will return at rejoin-backfill; rewriting them from a degraded stripe
+// would only churn. They are counted and retried next pass.
+//
+// The walk is thread-pool driven and rate-limited (stripes/second token
+// bucket) so a scrub pass over a cold archive cannot starve foreground I/O
+// — the same reason Ceph paces deep scrub.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/thread_pool.h"
+#include "objstore/ec_store.h"
+#include "obs/metrics.h"
+
+namespace arkfs {
+
+struct ScrubberOptions {
+  int threads = 2;                // stripes verified concurrently
+  double stripes_per_sec = 0;     // token-bucket pace; 0 = unpaced
+  Nanos interval = Seconds(30);   // idle time between background passes
+  std::string prefix;             // restrict the walk (default: everything)
+  // Where the "ec.scrub.*" cells attach; null = process default registry.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  static ScrubberOptions ForTests() {
+    ScrubberOptions o;
+    o.threads = 4;
+    o.interval = Millis(50);
+    return o;
+  }
+};
+
+// One pass's tally (also mirrored into the ec.scrub.* counters).
+struct ScrubReport {
+  std::uint64_t stripes = 0;         // stripes scanned
+  std::uint64_t corrupt = 0;         // shards failing CRC/identity checks
+  std::uint64_t missing = 0;         // shards absent (kNoEnt)
+  std::uint64_t unreachable = 0;     // shards on down nodes (not repaired)
+  std::uint64_t repaired = 0;        // shards re-encoded and rewritten
+  std::uint64_t repair_failures = 0; // repairs that errored (retried later)
+  std::uint64_t unrecoverable = 0;   // stripes with < k readable shards
+  std::uint64_t manifest_fixed = 0;  // manifest copies restored
+  std::uint64_t orphans_swept = 0;   // stale-generation shards deleted
+
+  std::string ToString() const;
+};
+
+class Scrubber {
+ public:
+  Scrubber(EcStorePtr store, ScrubberOptions options);
+  ~Scrubber();
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  // One full scrub pass, synchronously. Safe to call concurrently with
+  // foreground I/O (repair is generation-fenced against overwrites).
+  Result<ScrubReport> RunOnce();
+
+  // Background loop: RunOnce every options.interval until Stop().
+  void Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  // Cumulative counters + last-pass summary, for Vfs::Introspect().
+  std::string ReportText() const;
+
+ private:
+  void Pace();  // token bucket: blocks until this stripe may proceed
+  void BackgroundMain();
+
+  const ScrubberOptions options_;
+  EcStorePtr store_;
+
+  std::mutex pace_mu_;
+  TimePoint next_slot_{};
+
+  mutable std::mutex last_mu_;
+  ScrubReport last_;
+  bool ever_ran_ = false;
+
+  std::atomic<bool> running_{false};
+  std::thread background_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+
+  // "ec.scrub.*" cells.
+  obs::Counter passes_, scanned_, corrupt_, missing_, repaired_,
+      repair_failures_, unrecoverable_, orphans_swept_;
+  obs::Gauge last_stripes_, last_repaired_;
+};
+
+using ScrubberPtr = std::shared_ptr<Scrubber>;
+
+}  // namespace arkfs

@@ -41,6 +41,9 @@ class StoreDecorator : public ObjectStore {
   bool supports_partial_write() const override {
     return base_->supports_partial_write();
   }
+  // The wrapped store — lets callers walk a decorator chain (e.g. to find
+  // the ClusterObjectStore at the bottom for placement probes).
+  const ObjectStorePtr& inner() const { return base_; }
   std::uint64_t max_object_size() const override {
     return base_->max_object_size();
   }
