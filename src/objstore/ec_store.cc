@@ -1,7 +1,6 @@
 #include "objstore/ec_store.h"
 
 #include <algorithm>
-#include <cassert>
 #include <set>
 #include <string_view>
 #include <unordered_set>
@@ -47,6 +46,17 @@ std::uint64_t KeyHash(const std::string& key, std::uint64_t salt) {
   return h;
 }
 
+// Runtime validation of the stripe geometry (an assert would compile out of
+// release builds and leave ManifestSalts writing past its 16-entry array):
+// the 1-hex manifest copy digit caps m at 15; the 2-hex shard index and
+// GF(2^8) cap k + m at 255.
+EcStoreOptions SanitizeEcOptions(EcStoreOptions o) {
+  o.m = std::clamp(o.m, 0, 15);
+  o.k = std::clamp(o.k, 1, 255 - o.m);
+  if (o.placement_probes < 1) o.placement_probes = 1;
+  return o;
+}
+
 }  // namespace
 
 // --- persisted formats -----------------------------------------------------
@@ -90,7 +100,10 @@ Result<StripeManifest> DecodeStripeManifest(ByteSpan data) {
   ARKFS_ASSIGN_OR_RETURN(m.gen, dec.GetU64());
   ARKFS_ASSIGN_OR_RETURN(m.stripe_id, dec.GetU64());
   ARKFS_ASSIGN_OR_RETURN(const auto count, dec.GetVarint());
-  if (m.k == 0 || count != static_cast<std::uint64_t>(m.k) + m.m ||
+  // m <= 15: the bound every writer obeys (SanitizeEcOptions) — a larger m
+  // is not a format we ever produced, and accepting one would walk decoders
+  // past the 16-entry manifest-salt array.
+  if (m.k == 0 || m.m > 15 || count != static_cast<std::uint64_t>(m.k) + m.m ||
       count > 256) {
     return ErrStatus(Errc::kIo, "ec manifest: bad shard count");
   }
@@ -156,9 +169,14 @@ Result<EcShardObject> DecodeShardObject(ByteSpan data) {
 
 // --- key scheme ------------------------------------------------------------
 
+// Internal keys live under the reserved "..ec" sentinel (ec_store.h layout
+// comment). Encodes() refuses logical keys containing the sentinel, so a
+// key that classifies as manifest/shard is always one EcStore wrote — a
+// plain suffix like ".ecm" would let an unlucky logical key masquerade as
+// an internal object (misfolded by List, swept by Delete).
 std::string EcManifestKey(const std::string& key, int copy,
                           std::uint8_t salt) {
-  std::string k = key + ".ecm";
+  std::string k = key + "..ecm";
   AppendHex(&k, static_cast<std::uint64_t>(copy), 1);
   AppendHex(&k, salt, 2);
   return k;
@@ -166,7 +184,7 @@ std::string EcManifestKey(const std::string& key, int copy,
 
 std::string EcShardKey(const std::string& key, int index, std::uint8_t salt,
                        std::uint64_t gen) {
-  std::string k = key + ".ecs";
+  std::string k = key + "..ecs";
   AppendHex(&k, static_cast<std::uint64_t>(index), 2);
   AppendHex(&k, salt, 2);
   k += ".g";
@@ -176,25 +194,25 @@ std::string EcShardKey(const std::string& key, int index, std::uint8_t salt,
 
 EcKeyKind ClassifyEcKey(const std::string& raw, std::string* logical,
                         std::uint64_t* gen) {
-  // Shard: "<key>.ecs" + 4 hex + ".g" + 8 hex  (18-char suffix).
-  if (raw.size() > 18) {
-    const std::size_t base = raw.size() - 18;
+  // Shard: "<key>..ecs" + 4 hex + ".g" + 8 hex  (19-char suffix).
+  if (raw.size() > 19) {
+    const std::size_t base = raw.size() - 19;
     std::uint64_t idx_salt = 0, g = 0;
-    if (raw.compare(base, 4, ".ecs") == 0 &&
-        ParseHex({raw.data() + base + 4, 4}, &idx_salt) &&
-        raw.compare(base + 8, 2, ".g") == 0 &&
-        ParseHex({raw.data() + base + 10, 8}, &g)) {
+    if (raw.compare(base, 5, "..ecs") == 0 &&
+        ParseHex({raw.data() + base + 5, 4}, &idx_salt) &&
+        raw.compare(base + 9, 2, ".g") == 0 &&
+        ParseHex({raw.data() + base + 11, 8}, &g)) {
       if (logical) *logical = raw.substr(0, base);
       if (gen) *gen = g;
       return EcKeyKind::kShard;
     }
   }
-  // Manifest copy: "<key>.ecm" + 3 hex  (7-char suffix).
-  if (raw.size() > 7) {
-    const std::size_t base = raw.size() - 7;
+  // Manifest copy: "<key>..ecm" + 3 hex  (8-char suffix).
+  if (raw.size() > 8) {
+    const std::size_t base = raw.size() - 8;
     std::uint64_t v = 0;
-    if (raw.compare(base, 4, ".ecm") == 0 &&
-        ParseHex({raw.data() + base + 4, 3}, &v)) {
+    if (raw.compare(base, 5, "..ecm") == 0 &&
+        ParseHex({raw.data() + base + 5, 3}, &v)) {
       if (logical) *logical = raw.substr(0, base);
       return EcKeyKind::kManifest;
     }
@@ -224,10 +242,8 @@ std::function<int(const std::string&)> ClusterPrimaryPlacement(
 
 EcStore::EcStore(ObjectStorePtr base, EcStoreOptions options)
     : StoreDecorator(std::move(base)),
-      options_(std::move(options)),
+      options_(SanitizeEcOptions(std::move(options))),
       codec_(options_.k, options_.m) {
-  // m+1 manifest copies must fit the 1-hex copy digit and the salts array.
-  assert(options_.k >= 1 && options_.m >= 0 && options_.m + 1 <= 16);
   async_ = std::make_shared<AsyncObjectIo>(StoreDecorator::inner(),
                                            options_.async);
   encodes_.Attach(options_.metrics, "ec.encodes");
@@ -244,10 +260,13 @@ std::string EcStore::name() const {
 }
 
 bool EcStore::Encodes(const std::string& key) const {
-  // Never re-encode our own internal objects (a should_encode predicate
-  // that matches the logical key would otherwise recurse via base puts done
-  // through `this` in tests that stack EcStore twice).
-  if (ClassifyEcKey(key, nullptr) != EcKeyKind::kLogical) return false;
+  // The "..ec" namespace is reserved for internal objects. Refusing every
+  // key containing the sentinel (not just exact grammar matches) keeps the
+  // classifier unambiguous: a stored manifest/shard key can only have been
+  // written by EcStore, and our own internal objects are never re-encoded
+  // (a should_encode predicate that matches them would otherwise recurse
+  // via base puts done through `this` in tests that stack EcStore twice).
+  if (key.find("..ec") != std::string::npos) return false;
   return !options_.should_encode || options_.should_encode(key);
 }
 
@@ -278,20 +297,23 @@ std::array<std::uint8_t, 16> EcStore::ManifestSalts(
 }
 
 Result<EcStore::LoadedManifest> EcStore::LoadManifestInternal(
-    const std::string& key, int* copies_bad, int* copies_missing) const {
+    const std::string& key, int* copies_bad, int* copies_missing,
+    int* copies_unreachable) const {
   const auto salts = ManifestSalts(key);
+  const bool counting = copies_bad || copies_missing || copies_unreachable;
   bool all_noent = true;
   Status first_err = Status::Ok();
   std::optional<LoadedManifest> loaded;
   for (int copy = 0; copy <= options_.m; ++copy) {
-    const auto mkey =
+    auto mkey =
         EcManifestKey(key, copy, salts[static_cast<std::size_t>(copy)]);
     auto raw = StoreDecorator::inner()->Get(mkey);
     if (!raw.ok()) {
       if (raw.status().code() != Errc::kNoEnt) {
+        // Node down ≠ the copy is gone: count it unreachable, not missing.
         all_noent = false;
         if (first_err.ok()) first_err = raw.status();
-        if (copies_missing) ++*copies_missing;
+        if (copies_unreachable) ++*copies_unreachable;
       } else if (copies_missing) {
         ++*copies_missing;
       }
@@ -305,12 +327,38 @@ Result<EcStore::LoadedManifest> EcStore::LoadManifestInternal(
       continue;
     }
     if (!loaded) {
-      loaded = LoadedManifest{std::move(*decoded), copy};
+      loaded = LoadedManifest{std::move(*decoded), std::move(mkey)};
       // Keep scanning only when the caller wants copy-health counts.
-      if (!copies_bad && !copies_missing) break;
+      if (!counting) break;
     } else if (decoded->gen != loaded->manifest.gen && copies_bad) {
       // A copy stuck at an older generation is repairable, not healthy.
       ++*copies_bad;
+    }
+  }
+  if (loaded) return *loaded;
+  // The derived salts come from the placement closure, i.e. the current
+  // cluster topology. If ring membership changed since the write, every
+  // existing copy lives at a key we can no longer derive — List the
+  // reserved manifest namespace and try every copy actually present before
+  // concluding the key is not EC-placed (highest generation wins, so a
+  // stale copy stranded by an old overwrite can never shadow the live
+  // stripe). Only read misses pay for the List; the healthy path never
+  // gets here.
+  if (auto listed = StoreDecorator::inner()->List(key + "..ecm");
+      listed.ok()) {
+    for (const auto& rkey : *listed) {
+      std::string logical;
+      if (ClassifyEcKey(rkey, &logical) != EcKeyKind::kManifest ||
+          logical != key) {
+        continue;
+      }
+      auto raw = StoreDecorator::inner()->Get(rkey);
+      if (!raw.ok()) continue;
+      auto decoded = DecodeStripeManifest(*raw);
+      if (!decoded.ok()) continue;
+      if (!loaded || decoded->gen > loaded->manifest.gen) {
+        loaded = LoadedManifest{std::move(*decoded), rkey};
+      }
     }
   }
   if (loaded) return *loaded;
@@ -321,8 +369,8 @@ Result<EcStore::LoadedManifest> EcStore::LoadManifestInternal(
 
 Result<StripeManifest> EcStore::LoadManifest(const std::string& key,
                                              int* copies_bad) {
-  ARKFS_ASSIGN_OR_RETURN(auto loaded,
-                         LoadManifestInternal(key, copies_bad, nullptr));
+  ARKFS_ASSIGN_OR_RETURN(
+      auto loaded, LoadManifestInternal(key, copies_bad, nullptr, nullptr));
   return loaded.manifest;
 }
 
@@ -354,6 +402,16 @@ Result<Bytes> EcStore::ReadStripe(const std::string& key,
   const int n = m.k + m.m;
   const int first = static_cast<int>(offset / shard_size);
   const int last = static_cast<int>((offset + length - 1) / shard_size);
+  // "ec.read.corrupt" counts distinct corrupt shards per logical read: one
+  // rotted shard seen again by every degraded refetch attempt (and by the
+  // healthy pass before them) is still one corruption event.
+  std::vector<bool> corrupt_counted(static_cast<std::size_t>(n), false);
+  const auto count_corrupt = [&](int index) {
+    if (!corrupt_counted[static_cast<std::size_t>(index)]) {
+      corrupt_counted[static_cast<std::size_t>(index)] = true;
+      read_corrupt_.Add();
+    }
+  };
 
   // Healthy path: fetch only the covering data shards, in one batch.
   std::vector<BatchGet> gets;
@@ -380,7 +438,7 @@ Result<Bytes> EcStore::ReadStripe(const std::string& key,
         shard->payload.size() != shard_size) {
       // Present but wrong: corruption, never silently served.
       if (raw.ok() && shard.status().code() != Errc::kNoEnt) {
-        read_corrupt_.Add();
+        count_corrupt(i);
       }
       healthy = false;
       break;
@@ -418,7 +476,7 @@ Result<Bytes> EcStore::ReadStripe(const std::string& key,
             shard->header.payload_crc !=
                 m.shards[static_cast<std::size_t>(i)].crc ||
             shard->payload.size() != shard_size) {
-          read_corrupt_.Add();
+          count_corrupt(i);
           continue;
         }
         if (static_cast<int>(present.size()) < k) {
@@ -631,8 +689,8 @@ Status EcStore::Delete(const std::string& key) {
   std::lock_guard<std::mutex> lock(KeyLock(key));
   // List every internal object (any salt, any generation) so a delete never
   // strands shards of torn or superseded writes.
-  auto manifests = StoreDecorator::inner()->List(key + ".ecm");
-  auto shards = StoreDecorator::inner()->List(key + ".ecs");
+  auto manifests = StoreDecorator::inner()->List(key + "..ecm");
+  auto shards = StoreDecorator::inner()->List(key + "..ecs");
   const bool was_ec =
       (manifests.ok() && !manifests->empty()) ||
       (shards.ok() && !shards->empty());
@@ -657,7 +715,7 @@ Status EcStore::Delete(const std::string& key) {
 
 Result<ObjectMeta> EcStore::Head(const std::string& key) {
   if (!Encodes(key)) return StoreDecorator::Head(key);
-  auto loaded = LoadManifestInternal(key, nullptr, nullptr);
+  auto loaded = LoadManifestInternal(key, nullptr, nullptr, nullptr);
   if (!loaded.ok()) {
     auto fallback = StoreDecorator::Head(key);
     if (fallback.ok() || loaded.status().code() == Errc::kNoEnt) {
@@ -667,9 +725,7 @@ Result<ObjectMeta> EcStore::Head(const std::string& key) {
   }
   ObjectMeta meta;
   meta.size = loaded->manifest.object_size;
-  const auto salts = ManifestSalts(key);
-  if (auto copy_meta = StoreDecorator::inner()->Head(EcManifestKey(
-          key, loaded->copy, salts[static_cast<std::size_t>(loaded->copy)]));
+  if (auto copy_meta = StoreDecorator::inner()->Head(loaded->mkey);
       copy_meta.ok()) {
     meta.mtime_sec = copy_meta->mtime_sec;
   }
@@ -721,7 +777,8 @@ Result<EcStore::StripeProbe> EcStore::ProbeStripe(const std::string& key) {
   ARKFS_ASSIGN_OR_RETURN(
       auto loaded,
       LoadManifestInternal(key, &probe.manifest_copies_bad,
-                           &probe.manifest_copies_missing));
+                           &probe.manifest_copies_missing,
+                           &probe.manifest_copies_unreachable));
   probe.manifest = std::move(loaded.manifest);
   const int n = probe.manifest.k + probe.manifest.m;
   for (int i = 0; i < n; ++i) {
@@ -754,6 +811,10 @@ Result<int> EcStore::RepairStripe(const std::string& key,
                                   const StripeProbe& probe) {
   std::vector<int> targets = probe.corrupt;
   targets.insert(targets.end(), probe.missing.begin(), probe.missing.end());
+  // Unreachable copies are NOT dirty: the bytes are presumed intact on the
+  // down node, exactly like unreachable shards. (Rewriting them "for
+  // safety" is what made every scrub pass during a node outage race the
+  // write path.)
   const bool manifests_dirty =
       probe.manifest_copies_bad > 0 || probe.manifest_copies_missing > 0;
   if (targets.empty() && !manifests_dirty) return 0;
@@ -761,6 +822,13 @@ Result<int> EcStore::RepairStripe(const std::string& key,
   if (static_cast<int>(probe.good.size()) < m.k) {
     return ErrStatus(Errc::kIo, "ec repair: unrecoverable (< k good): " + key);
   }
+
+  // Serialize the whole mutation against Put/Delete on this key: without
+  // the lock, an overwrite completing between the generation fence below
+  // and the manifest rewrite at the bottom would have its manifest flip
+  // rolled back to this probe's stale generation — after its own sweep
+  // already deleted the old shards. Lost ack, unreadable stripe.
+  std::lock_guard<std::mutex> lock(KeyLock(key));
 
   // Re-read the manifest right before mutating anything: if an overwrite
   // won the race, this probe describes a dead generation — repairing from
@@ -806,12 +874,25 @@ Result<int> EcStore::RepairStripe(const std::string& key,
   }
 
   if (manifests_dirty) {
+    // Re-verify the generation one last time. KeyLock already excludes
+    // writers in this instance, but a second EcStore over the same base
+    // (separate lock array) could still have flipped the manifest during
+    // the shard fetches above — and unlike a stale shard put (an orphan
+    // the scrubber sweeps), a stale manifest rewrite rolls back an acked
+    // overwrite.
+    ARKFS_ASSIGN_OR_RETURN(const auto check, LoadManifest(key));
+    if (check.gen != m.gen || check.stripe_id != m.stripe_id) {
+      return ErrStatus(Errc::kAgain, "ec repair: stripe superseded: " + key);
+    }
     // Rewrite every copy with byte-identical content (never a new gen — a
     // crashed repair must not change what readers resolve).
     const Bytes encoded = EncodeStripeManifest(m);
     const auto salts = ManifestSalts(key);
     std::vector<BatchPut> puts;
-    for (int copy = 0; copy <= static_cast<int>(m.m); ++copy) {
+    for (int copy = 0;
+         copy <= static_cast<int>(m.m) &&
+         copy < static_cast<int>(salts.size());
+         ++copy) {
       puts.push_back(BatchPut{
           EcManifestKey(key, copy, salts[static_cast<std::size_t>(copy)]),
           encoded, false, 0});
@@ -825,7 +906,7 @@ Result<int> EcStore::RepairStripe(const std::string& key,
 Result<int> EcStore::SweepOrphans(const std::string& key,
                                   const StripeManifest& m) {
   ARKFS_ASSIGN_OR_RETURN(const auto raw,
-                         StoreDecorator::inner()->List(key + ".ecs"));
+                         StoreDecorator::inner()->List(key + "..ecs"));
   std::vector<std::string> doomed;
   for (const auto& rkey : raw) {
     std::string logical;

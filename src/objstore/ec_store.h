@@ -10,11 +10,14 @@
 // a shard fails its CRC — corruption is counted ("ec.read.corrupt"), never
 // silently returned.
 //
-// Object layout for a logical key K (generation g, hex-encoded):
-//   K.ecm<r><ss>        stripe-manifest copy r (r = 0..m, salt ss) — m+1
+// Object layout for a logical key K (generation g, hex-encoded). Internal
+// objects live in a reserved "..ec" namespace — logical keys containing
+// that sentinel are never encoded (Encodes() refuses them), so a logical
+// key can never be mistaken for (or collide with) an internal one:
+//   K..ecm<r><ss>       stripe-manifest copy r (r = 0..m, salt ss) — m+1
 //                       identical CRC-covered copies on distinct nodes, so
 //                       at least one survives any m node outages
-//   K.ecs<ii><ss>.g<gggggggg>
+//   K..ecs<ii><ss>.g<gggggggg>
 //                       shard ii (00..k+m-1) of generation g, salt ss
 //
 // Write protocol (overwrite-safe, copy-on-write by generation):
@@ -105,6 +108,9 @@ EcKeyKind ClassifyEcKey(const std::string& raw, std::string* logical,
                         std::uint64_t* gen = nullptr);
 
 struct EcStoreOptions {
+  // Stripe geometry. Validated at runtime by the EcStore constructor (not
+  // assert-only): m is clamped to [0, 15] (the 1-hex manifest copy digit
+  // and the salts array), k to [1, 255 - m] (2-hex shard index, GF(2^8)).
   int k = 4;
   int m = 2;
   // Only keys this predicate accepts are erasure-coded; everything else
@@ -173,7 +179,11 @@ class EcStore : public StoreDecorator {
   struct StripeProbe {
     StripeManifest manifest;
     int manifest_copies_bad = 0;      // undecodable/corrupt manifest copies
-    int manifest_copies_missing = 0;  // kNoEnt or unreachable copies
+    int manifest_copies_missing = 0;  // kNoEnt: the copy truly is not there
+    // Store error (node down): the copy is presumed intact on the dead
+    // node. Like unreachable shards, these are never "repaired" — a rewrite
+    // based on a stale probe could roll back a concurrent overwrite.
+    int manifest_copies_unreachable = 0;
     std::vector<int> good;            // shard indices verified intact
     std::vector<int> corrupt;         // present but CRC/decode/id mismatch
     std::vector<int> missing;         // kNoEnt
@@ -181,12 +191,15 @@ class EcStore : public StoreDecorator {
   };
   Result<StripeProbe> ProbeStripe(const std::string& key);
 
-  // Re-encodes and rewrites the given shards (and any bad manifest copies)
-  // from >= k good shards, honoring the repair ordering rule. Returns the
-  // number of shards actually repaired; fails kIo when fewer than k shards
-  // are readable. The manifest is re-read immediately before the first PUT
-  // and the repair aborts (kAgain) if the generation moved — an overwrite
-  // won the race and the stale probe must not resurrect old shards.
+  // Re-encodes and rewrites the given shards (and any bad or truly-missing
+  // manifest copies — unreachable ones are left alone) from >= k good
+  // shards, honoring the repair ordering rule. Returns the number of shards
+  // actually repaired; fails kIo when fewer than k shards are readable.
+  // The whole mutation holds KeyLock(key), serializing against Put/Delete
+  // in this instance, and the manifest is re-read both immediately after
+  // taking the lock and immediately before any manifest rewrite; the repair
+  // aborts (kAgain) if the generation moved — an overwrite won the race
+  // and the stale probe must not resurrect old shards or old manifests.
   Result<int> RepairStripe(const std::string& key, const StripeProbe& probe);
 
   // Deletes shard objects of generations older than the manifest's (the
@@ -205,7 +218,7 @@ class EcStore : public StoreDecorator {
  private:
   struct LoadedManifest {
     StripeManifest manifest;
-    int copy = 0;  // which copy decoded (its Head supplies mtime)
+    std::string mkey;  // the copy it decoded from (its Head supplies mtime)
   };
 
   // Deterministic salts for the m+1 manifest copies of `key` (readers and
@@ -214,7 +227,8 @@ class EcStore : public StoreDecorator {
 
   Result<LoadedManifest> LoadManifestInternal(const std::string& key,
                                               int* copies_bad,
-                                              int* copies_missing) const;
+                                              int* copies_missing,
+                                              int* copies_unreachable) const;
 
   // Assembles [offset, offset+length) of the stripe, fetching only the
   // covering data shards on the healthy path and falling back to full

@@ -396,7 +396,7 @@ TEST_F(ChaosE2eTest, RollingNodeOutageLosesNoAckedOps) {
 //
 // placement=kEc over eight single-replica nodes: the ONLY redundancy the
 // data chunks have is the k=4/m=2 stripe. A chaos layer tears shard puts
-// and bit-flips shard reads (scoped to ".ecs" keys — the journal is
+// and bit-flips shard reads (scoped to "..ecs" keys — the journal is
 // DESIGNED to fail hard on damage, so rotting it would only test the
 // wrong layer) while pairs of nodes go down simultaneously and a reader
 // sweeps every acked file cold. Invariants:
@@ -415,7 +415,7 @@ TEST_F(ChaosE2eTest, EcColdReadsSurviveRollingNodeKills) {
   chaos_cfg.torn_put_rate = 0.005;
   chaos_cfg.bit_flip_rate = 0.01;
   chaos_cfg.bit_flip_filter = [](const std::string& key) {
-    return key.find(".ecs") != std::string::npos;
+    return key.find("..ecs") != std::string::npos;
   };
   auto chaos = std::make_shared<ChaosStore>(nodes, chaos_cfg, &registry);
   auto retrying = std::make_shared<RetryingStore>(
