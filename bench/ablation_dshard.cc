@@ -65,7 +65,7 @@ SweepPoint RunSweep(std::uint32_t shard_count) {
     for (std::uint64_t i = start; i < start + kBatch; ++i) {
       records.push_back(AddEntry(i, "f"));
     }
-    mgr.Append(dir, std::move(records));
+    (void)mgr.Append(dir, std::move(records));
     if (!mgr.FlushDir(dir).ok()) return point;
   }
   meter.Stop();
@@ -76,7 +76,7 @@ SweepPoint RunSweep(std::uint32_t shard_count) {
   // steady archiving state looks like between big ingests.
   counting->Reset();
   const std::uint64_t shard_puts_before = mgr.metrics().dentry_shards_written.value();
-  mgr.Append(dir, {AddEntry(kDirEntries + 1, "late")});
+  (void)mgr.Append(dir, {AddEntry(kDirEntries + 1, "late")});
   if (!mgr.FlushDir(dir).ok()) return point;
   point.burst1_bytes = counting->Snapshot().bytes_written;
   point.burst1_shard_puts =
@@ -88,7 +88,7 @@ SweepPoint RunSweep(std::uint32_t shard_count) {
   for (std::uint64_t i = 0; i < 5; ++i) {
     burst.push_back(AddEntry(kDirEntries + 10 + i, "late"));
   }
-  mgr.Append(dir, std::move(burst));
+  (void)mgr.Append(dir, std::move(burst));
   if (!mgr.FlushDir(dir).ok()) return point;
   point.burst5_bytes = counting->Snapshot().bytes_written;
   point.burst5_shard_puts = mgr.metrics().dentry_shards_written.value() - puts5_before;

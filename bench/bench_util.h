@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,73 @@ inline std::string Fmt(const char* format, double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), format, value);
   return buf;
+}
+
+// --json support: benches accumulate {op, mode, percentiles, throughput}
+// rows and dump them as one JSON array for tooling (CI trend lines, the
+// EXPERIMENTS.md ablation tables). Plain fprintf — the image has no JSON
+// library, and the schema is four numbers per row.
+struct JsonRow {
+  std::string op;    // e.g. "create", "write"
+  std::string mode;  // durability mode or system/phase qualifier
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double ops_per_sec = 0;
+};
+
+class JsonReport {
+ public:
+  void Add(JsonRow row) { rows_.push_back(std::move(row)); }
+  bool empty() const { return rows_.empty(); }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const JsonRow& r = rows_[i];
+      std::fprintf(
+          f,
+          "  {\"op\": \"%s\", \"mode\": \"%s\", \"p50_us\": %.3f, "
+          "\"p95_us\": %.3f, \"p99_us\": %.3f, \"ops_per_sec\": %.1f}%s\n",
+          r.op.c_str(), r.mode.c_str(), r.p50_us, r.p95_us, r.p99_us,
+          r.ops_per_sec, i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  std::vector<JsonRow> rows_;
+};
+
+// Pulls "--flag <value>" out of argv (before google-benchmark sees and
+// rejects it); returns the value, or "" if the flag is absent.
+inline std::string ExtractFlagValue(int* argc, char** argv, const char* flag) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < *argc) {
+      std::string value = argv[i + 1];
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      return value;
+    }
+  }
+  return "";
+}
+
+// Pulls a bare "--flag" out of argv; returns whether it was present.
+inline bool ExtractFlag(int* argc, char** argv, const char* flag) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      *argc -= 1;
+      return true;
+    }
+  }
+  return false;
 }
 
 // A full ArkFS deployment for benches: paper-like network + 5 s leases are

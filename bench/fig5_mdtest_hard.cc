@@ -44,7 +44,8 @@ void PrintTable(const std::vector<SystemRun>& runs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::ExtractFlagValue(&argc, argv, "--json");
   bench::Header("Figure 5: mdtest-hard (WRITE / STAT / READ / DELETE)",
                 "Fig. 5 — 3901-byte files in shared directories, 16 procs");
   bench::PaperClaim("ArkFS ahead in all phases; READ up to 4.65x; MarFS "
@@ -146,6 +147,27 @@ int main() {
   }
 
   PrintTable(runs);
+
+  if (!json_path.empty()) {
+    // One row per system x phase. mdtest reports phase throughput, not
+    // per-op percentiles, so only ops_per_sec is meaningful here.
+    bench::JsonReport json;
+    for (const auto& run : runs) {
+      for (const auto& phase : run.phases) {
+        bench::JsonRow row;
+        row.op = phase.phase;
+        row.mode = run.name;
+        row.ops_per_sec = phase.errors >= phase.ops ? 0 : phase.ops_per_second;
+        json.Add(std::move(row));
+      }
+    }
+    if (json.WriteTo(json_path)) {
+      std::printf("\n  wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
 
   std::printf("\n");
   const SystemRun& ceph1 = runs[3];

@@ -115,9 +115,13 @@ Status Client::Shutdown() {
 
 void Client::CrashHard() {
   // Disappear from the network; keep all in-memory state unflushed. The
-  // journal objects in the store retain exactly what was committed.
+  // journal objects in the store retain exactly what was committed. Halting
+  // the journal's background threads is part of the crash model: a dead
+  // process cannot keep flushing its dirty window, so whatever was
+  // sequenced-but-unflushed at this instant is the realized loss window.
   shut_down_.store(true);
   fabric_->Unbind(config_.address);
+  journal_->Halt();
 }
 
 // ---------------------------------------------------------------------------
@@ -183,6 +187,13 @@ Result<Client::DirRef> Client::EnsureDirAccess(const Uuid& dir_ino) {
     std::unique_lock lock(handle->mu);
     if (handle->leader && Now() < handle->lease_until) {
       handle->lame_duck = true;
+      // Entering lame duck is the deposition warning: drain every
+      // sequenced-but-unflushed frame NOW, while our fence still holds, so
+      // a successor's journal load sees everything we acked. Past this
+      // point the fence can advance at any time and a late flush would be
+      // rejected (never silently lost — just not ours to write anymore).
+      journal_->NoteLeaseDrain();
+      (void)journal_->CommitDir(dir_ino);
       return DirRef{handle, {}};
     }
   }
@@ -404,6 +415,7 @@ wire::DirOpResponse Client::ServeDirOp(const wire::DirOpRequest& req) {
   // (that is exactly the handoff situation it exists for).
   if (req.op == wire::DirOp::kFlushDir) {
     std::unique_lock lock(handle->mu);
+    journal_->NoteLeaseDrain();  // handoff: a forced-drain lease event
     Status st = journal_->FlushDir(req.dir_ino);
     if (st.code() == Errc::kStale) {
       // Already fenced off by an even newer leader; our unflushed state is
@@ -513,6 +525,21 @@ wire::DirOpResponse Client::ServeDirOp(const wire::DirOpRequest& req) {
     case wire::DirOp::kFlushDir:
       break;  // handled above
   }
+  if (st.code() == Errc::kStale && wire::IsMutation(req.op)) {
+    // The op's journal commit was fenced mid-flight (sync mode commits
+    // inside Append): a successor deposed us between the lease checks above
+    // and the append. Nothing was acked, so drop leadership — the durable
+    // journal is the successor's to replay, and our sequenced-but-unflushed
+    // records die with the tenure (ResetDir counts them) — and report
+    // kAgain so the caller redrives the op against the new leader.
+    handle->leader = false;
+    handle->lame_duck = false;
+    handle->metatable.reset();
+    handle->file_leases.clear();
+    handle->fence = FenceToken{};
+    journal_->ResetDir(req.dir_ino);
+    st = ErrStatus(Errc::kAgain, "deposed at journal commit; retry");
+  }
   fill_error(st);
   // Stamp replies to REMOTE requesters with the tenure + current journal
   // watermark. Delegates compare the stamp against their cached slice: the
@@ -555,6 +582,7 @@ Vfs::IntrospectReport Client::Introspect() {
   report.spans = tracer_.Spans();
   report.delegations_text = DelegDumpText();
   if (scrub_reporter_) report.scrub_text = scrub_reporter_();
+  report.journal_text = journal_->IntrospectText();
   return report;
 }
 

@@ -922,7 +922,7 @@ Status Client::LeaderCreate(DirHandle& dir, const std::string& name,
   records.push_back(journal::Record::InodeUpsert(child));
   records.push_back(journal::Record::DentryAdd(d));
   records.push_back(journal::Record::InodeUpsert(dir_inode));
-  journal_->Append(dir.ino, std::move(records));
+  ARKFS_RETURN_IF_ERROR(journal_->Append(dir.ino, std::move(records)));
 
   out->has_inode = true;
   out->inode = child;
@@ -956,7 +956,7 @@ Status Client::LeaderMkdir(DirHandle& dir, const std::string& name,
   records.push_back(journal::Record::InodeUpsert(child));
   records.push_back(journal::Record::DentryAdd(d));
   records.push_back(journal::Record::InodeUpsert(dir_inode));
-  journal_->Append(dir.ino, std::move(records));
+  ARKFS_RETURN_IF_ERROR(journal_->Append(dir.ino, std::move(records)));
 
   out->has_inode = true;
   out->inode = child;
@@ -982,7 +982,7 @@ Status Client::LeaderUnlink(DirHandle& dir, const std::string& name,
   dir_inode.mtime_sec = dir_inode.ctime_sec = WallClockSeconds();
   ++dir_inode.version;
   records.push_back(journal::Record::InodeUpsert(dir_inode));
-  journal_->Append(dir.ino, std::move(records));
+  ARKFS_RETURN_IF_ERROR(journal_->Append(dir.ino, std::move(records)));
 
   ARKFS_RETURN_IF_ERROR(mt.Erase(name));
   dir.file_leases.erase(d.ino);
@@ -1031,7 +1031,7 @@ Status Client::LeaderRmdir(DirHandle& dir, const std::string& name,
   if (dir_inode.nlink > 2) --dir_inode.nlink;
   ++dir_inode.version;
   records.push_back(journal::Record::InodeUpsert(dir_inode));
-  journal_->Append(dir.ino, std::move(records));
+  ARKFS_RETURN_IF_ERROR(journal_->Append(dir.ino, std::move(records)));
 
   ARKFS_RETURN_IF_ERROR(mt.Erase(name));
   return Status::Ok();
@@ -1067,7 +1067,7 @@ Status Client::LeaderRenameLocal(DirHandle& dir, const std::string& from,
   dir_inode.mtime_sec = dir_inode.ctime_sec = WallClockSeconds();
   ++dir_inode.version;
   records.push_back(journal::Record::InodeUpsert(dir_inode));
-  journal_->Append(dir.ino, std::move(records));
+  ARKFS_RETURN_IF_ERROR(journal_->Append(dir.ino, std::move(records)));
 
   std::optional<Inode> child_inode;
   if (moving.type != FileType::kDirectory) {
@@ -1138,7 +1138,8 @@ Status Client::LeaderSetAttrChild(DirHandle& dir, const std::string& name,
     cache_->TruncateFile(d.ino, req.size);
     BroadcastFlush(dir, d.ino, config_.address);
   }
-  journal_->Append(dir.ino, {journal::Record::InodeUpsert(*child)});
+  ARKFS_RETURN_IF_ERROR(
+      journal_->Append(dir.ino, {journal::Record::InodeUpsert(*child)}));
   out->has_inode = true;
   out->inode = *child;
   return Status::Ok();
@@ -1151,7 +1152,8 @@ Status Client::LeaderSetAttrDir(DirHandle& dir, const SetAttrRequest& req,
   Inode& dir_inode = mt.mutable_dir_inode();
   if (req.mask & kSetSize) return ErrStatus(Errc::kIsDir);
   ARKFS_RETURN_IF_ERROR(ApplySetAttr(dir_inode, req, cred));
-  journal_->Append(dir.ino, {journal::Record::InodeUpsert(dir_inode)});
+  ARKFS_RETURN_IF_ERROR(
+      journal_->Append(dir.ino, {journal::Record::InodeUpsert(dir_inode)}));
   out->has_inode = true;
   out->inode = dir_inode;
   out->dir_meta = {true, dir_inode.mode, dir_inode.uid, dir_inode.gid,
@@ -1170,7 +1172,8 @@ Status Client::LeaderSetAclChild(DirHandle& dir, const std::string& name,
   child->acl = acl;
   child->ctime_sec = WallClockSeconds();
   ++child->version;
-  journal_->Append(dir.ino, {journal::Record::InodeUpsert(*child)});
+  ARKFS_RETURN_IF_ERROR(
+      journal_->Append(dir.ino, {journal::Record::InodeUpsert(*child)}));
   return Status::Ok();
 }
 
@@ -1181,7 +1184,8 @@ Status Client::LeaderSetAclDir(DirHandle& dir, const Acl& acl,
   dir_inode.acl = acl;
   dir_inode.ctime_sec = WallClockSeconds();
   ++dir_inode.version;
-  journal_->Append(dir.ino, {journal::Record::InodeUpsert(dir_inode)});
+  ARKFS_RETURN_IF_ERROR(
+      journal_->Append(dir.ino, {journal::Record::InodeUpsert(dir_inode)}));
   return Status::Ok();
 }
 
@@ -1259,7 +1263,8 @@ Status Client::LeaderCommitSize(DirHandle& dir, const Uuid& ino,
   child->mtime_sec = mtime_sec;
   child->ctime_sec = WallClockSeconds();
   ++child->version;
-  journal_->Append(dir.ino, {journal::Record::InodeUpsert(*child)});
+  ARKFS_RETURN_IF_ERROR(
+      journal_->Append(dir.ino, {journal::Record::InodeUpsert(*child)}));
   return Status::Ok();
 }
 
@@ -1301,7 +1306,11 @@ void Client::BroadcastFlush(DirHandle& dir, const Uuid& ino,
           (*child)->size = std::max((*child)->size, max_size);
           (*child)->mtime_sec = mtime;
           ++(*child)->version;
-          journal_->Append(dir.ino, {journal::Record::InodeUpsert(**child)});
+          // Best-effort: on a sync-mode commit failure the records stay on
+          // the running queue and the background commit thread redrives
+          // them; the broadcast itself is already fire-and-forget.
+          (void)journal_->Append(dir.ino,
+                                 {journal::Record::InodeUpsert(**child)});
         }
       }
       continue;

@@ -132,6 +132,10 @@ class Vfs {
     // EC scrub-and-repair state (cumulative counters + last pass); empty
     // when the deployment has no erasure-coded tier.
     std::string scrub_text;
+    // Journal durability state: active mode, dirty-window depth
+    // (records/bytes/oldest-age) and cumulative flush/stall/drain counts;
+    // empty for implementations without a journal.
+    std::string journal_text;
   };
   virtual IntrospectReport Introspect() { return {}; }
 

@@ -1,6 +1,7 @@
 #include "journal/journal.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <optional>
 #include <set>
@@ -45,10 +46,17 @@ void JournalMetrics::Attach(obs::MetricsRegistry* registry) {
   fence_checks.Attach(registry, "journal.commit.fence_checks");
   fence_rejections.Attach(registry, "journal.commit.fence_rejections");
   fence_violations.Attach(registry, "journal.commit.fence_violations");
+  flush_errors.Attach(registry, "journal.flush.errors");
+  group_flushes.Attach(registry, "journal.group.flushes");
+  group_flushed_txns.Attach(registry, "journal.group.flushed_txns");
+  group_stalls.Attach(registry, "journal.group.stalls");
+  group_drains.Attach(registry, "journal.group.drains");
+  group_lease_drains.Attach(registry, "journal.group.lease_drains");
+  group_dropped_records.Attach(registry, "journal.group.dropped_records");
 }
 
 JournalManager::JournalManager(std::shared_ptr<Prt> prt, JournalConfig config)
-    : config_(config), prt_(std::move(prt)) {
+    : config_(config), prt_(std::move(prt)), window_(config_.group_window) {
   metrics_.Attach(config_.metrics);
   obs::MetricsRegistry& reg = config_.metrics != nullptr
                                   ? *config_.metrics
@@ -64,10 +72,23 @@ JournalManager::JournalManager(std::shared_ptr<Prt> prt, JournalConfig config)
   for (int i = 0; i < config_.commit_threads; ++i) {
     commit_threads_.emplace_back([this, i] { CommitThreadMain(i); });
   }
+  if (config_.durability == DurabilityMode::kGroup) {
+    group_flusher_ = std::thread([this] { GroupFlusherMain(); });
+  }
 }
 
 JournalManager::~JournalManager() {
+  Halt();
+  obs::MetricsRegistry& reg = config_.metrics != nullptr
+                                  ? *config_.metrics
+                                  : obs::MetricsRegistry::Default();
+  reg.UnregisterHistograms(&op_latencies_);
+}
+
+void JournalManager::Halt() {
   stopping_.store(true);
+  window_.Close();
+  if (group_flusher_.joinable()) group_flusher_.join();
   for (auto& q : checkpoint_queues_) q->Close();
   for (auto& t : commit_threads_) {
     if (t.joinable()) t.join();
@@ -75,10 +96,6 @@ JournalManager::~JournalManager() {
   for (auto& t : checkpoint_threads_) {
     if (t.joinable()) t.join();
   }
-  obs::MetricsRegistry& reg = config_.metrics != nullptr
-                                  ? *config_.metrics
-                                  : obs::MetricsRegistry::Default();
-  reg.UnregisterHistograms(&op_latencies_);
 }
 
 void JournalManager::RegisterDir(const Uuid& dir_ino) {
@@ -113,6 +130,10 @@ void JournalManager::ResetDir(const Uuid& dir_ino) {
   DirStatePtr st = FindDir(dir_ino);
   if (!st) return;
   std::scoped_lock locks(st->checkpoint_mu, st->append_mu, st->mu);
+  // Sequenced-but-unflushed records die here with the tenure — that is the
+  // documented loss window of the group/async modes, and dropped_records is
+  // its realized size.
+  DropPendingWindowLocked(*st, /*count_as_dropped=*/true);
   st->running.clear();
   st->committed.clear();
   st->journal_bytes = 0;
@@ -120,9 +141,22 @@ void JournalManager::ResetDir(const Uuid& dir_ino) {
   st->watermark.store(0, std::memory_order_relaxed);
 }
 
+void JournalManager::DropPendingWindowLocked(DirState& st,
+                                             bool count_as_dropped) {
+  const std::uint64_t n = st.running.size();
+  if (n == 0 && st.pending_window_bytes == 0) return;
+  window_.NoteDrained(n, st.pending_window_bytes);
+  st.pending_window_bytes = 0;
+  if (count_as_dropped && n > 0) metrics_.group_dropped_records.Add(n);
+}
+
 Status JournalManager::UnregisterDir(const Uuid& dir_ino) {
   DirStatePtr st = FindDir(dir_ino);
   if (!st) return Status::Ok();
+  // Lease release is a forced drain point: nothing sequenced may stay
+  // unflushed once the lease (and with it our fence) is gone.
+  metrics_.group_drains.Add();
+  metrics_.group_lease_drains.Add();
   ARKFS_RETURN_IF_ERROR(CommitRunning(dir_ino, *st));
   ARKFS_RETURN_IF_ERROR(Checkpoint(dir_ino, *st));
   {
@@ -135,23 +169,51 @@ Status JournalManager::UnregisterDir(const Uuid& dir_ino) {
   return Status::Ok();
 }
 
-void JournalManager::Append(const Uuid& dir_ino, std::vector<Record> records) {
+Status JournalManager::Append(const Uuid& dir_ino,
+                              std::vector<Record> records) {
   obs::Span span("journal.append");
+  const std::uint64_t n_records = records.size();
+  const std::uint64_t est_bytes = ApproxRecordBytes(records);
   DirStatePtr st = FindOrCreateDir(dir_ino);
-  std::lock_guard lock(st->mu);
-  if (st->running.empty()) {
-    st->first_op = Now();
-    // The transaction's trace is the trace of its first op; a deferred
-    // background commit replays it (later appends piggyback).
-    st->trace = obs::CaptureTrace();
+  {
+    std::lock_guard lock(st->mu);
+    if (st->running.empty()) {
+      st->first_op = Now();
+      // The transaction's trace is the trace of its first op; a deferred
+      // background commit replays it (later appends piggyback).
+      st->trace = obs::CaptureTrace();
+    }
+    // Taking a position on the running queue under st->mu IS the sequence
+    // assignment: commits drain the queue in order and allocate the frame
+    // seq under the same locks.
+    st->running.insert(st->running.end(),
+                       std::make_move_iterator(records.begin()),
+                       std::make_move_iterator(records.end()));
+    st->pending_window_bytes += est_bytes;
+    // Delegation watermark: every accepted mutation advances it, BEFORE the
+    // op is acked, so a delegate that observes the piggybacked watermark on
+    // any later reply can never miss the mutation it races with.
+    st->watermark.fetch_add(1, std::memory_order_relaxed);
   }
-  st->running.insert(st->running.end(),
-                     std::make_move_iterator(records.begin()),
-                     std::make_move_iterator(records.end()));
-  // Delegation watermark: every accepted mutation advances it, BEFORE the
-  // op is acked, so a delegate that observes the piggybacked watermark on
-  // any later reply can never miss the mutation it races with.
-  st->watermark.fetch_add(1, std::memory_order_relaxed);
+  window_.NoteSequenced(n_records, est_bytes);
+  switch (config_.durability) {
+    case DurabilityMode::kSync: {
+      // Durable before ack. On failure the records stay on the running
+      // queue (commit unwind), so the background commit thread redrives
+      // them — the caller sees the error and must not ack the op.
+      ARKFS_RETURN_IF_ERROR(CommitRunning(dir_ino, *st));
+      MaybeEnqueueCheckpoint(dir_ino, *st);
+      return Status::Ok();
+    }
+    case DurabilityMode::kGroup:
+      // Acked on sequence; the flusher was woken by NoteSequenced. Hold the
+      // appender only while the dirty window is over its bounds.
+      if (window_.Backpressure()) metrics_.group_stalls.Add();
+      return Status::Ok();
+    case DurabilityMode::kAsync:
+      return Status::Ok();
+  }
+  return Status::Ok();
 }
 
 std::uint64_t JournalManager::Watermark(const Uuid& dir_ino) {
@@ -242,15 +304,21 @@ Status JournalManager::AppendToJournalLocked(const Uuid& dir_ino,
 Status JournalManager::CommitRunningLocked(const Uuid& dir_ino, DirState& st) {
   Transaction txn;
   obs::ActiveTrace trace;
+  std::uint64_t window_bytes = 0;
   {
     std::lock_guard lock(st.mu);
     if (st.running.empty()) return Status::Ok();
     txn.records = std::move(st.running);
     st.running.clear();
     txn.seq = st.next_seq++;
+    // Claim the batch's dirty-window share; it is drained only once the
+    // append succeeds (the records stay "unflushed" while in flight).
+    window_bytes = st.pending_window_bytes;
+    st.pending_window_bytes = 0;
     trace = st.trace;
     st.trace = obs::ActiveTrace{};
   }
+  const std::uint64_t n_records = txn.records.size();
   // Commit under the trace of the op that opened the transaction, whether
   // we run on the caller's thread (fsync) or a background commit thread.
   obs::TraceScope scope(trace.tracer, trace.ctx);
@@ -259,6 +327,7 @@ Status JournalManager::CommitRunningLocked(const Uuid& dir_ino, DirState& st) {
   Status append = AppendToJournalLocked(dir_ino, st, txn);
   if (append.ok()) {
     op_latencies_.Record("commit", Now() - commit_start);
+    window_.NoteDrained(n_records, window_bytes);
   }
   if (!append.ok()) {
     // Unwind: nothing was made durable, so the records must stay committable
@@ -271,6 +340,7 @@ Status JournalManager::CommitRunningLocked(const Uuid& dir_ino, DirState& st) {
                        std::make_move_iterator(st.running.begin()),
                        std::make_move_iterator(st.running.end()));
     st.running = std::move(txn.records);
+    st.pending_window_bytes += window_bytes;  // still pending, still counted
     --st.next_seq;
   }
   return append;
@@ -367,12 +437,20 @@ Status JournalManager::Checkpoint(const Uuid& dir_ino, DirState& st) {
 Status JournalManager::CommitDir(const Uuid& dir_ino) {
   DirStatePtr st = FindDir(dir_ino);
   if (!st) return Status::Ok();
+  {
+    std::lock_guard lock(st->mu);
+    if (!st->running.empty()) metrics_.group_drains.Add();
+  }
   return CommitRunning(dir_ino, *st);
 }
 
 Status JournalManager::FlushDir(const Uuid& dir_ino) {
   DirStatePtr st = FindDir(dir_ino);
   if (!st) return Status::Ok();
+  {
+    std::lock_guard lock(st->mu);
+    if (!st->running.empty()) metrics_.group_drains.Add();
+  }
   ARKFS_RETURN_IF_ERROR(CommitRunning(dir_ino, *st));
   return Checkpoint(dir_ino, *st);
 }
@@ -397,11 +475,19 @@ Status JournalManager::ForEachDir(std::function<Status(const Uuid&)> op) {
     for (const auto& [ino, _] : dirs_) all.push_back(ino);
   }
   if (all.empty()) return Status::Ok();
-  if (all.size() == 1) return op(all[0]);
+  // The returned Status is first-error-wins; the per-directory failure
+  // COUNT is only visible through the journal.flush.errors counter, so bump
+  // it for every failing directory here.
+  auto counted = [this, &op](const Uuid& ino) {
+    Status s = op(ino);
+    if (!s.ok()) metrics_.flush_errors.Add();
+    return s;
+  };
+  if (all.size() == 1) return counted(all[0]);
   std::vector<std::function<Status()>> tasks;
   tasks.reserve(all.size());
   for (const auto& ino : all) {
-    tasks.push_back([&op, ino] { return op(ino); });
+    tasks.push_back([&counted, ino] { return counted(ino); });
   }
   return prt_->async().RunAll(std::move(tasks));
 }
@@ -505,6 +591,7 @@ Result<RecoveryReport> JournalManager::RecoverDir(const Uuid& dir_ino) {
   // Reset any stale in-memory bookkeeping for this directory.
   if (DirStatePtr st = FindDir(dir_ino)) {
     std::scoped_lock locks(st->checkpoint_mu, st->append_mu, st->mu);
+    DropPendingWindowLocked(*st, /*count_as_dropped=*/false);
     st->running.clear();
     st->committed.clear();
     st->journal_bytes = 0;
@@ -958,6 +1045,107 @@ void JournalManager::CheckpointThreadMain(int index) {
                  << s.ToString();
     }
   }
+}
+
+void JournalManager::MaybeEnqueueCheckpoint(const Uuid& dir_ino,
+                                            DirState& st) {
+  bool due = false;
+  const TimePoint now = Now();
+  {
+    std::lock_guard lock(st.mu);
+    if (now - st.last_checkpoint_enqueue >= config_.commit_interval) {
+      st.last_checkpoint_enqueue = now;
+      due = true;
+    }
+  }
+  if (due) checkpoint_queues_[CheckpointThreadFor(dir_ino)]->Push(dir_ino);
+}
+
+void JournalManager::GroupFlusherMain() {
+  // The adaptive batching loop: park until anything is sequenced, then
+  // commit EVERY directory with pending records in one async fan-out. When
+  // load is light each append gets its own near-immediate flush; under load
+  // the records that arrive while a round's store round trip is in flight
+  // coalesce into the next round, so frames per round scale with pressure
+  // without a timer in the ack path.
+  while (window_.AwaitDirty()) {
+    std::vector<std::pair<Uuid, DirStatePtr>> dirty;
+    {
+      std::lock_guard lock(registry_mu_);
+      for (const auto& [ino, st] : dirs_) {
+        std::lock_guard dlock(st->mu);
+        if (!st->running.empty()) dirty.emplace_back(ino, st);
+      }
+    }
+    if (dirty.empty()) {
+      // An fsync or lease-event drain on another thread beat us to every
+      // pending record. Brief pause so a (should-be-impossible) window
+      // accounting leak cannot turn into a hot spin.
+      SleepFor(Millis(1));
+      continue;
+    }
+    const TimePoint t0 = Now();
+    Status first = Status::Ok();
+    if (dirty.size() == 1) {
+      first = CommitRunning(dirty[0].first, *dirty[0].second);
+      if (!first.ok()) metrics_.flush_errors.Add();
+    } else {
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(dirty.size());
+      for (auto& entry : dirty) {
+        tasks.push_back([this, ino = entry.first, st = entry.second.get()] {
+          Status s = CommitRunning(ino, *st);
+          if (!s.ok()) metrics_.flush_errors.Add();
+          return s;
+        });
+      }
+      first = prt_->async().RunAll(std::move(tasks));
+    }
+    op_latencies_.Record("group_flush", Now() - t0);
+    metrics_.group_flushes.Add();
+    metrics_.group_flushed_txns.Add(dirty.size());
+    // Checkpoints stay on the async-mode cadence: flush rounds can be
+    // sub-millisecond under load and checkpointing each one would rewrite
+    // dirty shards continuously.
+    for (auto& entry : dirty) MaybeEnqueueCheckpoint(entry.first, *entry.second);
+    if (!first.ok()) {
+      if (stopping_.load()) break;
+      // Store trouble: the failed directories' records were unwound onto
+      // their running queues and the window still counts them, so the next
+      // AwaitDirty redrives immediately — back off instead of hot-looping.
+      SleepFor(Millis(2));
+    }
+  }
+}
+
+std::string JournalManager::IntrospectText() const {
+  const GroupWindow::Depth d = window_.depth();
+  const GroupWindowLimits& lim = window_.limits();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "durability mode: %s\n"
+      "dirty window: %llu records / %llu bytes (est), oldest %.3f ms"
+      " (limits %llu records / %llu bytes / %lld ms)\n"
+      "drains: %llu (lease-event %llu)  stalls: %llu\n"
+      "flushes: %llu (txns %llu)  dropped records: %llu  flush errors: %llu\n",
+      DurabilityModeName(config_.durability),
+      static_cast<unsigned long long>(d.records),
+      static_cast<unsigned long long>(d.bytes),
+      static_cast<double>(d.oldest_age.count()) / 1e6,
+      static_cast<unsigned long long>(lim.max_records),
+      static_cast<unsigned long long>(lim.max_bytes),
+      static_cast<long long>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(lim.max_age)
+              .count()),
+      static_cast<unsigned long long>(metrics_.group_drains.value()),
+      static_cast<unsigned long long>(metrics_.group_lease_drains.value()),
+      static_cast<unsigned long long>(metrics_.group_stalls.value()),
+      static_cast<unsigned long long>(metrics_.group_flushes.value()),
+      static_cast<unsigned long long>(metrics_.group_flushed_txns.value()),
+      static_cast<unsigned long long>(metrics_.group_dropped_records.value()),
+      static_cast<unsigned long long>(metrics_.flush_errors.value()));
+  return buf;
 }
 
 }  // namespace arkfs::journal

@@ -35,6 +35,7 @@
 #include "common/clock.h"
 #include "common/mpmc_queue.h"
 #include "common/stats.h"
+#include "journal/group_commit.h"
 #include "journal/record.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -61,6 +62,11 @@ struct JournalConfig {
   int commit_threads = 2;
   int checkpoint_threads = 2;
   DentryShardPolicy shard_policy;
+  // When a mutation is acked relative to its journal append — see
+  // group_commit.h for the mode contract. `group_window` bounds the
+  // sequenced-but-unflushed loss window in group mode (ignored otherwise).
+  DurabilityMode durability = DurabilityMode::kAsync;
+  GroupWindowLimits group_window;
   // Where the "journal.*" metric cells attach; null = process default.
   obs::MetricsRegistry* metrics = nullptr;
 
@@ -91,6 +97,21 @@ struct JournalMetrics {
   obs::Counter fence_checks;
   obs::Counter fence_rejections;
   obs::Counter fence_violations;
+  // Per-directory failures inside CommitAll/FlushAll/flusher fan-outs. The
+  // Status those calls return is first-error-wins; this counter makes every
+  // failing directory visible to Introspect.
+  obs::Counter flush_errors;
+  // Group-commit pipeline ("journal.group.*"): flusher rounds, transactions
+  // they drained, appender backpressure stalls, explicit drains (fsync /
+  // CommitAll and the lease-event subset: release, handoff, lame-duck
+  // deposition warning), and records dropped undurable at ResetDir — the
+  // realized loss window of a deposed tenure.
+  obs::Counter group_flushes;
+  obs::Counter group_flushed_txns;
+  obs::Counter group_stalls;
+  obs::Counter group_drains;
+  obs::Counter group_lease_drains;
+  obs::Counter group_dropped_records;
 
   void Attach(obs::MetricsRegistry* registry);
 };
@@ -148,7 +169,14 @@ class JournalManager {
 
   // Adds records to the running transaction. Records passed together are
   // committed atomically in one transaction (e.g. CREATE = inode + dentry).
-  void Append(const Uuid& dir_ino, std::vector<Record> records);
+  // The records take their sequence position on the directory's running
+  // queue before this returns; what else happens depends on the durability
+  // mode (group_commit.h): sync commits them durably here (the returned
+  // Status is the commit result — kStale means a successor fenced us mid-
+  // op), group wakes the flusher and may backpressure briefly if the dirty
+  // window is over its bounds, async returns immediately. Group/async
+  // always return Ok.
+  Status Append(const Uuid& dir_ino, std::vector<Record> records);
 
   // Forces running -> journal object for this directory. No checkpoint.
   Status CommitDir(const Uuid& dir_ino);
@@ -189,6 +217,28 @@ class JournalManager {
 
   const JournalMetrics& metrics() const { return metrics_; }
   const JournalConfig& config() const { return config_; }
+  DurabilityMode durability() const { return config_.durability; }
+
+  // Current dirty-window depth: sequenced-but-unflushed records/bytes
+  // (estimated) and the age of the oldest one. Tracked in every mode so
+  // introspection is uniform; only group mode enforces limits against it.
+  GroupWindow::Depth WindowDepth() const { return window_.depth(); }
+
+  // Human-readable durability/introspection summary (mode, window depth,
+  // cumulative flush/stall/drain counters) for Vfs::Introspect.
+  std::string IntrospectText() const;
+
+  // Tags the caller's next CommitDir/FlushDir as a lease-event drain
+  // (handoff, lame-duck deposition warning) for the introspection counters;
+  // release tags itself inside UnregisterDir.
+  void NoteLeaseDrain() { metrics_.group_lease_drains.Add(); }
+
+  // Stops all background activity (commit timer, group flusher, checkpoint
+  // workers) WITHOUT flushing: models a process crash. Running transactions
+  // that were never committed are abandoned in memory; only what already
+  // reached the journal objects survives to recovery. Idempotent; the
+  // destructor calls it too.
+  void Halt();
 
   // Wall-clock histograms for "commit" (running txn -> journal object) and
   // "checkpoint" (journal -> authoritative objects). p50/p95/p99 via Table().
@@ -220,6 +270,15 @@ class JournalManager {
     std::vector<Record> running;
     TimePoint first_op{};
     std::uint64_t next_seq = 1;
+    // Estimated bytes of `running` as accounted in the manager-wide dirty
+    // window (group_commit.h). Kept symmetric with the window: incremented
+    // on Append, zeroed when a commit takes the batch, restored on commit
+    // unwind — so drains subtract exactly what sequencing added.
+    std::uint64_t pending_window_bytes = 0;
+    // When the group flusher last pushed this directory to a checkpoint
+    // queue. Flush rounds can be sub-millisecond under load; checkpoints
+    // stay on the commit_interval cadence the async mode uses.
+    TimePoint last_checkpoint_enqueue{};
     // Trace of the op that opened the running transaction; re-installed
     // around the (possibly deferred, background-thread) commit so the
     // journal append lands in the originating request's trace.
@@ -274,6 +333,16 @@ class JournalManager {
 
   void CommitThreadMain(int index);
   void CheckpointThreadMain(int index);
+  // Group-mode flusher: parks on the dirty window, then commits every
+  // directory with pending records through one async fan-out per round.
+  void GroupFlusherMain();
+  // Zeroes a directory's share of the dirty window (records leaving
+  // `running` without a commit: ResetDir, RecoverDir). st.mu must be held.
+  void DropPendingWindowLocked(DirState& st, bool count_as_dropped);
+  // Pushes the directory to its checkpoint queue at most once per
+  // commit_interval: sync/group commits can be far more frequent than the
+  // async timer, but checkpoint cadence should not be.
+  void MaybeEnqueueCheckpoint(const Uuid& dir_ino, DirState& st);
 
   int CommitThreadFor(const Uuid& dir) const {
     return static_cast<int>(UuidHash{}(dir) % config_.commit_threads);
@@ -291,10 +360,12 @@ class JournalManager {
   std::vector<std::thread> commit_threads_;
   std::vector<std::thread> checkpoint_threads_;
   std::vector<std::unique_ptr<MpmcQueue<Uuid>>> checkpoint_queues_;
+  std::thread group_flusher_;  // running only in group mode
   std::atomic<bool> stopping_{false};
 
+  GroupWindow window_;
   JournalMetrics metrics_;
-  OpLatencySet op_latencies_{{"commit", "checkpoint"}};
+  OpLatencySet op_latencies_{{"commit", "checkpoint", "group_flush"}};
 };
 
 }  // namespace arkfs::journal

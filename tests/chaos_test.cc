@@ -584,6 +584,105 @@ TEST_F(ChaosE2eTest, ManagerFailoverRollingKillsLoseNoAckedOps) {
   }
 }
 
+// Group-commit durability boundary under rolling lease-manager kills
+// (DESIGN.md §4.7): with ack-on-sequence journaling and a deliberately
+// tight dirty window, every fsync-acked op must survive the churn — fsync
+// is the forced drain, so its ack is a durability promise even though plain
+// creates ack before their frames hit the store. Zero fence violations, as
+// in the async variant.
+TEST_F(ChaosE2eTest, GroupCommitRollingKillsLoseNoAckedDurableOps) {
+  std::uint64_t seed;
+  if (const char* env = std::getenv("ARKFS_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  } else {
+    seed = std::random_device{}();
+  }
+  std::cerr << "[chaos] ARKFS_CHAOS_SEED=" << seed
+            << " (re-run with this env var to reproduce)\n";
+  RecordProperty("chaos_seed", std::to_string(seed));
+
+  ArkFsClusterOptions opts = ArkFsClusterOptions::ForTests();
+  opts.lease_replicas = 3;
+  opts.client_template.journal.durability = journal::DurabilityMode::kGroup;
+  // Tight window: force frequent flusher round-trips (and the occasional
+  // backpressure stall) instead of one giant batch, so kills land between
+  // flushes with high probability.
+  opts.client_template.journal.group_window.max_records = 64;
+  opts.client_template.journal.group_window.max_age = Millis(20);
+  auto cluster =
+      ArkFsCluster::Create(std::make_shared<MemoryObjectStore>(), opts)
+          .value();
+  auto fs = cluster->AddClient("survivor").value();
+  const Nanos lease = cluster->lease_manager().config().lease_period;
+
+  std::atomic<bool> chaos_done{false};
+  std::atomic<int> kills{0};
+  std::thread killer([&] {
+    std::mt19937_64 rng(seed);
+    for (int round = 0; round < 3; ++round) {
+      SleepFor(Millis(20 + static_cast<int>(rng() % 80)));
+      const int active = cluster->ActiveLeaseReplica();
+      if (active < 0) continue;
+      (void)cluster->KillLeaseReplica(active);
+      ++kills;
+      const TimePoint deadline = Now() + Seconds(3);
+      while (cluster->ActiveLeaseReplica() < 0 && Now() < deadline) {
+        SleepFor(Millis(5));
+      }
+      SleepFor(lease + Millis(50));
+      (void)cluster->ReviveLeaseReplica(active);
+    }
+    chaos_done = true;
+  });
+
+  std::vector<std::string> acked_durable;
+  OpenOptions create;
+  create.write = true;
+  create.create = true;
+  ASSERT_TRUE(fs->MkdirAll("/gchaos", 0755, root_).ok());
+  for (int i = 0; !chaos_done.load() || i < 30; ++i) {
+    const std::string path = "/gchaos/f" + std::to_string(i);
+    auto fd = fs->Open(path, create, root_);
+    if (!fd.ok()) continue;
+    const bool wrote = fs->Write(*fd, 0, Payload(i)).ok();
+    // Fsync = CommitDir = the synchronous drain of the group window for
+    // this directory. Only after it acks does the op enter the must-survive
+    // set; group-acked-but-unsynced creates are allowed to die with a
+    // deposition.
+    const bool synced = wrote && fs->Fsync(*fd).ok();
+    (void)fs->Close(*fd);
+    if (synced) acked_durable.push_back(path);
+  }
+  killer.join();
+
+  EXPECT_GE(kills.load(), 1) << "seed " << seed;
+  ASSERT_FALSE(acked_durable.empty()) << "seed " << seed;
+
+  Status drop;
+  for (int attempt = 0; attempt < 16 && !(drop = fs->DropCaches()).ok();
+       ++attempt) {
+    SleepFor(Millis(20));
+  }
+  ASSERT_TRUE(drop.ok()) << drop.ToString() << "; seed " << seed;
+  for (const auto& path : acked_durable) {
+    const int i = std::stoi(path.substr(path.rfind('f') + 1));
+    auto data = fs->ReadWholeFile(path, root_);
+    ASSERT_TRUE(data.ok())
+        << path << ": " << data.status().ToString() << "; seed " << seed;
+    EXPECT_EQ(*data, Payload(i)) << path << "; seed " << seed;
+  }
+  // The pipeline actually ran in group mode (flusher did the work), and no
+  // deposed-epoch frame ever reached the store.
+  EXPECT_GT(fs->journal_metrics().group_flushes.value() +
+                fs->journal_metrics().group_drains.value(),
+            0u)
+      << "seed " << seed;
+  for (const auto& client : cluster->clients()) {
+    EXPECT_EQ(client->journal_metrics().fence_violations.value(), 0u)
+        << "deposed-epoch commit reached the store; seed " << seed;
+  }
+}
+
 // --- lease-manager HA under read delegations ---
 //
 // A writer streams creates into one hot directory while a reader serves

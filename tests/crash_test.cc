@@ -2,6 +2,8 @@
 // recovery, lease-manager failure with quiet-period restart.
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "core/cluster.h"
 #include "objstore/memory_store.h"
 #include "objstore/wrappers.h"
@@ -29,6 +31,10 @@ class CrashTest : public ::testing::Test {
 TEST_F(CrashTest, CommittedButNotCheckpointedSurvivesCrash) {
   auto c1 = cluster_->AddClient("crasher").value();
   ASSERT_TRUE(c1->Mkdir("/work", 0755, root_).ok());
+  // The mkdir itself is async-acked into the ROOT journal; make it durable
+  // before the burst — this test is about the fsynced files surviving, not
+  // about the parent riding the async loss window.
+  ASSERT_TRUE(c1->SyncAll().ok());
   OpenOptions create;
   create.write = true;
   create.create = true;
@@ -47,7 +53,7 @@ TEST_F(CrashTest, CommittedButNotCheckpointedSurvivesCrash) {
   SleepFor(LeasePeriod() + Millis(100));
   auto c2 = cluster_->AddClient("recoverer").value();
   auto entries = c2->ReadDir("/work", root_);
-  ASSERT_TRUE(entries.ok());
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
   EXPECT_EQ(entries->size(), 10u);
   for (int i = 0; i < 10; ++i) {
     auto data = c2->ReadWholeFile("/work/f" + std::to_string(i), root_);
@@ -93,6 +99,9 @@ TEST_F(CrashTest, UnrelatedDirectoriesUnaffectedByRecovery) {
   ASSERT_TRUE(c1->Mkdir("/doomed", 0755, root_).ok());
   ASSERT_TRUE(c2->Mkdir("/healthy", 0755, root_).ok());
   ASSERT_TRUE(c1->WriteFileAt("/doomed/f", AsBytes("x"), root_).ok());
+  // Both mkdirs live in the ROOT journal, led by c1: flush it so /healthy
+  // exists durably before c1 takes the root journal down with it.
+  ASSERT_TRUE(c1->SyncAll().ok());
   c1->CrashHard();
 
   // The bystander keeps working in its own directory throughout.
@@ -275,7 +284,7 @@ TEST_F(CrashTest, DeposedEpochGrantFencedAtJournalCommit) {
   // Old leader fences the directory and commits one acked transaction.
   ASSERT_TRUE(deposed.FenceDir(dir, old_token).ok());
   deposed.RegisterDir(dir, old_token);
-  deposed.Append(dir, {journal::Record::DentryAdd(
+  (void)deposed.Append(dir, {journal::Record::DentryAdd(
                      Dentry{"acked", DeterministicUuid(3, 4)})});
   ASSERT_TRUE(deposed.CommitDir(dir).ok());
 
@@ -285,7 +294,7 @@ TEST_F(CrashTest, DeposedEpochGrantFencedAtJournalCommit) {
 
   // The deposed leader's in-flight commit is refused at the store and never
   // acked.
-  deposed.Append(dir, {journal::Record::DentryAdd(
+  (void)deposed.Append(dir, {journal::Record::DentryAdd(
                      Dentry{"lost", DeterministicUuid(3, 5)})});
   EXPECT_EQ(deposed.CommitDir(dir).code(), Errc::kStale);
   EXPECT_GE(deposed.metrics().fence_rejections.value(), 1u);
@@ -377,6 +386,136 @@ TEST_F(CrashTest, RevivedLeaseReplicaIsAmnesiac) {
   // does so under a strictly newer epoch than the pre-crash tenure.
   EXPECT_GE(cluster->lease_manager(now_active).epoch(), before + 1);
 }
+
+// --- durability-mode x kill-point matrix (DESIGN.md §4.7) ---
+//
+// Each cell pins the documented loss window for one durability mode at one
+// kill point. The invariant across every cell: an op whose ack implied
+// durability is NEVER lost, and every lost op is one that was sequenced but
+// not yet flushed (group/async) or never acked at all (sync).
+class DurabilityMatrixTest
+    : public ::testing::TestWithParam<journal::DurabilityMode> {
+ protected:
+  void SetUp() override {
+    base_ = std::make_shared<MemoryObjectStore>();
+    armed_ = std::make_shared<std::atomic<bool>>(false);
+    // Armed: journal objects (keys "j<uuid>") reject writes, so nothing
+    // sequenced after arming can reach durability until the store heals.
+    // This freezes the instant between ack and flush that a real crash
+    // would have to hit by luck.
+    store_ = std::make_shared<FaultInjectionStore>(
+        base_, [armed = armed_](std::string_view op, const std::string& key) {
+          return armed->load() && op.substr(0, 3) == "put" && !key.empty() &&
+                         key[0] == 'j'
+                     ? Errc::kIo
+                     : Errc::kOk;
+        });
+    auto options = ArkFsClusterOptions::ForTests();
+    options.client_template.journal.durability = GetParam();
+    cluster_ = ArkFsCluster::Create(store_, options).value();
+  }
+
+  Nanos LeasePeriod() {
+    return cluster_->lease_manager().config().lease_period;
+  }
+
+  // Creates /d/f<i> for i in [lo, hi) and returns how many creates acked.
+  int CreateFiles(const std::shared_ptr<Client>& c, int lo, int hi) {
+    OpenOptions create;
+    create.write = true;
+    create.create = true;
+    int acked = 0;
+    for (int i = lo; i < hi; ++i) {
+      auto fd = c->Open("/d/f" + std::to_string(i), create, root_);
+      if (!fd.ok()) continue;
+      EXPECT_TRUE(c->Write(*fd, 0, AsBytes("payload")).ok());
+      EXPECT_TRUE(c->Close(*fd).ok());
+      ++acked;
+    }
+    return acked;
+  }
+
+  // Recover after a hard crash and assert /d holds EXACTLY f<i> for
+  // i in [0, survivors) — the loss boundary, not just a lower bound.
+  void ExpectExactlySurvivors(int survivors) {
+    SleepFor(LeasePeriod() + Millis(100));
+    auto c = cluster_->AddClient("recoverer").value();
+    auto entries = c->ReadDir("/d", root_);
+    ASSERT_TRUE(entries.ok());
+    EXPECT_EQ(entries->size(), static_cast<std::size_t>(survivors));
+    for (int i = 0; i < survivors; ++i) {
+      auto data = c->ReadWholeFile("/d/f" + std::to_string(i), root_);
+      ASSERT_TRUE(data.ok()) << "durable f" << i << " lost";
+      EXPECT_EQ(ToString(*data), "payload");
+    }
+    EXPECT_EQ(c->Stat("/d/f" + std::to_string(survivors), root_).code(),
+              Errc::kNoEnt);
+    EXPECT_EQ(c->journal_metrics().fence_violations.value(), 0u);
+  }
+
+  ObjectStorePtr base_;
+  std::shared_ptr<std::atomic<bool>> armed_;
+  ObjectStorePtr store_;
+  std::unique_ptr<ArkFsCluster> cluster_;
+  UserCred root_ = UserCred::Root();
+};
+
+TEST_P(DurabilityMatrixTest, KillBeforeSequencingLosesNothing) {
+  auto c1 = cluster_->AddClient("crasher").value();
+  ASSERT_TRUE(c1->Mkdir("/d", 0755, root_).ok());
+  ASSERT_EQ(CreateFiles(c1, 0, 5), 5);
+  ASSERT_TRUE(c1->SyncAll().ok());
+  // The crash lands before f5..f9 are ever submitted: no mode may lose any
+  // of the durable base, and nothing else ever entered the pipeline.
+  c1->CrashHard();
+  ExpectExactlySurvivors(5);
+}
+
+TEST_P(DurabilityMatrixTest, KillAfterAckBeforeFlushLosesExactlyTheWindow) {
+  auto c1 = cluster_->AddClient("crasher").value();
+  ASSERT_TRUE(c1->Mkdir("/d", 0755, root_).ok());
+  ASSERT_EQ(CreateFiles(c1, 0, 5), 5);
+  ASSERT_TRUE(c1->SyncAll().ok());  // f0..f4 are durable in every mode
+
+  armed_->store(true);  // journal flushes now fail: acks cannot be backed
+  const int acked = CreateFiles(c1, 5, 10);
+  if (GetParam() == journal::DurabilityMode::kSync) {
+    // Sync acks only after the commit: with the journal unwritable the ops
+    // FAIL instead of acking, so the loss window is empty by construction.
+    EXPECT_EQ(acked, 0);
+  } else {
+    // Group acks on sequence, async on buffer: all five ops ack while the
+    // dirty window holds them.
+    EXPECT_EQ(acked, 5);
+  }
+  c1->CrashHard();
+  armed_->store(false);  // the store heals for the successor
+
+  // Every cell converges to the same boundary: the durable base survives,
+  // the sequenced-but-unflushed tail is the loss window (empty for sync —
+  // those ops were never acked).
+  ExpectExactlySurvivors(5);
+}
+
+TEST_P(DurabilityMatrixTest, KillAfterFlushLosesNothing) {
+  auto c1 = cluster_->AddClient("crasher").value();
+  ASSERT_TRUE(c1->Mkdir("/d", 0755, root_).ok());
+  ASSERT_EQ(CreateFiles(c1, 0, 10), 10);
+  // SyncAll is the forced drain: after it returns, every mode has pushed
+  // the whole dirty window to the journal objects.
+  ASSERT_TRUE(c1->SyncAll().ok());
+  c1->CrashHard();
+  ExpectExactlySurvivors(10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, DurabilityMatrixTest,
+    ::testing::Values(journal::DurabilityMode::kSync,
+                      journal::DurabilityMode::kGroup,
+                      journal::DurabilityMode::kAsync),
+    [](const ::testing::TestParamInfo<journal::DurabilityMode>& info) {
+      return std::string(journal::DurabilityModeName(info.param));
+    });
 
 TEST_F(CrashTest, RepeatedCrashesConverge) {
   for (int round = 0; round < 3; ++round) {

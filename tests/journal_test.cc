@@ -1,6 +1,9 @@
 // Tests for journal records, framing, the journal manager, 2PC and recovery.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "journal/journal.h"
 #include "journal/record.h"
 #include "objstore/chaos_store.h"
@@ -183,7 +186,7 @@ class JournalManagerTest : public ::testing::Test {
 
 TEST_F(JournalManagerTest, FlushCheckpointsToAuthoritativeObjects) {
   Inode child = TestInode(1, dir_);
-  manager_->Append(dir_, {Record::InodeUpsert(child),
+  (void)manager_->Append(dir_, {Record::InodeUpsert(child),
                           Record::DentryAdd({"a", child.ino,
                                              FileType::kRegular})});
   ASSERT_TRUE(manager_->FlushDir(dir_).ok());
@@ -201,7 +204,7 @@ TEST_F(JournalManagerTest, FlushCheckpointsToAuthoritativeObjects) {
 }
 
 TEST_F(JournalManagerTest, BackgroundCommitEventuallyHappens) {
-  manager_->Append(dir_, {Record::DentryAdd(
+  (void)manager_->Append(dir_, {Record::DentryAdd(
                              {"bg", DeterministicUuid(9, 9),
                               FileType::kRegular})});
   // Commit interval in ForTests() is 20 ms; wait for the background pass.
@@ -213,7 +216,7 @@ TEST_F(JournalManagerTest, BackgroundCommitEventuallyHappens) {
 }
 
 TEST_F(JournalManagerTest, CommitWithoutCheckpointLeavesJournal) {
-  manager_->Append(dir_, {Record::DentryAdd(
+  (void)manager_->Append(dir_, {Record::DentryAdd(
                              {"pending", DeterministicUuid(3, 3),
                               FileType::kRegular})});
   ASSERT_TRUE(manager_->CommitDir(dir_).ok());
@@ -222,7 +225,7 @@ TEST_F(JournalManagerTest, CommitWithoutCheckpointLeavesJournal) {
 
 TEST_F(JournalManagerTest, RecoveryReplaysCommittedTransactions) {
   Inode child = TestInode(2, dir_);
-  manager_->Append(dir_, {Record::InodeUpsert(child),
+  (void)manager_->Append(dir_, {Record::InodeUpsert(child),
                           Record::DentryAdd({"crashy", child.ino,
                                              FileType::kRegular})});
   ASSERT_TRUE(manager_->CommitDir(dir_).ok());
@@ -254,7 +257,7 @@ TEST_F(JournalManagerTest, InodeRemoveDropsDataChunks) {
   ASSERT_TRUE(prt_->WriteData(child.ino, 0, Bytes(chunk * 2, 1)).ok());
   ASSERT_TRUE(prt_->StoreInode(child).ok());
 
-  manager_->Append(dir_, {Record::InodeRemove(child.ino, chunk * 2, chunk)});
+  (void)manager_->Append(dir_, {Record::InodeRemove(child.ino, chunk * 2, chunk)});
   ASSERT_TRUE(manager_->FlushDir(dir_).ok());
   EXPECT_EQ(prt_->LoadInode(child.ino).code(), Errc::kNoEnt);
   EXPECT_EQ(store_->Head(DataKey(child.ino, 0)).code(), Errc::kNoEnt);
@@ -262,7 +265,7 @@ TEST_F(JournalManagerTest, InodeRemoveDropsDataChunks) {
 }
 
 TEST_F(JournalManagerTest, UnregisterFlushesAndDeletesJournal) {
-  manager_->Append(dir_, {Record::DentryAdd(
+  (void)manager_->Append(dir_, {Record::DentryAdd(
                              {"final", DeterministicUuid(4, 4),
                               FileType::kRegular})});
   ASSERT_TRUE(manager_->UnregisterDir(dir_).ok());
@@ -460,7 +463,7 @@ TEST_F(ShardedDentryTest, LegacyBlockMigratesOnFirstCheckpoint) {
   p.override_count = 4;
   auto mgr = MakeManager(p);
   mgr->RegisterDir(dir);
-  mgr->Append(dir, {AddEntry("fresh", 1)});
+  (void)mgr->Append(dir, {AddEntry("fresh", 1)});
   ASSERT_TRUE(mgr->FlushDir(dir).ok());
 
   auto m = prt_->LoadDentryManifest(dir);
@@ -486,14 +489,14 @@ TEST_F(ShardedDentryTest, CheckpointWritesOnlyDirtyShards) {
   for (std::uint64_t i = 0; i < 1000; ++i) {
     seed.push_back(AddEntry("f" + std::to_string(i), i));
   }
-  mgr->Append(dir, std::move(seed));
+  (void)mgr->Append(dir, std::move(seed));
   ASSERT_TRUE(mgr->FlushDir(dir).ok());
 
   const std::uint64_t loaded_before = mgr->metrics().dentry_shards_loaded.value();
   const std::uint64_t written_before =
       mgr->metrics().dentry_shards_written.value();
   counting_->Reset();
-  mgr->Append(dir, {AddEntry("straggler", 5000)});
+  (void)mgr->Append(dir, {AddEntry("straggler", 5000)});
   ASSERT_TRUE(mgr->FlushDir(dir).ok());
 
   // A one-entry burst dirties exactly one of the 16 shards: one shard read,
@@ -521,7 +524,7 @@ TEST_F(ShardedDentryTest, ShardCountGrowsWithDirectory) {
   for (std::uint64_t i = 0; i < 4; ++i) {
     first.push_back(AddEntry("a" + std::to_string(i), i));
   }
-  mgr->Append(dir, std::move(first));
+  (void)mgr->Append(dir, std::move(first));
   ASSERT_TRUE(mgr->FlushDir(dir).ok());
   ASSERT_TRUE(prt_->LoadDentryManifest(dir).ok());
   EXPECT_EQ(prt_->LoadDentryManifest(dir)->shard_count, 1u);
@@ -530,7 +533,7 @@ TEST_F(ShardedDentryTest, ShardCountGrowsWithDirectory) {
   for (std::uint64_t i = 0; i < 30; ++i) {
     more.push_back(AddEntry("b" + std::to_string(i), 100 + i));
   }
-  mgr->Append(dir, std::move(more));
+  (void)mgr->Append(dir, std::move(more));
   ASSERT_TRUE(mgr->FlushDir(dir).ok());
 
   auto m = prt_->LoadDentryManifest(dir);
@@ -552,7 +555,7 @@ TEST_F(ShardedDentryTest, CommitAndCheckpointLatenciesRecorded) {
   const Uuid dir = NewDir(4);
   auto mgr = MakeManager({});
   mgr->RegisterDir(dir);
-  mgr->Append(dir, {AddEntry("timed", 1)});
+  (void)mgr->Append(dir, {AddEntry("timed", 1)});
   ASSERT_TRUE(mgr->FlushDir(dir).ok());
   EXPECT_GE(mgr->latencies().For("commit").count(), 1u);
   EXPECT_GE(mgr->latencies().For("checkpoint").count(), 1u);
@@ -572,7 +575,7 @@ TEST_F(ShardedDentryTest, LegacyCrashRecoveryMigrates) {
   p.override_count = 4;
   auto crashed = MakeManager(p);
   crashed->RegisterDir(dir);
-  crashed->Append(dir, {AddEntry("acked", 2)});
+  (void)crashed->Append(dir, {AddEntry("acked", 2)});
   ASSERT_TRUE(crashed->CommitDir(dir).ok());  // durable, not checkpointed
 
   auto fresh = MakeManager(p);
@@ -615,7 +618,7 @@ TEST_F(ShardedDentryTest, TornMigrationRecovers) {
     cfg.shard_policy = p;
     JournalManager victim(chaos_prt, cfg);
     victim.RegisterDir(dir);
-    victim.Append(dir, {AddEntry("acked", 1)});
+    (void)victim.Append(dir, {AddEntry("acked", 1)});
     // The journal append goes through PutRange and commits fine...
     ASSERT_TRUE(victim.CommitDir(dir).ok());
     // ...but the checkpoint's whole-object shard puts all tear.
@@ -662,7 +665,7 @@ TEST_F(ShardedDentryTest, TornShardCheckpointRecovers) {
     for (std::uint64_t i = 0; i < 20; ++i) {
       recs.push_back(AddEntry("acked" + std::to_string(i), i));
     }
-    victim.Append(dir, std::move(recs));
+    (void)victim.Append(dir, std::move(recs));
     ASSERT_TRUE(victim.CommitDir(dir).ok());
     EXPECT_FALSE(victim.FlushDir(dir).ok());
     EXPECT_GT(chaos->counters().torn_puts, 0u);
@@ -698,7 +701,7 @@ TEST_F(ShardedDentryTest, TornCheckpointNeverDamagesSettledEntries) {
     for (std::uint64_t i = 0; i < 20; ++i) {
       recs.push_back(AddEntry("settled" + std::to_string(i), i));
     }
-    mgr->Append(dir, std::move(recs));
+    (void)mgr->Append(dir, std::move(recs));
     ASSERT_TRUE(mgr->FlushDir(dir).ok());  // settled: journal trimmed empty
   }
   ASSERT_FALSE(MakeManager(p)->HasSurvivingJournal(dir));
@@ -713,7 +716,7 @@ TEST_F(ShardedDentryTest, TornCheckpointNeverDamagesSettledEntries) {
     cfg.shard_policy = p;
     JournalManager victim(chaos_prt, cfg);
     victim.RegisterDir(dir);
-    victim.Append(dir, {AddEntry("late", 1000)});
+    (void)victim.Append(dir, {AddEntry("late", 1000)});
     ASSERT_TRUE(victim.CommitDir(dir).ok());
     EXPECT_FALSE(victim.FlushDir(dir).ok());  // shard put tore
     EXPECT_GT(chaos->counters().torn_puts, 0u);
@@ -749,9 +752,9 @@ TEST_F(ShardedDentryTest, TornManifestAdoptionVerifiesGenerations) {
     for (std::uint64_t i = 0; i < 10; ++i) {
       recs.push_back(AddEntry("base" + std::to_string(i), i));
     }
-    mgr->Append(dir, std::move(recs));
+    (void)mgr->Append(dir, std::move(recs));
     ASSERT_TRUE(mgr->FlushDir(dir).ok());
-    mgr->Append(dir, {AddEntry("extra", 500)});
+    (void)mgr->Append(dir, {AddEntry("extra", 500)});
     ASSERT_TRUE(mgr->CommitDir(dir).ok());  // journaled, not checkpointed
   }
   // Simulate the torn flip plus a torn ORPHAN generation twice as wide
@@ -806,7 +809,7 @@ TEST_F(ShardedDentryTest, FailedCheckpointRetriesAndSweepsOrphans) {
   for (std::uint64_t i = 0; i < 12; ++i) {
     recs.push_back(AddEntry("kept" + std::to_string(i), i));
   }
-  mgr.Append(dir, std::move(recs));
+  (void)mgr.Append(dir, std::move(recs));
   ASSERT_TRUE(mgr.CommitDir(dir).ok());
 
   // A stale orphan generation from some earlier failed reshard; decodable
@@ -852,9 +855,9 @@ TEST_F(ShardedDentryTest, FlushAllIsFirstErrorWinsButAttemptsEveryDir) {
   JournalManager mgr(faulty_prt, JournalConfig::ForTests());
   mgr.RegisterDir(bad);
   for (const auto& d : good) mgr.RegisterDir(d);
-  mgr.Append(bad, {AddEntry("lost-commit", 1)});
+  (void)mgr.Append(bad, {AddEntry("lost-commit", 1)});
   for (std::uint64_t i = 0; i < good.size(); ++i) {
-    mgr.Append(good[i], {AddEntry("kept" + std::to_string(i), 10 + i)});
+    (void)mgr.Append(good[i], {AddEntry("kept" + std::to_string(i), 10 + i)});
   }
 
   EXPECT_FALSE(mgr.FlushAll().ok());
@@ -873,7 +876,7 @@ TEST_F(ShardedDentryTest, CommitAllCommitsEveryDirectory) {
   for (std::uint64_t i = 0; i < 4; ++i) dirs.push_back(NewDir(20 + i));
   for (const auto& d : dirs) {
     mgr->RegisterDir(d);
-    mgr->Append(d, {AddEntry("pending", 30)});
+    (void)mgr->Append(d, {AddEntry("pending", 30)});
   }
   ASSERT_TRUE(mgr->CommitAll().ok());
   for (const auto& d : dirs) {
@@ -890,15 +893,243 @@ TEST(JournalS3Test, AppendWorksOnWholeObjectStore) {
   JournalManager manager(prt, JournalConfig::ForTests());
   const Uuid dir = DeterministicUuid(91, 1);
   manager.RegisterDir(dir);
-  manager.Append(dir, {Record::DentryAdd(
+  (void)manager.Append(dir, {Record::DentryAdd(
                           {"one", DeterministicUuid(91, 2), FileType::kRegular})});
   ASSERT_TRUE(manager.CommitDir(dir).ok());
-  manager.Append(dir, {Record::DentryAdd(
+  (void)manager.Append(dir, {Record::DentryAdd(
                           {"two", DeterministicUuid(91, 3), FileType::kRegular})});
   ASSERT_TRUE(manager.CommitDir(dir).ok());
   auto raw = prt->LoadJournal(dir);
   ASSERT_TRUE(raw.ok());
   EXPECT_EQ(ParseJournal(*raw).size(), 2u);
+}
+
+// --- durability modes (group-commit pipeline, DESIGN.md §4.7) ---
+
+class DurabilityModeTest : public ::testing::Test {
+ protected:
+  DurabilityModeTest()
+      : store_(std::make_shared<MemoryObjectStore>()),
+        armed_(std::make_shared<std::atomic<bool>>(false)),
+        faulty_(std::make_shared<FaultInjectionStore>(
+            store_,
+            [armed = armed_](std::string_view op, const std::string& key) {
+              // Armed: every journal-object write fails (keys start 'j').
+              return armed->load() && op.substr(0, 3) == "put" &&
+                             !key.empty() && key[0] == 'j'
+                         ? Errc::kIo
+                         : Errc::kOk;
+            })),
+        prt_(std::make_shared<Prt>(faulty_)) {}
+
+  std::unique_ptr<JournalManager> MakeManager(DurabilityMode mode) {
+    JournalConfig cfg = JournalConfig::ForTests();
+    // Keep the background commit timer out of the picture (tests finish in
+    // well under a second): durability here must come from the mode under
+    // test, not the async fallback. Not huge — the timer thread polls at
+    // interval/4, and the manager dtor rides out one full poll.
+    cfg.commit_interval = Seconds(5);
+    cfg.durability = mode;
+    return std::make_unique<JournalManager>(prt_, cfg);
+  }
+
+  Uuid NewDir(std::uint64_t n) {
+    const Uuid dir = DeterministicUuid(120, n);
+    Inode dir_inode =
+        MakeInode(dir, FileType::kDirectory, 0755, 0, 0, kRootIno);
+    EXPECT_TRUE(prt_->StoreInode(dir_inode).ok());
+    return dir;
+  }
+
+  static Record Entry(const std::string& name, std::uint64_t n) {
+    return Record::DentryAdd(
+        {name, DeterministicUuid(121, n), FileType::kRegular});
+  }
+
+  ObjectStorePtr store_;
+  std::shared_ptr<std::atomic<bool>> armed_;
+  std::shared_ptr<FaultInjectionStore> faulty_;
+  std::shared_ptr<Prt> prt_;
+};
+
+TEST(DurabilityModeNames, ParseAndNameRoundTrip) {
+  for (auto mode : {DurabilityMode::kSync, DurabilityMode::kGroup,
+                    DurabilityMode::kAsync}) {
+    auto parsed = ParseDurabilityMode(DurabilityModeName(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_EQ(ParseDurabilityMode("fast-and-loose").code(), Errc::kInval);
+}
+
+TEST_F(DurabilityModeTest, SyncModeIsDurableBeforeAck) {
+  auto mgr = MakeManager(DurabilityMode::kSync);
+  const Uuid dir = NewDir(1);
+  mgr->RegisterDir(dir);
+  ASSERT_TRUE(mgr->Append(dir, {Entry("durable", 1)}).ok());
+  // No CommitDir/FlushDir call: the ack itself implied durability.
+  EXPECT_TRUE(mgr->HasSurvivingJournal(dir));
+  EXPECT_EQ(mgr->WindowDepth().records, 0u);
+}
+
+TEST_F(DurabilityModeTest, SyncModeSurfacesCommitFailureToTheAppender) {
+  auto mgr = MakeManager(DurabilityMode::kSync);
+  const Uuid dir = NewDir(2);
+  mgr->RegisterDir(dir);
+  armed_->store(true);
+  EXPECT_FALSE(mgr->Append(dir, {Entry("rejected", 1)}).ok());
+  // The records stay sequenced (commit unwind) so a later drain redrives
+  // them — the failed op was never acked, but nothing leaks either.
+  EXPECT_EQ(mgr->WindowDepth().records, 1u);
+  armed_->store(false);
+  ASSERT_TRUE(mgr->CommitDir(dir).ok());
+  EXPECT_TRUE(mgr->HasSurvivingJournal(dir));
+  EXPECT_EQ(mgr->WindowDepth().records, 0u);
+}
+
+TEST_F(DurabilityModeTest, GroupModeAcksOnSequenceAndFlusherDrains) {
+  auto mgr = MakeManager(DurabilityMode::kGroup);
+  const Uuid dir = NewDir(3);
+  mgr->RegisterDir(dir);
+  ASSERT_TRUE(mgr->Append(dir, {Entry("grouped", 1)}).ok());
+  // No explicit commit anywhere: the dedicated flusher must drain it.
+  for (int i = 0; i < 500 && mgr->WindowDepth().records > 0; ++i) {
+    SleepFor(Millis(2));
+  }
+  EXPECT_EQ(mgr->WindowDepth().records, 0u);
+  // Durable means journaled — or already checkpointed into the dentry
+  // shards, if the checkpoint thread won the race after the flush.
+  auto applied = prt_->LoadDentries(dir);
+  EXPECT_TRUE(mgr->HasSurvivingJournal(dir) ||
+              (applied.ok() && applied->size() == 1u));
+  EXPECT_GE(mgr->metrics().group_flushes.value(), 1u);
+}
+
+TEST_F(DurabilityModeTest, GroupBackpressureBoundsTheDirtyWindow) {
+  JournalConfig cfg = JournalConfig::ForTests();
+  cfg.commit_interval = Seconds(5);
+  cfg.durability = DurabilityMode::kGroup;
+  cfg.group_window.max_records = 4;
+  cfg.group_window.max_age = Seconds(60);      // only the record bound here
+  cfg.group_window.max_stall = Millis(10);     // keep the test fast
+  JournalManager mgr(prt_, cfg);
+  const Uuid dir = NewDir(4);
+  mgr.RegisterDir(dir);
+
+  armed_->store(true);  // flusher cannot drain: the window can only grow
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    // Still acks (bounded stall, not a hang) even with the store down.
+    ASSERT_TRUE(
+        mgr.Append(dir, {Entry("p" + std::to_string(i), i)}).ok());
+  }
+  EXPECT_EQ(mgr.WindowDepth().records, 8u);
+  EXPECT_GE(mgr.metrics().group_stalls.value(), 1u);
+
+  armed_->store(false);  // store heals: the flusher redrives everything
+  for (int i = 0; i < 500 && mgr.WindowDepth().records > 0; ++i) {
+    SleepFor(Millis(2));
+  }
+  EXPECT_EQ(mgr.WindowDepth().records, 0u);
+  EXPECT_TRUE(mgr.HasSurvivingJournal(dir));
+}
+
+TEST_F(DurabilityModeTest, ResetDropsSequencedUnflushedAndCountsThem) {
+  auto mgr = MakeManager(DurabilityMode::kAsync);
+  const Uuid dir = NewDir(5);
+  mgr->RegisterDir(dir);
+  ASSERT_TRUE(mgr->Append(dir, {Entry("doomed1", 1), Entry("doomed2", 2)}).ok());
+  EXPECT_EQ(mgr->WindowDepth().records, 2u);
+  mgr->ResetDir(dir);  // deposed: the loss window is realized here
+  EXPECT_EQ(mgr->WindowDepth().records, 0u);
+  EXPECT_EQ(mgr->metrics().group_dropped_records.value(), 2u);
+  EXPECT_FALSE(mgr->HasSurvivingJournal(dir));
+}
+
+TEST_F(DurabilityModeTest, CommitAllCountsPerDirectoryFlushErrors) {
+  // Two directories' journal objects reject writes, one stays healthy:
+  // journal.flush.errors must count each failing directory (not just the
+  // first) and must not move on the healthy one or after healing.
+  const std::vector<Uuid> bad = {NewDir(6), NewDir(7)};
+  const Uuid good = NewDir(8);
+  const std::vector<std::string> bad_keys = {JournalKey(bad[0]),
+                                             JournalKey(bad[1])};
+  auto armed = std::make_shared<std::atomic<bool>>(false);
+  auto faulty = std::make_shared<FaultInjectionStore>(
+      store_, [armed, bad_keys](std::string_view op, const std::string& key) {
+        return armed->load() && op.substr(0, 3) == "put" &&
+                       (key == bad_keys[0] || key == bad_keys[1])
+                   ? Errc::kIo
+                   : Errc::kOk;
+      });
+  auto faulty_prt = std::make_shared<Prt>(faulty);
+  JournalConfig cfg = JournalConfig::ForTests();
+  cfg.commit_interval = Seconds(5);
+  JournalManager mgr(faulty_prt, cfg);
+  for (const auto& d : bad) mgr.RegisterDir(d);
+  mgr.RegisterDir(good);
+  for (std::uint64_t i = 0; i < bad.size(); ++i) {
+    ASSERT_TRUE(mgr.Append(bad[i], {Entry("lost", i)}).ok());
+  }
+  ASSERT_TRUE(mgr.Append(good, {Entry("kept", 9)}).ok());
+
+  armed->store(true);
+  EXPECT_FALSE(mgr.CommitAll().ok());
+  EXPECT_EQ(mgr.metrics().flush_errors.value(), 2u);
+  EXPECT_TRUE(mgr.HasSurvivingJournal(good));  // healthy dir still committed
+  armed->store(false);
+  ASSERT_TRUE(mgr.CommitAll().ok());
+  EXPECT_EQ(mgr.metrics().flush_errors.value(), 2u);  // successes don't count
+  for (const auto& d : bad) EXPECT_TRUE(mgr.HasSurvivingJournal(d));
+}
+
+TEST_F(DurabilityModeTest, IntrospectTextReportsModeAndDepth) {
+  auto mgr = MakeManager(DurabilityMode::kGroup);
+  const std::string text = mgr->IntrospectText();
+  EXPECT_NE(text.find("durability mode: group"), std::string::npos);
+  EXPECT_NE(text.find("dirty window:"), std::string::npos);
+  EXPECT_NE(text.find("drains:"), std::string::npos);
+}
+
+TEST(GroupWindowTest, BackpressureReleasesOnDrain) {
+  GroupWindowLimits lim;
+  lim.max_records = 2;
+  lim.max_age = Seconds(60);
+  lim.max_stall = Seconds(60);  // must release via the drain, not the cap
+  GroupWindow w(lim);
+  w.NoteSequenced(5, 500);
+  std::thread appender([&] { EXPECT_TRUE(w.Backpressure()); });
+  SleepFor(Millis(20));
+  w.NoteDrained(5, 500);
+  appender.join();
+  EXPECT_EQ(w.depth().records, 0u);
+  EXPECT_FALSE(w.Backpressure());  // clean window: no wait at all
+}
+
+TEST(GroupWindowTest, StallCapBoundsTheWaitEvenWhenNothingDrains) {
+  GroupWindowLimits lim;
+  lim.max_records = 1;
+  lim.max_age = Seconds(60);
+  lim.max_stall = Millis(10);
+  GroupWindow w(lim);
+  w.NoteSequenced(3, 30);
+  const TimePoint t0 = Now();
+  EXPECT_TRUE(w.Backpressure());  // waited...
+  EXPECT_LT(Now() - t0, Seconds(5));  // ...but gave up at the cap
+  EXPECT_EQ(w.depth().records, 3u);   // still pending
+}
+
+TEST(GroupWindowTest, AwaitDirtyWakesOnSequenceAndReturnsFalseOnClose) {
+  GroupWindow w(GroupWindowLimits{});
+  std::thread flusher([&] {
+    EXPECT_TRUE(w.AwaitDirty());   // first wake: work arrived
+    w.NoteDrained(1, 10);
+    EXPECT_FALSE(w.AwaitDirty());  // second wake: shutdown
+  });
+  SleepFor(Millis(10));
+  w.NoteSequenced(1, 10);
+  SleepFor(Millis(10));
+  w.Close();
+  flusher.join();
 }
 
 }  // namespace

@@ -48,7 +48,8 @@ int Usage() {
                "          mv <from> <to> | stat <p> | chmod <octal> <p> |\n"
                "          ln -s <target> <p> | objects | introspect [p] |\n"
                "          scrub\n"
-               "env: ARKFS_PLACEMENT=ec  write data chunks erasure-coded\n");
+               "env: ARKFS_PLACEMENT=ec  write data chunks erasure-coded\n"
+               "     ARKFS_DURABILITY=sync|group|async  journal ack mode\n");
   return 2;
 }
 
@@ -120,6 +121,11 @@ int main(int argc, char** argv) {
   if (command == "scrub" ||
       (placement_env && std::strcmp(placement_env, "ec") == 0)) {
     options.placement = DataPlacement::kEc;
+  }
+  if (const char* durability_env = std::getenv("ARKFS_DURABILITY")) {
+    auto mode = journal::ParseDurabilityMode(durability_env);
+    if (!mode.ok()) return Fail(mode.status(), "ARKFS_DURABILITY");
+    options.client_template.journal.durability = *mode;
   }
   auto cluster_or = ArkFsCluster::Create(store, options);
   if (!cluster_or.ok()) return Fail(cluster_or.status(), "start");
@@ -206,6 +212,9 @@ int main(int argc, char** argv) {
     if (argc == 4) (void)fs->Stat(argv[3], user);
     const auto report = fs->Introspect();
     std::printf("--- delegation cache ---\n%s", report.delegations_text.c_str());
+    if (!report.journal_text.empty()) {
+      std::printf("--- journal ---\n%s", report.journal_text.c_str());
+    }
     std::printf("--- metrics ---\n%s", report.metrics_text.c_str());
     if (!report.scrub_text.empty()) {
       std::printf("--- scrub ---\n%s", report.scrub_text.c_str());
