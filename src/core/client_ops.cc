@@ -982,10 +982,16 @@ Status Client::LeaderUnlink(DirHandle& dir, const std::string& name,
   dir_inode.mtime_sec = dir_inode.ctime_sec = WallClockSeconds();
   ++dir_inode.version;
   records.push_back(journal::Record::InodeUpsert(dir_inode));
-  ARKFS_RETURN_IF_ERROR(journal_->Append(dir.ino, std::move(records)));
-
+  // Memory BEFORE journal, like every other op: once Append has sequenced
+  // the records, a transient sync-mode commit failure leaves them on the
+  // running queue and the background commit thread redrives them durable —
+  // so the metatable must already reflect the op, or the journal would
+  // record an unlink the live leader never applied. The caller still sees
+  // the error (at-least-once ambiguity, never a silent divergence).
   ARKFS_RETURN_IF_ERROR(mt.Erase(name));
   dir.file_leases.erase(d.ino);
+  ARKFS_RETURN_IF_ERROR(journal_->Append(dir.ino, std::move(records)));
+
   if (out) {
     out->has_dentry = true;
     out->dentry = d;  // callers use the ino to invalidate their caches
@@ -1031,9 +1037,10 @@ Status Client::LeaderRmdir(DirHandle& dir, const std::string& name,
   if (dir_inode.nlink > 2) --dir_inode.nlink;
   ++dir_inode.version;
   records.push_back(journal::Record::InodeUpsert(dir_inode));
-  ARKFS_RETURN_IF_ERROR(journal_->Append(dir.ino, std::move(records)));
-
+  // Memory before journal (see LeaderUnlink): sequenced records may still
+  // be redriven durable after a transient Append failure.
   ARKFS_RETURN_IF_ERROR(mt.Erase(name));
+  ARKFS_RETURN_IF_ERROR(journal_->Append(dir.ino, std::move(records)));
   return Status::Ok();
 }
 
@@ -1067,8 +1074,10 @@ Status Client::LeaderRenameLocal(DirHandle& dir, const std::string& from,
   dir_inode.mtime_sec = dir_inode.ctime_sec = WallClockSeconds();
   ++dir_inode.version;
   records.push_back(journal::Record::InodeUpsert(dir_inode));
-  ARKFS_RETURN_IF_ERROR(journal_->Append(dir.ino, std::move(records)));
 
+  // Memory before journal (see LeaderUnlink) — and all of it: the victim
+  // erase above already mutated mt, so a failed Append after a partial
+  // memory update would diverge from the redriven records.
   std::optional<Inode> child_inode;
   if (moving.type != FileType::kDirectory) {
     if (Inode* child = mt.FindMutableChildInode(moving.ino)) {
@@ -1077,6 +1086,7 @@ Status Client::LeaderRenameLocal(DirHandle& dir, const std::string& from,
   }
   ARKFS_RETURN_IF_ERROR(mt.Erase(from));
   ARKFS_RETURN_IF_ERROR(mt.Insert(renamed, child_inode));
+  ARKFS_RETURN_IF_ERROR(journal_->Append(dir.ino, std::move(records)));
   return Status::Ok();
 }
 

@@ -154,9 +154,15 @@ Status JournalManager::UnregisterDir(const Uuid& dir_ino) {
   DirStatePtr st = FindDir(dir_ino);
   if (!st) return Status::Ok();
   // Lease release is a forced drain point: nothing sequenced may stay
-  // unflushed once the lease (and with it our fence) is gone.
-  metrics_.group_drains.Add();
-  metrics_.group_lease_drains.Add();
+  // unflushed once the lease (and with it our fence) is gone. Counted only
+  // when there actually was something pending (mirrors CommitDir/FlushDir).
+  {
+    std::lock_guard lock(st->mu);
+    if (!st->running.empty()) {
+      metrics_.group_drains.Add();
+      metrics_.group_lease_drains.Add();
+    }
+  }
   ARKFS_RETURN_IF_ERROR(CommitRunning(dir_ino, *st));
   ARKFS_RETURN_IF_ERROR(Checkpoint(dir_ino, *st));
   {
@@ -190,12 +196,19 @@ Status JournalManager::Append(const Uuid& dir_ino,
                        std::make_move_iterator(records.begin()),
                        std::make_move_iterator(records.end()));
     st->pending_window_bytes += est_bytes;
+    // Publish to the window while still holding st->mu (lock order st.mu ->
+    // GroupWindow::mu_, same as DropPendingWindowLocked): a concurrent
+    // CommitRunningLocked can only claim these records AFTER this critical
+    // section, so its NoteDrained always observes this NoteSequenced. Done
+    // outside, the drain's min-clamp could run first and the late sequence
+    // add would leak window depth permanently (and with it the age bound,
+    // stalling every subsequent group-mode append).
+    window_.NoteSequenced(n_records, est_bytes);
     // Delegation watermark: every accepted mutation advances it, BEFORE the
     // op is acked, so a delegate that observes the piggybacked watermark on
     // any later reply can never miss the mutation it races with.
     st->watermark.fetch_add(1, std::memory_order_relaxed);
   }
-  window_.NoteSequenced(n_records, est_bytes);
   switch (config_.durability) {
     case DurabilityMode::kSync: {
       // Durable before ack. On failure the records stay on the running
@@ -1069,13 +1082,20 @@ void JournalManager::GroupFlusherMain() {
   // coalesce into the next round, so frames per round scale with pressure
   // without a timer in the ack path.
   while (window_.AwaitDirty()) {
-    std::vector<std::pair<Uuid, DirStatePtr>> dirty;
+    // Snapshot the registry first, THEN probe each directory under its own
+    // st->mu: holding registry_mu_ across the per-directory locks would
+    // block every FindDir/FindOrCreateDir (the whole metadata op path) for
+    // a scan that grows with directory count.
+    std::vector<std::pair<Uuid, DirStatePtr>> all;
     {
       std::lock_guard lock(registry_mu_);
-      for (const auto& [ino, st] : dirs_) {
-        std::lock_guard dlock(st->mu);
-        if (!st->running.empty()) dirty.emplace_back(ino, st);
-      }
+      all.reserve(dirs_.size());
+      for (const auto& [ino, st] : dirs_) all.emplace_back(ino, st);
+    }
+    std::vector<std::pair<Uuid, DirStatePtr>> dirty;
+    for (auto& [ino, st] : all) {
+      std::lock_guard dlock(st->mu);
+      if (!st->running.empty()) dirty.emplace_back(ino, st);
     }
     if (dirty.empty()) {
       // An fsync or lease-event drain on another thread beat us to every

@@ -497,6 +497,52 @@ TEST_P(DurabilityMatrixTest, KillAfterAckBeforeFlushLosesExactlyTheWindow) {
   ExpectExactlySurvivors(5);
 }
 
+TEST_P(DurabilityMatrixTest, FailedCommitNeverDivergesMemoryFromJournal) {
+  // Regression: an op whose journal commit fails transiently leaves its
+  // records sequenced (commit unwind) and a later drain redrives them
+  // durable — so the leader's in-memory metatable must already reflect the
+  // op when Append returns, success or not. LeaderUnlink once erased the
+  // dentry only AFTER a successful Append: on a sync-mode IO error the
+  // journal would eventually record an unlink the live leader still served,
+  // and recovery would drop a dentry the tenure never stopped serving.
+  auto c1 = cluster_->AddClient("crasher").value();
+  ASSERT_TRUE(c1->Mkdir("/d", 0755, root_).ok());
+  ASSERT_EQ(CreateFiles(c1, 0, 3), 3);
+  ASSERT_TRUE(c1->SyncAll().ok());
+
+  armed_->store(true);  // journal writes fail: sync-mode unlink errors out
+  const Status unlinked = c1->Unlink("/d/f1", root_);
+  if (GetParam() == journal::DurabilityMode::kSync) {
+    EXPECT_FALSE(unlinked.ok());
+  } else {
+    EXPECT_TRUE(unlinked.ok());  // acked on sequence; flush is deferred
+  }
+  // Whatever the caller was told, the LIVE leader's view must match what
+  // the sequenced records will (re)drive into the journal: f1 is gone.
+  auto live = c1->ReadDir("/d", root_);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live->size(), 2u);
+  EXPECT_EQ(c1->Stat("/d/f1", root_).code(), Errc::kNoEnt);
+
+  armed_->store(false);  // store heals: the unwound records redrive
+  ASSERT_TRUE(c1->SyncAll().ok());
+  c1->CrashHard();
+
+  // Recovery agrees with the live view the tenure served all along.
+  SleepFor(LeasePeriod() + Millis(100));
+  auto c2 = cluster_->AddClient("recoverer").value();
+  auto entries = c2->ReadDir("/d", root_);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+  EXPECT_EQ(c2->Stat("/d/f1", root_).code(), Errc::kNoEnt);
+  for (int i : {0, 2}) {
+    auto data = c2->ReadWholeFile("/d/f" + std::to_string(i), root_);
+    ASSERT_TRUE(data.ok()) << "f" << i << " lost";
+    EXPECT_EQ(ToString(*data), "payload");
+  }
+  EXPECT_EQ(c2->journal_metrics().fence_violations.value(), 0u);
+}
+
 TEST_P(DurabilityMatrixTest, KillAfterFlushLosesNothing) {
   auto c1 = cluster_->AddClient("crasher").value();
   ASSERT_TRUE(c1->Mkdir("/d", 0755, root_).ok());

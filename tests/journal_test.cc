@@ -967,8 +967,12 @@ TEST_F(DurabilityModeTest, SyncModeIsDurableBeforeAck) {
   const Uuid dir = NewDir(1);
   mgr->RegisterDir(dir);
   ASSERT_TRUE(mgr->Append(dir, {Entry("durable", 1)}).ok());
-  // No CommitDir/FlushDir call: the ack itself implied durability.
-  EXPECT_TRUE(mgr->HasSurvivingJournal(dir));
+  // No CommitDir/FlushDir call: the ack itself implied durability. Durable
+  // means journaled — or already checkpointed into the dentry objects, if
+  // the checkpoint thread won the race right after the commit.
+  auto applied = prt_->LoadDentries(dir);
+  EXPECT_TRUE(mgr->HasSurvivingJournal(dir) ||
+              (applied.ok() && applied->size() == 1u));
   EXPECT_EQ(mgr->WindowDepth().records, 0u);
 }
 
@@ -1031,6 +1035,63 @@ TEST_F(DurabilityModeTest, GroupBackpressureBoundsTheDirtyWindow) {
   }
   EXPECT_EQ(mgr.WindowDepth().records, 0u);
   EXPECT_TRUE(mgr.HasSurvivingJournal(dir));
+}
+
+TEST_F(DurabilityModeTest, ConcurrentAppendAndDrainNeverLeaksWindowDepth) {
+  // Regression: Append once published NoteSequenced AFTER releasing st->mu,
+  // so a concurrent drain could claim the just-inserted records and run its
+  // min-clamped NoteDrained first — the late NoteSequenced then leaked
+  // window depth permanently (and with it the age bound, turning every
+  // later group-mode append into a full-stall). Hammer appends against a
+  // racing drainer (plus the flusher) and require the window to account
+  // back to exactly zero.
+  auto mgr = MakeManager(DurabilityMode::kGroup);
+  const Uuid dir = NewDir(9);
+  mgr->RegisterDir(dir);
+  std::atomic<bool> stop{false};
+  std::thread drainer([&] {
+    while (!stop.load()) {
+      EXPECT_TRUE(mgr->CommitDir(dir).ok());
+    }
+  });
+  std::vector<std::thread> appenders;
+  for (int t = 0; t < 4; ++t) {
+    appenders.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < 300; ++i) {
+        EXPECT_TRUE(
+            mgr->Append(dir, {Entry("r" + std::to_string(t) + "." +
+                                        std::to_string(i),
+                                    t * 1000 + i)})
+                .ok());
+      }
+    });
+  }
+  for (auto& a : appenders) a.join();
+  stop.store(true);
+  drainer.join();
+  ASSERT_TRUE(mgr->CommitDir(dir).ok());
+  const GroupWindow::Depth d = mgr->WindowDepth();
+  EXPECT_EQ(d.records, 0u);
+  EXPECT_EQ(d.bytes, 0u);
+}
+
+TEST_F(DurabilityModeTest, UnregisterCountsLeaseDrainOnlyWhenPending) {
+  // Async mode: no flusher and a long commit timer, so whether records are
+  // pending at Unregister time is fully deterministic.
+  auto mgr = MakeManager(DurabilityMode::kAsync);
+  const Uuid idle = NewDir(10);
+  mgr->RegisterDir(idle);
+  ASSERT_TRUE(mgr->UnregisterDir(idle).ok());
+  // Nothing was pending: a clean release is not a drain.
+  EXPECT_EQ(mgr->metrics().group_drains.value(), 0u);
+  EXPECT_EQ(mgr->metrics().group_lease_drains.value(), 0u);
+
+  const Uuid busy = NewDir(11);
+  mgr->RegisterDir(busy);
+  ASSERT_TRUE(mgr->Append(busy, {Entry("pending", 1)}).ok());
+  ASSERT_TRUE(mgr->UnregisterDir(busy).ok());
+  EXPECT_EQ(mgr->metrics().group_drains.value(), 1u);
+  EXPECT_EQ(mgr->metrics().group_lease_drains.value(), 1u);
 }
 
 TEST_F(DurabilityModeTest, ResetDropsSequencedUnflushedAndCountsThem) {
