@@ -1,0 +1,56 @@
+// Server-supplied retry-after hints.
+//
+// Overload-protection rejections (admission control, fair-queue shedding)
+// come back as transient errors — kAgain at the dir-op layer, kWait at the
+// lease layer — but unlike a dropped packet the SERVER knows when retrying
+// will succeed: the token bucket can compute exactly when the next token
+// lands. That knowledge travels as a "retry-after-ns=<n>" prefix in the
+// Status detail (and as an explicit field where the wire format has room,
+// e.g. AcquireResponse.retry_after_ns). Retry loops that find a hint sleep
+// that long instead of guessing with jitter; everything else in the detail
+// string (a human-readable reason after "; ") is preserved untouched.
+//
+// Lives in common/ because both sides need it: qos/ (producers) and the
+// retry engines in objstore/ and core/ (consumers), which must not depend
+// on each other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace arkfs {
+
+inline constexpr char kRetryAfterPrefix[] = "retry-after-ns=";
+
+// "retry-after-ns=<n>" or "retry-after-ns=<n>; <reason>".
+inline std::string FormatRetryAfterHint(Nanos delay,
+                                        const std::string& reason = {}) {
+  std::string out = kRetryAfterPrefix;
+  out += std::to_string(delay.count() < 0 ? 0 : delay.count());
+  if (!reason.empty()) {
+    out += "; ";
+    out += reason;
+  }
+  return out;
+}
+
+// Extracts the hint from a Status detail. Returns false when no well-formed
+// hint is present (the detail is some other message — never misread it).
+inline bool ParseRetryAfterHint(const std::string& detail, Nanos* out) {
+  const std::string prefix = kRetryAfterPrefix;
+  const std::size_t at = detail.find(prefix);
+  if (at == std::string::npos) return false;
+  std::size_t i = at + prefix.size();
+  if (i >= detail.size() || detail[i] < '0' || detail[i] > '9') return false;
+  std::uint64_t ns = 0;
+  for (; i < detail.size() && detail[i] >= '0' && detail[i] <= '9'; ++i) {
+    ns = ns * 10 + static_cast<std::uint64_t>(detail[i] - '0');
+    if (ns > (1ull << 62)) return false;  // implausible; reject loudly
+  }
+  *out = Nanos(static_cast<std::int64_t>(ns));
+  return true;
+}
+
+}  // namespace arkfs

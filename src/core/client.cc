@@ -399,8 +399,9 @@ wire::DirOpResponse Client::ServeDirOp(const wire::DirOpRequest& req) {
   // fast path stamps its own ambient context, so re-rooting is a no-op
   // there; an untraced request (trace_id 0) installs an inactive scope and
   // all spans below no-op.
-  obs::TraceScope traced(&tracer_,
-                         obs::TraceContext{req.trace_id, req.parent_span});
+  obs::TraceScope traced(
+      &tracer_,
+      obs::TraceContext{req.trace_id, req.parent_span, req.tenant});
   obs::Span span("client.serve_dir_op");
   wire::DirOpResponse resp;
   DirHandlePtr handle = HandleFor(req.dir_ino);
@@ -437,6 +438,19 @@ wire::DirOpResponse Client::ServeDirOp(const wire::DirOpRequest& req) {
     journal_->ResetDir(req.dir_ino);
     fill_error(st);
     return resp;
+  }
+
+  // Admission control on the serving leader: an over-rate tenant is turned
+  // away before any lease or metatable work, with the bucket's retry-after
+  // riding in the kAgain detail — RunDirOp's retry loop sleeps exactly that
+  // long. kDelegateFetch is exempt: it is client-infrastructure traffic
+  // whose whole point is to RELIEVE an overloaded leader, and throttling it
+  // would push delegates back onto the forwarding path.
+  if (config_.admission && req.op != wire::DirOp::kDelegateFetch) {
+    if (Status st = config_.admission->Admit(req.tenant); !st.ok()) {
+      fill_error(st);
+      return resp;
+    }
   }
 
   std::unique_lock lock(handle->mu);

@@ -41,6 +41,8 @@
 #include "obs/trace.h"
 #include "objstore/object_store.h"
 #include "prt/translator.h"
+#include "qos/admission.h"
+#include "qos/quota.h"
 #include "rpc/fabric.h"
 
 namespace arkfs {
@@ -85,6 +87,17 @@ struct ClientConfig {
   // and async-I/O configs when those leave theirs null); null = process
   // default registry.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // --- multi-tenant QoS ---
+  // Tenant this client's applications run as (0 = default/untenanted).
+  // Stamped into the ambient trace context at every Vfs entry point, so it
+  // rides to lease acquires, forwarded ops and background store I/O.
+  std::uint32_t tenant = 0;
+  // Shared QoS objects, injected by the cluster (null = feature off; must
+  // outlive the client). `admission` gates ops this client serves as a
+  // directory leader; `quota` charges namespace usage on the mutation path.
+  qos::AdmissionController* admission = nullptr;
+  qos::QuotaManager* quota = nullptr;
   // Capacity of the per-client span ring buffer (Vfs::Introspect /
   // tools/arktrace read it back).
   std::size_t trace_capacity = obs::Tracer::kDefaultCapacity;

@@ -4,6 +4,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "common/retry_hint.h"
 #include "core/client.h"
 
 namespace arkfs {
@@ -58,9 +59,19 @@ Result<wire::DirOpResponse> Client::RunDirOp(const Uuid& dir_ino,
   const obs::TraceContext ctx = obs::CurrentContext();
   req.trace_id = ctx.trace_id;
   req.parent_span = ctx.parent_span;
+  // QoS identity: the ambient tenant when set (ops initiated through a Vfs
+  // entry point), else this client's configured tenant.
+  req.tenant = ctx.tenant != 0 ? ctx.tenant : config_.tenant;
   Status last = ErrStatus(Errc::kAgain, "no attempts made");
+  // A throttled leader's kAgain carries a retry-after hint; when present it
+  // replaces the fixed backoff for the next attempt (capped so a bogus hint
+  // cannot stall the loop).
+  Nanos retry_sleep = config_.op_retry_backoff;
   for (int attempt = 0; attempt < config_.op_retries; ++attempt) {
-    if (attempt > 0) SleepFor(config_.op_retry_backoff);
+    if (attempt > 0) {
+      SleepFor(retry_sleep);
+      retry_sleep = config_.op_retry_backoff;
+    }
     auto ref = EnsureDirAccess(dir_ino);
     if (!ref.ok()) {
       last = ref.status();
@@ -79,7 +90,11 @@ Result<wire::DirOpResponse> Client::RunDirOp(const Uuid& dir_ino,
       wire::DirOpResponse resp = ServeDirOp(req);
       if (resp.code == Errc::kAgain) {
         last = resp.ToStatus();
-        continue;  // lost the lease between acquire and serve
+        Nanos hint{};
+        if (ParseRetryAfterHint(resp.detail, &hint)) {
+          retry_sleep = std::min<Nanos>(hint, Millis(500));
+        }
+        continue;  // lost the lease between acquire and serve, or throttled
       }
       return resp;
     }
@@ -110,7 +125,11 @@ Result<wire::DirOpResponse> Client::RunDirOp(const Uuid& dir_ino,
     DelegObserve(dir_ino, resp->fence, resp->watermark);
     if (resp->code == Errc::kAgain) {
       last = resp->ToStatus();
-      continue;  // leader's lease lapsed mid-flight
+      Nanos hint{};
+      if (ParseRetryAfterHint(resp->detail, &hint)) {
+        retry_sleep = std::min<Nanos>(hint, Millis(500));
+      }
+      continue;  // leader's lease lapsed mid-flight, or throttled us
     }
     return *resp;
   }
@@ -234,6 +253,7 @@ Result<Client::ResolvedParent> Client::ResolveParent(const std::string& path,
 }
 
 Status Client::Probe(const std::string& path, const UserCred& cred) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.probe");
   if (path == "/") return Status::Ok();
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
@@ -246,6 +266,7 @@ Status Client::Probe(const std::string& path, const UserCred& cred) {
 
 Result<Fd> Client::Open(const std::string& path, const OpenOptions& options,
                         const UserCred& cred) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.open");
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
 
@@ -343,6 +364,7 @@ Result<Fd> Client::Open(const std::string& path, const OpenOptions& options,
 }
 
 Status Client::Close(Fd fd) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.close");
   OpenFile of;
   {
@@ -380,6 +402,7 @@ Status Client::Close(Fd fd) {
 }
 
 Result<Bytes> Client::Read(Fd fd, std::uint64_t offset, std::uint64_t length) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.read");
   OpenFile of;
   {
@@ -397,6 +420,7 @@ Result<Bytes> Client::Read(Fd fd, std::uint64_t offset, std::uint64_t length) {
 
 Result<std::uint64_t> Client::Write(Fd fd, std::uint64_t offset,
                                     ByteSpan data) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.write");
   Uuid ino, parent;
   std::uint64_t size;
@@ -479,6 +503,7 @@ Status Client::FlushOpenFile(OpenFile& of) {
 }
 
 Status Client::Fsync(Fd fd) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.fsync");
   OpenFile snapshot;
   {
@@ -508,6 +533,7 @@ Status Client::Fsync(Fd fd) {
 
 Result<StatResult> Client::Stat(const std::string& path,
                                 const UserCred& cred) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.stat");
   if (path == "/") {
     wire::DirOpRequest req;
@@ -540,6 +566,7 @@ Result<StatResult> Client::Stat(const std::string& path,
 
 Status Client::Mkdir(const std::string& path, std::uint32_t mode,
                      const UserCred& cred) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.mkdir");
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
   wire::DirOpRequest req;
@@ -552,6 +579,7 @@ Status Client::Mkdir(const std::string& path, std::uint32_t mode,
 }
 
 Status Client::Rmdir(const std::string& path, const UserCred& cred) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.rmdir");
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
   PcacheInvalidate(rp.parent, rp.name);
@@ -564,6 +592,7 @@ Status Client::Rmdir(const std::string& path, const UserCred& cred) {
 }
 
 Status Client::Unlink(const std::string& path, const UserCred& cred) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.unlink");
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
   PcacheInvalidate(rp.parent, rp.name);
@@ -582,6 +611,7 @@ Status Client::Unlink(const std::string& path, const UserCred& cred) {
 
 Status Client::Rename(const std::string& from, const std::string& to,
                       const UserCred& cred) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.rename");
   ARKFS_ASSIGN_OR_RETURN(auto src, ResolveParent(from, cred));
   ARKFS_ASSIGN_OR_RETURN(auto dst, ResolveParent(to, cred));
@@ -696,6 +726,7 @@ Status Client::Rename(const std::string& from, const std::string& to,
 
 Result<std::vector<Dentry>> Client::ReadDir(const std::string& path,
                                             const UserCred& cred) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.readdir");
   ARKFS_ASSIGN_OR_RETURN(Uuid dir, ResolveDir(path, cred));
   wire::DirOpRequest req;
@@ -708,6 +739,7 @@ Result<std::vector<Dentry>> Client::ReadDir(const std::string& path,
 
 Status Client::SetAttr(const std::string& path, const SetAttrRequest& attr,
                        const UserCred& cred) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.setattr");
   if (path == "/") {
     wire::DirOpRequest req;
@@ -747,6 +779,7 @@ Status Client::SetAttr(const std::string& path, const SetAttrRequest& attr,
 
 Status Client::Symlink(const std::string& target, const std::string& path,
                        const UserCred& cred) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.symlink");
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
   wire::DirOpRequest req;
@@ -760,6 +793,7 @@ Status Client::Symlink(const std::string& target, const std::string& path,
 
 Result<std::string> Client::ReadLink(const std::string& path,
                                      const UserCred& cred) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.readlink");
   ARKFS_ASSIGN_OR_RETURN(auto rp, ResolveParent(path, cred));
   wire::DirOpRequest req;
@@ -774,6 +808,7 @@ Result<std::string> Client::ReadLink(const std::string& path,
 
 Status Client::SetAcl(const std::string& path, const Acl& acl,
                       const UserCred& cred) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.setacl");
   ARKFS_RETURN_IF_ERROR(acl.Validate());
   if (path == "/") {
@@ -801,6 +836,7 @@ Status Client::SetAcl(const std::string& path, const Acl& acl,
 }
 
 Result<Acl> Client::GetAcl(const std::string& path, const UserCred& cred) {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.getacl");
   if (path == "/") {
     wire::DirOpRequest req;
@@ -828,6 +864,7 @@ Result<Acl> Client::GetAcl(const std::string& path, const UserCred& cred) {
 }
 
 Status Client::SyncAll() {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.syncall");
   ARKFS_RETURN_IF_ERROR(cache_->FlushAll());
   // Commit size updates of every dirty open file.
@@ -850,6 +887,7 @@ Status Client::SyncAll() {
 }
 
 Status Client::DropCaches() {
+  obs::TenantScope tenant_scope(config_.tenant);
   obs::RootSpan root(&tracer_, "vfs.drop_caches");
   ARKFS_RETURN_IF_ERROR(SyncAll());
   DelegDropAll();
@@ -905,6 +943,12 @@ Status Client::LeaderCreate(DirHandle& dir, const std::string& name,
     return Status::Ok();
   }
   ARKFS_RETURN_IF_ERROR(ValidateName(name));
+  // Namespace quota: one inode, charged to the REQUESTING tenant (ambient =
+  // the tenant carried in the wire frame) before any state is touched.
+  // kNoSpc here is indistinguishable from a full filesystem to the caller.
+  if (config_.quota) {
+    ARKFS_RETURN_IF_ERROR(config_.quota->ChargeInodes(obs::CurrentTenant(), 1));
+  }
 
   Inode child = MakeInode(NewUuid(), type, mode & 07777, cred.uid, cred.gid,
                           mt.dir_inode().ino);
@@ -937,6 +981,9 @@ Status Client::LeaderMkdir(DirHandle& dir, const std::string& name,
       CheckAccess(mt.dir_inode(), cred, kPermWrite | kPermExec));
   if (mt.Contains(name)) return ErrStatus(Errc::kExist, name);
   ARKFS_RETURN_IF_ERROR(ValidateName(name));
+  if (config_.quota) {  // one inode, charged to the requesting tenant
+    ARKFS_RETURN_IF_ERROR(config_.quota->ChargeInodes(obs::CurrentTenant(), 1));
+  }
 
   Inode child = MakeInode(NewUuid(), FileType::kDirectory, mode & 07777,
                           cred.uid, cred.gid, mt.dir_inode().ino);
@@ -991,6 +1038,14 @@ Status Client::LeaderUnlink(DirHandle& dir, const std::string& name,
   ARKFS_RETURN_IF_ERROR(mt.Erase(name));
   dir.file_leases.erase(d.ino);
   ARKFS_RETURN_IF_ERROR(journal_->Append(dir.ino, std::move(records)));
+  if (config_.quota) {
+    // Credit the requesting tenant for the freed inode and bytes. Credits
+    // never fail (floored at zero), so a cross-tenant delete at worst
+    // under-counts — it can never wedge a delete.
+    (void)config_.quota->ChargeInodes(obs::CurrentTenant(), -1);
+    (void)config_.quota->ChargeBytes(obs::CurrentTenant(),
+                                     -static_cast<std::int64_t>(size));
+  }
 
   if (out) {
     out->has_dentry = true;
@@ -1041,6 +1096,9 @@ Status Client::LeaderRmdir(DirHandle& dir, const std::string& name,
   // be redriven durable after a transient Append failure.
   ARKFS_RETURN_IF_ERROR(mt.Erase(name));
   ARKFS_RETURN_IF_ERROR(journal_->Append(dir.ino, std::move(records)));
+  if (config_.quota) {  // freed directory inode (credits never fail)
+    (void)config_.quota->ChargeInodes(obs::CurrentTenant(), -1);
+  }
   return Status::Ok();
 }
 
@@ -1269,6 +1327,15 @@ Status Client::LeaderLeaseRelease(DirHandle& dir, const Uuid& ino,
 Status Client::LeaderCommitSize(DirHandle& dir, const Uuid& ino,
                                 std::uint64_t size, std::int64_t mtime_sec) {
   ARKFS_ASSIGN_OR_RETURN(Inode * child, LoadChildInodeLocked(dir, ino));
+  // Byte quota: the commit knows both sizes, so charge/credit the delta to
+  // the requesting tenant. Growth past the limit bounces kNoSpc before the
+  // inode is touched; shrinks always credit.
+  const std::int64_t delta = static_cast<std::int64_t>(size) -
+                             static_cast<std::int64_t>(child->size);
+  if (config_.quota) {
+    ARKFS_RETURN_IF_ERROR(
+        config_.quota->ChargeBytes(obs::CurrentTenant(), delta));
+  }
   child->size = size;
   child->mtime_sec = mtime_sec;
   child->ctime_sec = WallClockSeconds();

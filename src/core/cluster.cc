@@ -4,6 +4,16 @@ namespace arkfs {
 
 ArkFsCluster::ArkFsCluster(ObjectStorePtr store, ArkFsClusterOptions options)
     : options_(std::move(options)), store_(std::move(store)) {
+  tenant_metrics_ = std::make_unique<qos::TenantMetrics>(
+      options_.client_template.metrics);
+  if (options_.admission.enabled) {
+    admission_ = std::make_unique<qos::AdmissionController>(
+        options_.admission, tenant_metrics_.get());
+  }
+  if (options_.quota.enabled) {
+    quota_ = std::make_unique<qos::QuotaManager>(options_.quota,
+                                                 tenant_metrics_.get());
+  }
   if (options_.placement == DataPlacement::kEc) {
     EcStoreOptions ec;
     ec.k = options_.ec_data_shards;
@@ -37,6 +47,7 @@ ArkFsCluster::ArkFsCluster(ObjectStorePtr store, ArkFsClusterOptions options)
     config.self_address = manager_addresses_[static_cast<std::size_t>(i)];
     config.group = manager_addresses_;
     config.start_active = (i == 0);
+    config.admission = admission_.get();
     lease_managers_.push_back(
         std::make_unique<lease::LeaseManager>(fabric_, store_, config));
   }
@@ -50,6 +61,13 @@ Result<std::unique_ptr<ArkFsCluster>> ArkFsCluster::Create(
   }
   std::unique_ptr<ArkFsCluster> cluster(
       new ArkFsCluster(std::move(store), std::move(options)));
+  if (cluster->quota_) {
+    // Reload quota usage persisted by a previous incarnation. kNoEnt means
+    // a fresh namespace; a corrupt blob means starting from zero (usage can
+    // only under-count, which is the safe direction for admission).
+    auto usage = cluster->store_->Get(qos::kQuotaUsageKey);
+    if (usage.ok()) (void)cluster->quota_->LoadUsage(*usage);
+  }
   for (auto& manager : cluster->lease_managers_) {
     ARKFS_RETURN_IF_ERROR(manager->Start());
   }
@@ -96,11 +114,28 @@ Status ArkFsCluster::ReviveLeaseReplica(int replica) {
   return slot->Start();
 }
 
-Result<std::shared_ptr<Client>> ArkFsCluster::AddClient(std::string name) {
+Result<std::shared_ptr<Client>> ArkFsCluster::AddClient(std::string name,
+                                                        qos::TenantId tenant) {
   ClientConfig config = options_.client_template;
   config.address =
       name.empty() ? "client-" + std::to_string(next_index_++) : std::move(name);
   config.lease_options.managers = manager_addresses_;
+  if (tenant != 0) config.tenant = tenant;
+  config.admission = admission_.get();
+  config.quota = quota_.get();
+  if (quota_) {
+    // Persist quota usage on the checkpoint cadence: after each successful
+    // journal checkpoint, write the usage map iff something changed since
+    // the last write. A failed put re-arms the dirty flag so the next
+    // checkpoint retries.
+    qos::QuotaManager* quota = quota_.get();
+    ObjectStorePtr store = store_;
+    config.journal.on_checkpoint = [quota, store] {
+      if (!quota->ConsumeDirty()) return;
+      const Bytes blob = quota->EncodeUsage();
+      if (!store->Put(qos::kQuotaUsageKey, blob).ok()) quota->MarkDirty();
+    };
+  }
   ARKFS_ASSIGN_OR_RETURN(auto client,
                          Client::Create(store_, fabric_, std::move(config)));
   if (scrubber_) {
@@ -109,6 +144,20 @@ Result<std::shared_ptr<Client>> ArkFsCluster::AddClient(std::string name) {
   }
   clients_.push_back(client);
   return client;
+}
+
+std::string ArkFsCluster::QosIntrospectText() const {
+  std::string out;
+  if (admission_) {
+    out += "admission:\n";
+    out += admission_->DumpText();
+  }
+  if (quota_) {
+    out += "quota:\n";
+    out += quota_->DumpText();
+  }
+  if (out.empty()) out = "qos: disabled\n";
+  return out;
 }
 
 VfsPtr ArkFsCluster::WithFuse(const std::shared_ptr<Client>& client,

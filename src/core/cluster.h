@@ -13,6 +13,9 @@
 #include "objstore/ec_store.h"
 #include "objstore/object_store.h"
 #include "objstore/scrubber.h"
+#include "qos/admission.h"
+#include "qos/quota.h"
+#include "qos/tenant.h"
 #include "rpc/fabric.h"
 #include "sim/models.h"
 
@@ -49,6 +52,18 @@ struct ArkFsClusterOptions {
   // opt in.
   bool scrub_background = false;
 
+  // --- multi-tenant QoS (all disabled by default) ---
+  // Token-bucket admission, enforced at lease Acquire/Renew on the manager
+  // and at RunDirOp on the serving leader. The cluster owns one shared
+  // AdmissionController and injects it into every lease-manager config and
+  // every client it creates.
+  qos::AdmissionConfig admission;
+  // Per-tenant namespace quotas (inodes + bytes), charged at the directory
+  // leader and persisted to qos::kQuotaUsageKey after journal checkpoints.
+  qos::QuotaConfig quota;
+  // Per-node weighted fair queueing lives in ClusterConfig::fair_queue on
+  // the store the caller builds — the store exists before the cluster does.
+
   static ArkFsClusterOptions ForTests() { return {}; }
   // Paper-like deployment: datacenter network, 5 s leases, HA managers.
   static ArkFsClusterOptions PaperLike() {
@@ -69,8 +84,11 @@ class ArkFsCluster {
       ObjectStorePtr store, ArkFsClusterOptions options);
   ~ArkFsCluster();
 
-  // Adds a client named "client-<index>" (or `name` if given).
-  Result<std::shared_ptr<Client>> AddClient(std::string name = "");
+  // Adds a client named "client-<index>" (or `name` if given). `tenant`
+  // overrides the template's tenant id when nonzero — every op the client
+  // issues is admitted/queued/charged under it.
+  Result<std::shared_ptr<Client>> AddClient(std::string name = "",
+                                            qos::TenantId tenant = 0);
 
   // Wraps a client in the FUSE behaviour model, answering LOOKUPs from the
   // client's permission cache.
@@ -105,10 +123,24 @@ class ArkFsCluster {
     return clients_;
   }
 
+  // Shared QoS plane; null members when the corresponding option is
+  // disabled. Valid for the cluster's lifetime.
+  qos::AdmissionController* admission() { return admission_.get(); }
+  qos::QuotaManager* quota() { return quota_.get(); }
+  qos::TenantMetrics* tenant_metrics() { return tenant_metrics_.get(); }
+  // Human-readable QoS state (admission buckets + quota usage) for
+  // introspection tooling.
+  std::string QosIntrospectText() const;
+
  private:
   ArkFsCluster(ObjectStorePtr store, ArkFsClusterOptions options);
 
   const ArkFsClusterOptions options_;
+  // Declared before clients/lease managers so it outlives everything that
+  // holds a raw pointer into it during member destruction.
+  std::unique_ptr<qos::TenantMetrics> tenant_metrics_;
+  std::unique_ptr<qos::AdmissionController> admission_;
+  std::unique_ptr<qos::QuotaManager> quota_;
   ObjectStorePtr store_;
   EcStorePtr ec_store_;    // set when placement == kEc (aliases store_)
   ScrubberPtr scrubber_;   // ditto

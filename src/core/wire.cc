@@ -65,6 +65,11 @@ Bytes DirOpRequest::Encode() const {
   enc.PutString(client);
   enc.PutU64(trace_id);
   enc.PutU64(parent_span);
+  // v3 trailing extension (multi-tenant QoS). Same version-tolerance scheme
+  // as the response's v2 block: this decoder has always ignored trailing
+  // bytes, so pre-bump peers skip the tenant and v3 decoders read pre-bump
+  // frames as tenant 0.
+  enc.PutU32(tenant);
   return std::move(enc).Take();
 }
 
@@ -91,6 +96,9 @@ Result<DirOpRequest> DirOpRequest::Decode(ByteSpan data) {
   ARKFS_ASSIGN_OR_RETURN(req.client, dec.GetString());
   ARKFS_ASSIGN_OR_RETURN(req.trace_id, dec.GetU64());
   ARKFS_ASSIGN_OR_RETURN(req.parent_span, dec.GetU64());
+  if (!dec.done()) {  // v3 extension present
+    ARKFS_ASSIGN_OR_RETURN(req.tenant, dec.GetU32());
+  }
   return req;
 }
 

@@ -101,6 +101,13 @@ struct DirOpRequest {
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span = 0;
 
+  // --- v3 trailing extension (multi-tenant QoS) ---
+  // Requesting tenant, rides next to the trace context. Pre-bump frames
+  // decode as tenant 0 (the default/untenanted id); pre-bump decoders
+  // ignore the trailing bytes. The serving leader uses it for admission
+  // control, fair queueing and quota accounting.
+  std::uint32_t tenant = 0;
+
   Bytes Encode() const;
   static Result<DirOpRequest> Decode(ByteSpan data);
 };

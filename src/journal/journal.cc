@@ -444,6 +444,7 @@ Status JournalManager::Checkpoint(const Uuid& dir_ino, DirState& st) {
   metrics_.dentry_shards_written.Add(outcome.shards_written);
   if (outcome.migrated) metrics_.dentry_migrations.Add();
   if (outcome.resharded) metrics_.dentry_reshards.Add();
+  if (config_.on_checkpoint) config_.on_checkpoint();
   return Status::Ok();
 }
 

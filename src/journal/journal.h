@@ -69,6 +69,13 @@ struct JournalConfig {
   GroupWindowLimits group_window;
   // Where the "journal.*" metric cells attach; null = process default.
   obs::MetricsRegistry* metrics = nullptr;
+  // Invoked (on the checkpoint thread) after each successful checkpoint of
+  // any directory, once the journal trim has landed. Deployments hang
+  // periodic durable housekeeping off this — e.g. persisting QoS quota
+  // usage — so the extra store write rides the checkpoint cadence instead
+  // of needing its own timer. Must be cheap and must not call back into
+  // the JournalManager.
+  std::function<void()> on_checkpoint;
 
   static JournalConfig ForTests() {
     JournalConfig c;

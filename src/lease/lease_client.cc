@@ -84,6 +84,7 @@ Result<LeaseClient::Grant> LeaseClient::Acquire(const Uuid& dir_ino,
   req.parent_span = ctx.parent_span;
   req.want_delegation = opts.want_delegation;
   req.watermark = opts.watermark;
+  req.tenant = ctx.tenant;  // QoS identity rides with the trace context
   const Bytes payload = req.Encode();
   Nanos backoff = options_.initial_backoff;
   const TimePoint deadline = Now() + options_.wait_budget;
@@ -115,13 +116,21 @@ Result<LeaseClient::Grant> LeaseClient::Acquire(const Uuid& dir_ino,
         // group is mid-failover; a new active will emerge within a probe
         // cycle or two.
         [[fallthrough]];
-      case AcquireOutcome::kWait:
-        if (Now() + backoff > deadline) {
+      case AcquireOutcome::kWait: {
+        // An admission-throttled kWait carries the manager's retry-after:
+        // the bucket knows when the next token lands, so sleep exactly that
+        // long (capped like the doubling backoff) instead of guessing.
+        Nanos wait = backoff;
+        if (resp.retry_after_ns > 0) {
+          wait = std::min<Nanos>(Nanos(resp.retry_after_ns), Millis(500));
+        }
+        if (Now() + wait > deadline) {
           return ErrStatus(Errc::kBusy, "lease wait budget exhausted");
         }
-        SleepFor(backoff);
+        SleepFor(wait);
         backoff = std::min<Nanos>(backoff * 2, Millis(500));
         break;
+      }
     }
   }
 }

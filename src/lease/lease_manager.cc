@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/log.h"
+#include "common/retry_hint.h"
 
 namespace arkfs::lease {
 
@@ -437,6 +438,24 @@ AcquireResponse LeaseManager::Acquire(const AcquireRequest& req) {
     resp.outcome = AcquireOutcome::kNotActive;
     resp.leader = active_hint_;
     return resp;
+  }
+
+  // Admission control gates the active replica's lease traffic before any
+  // lease state is touched — an over-rate tenant's acquire storm must not
+  // even read the lease table. The rejection is in-band (kWait + the
+  // bucket's retry-after), NOT a status-level kAgain: the client reserves
+  // that for standby-redirect hints.
+  if (config_.admission) {
+    const Status admitted = config_.admission->Admit(req.tenant);
+    if (!admitted.ok()) {
+      waits_.Add();
+      resp.outcome = AcquireOutcome::kWait;
+      Nanos hint{};
+      if (ParseRetryAfterHint(admitted.detail(), &hint)) {
+        resp.retry_after_ns = hint.count();
+      }
+      return resp;
+    }
   }
 
   if (now < quiet_until_) {

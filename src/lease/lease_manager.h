@@ -48,6 +48,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "objstore/object_store.h"
+#include "qos/admission.h"
 #include "rpc/fabric.h"
 
 namespace arkfs::lease {
@@ -76,6 +77,11 @@ struct LeaseManagerConfig {
   // Where this manager's "lease.*" metric cells attach; null = process
   // default registry.
   obs::MetricsRegistry* metrics = nullptr;
+  // Optional per-tenant admission control (must outlive the manager). When
+  // set, every Acquire runs the requesting tenant through the token bucket
+  // FIRST; a throttled tenant gets kWait with retry_after_ns — in-band, so
+  // it cannot be confused with the standby-redirect kAgain convention.
+  qos::AdmissionController* admission = nullptr;
   // Optional span sink. When set, request handlers record manager-side spans
   // under the trace context CARRIED IN THE WIRE FRAMES (trace_id/parent_span
   // next to the fence token) — the cross-host propagation path. When null,

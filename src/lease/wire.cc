@@ -24,6 +24,8 @@ Bytes AcquireRequest::Encode() const {
   // accepts frames that stop at the v1 boundary above.
   enc.PutU8(want_delegation ? 1 : 0);
   enc.PutU64(watermark);
+  // v3 trailing extension (multi-tenant QoS).
+  enc.PutU32(tenant);
   return std::move(enc).Take();
 }
 
@@ -39,6 +41,9 @@ Result<AcquireRequest> AcquireRequest::Decode(ByteSpan data) {
     if (want > 1) return ErrStatus(Errc::kIo, "bad want_delegation flag");
     req.want_delegation = want != 0;
     ARKFS_ASSIGN_OR_RETURN(req.watermark, dec.GetU64());
+    if (!dec.done()) {  // v3 extension present
+      ARKFS_ASSIGN_OR_RETURN(req.tenant, dec.GetU32());
+    }
   }
   ARKFS_RETURN_IF_ERROR(RequireDone(dec, "acquire request"));
   return req;
@@ -57,6 +62,8 @@ Bytes AcquireResponse::Encode() const {
   enc.PutU64(watermark);
   enc.PutU8(deleg ? 1 : 0);
   enc.PutI64(deleg_until_ns);
+  // v3 trailing extension (multi-tenant QoS).
+  enc.PutI64(retry_after_ns);
   return std::move(enc).Take();
 }
 
@@ -81,6 +88,9 @@ Result<AcquireResponse> AcquireResponse::Decode(ByteSpan data) {
     if (deleg > 1) return ErrStatus(Errc::kIo, "bad deleg flag");
     resp.deleg = deleg != 0;
     ARKFS_ASSIGN_OR_RETURN(resp.deleg_until_ns, dec.GetI64());
+    if (!dec.done()) {  // v3 extension present
+      ARKFS_ASSIGN_OR_RETURN(resp.retry_after_ns, dec.GetI64());
+    }
   }
   ARKFS_RETURN_IF_ERROR(RequireDone(dec, "acquire response"));
   return resp;

@@ -7,13 +7,14 @@
 // than decode to something plausible.
 //
 // Version tolerance (same discipline as the AKJT→AKJ2 journal frames): the
-// v2 delegation fields on AcquireRequest/AcquireResponse are a TRAILING
-// extension block. A v2 decoder accepts a v1 frame that ends exactly at the
-// v1 boundary (extension fields default to zero/false) and still rejects
-// every other truncation and any trailing garbage after the v2 block. The
-// rollout order this buys is decoders-first: a fleet whose decoders are v2
-// keeps interoperating while encoders upgrade, and pre-bump frames already
-// in flight (or replayed from captures) parse losslessly.
+// v2 delegation fields and v3 QoS fields on AcquireRequest/AcquireResponse
+// are TRAILING extension blocks. A current decoder accepts a frame that
+// ends exactly at the v1 or v2 boundary (extension fields default to
+// zero/false) and still rejects every other truncation and any trailing
+// garbage after the last block. The rollout order this buys is
+// decoders-first: a fleet whose decoders are current keeps interoperating
+// while encoders upgrade, and pre-bump frames already in flight (or
+// replayed from captures) parse losslessly.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +59,11 @@ struct AcquireRequest {
   // the manager piggybacks it on every delegation it hands out.
   std::uint64_t watermark = 0;
 
+  // --- v3 trailing extension (multi-tenant QoS) ---
+  // Requesting tenant; the manager runs it through admission control before
+  // touching lease state. v1/v2 frames decode as tenant 0.
+  std::uint32_t tenant = 0;
+
   Bytes Encode() const;
   static Result<AcquireRequest> Decode(ByteSpan data);
 };
@@ -101,6 +107,14 @@ struct AcquireResponse {
   // kRedirect+deleg: steady-clock expiry of the delegation — the moment the
   // watermark report it is based on turns one lease term old.
   std::int64_t deleg_until_ns = 0;
+
+  // --- v3 trailing extension (multi-tenant QoS) ---
+  // kWait only: server-computed retry-after hint (0 = none). Admission
+  // throttling travels IN-BAND as kWait + this field — never as a
+  // status-level kAgain, whose detail the client reserves for
+  // standby-redirect hints (see lease::IsRedirect). The client sleeps this
+  // long before retrying instead of its doubling backoff.
+  std::int64_t retry_after_ns = 0;
 
   Bytes Encode() const;
   static Result<AcquireResponse> Decode(ByteSpan data);

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace arkfs {
 namespace {
@@ -46,11 +47,27 @@ ClusterObjectStore::ClusterObjectStore(const ClusterConfig& config)
     n.store = std::make_unique<MemoryObjectStore>(
         config_.max_object_size, config_.profile.supports_partial_write);
     n.link = std::make_unique<sim::SharedLink>(config_.profile.bandwidth_bps);
+    if (config_.fair_queue.enabled) {
+      n.queue = std::make_unique<qos::WeightedFairQueue>(
+          config_.fair_queue, config_.tenant_metrics);
+    }
     nodes_.push_back(std::move(n));
     for (int v = 0; v < config_.virtual_nodes; ++v) {
       ring_.emplace(rng.Next(), i);
     }
   }
+}
+
+Status ClusterObjectStore::AdmitToNode(int node, QueueTicket* ticket) {
+  qos::WeightedFairQueue* queue = nodes_[static_cast<std::size_t>(node)]
+                                      .queue.get();
+  if (queue == nullptr) return Status::Ok();
+  // Tenant identity rides the ambient trace context, so background store
+  // I/O (journal flushers, async writeback) queues under the tenant that
+  // initiated it — the capture/restore the obs plane already does.
+  ARKFS_RETURN_IF_ERROR(queue->Acquire(obs::CurrentTenant()));
+  ticket->queue = queue;
+  return Status::Ok();
 }
 
 int ClusterObjectStore::PrimaryNode(const std::string& key) const {
@@ -94,6 +111,8 @@ void ClusterObjectStore::ChargeOp(int node, std::uint64_t payload_bytes,
 
 Result<Bytes> ClusterObjectStore::Get(const std::string& key) {
   const int node = PrimaryNode(key);
+  QueueTicket ticket;
+  ARKFS_RETURN_IF_ERROR(AdmitToNode(node, &ticket));
   ARKFS_CLUSTER_REJECT_IF_DOWN(node, key);
   auto result = nodes_[node].store->Get(key);
   ChargeOp(node, result.ok() ? result->size() : 0, true);
@@ -104,6 +123,8 @@ Result<Bytes> ClusterObjectStore::GetRange(const std::string& key,
                                            std::uint64_t offset,
                                            std::uint64_t length) {
   const int node = PrimaryNode(key);
+  QueueTicket ticket;
+  ARKFS_RETURN_IF_ERROR(AdmitToNode(node, &ticket));
   ARKFS_CLUSTER_REJECT_IF_DOWN(node, key);
   auto result = nodes_[node].store->GetRange(key, offset, length);
   ChargeOp(node, result.ok() ? result->size() : 0, true);
@@ -112,6 +133,8 @@ Result<Bytes> ClusterObjectStore::GetRange(const std::string& key,
 
 Status ClusterObjectStore::Put(const std::string& key, ByteSpan data) {
   const auto replicas = ReplicaNodes(key);
+  QueueTicket ticket;
+  ARKFS_RETURN_IF_ERROR(AdmitToNode(replicas[0], &ticket));
   ARKFS_CLUSTER_REJECT_IF_DOWN(replicas[0], key);
   // Primary-copy replication: client streams to the primary, which pipelines
   // to replicas. The client-visible cost is the primary transfer plus one
@@ -136,9 +159,34 @@ Status ClusterObjectStore::Put(const std::string& key, ByteSpan data) {
 Status ClusterObjectStore::PutRange(const std::string& key,
                                     std::uint64_t offset, ByteSpan data) {
   if (!supports_partial_write()) {
-    return ErrStatus(Errc::kNotSup, "cluster profile is whole-object only");
+    if (!config_.emulate_partial_write) {
+      return ErrStatus(Errc::kNotSup, "cluster profile is whole-object only");
+    }
+    // Read-modify-write emulation (S3 profile): fetch the current object
+    // (absent = empty), zero-fill any gap, splice the range in, and rewrite
+    // the whole object through the normal replicated Put. Each call
+    // recomputes from current state, so a retried RMW is idempotent. Get
+    // and Put each take their own fair-queue pass — an emulated partial
+    // write IS two node operations and should queue like them.
+    Bytes whole;
+    auto current = Get(key);
+    if (current.ok()) {
+      whole = std::move(*current);
+    } else if (current.status().code() != Errc::kNoEnt) {
+      return current.status();
+    }
+    const std::uint64_t end = offset + data.size();
+    if (end > config_.max_object_size) {
+      return ErrStatus(Errc::kInval, "partial write beyond max object size");
+    }
+    if (whole.size() < end) whole.resize(end, 0);
+    std::copy(data.begin(), data.end(),
+              whole.begin() + static_cast<std::ptrdiff_t>(offset));
+    return Put(key, whole);
   }
   const auto replicas = ReplicaNodes(key);
+  QueueTicket ticket;
+  ARKFS_RETURN_IF_ERROR(AdmitToNode(replicas[0], &ticket));
   ARKFS_CLUSTER_REJECT_IF_DOWN(replicas[0], key);
   ChargeOp(replicas[0], data.size(), true);
   if (replicas.size() > 1) op_latency_.Apply();
@@ -159,6 +207,8 @@ Status ClusterObjectStore::PutRange(const std::string& key,
 
 Status ClusterObjectStore::Delete(const std::string& key) {
   const auto replicas = ReplicaNodes(key);
+  QueueTicket ticket;
+  ARKFS_RETURN_IF_ERROR(AdmitToNode(replicas[0], &ticket));
   ARKFS_CLUSTER_REJECT_IF_DOWN(replicas[0], key);
   ChargeOp(replicas[0], 0, false);
   Status st = Status::Ok();
@@ -180,6 +230,8 @@ Status ClusterObjectStore::Delete(const std::string& key) {
 
 Result<ObjectMeta> ClusterObjectStore::Head(const std::string& key) {
   const int node = PrimaryNode(key);
+  QueueTicket ticket;
+  ARKFS_RETURN_IF_ERROR(AdmitToNode(node, &ticket));
   ARKFS_CLUSTER_REJECT_IF_DOWN(node, key);
   ChargeOp(node, 0, false);
   return nodes_[node].store->Head(key);

@@ -18,6 +18,8 @@
 #include "obs/metrics.h"
 #include "objstore/memory_store.h"
 #include "objstore/object_store.h"
+#include "qos/fair_queue.h"
+#include "qos/tenant.h"
 #include "sim/models.h"
 #include "sim/shared_link.h"
 
@@ -36,11 +38,32 @@ struct ClusterConfig {
   // Where the "cluster.outage.*" counters attach; null = process default.
   obs::MetricsRegistry* metrics = nullptr;
 
+  // --- multi-tenant QoS ---
+  // Per-node weighted fair queueing: when enabled, every op waits for a
+  // service slot on its PRIMARY node, drained deficit-round-robin across
+  // tenant sub-queues (tenant from the ambient trace context). Only the
+  // primary is gated — replica writes ride the primary's slot, so one op
+  // never holds slots on several nodes (no cross-queue deadlock).
+  qos::FairQueueConfig fair_queue;
+  // Per-tenant shed/queued accounting; null = none. Must outlive the store.
+  qos::TenantMetrics* tenant_metrics = nullptr;
+
+  // Emulate PutRange on whole-object-only profiles (S3) as a
+  // read-modify-write: read current object, zero-fill/splice, rewrite
+  // through the normal replicated Put. supports_partial_write() stays false
+  // — the PRT/journal layers still plan around whole objects — but callers
+  // that issue the occasional partial write (and tests) get real bytes
+  // instead of kNotSup. Concurrent RMWs to one key can lose an update;
+  // ArkFS serializes writers per object (file leases), so this mirrors
+  // S3's own read-modify-write reality, not a new hazard.
+  bool emulate_partial_write = false;
+
   static ClusterConfig RadosLike() { return ClusterConfig{}; }
   static ClusterConfig S3Like() {
     ClusterConfig c;
     c.profile = sim::CostProfile::S3Like();
     c.max_object_size = 64ull << 20;  // S3 multipart-part-sized objects
+    c.emulate_partial_write = true;
     return c;
   }
   // No injected latency; used by unit tests that only need placement logic.
@@ -94,7 +117,22 @@ class ClusterObjectStore : public ObjectStore {
   struct Node {
     std::unique_ptr<MemoryObjectStore> store;
     std::unique_ptr<sim::SharedLink> link;
+    std::unique_ptr<qos::WeightedFairQueue> queue;  // null = WFQ off
   };
+
+  // RAII pass through a node's fair queue; empty when WFQ is off.
+  struct QueueTicket {
+    qos::WeightedFairQueue* queue = nullptr;
+    QueueTicket() = default;
+    QueueTicket(const QueueTicket&) = delete;
+    QueueTicket& operator=(const QueueTicket&) = delete;
+    ~QueueTicket() {
+      if (queue) queue->Release();
+    }
+  };
+  // Waits for a service slot on `node` (kOk, ticket armed) or sheds
+  // (kAgain + retry-after hint, ticket left empty).
+  Status AdmitToNode(int node, QueueTicket* ticket);
 
   int PrimaryNode(const std::string& key) const;
   void ChargeOp(int node, std::uint64_t payload_bytes, bool data_op);

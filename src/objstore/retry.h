@@ -15,7 +15,9 @@
 //    async layer deliberately leaves RunAll tasks un-retried.
 //  * Backoff is exponential with decorrelated jitter (sleep ~ uniform in
 //    [base, 3*prev], capped) so a fleet of clients hammering a recovering
-//    node spreads out instead of retrying in lockstep.
+//    node spreads out instead of retrying in lockstep. When the failed
+//    status carries a server retry-after hint (admission/fair-queue shed),
+//    the hint replaces the jitter draw for that sleep, still capped.
 //  * A deadline bounds the total time burned on one op (or one batch); an
 //    attempt cap bounds the count. Whichever trips first ends the retries
 //    and the last error surfaces unchanged.
@@ -26,6 +28,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "common/retry_hint.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "obs/metrics.h"
@@ -89,6 +92,14 @@ inline TimePoint RetryDeadlineFor(const RetryPolicy& policy) {
                                      : TimePoint::max();
 }
 
+namespace retry_internal {
+inline const std::string& DetailOf(const Status& s) { return s.detail(); }
+template <typename T>
+std::string DetailOf(const Result<T>& r) {
+  return r.status().detail();
+}
+}  // namespace retry_internal
+
 // Runs fn() under the policy. fn must return Status or Result<T>; the final
 // (successful or last-failed) value is returned unchanged. `salt`
 // decorrelates this call's jitter stream from concurrent callers'.
@@ -109,6 +120,13 @@ auto RetryCall(const RetryPolicy& policy, std::uint64_t salt,
     const std::int64_t hi = std::max<std::int64_t>(lo + 1, 3 * prev.count());
     Nanos sleep{rng.Range(lo, hi)};
     if (sleep > policy.max_backoff) sleep = policy.max_backoff;
+    // A server that shed this op may name the exact wait it wants
+    // ("retry-after-ns=..." in the status detail). Trust it over the jitter
+    // draw — the server knows its drain rate — but keep the cap so a bogus
+    // hint cannot stall the caller.
+    if (Nanos hint{}; ParseRetryAfterHint(retry_internal::DetailOf(result), &hint)) {
+      sleep = std::min(hint, policy.max_backoff);
+    }
     if (Now() + sleep >= deadline) {
       if (counters) counters->deadline_hits.Add();
       return result;

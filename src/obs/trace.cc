@@ -149,11 +149,19 @@ ActiveTrace CaptureTrace() { return t_active; }
 
 TraceContext CurrentContext() { return t_active.ctx; }
 
+std::uint32_t CurrentTenant() { return t_active.ctx.tenant; }
+
 TraceScope::TraceScope(Tracer* tracer, TraceContext ctx) : prev_(t_active) {
   t_active = ActiveTrace{tracer, ctx};
 }
 
 TraceScope::~TraceScope() { t_active = prev_; }
+
+TenantScope::TenantScope(std::uint32_t tenant) : prev_(t_active.ctx.tenant) {
+  t_active.ctx.tenant = tenant;
+}
+
+TenantScope::~TenantScope() { t_active.ctx.tenant = prev_; }
 
 Span::Span(const char* name) {
   if (!t_active.active()) return;
@@ -197,7 +205,10 @@ RootSpan::RootSpan(Tracer* tracer, const char* name) {
   rec_.start_ns = NowNanos();
   rec_.name = name;
   prev_ = t_active;
-  t_active = ActiveTrace{tracer_, TraceContext{rec_.trace_id, rec_.span_id}};
+  // Rooting a fresh trace must not drop the ambient tenant: the TenantScope
+  // a Vfs entry point installs outlives this RootSpan.
+  t_active = ActiveTrace{
+      tracer_, TraceContext{rec_.trace_id, rec_.span_id, prev_.ctx.tenant}};
 }
 
 RootSpan::~RootSpan() {

@@ -32,6 +32,15 @@ namespace arkfs::obs {
 struct TraceContext {
   std::uint64_t trace_id = 0;  // 0 = no trace
   std::uint64_t parent_span = 0;
+  // Requesting tenant (0 = default/untenanted). Rides in the thread-local
+  // context exactly like the trace id — across wire hops it travels as a
+  // trailing-extension field next to the fence token, and background workers
+  // inherit it through the same CaptureTrace/TraceScope hand-off — so QoS
+  // enforcement points (admission, fair queueing, quotas) can always answer
+  // "whose request is this?" without threading a parameter through every
+  // layer. Deliberately independent of active(): an untraced request still
+  // carries its tenant.
+  std::uint32_t tenant = 0;
 
   bool active() const { return trace_id != 0; }
 };
@@ -91,6 +100,8 @@ ActiveTrace CaptureTrace();
 // The calling thread's current context ({0,0} when untraced) — what wire
 // frames embed.
 TraceContext CurrentContext();
+// The calling thread's ambient tenant (0 = default/untenanted).
+std::uint32_t CurrentTenant();
 
 // Installs {tracer, ctx} as the thread's active trace; restores the
 // previous one on destruction. Installing an inactive context effectively
@@ -106,6 +117,21 @@ class TraceScope {
 
  private:
   ActiveTrace prev_;
+};
+
+// Sets the thread's ambient tenant for the scope (keeping the trace intact);
+// restores the previous tenant on destruction. Vfs entry points install one
+// from the client's configured tenant; the serving side of a forwarded op
+// gets the tenant re-installed by the TraceScope built from the wire frame.
+class TenantScope {
+ public:
+  explicit TenantScope(std::uint32_t tenant);
+  ~TenantScope();
+  TenantScope(const TenantScope&) = delete;
+  TenantScope& operator=(const TenantScope&) = delete;
+
+ private:
+  std::uint32_t prev_ = 0;
 };
 
 // A child span of the thread's active trace; no-op when none is active.

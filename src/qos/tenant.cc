@@ -1,0 +1,24 @@
+#include "qos/tenant.h"
+
+namespace arkfs::qos {
+
+std::string TenantMetricName(TenantId tenant, const char* leaf) {
+  return "tenant." + std::to_string(tenant) + "." + leaf;
+}
+
+TenantMetrics::Cells& TenantMetrics::For(TenantId tenant) {
+  std::lock_guard lock(mu_);
+  auto it = cells_.find(tenant);
+  if (it == cells_.end()) {
+    auto cells = std::make_unique<Cells>();
+    cells->admitted.Attach(registry_, TenantMetricName(tenant, "admitted"));
+    cells->shed.Attach(registry_, TenantMetricName(tenant, "shed"));
+    cells->queued.Attach(registry_, TenantMetricName(tenant, "queued"));
+    cells->quota_rejects.Attach(registry_,
+                                TenantMetricName(tenant, "quota_rejects"));
+    it = cells_.emplace(tenant, std::move(cells)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace arkfs::qos

@@ -1,8 +1,12 @@
 // Tests for the lease manager and client-side lease protocol.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "lease/lease_client.h"
 #include "lease/lease_manager.h"
+#include "qos/admission.h"
 
 namespace arkfs::lease {
 namespace {
@@ -256,22 +260,36 @@ void ExpectStrictCodec(const Message& message) {
   EXPECT_FALSE(Message::Decode(padded).ok());
 }
 
-// Version-tolerant messages: the delegation fields ride in a trailing
-// extension, so a frame that stops exactly at the v1 boundary must still
-// decode (with the extension defaulted — pre-extension peers keep working),
-// while every OTHER truncation and any trailing garbage is still rejected.
+// Version-tolerant messages: newer fields ride in trailing extension
+// blocks, so a frame that stops exactly at ANY older version's boundary
+// must still decode (the missing extensions come back defaulted — frames
+// from pre-extension peers keep working), while every OTHER truncation and
+// any trailing garbage is still rejected. `extension_sizes` lists the
+// trailing blocks oldest-first (v2 block, then v3 block, ...).
 template <typename Message>
-void ExpectVersionTolerantCodec(const Message& message,
-                                std::size_t extension_size) {
+void ExpectVersionTolerantCodec(
+    const Message& message,
+    std::initializer_list<std::size_t> extension_sizes) {
   const Bytes encoded = message.Encode();
   ASSERT_TRUE(Message::Decode(encoded).ok());
-  ASSERT_LT(extension_size, encoded.size());
-  const std::size_t v1_boundary = encoded.size() - extension_size;
+  std::vector<std::size_t> boundaries;
+  std::size_t suffix = 0;
+  for (auto it = std::rbegin(extension_sizes); it != std::rend(extension_sizes);
+       ++it) {
+    suffix += *it;
+    ASSERT_LT(suffix, encoded.size());
+    boundaries.push_back(encoded.size() - suffix);
+  }
+  auto acceptable = [&](std::size_t len) {
+    return std::find(boundaries.begin(), boundaries.end(), len) !=
+           boundaries.end();
+  };
   for (std::size_t len = 0; len < encoded.size(); ++len) {
     Bytes truncated(encoded.begin(), encoded.begin() + len);
-    if (len == v1_boundary) {
+    if (acceptable(len)) {
       EXPECT_TRUE(Message::Decode(truncated).ok())
-          << "a pre-extension (v1) frame must still parse";
+          << "an older-version frame stopping at byte " << len
+          << " must still parse";
     } else {
       EXPECT_FALSE(Message::Decode(truncated).ok())
           << "decoded a " << len << "-byte prefix of a " << encoded.size()
@@ -283,8 +301,11 @@ void ExpectVersionTolerantCodec(const Message& message,
   EXPECT_FALSE(Message::Decode(padded).ok());
 }
 
-constexpr std::size_t kAcquireRequestExt = 1 + 8;       // flag + watermark
-constexpr std::size_t kAcquireResponseExt = 8 + 1 + 8;  // wm + flag + until
+// Trailing extension blocks, per version (fixed-width codec fields).
+constexpr std::size_t kAcquireRequestV2Ext = 1 + 8;       // flag + watermark
+constexpr std::size_t kAcquireRequestV3Ext = 4;           // tenant
+constexpr std::size_t kAcquireResponseV2Ext = 8 + 1 + 8;  // wm + flag + until
+constexpr std::size_t kAcquireResponseV3Ext = 8;          // retry_after_ns
 
 TEST(LeaseWireTest, AcquireRequestCodec) {
   AcquireRequest req;
@@ -292,13 +313,15 @@ TEST(LeaseWireTest, AcquireRequestCodec) {
   req.client = "client-3";
   req.want_delegation = true;
   req.watermark = 99;
-  ExpectVersionTolerantCodec(req, kAcquireRequestExt);
+  req.tenant = 7;
+  ExpectVersionTolerantCodec(req, {kAcquireRequestV2Ext, kAcquireRequestV3Ext});
   auto copy = AcquireRequest::Decode(req.Encode());
   ASSERT_TRUE(copy.ok());
   EXPECT_EQ(copy->dir_ino, req.dir_ino);
   EXPECT_EQ(copy->client, req.client);
   EXPECT_TRUE(copy->want_delegation);
   EXPECT_EQ(copy->watermark, 99u);
+  EXPECT_EQ(copy->tenant, 7u);
 }
 
 TEST(LeaseWireTest, AcquireRequestLegacyFrameParses) {
@@ -309,14 +332,35 @@ TEST(LeaseWireTest, AcquireRequestLegacyFrameParses) {
   req.client = "client-old";
   req.want_delegation = true;  // must NOT survive the truncation
   req.watermark = 1234;
+  req.tenant = 42;
   Bytes encoded = req.Encode();
-  encoded.resize(encoded.size() - kAcquireRequestExt);
+  encoded.resize(encoded.size() - kAcquireRequestV2Ext - kAcquireRequestV3Ext);
   auto legacy = AcquireRequest::Decode(encoded);
   ASSERT_TRUE(legacy.ok());
   EXPECT_EQ(legacy->dir_ino, req.dir_ino);
   EXPECT_EQ(legacy->client, req.client);
   EXPECT_FALSE(legacy->want_delegation);
   EXPECT_EQ(legacy->watermark, 0u);
+  EXPECT_EQ(legacy->tenant, 0u);
+}
+
+TEST(LeaseWireTest, AcquireRequestV2FrameDefaultsTenant) {
+  // A frame from a pre-tenant (v2) sender stops before the v3 block; the
+  // delegation fields survive, the tenant defaults to 0 ("untenanted").
+  AcquireRequest req;
+  req.dir_ino = DeterministicUuid(7, 9);
+  req.client = "client-v2";
+  req.want_delegation = true;
+  req.watermark = 55;
+  req.tenant = 9;  // must NOT survive the truncation
+  Bytes encoded = req.Encode();
+  encoded.resize(encoded.size() - kAcquireRequestV3Ext);
+  auto v2 = AcquireRequest::Decode(encoded);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->client, req.client);
+  EXPECT_TRUE(v2->want_delegation);
+  EXPECT_EQ(v2->watermark, 55u);
+  EXPECT_EQ(v2->tenant, 0u);
 }
 
 TEST(LeaseWireTest, AcquireResponseCodec) {
@@ -330,7 +374,9 @@ TEST(LeaseWireTest, AcquireResponseCodec) {
   resp.watermark = 41;
   resp.deleg = true;
   resp.deleg_until_ns = 987654321;
-  ExpectVersionTolerantCodec(resp, kAcquireResponseExt);
+  resp.retry_after_ns = 2500000;
+  ExpectVersionTolerantCodec(resp,
+                             {kAcquireResponseV2Ext, kAcquireResponseV3Ext});
   auto copy = AcquireResponse::Decode(resp.Encode());
   ASSERT_TRUE(copy.ok());
   EXPECT_EQ(copy->outcome, resp.outcome);
@@ -342,6 +388,7 @@ TEST(LeaseWireTest, AcquireResponseCodec) {
   EXPECT_EQ(copy->watermark, 41u);
   EXPECT_TRUE(copy->deleg);
   EXPECT_EQ(copy->deleg_until_ns, 987654321);
+  EXPECT_EQ(copy->retry_after_ns, 2500000);
 }
 
 TEST(LeaseWireTest, AcquireResponseLegacyFrameParses) {
@@ -353,8 +400,10 @@ TEST(LeaseWireTest, AcquireResponseLegacyFrameParses) {
   resp.watermark = 77;
   resp.deleg = true;
   resp.deleg_until_ns = 777;
+  resp.retry_after_ns = 999;
   Bytes encoded = resp.Encode();
-  encoded.resize(encoded.size() - kAcquireResponseExt);
+  encoded.resize(encoded.size() - kAcquireResponseV2Ext -
+                 kAcquireResponseV3Ext);
   auto legacy = AcquireResponse::Decode(encoded);
   ASSERT_TRUE(legacy.ok());
   EXPECT_EQ(legacy->outcome, resp.outcome);
@@ -363,6 +412,63 @@ TEST(LeaseWireTest, AcquireResponseLegacyFrameParses) {
   EXPECT_EQ(legacy->watermark, 0u);   // defaulted
   EXPECT_FALSE(legacy->deleg);        // defaulted: no phantom delegation
   EXPECT_EQ(legacy->deleg_until_ns, 0);
+  EXPECT_EQ(legacy->retry_after_ns, 0);
+}
+
+TEST(LeaseWireTest, AcquireResponseV2FrameDefaultsRetryAfter) {
+  // A frame from a pre-QoS (v2) manager stops before the v3 block; the
+  // delegation fields survive, the retry-after hint defaults to "none".
+  AcquireResponse resp;
+  resp.outcome = AcquireOutcome::kWait;
+  resp.leader = "c2";
+  resp.watermark = 13;
+  resp.deleg = true;
+  resp.deleg_until_ns = 333;
+  resp.retry_after_ns = 555;  // must NOT survive the truncation
+  Bytes encoded = resp.Encode();
+  encoded.resize(encoded.size() - kAcquireResponseV3Ext);
+  auto v2 = AcquireResponse::Decode(encoded);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->outcome, resp.outcome);
+  EXPECT_EQ(v2->watermark, 13u);
+  EXPECT_TRUE(v2->deleg);
+  EXPECT_EQ(v2->deleg_until_ns, 333);
+  EXPECT_EQ(v2->retry_after_ns, 0);
+}
+
+// Manager-side admission control sheds IN-BAND: a throttled tenant gets a
+// kWait outcome carrying retry_after_ns, never a status-level kAgain (which
+// the client would misread as a standby/leader redirect hint).
+TEST(LeaseQosTest, ManagerAdmissionShedsInBandAsWait) {
+  auto fabric = std::make_shared<rpc::Fabric>(sim::NetworkProfile::Instant());
+  qos::TenantMetrics metrics;
+  qos::AdmissionConfig ac;
+  ac.enabled = true;
+  ac.tenants[5] = qos::TenantRate{1.0, 1.0};  // one token, 1/s refill
+  qos::AdmissionController admission(ac, &metrics);
+  LeaseManagerConfig config = LeaseManagerConfig::ForTests();
+  config.admission = &admission;
+  LeaseManager manager(fabric, config);
+  ASSERT_TRUE(manager.Start().ok());
+
+  AcquireRequest req;
+  req.dir_ino = DeterministicUuid(3, 3);
+  req.client = "c1";
+  req.tenant = 5;
+  AcquireResponse first = manager.Acquire(req);
+  EXPECT_EQ(first.outcome, AcquireOutcome::kGranted);
+  AcquireResponse second = manager.Acquire(req);  // bucket now empty
+  EXPECT_EQ(second.outcome, AcquireOutcome::kWait);
+  EXPECT_GT(second.retry_after_ns, 0);
+
+  // An untenanted (tenant 0) request rides the unlimited default bucket.
+  AcquireRequest other;
+  other.dir_ino = DeterministicUuid(3, 4);
+  other.client = "c2";
+  AcquireResponse granted = manager.Acquire(other);
+  EXPECT_EQ(granted.outcome, AcquireOutcome::kGranted);
+  EXPECT_EQ(metrics.For(5).shed.value(), 1u);
+  manager.Stop();
 }
 
 TEST(LeaseWireTest, AcquireResponseRejectsUnknownOutcome) {

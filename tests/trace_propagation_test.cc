@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/cluster.h"
+#include "core/wire.h"
 #include "obs/metrics.h"
 #include "objstore/memory_store.h"
 
@@ -134,6 +135,68 @@ TEST_F(TracePropagationTest, IntrospectExportsTheMetricsPlane) {
             std::string::npos);
   EXPECT_NE(report.metrics_text.find("lease.grants"), std::string::npos);
   EXPECT_GT(registry_.Snapshot().counter("client.lease_acquires"), 0u);
+}
+
+// The tenant id rides the dir-op wire frame as a v3 trailing extension:
+// new<->new peers round-trip it, a pre-bump frame decodes as tenant 0, and
+// a pre-bump decoder (which tolerates trailing bytes) keeps working.
+TEST(DirOpWireTenantTest, TenantRoundTripsAndDefaultsOnLegacyFrames) {
+  wire::DirOpRequest req;
+  req.op = wire::DirOp::kCreate;
+  req.dir_ino = DeterministicUuid(5, 5);
+  req.name = "f";
+  req.client = "c1";
+  req.trace_id = 111;
+  req.parent_span = 222;
+  req.tenant = 7;
+  const Bytes encoded = req.Encode();
+  auto copy = wire::DirOpRequest::Decode(encoded);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->tenant, 7u);
+  EXPECT_EQ(copy->trace_id, 111u);
+
+  // Pre-bump sender: the frame stops before the 4-byte tenant block.
+  Bytes legacy(encoded.begin(), encoded.end() - 4);
+  auto old = wire::DirOpRequest::Decode(legacy);
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(old->op, req.op);
+  EXPECT_EQ(old->name, req.name);
+  EXPECT_EQ(old->trace_id, 111u);
+  EXPECT_EQ(old->parent_span, 222u);
+  EXPECT_EQ(old->tenant, 0u);
+
+  // Frames from an even NEWER sender (unknown future extension) still parse
+  // — the request decoder deliberately tolerates trailing bytes.
+  Bytes padded = encoded;
+  padded.push_back(0x5a);
+  EXPECT_TRUE(wire::DirOpRequest::Decode(padded).ok());
+}
+
+// End-to-end: each client's tenant id crosses the dir-op RPC and is what
+// the serving leader's admission controller sees — per-tenant admitted
+// counters appear for BOTH the leader's own tenant and the forwarding
+// peer's.
+TEST(TenantPropagationTest, TenantReachesTheServingLeaderAdmission) {
+  obs::MetricsRegistry registry;
+  auto store = std::make_shared<MemoryObjectStore>();
+  ArkFsClusterOptions opts = ArkFsClusterOptions::ForTests();
+  opts.client_template.metrics = &registry;
+  opts.admission.enabled = true;  // unlimited default rate: admit and count
+  auto cluster = ArkFsCluster::Create(store, opts).value();
+  const UserCred root = UserCred::Root();
+
+  auto leader = cluster->AddClient("leader", /*tenant=*/3).value();
+  ASSERT_TRUE(leader->Mkdir("/t", 0755, root).ok());
+  ASSERT_TRUE(leader->WriteFileAt("/t/file", AsBytes("x"), root).ok());
+
+  auto peer = cluster->AddClient("peer", /*tenant=*/9).value();
+  ASSERT_TRUE(peer->WriteFileAt("/t/peer", AsBytes("y"), root).ok());
+
+  const auto snap = registry.Snapshot();
+  EXPECT_GT(snap.counter("tenant.3.admitted"), 0u);
+  EXPECT_GT(snap.counter("tenant.9.admitted"), 0u);
+  EXPECT_EQ(snap.counter("tenant.3.shed"), 0u);
+  EXPECT_EQ(snap.counter("tenant.9.shed"), 0u);
 }
 
 }  // namespace

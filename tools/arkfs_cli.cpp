@@ -49,7 +49,8 @@ int Usage() {
                "          ln -s <target> <p> | objects | introspect [p] |\n"
                "          scrub\n"
                "env: ARKFS_PLACEMENT=ec  write data chunks erasure-coded\n"
-               "     ARKFS_DURABILITY=sync|group|async  journal ack mode\n");
+               "     ARKFS_DURABILITY=sync|group|async  journal ack mode\n"
+               "     ARKFS_TENANT=<id>  QoS tenant this invocation runs as\n");
   return 2;
 }
 
@@ -126,6 +127,14 @@ int main(int argc, char** argv) {
     auto mode = journal::ParseDurabilityMode(durability_env);
     if (!mode.ok()) return Fail(mode.status(), "ARKFS_DURABILITY");
     options.client_template.journal.durability = *mode;
+  }
+  if (const char* tenant_env = std::getenv("ARKFS_TENANT")) {
+    char* end = nullptr;
+    const unsigned long id = std::strtoul(tenant_env, &end, 10);
+    if (end == tenant_env || *end != '\0' || id > 0xffffffffUL) {
+      return Fail(ErrStatus(Errc::kInval, tenant_env), "ARKFS_TENANT");
+    }
+    options.client_template.tenant = static_cast<std::uint32_t>(id);
   }
   auto cluster_or = ArkFsCluster::Create(store, options);
   if (!cluster_or.ok()) return Fail(cluster_or.status(), "start");
@@ -219,6 +228,7 @@ int main(int argc, char** argv) {
     if (!report.scrub_text.empty()) {
       std::printf("--- scrub ---\n%s", report.scrub_text.c_str());
     }
+    std::printf("--- qos ---\n%s", cluster->QosIntrospectText().c_str());
   } else if (command == "scrub" && argc == 3) {
     auto report = cluster->scrubber()->RunOnce();
     if (!report.ok()) {
