@@ -117,12 +117,12 @@ struct ArkBenchEnv {
   ObjectStorePtr store;
   std::unique_ptr<ArkFsCluster> cluster;
 
-  static ArkBenchEnv Create(ClusterConfig store_config,
-                            bool permission_cache = true,
-                            CacheConfig cache = CacheConfig{},
-                            std::uint64_t chunk_size = 0,
-                            bool read_delegations = true,
-                            DataPlacement placement = DataPlacement::kReplica) {
+  static ArkBenchEnv Create(
+      ClusterConfig store_config, bool permission_cache = true,
+      CacheConfig cache = CacheConfig{}, std::uint64_t chunk_size = 0,
+      bool read_delegations = true,
+      DataPlacement placement = DataPlacement::kReplica,
+      const std::function<void(ArkFsClusterOptions*)>& tweak = nullptr) {
     ArkBenchEnv env;
     env.store = std::make_shared<ClusterObjectStore>(store_config);
     ArkFsClusterOptions options;
@@ -137,6 +137,7 @@ struct ArkBenchEnv {
     client.journal.commit_interval = Millis(200);
     options.client_template = client;
     options.placement = placement;
+    if (tweak) tweak(&options);
     env.cluster = ArkFsCluster::Create(env.store, options).value();
     return env;
   }

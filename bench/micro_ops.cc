@@ -30,6 +30,7 @@
 #include "meta/path.h"
 #include "objstore/cluster_store.h"
 #include "objstore/memory_store.h"
+#include "objstore/stack_builder.h"
 #include "objstore/wrappers.h"
 #include "prt/translator.h"
 
@@ -340,9 +341,12 @@ void RunAsyncIoSection() {
   constexpr std::uint64_t kChunks = 64;
   constexpr std::uint64_t kFileSize = kChunk * kChunks;
 
-  ClusterConfig cc = ClusterConfig::RadosLike();
-  auto tracking =
-      std::make_shared<LatencyTrackingStore>(std::make_shared<ClusterObjectStore>(cc));
+  auto stack = objstore::StackBuilder()
+                   .Cluster(ClusterConfig::RadosLike())
+                   .Latency()
+                   .Build()
+                   .value();
+  const auto& tracking = stack.latency;
   obs::MetricsRegistry registry;
   AsyncIoConfig io_cfg;
   io_cfg.workers = 16;  // deep overlap: the latency here is simulated sleeps
@@ -443,9 +447,11 @@ void RunAsyncIoSection() {
 // batches so both the journal-append and the dirty-shard checkpoint paths
 // accumulate samples.
 void RunJournalLatencySection() {
-  ClusterConfig cc = ClusterConfig::RadosLike();
-  auto store = std::make_shared<ClusterObjectStore>(cc);
-  auto prt = std::make_shared<Prt>(store);
+  auto stack = objstore::StackBuilder()
+                   .Cluster(ClusterConfig::RadosLike())
+                   .Build()
+                   .value();
+  auto prt = std::make_shared<Prt>(stack.store);
   journal::JournalConfig cfg;
   cfg.shard_policy.override_count = 16;
   journal::JournalManager manager(prt, cfg);

@@ -596,6 +596,7 @@ Vfs::IntrospectReport Client::Introspect() {
   report.spans = tracer_.Spans();
   report.delegations_text = DelegDumpText();
   if (scrub_reporter_) report.scrub_text = scrub_reporter_();
+  if (tiering_reporter_) report.tiering_text = tiering_reporter_();
   report.journal_text = journal_->IntrospectText();
   return report;
 }

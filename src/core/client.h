@@ -212,6 +212,12 @@ class Client : public Vfs {
     scrub_reporter_ = std::move(reporter);
   }
 
+  // Supplies IntrospectReport.tiering_text (set by the cluster under
+  // DataPlacement::kTiered; a plain client reports an empty section).
+  void SetTieringReporter(std::function<std::string()> reporter) {
+    tiering_reporter_ = std::move(reporter);
+  }
+
   IntrospectReport Introspect() override;
 
  private:
@@ -498,6 +504,7 @@ class Client : public Vfs {
   // the rooting client's ring via the thread-local active trace.
   obs::Tracer tracer_;
   std::function<std::string()> scrub_reporter_;
+  std::function<std::string()> tiering_reporter_;
 };
 
 }  // namespace arkfs

@@ -1,6 +1,16 @@
 #include "core/cluster.h"
 
+#include "objstore/stack_builder.h"
+
 namespace arkfs {
+
+namespace {
+// Tier/EC-place exactly the PRT data chunks ('d'-prefixed keys,
+// key_schema.h); metadata keeps the journaled replica path.
+bool IsDataChunkKey(const std::string& key) {
+  return !key.empty() && key.front() == 'd';
+}
+}  // namespace
 
 ArkFsCluster::ArkFsCluster(ObjectStorePtr store, ArkFsClusterOptions options)
     : options_(std::move(options)), store_(std::move(store)) {
@@ -14,23 +24,30 @@ ArkFsCluster::ArkFsCluster(ObjectStorePtr store, ArkFsClusterOptions options)
     quota_ = std::make_unique<qos::QuotaManager>(options_.quota,
                                                  tenant_metrics_.get());
   }
-  if (options_.placement == DataPlacement::kEc) {
+  if (options_.placement != DataPlacement::kReplica) {
+    objstore::StackBuilder builder;
+    builder.Metrics(options_.client_template.metrics).Base(store_);
     EcStoreOptions ec;
     ec.k = options_.ec_data_shards;
     ec.m = options_.ec_parity_shards;
-    // EC-place exactly the PRT data chunks ('d'-prefixed keys, key_schema.h);
-    // metadata keeps the journaled replica path.
-    ec.should_encode = [](const std::string& key) {
-      return !key.empty() && key.front() == 'd';
-    };
-    ec.placement = ClusterPrimaryPlacement(store_);
-    ec.metrics = options_.client_template.metrics;
-    ec_store_ = std::make_shared<EcStore>(store_, std::move(ec));
-    store_ = ec_store_;  // clients AND lease managers share the wrap
-    ScrubberOptions scrub = options_.scrub;
-    if (!scrub.metrics) scrub.metrics = options_.client_template.metrics;
-    scrubber_ = std::make_shared<Scrubber>(ec_store_, scrub);
+    if (options_.placement == DataPlacement::kEc) {
+      ec.should_encode = IsDataChunkKey;
+      builder.Ec(std::move(ec));
+    } else {
+      TieringOptions tiering;
+      tiering.should_tier = IsDataChunkKey;
+      builder.Tiering(std::move(tiering), options_.migrate, std::move(ec));
+    }
+    builder.Scrub(options_.scrub);
+    // Canonically composed over a live base: Build() cannot fail here.
+    auto stack = builder.Build().value();
+    store_ = stack.store;  // clients AND lease managers share the wrap
+    ec_store_ = stack.ec;
+    scrubber_ = stack.scrubber;
+    tiering_store_ = stack.tiering;
+    migrator_ = stack.migrator;
     if (options_.scrub_background) scrubber_->Start();
+    if (migrator_ && options_.migrate_background) migrator_->Start();
   }
   fabric_ = std::make_shared<rpc::Fabric>(options_.network);
 
@@ -68,6 +85,13 @@ Result<std::unique_ptr<ArkFsCluster>> ArkFsCluster::Create(
     auto usage = cluster->store_->Get(qos::kQuotaUsageKey);
     if (usage.ok()) (void)cluster->quota_->LoadUsage(*usage);
   }
+  if (cluster->tiering_store_) {
+    // Reload access stats persisted by a previous incarnation. kNoEnt or a
+    // corrupt blob only resets idle clocks (demotion waits a fresh
+    // demote_after) — placement itself is re-derived from the store.
+    auto stats = cluster->store_->Get(kTierStatsKey);
+    if (stats.ok()) (void)cluster->tiering_store_->LoadAccessStats(*stats);
+  }
   for (auto& manager : cluster->lease_managers_) {
     ARKFS_RETURN_IF_ERROR(manager->Start());
   }
@@ -75,6 +99,7 @@ Result<std::unique_ptr<ArkFsCluster>> ArkFsCluster::Create(
 }
 
 ArkFsCluster::~ArkFsCluster() {
+  if (migrator_) migrator_->Stop();
   if (scrubber_) scrubber_->Stop();
   // Shut clients down before the lease managers so their releases land.
   for (auto& client : clients_) {
@@ -123,17 +148,23 @@ Result<std::shared_ptr<Client>> ArkFsCluster::AddClient(std::string name,
   if (tenant != 0) config.tenant = tenant;
   config.admission = admission_.get();
   config.quota = quota_.get();
-  if (quota_) {
-    // Persist quota usage on the checkpoint cadence: after each successful
-    // journal checkpoint, write the usage map iff something changed since
-    // the last write. A failed put re-arms the dirty flag so the next
-    // checkpoint retries.
+  if (quota_ || tiering_store_) {
+    // Persist quota usage and tiering access stats on the checkpoint
+    // cadence: after each successful journal checkpoint, write each blob
+    // iff something changed since its last write. A failed put re-arms the
+    // dirty flag so the next checkpoint retries.
     qos::QuotaManager* quota = quota_.get();
+    TieringStorePtr tiering = tiering_store_;
     ObjectStorePtr store = store_;
-    config.journal.on_checkpoint = [quota, store] {
-      if (!quota->ConsumeDirty()) return;
-      const Bytes blob = quota->EncodeUsage();
-      if (!store->Put(qos::kQuotaUsageKey, blob).ok()) quota->MarkDirty();
+    config.journal.on_checkpoint = [quota, tiering, store] {
+      if (quota && quota->ConsumeDirty()) {
+        const Bytes blob = quota->EncodeUsage();
+        if (!store->Put(qos::kQuotaUsageKey, blob).ok()) quota->MarkDirty();
+      }
+      if (tiering && tiering->ConsumeStatsDirty()) {
+        const Bytes blob = tiering->EncodeAccessStats();
+        if (!store->Put(kTierStatsKey, blob).ok()) tiering->MarkStatsDirty();
+      }
     };
   }
   ARKFS_ASSIGN_OR_RETURN(auto client,
@@ -141,6 +172,14 @@ Result<std::shared_ptr<Client>> ArkFsCluster::AddClient(std::string name,
   if (scrubber_) {
     client->SetScrubReporter(
         [scrubber = scrubber_] { return scrubber->ReportText(); });
+  }
+  if (tiering_store_) {
+    client->SetTieringReporter(
+        [tiering = tiering_store_, migrator = migrator_] {
+          std::string text = tiering->StatsText();
+          if (migrator) text += "migrator: " + migrator->ReportText();
+          return text;
+        });
   }
   clients_.push_back(client);
   return client;

@@ -13,6 +13,7 @@
 #include "objstore/ec_store.h"
 #include "objstore/object_store.h"
 #include "objstore/scrubber.h"
+#include "objstore/tiering_store.h"
 #include "qos/admission.h"
 #include "qos/quota.h"
 #include "qos/tenant.h"
@@ -28,6 +29,9 @@ namespace arkfs {
 enum class DataPlacement {
   kReplica,  // whole objects, store-level replication (the historic layout)
   kEc,       // k+m Reed–Solomon stripes with reconstruct-on-read (ec_store.h)
+  kTiered,   // hot replica tier + cold EC tier with background migration
+             // (tiering_store.h); new data lands at replica speed, cold
+             // bytes demote to EC overhead
 };
 
 struct ArkFsClusterOptions {
@@ -42,7 +46,11 @@ struct ArkFsClusterOptions {
   int lease_replicas = 1;
   // Data-chunk durability. kEc wraps the store in an EcStore (data keys
   // only) whose shards spread across ClusterObjectStore nodes when the
-  // stack bottoms out in one, plus a Scrubber the deployment owns.
+  // stack bottoms out in one, plus a Scrubber the deployment owns. kTiered
+  // keeps data keys on the replica hot path and wraps a TieringStore whose
+  // cold tier is that same EcStore geometry — demotion EC-encodes, the
+  // Scrubber scrubs the cold stripes, and a Migrator the deployment owns
+  // moves data by access heat.
   DataPlacement placement = DataPlacement::kReplica;
   int ec_data_shards = 4;    // k
   int ec_parity_shards = 2;  // m
@@ -51,6 +59,11 @@ struct ArkFsClusterOptions {
   // tests and the CLI drive explicit RunOnce passes; long-lived deployments
   // opt in.
   bool scrub_background = false;
+  // kTiered only: migration policy (demote-after idle, promote-on-heat
+  // read threshold, pass pacing) and whether the background loop starts at
+  // creation (same opt-in contract as scrub_background).
+  MigratorOptions migrate = MigratorOptions::ForTests();
+  bool migrate_background = false;
 
   // --- multi-tenant QoS (all disabled by default) ---
   // Token-bucket admission, enforced at lease Acquire/Renew on the manager
@@ -96,9 +109,17 @@ class ArkFsCluster {
                   FuseSimConfig config = FuseSimConfig{});
 
   const ObjectStorePtr& store() const { return store_; }
-  // Null unless options.placement == kEc.
+  // The EC tier, null under kReplica. Under kEc it IS the data path
+  // (aliases store()); under kTiered it is the COLD tier the TieringStore
+  // demotes into — do not gate on `placement == kEc` to decide whether EC
+  // machinery (scrub, stripe introspection) exists, check the handle.
   const EcStorePtr& ec_store() const { return ec_store_; }
+  // Non-null whenever ec_store() is (kEc and kTiered both scrub their
+  // stripes); background loop only runs if options.scrub_background.
   const ScrubberPtr& scrubber() const { return scrubber_; }
+  // Null unless options.placement == kTiered.
+  const TieringStorePtr& tiering_store() const { return tiering_store_; }
+  const MigratorPtr& migrator() const { return migrator_; }
   const rpc::FabricPtr& fabric() const { return fabric_; }
   lease::LeaseManager& lease_manager() { return *lease_managers_.front(); }
   lease::LeaseManager& lease_manager(int replica) {
@@ -142,8 +163,10 @@ class ArkFsCluster {
   std::unique_ptr<qos::AdmissionController> admission_;
   std::unique_ptr<qos::QuotaManager> quota_;
   ObjectStorePtr store_;
-  EcStorePtr ec_store_;    // set when placement == kEc (aliases store_)
-  ScrubberPtr scrubber_;   // ditto
+  EcStorePtr ec_store_;    // kEc: aliases store_; kTiered: the cold tier
+  ScrubberPtr scrubber_;   // set whenever ec_store_ is
+  TieringStorePtr tiering_store_;  // set when placement == kTiered
+  MigratorPtr migrator_;           // ditto
   rpc::FabricPtr fabric_;
   std::vector<std::string> manager_addresses_;
   std::vector<std::unique_ptr<lease::LeaseManager>> lease_managers_;

@@ -132,6 +132,9 @@ class Vfs {
     // EC scrub-and-repair state (cumulative counters + last pass); empty
     // when the deployment has no erasure-coded tier.
     std::string scrub_text;
+    // Hot/cold tiering state (placement counts, tier.* counters, migrator
+    // pass summary); empty when the deployment is not tiered.
+    std::string tiering_text;
     // Journal durability state: active mode, dirty-window depth
     // (records/bytes/oldest-age) and cumulative flush/stall/drain counts;
     // empty for implementations without a journal.

@@ -1,0 +1,869 @@
+#include "objstore/tiering_store.h"
+
+#include <algorithm>
+
+namespace arkfs {
+
+namespace {
+
+constexpr char kPointerSuffix[] = "..tp";
+constexpr char kColdSuffix[] = "..cold";
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+// --- tier pointer codec (strict: magic + version + CRC, trailing bytes
+// rejected — a torn or bit-flipped record must never decode) ---
+
+Bytes EncodeTierPointer(const TierPointer& p) {
+  Encoder enc(32);
+  enc.PutU32(kTierPointerMagic);
+  enc.PutU8(kTierFormatVersion);
+  enc.PutU8(static_cast<std::uint8_t>(p.tier));
+  enc.PutU64(p.gen);
+  enc.PutU64(p.object_size);
+  enc.PutU32(p.content_crc);
+  enc.PutU32(Crc32c(enc.buffer()));
+  return std::move(enc).Take();
+}
+
+Result<TierPointer> DecodeTierPointer(ByteSpan data) {
+  if (data.size() < 4) return ErrStatus(Errc::kIo, "tier pointer: truncated");
+  Decoder dec(data);
+  ARKFS_ASSIGN_OR_RETURN(const auto magic, dec.GetU32());
+  if (magic != kTierPointerMagic) {
+    return ErrStatus(Errc::kIo, "tier pointer: bad magic");
+  }
+  ARKFS_ASSIGN_OR_RETURN(const auto version, dec.GetU8());
+  if (version != kTierFormatVersion) {
+    return ErrStatus(Errc::kIo, "tier pointer: unknown version");
+  }
+  ARKFS_ASSIGN_OR_RETURN(const auto tier, dec.GetU8());
+  if (tier > static_cast<std::uint8_t>(Tier::kCold)) {
+    return ErrStatus(Errc::kIo, "tier pointer: bad tier");
+  }
+  TierPointer p;
+  p.tier = static_cast<Tier>(tier);
+  ARKFS_ASSIGN_OR_RETURN(p.gen, dec.GetU64());
+  ARKFS_ASSIGN_OR_RETURN(p.object_size, dec.GetU64());
+  ARKFS_ASSIGN_OR_RETURN(p.content_crc, dec.GetU32());
+  const std::size_t crc_pos = dec.pos();
+  ARKFS_ASSIGN_OR_RETURN(const auto crc, dec.GetU32());
+  if (!dec.done()) return ErrStatus(Errc::kIo, "tier pointer: trailing bytes");
+  if (crc != Crc32c(data.subspan(0, crc_pos))) {
+    return ErrStatus(Errc::kIo, "tier pointer: CRC mismatch");
+  }
+  return p;
+}
+
+std::string TierPointerKey(const std::string& key) {
+  return key + kPointerSuffix;
+}
+
+std::string ColdCopyKey(const std::string& key) { return key + kColdSuffix; }
+
+TierKeyKind ClassifyTierKey(const std::string& raw, std::string* logical) {
+  if (EndsWith(raw, kPointerSuffix)) {
+    *logical = raw.substr(0, raw.size() - 4);
+    return TierKeyKind::kPointer;
+  }
+  if (EndsWith(raw, kColdSuffix)) {
+    *logical = raw.substr(0, raw.size() - 6);
+    return TierKeyKind::kColdCopy;
+  }
+  *logical = raw;
+  return TierKeyKind::kLogical;
+}
+
+// --- TieringStore ---
+
+TieringStore::TieringStore(ObjectStorePtr hot, TieringOptions options)
+    : StoreDecorator(std::move(hot)), options_(std::move(options)) {
+  cold_ = options_.cold ? options_.cold : base();
+  obs::MetricsRegistry* r = options_.metrics;
+  hot_gets_.Attach(r, "tier.hot_gets");
+  cold_gets_.Attach(r, "tier.cold_gets");
+  hot_puts_.Attach(r, "tier.hot_puts");
+  demotions_.Attach(r, "tier.demotions");
+  promotions_.Attach(r, "tier.promotions");
+  demoted_bytes_.Attach(r, "tier.demoted_bytes");
+  promoted_bytes_.Attach(r, "tier.promoted_bytes");
+  races_.Attach(r, "tier.races");
+  orphans_swept_.Attach(r, "tier.orphans_swept");
+  pointer_flips_.Attach(r, "tier.pointer_flips");
+}
+
+bool TieringStore::Tiers(const std::string& key) const {
+  // Internal namespaces (ours and EcStore's) are never tiered, so a logical
+  // key can never collide with a pointer, a cold copy, or an EC stripe.
+  if (key.find(kPointerSuffix) != std::string::npos ||
+      key.find(kColdSuffix) != std::string::npos ||
+      key.find("..ec") != std::string::npos) {
+    return false;
+  }
+  return !options_.should_tier || options_.should_tier(key);
+}
+
+const ObjectStorePtr& TieringStore::cold_store() const { return cold_; }
+
+std::string TieringStore::name() const { return "tiering/" + base()->name(); }
+
+// --- per-key state-map helpers ---
+
+std::uint64_t TieringStore::SeqSnapshot(const std::string& key) const {
+  StateShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.keys.find(key);
+  return it == shard.keys.end() ? 0 : it->second.seq;
+}
+
+std::uint64_t TieringStore::BumpSeq(const std::string& key) {
+  StateShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  KeyState& state = shard.keys[key];
+  state.last_access = Now();
+  stats_dirty_.store(true, std::memory_order_relaxed);
+  return ++state.seq;
+}
+
+void TieringStore::NoteRead(const std::string& key, bool cold) {
+  StateShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  KeyState& state = shard.keys[key];
+  state.last_access = Now();
+  state.reads++;
+  if (cold) state.cold_reads++;
+  stats_dirty_.store(true, std::memory_order_relaxed);
+}
+
+void TieringStore::SetCachedTier(const std::string& key, CachedTier tier,
+                                 bool reset_cold_reads) {
+  StateShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  KeyState& state = shard.keys[key];
+  state.tier = tier;
+  if (reset_cold_reads) state.cold_reads = 0;
+}
+
+TieringStore::CachedTier TieringStore::GetCachedTier(
+    const std::string& key) const {
+  StateShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.keys.find(key);
+  return it == shard.keys.end() ? CachedTier::kUnknown : it->second.tier;
+}
+
+void TieringStore::EraseState(const std::string& key) {
+  StateShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.keys.erase(key);
+  stats_dirty_.store(true, std::memory_order_relaxed);
+}
+
+void TieringStore::SeedAccess(const std::string& key) {
+  StateShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.keys.count(key)) return;
+  shard.keys[key].last_access = Now();
+  stats_dirty_.store(true, std::memory_order_relaxed);
+}
+
+std::optional<TierPointer> TieringStore::ReadPointer(const std::string& key) {
+  auto blob = base()->Get(TierPointerKey(key));
+  if (!blob.ok()) return std::nullopt;
+  auto pointer = DecodeTierPointer(*blob);
+  if (!pointer.ok()) return std::nullopt;
+  return *pointer;
+}
+
+bool TieringStore::ShouldTryCold(const std::string& key) {
+  if (auto pointer = ReadPointer(key)) return pointer->tier == Tier::kCold;
+  // No decodable pointer. One salvage probe costs a single small read and
+  // rescues the bytes behind a lost/corrupt pointer record.
+  return true;
+}
+
+// --- foreground ops ---
+
+Result<Bytes> TieringStore::Get(const std::string& key) {
+  if (!Tiers(key)) return base()->Get(key);
+  if (GetCachedTier(key) == CachedTier::kCold) {
+    auto cold = cold_->Get(ColdCopyKey(key));
+    if (cold.ok()) {
+      NoteRead(key, /*cold=*/true);
+      cold_gets_.Add();
+      return cold;
+    }
+    // Stale cache (promoted or deleted since): fall through to hot.
+  }
+  auto hot = base()->Get(key);
+  if (hot.ok()) {
+    NoteRead(key, /*cold=*/false);
+    hot_gets_.Add();
+    SetCachedTier(key, CachedTier::kHot, false);
+    return hot;
+  }
+  // Hot miss — demoted (kNoEnt) or its node is down; the cold copy's EC
+  // stripes reconstruct through outages either way.
+  if (ShouldTryCold(key)) {
+    auto cold = cold_->Get(ColdCopyKey(key));
+    if (cold.ok()) {
+      NoteRead(key, /*cold=*/true);
+      cold_gets_.Add();
+      SetCachedTier(key, CachedTier::kCold, false);
+      return cold;
+    }
+  }
+  return hot;
+}
+
+Result<Bytes> TieringStore::GetRange(const std::string& key,
+                                     std::uint64_t offset,
+                                     std::uint64_t length) {
+  if (!Tiers(key)) return base()->GetRange(key, offset, length);
+  if (GetCachedTier(key) == CachedTier::kCold) {
+    auto cold = cold_->GetRange(ColdCopyKey(key), offset, length);
+    if (cold.ok()) {
+      NoteRead(key, /*cold=*/true);
+      cold_gets_.Add();
+      return cold;
+    }
+  }
+  auto hot = base()->GetRange(key, offset, length);
+  if (hot.ok()) {
+    NoteRead(key, /*cold=*/false);
+    hot_gets_.Add();
+    SetCachedTier(key, CachedTier::kHot, false);
+    return hot;
+  }
+  if (ShouldTryCold(key)) {
+    auto cold = cold_->GetRange(ColdCopyKey(key), offset, length);
+    if (cold.ok()) {
+      NoteRead(key, /*cold=*/true);
+      cold_gets_.Add();
+      SetCachedTier(key, CachedTier::kCold, false);
+      return cold;
+    }
+  }
+  return hot;
+}
+
+Status TieringStore::Put(const std::string& key, ByteSpan data) {
+  if (!Tiers(key)) return base()->Put(key, data);
+  std::lock_guard<std::mutex> lock(KeyLock(key));
+  // Fence any in-flight migration BEFORE the bytes can land — even a torn
+  // put must abort a concurrent flip.
+  BumpSeq(key);
+  Status st = base()->Put(key, data);
+  if (!st.ok()) return st;
+  hot_puts_.Add();
+  const CachedTier prior = GetCachedTier(key);
+  SetCachedTier(key, CachedTier::kHot, true);
+  if (prior == CachedTier::kCold) {
+    // Overwrite of a demoted object: flip the pointer back and sweep the
+    // cold copy inline (rare). Failures leave crash-equivalent states the
+    // migrator's reconcile pass repairs — the new hot copy is already
+    // authoritative under hot-first reads.
+    auto prior_ptr = ReadPointer(key);
+    TierPointer next;
+    next.tier = Tier::kHot;
+    next.gen = (prior_ptr ? prior_ptr->gen : 0) + 1;
+    next.object_size = data.size();
+    next.content_crc = Crc32c(data);
+    if (base()->Put(TierPointerKey(key), EncodeTierPointer(next)).ok()) {
+      pointer_flips_.Add();
+      (void)cold_->Delete(ColdCopyKey(key));
+    }
+  }
+  return st;
+}
+
+Status TieringStore::PutRange(const std::string& key, std::uint64_t offset,
+                              ByteSpan data) {
+  if (!Tiers(key)) return base()->PutRange(key, offset, data);
+  CachedTier cached = GetCachedTier(key);
+  if (cached == CachedTier::kUnknown) {
+    // One-time residency probe: a partial write must never create a
+    // divergent hot fragment next to a cold-resident copy.
+    if (base()->Head(key).ok()) {
+      cached = CachedTier::kHot;
+    } else if (ShouldTryCold(key) && cold_->Head(ColdCopyKey(key)).ok()) {
+      cached = CachedTier::kCold;
+    } else {
+      cached = CachedTier::kHot;  // fresh object: partial write creates it
+    }
+    SetCachedTier(key, cached, false);
+  }
+  if (cached == CachedTier::kCold) {
+    return ErrStatus(Errc::kNotSup, "cold-resident object: rewrite whole");
+  }
+  std::lock_guard<std::mutex> lock(KeyLock(key));
+  BumpSeq(key);
+  return base()->PutRange(key, offset, data);
+}
+
+Status TieringStore::Delete(const std::string& key) {
+  if (!Tiers(key)) return base()->Delete(key);
+  std::lock_guard<std::mutex> lock(KeyLock(key));
+  BumpSeq(key);
+  Status hot = base()->Delete(key);
+  (void)base()->Delete(TierPointerKey(key));
+  Status cold = cold_->Delete(ColdCopyKey(key));
+  EraseState(key);
+  if (hot.ok() || cold.ok()) return Status::Ok();
+  return hot;
+}
+
+Result<ObjectMeta> TieringStore::Head(const std::string& key) {
+  if (!Tiers(key)) return base()->Head(key);
+  if (GetCachedTier(key) == CachedTier::kCold) {
+    auto cold = cold_->Head(ColdCopyKey(key));
+    if (cold.ok()) return cold;
+  }
+  auto hot = base()->Head(key);
+  if (hot.ok()) return hot;
+  if (ShouldTryCold(key)) {
+    auto cold = cold_->Head(ColdCopyKey(key));
+    if (cold.ok()) return cold;
+  }
+  return hot;
+}
+
+Result<std::vector<std::string>> TieringStore::List(const std::string& prefix) {
+  // List through the cold store so EC stripe internals fold first; then
+  // fold pointers and cold copies back to their logical keys.
+  ARKFS_ASSIGN_OR_RETURN(const auto raw, cold_->List(prefix));
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  std::string logical;
+  for (const auto& key : raw) {
+    (void)ClassifyTierKey(key, &logical);
+    out.push_back(logical);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// --- migration primitives ---
+
+Status TieringStore::DemoteObject(const std::string& key) {
+  if (!Tiers(key)) return ErrStatus(Errc::kInval, "not a tiered key");
+  const std::uint64_t s0 = SeqSnapshot(key);
+  auto hot = base()->Get(key);
+  if (!hot.ok()) return hot.status();  // kNoEnt: nothing hot to demote
+  // Step 1, the copy (EC encode) — outside the key lock: encoding is the
+  // expensive part and a racing overwrite just aborts below.
+  ARKFS_RETURN_IF_ERROR(cold_->Put(ColdCopyKey(key), *hot));
+  const std::uint32_t crc = Crc32c(*hot);
+  std::lock_guard<std::mutex> lock(KeyLock(key));
+  if (SeqSnapshot(key) != s0) {
+    // An overwrite raced the copy; the cold bytes are stale. Abort and
+    // reclaim them (best effort — reconcile sweeps any leftover).
+    races_.Add();
+    (void)cold_->Delete(ColdCopyKey(key));
+    return ErrStatus(Errc::kAgain, "overwritten during demotion");
+  }
+  auto prior = ReadPointer(key);
+  TierPointer next;
+  next.tier = Tier::kCold;
+  next.gen = (prior ? prior->gen : 0) + 1;
+  next.object_size = hot->size();
+  next.content_crc = crc;
+  // Step 2, the flip.
+  ARKFS_RETURN_IF_ERROR(
+      base()->Put(TierPointerKey(key), EncodeTierPointer(next)));
+  pointer_flips_.Add();
+  // Step 3, the sweep — under hot-first reads this is the real visibility
+  // switch. If it fails, both (byte-identical) copies linger and reconcile
+  // completes the sweep next pass.
+  Status sweep = base()->Delete(key);
+  SetCachedTier(key, CachedTier::kCold, /*reset_cold_reads=*/true);
+  demotions_.Add();
+  demoted_bytes_.Add(hot->size());
+  MarkStatsDirty();
+  return sweep.ok() || sweep.code() == Errc::kNoEnt ? Status::Ok() : sweep;
+}
+
+Status TieringStore::PromoteObject(const std::string& key) {
+  if (!Tiers(key)) return ErrStatus(Errc::kInval, "not a tiered key");
+  const std::uint64_t s0 = SeqSnapshot(key);
+  auto cold = cold_->Get(ColdCopyKey(key));
+  if (!cold.ok()) return cold.status();  // kNoEnt: nothing cold to promote
+  const std::uint32_t crc = Crc32c(*cold);
+  std::lock_guard<std::mutex> lock(KeyLock(key));
+  if (SeqSnapshot(key) != s0) {
+    races_.Add();
+    return ErrStatus(Errc::kAgain, "overwritten during promotion");
+  }
+  // Step 1: the hot copy. It is byte-identical to the cold copy and
+  // authoritative the moment it lands, so this must happen under the key
+  // lock — a foreground Put ordering after us must not be shadowed.
+  ARKFS_RETURN_IF_ERROR(base()->Put(key, *cold));
+  auto prior = ReadPointer(key);
+  TierPointer next;
+  next.tier = Tier::kHot;
+  next.gen = (prior ? prior->gen : 0) + 1;
+  next.object_size = cold->size();
+  next.content_crc = crc;
+  // Step 2, the flip; step 3, the sweep (best effort).
+  ARKFS_RETURN_IF_ERROR(
+      base()->Put(TierPointerKey(key), EncodeTierPointer(next)));
+  pointer_flips_.Add();
+  (void)cold_->Delete(ColdCopyKey(key));
+  SetCachedTier(key, CachedTier::kHot, /*reset_cold_reads=*/true);
+  promotions_.Add();
+  promoted_bytes_.Add(cold->size());
+  MarkStatsDirty();
+  return Status::Ok();
+}
+
+Result<int> TieringStore::ReconcileObject(const std::string& key) {
+  if (!Tiers(key)) return ErrStatus(Errc::kInval, "not a tiered key");
+  std::lock_guard<std::mutex> lock(KeyLock(key));
+  auto hot = base()->Get(key);
+  const bool hot_exists = hot.ok();
+  const bool cold_exists = cold_->Head(ColdCopyKey(key)).ok();
+  auto pointer = ReadPointer(key);
+  int swept = 0;
+  if (hot_exists && cold_exists) {
+    if (pointer && pointer->tier == Tier::kCold &&
+        pointer->object_size == hot->size() &&
+        pointer->content_crc == Crc32c(*hot)) {
+      // A demotion crashed after its flip: the copies are byte-identical
+      // (the pointer's content CRC proves it), so complete the sweep.
+      if (base()->Delete(key).ok()) {
+        swept++;
+        SetCachedTier(key, CachedTier::kCold, false);
+      }
+    } else {
+      // The hot copy differs from what the pointer covered (crashed
+      // pre-flip demotion, crashed promotion, or an overwrite raced a
+      // finished demotion): hot wins. Flip the pointer back first, then
+      // drop the stale cold copy — a crash between the two leaves a
+      // hot-pointing record over a doomed cold orphan, which this same
+      // branch finishes next pass.
+      if (pointer && pointer->tier == Tier::kCold) {
+        TierPointer next;
+        next.tier = Tier::kHot;
+        next.gen = pointer->gen + 1;
+        next.object_size = hot->size();
+        next.content_crc = Crc32c(*hot);
+        ARKFS_RETURN_IF_ERROR(
+            base()->Put(TierPointerKey(key), EncodeTierPointer(next)));
+        pointer_flips_.Add();
+      }
+      if (cold_->Delete(ColdCopyKey(key)).ok()) swept++;
+      SetCachedTier(key, CachedTier::kHot, true);
+    }
+  } else if (hot_exists && pointer && pointer->tier == Tier::kCold) {
+    // Pointer says cold but no cold copy survives (external sweep or a
+    // reconcile crash): repair the record so it matches reality.
+    TierPointer next;
+    next.tier = Tier::kHot;
+    next.gen = pointer->gen + 1;
+    next.object_size = hot->size();
+    next.content_crc = Crc32c(*hot);
+    ARKFS_RETURN_IF_ERROR(
+        base()->Put(TierPointerKey(key), EncodeTierPointer(next)));
+    pointer_flips_.Add();
+    swept++;
+    SetCachedTier(key, CachedTier::kHot, false);
+  } else if (!hot_exists && !cold_exists && pointer) {
+    // Dangling pointer: no copy left anywhere. Reclaim the record.
+    if (base()->Delete(TierPointerKey(key)).ok()) swept++;
+    EraseState(key);
+  }
+  if (swept > 0) {
+    orphans_swept_.Add(static_cast<std::uint64_t>(swept));
+    MarkStatsDirty();
+  }
+  return swept;
+}
+
+Result<std::vector<std::string>> TieringStore::ListTiered(
+    const std::string& prefix) {
+  ARKFS_ASSIGN_OR_RETURN(const auto raw, cold_->List(prefix));
+  std::vector<std::string> out;
+  std::string logical;
+  for (const auto& key : raw) {
+    (void)ClassifyTierKey(key, &logical);
+    if (Tiers(logical)) out.push_back(logical);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<TieringStore::TierProbe> TieringStore::ProbeTier(
+    const std::string& key) {
+  if (!Tiers(key)) return ErrStatus(Errc::kInval, "not a tiered key");
+  TierProbe probe;
+  auto hot = base()->Head(key);
+  if (hot.ok()) {
+    probe.hot_exists = true;
+    probe.hot_size = hot->size;
+  } else if (hot.status().code() != Errc::kNoEnt) {
+    // Node down: residency is unknowable this pass — don't guess.
+    return hot.status();
+  }
+  // Cold-side errors are treated as absent: a wrong "absent" only re-demotes
+  // (an idempotent overwrite), never loses bytes.
+  probe.cold_exists = cold_->Head(ColdCopyKey(key)).ok();
+  probe.pointer = ReadPointer(key);
+  StateShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.keys.find(key);
+  if (it != shard.keys.end()) {
+    probe.ever_accessed = true;
+    probe.idle = std::chrono::duration_cast<Nanos>(Now() - it->second.last_access);
+    probe.cold_reads = it->second.cold_reads;
+  }
+  return probe;
+}
+
+// --- access-stats persistence (journal checkpoint cadence) ---
+
+Bytes TieringStore::EncodeAccessStats() const {
+  struct Entry {
+    std::string key;
+    std::uint64_t age_ns;
+    std::uint64_t reads;
+    std::uint32_t cold_reads;
+    std::uint8_t tier;
+  };
+  const TimePoint now = Now();
+  std::vector<Entry> entries;
+  for (const StateShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, state] : shard.keys) {
+      const auto age =
+          std::chrono::duration_cast<Nanos>(now - state.last_access);
+      entries.push_back({key,
+                         static_cast<std::uint64_t>(
+                             std::max<std::int64_t>(0, age.count())),
+                         state.reads, state.cold_reads,
+                         static_cast<std::uint8_t>(state.tier)});
+    }
+  }
+  Encoder enc(64 + entries.size() * 48);
+  enc.PutU32(kTierStatsMagic);
+  enc.PutU8(kTierFormatVersion);
+  enc.PutVarint(entries.size());
+  for (const Entry& e : entries) {
+    enc.PutString(e.key);
+    enc.PutVarint(e.age_ns);
+    enc.PutVarint(e.reads);
+    enc.PutVarint(e.cold_reads);
+    enc.PutU8(e.tier);
+  }
+  enc.PutU32(Crc32c(enc.buffer()));
+  return std::move(enc).Take();
+}
+
+Status TieringStore::LoadAccessStats(ByteSpan data) {
+  if (data.size() < 4) return ErrStatus(Errc::kIo, "tier stats: truncated");
+  const std::uint32_t stored_crc =
+      static_cast<std::uint32_t>(data[data.size() - 4]) |
+      static_cast<std::uint32_t>(data[data.size() - 3]) << 8 |
+      static_cast<std::uint32_t>(data[data.size() - 2]) << 16 |
+      static_cast<std::uint32_t>(data[data.size() - 1]) << 24;
+  if (stored_crc != Crc32c(data.subspan(0, data.size() - 4))) {
+    return ErrStatus(Errc::kIo, "tier stats: CRC mismatch");
+  }
+  Decoder dec(data.subspan(0, data.size() - 4));
+  ARKFS_ASSIGN_OR_RETURN(const auto magic, dec.GetU32());
+  if (magic != kTierStatsMagic) {
+    return ErrStatus(Errc::kIo, "tier stats: bad magic");
+  }
+  ARKFS_ASSIGN_OR_RETURN(const auto version, dec.GetU8());
+  if (version != kTierFormatVersion) {
+    return ErrStatus(Errc::kIo, "tier stats: unknown version");
+  }
+  ARKFS_ASSIGN_OR_RETURN(const auto count, dec.GetVarint());
+  const TimePoint now = Now();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ARKFS_ASSIGN_OR_RETURN(const auto key, dec.GetString());
+    ARKFS_ASSIGN_OR_RETURN(const auto age_ns, dec.GetVarint());
+    ARKFS_ASSIGN_OR_RETURN(const auto reads, dec.GetVarint());
+    ARKFS_ASSIGN_OR_RETURN(const auto cold_reads, dec.GetVarint());
+    ARKFS_ASSIGN_OR_RETURN(const auto tier, dec.GetU8());
+    if (tier > static_cast<std::uint8_t>(CachedTier::kCold)) {
+      return ErrStatus(Errc::kIo, "tier stats: bad tier");
+    }
+    // Steady clocks restart with the process: ages were encoded relative
+    // to the writer's "now" and are reinstated relative to ours (capped so
+    // a garbage age cannot underflow the epoch).
+    const std::uint64_t capped =
+        std::min<std::uint64_t>(age_ns, static_cast<std::uint64_t>(
+                                            Seconds(30 * 24 * 3600).count()));
+    StateShard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    KeyState& state = shard.keys[key];
+    state.last_access = now - Nanos(static_cast<std::int64_t>(capped));
+    state.reads = reads;
+    state.cold_reads = static_cast<std::uint32_t>(cold_reads);
+    state.tier = static_cast<CachedTier>(tier);
+  }
+  if (!dec.done()) return ErrStatus(Errc::kIo, "tier stats: trailing bytes");
+  return Status::Ok();
+}
+
+TieringStore::Counters TieringStore::counters() const {
+  Counters c;
+  c.hot_gets = hot_gets_.value();
+  c.cold_gets = cold_gets_.value();
+  c.hot_puts = hot_puts_.value();
+  c.demotions = demotions_.value();
+  c.promotions = promotions_.value();
+  c.demoted_bytes = demoted_bytes_.value();
+  c.promoted_bytes = promoted_bytes_.value();
+  c.races = races_.value();
+  c.orphans_swept = orphans_swept_.value();
+  c.pointer_flips = pointer_flips_.value();
+  return c;
+}
+
+std::string TieringStore::StatsText() const {
+  std::size_t tracked = 0, hot = 0, cold = 0;
+  for (const StateShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    tracked += shard.keys.size();
+    for (const auto& [key, state] : shard.keys) {
+      (void)key;
+      if (state.tier == CachedTier::kHot) hot++;
+      if (state.tier == CachedTier::kCold) cold++;
+    }
+  }
+  const Counters c = counters();
+  std::string s;
+  s += "tracked=" + std::to_string(tracked);
+  s += " hot=" + std::to_string(hot);
+  s += " cold=" + std::to_string(cold);
+  s += " hot_gets=" + std::to_string(c.hot_gets);
+  s += " cold_gets=" + std::to_string(c.cold_gets);
+  s += " hot_puts=" + std::to_string(c.hot_puts);
+  s += "\n";
+  s += "demotions=" + std::to_string(c.demotions);
+  s += " promotions=" + std::to_string(c.promotions);
+  s += " demoted_bytes=" + std::to_string(c.demoted_bytes);
+  s += " promoted_bytes=" + std::to_string(c.promoted_bytes);
+  s += " races=" + std::to_string(c.races);
+  s += " orphans_swept=" + std::to_string(c.orphans_swept);
+  s += " pointer_flips=" + std::to_string(c.pointer_flips);
+  s += "\n";
+  return s;
+}
+
+// --- Migrator ---
+
+std::string MigrationReport::ToString() const {
+  std::string s;
+  s += "scanned=" + std::to_string(scanned);
+  s += " demoted=" + std::to_string(demoted);
+  s += " promoted=" + std::to_string(promoted);
+  s += " demote_failures=" + std::to_string(demote_failures);
+  s += " promote_failures=" + std::to_string(promote_failures);
+  s += " races=" + std::to_string(races);
+  s += " orphans_swept=" + std::to_string(orphans_swept);
+  s += " demoted_bytes=" + std::to_string(demoted_bytes);
+  return s;
+}
+
+Migrator::Migrator(TieringStorePtr store, MigratorOptions options)
+    : options_(std::move(options)), store_(std::move(store)) {
+  passes_.Attach(options_.metrics, "tier.migrate.passes");
+  scanned_.Attach(options_.metrics, "tier.migrate.scanned");
+  demoted_.Attach(options_.metrics, "tier.migrate.demoted");
+  promoted_.Attach(options_.metrics, "tier.migrate.promoted");
+  demote_failures_.Attach(options_.metrics, "tier.migrate.demote_failures");
+  promote_failures_.Attach(options_.metrics, "tier.migrate.promote_failures");
+  orphans_swept_.Attach(options_.metrics, "tier.migrate.orphans_swept");
+  races_.Attach(options_.metrics, "tier.migrate.races");
+  last_scanned_.Attach(options_.metrics, "tier.migrate.last_scanned");
+  last_demoted_.Attach(options_.metrics, "tier.migrate.last_demoted");
+}
+
+Migrator::~Migrator() { Stop(); }
+
+void Migrator::Pace() {
+  if (options_.objects_per_sec <= 0) return;
+  const auto period =
+      Nanos(static_cast<std::int64_t>(1e9 / options_.objects_per_sec));
+  TimePoint slot;
+  {
+    std::lock_guard<std::mutex> lock(pace_mu_);
+    slot = std::max(next_slot_, Now());
+    next_slot_ = slot + period;
+  }
+  const auto delay = slot - Now();
+  if (delay > Nanos(0)) SleepFor(std::chrono::duration_cast<Nanos>(delay));
+}
+
+void Migrator::ProcessKey(const std::string& key, MigrationReport* report,
+                          std::mutex* report_mu) {
+  Pace();
+  MigrationReport local;
+  auto probe_or = store_->ProbeTier(key);
+  if (!probe_or.ok()) {
+    // Unreachable this pass (e.g. the hot primary is down): retried later.
+    std::lock_guard<std::mutex> lock(*report_mu);
+    report->scanned++;
+    report->demote_failures++;
+    return;
+  }
+  const TieringStore::TierProbe& probe = *probe_or;
+  local.scanned = 1;
+  if (probe.hot_exists && probe.cold_exists) {
+    // Crash leftover: both copies resident ("double-charge"). Reconcile
+    // picks the authoritative side and sweeps the orphan.
+    auto swept = store_->ReconcileObject(key);
+    if (swept.ok()) {
+      local.orphans_swept = static_cast<std::uint64_t>(*swept);
+    } else {
+      local.demote_failures = 1;
+    }
+  } else if (!probe.hot_exists && probe.cold_exists) {
+    // Cold-resident: promote on read heat.
+    if (options_.promote_reads > 0 &&
+        probe.cold_reads >= options_.promote_reads) {
+      Status st = store_->PromoteObject(key);
+      if (st.ok()) {
+        local.promoted = 1;
+      } else if (st.code() == Errc::kAgain) {
+        local.races = 1;
+      } else if (st.code() != Errc::kNoEnt) {
+        local.promote_failures = 1;
+      }
+    }
+  } else if (probe.hot_exists) {
+    if (probe.pointer && probe.pointer->tier == Tier::kCold) {
+      // Pointer contradicts residency (no cold copy survives): repair it.
+      auto swept = store_->ReconcileObject(key);
+      if (swept.ok()) local.orphans_swept = static_cast<std::uint64_t>(*swept);
+    }
+    // Hot-resident: demote once idle long enough. Keys the stats plane has
+    // never seen get their clock seeded now and age from this pass.
+    const bool force = options_.demote_after.count() == 0;
+    if (!probe.ever_accessed && !force) {
+      store_->SeedAccess(key);
+    } else if (force ||
+               (probe.ever_accessed && probe.idle >= options_.demote_after)) {
+      Status st = store_->DemoteObject(key);
+      if (st.ok()) {
+        local.demoted = 1;
+        local.demoted_bytes = probe.hot_size;
+      } else if (st.code() == Errc::kAgain) {
+        local.races = 1;
+      } else if (st.code() != Errc::kNoEnt) {
+        local.demote_failures = 1;
+      }
+    }
+  } else if (probe.pointer) {
+    // No copy anywhere but a pointer record survives: reclaim it.
+    auto swept = store_->ReconcileObject(key);
+    if (swept.ok()) local.orphans_swept = static_cast<std::uint64_t>(*swept);
+  }
+  std::lock_guard<std::mutex> lock(*report_mu);
+  report->scanned += local.scanned;
+  report->demoted += local.demoted;
+  report->promoted += local.promoted;
+  report->demote_failures += local.demote_failures;
+  report->promote_failures += local.promote_failures;
+  report->races += local.races;
+  report->orphans_swept += local.orphans_swept;
+  report->demoted_bytes += local.demoted_bytes;
+}
+
+Result<MigrationReport> Migrator::RunOnce() {
+  ARKFS_ASSIGN_OR_RETURN(const auto keys,
+                         store_->ListTiered(options_.prefix));
+  MigrationReport report;
+  std::mutex report_mu;
+  ThreadPool pool(static_cast<std::size_t>(std::max(1, options_.threads)));
+  WaitGroup wg;
+  for (const auto& key : keys) {
+    wg.Add();
+    pool.Submit([this, &key, &report, &report_mu, &wg] {
+      ProcessKey(key, &report, &report_mu);
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  pool.Shutdown();
+
+  passes_.Add();
+  scanned_.Add(report.scanned);
+  demoted_.Add(report.demoted);
+  promoted_.Add(report.promoted);
+  demote_failures_.Add(report.demote_failures);
+  promote_failures_.Add(report.promote_failures);
+  orphans_swept_.Add(report.orphans_swept);
+  races_.Add(report.races);
+  last_scanned_.Set(report.scanned);
+  last_demoted_.Set(report.demoted);
+  {
+    std::lock_guard<std::mutex> lock(last_mu_);
+    last_ = report;
+    ever_ran_ = true;
+  }
+  return report;
+}
+
+void Migrator::Start() {
+  if (running_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = false;
+  }
+  background_ = std::thread([this] { BackgroundMain(); });
+}
+
+void Migrator::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (background_.joinable()) background_.join();
+}
+
+void Migrator::BackgroundMain() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mu_);
+      stop_cv_.wait_for(lock, options_.interval, [this] { return stop_; });
+      if (stop_) return;
+    }
+    (void)RunOnce();
+  }
+}
+
+std::string Migrator::ReportText() const {
+  std::string s;
+  s += "passes=" + std::to_string(passes_.value());
+  s += " scanned=" + std::to_string(scanned_.value());
+  s += " demoted=" + std::to_string(demoted_.value());
+  s += " promoted=" + std::to_string(promoted_.value());
+  s += " demote_failures=" + std::to_string(demote_failures_.value());
+  s += " promote_failures=" + std::to_string(promote_failures_.value());
+  s += " orphans_swept=" + std::to_string(orphans_swept_.value());
+  s += " races=" + std::to_string(races_.value());
+  s += "\n";
+  {
+    std::lock_guard<std::mutex> lock(last_mu_);
+    if (ever_ran_) {
+      s += "last pass: " + last_.ToString() + "\n";
+    } else {
+      s += "last pass: (none)\n";
+    }
+  }
+  return s;
+}
+
+}  // namespace arkfs

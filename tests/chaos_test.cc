@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env_config.h"
 #include "core/cluster.h"
 #include "journal/record.h"
 #include "obs/metrics.h"
@@ -30,6 +31,7 @@
 #include "objstore/cluster_store.h"
 #include "objstore/memory_store.h"
 #include "objstore/retrying_store.h"
+#include "objstore/stack_builder.h"
 #include "objstore/wrappers.h"
 
 namespace arkfs {
@@ -304,13 +306,17 @@ class ChaosE2eTest : public ::testing::Test {
 };
 
 TEST_F(ChaosE2eTest, MdtestWorkloadAtFivePercentFaults) {
-  auto chaos = std::make_shared<ChaosStore>(
-      std::make_shared<MemoryObjectStore>(), ChaosConfig::Flaky(42, 5.0));
   obs::MetricsRegistry registry;
-  auto retrying = std::make_shared<RetryingStore>(
-      chaos, RetryPolicy::ForTests(), &registry);
+  auto stack = objstore::StackBuilder()
+                   .Metrics(&registry)
+                   .Base(std::make_shared<MemoryObjectStore>())
+                   .Chaos(ChaosConfig::Flaky(42, 5.0))
+                   .Retrying(RetryPolicy::ForTests())
+                   .Build()
+                   .value();
   auto cluster =
-      ArkFsCluster::Create(retrying, ArkFsClusterOptions::ForTests()).value();
+      ArkFsCluster::Create(stack.store, ArkFsClusterOptions::ForTests())
+          .value();
   auto fs = cluster->AddClient().value();
 
   const auto acked = RunAckedWorkload(*fs, root_, 4, 25);
@@ -490,12 +496,9 @@ TEST_F(ChaosE2eTest, EcColdReadsSurviveRollingNodeKills) {
 //  * at most one replica claims active at any sampled instant;
 //  * no client ever commits under a deposed epoch (fence_violations == 0).
 TEST_F(ChaosE2eTest, ManagerFailoverRollingKillsLoseNoAckedOps) {
-  std::uint64_t seed;
-  if (const char* env = std::getenv("ARKFS_CHAOS_SEED")) {
-    seed = std::strtoull(env, nullptr, 10);
-  } else {
-    seed = std::random_device{}();
-  }
+  const std::uint64_t seed =
+      env::EnvConfig::FromEnvironment().chaos_seed().value_or(
+          std::random_device{}());
   std::cerr << "[chaos] ARKFS_CHAOS_SEED=" << seed
             << " (re-run with this env var to reproduce)\n";
   RecordProperty("chaos_seed", std::to_string(seed));
@@ -591,12 +594,9 @@ TEST_F(ChaosE2eTest, ManagerFailoverRollingKillsLoseNoAckedOps) {
 // creates ack before their frames hit the store. Zero fence violations, as
 // in the async variant.
 TEST_F(ChaosE2eTest, GroupCommitRollingKillsLoseNoAckedDurableOps) {
-  std::uint64_t seed;
-  if (const char* env = std::getenv("ARKFS_CHAOS_SEED")) {
-    seed = std::strtoull(env, nullptr, 10);
-  } else {
-    seed = std::random_device{}();
-  }
+  const std::uint64_t seed =
+      env::EnvConfig::FromEnvironment().chaos_seed().value_or(
+          std::random_device{}());
   std::cerr << "[chaos] ARKFS_CHAOS_SEED=" << seed
             << " (re-run with this env var to reproduce)\n";
   RecordProperty("chaos_seed", std::to_string(seed));
@@ -695,12 +695,9 @@ TEST_F(ChaosE2eTest, GroupCommitRollingKillsLoseNoAckedDurableOps) {
 //    advance, and a slice behind the observed watermark refetches);
 //  * fencing — zero deposed-epoch commits, exactly as without delegations.
 TEST_F(ChaosE2eTest, DelegatedReadsStayInWatermarkBoundAcrossFailover) {
-  std::uint64_t seed;
-  if (const char* env = std::getenv("ARKFS_CHAOS_SEED")) {
-    seed = std::strtoull(env, nullptr, 10);
-  } else {
-    seed = std::random_device{}();
-  }
+  const std::uint64_t seed =
+      env::EnvConfig::FromEnvironment().chaos_seed().value_or(
+          std::random_device{}());
   std::cerr << "[chaos] ARKFS_CHAOS_SEED=" << seed
             << " (re-run with this env var to reproduce)\n";
   RecordProperty("chaos_seed", std::to_string(seed));
@@ -828,12 +825,9 @@ TEST_F(ChaosE2eTest, DelegatedReadsStayInWatermarkBoundAcrossFailover) {
 // replay: ARKFS_CHAOS_SEED=12345 ctest -L chaos -R RandomizedSeedSweep
 
 TEST_F(ChaosE2eTest, RandomizedSeedSweep) {
-  std::uint64_t seed;
-  if (const char* env = std::getenv("ARKFS_CHAOS_SEED")) {
-    seed = std::strtoull(env, nullptr, 10);
-  } else {
-    seed = std::random_device{}();
-  }
+  const std::uint64_t seed =
+      env::EnvConfig::FromEnvironment().chaos_seed().value_or(
+          std::random_device{}());
   std::cerr << "[chaos] ARKFS_CHAOS_SEED=" << seed
             << " (re-run with this env var to reproduce)\n";
   RecordProperty("chaos_seed", std::to_string(seed));

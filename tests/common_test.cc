@@ -6,6 +6,7 @@
 
 #include "common/clock.h"
 #include "common/codec.h"
+#include "common/env_config.h"
 #include "common/mpmc_queue.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -274,6 +275,102 @@ TEST(FormatTest, HumanReadable) {
   EXPECT_NE(FormatOps(2500).find("K ops/s"), std::string::npos);
   EXPECT_NE(FormatBytes(3e9).find("GB/s"), std::string::npos);
   EXPECT_NE(FormatBytes(3e6).find("MB/s"), std::string::npos);
+}
+
+// --- EnvConfig: the one parser for ARKFS_* knobs ---
+
+// Scoped setenv/unsetenv so a failing assertion cannot leak a knob into
+// later tests.
+class EnvConfigTest : public ::testing::Test {
+ protected:
+  void Set(const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    touched_.insert(name);
+  }
+  void TearDown() override {
+    for (const auto& name : touched_) ::unsetenv(name.c_str());
+  }
+  std::set<std::string> touched_;
+};
+
+TEST_F(EnvConfigTest, DefaultsWhenUnset) {
+  const env::EnvConfig c = env::EnvConfig::FromEnvironment();
+  EXPECT_EQ(c.placement(), "replica");
+  EXPECT_FALSE(c.tiering());
+  EXPECT_EQ(c.durability(), "");
+  EXPECT_FALSE(c.tenant().has_value());
+  EXPECT_FALSE(c.bench_verbose());
+  EXPECT_FALSE(c.chaos_seed().has_value());
+  for (const env::Knob& knob : c.knobs()) {
+    EXPECT_TRUE(knob.valid) << knob.name;
+    EXPECT_FALSE(knob.from_env) << knob.name;
+  }
+}
+
+TEST_F(EnvConfigTest, ParsesEveryKnob) {
+  Set("ARKFS_PLACEMENT", "tiered");
+  Set("ARKFS_TIERING", "on");
+  Set("ARKFS_DURABILITY", "group");
+  Set("ARKFS_TENANT", "42");
+  Set("ARKFS_BENCH_VERBOSE", "1");
+  Set("ARKFS_CHAOS_SEED", "12345");
+  const env::EnvConfig c = env::EnvConfig::FromEnvironment();
+  EXPECT_EQ(c.placement(), "tiered");
+  EXPECT_TRUE(c.tiering());
+  EXPECT_EQ(c.durability(), "group");
+  ASSERT_TRUE(c.tenant().has_value());
+  EXPECT_EQ(*c.tenant(), 42u);
+  EXPECT_TRUE(c.bench_verbose());
+  ASSERT_TRUE(c.chaos_seed().has_value());
+  EXPECT_EQ(*c.chaos_seed(), 12345u);
+  const env::Knob* knob = c.Find("ARKFS_PLACEMENT");
+  ASSERT_NE(knob, nullptr);
+  EXPECT_TRUE(knob->from_env);
+  EXPECT_TRUE(knob->valid);
+  EXPECT_EQ(knob->raw, "tiered");
+  EXPECT_EQ(c.Find("ARKFS_NO_SUCH_KNOB"), nullptr);
+}
+
+TEST_F(EnvConfigTest, MalformedValuesKeepDefaultsAndReport) {
+  Set("ARKFS_PLACEMENT", "raid6");
+  Set("ARKFS_TIERING", "maybe");
+  Set("ARKFS_DURABILITY", "eventually");
+  Set("ARKFS_TENANT", "-3");
+  Set("ARKFS_CHAOS_SEED", "0x10");
+  const env::EnvConfig c = env::EnvConfig::FromEnvironment();
+  // Typed accessors fall back to the defaults...
+  EXPECT_EQ(c.placement(), "replica");
+  EXPECT_FALSE(c.tiering());
+  EXPECT_EQ(c.durability(), "");
+  EXPECT_FALSE(c.tenant().has_value());
+  EXPECT_FALSE(c.chaos_seed().has_value());
+  // ...and the knob table records what went wrong for `arkfs_cli config`.
+  for (const char* name : {"ARKFS_PLACEMENT", "ARKFS_TIERING",
+                           "ARKFS_DURABILITY", "ARKFS_TENANT",
+                           "ARKFS_CHAOS_SEED"}) {
+    const env::Knob* knob = c.Find(name);
+    ASSERT_NE(knob, nullptr) << name;
+    EXPECT_TRUE(knob->from_env) << name;
+    EXPECT_FALSE(knob->valid) << name;
+    EXPECT_FALSE(knob->error.empty()) << name;
+  }
+  EXPECT_NE(c.DumpText().find("error="), std::string::npos);
+}
+
+TEST_F(EnvConfigTest, DumpTextListsEveryKnobOnce) {
+  const env::EnvConfig c = env::EnvConfig::FromEnvironment();
+  const std::string dump = c.DumpText();
+  for (const char* name : {"ARKFS_PLACEMENT", "ARKFS_TIERING",
+                           "ARKFS_DURABILITY", "ARKFS_TENANT",
+                           "ARKFS_BENCH_VERBOSE", "ARKFS_CHAOS_SEED"}) {
+    // Anchor on "NAME source=" — knob descriptions may cross-reference
+    // other knobs by name.
+    const std::string line = std::string(name) + " source=";
+    const std::size_t first = dump.find(line);
+    EXPECT_NE(first, std::string::npos) << name;
+    EXPECT_EQ(dump.find(line, first + 1), std::string::npos)
+        << name << " listed twice";
+  }
 }
 
 }  // namespace

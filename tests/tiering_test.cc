@@ -1,0 +1,735 @@
+// Tests for the tiered data path: the tier-pointer codec (strict, same bar
+// as the EC stripe manifest), TieringStore placement/migration semantics,
+// the Migrator policy loop, crash safety of the copy->flip->sweep protocol
+// under injected faults, and the StackBuilder's canonical-order enforcement.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "objstore/cluster_store.h"
+#include "objstore/memory_store.h"
+#include "objstore/stack_builder.h"
+#include "objstore/tiering_store.h"
+#include "objstore/wrappers.h"
+
+namespace arkfs {
+namespace {
+
+Bytes Payload(int seed, std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>((seed * 131 + static_cast<int>(i)) & 0xff);
+  }
+  return b;
+}
+
+bool IsDataKey(const std::string& key) {
+  return !key.empty() && key.front() == 'd';
+}
+
+// --- tier pointer codec: strict decode, same bar as the EC manifest ---
+
+TierPointer TestPointer() {
+  TierPointer p;
+  p.tier = Tier::kCold;
+  p.gen = 41;
+  p.object_size = 123456;
+  p.content_crc = 0xA0B0C0D0u;
+  return p;
+}
+
+TEST(TierPointerCodec, RoundTrip) {
+  const TierPointer p = TestPointer();
+  auto decoded = DecodeTierPointer(EncodeTierPointer(p));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->tier, p.tier);
+  EXPECT_EQ(decoded->gen, p.gen);
+  EXPECT_EQ(decoded->object_size, p.object_size);
+  EXPECT_EQ(decoded->content_crc, p.content_crc);
+}
+
+TEST(TierPointerCodec, RejectsEveryTruncationAndBitFlip) {
+  const Bytes encoded = EncodeTierPointer(TestPointer());
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    Bytes truncated(encoded.begin(),
+                    encoded.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(DecodeTierPointer(truncated).ok())
+        << "decoded a " << len << "-byte torn prefix";
+  }
+  Bytes padded = encoded;
+  padded.push_back(0x5a);
+  EXPECT_FALSE(DecodeTierPointer(padded).ok()) << "trailing garbage";
+  for (std::size_t byte = 0; byte < encoded.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes flipped = encoded;
+      flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(DecodeTierPointer(flipped).ok())
+          << "decoded with bit " << bit << " of byte " << byte << " flipped";
+    }
+  }
+}
+
+TEST(TierPointerCodec, KeyClassification) {
+  const std::string key = "dabc.0000000000000001";
+  std::string logical;
+  EXPECT_EQ(ClassifyTierKey(key, &logical), TierKeyKind::kLogical);
+  EXPECT_EQ(logical, key);
+  EXPECT_EQ(ClassifyTierKey(TierPointerKey(key), &logical),
+            TierKeyKind::kPointer);
+  EXPECT_EQ(logical, key);
+  EXPECT_EQ(ClassifyTierKey(ColdCopyKey(key), &logical),
+            TierKeyKind::kColdCopy);
+  EXPECT_EQ(logical, key);
+}
+
+// --- TieringStore semantics over a memory store ---
+//
+// The cold tier is left null (cold copies are plain base objects) so every
+// assertion sees raw residency; the EC-cold composition is covered by
+// TieringSmoke below.
+
+class TieringStoreTest : public ::testing::Test {
+ protected:
+  TieringStoreTest() {
+    mem_ = std::make_shared<MemoryObjectStore>();
+    counting_ = std::make_shared<CountingStore>(mem_, &registry_);
+    TieringOptions options;
+    options.should_tier = IsDataKey;
+    options.metrics = &registry_;
+    tiering_ = std::make_shared<TieringStore>(counting_, options);
+  }
+
+  obs::MetricsRegistry registry_;
+  std::shared_ptr<MemoryObjectStore> mem_;
+  std::shared_ptr<CountingStore> counting_;
+  TieringStorePtr tiering_;
+};
+
+TEST_F(TieringStoreTest, HotPathAddsNoExtraIo) {
+  const Bytes data = Payload(1, 512);
+  ASSERT_TRUE(tiering_->Put("d-hot", data).ok());
+  auto got = tiering_->Get("d-hot");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+  // Fresh ingest + hot read are byte-identical to the un-tiered layout:
+  // exactly one base put and one base get, no pointer records touched.
+  const CountingStore::Counters c = counting_->Snapshot();
+  EXPECT_EQ(c.puts, 1u);
+  EXPECT_EQ(c.gets, 1u);
+  EXPECT_FALSE(mem_->Head(TierPointerKey("d-hot")).ok());
+}
+
+TEST_F(TieringStoreTest, DemoteThenReadServesColdBytes) {
+  const Bytes data = Payload(2, 2048);
+  ASSERT_TRUE(tiering_->Put("d-x", data).ok());
+  ASSERT_TRUE(tiering_->DemoteObject("d-x").ok());
+
+  auto probe = tiering_->ProbeTier("d-x");
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(probe->hot_exists);
+  EXPECT_TRUE(probe->cold_exists);
+  ASSERT_TRUE(probe->pointer.has_value());
+  EXPECT_EQ(probe->pointer->tier, Tier::kCold);
+  EXPECT_EQ(probe->pointer->gen, 1u);
+  EXPECT_EQ(probe->pointer->object_size, data.size());
+  EXPECT_EQ(probe->pointer->content_crc, Crc32c(data));
+
+  auto got = tiering_->Get("d-x");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+  auto ranged = tiering_->GetRange("d-x", 100, 50);
+  ASSERT_TRUE(ranged.ok());
+  EXPECT_EQ(*ranged, Bytes(data.begin() + 100, data.begin() + 150));
+
+  const TieringStore::Counters c = tiering_->counters();
+  EXPECT_EQ(c.demotions, 1u);
+  EXPECT_EQ(c.demoted_bytes, data.size());
+  EXPECT_GE(c.cold_gets, 2u);
+}
+
+TEST_F(TieringStoreTest, PromoteRestoresHotCopy) {
+  const Bytes data = Payload(3, 1024);
+  ASSERT_TRUE(tiering_->Put("d-p", data).ok());
+  ASSERT_TRUE(tiering_->DemoteObject("d-p").ok());
+  ASSERT_TRUE(tiering_->PromoteObject("d-p").ok());
+
+  auto probe = tiering_->ProbeTier("d-p");
+  ASSERT_TRUE(probe.ok());
+  EXPECT_TRUE(probe->hot_exists);
+  EXPECT_FALSE(probe->cold_exists);
+  ASSERT_TRUE(probe->pointer.has_value());
+  EXPECT_EQ(probe->pointer->tier, Tier::kHot);
+  EXPECT_EQ(probe->pointer->gen, 2u);  // monotonic across flips
+
+  auto got = tiering_->Get("d-p");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+  EXPECT_EQ(tiering_->counters().promotions, 1u);
+  // Nothing cold left to promote.
+  EXPECT_EQ(tiering_->PromoteObject("d-p").code(), Errc::kNoEnt);
+}
+
+TEST_F(TieringStoreTest, OverwriteAfterDemotionFlipsBack) {
+  ASSERT_TRUE(tiering_->Put("d-o", Payload(4, 256)).ok());
+  ASSERT_TRUE(tiering_->DemoteObject("d-o").ok());
+  const Bytes fresh = Payload(5, 300);
+  ASSERT_TRUE(tiering_->Put("d-o", fresh).ok());
+
+  auto got = tiering_->Get("d-o");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, fresh);
+  // The inline flip-back swept the stale cold copy and re-pointed hot.
+  auto probe = tiering_->ProbeTier("d-o");
+  ASSERT_TRUE(probe.ok());
+  EXPECT_TRUE(probe->hot_exists);
+  EXPECT_FALSE(probe->cold_exists);
+  ASSERT_TRUE(probe->pointer.has_value());
+  EXPECT_EQ(probe->pointer->tier, Tier::kHot);
+}
+
+TEST_F(TieringStoreTest, DeleteRemovesEveryResidentCopy) {
+  ASSERT_TRUE(tiering_->Put("d-del", Payload(6, 128)).ok());
+  ASSERT_TRUE(tiering_->DemoteObject("d-del").ok());
+  ASSERT_TRUE(tiering_->Delete("d-del").ok());
+  EXPECT_FALSE(mem_->Head("d-del").ok());
+  EXPECT_FALSE(mem_->Head(TierPointerKey("d-del")).ok());
+  EXPECT_FALSE(mem_->Head(ColdCopyKey("d-del")).ok());
+  EXPECT_EQ(tiering_->Get("d-del").status().code(), Errc::kNoEnt);
+}
+
+TEST_F(TieringStoreTest, ListFoldsInternalKeysToLogical) {
+  ASSERT_TRUE(tiering_->Put("d-a", Payload(7, 64)).ok());
+  ASSERT_TRUE(tiering_->Put("d-b", Payload(8, 64)).ok());
+  ASSERT_TRUE(tiering_->DemoteObject("d-b").ok());
+  auto listed = tiering_->List("d-");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(*listed, (std::vector<std::string>{"d-a", "d-b"}));
+  auto tiered = tiering_->ListTiered("d-");
+  ASSERT_TRUE(tiered.ok());
+  EXPECT_EQ(*tiered, (std::vector<std::string>{"d-a", "d-b"}));
+}
+
+TEST_F(TieringStoreTest, NonTieredAndSentinelKeysPassThrough) {
+  EXPECT_FALSE(tiering_->Tiers("meta-x"));       // predicate rejects
+  EXPECT_FALSE(tiering_->Tiers("d-x..tp"));      // reserved namespaces
+  EXPECT_FALSE(tiering_->Tiers("d-x..cold"));
+  EXPECT_FALSE(tiering_->Tiers("d-x..ecm0000"));
+  EXPECT_TRUE(tiering_->Tiers("d-x"));
+
+  ASSERT_TRUE(tiering_->Put("meta-x", Payload(9, 32)).ok());
+  EXPECT_TRUE(mem_->Head("meta-x").ok());
+  EXPECT_EQ(tiering_->DemoteObject("meta-x").code(), Errc::kInval);
+  EXPECT_EQ(tiering_->ProbeTier("meta-x").status().code(), Errc::kInval);
+}
+
+TEST_F(TieringStoreTest, PutRangeOnColdResidentIsNotSup) {
+  const Bytes data = Payload(10, 512);
+  ASSERT_TRUE(tiering_->Put("d-r", data).ok());
+  ASSERT_TRUE(tiering_->PutRange("d-r", 0, Payload(11, 16)).ok());
+  ASSERT_TRUE(tiering_->DemoteObject("d-r").ok());
+  // Partial writes never land next to a cold-resident copy: the PRT falls
+  // back to read-modify-write (a whole-object Put) on kNotSup.
+  EXPECT_EQ(tiering_->PutRange("d-r", 0, Payload(12, 16)).code(),
+            Errc::kNotSup);
+}
+
+TEST_F(TieringStoreTest, ReconcileCompletesCrashedDemotion) {
+  // Crash state: demotion died between the flip and the sweep — both copies
+  // resident, pointer covers the (byte-identical) hot copy.
+  const Bytes data = Payload(13, 777);
+  ASSERT_TRUE(mem_->Put("d-c", data).ok());
+  ASSERT_TRUE(mem_->Put(ColdCopyKey("d-c"), data).ok());
+  TierPointer p;
+  p.tier = Tier::kCold;
+  p.gen = 1;
+  p.object_size = data.size();
+  p.content_crc = Crc32c(data);
+  ASSERT_TRUE(mem_->Put(TierPointerKey("d-c"), EncodeTierPointer(p)).ok());
+
+  auto swept = tiering_->ReconcileObject("d-c");
+  ASSERT_TRUE(swept.ok());
+  EXPECT_EQ(*swept, 1);
+  EXPECT_FALSE(mem_->Head("d-c").ok());  // sweep completed
+  EXPECT_TRUE(mem_->Head(ColdCopyKey("d-c")).ok());
+  auto got = tiering_->Get("d-c");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+  // Second pass finds nothing to do.
+  swept = tiering_->ReconcileObject("d-c");
+  ASSERT_TRUE(swept.ok());
+  EXPECT_EQ(*swept, 0);
+}
+
+TEST_F(TieringStoreTest, ReconcileHotWinsOnContentMismatch) {
+  // Crash state: an overwrite landed after a demotion's flip — the hot copy
+  // no longer matches the pointer's CRC, so it wins and the cold copy goes.
+  const Bytes stale = Payload(14, 400);
+  const Bytes fresh = Payload(15, 500);
+  ASSERT_TRUE(mem_->Put("d-w", fresh).ok());
+  ASSERT_TRUE(mem_->Put(ColdCopyKey("d-w"), stale).ok());
+  TierPointer p;
+  p.tier = Tier::kCold;
+  p.gen = 3;
+  p.object_size = stale.size();
+  p.content_crc = Crc32c(stale);
+  ASSERT_TRUE(mem_->Put(TierPointerKey("d-w"), EncodeTierPointer(p)).ok());
+
+  auto swept = tiering_->ReconcileObject("d-w");
+  ASSERT_TRUE(swept.ok());
+  EXPECT_EQ(*swept, 1);
+  EXPECT_FALSE(mem_->Head(ColdCopyKey("d-w")).ok());
+  auto got = tiering_->Get("d-w");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, fresh);
+  auto probe = tiering_->ProbeTier("d-w");
+  ASSERT_TRUE(probe.ok());
+  ASSERT_TRUE(probe->pointer.has_value());
+  EXPECT_EQ(probe->pointer->tier, Tier::kHot);
+  EXPECT_EQ(probe->pointer->gen, 4u);
+}
+
+TEST_F(TieringStoreTest, ReconcileReclaimsDanglingPointer) {
+  TierPointer p;
+  p.tier = Tier::kCold;
+  p.gen = 9;
+  ASSERT_TRUE(mem_->Put(TierPointerKey("d-gone"), EncodeTierPointer(p)).ok());
+  auto swept = tiering_->ReconcileObject("d-gone");
+  ASSERT_TRUE(swept.ok());
+  EXPECT_EQ(*swept, 1);
+  EXPECT_FALSE(mem_->Head(TierPointerKey("d-gone")).ok());
+}
+
+TEST_F(TieringStoreTest, CorruptPointerSalvagesViaColdCopy) {
+  const Bytes data = Payload(16, 640);
+  ASSERT_TRUE(tiering_->Put("d-s", data).ok());
+  ASSERT_TRUE(tiering_->DemoteObject("d-s").ok());
+  // Rot the pointer record; a fresh reader (no cached tier) must still
+  // salvage the bytes through the cold copy.
+  ASSERT_TRUE(mem_->Put(TierPointerKey("d-s"), AsBytes("garbage")).ok());
+  TieringOptions options;
+  options.should_tier = IsDataKey;
+  options.metrics = &registry_;
+  TieringStore fresh(counting_, options);
+  auto got = fresh.Get("d-s");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+}
+
+TEST_F(TieringStoreTest, AccessStatsRoundTripAndStrictLoad) {
+  ASSERT_TRUE(tiering_->Put("d-st", Payload(17, 64)).ok());
+  ASSERT_TRUE(tiering_->Get("d-st").ok());
+  ASSERT_TRUE(tiering_->DemoteObject("d-st").ok());
+  ASSERT_TRUE(tiering_->Get("d-st").ok());  // a cold read
+  EXPECT_TRUE(tiering_->ConsumeStatsDirty());
+
+  const Bytes blob = tiering_->EncodeAccessStats();
+  TieringOptions options;
+  options.should_tier = IsDataKey;
+  options.metrics = &registry_;
+  TieringStore restarted(counting_, options);
+  ASSERT_TRUE(restarted.LoadAccessStats(blob).ok());
+  auto probe = restarted.ProbeTier("d-st");
+  ASSERT_TRUE(probe.ok());
+  EXPECT_TRUE(probe->ever_accessed);
+  EXPECT_EQ(probe->cold_reads, 1u);
+
+  // The blob itself decodes strictly (the CALLER is what treats a load
+  // failure as tolerable — it only resets demotion timers).
+  Bytes corrupt = blob;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  TieringStore scratch(counting_, options);
+  EXPECT_FALSE(scratch.LoadAccessStats(corrupt).ok());
+  EXPECT_FALSE(scratch.LoadAccessStats(AsBytes("xy")).ok());
+}
+
+// --- Migrator policy ---
+
+TEST(MigratorTest, ForcedDemotionAndHeatDrivenPromotion) {
+  auto mem = std::make_shared<MemoryObjectStore>();
+  obs::MetricsRegistry registry;
+  TieringOptions topts;
+  topts.should_tier = IsDataKey;
+  topts.metrics = &registry;
+  auto tiering = std::make_shared<TieringStore>(mem, topts);
+  MigratorOptions mopts;
+  mopts.threads = 4;
+  mopts.demote_after = Nanos(0);  // demote on sight
+  mopts.promote_reads = 2;
+  mopts.metrics = &registry;
+  Migrator migrator(tiering, mopts);
+
+  const int kObjects = 6;
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < kObjects; ++i) {
+    payloads.push_back(Payload(20 + i, 256 + 17 * i));
+    ASSERT_TRUE(
+        tiering->Put("d-mig." + std::to_string(i), payloads.back()).ok());
+  }
+
+  auto report = migrator.RunOnce();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->scanned, static_cast<std::uint64_t>(kObjects));
+  EXPECT_EQ(report->demoted, static_cast<std::uint64_t>(kObjects));
+  EXPECT_EQ(report->races, 0u);
+
+  // Two cold reads per key cross the promote threshold; bytes stay intact.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < kObjects; ++i) {
+      auto got = tiering->Get("d-mig." + std::to_string(i));
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, payloads[static_cast<std::size_t>(i)]);
+    }
+  }
+  report = migrator.RunOnce();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->promoted, static_cast<std::uint64_t>(kObjects));
+  for (int i = 0; i < kObjects; ++i) {
+    auto probe = tiering->ProbeTier("d-mig." + std::to_string(i));
+    ASSERT_TRUE(probe.ok());
+    EXPECT_TRUE(probe->hot_exists);
+    EXPECT_FALSE(probe->cold_exists);
+  }
+  const TieringStore::Counters c = tiering->counters();
+  EXPECT_EQ(c.demotions, static_cast<std::uint64_t>(kObjects));
+  EXPECT_EQ(c.promotions, static_cast<std::uint64_t>(kObjects));
+}
+
+TEST(MigratorTest, SeedsUnseenKeysBeforeDemoting) {
+  // Pre-existing objects (a restart lost the stats blob) must NOT be
+  // demoted on an unknown age: the first pass seeds their clocks, and only
+  // a later pass — one full demote_after later — demotes them.
+  auto mem = std::make_shared<MemoryObjectStore>();
+  ASSERT_TRUE(mem->Put("d-old", Payload(30, 128)).ok());
+  TieringOptions topts;
+  topts.should_tier = IsDataKey;
+  auto tiering = std::make_shared<TieringStore>(mem, topts);
+  MigratorOptions mopts;
+  mopts.threads = 2;
+  mopts.demote_after = Millis(30);
+  mopts.promote_reads = 0;  // promotion disabled
+  Migrator migrator(tiering, mopts);
+
+  auto report = migrator.RunOnce();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->scanned, 1u);
+  EXPECT_EQ(report->demoted, 0u);
+  EXPECT_TRUE(mem->Head("d-old").ok());
+
+  SleepFor(Millis(40));
+  report = migrator.RunOnce();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->demoted, 1u);
+  EXPECT_FALSE(mem->Head("d-old").ok());
+  EXPECT_TRUE(mem->Head(ColdCopyKey("d-old")).ok());
+}
+
+// --- crash safety: every prefix of copy->flip->sweep keeps acked bytes ---
+//
+// A countdown fault hook cuts the store dead after N operations, freezing
+// the migration at every possible point — exactly the states a crash would
+// leave behind. After each "crash": reads must return the acked bytes,
+// reconcile must converge to a single resident copy, and a second
+// reconcile must find nothing left to sweep.
+
+class Countdown {
+ public:
+  FaultInjectionStore::FaultFn Hook() {
+    return [this](std::string_view, const std::string&) {
+      if (!armed_.load(std::memory_order_relaxed)) return Errc::kOk;
+      if (budget_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+        return Errc::kIo;
+      }
+      return Errc::kOk;
+    };
+  }
+  void Arm(int ops) {
+    budget_.store(ops, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_relaxed);
+  }
+  void Disarm() { armed_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::atomic<int> budget_{0};
+};
+
+class TieringCrashSafetyTest : public ::testing::Test {
+ protected:
+  TieringCrashSafetyTest() {
+    mem_ = std::make_shared<MemoryObjectStore>();
+    faulty_ = std::make_shared<FaultInjectionStore>(mem_, countdown_.Hook());
+    TieringOptions options;
+    options.should_tier = IsDataKey;
+    tiering_ = std::make_shared<TieringStore>(faulty_, options);
+  }
+
+  // Drives reconcile to a fixed point and checks the invariants every crash
+  // state must satisfy afterwards: the acked bytes are readable and at most
+  // one data copy is resident.
+  void VerifyConverges(const std::string& key, const Bytes& expect) {
+    auto got = tiering_->Get(key);
+    ASSERT_TRUE(got.ok()) << key << ": acked bytes lost after crash";
+    EXPECT_EQ(*got, expect) << key;
+    auto swept = tiering_->ReconcileObject(key);
+    ASSERT_TRUE(swept.ok()) << key;
+    swept = tiering_->ReconcileObject(key);
+    ASSERT_TRUE(swept.ok()) << key;
+    EXPECT_EQ(*swept, 0) << key << ": reconcile did not converge";
+    auto probe = tiering_->ProbeTier(key);
+    ASSERT_TRUE(probe.ok()) << key;
+    EXPECT_FALSE(probe->hot_exists && probe->cold_exists)
+        << key << ": double-resident after reconcile";
+    EXPECT_TRUE(probe->hot_exists || probe->cold_exists) << key;
+    got = tiering_->Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, expect) << key;
+  }
+
+  Countdown countdown_;
+  std::shared_ptr<MemoryObjectStore> mem_;
+  std::shared_ptr<FaultInjectionStore> faulty_;
+  TieringStorePtr tiering_;
+};
+
+TEST_F(TieringCrashSafetyTest, DemotionCrashesAtEveryStep) {
+  // Demotion touches the store ~5 times (hot get, cold put, pointer get,
+  // pointer put, hot delete); budgets 0..6 cover every torn prefix plus the
+  // clean run.
+  for (int budget = 0; budget <= 6; ++budget) {
+    const std::string key = "d-crash-demote-" + std::to_string(budget);
+    const Bytes data = Payload(40 + budget, 300 + 7 * budget);
+    ASSERT_TRUE(tiering_->Put(key, data).ok());
+    countdown_.Arm(budget);
+    (void)tiering_->DemoteObject(key);  // may fail at any step: a "crash"
+    countdown_.Disarm();
+    VerifyConverges(key, data);
+  }
+}
+
+TEST_F(TieringCrashSafetyTest, PromotionCrashesAtEveryStep) {
+  for (int budget = 0; budget <= 6; ++budget) {
+    const std::string key = "d-crash-promote-" + std::to_string(budget);
+    const Bytes data = Payload(50 + budget, 300 + 7 * budget);
+    ASSERT_TRUE(tiering_->Put(key, data).ok());
+    ASSERT_TRUE(tiering_->DemoteObject(key).ok());
+    countdown_.Arm(budget);
+    (void)tiering_->PromoteObject(key);
+    countdown_.Disarm();
+    VerifyConverges(key, data);
+  }
+}
+
+TEST_F(TieringCrashSafetyTest, OverwriteAfterCrashedDemotionWins) {
+  for (int budget = 0; budget <= 6; ++budget) {
+    const std::string key = "d-crash-ow-" + std::to_string(budget);
+    ASSERT_TRUE(tiering_->Put(key, Payload(60 + budget, 200)).ok());
+    countdown_.Arm(budget);
+    (void)tiering_->DemoteObject(key);
+    countdown_.Disarm();
+    // New acked bytes land on top of whatever the crash left behind; they
+    // must win over any stale cold copy or pointer.
+    const Bytes fresh = Payload(70 + budget, 250);
+    ASSERT_TRUE(tiering_->Put(key, fresh).ok());
+    VerifyConverges(key, fresh);
+  }
+}
+
+TEST_F(TieringCrashSafetyTest, MigratorPassSweepsCrashLeftovers) {
+  // Leave a mix of crash states behind, then let one unpaced migrator pass
+  // reconcile the lot (the "orphans swept next pass" acceptance).
+  std::vector<std::pair<std::string, Bytes>> acked;
+  for (int budget = 1; budget <= 4; ++budget) {
+    const std::string key = "d-sweep-" + std::to_string(budget);
+    const Bytes data = Payload(80 + budget, 128);
+    ASSERT_TRUE(tiering_->Put(key, data).ok());
+    countdown_.Arm(budget);
+    (void)tiering_->DemoteObject(key);
+    countdown_.Disarm();
+    acked.emplace_back(key, data);
+  }
+  MigratorOptions mopts;
+  mopts.threads = 2;
+  mopts.demote_after = Seconds(3600);  // no fresh demotions this pass
+  mopts.promote_reads = 0;
+  Migrator migrator(tiering_, mopts);
+  auto report = migrator.RunOnce();
+  ASSERT_TRUE(report.ok());
+  // A second pass finds a clean namespace.
+  report = migrator.RunOnce();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->orphans_swept, 0u);
+  for (const auto& [key, data] : acked) {
+    auto probe = tiering_->ProbeTier(key);
+    ASSERT_TRUE(probe.ok());
+    EXPECT_FALSE(probe->hot_exists && probe->cold_exists) << key;
+    auto got = tiering_->Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, data) << key;
+  }
+}
+
+// --- StackBuilder: the one canonical assembly path ---
+
+TEST(StackBuilderTest, CanonicalFullStackBuilds) {
+  obs::MetricsRegistry registry;
+  TieringOptions topts;
+  topts.should_tier = IsDataKey;
+  ChaosConfig quiet;  // all rates zero: composition only
+  auto built = objstore::StackBuilder()
+                   .Metrics(&registry)
+                   .Base(std::make_shared<MemoryObjectStore>())
+                   .Tiering(topts, MigratorOptions::ForTests())
+                   .Scrub(ScrubberOptions::ForTests())
+                   .Chaos(quiet)
+                   .Retrying(RetryPolicy::ForTests())
+                   .Latency()
+                   .Tracing()
+                   .Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const objstore::StoreStack& stack = *built;
+  EXPECT_NE(stack.base, nullptr);
+  EXPECT_NE(stack.ec, nullptr);  // the synthesized cold tier
+  EXPECT_NE(stack.tiering, nullptr);
+  EXPECT_NE(stack.migrator, nullptr);
+  EXPECT_NE(stack.scrubber, nullptr);
+  EXPECT_NE(stack.chaos, nullptr);
+  EXPECT_NE(stack.retrying, nullptr);
+  EXPECT_NE(stack.latency, nullptr);
+  EXPECT_NE(stack.tracing, nullptr);
+  ASSERT_EQ(stack.store, stack.tracing);  // top of the stack
+
+  const Bytes data = Payload(90, 128);
+  ASSERT_TRUE(stack.store->Put("d-sb", data).ok());
+  auto got = stack.store->Get("d-sb");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+}
+
+TEST(StackBuilderTest, ClusterEcScrubExposesTypedHandles) {
+  auto built = objstore::StackBuilder()
+                   .Cluster(ClusterConfig::Instant(6))
+                   .Ec(EcStoreOptions{})
+                   .Scrub(ScrubberOptions::ForTests())
+                   .Build();
+  ASSERT_TRUE(built.ok());
+  EXPECT_NE(built->cluster, nullptr);
+  EXPECT_NE(built->ec, nullptr);
+  EXPECT_NE(built->scrubber, nullptr);
+  EXPECT_EQ(built->tiering, nullptr);
+  EXPECT_EQ(built->store, built->ec);
+}
+
+TEST(StackBuilderTest, RejectsEveryOrderViolation) {
+  auto mem = [] { return std::make_shared<MemoryObjectStore>(); };
+  // Empty builder: nothing to stand on.
+  EXPECT_EQ(objstore::StackBuilder().Build().status().code(), Errc::kInval);
+  // A decorator before the bottom layer.
+  EXPECT_FALSE(objstore::StackBuilder()
+                   .Retrying(RetryPolicy::ForTests())
+                   .Base(mem())
+                   .Build()
+                   .ok());
+  // Reordered stages (retrying must sit ABOVE chaos).
+  EXPECT_FALSE(objstore::StackBuilder()
+                   .Base(mem())
+                   .Retrying(RetryPolicy::ForTests())
+                   .Chaos(ChaosConfig{})
+                   .Build()
+                   .ok());
+  // Repeated stage.
+  EXPECT_FALSE(objstore::StackBuilder().Base(mem()).Base(mem()).Build().ok());
+  // Two data-placement layers.
+  TieringOptions topts;
+  EXPECT_FALSE(objstore::StackBuilder()
+                   .Base(mem())
+                   .Ec(EcStoreOptions{})
+                   .Tiering(topts, MigratorOptions::ForTests())
+                   .Build()
+                   .ok());
+  // Scrub with no EC tier below it.
+  EXPECT_FALSE(objstore::StackBuilder()
+                   .Base(mem())
+                   .Scrub(ScrubberOptions::ForTests())
+                   .Build()
+                   .ok());
+  EXPECT_FALSE(objstore::StackBuilder().Base(nullptr).Build().ok());
+}
+
+// --- TieringSmoke: the ctest gate (ctest -L chaos) ---
+//
+// The full composition the cluster deploys under DataPlacement::kTiered:
+// cluster -> tiering with an EC cold tier. Ingest hot, demote (encode), read
+// the cold copies through a node outage (reconstruct-on-read), then promote
+// on read heat — one fast end-to-end pass CI can gate merges on.
+
+TEST(TieringSmoke, DemoteReadUnderOutagePromote) {
+  obs::MetricsRegistry registry;
+  TieringOptions topts;
+  topts.should_tier = IsDataKey;
+  MigratorOptions mopts;
+  mopts.threads = 4;
+  mopts.demote_after = Nanos(0);
+  mopts.promote_reads = 2;
+  auto built = objstore::StackBuilder()
+                   .Metrics(&registry)
+                   .Cluster(ClusterConfig::Instant(8))
+                   .Tiering(topts, mopts)
+                   .Build();
+  ASSERT_TRUE(built.ok());
+  objstore::StoreStack stack = *built;
+  ASSERT_NE(stack.cluster, nullptr);
+  ASSERT_NE(stack.ec, nullptr);
+
+  const int kObjects = 8;
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < kObjects; ++i) {
+    payloads.push_back(Payload(100 + i, 4096 + 257 * i));
+    ASSERT_TRUE(
+        stack.store->Put("dsmoke." + std::to_string(i), payloads.back()).ok());
+  }
+
+  // Demote everything: the cold copies are EC-encoded behind the pointers.
+  auto report = stack.migrator->RunOnce();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->demoted, static_cast<std::uint64_t>(kObjects));
+  for (int i = 0; i < kObjects; ++i) {
+    auto probe = stack.tiering->ProbeTier("dsmoke." + std::to_string(i));
+    ASSERT_TRUE(probe.ok());
+    EXPECT_FALSE(probe->hot_exists);
+    EXPECT_TRUE(probe->cold_exists);
+  }
+
+  // Cold reads survive a node outage (k=4, m=2 tolerates it).
+  stack.cluster->SetNodeDown(0, true);
+  for (int i = 0; i < kObjects; ++i) {
+    auto got = stack.store->Get("dsmoke." + std::to_string(i));
+    ASSERT_TRUE(got.ok()) << "cold read failed with node 0 down";
+    EXPECT_EQ(*got, payloads[static_cast<std::size_t>(i)]);
+  }
+  stack.cluster->SetNodeDown(0, false);
+
+  // A second read round crosses the promote threshold.
+  for (int i = 0; i < kObjects; ++i) {
+    ASSERT_TRUE(stack.store->Get("dsmoke." + std::to_string(i)).ok());
+  }
+  report = stack.migrator->RunOnce();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->promoted, static_cast<std::uint64_t>(kObjects));
+  for (int i = 0; i < kObjects; ++i) {
+    const std::string key = "dsmoke." + std::to_string(i);
+    auto probe = stack.tiering->ProbeTier(key);
+    ASSERT_TRUE(probe.ok());
+    EXPECT_TRUE(probe->hot_exists);
+    EXPECT_FALSE(probe->cold_exists);
+    auto got = stack.store->Get(key);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, payloads[static_cast<std::size_t>(i)]);
+  }
+  const TieringStore::Counters c = stack.tiering->counters();
+  EXPECT_EQ(c.demotions, static_cast<std::uint64_t>(kObjects));
+  EXPECT_EQ(c.promotions, static_cast<std::uint64_t>(kObjects));
+  EXPECT_EQ(c.races, 0u);
+}
+
+}  // namespace
+}  // namespace arkfs

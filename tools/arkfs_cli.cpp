@@ -17,22 +17,30 @@
 //   arkfs_cli <store-dir> objects          # dump the raw object keys
 //   arkfs_cli <store-dir> introspect [p]   # delegation cache + metrics plane
 //   arkfs_cli <store-dir> scrub            # one EC scrub pass + ec.* metrics
+//   arkfs_cli <store-dir> tier [status]    # hot/cold placement summary
+//   arkfs_cli <store-dir> tier migrate     # one migration pass (policy knobs)
+//   arkfs_cli <store-dir> tier demote      # one pass demoting everything idle
+//   arkfs_cli <store-dir> config           # dump every ARKFS_* knob
 //
 // Every invocation spins up a single-client deployment (client + lease
 // manager) over the disk store, performs the operation, and shuts down
 // cleanly (flush + lease release) — the "administrator process" usage the
 // paper targets.
 //
-// ARKFS_PLACEMENT=ec in the environment switches data chunks to the
-// erasure-coded archive tier (k=4/m=2 stripes, ec_store.h); `scrub` implies
-// it. Replica-placed objects in the same image keep reading fine either way
-// — the EC store falls through to the base layout for un-striped keys.
+// ARKFS_PLACEMENT=ec switches data chunks to the erasure-coded archive tier
+// (k=4/m=2 stripes, ec_store.h); `scrub` implies it. ARKFS_PLACEMENT=tiered
+// (or ARKFS_TIERING=1) runs the hot/cold tiered data path (tiering_store.h);
+// the `tier` commands imply it. Replica-placed objects in the same image
+// keep reading fine either way — both tiers fall through to the base layout
+// for untouched keys. All knobs parse through common/env_config; `config`
+// dumps what this process would pick up.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <unistd.h>
 
+#include "common/env_config.h"
 #include "core/cluster.h"
 #include "objstore/disk_store.h"
 
@@ -47,10 +55,12 @@ int Usage() {
                "          get <p> <local> | cat <p> | rm <p> | rmdir <p> |\n"
                "          mv <from> <to> | stat <p> | chmod <octal> <p> |\n"
                "          ln -s <target> <p> | objects | introspect [p] |\n"
-               "          scrub\n"
-               "env: ARKFS_PLACEMENT=ec  write data chunks erasure-coded\n"
+               "          scrub | tier [status|migrate|demote] | config\n"
+               "env: ARKFS_PLACEMENT=replica|ec|tiered  data-chunk placement\n"
+               "     ARKFS_TIERING=1  force tiered placement\n"
                "     ARKFS_DURABILITY=sync|group|async  journal ack mode\n"
-               "     ARKFS_TENANT=<id>  QoS tenant this invocation runs as\n");
+               "     ARKFS_TENANT=<id>  QoS tenant this invocation runs as\n"
+               "     (`config` dumps every knob, its source and its value)\n");
   return 2;
 }
 
@@ -93,6 +103,23 @@ int main(int argc, char** argv) {
                       static_cast<std::uint32_t>(getgid()),
                       {}};
 
+  const env::EnvConfig env_config = env::EnvConfig::FromEnvironment();
+  if (command == "config") {
+    std::printf("%s", env_config.DumpText().c_str());
+    for (const auto& knob : env_config.knobs()) {
+      if (!knob.valid) return 1;
+    }
+    return 0;
+  }
+  // A malformed knob fails the invocation up front — running with a
+  // silently ignored env override is worse than an error.
+  for (const auto& knob : env_config.knobs()) {
+    if (!knob.valid) {
+      return Fail(ErrStatus(Errc::kInval, knob.raw + " (" + knob.error + ")"),
+                  knob.name.c_str());
+    }
+  }
+
   auto store_or = DiskObjectStore::Open(store_dir);
   if (!store_or.ok()) return Fail(store_or.status(), "open store");
   ObjectStorePtr store = *store_or;
@@ -118,23 +145,27 @@ int main(int argc, char** argv) {
 
   ArkFsClusterOptions options;  // instant network: this is a local image
   options.format_store = false;
-  const char* placement_env = std::getenv("ARKFS_PLACEMENT");
-  if (command == "scrub" ||
-      (placement_env && std::strcmp(placement_env, "ec") == 0)) {
+  const std::string tier_sub =
+      (command == "tier" && argc >= 4) ? argv[3] : "status";
+  if (command == "tier" || env_config.tiering() ||
+      env_config.placement() == "tiered") {
+    options.placement = DataPlacement::kTiered;
+    // An operator-driven pass should not be rate-limited; `tier demote`
+    // additionally ignores idle clocks and pushes everything down.
+    options.migrate.objects_per_sec = 0;
+    if (command == "tier" && tier_sub == "demote") {
+      options.migrate.demote_after = Nanos(0);
+    }
+  } else if (command == "scrub" || env_config.placement() == "ec") {
     options.placement = DataPlacement::kEc;
   }
-  if (const char* durability_env = std::getenv("ARKFS_DURABILITY")) {
-    auto mode = journal::ParseDurabilityMode(durability_env);
+  if (!env_config.durability().empty()) {
+    auto mode = journal::ParseDurabilityMode(env_config.durability());
     if (!mode.ok()) return Fail(mode.status(), "ARKFS_DURABILITY");
     options.client_template.journal.durability = *mode;
   }
-  if (const char* tenant_env = std::getenv("ARKFS_TENANT")) {
-    char* end = nullptr;
-    const unsigned long id = std::strtoul(tenant_env, &end, 10);
-    if (end == tenant_env || *end != '\0' || id > 0xffffffffUL) {
-      return Fail(ErrStatus(Errc::kInval, tenant_env), "ARKFS_TENANT");
-    }
-    options.client_template.tenant = static_cast<std::uint32_t>(id);
+  if (env_config.tenant()) {
+    options.client_template.tenant = *env_config.tenant();
   }
   auto cluster_or = ArkFsCluster::Create(store, options);
   if (!cluster_or.ok()) return Fail(cluster_or.status(), "start");
@@ -228,7 +259,50 @@ int main(int argc, char** argv) {
     if (!report.scrub_text.empty()) {
       std::printf("--- scrub ---\n%s", report.scrub_text.c_str());
     }
+    if (!report.tiering_text.empty()) {
+      std::printf("--- tiering ---\n%s", report.tiering_text.c_str());
+    }
     std::printf("--- qos ---\n%s", cluster->QosIntrospectText().c_str());
+  } else if (command == "tier" && (argc == 3 || argc == 4)) {
+    if (tier_sub == "status") {
+      std::printf("--- tiering ---\n%s",
+                  cluster->tiering_store()->StatsText().c_str());
+      std::printf("migrator: %s", cluster->migrator()->ReportText().c_str());
+    } else if (tier_sub == "migrate" || tier_sub == "demote") {
+      auto report = cluster->migrator()->RunOnce();
+      if (!report.ok()) {
+        rc = Fail(report.status(), "tier");
+      } else {
+        std::printf("tier %s: %s\n", tier_sub.c_str(),
+                    report->ToString().c_str());
+        // A one-shot CLI process exits before any journal checkpoint, so
+        // the advisory access stats (and their cached hot/cold split) would
+        // never reach the store; flush them here so the next invocation's
+        // `tier status` reflects this pass.
+        if (cluster->tiering_store()->ConsumeStatsDirty()) {
+          const Bytes blob = cluster->tiering_store()->EncodeAccessStats();
+          if (!cluster->store()->Put(kTierStatsKey, blob).ok()) {
+            cluster->tiering_store()->MarkStatsDirty();
+          }
+        }
+        // The tier.* slice of the metrics plane, for operators watching
+        // placement drift. DumpText lines read "counter <name> <value>".
+        const auto intro = fs->Introspect();
+        std::string line;
+        for (char c : intro.metrics_text) {
+          if (c == '\n') {
+            if (line.find(" tier.") != std::string::npos) {
+              std::printf("%s\n", line.c_str());
+            }
+            line.clear();
+          } else {
+            line.push_back(c);
+          }
+        }
+      }
+    } else {
+      rc = Usage();
+    }
   } else if (command == "scrub" && argc == 3) {
     auto report = cluster->scrubber()->RunOnce();
     if (!report.ok()) {
