@@ -9,11 +9,6 @@ namespace {
 constexpr char kPointerSuffix[] = "..tp";
 constexpr char kColdSuffix[] = "..cold";
 
-bool EndsWith(const std::string& s, const char* suffix) {
-  const std::size_t n = std::char_traits<char>::length(suffix);
-  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
-}
-
 }  // namespace
 
 // --- tier pointer codec (strict: magic + version + CRC, trailing bytes
@@ -67,16 +62,42 @@ std::string TierPointerKey(const std::string& key) {
 std::string ColdCopyKey(const std::string& key) { return key + kColdSuffix; }
 
 TierKeyKind ClassifyTierKey(const std::string& raw, std::string* logical) {
-  if (EndsWith(raw, kPointerSuffix)) {
-    *logical = raw.substr(0, raw.size() - 4);
-    return TierKeyKind::kPointer;
-  }
-  if (EndsWith(raw, kColdSuffix)) {
-    *logical = raw.substr(0, raw.size() - 6);
+  // Truncate at the FIRST sentinel occurrence, not an exact suffix match:
+  // under an EC cold tier the cold copy's stripes are K..cold..ecm*/..ecs*
+  // and every one of them belongs to K. (Logical keys can never contain a
+  // sentinel — Tiers() refuses them — so the first occurrence is the split.)
+  const std::size_t tp = raw.find(kPointerSuffix);
+  const std::size_t cold = raw.find(kColdSuffix);
+  if (cold != std::string::npos &&
+      (tp == std::string::npos || cold < tp)) {
+    *logical = raw.substr(0, cold);
     return TierKeyKind::kColdCopy;
+  }
+  if (tp != std::string::npos) {
+    *logical = raw.substr(0, tp);
+    return TierKeyKind::kPointer;
   }
   *logical = raw;
   return TierKeyKind::kLogical;
+}
+
+Result<PlacementEvidence> ProbePlacementEvidence(ObjectStore& store) {
+  // Data chunks are 'd'-prefixed (prt/key_schema.h); a raw List over that
+  // prefix sees every resident trace of how they were written. Data-path
+  // EC manifests are K..ecm* with no "..cold" in the key — cold-copy
+  // stripes (K..cold..ecm*) classify as tier records instead.
+  ARKFS_ASSIGN_OR_RETURN(const auto keys, store.List("d"));
+  PlacementEvidence evidence;
+  std::string logical;
+  for (const auto& key : keys) {
+    if (ClassifyTierKey(key, &logical) != TierKeyKind::kLogical) {
+      evidence.tier_records = true;
+    } else if (key.find("..ecm") != std::string::npos) {
+      evidence.ec_data_chunks = true;
+    }
+    if (evidence.tier_records && evidence.ec_data_chunks) break;
+  }
+  return evidence;
 }
 
 // --- TieringStore ---
@@ -84,6 +105,8 @@ TierKeyKind ClassifyTierKey(const std::string& raw, std::string* logical) {
 TieringStore::TieringStore(ObjectStorePtr hot, TieringOptions options)
     : StoreDecorator(std::move(hot)), options_(std::move(options)) {
   cold_ = options_.cold ? options_.cold : base();
+  shard_key_cap_ =
+      std::max<std::size_t>(1, options_.max_tracked_keys / shards_.size());
   obs::MetricsRegistry* r = options_.metrics;
   hot_gets_.Attach(r, "tier.hot_gets");
   cold_gets_.Attach(r, "tier.cold_gets");
@@ -114,6 +137,29 @@ std::string TieringStore::name() const { return "tiering/" + base()->name(); }
 
 // --- per-key state-map helpers ---
 
+TieringStore::KeyState& TieringStore::StateLocked(StateShard& shard,
+                                                  const std::string& key) {
+  auto it = shard.keys.find(key);
+  if (it != shard.keys.end()) return it->second;
+  if (shard.keys.size() >= shard_key_cap_) EvictOneLocked(shard);
+  return shard.keys[key];
+}
+
+void TieringStore::EvictOneLocked(StateShard& shard) {
+  // Sampled LRU: probe a handful of entries (unordered_map iteration order
+  // is effectively arbitrary) and drop the longest-idle one. Losing an
+  // entry only resets that key's idle clock / read heat — placement and
+  // bytes are re-derived from the store, and fence values come from
+  // shard.next_seq so a recreated entry can never replay an old sequence.
+  if (shard.keys.empty()) return;
+  auto victim = shard.keys.begin();
+  auto it = victim;
+  for (int i = 0; i < 16 && it != shard.keys.end(); ++i, ++it) {
+    if (it->second.last_access < victim->second.last_access) victim = it;
+  }
+  shard.keys.erase(victim);
+}
+
 std::uint64_t TieringStore::SeqSnapshot(const std::string& key) const {
   StateShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -124,16 +170,17 @@ std::uint64_t TieringStore::SeqSnapshot(const std::string& key) const {
 std::uint64_t TieringStore::BumpSeq(const std::string& key) {
   StateShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  KeyState& state = shard.keys[key];
+  KeyState& state = StateLocked(shard, key);
   state.last_access = Now();
+  state.seq = ++shard.next_seq;
   stats_dirty_.store(true, std::memory_order_relaxed);
-  return ++state.seq;
+  return state.seq;
 }
 
 void TieringStore::NoteRead(const std::string& key, bool cold) {
   StateShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  KeyState& state = shard.keys[key];
+  KeyState& state = StateLocked(shard, key);
   state.last_access = Now();
   state.reads++;
   if (cold) state.cold_reads++;
@@ -144,7 +191,7 @@ void TieringStore::SetCachedTier(const std::string& key, CachedTier tier,
                                  bool reset_cold_reads) {
   StateShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  KeyState& state = shard.keys[key];
+  KeyState& state = StateLocked(shard, key);
   state.tier = tier;
   if (reset_cold_reads) state.cold_reads = 0;
 }
@@ -168,7 +215,7 @@ void TieringStore::SeedAccess(const std::string& key) {
   StateShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.keys.count(key)) return;
-  shard.keys[key].last_access = Now();
+  StateLocked(shard, key).last_access = Now();
   stats_dirty_.store(true, std::memory_order_relaxed);
 }
 
@@ -191,15 +238,10 @@ bool TieringStore::ShouldTryCold(const std::string& key) {
 
 Result<Bytes> TieringStore::Get(const std::string& key) {
   if (!Tiers(key)) return base()->Get(key);
-  if (GetCachedTier(key) == CachedTier::kCold) {
-    auto cold = cold_->Get(ColdCopyKey(key));
-    if (cold.ok()) {
-      NoteRead(key, /*cold=*/true);
-      cold_gets_.Add();
-      return cold;
-    }
-    // Stale cache (promoted or deleted since): fall through to hot.
-  }
+  // Hot first, ALWAYS: the hot copy is authoritative, and the cached tier
+  // can be stale in exactly the states a crash leaves behind (a cold
+  // record over newer acked hot bytes). The cache only orders fallbacks —
+  // on a hot miss, a cached kCold skips the pointer read.
   auto hot = base()->Get(key);
   if (hot.ok()) {
     NoteRead(key, /*cold=*/false);
@@ -209,7 +251,7 @@ Result<Bytes> TieringStore::Get(const std::string& key) {
   }
   // Hot miss — demoted (kNoEnt) or its node is down; the cold copy's EC
   // stripes reconstruct through outages either way.
-  if (ShouldTryCold(key)) {
+  if (GetCachedTier(key) == CachedTier::kCold || ShouldTryCold(key)) {
     auto cold = cold_->Get(ColdCopyKey(key));
     if (cold.ok()) {
       NoteRead(key, /*cold=*/true);
@@ -225,14 +267,7 @@ Result<Bytes> TieringStore::GetRange(const std::string& key,
                                      std::uint64_t offset,
                                      std::uint64_t length) {
   if (!Tiers(key)) return base()->GetRange(key, offset, length);
-  if (GetCachedTier(key) == CachedTier::kCold) {
-    auto cold = cold_->GetRange(ColdCopyKey(key), offset, length);
-    if (cold.ok()) {
-      NoteRead(key, /*cold=*/true);
-      cold_gets_.Add();
-      return cold;
-    }
-  }
+  // Hot first, ALWAYS (see Get).
   auto hot = base()->GetRange(key, offset, length);
   if (hot.ok()) {
     NoteRead(key, /*cold=*/false);
@@ -240,7 +275,7 @@ Result<Bytes> TieringStore::GetRange(const std::string& key,
     SetCachedTier(key, CachedTier::kHot, false);
     return hot;
   }
-  if (ShouldTryCold(key)) {
+  if (GetCachedTier(key) == CachedTier::kCold || ShouldTryCold(key)) {
     auto cold = cold_->GetRange(ColdCopyKey(key), offset, length);
     if (cold.ok()) {
       NoteRead(key, /*cold=*/true);
@@ -285,25 +320,34 @@ Status TieringStore::Put(const std::string& key, ByteSpan data) {
 Status TieringStore::PutRange(const std::string& key, std::uint64_t offset,
                               ByteSpan data) {
   if (!Tiers(key)) return base()->PutRange(key, offset, data);
-  CachedTier cached = GetCachedTier(key);
-  if (cached == CachedTier::kUnknown) {
-    // One-time residency probe: a partial write must never create a
-    // divergent hot fragment next to a cold-resident copy.
-    if (base()->Head(key).ok()) {
-      cached = CachedTier::kHot;
-    } else if (ShouldTryCold(key) && cold_->Head(ColdCopyKey(key)).ok()) {
-      cached = CachedTier::kCold;
-    } else {
-      cached = CachedTier::kHot;  // fresh object: partial write creates it
-    }
-    SetCachedTier(key, cached, false);
-  }
-  if (cached == CachedTier::kCold) {
-    return ErrStatus(Errc::kNotSup, "cold-resident object: rewrite whole");
-  }
+  // Residency must be decided UNDER the key lock, never from the cached
+  // tier: base stores create missing objects on PutRange, so a probe that
+  // races a demotion (probe sees hot -> demotion sweeps it -> partial
+  // write lands) would plant a truncated hot fragment that hot-first reads
+  // serve as the whole object — and reconcile's hot-wins rule would then
+  // delete the only complete copy. Holding the lock pins residency: a
+  // demotion either finished before (we see cold and refuse) or re-checks
+  // its fence after our BumpSeq and aborts.
   std::lock_guard<std::mutex> lock(KeyLock(key));
+  auto hot = base()->Head(key);
+  if (!hot.ok()) {
+    if (hot.status().code() != Errc::kNoEnt) {
+      // Node down: residency is unknowable — don't guess with a write.
+      return hot.status();
+    }
+    if (auto pointer = ReadPointer(key);
+        (pointer && pointer->tier == Tier::kCold) ||
+        cold_->Head(ColdCopyKey(key)).ok()) {
+      // A partial write never lands next to a cold-resident copy: the PRT
+      // falls back to read-modify-write (whole-object Put) on kNotSup.
+      return ErrStatus(Errc::kNotSup, "cold-resident object: rewrite whole");
+    }
+    // Fresh object: the partial write creates it hot.
+  }
   BumpSeq(key);
-  return base()->PutRange(key, offset, data);
+  Status st = base()->PutRange(key, offset, data);
+  if (st.ok()) SetCachedTier(key, CachedTier::kHot, false);
+  return st;
 }
 
 Status TieringStore::Delete(const std::string& key) {
@@ -320,33 +364,47 @@ Status TieringStore::Delete(const std::string& key) {
 
 Result<ObjectMeta> TieringStore::Head(const std::string& key) {
   if (!Tiers(key)) return base()->Head(key);
-  if (GetCachedTier(key) == CachedTier::kCold) {
-    auto cold = cold_->Head(ColdCopyKey(key));
-    if (cold.ok()) return cold;
-  }
+  // Hot first, ALWAYS (see Get).
   auto hot = base()->Head(key);
   if (hot.ok()) return hot;
-  if (ShouldTryCold(key)) {
+  if (GetCachedTier(key) == CachedTier::kCold || ShouldTryCold(key)) {
     auto cold = cold_->Head(ColdCopyKey(key));
     if (cold.ok()) return cold;
   }
   return hot;
 }
 
-Result<std::vector<std::string>> TieringStore::List(const std::string& prefix) {
-  // List through the cold store so EC stripe internals fold first; then
-  // fold pointers and cold copies back to their logical keys.
-  ARKFS_ASSIGN_OR_RETURN(const auto raw, cold_->List(prefix));
+// Enumerates BOTH namespaces — the hot store's and the cold store's — and
+// folds every internal key (pointers, cold copies, and under an EC cold
+// tier their stripe internals, which ClassifyTierKey truncates at the
+// first "..cold") back to its logical key. When the cold store shares the
+// hot namespace (the builder wiring, or a null cold option) the two
+// listings coincide and the dedup collapses them; when options.cold is a
+// disjoint store, hot-only objects must not vanish from the listing.
+Result<std::vector<std::string>> TieringStore::FoldListings(
+    const std::string& prefix) {
+  ARKFS_ASSIGN_OR_RETURN(const auto cold_raw, cold_->List(prefix));
   std::vector<std::string> out;
-  out.reserve(raw.size());
+  out.reserve(cold_raw.size());
   std::string logical;
-  for (const auto& key : raw) {
+  for (const auto& key : cold_raw) {
     (void)ClassifyTierKey(key, &logical);
     out.push_back(logical);
+  }
+  if (cold_ != base()) {
+    ARKFS_ASSIGN_OR_RETURN(const auto hot_raw, base()->List(prefix));
+    for (const auto& key : hot_raw) {
+      (void)ClassifyTierKey(key, &logical);
+      out.push_back(logical);
+    }
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+Result<std::vector<std::string>> TieringStore::List(const std::string& prefix) {
+  return FoldListings(prefix);
 }
 
 // --- migration primitives ---
@@ -487,16 +545,13 @@ Result<int> TieringStore::ReconcileObject(const std::string& key) {
 
 Result<std::vector<std::string>> TieringStore::ListTiered(
     const std::string& prefix) {
-  ARKFS_ASSIGN_OR_RETURN(const auto raw, cold_->List(prefix));
-  std::vector<std::string> out;
-  std::string logical;
-  for (const auto& key : raw) {
-    (void)ClassifyTierKey(key, &logical);
-    if (Tiers(logical)) out.push_back(logical);
-  }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  ARKFS_ASSIGN_OR_RETURN(auto folded, FoldListings(prefix));
+  folded.erase(std::remove_if(folded.begin(), folded.end(),
+                              [this](const std::string& logical) {
+                                return !Tiers(logical);
+                              }),
+               folded.end());
+  return folded;
 }
 
 Result<TieringStore::TierProbe> TieringStore::ProbeTier(
@@ -603,11 +658,15 @@ Status TieringStore::LoadAccessStats(ByteSpan data) {
                                             Seconds(30 * 24 * 3600).count()));
     StateShard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
-    KeyState& state = shard.keys[key];
+    KeyState& state = StateLocked(shard, key);
     state.last_access = now - Nanos(static_cast<std::int64_t>(capped));
     state.reads = reads;
     state.cold_reads = static_cast<std::uint32_t>(cold_reads);
-    state.tier = static_cast<CachedTier>(tier);
+    // The persisted tier byte is validated (strict decode) but NEVER
+    // applied: the blob is advisory, and a stale "cold" written before a
+    // crash must not route a restarted process's reads at a stale cold
+    // copy lingering behind newer acked hot bytes. Placement re-derives
+    // from the store, where the hot copy is authoritative.
   }
   if (!dec.done()) return ErrStatus(Errc::kIo, "tier stats: trailing bytes");
   return Status::Ok();

@@ -20,11 +20,15 @@
 //               EC cold tier its stripes become K..cold..ecm* / ..ecs*)
 //
 // Read semantics: THE HOT COPY, WHEN PRESENT, IS AUTHORITATIVE. Reads try
-// hot first and consult the pointer/cold copy only on a hot miss. This is
-// what makes every crash state safe (see the matrix in DESIGN.md §4.9):
-// a stale cold copy or a stale pointer can linger after a crash, but it can
-// never shadow newer acked hot bytes — it is storage to reclaim (the
-// migrator's reconcile pass sweeps it), never a correctness hazard.
+// hot first — ALWAYS, on every read — and consult the pointer/cold copy
+// only on a hot miss. The in-memory cached tier is purely a fallback-
+// ordering hint (on a hot miss it skips the pointer read); it never
+// routes a read past the hot copy, because the cache can be stale in
+// exactly the states a crash leaves behind. This is what makes every
+// crash state safe (see the matrix in DESIGN.md §4.9): a stale cold copy
+// or a stale pointer can linger after a crash, but it can never shadow
+// newer acked hot bytes — it is storage to reclaim (the migrator's
+// reconcile pass sweeps it), never a correctness hazard.
 //
 // Migration protocol (copy -> flip -> sweep, same discipline as dentry
 // shards and EC generations):
@@ -67,7 +71,9 @@ namespace arkfs {
 // The tier pointer decodes strictly (magic + version + CRC; torn prefixes
 // and bit flips must never decode — same bar as the EC stripe manifest).
 // The access-stats blob is advisory and loads tolerantly: losing it only
-// resets demotion timers, never bytes.
+// resets demotion timers, never bytes. It never routes reads: the cached
+// tier persisted in it is NOT reinstated on load (placement is re-derived
+// from the store itself, where the hot copy is authoritative).
 
 inline constexpr std::uint32_t kTierPointerMagic = 0x414B5450u;  // "AKTP"
 inline constexpr std::uint32_t kTierStatsMagic = 0x414B5453u;    // "AKTS"
@@ -97,6 +103,20 @@ std::string ColdCopyKey(const std::string& key);     // K..cold
 enum class TierKeyKind { kLogical, kPointer, kColdCopy };
 TierKeyKind ClassifyTierKey(const std::string& raw, std::string* logical);
 
+// What an existing image's raw data-chunk keys reveal about how they were
+// written. A CLI/operator process must not silently pick a data path that
+// cannot decode the resident bytes: data chunks written under
+// DataPlacement::kEc exist only as "..ecm"/"..ecs" stripes (unreadable
+// through the tiered path, whose cold EcStore decodes only the "..cold"
+// namespace), and tier pointers / cold copies are unreadable through the
+// plain EC path. `arkfs_cli` probes this before composing a stack and
+// fails fast on a mismatch instead of serving kNoEnt for live data.
+struct PlacementEvidence {
+  bool ec_data_chunks = false;  // data chunks resident as data-path EC stripes
+  bool tier_records = false;    // tier pointers and/or cold copies present
+};
+Result<PlacementEvidence> ProbePlacementEvidence(ObjectStore& store);
+
 struct TieringOptions {
   // Only keys this predicate accepts are tiered; everything else passes
   // through to the hot store untouched. Null = tier everything (that the
@@ -108,6 +128,13 @@ struct TieringOptions {
   ObjectStorePtr cold;
   // Where the "tier.*" cells attach; null = process default registry.
   obs::MetricsRegistry* metrics = nullptr;
+  // Bound on the in-memory per-key access/placement entries (and therefore
+  // on the persisted stats blob). Past the cap the longest-idle tracked key
+  // is evicted (sampled LRU) — losing an entry only resets that key's idle
+  // clock / read heat, never bytes or fencing (mutation sequences are
+  // shard-monotonic, so an evicted-and-recreated key can never replay a
+  // fence value a migration already snapshotted).
+  std::size_t max_tracked_keys = 65536;
 
   static TieringOptions Defaults() { return {}; }
 };
@@ -123,13 +150,19 @@ class TieringStore : public StoreDecorator {
   // Partial writes only ever land on the hot copy. On a cold-resident key
   // this returns kNotSup so the PRT falls back to read-modify-write, which
   // reads through the cold path and rewrites the whole chunk hot.
+  // Residency is decided under the per-key lock (never from the cached
+  // tier): base stores create missing objects on PutRange, so a partial
+  // write racing a demotion must not plant a truncated hot fragment that
+  // hot-first reads would then serve as the whole object.
   Status PutRange(const std::string& key, std::uint64_t offset,
                   ByteSpan data) override;
   Status Delete(const std::string& key) override;
   Result<ObjectMeta> Head(const std::string& key) override;
   // Presents logical keys: pointer records and cold copies (and, under an
   // EC cold tier, their stripe internals) fold back into the one logical
-  // object they belong to.
+  // object they belong to. Both namespaces are enumerated — hot-only
+  // objects stay visible even when options.cold is a store with a
+  // namespace disjoint from the hot store's.
   Result<std::vector<std::string>> List(const std::string& prefix) override;
 
   std::string name() const override;
@@ -184,7 +217,10 @@ class TieringStore : public StoreDecorator {
   // --- access stats (persisted on the journal checkpoint cadence) ---
   // Ages are encoded relative to now (steady clocks do not survive a
   // restart) and reinstated as now-minus-age at load. Tolerant load: a
-  // corrupt blob resets the stats, which only delays demotion.
+  // corrupt blob resets the stats, which only delays demotion. The cached
+  // tier byte travels in the blob (for `tier status` debugging) but is
+  // never applied on load — a restarted process re-derives placement from
+  // the store, so a stale blob can never route reads at stale cold bytes.
   Bytes EncodeAccessStats() const;
   Status LoadAccessStats(ByteSpan data);
   bool ConsumeStatsDirty() { return stats_dirty_.exchange(false); }
@@ -220,6 +256,10 @@ class TieringStore : public StoreDecorator {
   struct StateShard {
     mutable std::mutex mu;
     std::unordered_map<std::string, KeyState> keys;
+    // Fence values are drawn from this shard-wide counter, never per-entry:
+    // an entry evicted under the tracking cap and later recreated must not
+    // replay a sequence a concurrent migration already snapshotted.
+    std::uint64_t next_seq = 0;
   };
 
   StateShard& ShardFor(const std::string& key) const {
@@ -229,7 +269,12 @@ class TieringStore : public StoreDecorator {
     return key_mu_[std::hash<std::string>{}(key) % key_mu_.size()];
   }
 
-  // State-map helpers (each takes the shard lock internally).
+  // State-map helpers (each takes the shard lock internally). Entry
+  // creation funnels through StateLocked, which enforces the tracking cap
+  // by evicting the longest-idle sampled entry — the map (and the stats
+  // blob encoded from it) stays bounded on arbitrarily large namespaces.
+  KeyState& StateLocked(StateShard& shard, const std::string& key);
+  void EvictOneLocked(StateShard& shard);
   std::uint64_t SeqSnapshot(const std::string& key) const;
   void NoteRead(const std::string& key, bool cold);
   std::uint64_t BumpSeq(const std::string& key);  // returns the new seq
@@ -238,6 +283,9 @@ class TieringStore : public StoreDecorator {
   CachedTier GetCachedTier(const std::string& key) const;
   void EraseState(const std::string& key);
 
+  // Enumerates both the hot and cold namespaces under `prefix` and folds
+  // internal keys to their logical keys (shared by List and ListTiered).
+  Result<std::vector<std::string>> FoldListings(const std::string& prefix);
   // Reads + strictly decodes the pointer record. nullopt = kNoEnt or a
   // record that failed strict decode (treated as absent: reads salvage via
   // the cold copy, the migrator rewrites it on the next flip).
@@ -249,6 +297,7 @@ class TieringStore : public StoreDecorator {
 
   const TieringOptions options_;
   ObjectStorePtr cold_;  // options_.cold, or base() when null
+  std::size_t shard_key_cap_ = 0;  // max_tracked_keys / shard count
   mutable std::array<StateShard, 16> shards_;
   std::array<std::mutex, 64> key_mu_;
   std::atomic<bool> stats_dirty_{false};

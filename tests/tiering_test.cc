@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 
 #include "objstore/cluster_store.h"
 #include "objstore/memory_store.h"
@@ -80,6 +81,50 @@ TEST(TierPointerCodec, KeyClassification) {
   EXPECT_EQ(ClassifyTierKey(ColdCopyKey(key), &logical),
             TierKeyKind::kColdCopy);
   EXPECT_EQ(logical, key);
+  // Under an EC cold tier the cold copy's stripe internals live BELOW the
+  // "..cold" sentinel; every one of them folds to the same logical key.
+  EXPECT_EQ(ClassifyTierKey(ColdCopyKey(key) + "..ecm007", &logical),
+            TierKeyKind::kColdCopy);
+  EXPECT_EQ(logical, key);
+  EXPECT_EQ(ClassifyTierKey(ColdCopyKey(key) + "..ecs0107.g00000001",
+                            &logical),
+            TierKeyKind::kColdCopy);
+  EXPECT_EQ(logical, key);
+}
+
+TEST(PlacementEvidenceProbe, ClassifiesImagesByResidentKeys) {
+  // Replica-only image: no evidence either way.
+  MemoryObjectStore replica;
+  ASSERT_TRUE(replica.Put("dabc.0001", Payload(1, 16)).ok());
+  auto ev = ProbePlacementEvidence(replica);
+  ASSERT_TRUE(ev.ok());
+  EXPECT_FALSE(ev->ec_data_chunks);
+  EXPECT_FALSE(ev->tier_records);
+
+  // Data-path EC stripes: manifest keys with no "..cold" above them.
+  MemoryObjectStore ec;
+  ASSERT_TRUE(ec.Put("dabc.0001..ecm007", Payload(2, 16)).ok());
+  ev = ProbePlacementEvidence(ec);
+  ASSERT_TRUE(ev.ok());
+  EXPECT_TRUE(ev->ec_data_chunks);
+  EXPECT_FALSE(ev->tier_records);
+
+  // Tiered image: pointers + cold copies (even EC-encoded ones — their
+  // manifests sit under "..cold" and must NOT read as data-path EC).
+  MemoryObjectStore tiered;
+  ASSERT_TRUE(tiered.Put("dxyz.0002..tp", Payload(3, 16)).ok());
+  ASSERT_TRUE(tiered.Put("dxyz.0002..cold..ecm007", Payload(4, 16)).ok());
+  ev = ProbePlacementEvidence(tiered);
+  ASSERT_TRUE(ev.ok());
+  EXPECT_FALSE(ev->ec_data_chunks);
+  EXPECT_TRUE(ev->tier_records);
+
+  // A genuinely mixed image shows both.
+  ASSERT_TRUE(tiered.Put("dabc.0001..ecm007", Payload(5, 16)).ok());
+  ev = ProbePlacementEvidence(tiered);
+  ASSERT_TRUE(ev.ok());
+  EXPECT_TRUE(ev->ec_data_chunks);
+  EXPECT_TRUE(ev->tier_records);
 }
 
 // --- TieringStore semantics over a memory store ---
@@ -220,6 +265,134 @@ TEST_F(TieringStoreTest, NonTieredAndSentinelKeysPassThrough) {
   EXPECT_TRUE(mem_->Head("meta-x").ok());
   EXPECT_EQ(tiering_->DemoteObject("meta-x").code(), Errc::kInval);
   EXPECT_EQ(tiering_->ProbeTier("meta-x").status().code(), Errc::kInval);
+}
+
+TEST_F(TieringStoreTest, HotCopyAlwaysWinsOverStaleColdCache) {
+  // The cached tier says kCold (a real demotion set it), but newer hot
+  // bytes land behind this instance's back — e.g. another process's Put
+  // whose inline pointer flip never ran. Hot-first reads must serve the
+  // new bytes anyway: the cache is an ordering hint, never a route.
+  const Bytes v1 = Payload(90, 256);
+  ASSERT_TRUE(tiering_->Put("d-stale", v1).ok());
+  ASSERT_TRUE(tiering_->DemoteObject("d-stale").ok());
+  auto got = tiering_->Get("d-stale");  // cold read: caches kCold
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, v1);
+
+  const Bytes v2 = Payload(91, 300);
+  ASSERT_TRUE(mem_->Put("d-stale", v2).ok());  // behind the cache's back
+  got = tiering_->Get("d-stale");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, v2);
+  auto ranged = tiering_->GetRange("d-stale", 10, 20);
+  ASSERT_TRUE(ranged.ok());
+  EXPECT_EQ(*ranged, Bytes(v2.begin() + 10, v2.begin() + 30));
+  auto head = tiering_->Head("d-stale");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->size, v2.size());
+}
+
+TEST_F(TieringStoreTest, StaleStatsBlobNeverRoutesReadsToStaleCold) {
+  // Crash shape: demotion completed and its stats blob (tier=cold) was
+  // checkpointed; then an overwrite's hot bytes landed but the process
+  // died before the inline pointer flip / cold sweep. A restarted process
+  // that loads the blob must serve the newer hot bytes, not the cold
+  // orphan the blob still points at.
+  const Bytes v1 = Payload(92, 256);
+  ASSERT_TRUE(tiering_->Put("d-blob", v1).ok());
+  ASSERT_TRUE(tiering_->DemoteObject("d-blob").ok());
+  ASSERT_TRUE(tiering_->Get("d-blob").ok());  // cold read recorded
+  const Bytes blob = tiering_->EncodeAccessStats();
+
+  const Bytes v2 = Payload(93, 512);
+  ASSERT_TRUE(mem_->Put("d-blob", v2).ok());  // acked pre-crash, no flip
+
+  TieringOptions options;
+  options.should_tier = IsDataKey;
+  options.metrics = &registry_;
+  TieringStore restarted(counting_, options);
+  ASSERT_TRUE(restarted.LoadAccessStats(blob).ok());
+  auto got = restarted.Get("d-blob");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, v2);
+  auto head = restarted.Head("d-blob");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->size, v2.size());
+  // The advisory half of the blob (heat, ages) did survive the restart.
+  auto probe = restarted.ProbeTier("d-blob");
+  ASSERT_TRUE(probe.ok());
+  EXPECT_TRUE(probe->ever_accessed);
+}
+
+TEST_F(TieringStoreTest, PutRangeRechecksResidencyUnderLock) {
+  // The cached tier says kHot, but a demotion (another instance = another
+  // process/migrator epoch) swept the hot copy since. PutRange must probe
+  // residency under the key lock and refuse — base stores create missing
+  // objects on a range write, so trusting the cache would plant a
+  // truncated hot fragment that hot-first reads serve as the whole object.
+  const Bytes data = Payload(94, 400);
+  ASSERT_TRUE(tiering_->Put("d-pr-race", data).ok());
+  ASSERT_TRUE(tiering_->Get("d-pr-race").ok());  // caches kHot
+
+  TieringOptions options;
+  options.should_tier = IsDataKey;
+  options.metrics = &registry_;
+  TieringStore other(counting_, options);
+  ASSERT_TRUE(other.DemoteObject("d-pr-race").ok());
+
+  EXPECT_EQ(tiering_->PutRange("d-pr-race", 0, Payload(95, 16)).code(),
+            Errc::kNotSup);
+  // No hot fragment was created; the full cold bytes are still the object.
+  EXPECT_FALSE(mem_->Head("d-pr-race").ok());
+  auto got = tiering_->Get("d-pr-race");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+}
+
+TEST_F(TieringStoreTest, ListIncludesHotOnlyKeysWithDistinctColdStore) {
+  // TieringOptions.cold may be a store with a namespace disjoint from the
+  // hot store's; hot-only objects must not vanish from List/ListTiered.
+  TieringOptions options;
+  options.should_tier = IsDataKey;
+  options.cold = std::make_shared<MemoryObjectStore>();
+  TieringStore split(std::make_shared<MemoryObjectStore>(), options);
+  ASSERT_TRUE(split.Put("d-hot-only", Payload(96, 64)).ok());
+  ASSERT_TRUE(split.Put("d-goes-cold", Payload(97, 64)).ok());
+  ASSERT_TRUE(split.DemoteObject("d-goes-cold").ok());
+
+  auto listed = split.List("d-");
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(*listed, (std::vector<std::string>{"d-goes-cold", "d-hot-only"}));
+  auto tiered = split.ListTiered("d-");
+  ASSERT_TRUE(tiered.ok());
+  EXPECT_EQ(*tiered, (std::vector<std::string>{"d-goes-cold", "d-hot-only"}));
+}
+
+TEST_F(TieringStoreTest, TrackedKeyStateStaysBounded) {
+  // The per-key state map (and the stats blob encoded from it) must not
+  // grow with every chunk ever touched: past max_tracked_keys the
+  // longest-idle entries are evicted (advisory loss only).
+  TieringOptions options;
+  options.should_tier = IsDataKey;
+  options.max_tracked_keys = 16;  // 1 entry per shard
+  auto mem = std::make_shared<MemoryObjectStore>();
+  TieringStore bounded(mem, options);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        bounded.Put("d-churn." + std::to_string(i), Payload(i, 32)).ok());
+  }
+  std::size_t tracked = 0;
+  ASSERT_EQ(std::sscanf(bounded.StatsText().c_str(), "tracked=%zu", &tracked),
+            1);
+  EXPECT_LE(tracked, 16u);
+  // Reads and migration stay correct for evicted keys — state re-derives.
+  auto got = bounded.Get("d-churn.0");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Payload(0, 32));
+  ASSERT_TRUE(bounded.DemoteObject("d-churn.0").ok());
+  got = bounded.Get("d-churn.0");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Payload(0, 32));
 }
 
 TEST_F(TieringStoreTest, PutRangeOnColdResidentIsNotSup) {

@@ -30,9 +30,12 @@
 // ARKFS_PLACEMENT=ec switches data chunks to the erasure-coded archive tier
 // (k=4/m=2 stripes, ec_store.h); `scrub` implies it. ARKFS_PLACEMENT=tiered
 // (or ARKFS_TIERING=1) runs the hot/cold tiered data path (tiering_store.h);
-// the `tier` commands imply it. Replica-placed objects in the same image
-// keep reading fine either way — both tiers fall through to the base layout
-// for untouched keys. All knobs parse through common/env_config; `config`
+// the `tier` commands imply it. The image's resident layout is probed up
+// front (ProbePlacementEvidence): a mode that cannot decode the resident
+// data chunks — tiered over data-path EC stripes, or EC over tier
+// pointers/cold copies — fails fast instead of silently serving kNoEnt,
+// and when no placement is forced the CLI auto-selects the one the image
+// was written with. All knobs parse through common/env_config; `config`
 // dumps what this process would pick up.
 #include <cstdio>
 #include <cstdlib>
@@ -147,8 +150,48 @@ int main(int argc, char** argv) {
   options.format_store = false;
   const std::string tier_sub =
       (command == "tier" && argc >= 4) ? argv[3] : "status";
-  if (command == "tier" || env_config.tiering() ||
-      env_config.placement() == "tiered") {
+  // The data path must match how the image's resident chunks were written:
+  // the tiered path cannot decode data-path EC stripes, and the EC path
+  // cannot decode tier pointers / cold copies. Probe the image up front and
+  // refuse a forced mismatch; with nothing forced, follow the evidence.
+  auto evidence_or = ProbePlacementEvidence(*store);
+  if (!evidence_or.ok()) return Fail(evidence_or.status(), "probe image");
+  const PlacementEvidence evidence = *evidence_or;
+  const bool want_tiered = command == "tier" || env_config.tiering() ||
+                           env_config.placement() == "tiered";
+  const bool want_ec =
+      !want_tiered && (command == "scrub" || env_config.placement() == "ec");
+  const env::Knob* placement_knob = env_config.Find("ARKFS_PLACEMENT");
+  const bool replica_forced = placement_knob && placement_knob->from_env &&
+                              env_config.placement() == "replica";
+  if (want_tiered && evidence.ec_data_chunks) {
+    return Fail(ErrStatus(Errc::kInval,
+                          "image holds data chunks written as EC stripes; "
+                          "the tiered data path cannot decode them — rerun "
+                          "with ARKFS_PLACEMENT=ec"),
+                "placement");
+  }
+  if (want_ec && evidence.tier_records) {
+    return Fail(ErrStatus(Errc::kInval,
+                          "image holds tier pointers/cold copies; the EC "
+                          "data path cannot decode them — rerun with "
+                          "ARKFS_PLACEMENT=tiered"),
+                "placement");
+  }
+  if (replica_forced && (evidence.ec_data_chunks || evidence.tier_records)) {
+    return Fail(ErrStatus(Errc::kInval,
+                          "image holds EC/tiered data chunks unreadable on "
+                          "the replica path; drop ARKFS_PLACEMENT=replica"),
+                "placement");
+  }
+  if (!want_tiered && !want_ec && evidence.ec_data_chunks &&
+      evidence.tier_records) {
+    return Fail(ErrStatus(Errc::kInval,
+                          "image mixes data-path EC stripes with tier "
+                          "records; no single data path can read both"),
+                "placement");
+  }
+  if (want_tiered || (!want_ec && !replica_forced && evidence.tier_records)) {
     options.placement = DataPlacement::kTiered;
     // An operator-driven pass should not be rate-limited; `tier demote`
     // additionally ignores idle clocks and pushes everything down.
@@ -156,7 +199,7 @@ int main(int argc, char** argv) {
     if (command == "tier" && tier_sub == "demote") {
       options.migrate.demote_after = Nanos(0);
     }
-  } else if (command == "scrub" || env_config.placement() == "ec") {
+  } else if (want_ec || (!replica_forced && evidence.ec_data_chunks)) {
     options.placement = DataPlacement::kEc;
   }
   if (!env_config.durability().empty()) {
